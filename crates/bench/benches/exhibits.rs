@@ -1,0 +1,144 @@
+//! Criterion benchmarks: the cost of regenerating each table/figure.
+//!
+//! One benchmark per exhibit, in paper order. The heavyweight shared inputs
+//! (the full 2×10⁷-cycle `matmul-int` simulation and the case-study
+//! construction) are built once up front and measured separately so the
+//! per-exhibit numbers reflect the analysis itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_workload_simulation(c: &mut Criterion) {
+    // The ISS itself, at a reduced repetition count (the full run is ~20M
+    // cycles; 4 reps keep the benchmark wall-clock sane while exercising
+    // the same code path).
+    c.bench_function("workload/matmul_int_4reps", |b| {
+        let w = ppatc_workloads::Workload::matmul_int();
+        b.iter(|| black_box(w.execute_with_reps(4).expect("matmul runs")));
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/fet_comparison", |b| {
+        b.iter(|| black_box(ppatc_bench::table1::rows()));
+    });
+}
+
+fn bench_fig2c(c: &mut Criterion) {
+    c.bench_function("fig2c/embodied_per_wafer", |b| {
+        b.iter(|| black_box(ppatc_bench::fig2c::bars()));
+    });
+}
+
+fn bench_fig2d(c: &mut Criterion) {
+    c.bench_function("fig2d/step_energy_breakdown", |b| {
+        b.iter(|| black_box(ppatc_bench::fig2d::rows()));
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4/frequency_sweep", |b| {
+        b.iter(|| black_box(ppatc_bench::fig4::curves()));
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    // Force the shared case study (including the full matmul simulation)
+    // to exist before timing the summary extraction.
+    let _ = ppatc_bench::case_study();
+    c.bench_function("table2/ppatc_summary", |b| {
+        b.iter(|| black_box(ppatc_bench::table2::summary()));
+    });
+}
+
+fn bench_edram_characterization(c: &mut Criterion) {
+    // The SPICE-backed step behind Table II's memory rows.
+    c.bench_function("table2/edram_characterization_m3d", |b| {
+        b.iter(|| {
+            black_box(
+                ppatc_edram::EdramMacro::characterize(ppatc_pdk::Technology::M3dIgzoCnfetSi)
+                    .expect("characterizes"),
+            )
+        });
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let _ = ppatc_bench::case_study();
+    c.bench_function("fig5/lifetime_series", |b| {
+        b.iter(|| black_box(ppatc_bench::fig5::series()));
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let _ = ppatc_bench::case_study();
+    c.bench_function("fig6a/raster_21x21", |b| {
+        b.iter(|| black_box(ppatc_bench::fig6::raster()));
+    });
+    c.bench_function("fig6b/uncertainty_isolines", |b| {
+        b.iter(|| black_box(ppatc_bench::fig6::uncertainty_isolines()));
+    });
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let _ = ppatc_bench::case_study();
+    c.bench_function("ext/monte_carlo_10k", |b| {
+        let map = ppatc_bench::case_study().tcdp_map(ppatc::Lifetime::months(24.0));
+        let ranges = ppatc::montecarlo::UncertaintyRanges::paper_default();
+        b.iter(|| black_box(ppatc::montecarlo::run(&map, &ranges, 10_000, 7)));
+    });
+    c.bench_function("ext/optimizer_full_space", |b| {
+        let run = ppatc_workloads::Workload::edn()
+            .execute_with_reps(1)
+            .expect("edn runs");
+        let opt = ppatc::optimize::Optimizer::new(
+            ppatc::optimize::DesignSpace::paper_default(),
+            ppatc::Lifetime::months(24.0),
+        );
+        b.iter(|| black_box(opt.run(&run)));
+    });
+    c.bench_function("ext/gds_array_16x16_round_trip", |b| {
+        b.iter(|| {
+            let lib = ppatc_pdk::layout::cell_array(
+                ppatc_pdk::Technology::M3dIgzoCnfetSi,
+                16,
+                16,
+            );
+            let bytes = lib.to_bytes();
+            black_box(ppatc_pdk::gds::GdsLibrary::from_bytes(&bytes).expect("parses"))
+        });
+    });
+    c.bench_function("ext/spice_inverter_vtc_141pts", |b| {
+        use ppatc_device::{si, SiVtFlavor};
+        use ppatc_spice::{Circuit, Waveform};
+        use ppatc_units::{Length, Voltage};
+        let mut ckt = Circuit::new();
+        let nvdd = ckt.node("vdd");
+        let nin = ckt.node("in");
+        let nout = ckt.node("out");
+        ckt.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(Voltage::from_volts(0.7)));
+        let vin = ckt.voltage_source("VIN", nin, Circuit::GROUND, Waveform::dc(Voltage::zero()));
+        let w = Length::from_nanometers(100.0);
+        ckt.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
+        ckt.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+        let values: Vec<f64> = (0..=140).map(|i| 0.7 * f64::from(i) / 140.0).collect();
+        b.iter(|| black_box(ckt.dc_sweep(vin, &values).expect("sweep solves")));
+    });
+}
+
+criterion_group! {
+    name = exhibits;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_workload_simulation,
+        bench_table1,
+        bench_fig2c,
+        bench_fig2d,
+        bench_fig4,
+        bench_table2,
+        bench_edram_characterization,
+        bench_fig5,
+        bench_fig6,
+        bench_extensions
+}
+criterion_main!(exhibits);

@@ -1,0 +1,36 @@
+//! Prints any (or all) of the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p ppatc-bench --bin paper -- table2
+//! cargo run --release -p ppatc-bench --bin paper -- all
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let output = match arg.as_str() {
+        "table1" => ppatc_bench::table1::render(),
+        "fig2ab" => ppatc_bench::fig2ab::render(),
+        "fig2c" => ppatc_bench::fig2c::render(),
+        "fig2d" => ppatc_bench::fig2d::render(),
+        "fig4" => ppatc_bench::fig4::render(),
+        "table2" => ppatc_bench::table2::render(),
+        "fig5" => ppatc_bench::fig5::render(),
+        "fig6a" => ppatc_bench::fig6::render_map(),
+        "fig6b" => ppatc_bench::fig6::render_uncertainty(),
+        "ablations" => ppatc_bench::ablation::render(),
+        "workloads" => ppatc_bench::extras::render_workloads(),
+        "montecarlo" => ppatc_bench::extras::render_monte_carlo(),
+        "capacity" => ppatc_bench::capacity::render(),
+        "all" => ppatc_bench::render_all(),
+        other => {
+            eprintln!(
+                "unknown exhibit `{other}`; expected one of: table1 fig2ab fig2c fig2d fig4 table2 fig5 fig6a fig6b ablations workloads montecarlo capacity all"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{output}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,139 @@
+//! Memory-capacity sweep: how the M3D advantage scales with on-chip memory.
+//!
+//! The paper's motivation (and its N3XT citation) is *abundant-data*
+//! computing: the more on-chip memory a system carries, the more the
+//! memory dominates area and energy — and the more the M3D process's
+//! cells-over-periphery density and shorter wires pay off. This exhibit
+//! sweeps the per-macro capacity from 16 kB to 256 kB (2 kB sub-arrays
+//! throughout) and tracks the 24-month tCDP comparison.
+
+use crate::matmul_run;
+use ppatc::{CaseStudy, EmbodiedPipeline, Lifetime, SystemDesign, Technology, UsagePattern};
+use ppatc_edram::Organization;
+use ppatc_pdk::SiVtFlavor;
+use ppatc_units::Frequency;
+
+/// One capacity point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CapacityPoint {
+    /// Per-macro capacity, kB.
+    pub kb_per_macro: u32,
+    /// Total die area, mm², all-Si / M3D.
+    pub area_mm2: [f64; 2],
+    /// Embodied carbon per good die, g, all-Si / M3D.
+    pub embodied_g: [f64; 2],
+    /// tCDP benefit of M3D at 24 months (>1 = M3D wins).
+    pub m3d_benefit_24mo: f64,
+}
+
+/// Sweeps per-macro capacity (program and data memories both sized to it).
+pub fn sweep() -> Vec<CapacityPoint> {
+    let run = matmul_run();
+    let f = Frequency::from_megahertz(500.0);
+    let life = Lifetime::months(24.0);
+    [16u32, 32, 64, 128, 256]
+        .iter()
+        .map(|&kb| {
+            let org = Organization::new(kb * 1024, 2 * 1024, 32);
+            let si = SystemDesign::with_flavor_and_memory(
+                Technology::AllSi,
+                f,
+                SiVtFlavor::Rvt,
+                org.clone(),
+            )
+            .expect("all-Si designs at this capacity");
+            let m3d = SystemDesign::with_flavor_and_memory(
+                Technology::M3dIgzoCnfetSi,
+                f,
+                SiVtFlavor::Rvt,
+                org,
+            )
+            .expect("M3D designs at this capacity");
+            let study = CaseStudy::from_designs(
+                si.clone(),
+                m3d.clone(),
+                run,
+                EmbodiedPipeline::paper_default(),
+                UsagePattern::paper_default(),
+            );
+            CapacityPoint {
+                kb_per_macro: kb,
+                area_mm2: [
+                    si.area().as_square_millimeters(),
+                    m3d.area().as_square_millimeters(),
+                ],
+                embodied_g: [
+                    study.embodied(Technology::AllSi).per_good_die().as_grams(),
+                    study.embodied(Technology::M3dIgzoCnfetSi).per_good_die().as_grams(),
+                ],
+                m3d_benefit_24mo: 1.0 / study.tcdp_ratio(life),
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn render() -> String {
+    let mut out = String::from(
+        "kB/macro   area Si (mm²)   area M3D   emb Si (g)   emb M3D   M3D benefit @24mo\n",
+    );
+    for p in sweep() {
+        out.push_str(&format!(
+            "{:>8}{:>16.3}{:>11.3}{:>13.2}{:>10.2}{:>15.3}x\n",
+            p.kb_per_macro,
+            p.area_mm2[0],
+            p.area_mm2[1],
+            p.embodied_g[0],
+            p.embodied_g[1],
+            p.m3d_benefit_24mo
+        ));
+    }
+    out.push_str(
+        "(2 h/day usage and the matmul-int access profile held fixed across capacities)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn areas_scale_with_capacity() {
+        let pts = sweep();
+        for pair in pts.windows(2) {
+            assert!(pair[1].area_mm2[0] > pair[0].area_mm2[0]);
+            assert!(pair[1].area_mm2[1] > pair[0].area_mm2[1]);
+        }
+        // The area ratio approaches the pure memory-density ratio as the
+        // core's share vanishes.
+        let last = pts.last().expect("non-empty");
+        let ratio = last.area_mm2[0] / last.area_mm2[1];
+        assert!(ratio > 2.4, "area ratio at 256 kB {ratio:.2}");
+    }
+
+    #[test]
+    fn abundant_memory_favors_m3d() {
+        // The paper's motivating trend: the M3D benefit grows monotonically
+        // with on-chip memory capacity.
+        let pts = sweep();
+        for pair in pts.windows(2) {
+            assert!(
+                pair[1].m3d_benefit_24mo > pair[0].m3d_benefit_24mo - 1e-9,
+                "benefit fell from {} to {} between {} and {} kB",
+                pair[0].m3d_benefit_24mo,
+                pair[1].m3d_benefit_24mo,
+                pair[0].kb_per_macro,
+                pair[1].kb_per_macro
+            );
+        }
+    }
+
+    #[test]
+    fn the_paper_point_is_in_the_sweep() {
+        let pts = sweep();
+        let at_64 = pts.iter().find(|p| p.kb_per_macro == 64).expect("64 kB point");
+        assert!((at_64.m3d_benefit_24mo - 1.03).abs() < 0.02);
+        assert!((at_64.area_mm2[0] - 0.137).abs() < 0.01);
+    }
+}

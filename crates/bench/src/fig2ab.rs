@@ -1,0 +1,59 @@
+//! Fig. 2a/b: process cross-sections of the all-Si and M3D stacks.
+
+use ppatc_pdk::layout::{cross_section, stack_height, CrossSectionLayer};
+use ppatc_pdk::Technology;
+
+/// The two cross-sections, bottom-up: `(all-Si, M3D)`.
+pub fn sections() -> (Vec<CrossSectionLayer>, Vec<CrossSectionLayer>) {
+    (
+        cross_section(Technology::AllSi),
+        cross_section(Technology::M3dIgzoCnfetSi),
+    )
+}
+
+/// Renders both stacks side by side, top-down (as drawn in the paper).
+pub fn render() -> String {
+    let (si, m3d) = sections();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "total BEOL height: all-Si {:.0} nm, M3D {:.0} nm\n\n",
+        stack_height(Technology::AllSi).as_nanometers(),
+        stack_height(Technology::M3dIgzoCnfetSi).as_nanometers()
+    ));
+    out.push_str(&format!(
+        "{:<34}   {:<34}\n",
+        "(a) all-Si process", "(b) M3D IGZO/CNT/Si process"
+    ));
+    let rows = si.len().max(m3d.len());
+    for i in 0..rows {
+        let left = si
+            .get(si.len().wrapping_sub(1 + i).min(si.len().saturating_sub(1)))
+            .filter(|_| i < si.len());
+        let right = m3d.get(m3d.len().wrapping_sub(1 + i)).filter(|_| i < m3d.len());
+        let fmt_layer = |l: Option<&CrossSectionLayer>| match l {
+            Some(l) => format!("{:<22}{:>5.0}-{:<5.0}", l.name, l.z_bottom_nm, l.z_top_nm),
+            None => " ".repeat(34),
+        };
+        out.push_str(&format!("{}   {}\n", fmt_layer(left), fmt_layer(right)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_both_stacks() {
+        let text = render();
+        assert!(text.contains("all-Si process"));
+        assert!(text.contains("IGZO tier"));
+        assert!(text.contains("CNFET tier 2"));
+    }
+
+    #[test]
+    fn m3d_has_more_layers() {
+        let (si, m3d) = sections();
+        assert!(m3d.len() > si.len());
+    }
+}

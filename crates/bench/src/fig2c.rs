@@ -1,0 +1,114 @@
+//! Fig. 2c: embodied carbon per 300 mm wafer across power grids.
+
+use ppatc_fab::{grid, EmbodiedModel, Grid};
+use ppatc_pdk::Technology;
+
+/// One Fig. 2c bar.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bar {
+    /// Fabrication grid.
+    pub grid: Grid,
+    /// Process.
+    pub technology: Technology,
+    /// Materials (MPA·area), kgCO₂e.
+    pub materials_kg: f64,
+    /// Direct gases (GPA·area), kgCO₂e.
+    pub gases_kg: f64,
+    /// Fabrication electricity (CI_fab·EPA_f·area), kgCO₂e.
+    pub electricity_kg: f64,
+    /// Total, kgCO₂e.
+    pub total_kg: f64,
+}
+
+/// Computes all eight bars (4 grids × 2 processes).
+pub fn bars() -> Vec<Bar> {
+    let model = EmbodiedModel::paper_default();
+    let mut out = Vec::new();
+    for g in grid::FIG2C_GRIDS {
+        for tech in Technology::ALL {
+            let b = model.embodied_per_wafer(tech, g);
+            out.push(Bar {
+                grid: g,
+                technology: tech,
+                materials_kg: b.materials().as_kilograms(),
+                gases_kg: b.gases().as_kilograms(),
+                electricity_kg: b.fab_electricity().as_kilograms(),
+                total_kg: b.total().as_kilograms(),
+            });
+        }
+    }
+    out
+}
+
+/// Average M3D/all-Si overhead across the four grids (the abstract's 1.31×).
+pub fn average_overhead() -> f64 {
+    let bars = bars();
+    let mut sum = 0.0;
+    let mut n = 0.0;
+    for pair in bars.chunks(2) {
+        sum += pair[1].total_kg / pair[0].total_kg;
+        n += 1.0;
+    }
+    sum / n
+}
+
+/// Renders the figure's data.
+pub fn render() -> String {
+    let mut out = String::from(
+        "grid                  process            MPA (kg)   GPA (kg)   CI·EPA_f (kg)   total (kg)\n",
+    );
+    for b in bars() {
+        out.push_str(&format!(
+            "{:<22}{:<18}{:>9.0}{:>11.0}{:>16.0}{:>13.0}\n",
+            b.grid.to_string(),
+            b.technology.to_string(),
+            b.materials_kg,
+            b.gases_kg,
+            b.electricity_kg,
+            b.total_kg
+        ));
+    }
+    out.push_str(&format!(
+        "average M3D / all-Si overhead across grids: {:.2}x\n",
+        average_overhead()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::approx_eq;
+
+    #[test]
+    fn us_grid_bars_match_table2() {
+        let bars = bars();
+        let us_si = bars
+            .iter()
+            .find(|b| b.grid.name() == "U.S." && b.technology == Technology::AllSi)
+            .expect("US all-Si bar");
+        let us_m3d = bars
+            .iter()
+            .find(|b| b.grid.name() == "U.S." && b.technology == Technology::M3dIgzoCnfetSi)
+            .expect("US M3D bar");
+        assert!(approx_eq(us_si.total_kg, 837.0, 0.005));
+        assert!(approx_eq(us_m3d.total_kg, 1100.0, 0.005));
+    }
+
+    #[test]
+    fn abstract_average_overhead() {
+        assert!(approx_eq(average_overhead(), 1.31, 0.01));
+    }
+
+    #[test]
+    fn solar_is_the_cheapest_grid() {
+        let bars = bars();
+        let solar: Vec<_> = bars.iter().filter(|b| b.grid.name() == "solar").collect();
+        for b in &bars {
+            if b.grid.name() != "solar" {
+                let same_tech = solar.iter().find(|s| s.technology == b.technology).unwrap();
+                assert!(same_tech.total_kg < b.total_kg);
+            }
+        }
+    }
+}

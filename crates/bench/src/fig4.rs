@@ -1,0 +1,115 @@
+//! Fig. 4: Cortex-M0 energy per cycle vs. clock frequency, per V_T flavor.
+
+use ppatc_pdk::synthesis::LogicBlock;
+use ppatc_pdk::SiVtFlavor;
+use ppatc_units::Frequency;
+
+/// One point of one Fig. 4 curve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CurvePoint {
+    /// Target clock frequency, MHz.
+    pub f_mhz: f64,
+    /// Total energy per cycle (dynamic + leakage·T), pJ.
+    pub energy_pj: f64,
+    /// Achieved critical path, ps.
+    pub critical_path_ps: f64,
+}
+
+/// The four flavor curves over the paper's 100 MHz – 1 GHz sweep
+/// (100 MHz steps). Points a flavor cannot close timing for are absent,
+/// exactly as they are absent from the paper's figure.
+pub fn curves() -> Vec<(SiVtFlavor, Vec<CurvePoint>)> {
+    let m0 = LogicBlock::cortex_m0();
+    SiVtFlavor::ALL
+        .iter()
+        .map(|&flavor| {
+            let pts = m0
+                .frequency_sweep(
+                    flavor,
+                    Frequency::from_megahertz(100.0),
+                    Frequency::from_gigahertz(1.0),
+                    10,
+                )
+                .into_iter()
+                .map(|(f, r)| CurvePoint {
+                    f_mhz: f.as_megahertz(),
+                    energy_pj: r.energy_per_cycle().as_picojoules(),
+                    critical_path_ps: r.critical_path().as_picoseconds(),
+                })
+                .collect();
+            (flavor, pts)
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn render() -> String {
+    let mut out = String::from("f_clk (MHz)      HVT      RVT      LVT     SLVT   (energy/cycle, pJ)\n");
+    let curves = curves();
+    for i in 0..10 {
+        let f_mhz = 100.0 * (i + 1) as f64;
+        out.push_str(&format!("{f_mhz:>11.0}"));
+        for (_, pts) in &curves {
+            match pts.iter().find(|p| (p.f_mhz - f_mhz).abs() < 1.0) {
+                Some(p) => out.push_str(&format!("{:>9.2}", p.energy_pj)),
+                None => out.push_str(&format!("{:>9}", "—")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(flavor: SiVtFlavor) -> Vec<CurvePoint> {
+        curves()
+            .into_iter()
+            .find(|(f, _)| *f == flavor)
+            .map(|(_, c)| c)
+            .expect("flavor present")
+    }
+
+    #[test]
+    fn hvt_misses_the_top_of_the_sweep() {
+        let hvt = curve(SiVtFlavor::Hvt);
+        assert!(hvt.len() < 10, "HVT should drop ≥1 point");
+        assert!(hvt.iter().all(|p| p.f_mhz < 1000.0));
+    }
+
+    #[test]
+    fn slvt_covers_the_full_sweep() {
+        assert_eq!(curve(SiVtFlavor::Slvt).len(), 10);
+    }
+
+    #[test]
+    fn flavor_ordering_at_the_extremes() {
+        let at = |flavor, f_mhz: f64| {
+            curve(flavor)
+                .into_iter()
+                .find(|p| (p.f_mhz - f_mhz).abs() < 1.0)
+                .map(|p| p.energy_pj)
+        };
+        // At 100 MHz leakage rules: HVT is the cheapest flavor.
+        let hvt = at(SiVtFlavor::Hvt, 100.0).expect("HVT closes 100 MHz");
+        let slvt = at(SiVtFlavor::Slvt, 100.0).expect("SLVT closes 100 MHz");
+        assert!(hvt < slvt);
+        // At 900 MHz the upsizing cost flips the order.
+        let hvt_hi = at(SiVtFlavor::Hvt, 900.0);
+        let slvt_hi = at(SiVtFlavor::Slvt, 900.0).expect("SLVT closes 900 MHz");
+        if let Some(h) = hvt_hi {
+            assert!(h > slvt_hi);
+        }
+    }
+
+    #[test]
+    fn critical_paths_meet_targets() {
+        for (_, pts) in curves() {
+            for p in pts {
+                assert!(p.critical_path_ps <= 1e6 / p.f_mhz + 1e-6);
+            }
+        }
+    }
+}

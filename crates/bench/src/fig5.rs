@@ -1,0 +1,117 @@
+//! Fig. 5: tC and tCDP vs. system lifetime for both designs.
+
+use crate::case_study;
+use ppatc::{Lifetime, Technology, TrajectoryPoint};
+
+/// The two monthly series over a 24-month window: `(all-Si, M3D)`.
+pub fn series() -> (Vec<TrajectoryPoint>, Vec<TrajectoryPoint>) {
+    case_study().fig5_series(24)
+}
+
+/// The per-design lifetimes at which operational carbon overtakes embodied
+/// carbon (`(all-Si, M3D)`, months).
+pub fn embodied_dominance_crossovers() -> (f64, f64) {
+    let study = case_study();
+    let t_si = study
+        .trajectory(Technology::AllSi)
+        .embodied_dominance_crossover()
+        .expect("all-Si crossover exists")
+        .as_months();
+    let t_m3d = study
+        .trajectory(Technology::M3dIgzoCnfetSi)
+        .embodied_dominance_crossover()
+        .expect("M3D crossover exists")
+        .as_months();
+    (t_si, t_m3d)
+}
+
+/// The lifetime at which the two designs' total carbon crosses, months.
+pub fn design_crossover() -> Option<f64> {
+    let study = case_study();
+    study
+        .trajectory(Technology::M3dIgzoCnfetSi)
+        .crossover_with(&study.trajectory(Technology::AllSi))
+        .map(|l| l.as_months())
+}
+
+/// tCDP ratio (all-Si / M3D, i.e. the M3D benefit) at the annotated months.
+pub fn tcdp_benefits() -> Vec<(f64, f64)> {
+    let study = case_study();
+    [1.0, 18.0, 24.0]
+        .iter()
+        .map(|&m| (m, 1.0 / study.tcdp_ratio(Lifetime::months(m))))
+        .collect()
+}
+
+/// Renders the figure's data.
+pub fn render() -> String {
+    let (si, m3d) = series();
+    let mut out = String::from(
+        "month   tC all-Si (g)  [emb/op]      tC M3D (g)  [emb/op]      tCDP all-Si    tCDP M3D  (gCO2e/Hz)\n",
+    );
+    for (a, b) in si.iter().zip(&m3d) {
+        out.push_str(&format!(
+            "{:>5.0}{:>12.2} [{:>4.2}/{:>4.2}]{:>14.2} [{:>4.2}/{:>4.2}]{:>14.4}{:>12.4}\n",
+            a.lifetime.as_months(),
+            a.total.as_grams(),
+            a.embodied.as_grams(),
+            a.operational.as_grams(),
+            b.total.as_grams(),
+            b.embodied.as_grams(),
+            b.operational.as_grams(),
+            a.tcdp.as_grams_per_hertz(),
+            b.tcdp.as_grams_per_hertz(),
+        ));
+    }
+    let (c_si, c_m3d) = embodied_dominance_crossovers();
+    out.push_str(&format!(
+        "embodied-dominance crossovers: all-Si {c_si:.1} mo, M3D {c_m3d:.1} mo\n"
+    ));
+    if let Some(c) = design_crossover() {
+        out.push_str(&format!("design total-carbon crossover: {c:.1} mo\n"));
+    }
+    for (m, benefit) in tcdp_benefits() {
+        out.push_str(&format!("tCDP benefit of M3D at {m:>4.0} mo: {benefit:.3}x\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::approx_eq;
+
+    #[test]
+    fn crossovers_match_paper() {
+        let (si, m3d) = embodied_dominance_crossovers();
+        assert!(approx_eq(si, 14.0, 0.08), "all-Si {si:.1} mo");
+        assert!(approx_eq(m3d, 19.0, 0.08), "M3D {m3d:.1} mo");
+    }
+
+    #[test]
+    fn benefit_trajectory() {
+        let benefits = tcdp_benefits();
+        // At 1 month M3D is less carbon-efficient (benefit < 1); by 24
+        // months the benefit reaches the paper's 1.02×.
+        assert!(benefits[0].1 < 1.0);
+        assert!(approx_eq(benefits[2].1, 1.02, 0.015), "24-mo benefit {}", benefits[2].1);
+        // Benefit grows monotonically with lifetime.
+        assert!(benefits[0].1 < benefits[1].1 && benefits[1].1 < benefits[2].1);
+    }
+
+    #[test]
+    fn design_crossover_is_in_window() {
+        let c = design_crossover().expect("designs cross");
+        assert!(c > 5.0 && c < 24.0, "crossover {c:.1} mo");
+    }
+
+    #[test]
+    fn series_shapes() {
+        let (si, m3d) = series();
+        assert_eq!(si.len(), 24);
+        assert_eq!(m3d.len(), 24);
+        // M3D starts with more total carbon and ends with less.
+        assert!(m3d[0].total > si[0].total);
+        assert!(m3d[23].total < si[23].total);
+    }
+}

@@ -1,0 +1,82 @@
+//! Table I: FET benefits and challenges, quantified.
+
+use ppatc_device::{cnfet, igzo, si, SiVtFlavor};
+use ppatc_units::{Length, Voltage};
+
+/// One quantified Table I row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FetRow {
+    /// FET family name.
+    pub name: &'static str,
+    /// Effective drive current at V_DD = 0.7 V, µA/µm.
+    pub i_eff_ua_per_um: f64,
+    /// Off-state leakage at V_DD = 0.7 V, A/µm.
+    pub i_off_a_per_um: f64,
+    /// BEOL-compatible (low-temperature) fabrication.
+    pub beol_compatible: bool,
+}
+
+/// Computes the quantified comparison.
+pub fn rows() -> Vec<FetRow> {
+    let w = Length::from_micrometers(1.0);
+    let vdd = Voltage::from_volts(0.7);
+    let cn = cnfet::nfet().sized(w);
+    let ig = igzo::nfet().sized(w);
+    let si_fet = si::nfet(SiVtFlavor::Rvt).sized(w);
+    vec![
+        FetRow {
+            name: "CNFET",
+            i_eff_ua_per_um: cn.i_eff(vdd).as_microamperes(),
+            i_off_a_per_um: cn.i_off(vdd).as_amperes(),
+            beol_compatible: true,
+        },
+        FetRow {
+            name: "IGZO FET",
+            i_eff_ua_per_um: ig.i_eff(vdd).as_microamperes(),
+            i_off_a_per_um: ig.i_off(vdd).as_amperes(),
+            beol_compatible: true,
+        },
+        FetRow {
+            name: "Si FET",
+            i_eff_ua_per_um: si_fet.i_eff(vdd).as_microamperes(),
+            i_off_a_per_um: si_fet.i_off(vdd).as_amperes(),
+            beol_compatible: false,
+        },
+    ]
+}
+
+/// Renders the table.
+pub fn render() -> String {
+    let mut out = String::from(
+        "FET        I_EFF (µA/µm)    I_OFF (A/µm)    BEOL-compatible\n",
+    );
+    for r in rows() {
+        out.push_str(&format!(
+            "{:<11}{:>12.1}{:>17.2e}    {}\n",
+            r.name,
+            r.i_eff_ua_per_um,
+            r.i_off_a_per_um,
+            if r.beol_compatible { "yes (low-T)" } else { "no (FEOL only)" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_table1() {
+        let rows = rows();
+        let (cn, ig, si) = (&rows[0], &rows[1], &rows[2]);
+        // (+) high I_EFF for CNFET, (−) low for IGZO.
+        assert!(cn.i_eff_ua_per_um > si.i_eff_ua_per_um);
+        assert!(ig.i_eff_ua_per_um < 0.2 * si.i_eff_ua_per_um);
+        // (+) ultra-low I_OFF for IGZO, (−) metallic-CNT-limited for CNFET.
+        assert!(ig.i_off_a_per_um < si.i_off_a_per_um);
+        assert!(cn.i_off_a_per_um > si.i_off_a_per_um);
+        // Si is FEOL-only (high-temperature fabrication).
+        assert!(!si.beol_compatible && cn.beol_compatible && ig.beol_compatible);
+    }
+}

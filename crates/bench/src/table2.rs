@@ -1,0 +1,54 @@
+//! Table II: the PPAtC summary for both systems.
+
+use crate::case_study;
+use ppatc::PpatcSummary;
+
+/// Computes the summary (full-length `matmul-int` at 500 MHz).
+pub fn summary() -> PpatcSummary {
+    case_study().summary()
+}
+
+/// Renders the table.
+pub fn render() -> String {
+    summary().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::approx_eq;
+
+    /// Paper values with the tolerance each row reproduces to.
+    #[test]
+    fn every_row_is_reproduced() {
+        let s = summary();
+        let checks: [(&str, f64, f64, f64); 10] = [
+            ("f_clk (MHz)", s.f_clk.as_megahertz(), 500.0, 1e-9),
+            ("M0 pJ/cycle", s.m0_dynamic_pj, 1.42, 0.08),
+            ("Si mem pJ/cycle", s.mem_pj[0], 18.0, 0.03),
+            ("M3D mem pJ/cycle", s.mem_pj[1], 15.5, 0.03),
+            ("cycles", s.cycles as f64, 20_047_348.0, 0.01),
+            ("Si total mm²", s.total_area_mm2[0], 0.139, 0.03),
+            ("M3D total mm²", s.total_area_mm2[1], 0.053, 0.05),
+            ("Si kg/wafer", s.embodied_per_wafer_kg[0], 837.0, 0.01),
+            ("M3D kg/wafer", s.embodied_per_wafer_kg[1], 1100.0, 0.01),
+            ("Si g/good die", s.embodied_per_good_die_g[0], 3.11, 0.03),
+        ];
+        for (what, measured, paper, tol) in checks {
+            assert!(
+                approx_eq(measured, paper, tol),
+                "{what}: measured {measured} vs paper {paper}"
+            );
+        }
+        assert!(approx_eq(s.embodied_per_good_die_g[1], 3.63, 0.05));
+        assert!(approx_eq(s.dies_per_wafer[0] as f64, 299_127.0, 0.02));
+        assert!(approx_eq(s.dies_per_wafer[1] as f64, 606_238.0, 0.04));
+    }
+
+    #[test]
+    fn render_contains_both_columns() {
+        let text = render();
+        assert!(text.contains("M0 + Si eDRAM"));
+        assert!(text.contains("M0 + M3D eDRAM"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-good-die embodied carbon: Eq. 2 (wafer) through Eq. 5 (good die).
+
+use crate::system::SystemDesign;
+use ppatc_fab::{EmbodiedModel, Grid};
+use ppatc_units::CarbonMass;
+use ppatc_wafer::WaferSpec;
+
+/// The embodied-carbon pipeline: process model + wafer geometry + fab grid.
+///
+/// ```
+/// use ppatc::{EmbodiedPipeline, SystemDesign, Technology};
+/// use ppatc_units::Frequency;
+///
+/// let design = SystemDesign::new(Technology::AllSi, Frequency::from_megahertz(500.0))?;
+/// let embodied = EmbodiedPipeline::paper_default().per_good_die(&design);
+/// assert!((embodied.per_good_die().as_grams() - 3.11).abs() < 0.15);
+/// # Ok::<(), ppatc::DesignError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct EmbodiedPipeline {
+    model: EmbodiedModel,
+    wafer: WaferSpec,
+    fab_grid: Grid,
+    embodied_scale: f64,
+}
+
+impl EmbodiedPipeline {
+    /// The paper's configuration: calibrated step energies, 300 mm wafers
+    /// with 0.1 mm scribe / 5 mm edge clearance, U.S. fabrication grid.
+    pub fn paper_default() -> Self {
+        Self {
+            model: EmbodiedModel::paper_default(),
+            wafer: WaferSpec::paper_default(),
+            fab_grid: ppatc_fab::grid::US,
+            embodied_scale: 1.0,
+        }
+    }
+
+    /// Replaces the fabrication grid.
+    #[must_use]
+    pub fn with_fab_grid(mut self, fab_grid: Grid) -> Self {
+        self.fab_grid = fab_grid;
+        self
+    }
+
+    /// Replaces the process model.
+    #[must_use]
+    pub fn with_model(mut self, model: EmbodiedModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Scales the final embodied carbon by `factor` — the x-axis of the
+    /// Fig. 6 maps (uncertainty in C_embodied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    #[must_use]
+    pub fn with_embodied_scale(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "embodied scale must be positive");
+        self.embodied_scale = factor;
+        self
+    }
+
+    /// Fabrication grid in use.
+    pub fn fab_grid(&self) -> Grid {
+        self.fab_grid
+    }
+
+    /// Evaluates Eqs. 2–5 for a design.
+    pub fn per_good_die(&self, design: &SystemDesign) -> EmbodiedPerDie {
+        let breakdown = self
+            .model
+            .embodied_per_wafer(design.technology(), self.fab_grid);
+        let per_wafer = breakdown.total() * self.embodied_scale;
+        let die = design.die();
+        let dies_per_wafer = self.wafer.dies_per_wafer(&die);
+        let die_yield = design.yield_model().die_yield(die.area());
+        let per_good_die =
+            ppatc_wafer::embodied_per_good_die(per_wafer, dies_per_wafer, design.yield_model(), die.area());
+        EmbodiedPerDie {
+            per_wafer,
+            dies_per_wafer,
+            die_yield,
+            per_good_die,
+        }
+    }
+}
+
+impl Default for EmbodiedPipeline {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Result of the embodied pipeline for one design.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EmbodiedPerDie {
+    per_wafer: CarbonMass,
+    dies_per_wafer: u64,
+    die_yield: f64,
+    per_good_die: CarbonMass,
+}
+
+impl EmbodiedPerDie {
+    /// Embodied carbon of the full wafer (Eq. 2, with facility overhead).
+    pub fn per_wafer(&self) -> CarbonMass {
+        self.per_wafer
+    }
+
+    /// Gross dies per wafer (Table II row).
+    pub fn dies_per_wafer(&self) -> u64 {
+        self.dies_per_wafer
+    }
+
+    /// Die yield used.
+    pub fn die_yield(&self) -> f64 {
+        self.die_yield
+    }
+
+    /// Embodied carbon per good die (Eq. 5, Table II row).
+    pub fn per_good_die(&self) -> CarbonMass {
+        self.per_good_die
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technology;
+    use ppatc_units::{approx_eq, Frequency};
+
+    fn designs() -> (SystemDesign, SystemDesign) {
+        let f = Frequency::from_megahertz(500.0);
+        (
+            SystemDesign::new(Technology::AllSi, f).expect("all-Si designs"),
+            SystemDesign::new(Technology::M3dIgzoCnfetSi, f).expect("M3D designs"),
+        )
+    }
+
+    #[test]
+    fn table2_dies_per_wafer() {
+        let (si, m3d) = designs();
+        let pipe = EmbodiedPipeline::paper_default();
+        let n_si = pipe.per_good_die(&si).dies_per_wafer();
+        let n_m3d = pipe.per_good_die(&m3d).dies_per_wafer();
+        assert!(approx_eq(n_si as f64, 299_127.0, 0.02), "all-Si dies {n_si}");
+        assert!(approx_eq(n_m3d as f64, 606_238.0, 0.04), "M3D dies {n_m3d}");
+    }
+
+    #[test]
+    fn table2_per_good_die() {
+        let (si, m3d) = designs();
+        let pipe = EmbodiedPipeline::paper_default();
+        let c_si = pipe.per_good_die(&si).per_good_die().as_grams();
+        let c_m3d = pipe.per_good_die(&m3d).per_good_die().as_grams();
+        assert!(approx_eq(c_si, 3.11, 0.03), "all-Si per good die {c_si} g");
+        assert!(approx_eq(c_m3d, 3.63, 0.05), "M3D per good die {c_m3d} g");
+        // Sec. III-C: 1.17× embodied increase per good die for M3D.
+        assert!(approx_eq(c_m3d / c_si, 1.17, 0.04), "ratio {}", c_m3d / c_si);
+    }
+
+    #[test]
+    fn embodied_scale_is_linear() {
+        let (si, _) = designs();
+        let base = EmbodiedPipeline::paper_default().per_good_die(&si);
+        let doubled = EmbodiedPipeline::paper_default()
+            .with_embodied_scale(2.0)
+            .per_good_die(&si);
+        assert!(approx_eq(
+            doubled.per_good_die().as_grams(),
+            2.0 * base.per_good_die().as_grams(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn cleaner_fab_grid_cuts_embodied() {
+        let (_, m3d) = designs();
+        let us = EmbodiedPipeline::paper_default().per_good_die(&m3d);
+        let solar = EmbodiedPipeline::paper_default()
+            .with_fab_grid(ppatc_fab::grid::SOLAR)
+            .per_good_die(&m3d);
+        assert!(solar.per_good_die() < us.per_good_die());
+    }
+}

@@ -1,0 +1,298 @@
+//! tCDP-ratio maps, isolines, and uncertainty bands (Fig. 6).
+//!
+//! The Fig. 6 analysis asks: *over what range of (relative embodied carbon,
+//! relative operational energy) does the M3D design stay more
+//! carbon-efficient than the all-Si baseline?* The map's axes scale the M3D
+//! design's C_embodied (x) and E_operational (y); the **isoline** is the
+//! locus where the two designs' tCDP are equal. Because both designs run
+//! the same application at the same clock, execution time cancels and the
+//! isoline has the closed form
+//!
+//! ```text
+//! y(x) = (tC_allSi(t) − x · C_emb_M3D) / C_op_M3D(t)
+//! ```
+//!
+//! Uncertainty in lifetime, CI_use, or M3D yield (Fig. 6b) moves the
+//! isoline; [`TcdpMap::isoline_with`] evaluates those perturbed variants.
+
+use crate::lifetime::{CarbonTrajectory, Lifetime};
+
+/// Uncertainty knobs of Fig. 6b.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Perturbation {
+    /// Shift the evaluation lifetime by this many months (±6 in the paper).
+    LifetimeDeltaMonths(f64),
+    /// Scale the use-phase carbon intensity (×3 / ÷3 in the paper).
+    CiUseScale(f64),
+    /// Replace the M3D die yield (10% / 90% in the paper, vs. 50% nominal).
+    M3dYield(f64),
+}
+
+/// One point of a tCDP isoline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IsolinePoint {
+    /// x: scale factor on the M3D design's embodied carbon.
+    pub embodied_scale: f64,
+    /// y: scale factor on the M3D design's operational energy at which the
+    /// two designs' tCDP are equal. `None` means the all-Si design wins at
+    /// every positive operational scale for this x.
+    pub eop_scale: Option<f64>,
+}
+
+/// A tCDP comparison surface between the all-Si baseline and the M3D
+/// design.
+#[derive(Clone, Debug)]
+pub struct TcdpMap {
+    si: CarbonTrajectory,
+    m3d: CarbonTrajectory,
+    lifetime: Lifetime,
+    m3d_nominal_yield: f64,
+}
+
+impl TcdpMap {
+    /// Builds a map from two trajectories at an evaluation lifetime.
+    /// `m3d_nominal_yield` is the yield already baked into the M3D
+    /// trajectory's embodied carbon (needed for yield perturbations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m3d_nominal_yield` is outside `(0, 1]`.
+    pub fn new(
+        si: CarbonTrajectory,
+        m3d: CarbonTrajectory,
+        lifetime: Lifetime,
+        m3d_nominal_yield: f64,
+    ) -> Self {
+        assert!(
+            m3d_nominal_yield > 0.0 && m3d_nominal_yield <= 1.0,
+            "yield must be in (0, 1]"
+        );
+        Self { si, m3d, lifetime, m3d_nominal_yield }
+    }
+
+    /// Evaluation lifetime of the map.
+    pub fn lifetime(&self) -> Lifetime {
+        self.lifetime
+    }
+
+    /// tCDP ratio `M3D / all-Si` at scale factors `(x, y)`; values below 1
+    /// mean the M3D design is more carbon-efficient (the red region).
+    pub fn ratio(&self, embodied_scale: f64, eop_scale: f64) -> f64 {
+        self.ratio_with(embodied_scale, eop_scale, None)
+    }
+
+    /// tCDP ratio under an optional Fig. 6b perturbation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scale factor or yield perturbation is non-positive.
+    pub fn ratio_with(
+        &self,
+        embodied_scale: f64,
+        eop_scale: f64,
+        perturbation: Option<Perturbation>,
+    ) -> f64 {
+        assert!(embodied_scale > 0.0 && eop_scale > 0.0, "scales must be positive");
+        let (life, ci_scale, yield_scale) = self.apply(perturbation);
+        let e_si = self.si.embodied().as_grams();
+        let o_si = self.si.operational(life).as_grams() * ci_scale;
+        let e_m3d = self.m3d.embodied().as_grams() * yield_scale * embodied_scale;
+        let o_m3d = self.m3d.operational(life).as_grams() * ci_scale * eop_scale;
+        (e_m3d + o_m3d) / (e_si + o_si)
+    }
+
+    /// The y value where the isoline crosses a given x (closed form), under
+    /// an optional perturbation.
+    pub fn isoline_y(&self, embodied_scale: f64, perturbation: Option<Perturbation>) -> Option<f64> {
+        let (life, ci_scale, yield_scale) = self.apply(perturbation);
+        let tc_si = self.si.embodied().as_grams()
+            + self.si.operational(life).as_grams() * ci_scale;
+        let e_m3d = self.m3d.embodied().as_grams() * yield_scale * embodied_scale;
+        let o_m3d = self.m3d.operational(life).as_grams() * ci_scale;
+        if o_m3d <= 0.0 {
+            return None;
+        }
+        let y = (tc_si - e_m3d) / o_m3d;
+        (y > 0.0).then_some(y)
+    }
+
+    /// Samples the nominal isoline at the given x values.
+    pub fn isoline(&self, xs: &[f64]) -> Vec<IsolinePoint> {
+        self.isoline_with(xs, None)
+    }
+
+    /// Samples a perturbed isoline at the given x values.
+    pub fn isoline_with(&self, xs: &[f64], perturbation: Option<Perturbation>) -> Vec<IsolinePoint> {
+        xs.iter()
+            .map(|&x| IsolinePoint {
+                embodied_scale: x,
+                eop_scale: self.isoline_y(x, perturbation),
+            })
+            .collect()
+    }
+
+    /// Rasterizes the ratio colormap over `[x0, x1] × [y0, y1]` as
+    /// `(x, y, ratio)` triples, row-major in y.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either resolution is below 2 or a range is empty.
+    pub fn raster(
+        &self,
+        (x0, x1): (f64, f64),
+        (y0, y1): (f64, f64),
+        nx: usize,
+        ny: usize,
+    ) -> Vec<(f64, f64, f64)> {
+        assert!(nx >= 2 && ny >= 2, "raster needs at least 2×2 samples");
+        assert!(x1 > x0 && y1 > y0, "raster ranges must be non-empty");
+        let mut out = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            let y = y0 + (y1 - y0) * (j as f64) / ((ny - 1) as f64);
+            for i in 0..nx {
+                let x = x0 + (x1 - x0) * (i as f64) / ((nx - 1) as f64);
+                out.push((x, y, self.ratio(x, y)));
+            }
+        }
+        out
+    }
+
+    /// tCDP ratio under a jointly sampled uncertainty point (see
+    /// [`crate::montecarlo`]): all knobs applied at once.
+    pub fn ratio_sampled(&self, sample: &crate::montecarlo::UncertaintySample) -> f64 {
+        let life = sample.lifetime;
+        let yield_scale = self.m3d_nominal_yield / sample.m3d_yield;
+        let e_si = self.si.embodied().as_grams();
+        let o_si = self.si.operational(life).as_grams() * sample.ci_scale;
+        let e_m3d = self.m3d.embodied().as_grams() * yield_scale * sample.embodied_scale;
+        let o_m3d = self.m3d.operational(life).as_grams() * sample.ci_scale * sample.eop_scale;
+        (e_m3d + o_m3d) / (e_si + o_si)
+    }
+
+    /// Resolves a perturbation into (lifetime, CI scale, embodied-yield
+    /// scale).
+    fn apply(&self, perturbation: Option<Perturbation>) -> (Lifetime, f64, f64) {
+        match perturbation {
+            None => (self.lifetime, 1.0, 1.0),
+            Some(Perturbation::LifetimeDeltaMonths(dm)) => (self.lifetime.shifted(dm), 1.0, 1.0),
+            Some(Perturbation::CiUseScale(s)) => {
+                assert!(s > 0.0, "CI scale must be positive");
+                (self.lifetime, s, 1.0)
+            }
+            Some(Perturbation::M3dYield(y)) => {
+                assert!(y > 0.0 && y <= 1.0, "yield must be in (0, 1]");
+                // Embodied per good die scales inversely with yield.
+                (self.lifetime, 1.0, self.m3d_nominal_yield / y)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::usage::UsagePattern;
+    use ppatc_units::{approx_eq, CarbonMass, Power, Time};
+
+    fn map() -> TcdpMap {
+        let exec = Time::from_seconds(0.04);
+        let usage = UsagePattern::paper_default();
+        let si = CarbonTrajectory::new(
+            CarbonMass::from_grams(3.11),
+            Power::from_milliwatts(9.7),
+            usage,
+            exec,
+        );
+        let m3d = CarbonTrajectory::new(
+            CarbonMass::from_grams(3.63),
+            Power::from_milliwatts(8.45),
+            usage,
+            exec,
+        );
+        TcdpMap::new(si, m3d, Lifetime::months(24.0), 0.50)
+    }
+
+    #[test]
+    fn nominal_point_favors_m3d() {
+        // At (1, 1) the map reproduces the paper's 1.02× benefit.
+        let r = map().ratio(1.0, 1.0);
+        assert!(approx_eq(1.0 / r, 1.02, 0.01), "benefit {:.3}", 1.0 / r);
+    }
+
+    #[test]
+    fn ratio_moves_the_right_way() {
+        let m = map();
+        assert!(m.ratio(2.0, 1.0) > m.ratio(1.0, 1.0), "more embodied hurts");
+        assert!(m.ratio(1.0, 0.5) < m.ratio(1.0, 1.0), "less energy helps");
+    }
+
+    #[test]
+    fn isoline_passes_between_regions() {
+        let m = map();
+        let y = m.isoline_y(1.0, None).expect("isoline exists at x=1");
+        // Just below the isoline M3D wins, just above it loses.
+        assert!(m.ratio(1.0, y * 0.95) < 1.0);
+        assert!(m.ratio(1.0, y * 1.05) > 1.0);
+        // At nominal (1,1) M3D already wins, so the isoline sits above 1.
+        assert!(y > 1.0);
+    }
+
+    #[test]
+    fn isoline_vanishes_for_huge_embodied() {
+        let m = map();
+        // With M3D embodied scaled far beyond the baseline's total carbon,
+        // no positive operational scale can equalize.
+        assert!(m.isoline_y(10.0, None).is_none());
+    }
+
+    #[test]
+    fn lifetime_perturbation_shifts_isoline_up() {
+        let m = map();
+        let nominal = m.isoline_y(1.5, None).expect("nominal isoline");
+        let longer = m
+            .isoline_y(1.5, Some(Perturbation::LifetimeDeltaMonths(6.0)))
+            .expect("longer-life isoline");
+        // A longer lifetime amortizes embodied carbon: the M3D-favorable
+        // region grows.
+        assert!(longer > nominal);
+    }
+
+    #[test]
+    fn ci_perturbation_shifts_isoline() {
+        let m = map();
+        let nominal = m.isoline_y(1.5, None).expect("nominal isoline");
+        let dirty = m
+            .isoline_y(1.5, Some(Perturbation::CiUseScale(3.0)))
+            .expect("dirty-grid isoline");
+        // Dirtier use-phase electricity also amortizes embodied carbon
+        // faster, enlarging the M3D region.
+        assert!(dirty > nominal);
+    }
+
+    #[test]
+    fn yield_perturbation_moves_both_ways() {
+        let m = map();
+        let nominal = m.isoline_y(1.0, None).expect("nominal");
+        let worse = m.isoline_y(1.0, Some(Perturbation::M3dYield(0.10)));
+        let better = m
+            .isoline_y(1.0, Some(Perturbation::M3dYield(0.90)))
+            .expect("better-yield isoline");
+        assert!(better > nominal);
+        // At 10% yield the M3D embodied carbon quintuples; the region may
+        // shrink dramatically or vanish.
+        if let Some(w) = worse {
+            assert!(w < nominal);
+        }
+    }
+
+    #[test]
+    fn raster_covers_grid() {
+        let m = map();
+        let grid = m.raster((0.5, 3.0), (0.25, 1.5), 6, 5);
+        assert_eq!(grid.len(), 30);
+        let (x0, y0, _) = grid[0];
+        let (x1, y1, _) = *grid.last().expect("non-empty");
+        assert!(approx_eq(x0, 0.5, 1e-12) && approx_eq(y0, 0.25, 1e-12));
+        assert!(approx_eq(x1, 3.0, 1e-12) && approx_eq(y1, 1.5, 1e-12));
+    }
+}

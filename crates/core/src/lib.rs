@@ -1,0 +1,62 @@
+//! `ppatc` — Power, Performance, Area, and **total Carbon** evaluation of
+//! embedded computing systems across fabrication technologies.
+//!
+//! This crate is the top of the reproduction stack for *"Quantifying
+//! Trade-Offs in Power, Performance, Area, and Total Carbon Footprint of
+//! Future Three-Dimensional Integrated Computing Systems"* (DATE 2025). It
+//! wires the substrate crates together into the paper's five-step flow
+//! (Sec. III-B):
+//!
+//! 1. **Memory sizing** — 2 × 64 kB eDRAM (program + data), enough for any
+//!    kernel in [`ppatc_workloads`].
+//! 2. **eDRAM design** — [`ppatc_edram`] characterizes the 2 kB-sub-array
+//!    macro per technology, checking the single-cycle 500 MHz constraint.
+//! 3. **M0 integration** — [`ppatc_pdk`]'s synthesis model maps the
+//!    Cortex-M0 at the target clock and threshold flavor; [`SystemDesign`]
+//!    floorplans core + memories into a die.
+//! 4. **Application energy** — cycle counts and per-memory access counts
+//!    come from the [`ppatc_m0`] instruction-set simulator.
+//! 5. **Total carbon** — [`ppatc_fab`] + [`ppatc_wafer`] give embodied
+//!    carbon per good die (Eqs. 2–5); [`UsagePattern`] gives operational
+//!    carbon (Eqs. 6–8); [`CarbonTrajectory`] and [`TcdpMap`] produce the
+//!    Fig. 5 lifetime curves and the Fig. 6 tCDP isoline maps.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ppatc::{CaseStudy, Lifetime};
+//! use ppatc_workloads::Workload;
+//!
+//! let run = Workload::matmul_int().execute()?;
+//! let study = CaseStudy::paper(&run)?;
+//! let life = Lifetime::months(24.0);
+//! let ratio = study.tcdp_ratio(life);
+//! println!(
+//!     "after 24 months the M3D design is {:.2}x more carbon-efficient",
+//!     1.0 / ratio
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod embodied;
+mod isoline;
+mod lifetime;
+pub mod mix;
+pub mod montecarlo;
+pub mod optimize;
+mod scenario;
+pub mod standby;
+mod system;
+mod usage;
+
+pub use embodied::{EmbodiedPerDie, EmbodiedPipeline};
+pub use isoline::{IsolinePoint, Perturbation, TcdpMap};
+pub use lifetime::{CarbonTrajectory, Lifetime, TrajectoryPoint};
+pub use scenario::{CaseStudy, PpatcSummary};
+pub use system::{DesignError, Evaluation, SystemDesign};
+pub use usage::UsagePattern;
+
+pub use ppatc_pdk::{SiVtFlavor, Technology};
+pub use ppatc_wafer::YieldModel;

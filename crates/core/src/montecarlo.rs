@@ -1,0 +1,342 @@
+//! Monte-Carlo uncertainty analysis — the continuous generalization of
+//! Fig. 6b.
+//!
+//! Fig. 6b perturbs one uncertainty source at a time; in reality lifetime,
+//! use-phase carbon intensity, M3D yield, and the embodied/operational
+//! model errors are *jointly* uncertain. This module samples all of them
+//! at once and reports the probability that the M3D design ends up more
+//! carbon-efficient, together with quantiles of the tCDP ratio — a
+//! decision-grade summary ("M3D wins in 74% of futures") instead of a
+//! family of isolines.
+//!
+//! Sampling is deterministic given a seed, so results are reproducible.
+
+use crate::isoline::TcdpMap;
+use crate::lifetime::Lifetime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Joint uncertainty ranges. Scales are sampled log-uniformly (a factor of
+/// 2 up is as likely as a factor of 2 down); lifetimes and yields
+/// uniformly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UncertaintyRanges {
+    /// System lifetime, months (min, max).
+    pub lifetime_months: (f64, f64),
+    /// Scale on CI_use (min, max), log-uniform.
+    pub ci_use_scale: (f64, f64),
+    /// M3D die yield (min, max).
+    pub m3d_yield: (f64, f64),
+    /// Scale on the M3D embodied-carbon model (min, max), log-uniform.
+    pub m3d_embodied_scale: (f64, f64),
+    /// Scale on the M3D operational energy (min, max), log-uniform.
+    pub m3d_eop_scale: (f64, f64),
+}
+
+impl UncertaintyRanges {
+    /// The Fig. 6b-inspired ranges: lifetime 24 ± 6 months, CI ÷3..×3,
+    /// yield 10–90%, and ±30%-ish model error on the M3D embodied and
+    /// operational terms.
+    pub fn paper_default() -> Self {
+        Self {
+            lifetime_months: (18.0, 30.0),
+            ci_use_scale: (1.0 / 3.0, 3.0),
+            m3d_yield: (0.10, 0.90),
+            m3d_embodied_scale: (0.77, 1.30),
+            m3d_eop_scale: (0.80, 1.25),
+        }
+    }
+
+    fn validate(&self) {
+        for (name, (lo, hi)) in [
+            ("lifetime", self.lifetime_months),
+            ("ci scale", self.ci_use_scale),
+            ("yield", self.m3d_yield),
+            ("embodied scale", self.m3d_embodied_scale),
+            ("eop scale", self.m3d_eop_scale),
+        ] {
+            assert!(lo > 0.0 && hi >= lo, "invalid {name} range ({lo}, {hi})");
+        }
+        assert!(self.m3d_yield.1 <= 1.0, "yield cannot exceed 1");
+    }
+}
+
+/// One sampled future.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UncertaintySample {
+    /// Sampled lifetime.
+    pub lifetime: Lifetime,
+    /// Sampled CI_use scale.
+    pub ci_scale: f64,
+    /// Sampled M3D yield.
+    pub m3d_yield: f64,
+    /// Sampled M3D embodied scale.
+    pub embodied_scale: f64,
+    /// Sampled M3D operational scale.
+    pub eop_scale: f64,
+}
+
+/// Summary of a Monte-Carlo run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MonteCarloResult {
+    /// Number of samples drawn.
+    pub samples: usize,
+    /// Fraction of futures in which the M3D design has lower tCDP.
+    pub p_m3d_wins: f64,
+    /// 5th / 50th / 95th percentiles of the tCDP ratio (M3D / all-Si).
+    pub ratio_quantiles: (f64, f64, f64),
+}
+
+impl core::fmt::Display for MonteCarloResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "M3D wins in {:.1}% of {} sampled futures; tCDP ratio p5/p50/p95 = {:.3}/{:.3}/{:.3}",
+            self.p_m3d_wins * 100.0,
+            self.samples,
+            self.ratio_quantiles.0,
+            self.ratio_quantiles.1,
+            self.ratio_quantiles.2
+        )
+    }
+}
+
+/// Runs a Monte-Carlo sweep over a [`TcdpMap`]'s underlying designs.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or a range is invalid.
+pub fn run(
+    map: &TcdpMap,
+    ranges: &UncertaintyRanges,
+    n: usize,
+    seed: u64,
+) -> MonteCarloResult {
+    assert!(n > 0, "need at least one sample");
+    ranges.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ratios = Vec::with_capacity(n);
+    let mut wins = 0usize;
+    for _ in 0..n {
+        let sample = draw(&mut rng, ranges);
+        let r = map.ratio_sampled(&sample);
+        if r < 1.0 {
+            wins += 1;
+        }
+        ratios.push(r);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    let q = |p: f64| ratios[(p * (n - 1) as f64).round() as usize];
+    MonteCarloResult {
+        samples: n,
+        p_m3d_wins: wins as f64 / n as f64,
+        ratio_quantiles: (q(0.05), q(0.50), q(0.95)),
+    }
+}
+
+/// Variance-based sensitivity: for each uncertainty source, the fraction of
+/// the tCDP-ratio variance that disappears when that source is pinned to
+/// its nominal value (a freeze-one-at-a-time importance measure).
+///
+/// Returns `(source name, variance share in [0, 1])`, sorted descending.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or a range is invalid.
+pub fn sensitivity(
+    map: &TcdpMap,
+    ranges: &UncertaintyRanges,
+    n: usize,
+    seed: u64,
+) -> Vec<(&'static str, f64)> {
+    assert!(n > 0, "need at least one sample");
+    ranges.validate();
+    let variance_of = |ranges: &UncertaintyRanges, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ratios: Vec<f64> = (0..n)
+            .map(|_| map.ratio_sampled(&draw(&mut rng, ranges)))
+            .collect();
+        let mean = ratios.iter().sum::<f64>() / n as f64;
+        ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n as f64
+    };
+    let base = variance_of(ranges, seed);
+    if base <= 0.0 {
+        return vec![
+            ("lifetime", 0.0),
+            ("CI_use", 0.0),
+            ("M3D yield", 0.0),
+            ("embodied model", 0.0),
+            ("operational model", 0.0),
+        ];
+    }
+    let mid = |(lo, hi): (f64, f64)| ((lo + hi) / 2.0, (lo + hi) / 2.0);
+    let mid_log = |(lo, hi): (f64, f64)| {
+        let g = (lo * hi).sqrt();
+        (g, g)
+    };
+    let variants: [(&'static str, UncertaintyRanges); 5] = [
+        ("lifetime", UncertaintyRanges { lifetime_months: mid(ranges.lifetime_months), ..*ranges }),
+        ("CI_use", UncertaintyRanges { ci_use_scale: mid_log(ranges.ci_use_scale), ..*ranges }),
+        ("M3D yield", UncertaintyRanges { m3d_yield: mid(ranges.m3d_yield), ..*ranges }),
+        (
+            "embodied model",
+            UncertaintyRanges { m3d_embodied_scale: mid_log(ranges.m3d_embodied_scale), ..*ranges },
+        ),
+        (
+            "operational model",
+            UncertaintyRanges { m3d_eop_scale: mid_log(ranges.m3d_eop_scale), ..*ranges },
+        ),
+    ];
+    let mut out: Vec<(&'static str, f64)> = variants
+        .iter()
+        .map(|(name, v)| {
+            let reduced = variance_of(v, seed);
+            (*name, ((base - reduced) / base).max(0.0))
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
+    out
+}
+
+fn draw(rng: &mut StdRng, r: &UncertaintyRanges) -> UncertaintySample {
+    let uniform = |rng: &mut StdRng, (lo, hi): (f64, f64)| {
+        if hi > lo {
+            rng.gen_range(lo..hi)
+        } else {
+            lo
+        }
+    };
+    let log_uniform = |rng: &mut StdRng, (lo, hi): (f64, f64)| {
+        if hi > lo {
+            (rng.gen_range(lo.ln()..hi.ln())).exp()
+        } else {
+            lo
+        }
+    };
+    UncertaintySample {
+        lifetime: Lifetime::months(uniform(rng, r.lifetime_months)),
+        ci_scale: log_uniform(rng, r.ci_use_scale),
+        m3d_yield: uniform(rng, r.m3d_yield),
+        embodied_scale: log_uniform(rng, r.m3d_embodied_scale),
+        eop_scale: log_uniform(rng, r.m3d_eop_scale),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::usage::UsagePattern;
+    use crate::CarbonTrajectory;
+    use ppatc_units::{CarbonMass, Power, Time};
+
+    fn map() -> TcdpMap {
+        let exec = Time::from_seconds(0.04);
+        let usage = UsagePattern::paper_default();
+        let si = CarbonTrajectory::new(
+            CarbonMass::from_grams(3.08),
+            Power::from_milliwatts(9.7),
+            usage,
+            exec,
+        );
+        let m3d = CarbonTrajectory::new(
+            CarbonMass::from_grams(3.52),
+            Power::from_milliwatts(8.5),
+            usage,
+            exec,
+        );
+        TcdpMap::new(si, m3d, Lifetime::months(24.0), 0.50)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = map();
+        let r1 = run(&m, &UncertaintyRanges::paper_default(), 2000, 42);
+        let r2 = run(&m, &UncertaintyRanges::paper_default(), 2000, 42);
+        assert_eq!(r1, r2);
+        let r3 = run(&m, &UncertaintyRanges::paper_default(), 2000, 43);
+        assert_ne!(r1.ratio_quantiles, r3.ratio_quantiles);
+    }
+
+    #[test]
+    fn probabilities_are_sane() {
+        let r = run(&map(), &UncertaintyRanges::paper_default(), 5000, 7);
+        assert!((0.0..=1.0).contains(&r.p_m3d_wins));
+        // The decision is genuinely uncertain under the full Fig. 6b joint
+        // ranges: neither side should win more than ~95% of futures.
+        assert!(
+            (0.05..0.95).contains(&r.p_m3d_wins),
+            "P(M3D wins) = {:.2}",
+            r.p_m3d_wins
+        );
+        let (p5, p50, p95) = r.ratio_quantiles;
+        assert!(p5 < p50 && p50 < p95);
+    }
+
+    #[test]
+    fn tight_ranges_collapse_to_the_nominal() {
+        let tight = UncertaintyRanges {
+            lifetime_months: (24.0, 24.0),
+            ci_use_scale: (1.0, 1.0),
+            m3d_yield: (0.50, 0.50),
+            m3d_embodied_scale: (1.0, 1.0),
+            m3d_eop_scale: (1.0, 1.0),
+        };
+        let m = map();
+        let r = run(&m, &tight, 100, 1);
+        let nominal = m.ratio(1.0, 1.0);
+        assert!((r.ratio_quantiles.1 - nominal).abs() < 1e-9);
+        assert!(r.p_m3d_wins == 0.0 || r.p_m3d_wins == 1.0);
+    }
+
+    #[test]
+    fn better_yield_ranges_raise_the_win_rate() {
+        let m = map();
+        let pessimistic = UncertaintyRanges {
+            m3d_yield: (0.10, 0.30),
+            ..UncertaintyRanges::paper_default()
+        };
+        let optimistic = UncertaintyRanges {
+            m3d_yield: (0.70, 0.90),
+            ..UncertaintyRanges::paper_default()
+        };
+        let p_lo = run(&m, &pessimistic, 4000, 9).p_m3d_wins;
+        let p_hi = run(&m, &optimistic, 4000, 9).p_m3d_wins;
+        assert!(p_hi > p_lo + 0.2, "win rates {p_lo:.2} vs {p_hi:.2}");
+    }
+
+    #[test]
+    fn sensitivity_identifies_the_yield_knob() {
+        // Over the Fig. 6b ranges, the 10–90% yield span moves embodied
+        // carbon by 5× — it must dominate the variance.
+        let shares = sensitivity(&map(), &UncertaintyRanges::paper_default(), 4000, 5);
+        assert_eq!(shares.len(), 5);
+        assert_eq!(shares[0].0, "M3D yield", "ranking: {shares:?}");
+        assert!(shares[0].1 > 0.4, "yield share {:.2}", shares[0].1);
+        for (_, s) in &shares {
+            assert!((0.0..=1.0).contains(s));
+        }
+    }
+
+    #[test]
+    fn pinning_everything_kills_the_variance() {
+        let tight = UncertaintyRanges {
+            lifetime_months: (24.0, 24.0),
+            ci_use_scale: (1.0, 1.0),
+            m3d_yield: (0.5, 0.5),
+            m3d_embodied_scale: (1.0, 1.0),
+            m3d_eop_scale: (1.0, 1.0),
+        };
+        let shares = sensitivity(&map(), &tight, 500, 1);
+        for (_, s) in shares {
+            assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = run(&map(), &UncertaintyRanges::paper_default(), 500, 3);
+        let text = r.to_string();
+        assert!(text.contains("sampled futures"));
+        assert!(text.contains("p5/p50/p95"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Standby policies: what the system does during the other 22 hours.
+//!
+//! The paper's Eq. 6 powers the system only while the application runs —
+//! implicitly, the device is switched off between sessions and memory
+//! contents are lost. Many embedded deployments instead need
+//! **state-retentive standby**: the data must survive until tomorrow's
+//! session. That requirement treats the two memories very differently:
+//!
+//! - the all-Si eDRAM retains for ~4 ms, so standby means refreshing the
+//!   array around the clock (plus keeping part of the periphery awake);
+//! - the IGZO eDRAM retains for ~10⁵ s — longer than the 22-hour gap — so
+//!   it can be power-gated completely and still greet the next session
+//!   with its data intact.
+//!
+//! This module quantifies that asymmetry, extending the paper's >1000 s
+//! retention observation into an operational-carbon consequence.
+
+use crate::lifetime::CarbonTrajectory;
+use crate::system::SystemDesign;
+use crate::usage::UsagePattern;
+use ppatc_units::{Power, Time};
+
+/// What happens between active sessions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StandbyPolicy {
+    /// Power-gate everything; memory contents are lost (the paper's
+    /// implicit assumption).
+    #[default]
+    PowerOff,
+    /// Keep memory contents alive until the next session.
+    StateRetentive,
+}
+
+/// Fraction of the periphery leakage that stays on in retentive sleep
+/// (just the refresh engine and power management).
+const SLEEP_PERIPHERY_FRACTION: f64 = 0.10;
+
+/// Standby power of a design under a policy, given the longest idle gap
+/// between sessions.
+pub fn standby_power(design: &SystemDesign, policy: StandbyPolicy, idle_gap: Time) -> Power {
+    match policy {
+        StandbyPolicy::PowerOff => Power::zero(),
+        StandbyPolicy::StateRetentive => {
+            let mut total = Power::zero();
+            for mem in [design.program_mem(), design.data_mem()] {
+                if mem.retention() >= idle_gap {
+                    // Retention outlasts the gap: fully power-gated.
+                    continue;
+                }
+                total += mem.refresh_power() + mem.leakage_power() * SLEEP_PERIPHERY_FRACTION;
+            }
+            total
+        }
+    }
+}
+
+/// Builds a carbon trajectory that includes standby power during the
+/// non-active hours of the usage pattern.
+pub fn trajectory_with_standby(
+    design: &SystemDesign,
+    evaluation: &crate::system::Evaluation,
+    embodied: ppatc_units::CarbonMass,
+    usage: UsagePattern,
+    policy: StandbyPolicy,
+) -> CarbonTrajectory {
+    let idle_gap = Time::from_hours(24.0 - usage.hours_per_day());
+    let p_standby = standby_power(design, policy, idle_gap);
+    CarbonTrajectory::new(embodied, evaluation.operational_power, usage, evaluation.execution_time)
+        .with_standby_power(p_standby)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lifetime, Technology};
+    use ppatc_units::{approx_eq, Frequency};
+    use ppatc_workloads::Workload;
+
+    fn designs() -> (SystemDesign, SystemDesign) {
+        let f = Frequency::from_megahertz(500.0);
+        (
+            SystemDesign::new(Technology::AllSi, f).expect("all-Si designs"),
+            SystemDesign::new(Technology::M3dIgzoCnfetSi, f).expect("M3D designs"),
+        )
+    }
+
+    #[test]
+    fn igzo_retains_through_the_night_for_free() {
+        let (si, m3d) = designs();
+        let gap = Time::from_hours(22.0);
+        let p_si = standby_power(&si, StandbyPolicy::StateRetentive, gap);
+        let p_m3d = standby_power(&m3d, StandbyPolicy::StateRetentive, gap);
+        assert!(p_si.as_microwatts() > 100.0, "all-Si standby {p_si:?}");
+        assert!(approx_eq(p_m3d.as_watts(), 0.0, 1e-30), "M3D standby {p_m3d:?}");
+    }
+
+    #[test]
+    fn power_off_costs_nothing_for_either() {
+        let (si, m3d) = designs();
+        let gap = Time::from_hours(22.0);
+        for d in [&si, &m3d] {
+            assert_eq!(standby_power(d, StandbyPolicy::PowerOff, gap), Power::zero());
+        }
+    }
+
+    #[test]
+    fn retentive_standby_widens_the_m3d_advantage() {
+        let run = Workload::matmul_int().execute_with_reps(4).expect("matmul runs");
+        let (si, m3d) = designs();
+        let usage = UsagePattern::paper_default();
+        let pipe = crate::EmbodiedPipeline::paper_default();
+        let life = Lifetime::months(24.0);
+
+        let ratio_of = |policy: StandbyPolicy| {
+            let t_si = trajectory_with_standby(
+                &si,
+                &si.evaluate(&run),
+                pipe.per_good_die(&si).per_good_die(),
+                usage,
+                policy,
+            );
+            let t_m3d = trajectory_with_standby(
+                &m3d,
+                &m3d.evaluate(&run),
+                pipe.per_good_die(&m3d).per_good_die(),
+                usage,
+                policy,
+            );
+            t_m3d.tcdp(life) / t_si.tcdp(life)
+        };
+
+        let off = ratio_of(StandbyPolicy::PowerOff);
+        let retentive = ratio_of(StandbyPolicy::StateRetentive);
+        assert!(retentive < off, "retentive {retentive:.3} vs off {off:.3}");
+        // The all-Si design pays 22 h/day of refresh: the M3D benefit
+        // should grow well beyond the paper's 1.02×.
+        assert!(1.0 / retentive > 1.05, "retentive benefit {:.3}", 1.0 / retentive);
+    }
+
+    #[test]
+    fn standby_scales_operational_carbon_linearly() {
+        let run = Workload::edn().execute_with_reps(1).expect("edn runs");
+        let (si, _) = designs();
+        let usage = UsagePattern::paper_default();
+        let pipe = crate::EmbodiedPipeline::paper_default();
+        let t = trajectory_with_standby(
+            &si,
+            &si.evaluate(&run),
+            pipe.per_good_die(&si).per_good_die(),
+            usage,
+            StandbyPolicy::StateRetentive,
+        );
+        let one = t.operational(Lifetime::months(6.0));
+        let four = t.operational(Lifetime::months(24.0));
+        assert!(approx_eq(four.as_grams(), 4.0 * one.as_grams(), 1e-12));
+    }
+}

@@ -1,0 +1,141 @@
+//! The usage model: duty-cycled operational carbon (Eqs. 6–8).
+
+use crate::lifetime::Lifetime;
+use ppatc_units::{CarbonIntensity, CarbonMass, Power};
+
+/// How (and on which grid) the deployed system is used.
+///
+/// The paper's scenario runs the application 2 hours per day, every day,
+/// during the 8–10 pm window; Eq. 8 collapses the CI_use(t) integral into
+/// the window-averaged carbon intensity times the duty cycle:
+///
+/// ```text
+/// C_operational = CI_use(avg, window) · P_operational · t_life · (hours/day ÷ 24)
+/// ```
+///
+/// ```
+/// use ppatc::{Lifetime, UsagePattern};
+/// use ppatc_units::Power;
+///
+/// let usage = UsagePattern::paper_default();
+/// let c = usage.operational_carbon(Power::from_milliwatts(9.7), Lifetime::months(24.0));
+/// assert!((c.as_grams() - 5.4).abs() < 0.2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UsagePattern {
+    hours_per_day: f64,
+    ci_use: CarbonIntensity,
+}
+
+impl UsagePattern {
+    /// The paper's scenario: 2 h/day on the U.S. grid (380 gCO₂e/kWh taken
+    /// as the 8–10 pm window average).
+    pub fn paper_default() -> Self {
+        Self {
+            hours_per_day: 2.0,
+            ci_use: CarbonIntensity::from_g_per_kwh(380.0),
+        }
+    }
+
+    /// A custom usage pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours_per_day` is outside `(0, 24]` or the intensity is
+    /// negative.
+    pub fn new(hours_per_day: f64, ci_use: CarbonIntensity) -> Self {
+        assert!(
+            hours_per_day > 0.0 && hours_per_day <= 24.0,
+            "daily use must be in (0, 24] hours"
+        );
+        assert!(ci_use.value() >= 0.0, "carbon intensity must be non-negative");
+        Self { hours_per_day, ci_use }
+    }
+
+    /// Hours of active use per day.
+    pub fn hours_per_day(&self) -> f64 {
+        self.hours_per_day
+    }
+
+    /// Average use-phase carbon intensity.
+    pub fn ci_use(&self) -> CarbonIntensity {
+        self.ci_use
+    }
+
+    /// Returns a copy with the carbon intensity scaled by `factor` — the
+    /// Fig. 6b CI_use uncertainty knob (×3 / ÷3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    #[must_use]
+    pub fn with_ci_scaled(mut self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        self.ci_use = CarbonIntensity::new(self.ci_use.value() * factor);
+        self
+    }
+
+    /// Duty cycle: the fraction of calendar time the system is active.
+    pub fn duty_cycle(&self) -> f64 {
+        self.hours_per_day / 24.0
+    }
+
+    /// Eq. 8: operational carbon over a lifetime, given the busy power from
+    /// Eq. 6.
+    pub fn operational_carbon(&self, p_operational: Power, lifetime: Lifetime) -> CarbonMass {
+        let active = lifetime.as_time() * self.duty_cycle();
+        self.ci_use * (p_operational * active)
+    }
+
+    /// Total active energy drawn over a lifetime.
+    pub fn operational_energy(
+        &self,
+        p_operational: Power,
+        lifetime: Lifetime,
+    ) -> ppatc_units::Energy {
+        p_operational * (lifetime.as_time() * self.duty_cycle())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::approx_eq;
+
+    #[test]
+    fn eq8_hand_check() {
+        // 10 mW for 2 h/day over 12 months on a 500 g/kWh grid:
+        // energy = 0.01 kW/1000... = 1e-5 kW × (365.25/2 × 2 h)? lifetime
+        // 12 months = 365.25 days; active hours = 730.5.
+        let usage = UsagePattern::new(2.0, CarbonIntensity::from_g_per_kwh(500.0));
+        let c = usage.operational_carbon(Power::from_milliwatts(10.0), Lifetime::months(12.0));
+        let expected = 500.0 * (0.01e-3 * 730.5); // g/kWh × kWh
+        assert!(approx_eq(c.as_grams(), expected, 1e-9), "{} vs {expected}", c.as_grams());
+    }
+
+    #[test]
+    fn carbon_scales_linearly() {
+        let usage = UsagePattern::paper_default();
+        let p = Power::from_milliwatts(9.7);
+        let one = usage.operational_carbon(p, Lifetime::months(6.0));
+        let four = usage.operational_carbon(p, Lifetime::months(24.0));
+        assert!(approx_eq(four.as_grams(), 4.0 * one.as_grams(), 1e-12));
+    }
+
+    #[test]
+    fn ci_scaling() {
+        let usage = UsagePattern::paper_default().with_ci_scaled(3.0);
+        assert!(approx_eq(usage.ci_use().as_g_per_kwh(), 1140.0, 1e-12));
+    }
+
+    #[test]
+    fn duty_cycle() {
+        assert!(approx_eq(UsagePattern::paper_default().duty_cycle(), 1.0 / 12.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "daily use must be in (0, 24]")]
+    fn invalid_hours_panics() {
+        let _ = UsagePattern::new(25.0, CarbonIntensity::from_g_per_kwh(380.0));
+    }
+}

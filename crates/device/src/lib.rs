@@ -1,0 +1,53 @@
+//! Virtual-source compact FET models for Si FinFETs, carbon-nanotube FETs
+//! (CNFETs), and IGZO thin-film FETs.
+//!
+//! The PPAtC paper validates its eDRAM timing with SPICE simulations using
+//! "compact device models for Si CMOS \[ASAP7\], CNFETs \[VS-CNFET\], and
+//! IGZO FETs (using a virtual source model with experimentally measured
+//! values: IGZO mobility = 1 cm²/V·s and sub-threshold slope = 90 mV/decade)".
+//! This crate implements that stack:
+//!
+//! - [`VirtualSourceModel`] — the semi-empirical virtual-source MOSFET model
+//!   of Khakifirooz et al. (TED 2009): a charge × injection-velocity product
+//!   with a saturation-blending function, continuous across all regions of
+//!   operation.
+//! - [`Fet`] — a sized instance (model + width) exposing the figures of merit
+//!   the paper's Table I compares: effective drive current `I_EFF`, off-state
+//!   leakage `I_OFF`, and gate capacitance.
+//! - Technology presets: [`si::nfet`]/[`si::pfet`] (four ASAP7-style
+//!   threshold flavors), [`cnfet::nfet`]/[`cnfet::pfet`] (with a metallic-CNT
+//!   leakage penalty), and [`igzo::nfet`] (wide-bandgap, ultra-low leakage,
+//!   low mobility).
+//!
+//! # Example
+//!
+//! Reproduce the qualitative ordering of Table I — CNFETs have the highest
+//! drive, IGZO the lowest leakage:
+//!
+//! ```
+//! use ppatc_device::{cnfet, igzo, si, SiVtFlavor};
+//! use ppatc_units::{Length, Voltage};
+//!
+//! let w = Length::from_nanometers(100.0);
+//! let vdd = Voltage::from_volts(0.7);
+//! let si = si::nfet(SiVtFlavor::Rvt).sized(w);
+//! let cn = cnfet::nfet().sized(w);
+//! let ig = igzo::nfet().sized(w);
+//!
+//! assert!(cn.i_eff(vdd) > si.i_eff(vdd));
+//! assert!(si.i_eff(vdd) > ig.i_eff(vdd));
+//! assert!(ig.i_off(vdd) < si.i_off(vdd));
+//! assert!(si.i_off(vdd) < cn.i_off(vdd));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cnfet;
+mod fet;
+pub mod igzo;
+pub mod si;
+mod vs;
+
+pub use fet::Fet;
+pub use si::SiVtFlavor;
+pub use vs::{Polarity, VirtualSourceModel};

@@ -1,0 +1,180 @@
+//! ASAP7-style 7 nm Si FinFET presets.
+//!
+//! The ASAP7 predictive PDK (Clark et al., MEJ 2016) offers standard cells
+//! in four threshold-voltage flavors. Lower V_T buys drive current (speed)
+//! at an exponential cost in sub-threshold leakage; the paper's Fig. 4
+//! sweeps all four flavors when mapping the Cortex-M0 energy/frequency
+//! trade-off.
+
+use crate::vs::{Polarity, VirtualSourceModel};
+use ppatc_units::Length;
+
+/// Threshold-voltage flavor of an ASAP7-style standard cell or device.
+///
+/// Ordered from highest threshold (slowest, least leaky) to lowest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SiVtFlavor {
+    /// High V_T: minimum leakage, lowest drive.
+    Hvt,
+    /// Regular V_T: the nominal corner.
+    Rvt,
+    /// Low V_T: faster, leakier.
+    Lvt,
+    /// Super-low V_T: maximum drive, maximum leakage.
+    Slvt,
+}
+
+impl SiVtFlavor {
+    /// All four flavors, ordered from `Hvt` to `Slvt`.
+    pub const ALL: [SiVtFlavor; 4] = [
+        SiVtFlavor::Hvt,
+        SiVtFlavor::Rvt,
+        SiVtFlavor::Lvt,
+        SiVtFlavor::Slvt,
+    ];
+
+    /// Threshold-voltage magnitude for this flavor, in volts.
+    pub fn v_t0(self) -> f64 {
+        match self {
+            SiVtFlavor::Hvt => 0.34,
+            SiVtFlavor::Rvt => 0.28,
+            SiVtFlavor::Lvt => 0.23,
+            SiVtFlavor::Slvt => 0.18,
+        }
+    }
+
+    /// Short library name (`"HVT"`, `"RVT"`, `"LVT"`, `"SLVT"`).
+    pub fn library_suffix(self) -> &'static str {
+        match self {
+            SiVtFlavor::Hvt => "HVT",
+            SiVtFlavor::Rvt => "RVT",
+            SiVtFlavor::Lvt => "LVT",
+            SiVtFlavor::Slvt => "SLVT",
+        }
+    }
+}
+
+impl core::fmt::Display for SiVtFlavor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.library_suffix())
+    }
+}
+
+/// ASAP7-style drawn gate length (nm).
+const L_GATE_NM: f64 = 21.0;
+
+fn si_model(polarity: Polarity, flavor: SiVtFlavor) -> VirtualSourceModel {
+    // FinFET electrostatics: steep slope, small DIBL. Hole injection
+    // velocity and mobility trail the electron values, giving the usual
+    // ~1.2–1.5× N/P drive imbalance.
+    let (v_x0, mobility) = match polarity {
+        Polarity::N => (1.10e5, 0.0200),
+        Polarity::P => (0.85e5, 0.0150),
+    };
+    // Junction/GIDL-limited leakage floor grows as threshold drops.
+    let floor = match flavor {
+        SiVtFlavor::Hvt => 3.0e-6,
+        SiVtFlavor::Rvt => 1.0e-5,
+        SiVtFlavor::Lvt => 3.0e-5,
+        SiVtFlavor::Slvt => 1.0e-4,
+    };
+    VirtualSourceModel {
+        name: format!(
+            "asap7-{}fet-{}",
+            match polarity {
+                Polarity::N => "n",
+                Polarity::P => "p",
+            },
+            flavor.library_suffix().to_lowercase()
+        ),
+        polarity,
+        v_t0: flavor.v_t0(),
+        dibl: 0.030,
+        ss_mv_per_dec: 63.0,
+        c_inv: 2.2e-2,
+        v_x0,
+        mobility,
+        l_gate: Length::from_nanometers(L_GATE_NM),
+        beta: 1.8,
+        i_floor_per_width: floor,
+        floor_activation_ev: 0.60,
+        cap_parasitic_factor: 1.35,
+        temperature_k: 300.0,
+    }
+}
+
+/// An ASAP7-style n-channel Si FinFET model of the given threshold flavor.
+///
+/// ```
+/// use ppatc_device::{si, SiVtFlavor};
+/// use ppatc_units::{Length, Voltage};
+///
+/// let fet = si::nfet(SiVtFlavor::Rvt).sized(Length::from_nanometers(100.0));
+/// let ion = fet.i_on(Voltage::from_volts(0.7)).as_microamperes();
+/// assert!(ion > 20.0 && ion < 200.0); // ~hundreds of µA/µm
+/// ```
+pub fn nfet(flavor: SiVtFlavor) -> VirtualSourceModel {
+    si_model(Polarity::N, flavor)
+}
+
+/// An ASAP7-style p-channel Si FinFET model of the given threshold flavor.
+pub fn pfet(flavor: SiVtFlavor) -> VirtualSourceModel {
+    si_model(Polarity::P, flavor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::Voltage;
+
+    const W: f64 = 100.0; // nm
+    const VDD: f64 = 0.7;
+
+    #[test]
+    fn lower_vt_means_more_drive_and_more_leak() {
+        let vdd = Voltage::from_volts(VDD);
+        let w = Length::from_nanometers(W);
+        let mut last_ion = 0.0;
+        let mut last_ioff = 0.0;
+        for flavor in SiVtFlavor::ALL {
+            let fet = nfet(flavor).sized(w);
+            let ion = fet.i_on(vdd).as_amperes();
+            let ioff = fet.i_off(vdd).as_amperes();
+            assert!(ion > last_ion, "{flavor}: I_ON should increase");
+            assert!(ioff > last_ioff, "{flavor}: I_OFF should increase");
+            last_ion = ion;
+            last_ioff = ioff;
+        }
+    }
+
+    #[test]
+    fn on_off_ratio_is_healthy() {
+        let vdd = Voltage::from_volts(VDD);
+        let fet = nfet(SiVtFlavor::Rvt).sized(Length::from_nanometers(W));
+        let ratio = fet.i_on(vdd) / fet.i_off(vdd);
+        assert!(ratio > 1e4, "on/off ratio {ratio:.2e}");
+    }
+
+    #[test]
+    fn all_flavors_validate() {
+        for flavor in SiVtFlavor::ALL {
+            nfet(flavor).validate().expect("nfet should be valid");
+            pfet(flavor).validate().expect("pfet should be valid");
+        }
+    }
+
+    #[test]
+    fn flavor_ordering_and_display() {
+        assert!(SiVtFlavor::Hvt < SiVtFlavor::Slvt);
+        assert_eq!(SiVtFlavor::Slvt.to_string(), "SLVT");
+    }
+
+    #[test]
+    fn nominal_drive_current_density() {
+        // Sanity: RVT NFET on-current per width in the few-hundred µA/µm
+        // range typical for 7 nm class devices at 0.7 V.
+        let fet = nfet(SiVtFlavor::Rvt).sized(Length::from_micrometers(1.0));
+        let ion = fet.i_on(Voltage::from_volts(VDD)).as_microamperes();
+        assert!(ion > 200.0 && ion < 1500.0, "I_ON {ion} µA/µm");
+    }
+}

@@ -1,0 +1,423 @@
+//! The virtual-source (VS) compact MOSFET model.
+
+use ppatc_units::Length;
+
+/// Thermal voltage k·T/q at 300 K, in volts.
+pub(crate) const PHI_T: f64 = 0.02585;
+
+/// Boltzmann constant over elementary charge, V/K.
+const K_OVER_Q: f64 = 8.617e-5;
+
+/// Reference temperature for all parameter sets, kelvin.
+pub const T_REF_K: f64 = 300.0;
+
+/// Channel conduction polarity of a FET.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// n-channel: conducts when the gate is pulled high.
+    N,
+    /// p-channel: conducts when the gate is pulled low.
+    P,
+}
+
+impl Polarity {
+    /// Returns `+1.0` for n-channel and `-1.0` for p-channel devices.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            Polarity::N => 1.0,
+            Polarity::P => -1.0,
+        }
+    }
+}
+
+impl core::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Polarity::N => f.write_str("NMOS"),
+            Polarity::P => f.write_str("PMOS"),
+        }
+    }
+}
+
+/// Parameters of the virtual-source MOSFET model (Khakifirooz et al., IEEE
+/// TED 2009), extended with an off-state leakage floor to capture
+/// bandgap-limited leakage (ultra-low for IGZO, elevated for CNFETs with
+/// residual metallic CNTs).
+///
+/// The drain current per unit width is
+///
+/// ```text
+/// I_D/W = Q_ix0 · v_x0 · F_sat + I_floor
+/// Q_ix0 = C_inv · n · φ_t · ln(1 + exp((V_GS − V_T(V_DS)) / (n · φ_t)))
+/// V_T(V_DS) = V_T0 − δ · V_DS                        (DIBL)
+/// F_sat = (V_DS/V_dsat) / (1 + (V_DS/V_dsat)^β)^(1/β)
+/// V_dsat = max(v_x0 · L / µ, 2·φ_t)                  (velocity saturation)
+/// ```
+///
+/// All fields are public because the type is a parameter record; invariants
+/// are validated by [`VirtualSourceModel::validate`], which the constructors
+/// in [`crate::si`], [`crate::cnfet`], and [`crate::igzo`] run for you.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VirtualSourceModel {
+    /// Human-readable technology name, e.g. `"asap7-nfet-rvt"`.
+    pub name: String,
+    /// Channel polarity.
+    pub polarity: Polarity,
+    /// Zero-bias threshold voltage magnitude, in volts.
+    pub v_t0: f64,
+    /// Drain-induced barrier lowering coefficient (V/V).
+    pub dibl: f64,
+    /// Sub-threshold slope, in millivolts per decade at 300 K.
+    pub ss_mv_per_dec: f64,
+    /// Effective inversion capacitance, in farads per square metre.
+    pub c_inv: f64,
+    /// Virtual-source injection velocity, in metres per second.
+    pub v_x0: f64,
+    /// Low-field carrier mobility, in m²/(V·s).
+    pub mobility: f64,
+    /// Gate (channel) length.
+    pub l_gate: Length,
+    /// Saturation-blending exponent β (typically 1.4–1.8).
+    pub beta: f64,
+    /// Bandgap/defect-limited minimum leakage per unit width, in A/m,
+    /// quoted at the reference temperature (300 K).
+    pub i_floor_per_width: f64,
+    /// Thermal activation energy of the leakage floor, eV. Junction/GIDL
+    /// leakage in Si activates around 0.6 eV; wide-bandgap IGZO much
+    /// higher; small-gap CNTs lower.
+    pub floor_activation_ev: f64,
+    /// Multiplier on the intrinsic gate capacitance `C_inv·W·L` accounting
+    /// for fringe/overlap parasitics (≥ 1).
+    pub cap_parasitic_factor: f64,
+    /// Operating temperature, kelvin. Parameter sets are quoted at 300 K;
+    /// use [`VirtualSourceModel::at_temperature`] to re-derive.
+    pub temperature_k: f64,
+}
+
+impl VirtualSourceModel {
+    /// Thermal voltage k·T/q at the model's operating temperature, volts.
+    #[inline]
+    pub fn phi_t(&self) -> f64 {
+        K_OVER_Q * self.temperature_k
+    }
+
+    /// Sub-threshold ideality factor `n = SS / (φ_t(300 K) · ln 10)` —
+    /// the slope parameter is quoted at the reference temperature; the
+    /// physical slope then widens as k·T/q with temperature.
+    #[inline]
+    pub fn ideality(&self) -> f64 {
+        (self.ss_mv_per_dec / 1e3) / (PHI_T * core::f64::consts::LN_10)
+    }
+
+    /// Saturation voltage `V_dsat` in volts.
+    #[inline]
+    pub fn v_dsat(&self) -> f64 {
+        (self.v_x0 * self.l_gate.as_meters() / self.mobility).max(2.0 * self.phi_t())
+    }
+
+    /// Returns a copy of the model re-derived at `kelvin`:
+    ///
+    /// - sub-threshold slope widens with k·T/q;
+    /// - threshold drops ~1 mV/K (bandgap narrowing + Fermi shift);
+    /// - injection velocity degrades as `(300/T)^1.5` (phonon scattering);
+    /// - the leakage floor activates as `exp(−E_a/k · (1/T − 1/300))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kelvin` is outside the model's sane range (200–500 K).
+    #[must_use]
+    pub fn at_temperature(&self, kelvin: f64) -> Self {
+        assert!(
+            (200.0..=500.0).contains(&kelvin),
+            "temperature {kelvin} K outside the model's 200-500 K range"
+        );
+        let dt = kelvin - T_REF_K;
+        let arrhenius =
+            (-self.floor_activation_ev / K_OVER_Q * (1.0 / kelvin - 1.0 / T_REF_K)).exp();
+        Self {
+            name: self.name.clone(),
+            v_t0: (self.v_t0 - 1.0e-3 * dt).max(0.0),
+            v_x0: self.v_x0 * (T_REF_K / kelvin).powf(1.5),
+            i_floor_per_width: self.i_floor_per_width * arrhenius,
+            temperature_k: kelvin,
+            ..self.clone()
+        }
+    }
+
+    /// Checks parameter invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: non-positive
+    /// capacitance, velocity, mobility, gate length, slope, or β; a DIBL or
+    /// threshold magnitude outside sensible bounds; a negative leakage floor;
+    /// or a parasitic factor below 1.
+    pub fn validate(&self) -> Result<(), ModelParameterError> {
+        fn err(model: &VirtualSourceModel, what: &'static str) -> Result<(), ModelParameterError> {
+            Err(ModelParameterError {
+                model: model.name.clone(),
+                what,
+            })
+        }
+        if !(self.c_inv > 0.0) {
+            return err(self, "inversion capacitance must be positive");
+        }
+        if !(self.v_x0 > 0.0) {
+            return err(self, "injection velocity must be positive");
+        }
+        if !(self.mobility > 0.0) {
+            return err(self, "mobility must be positive");
+        }
+        if !(self.l_gate.as_meters() > 0.0) {
+            return err(self, "gate length must be positive");
+        }
+        if !(self.ss_mv_per_dec >= 59.5) {
+            return err(self, "sub-threshold slope cannot beat the thermionic limit (~60 mV/dec)");
+        }
+        if !(self.beta >= 1.0) {
+            return err(self, "saturation exponent must be at least 1");
+        }
+        if !(0.0..=1.5).contains(&self.v_t0) {
+            return err(self, "threshold magnitude out of range [0, 1.5] V");
+        }
+        if !(0.0..=0.5).contains(&self.dibl) {
+            return err(self, "DIBL coefficient out of range [0, 0.5] V/V");
+        }
+        if self.i_floor_per_width < 0.0 {
+            return err(self, "leakage floor must be non-negative");
+        }
+        if self.cap_parasitic_factor < 1.0 {
+            return err(self, "parasitic capacitance factor must be at least 1");
+        }
+        if self.floor_activation_ev < 0.0 {
+            return err(self, "leakage activation energy must be non-negative");
+        }
+        if !(200.0..=500.0).contains(&self.temperature_k) {
+            return err(self, "temperature outside the model's 200-500 K range");
+        }
+        Ok(())
+    }
+
+    /// Drain current per unit width, in amperes per metre, for **terminal**
+    /// voltages `v_gs` and `v_ds` (volts, signed; for p-channel devices pass
+    /// the physically negative values).
+    ///
+    /// The model is symmetric under source/drain exchange: negative
+    /// drain-source bias (for the device polarity) swaps the roles of source
+    /// and drain, which matters for pass-transistor write paths.
+    pub fn current_per_width(&self, v_gs: f64, v_ds: f64) -> f64 {
+        let s = self.polarity.sign();
+        // Work in n-equivalent coordinates.
+        let (vgs_n, vds_n) = (s * v_gs, s * v_ds);
+        if vds_n >= 0.0 {
+            s * self.current_per_width_n(vgs_n, vds_n)
+        } else {
+            // Source/drain swap: gate-to-(true source) voltage is vgs - vds.
+            -s * self.current_per_width_n(vgs_n - vds_n, -vds_n)
+        }
+    }
+
+    /// N-equivalent current per width for `vds >= 0`.
+    fn current_per_width_n(&self, v_gs: f64, v_ds: f64) -> f64 {
+        debug_assert!(v_ds >= 0.0);
+        let n_phi_t = self.ideality() * self.phi_t();
+        let v_t = self.v_t0 - self.dibl * v_ds;
+        let x = (v_gs - v_t) / n_phi_t;
+        // softplus(x) without overflow for large x
+        let softplus = if x > 40.0 { x } else { x.exp().ln_1p() };
+        let q_ix0 = self.c_inv * n_phi_t * softplus;
+        let v_dsat = self.v_dsat();
+        let ratio = v_ds / v_dsat;
+        let f_sat = ratio / (1.0 + ratio.powf(self.beta)).powf(1.0 / self.beta);
+        // Leakage floor switches smoothly with V_DS so the device truly has
+        // no current at V_DS = 0.
+        let floor = self.i_floor_per_width * (v_ds / (v_ds + self.phi_t()));
+        q_ix0 * self.v_x0 * f_sat + floor
+    }
+}
+
+/// Error returned by [`VirtualSourceModel::validate`] when a parameter
+/// violates a physical invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelParameterError {
+    model: String,
+    what: &'static str,
+}
+
+impl core::fmt::Display for ModelParameterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid parameter for model `{}`: {}", self.model, self.what)
+    }
+}
+
+impl std::error::Error for ModelParameterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::approx_eq;
+
+    fn test_model() -> VirtualSourceModel {
+        VirtualSourceModel {
+            name: "test-n".into(),
+            polarity: Polarity::N,
+            v_t0: 0.2,
+            dibl: 0.1,
+            ss_mv_per_dec: 70.0,
+            c_inv: 2.0e-2,
+            v_x0: 1.0e5,
+            mobility: 0.02,
+            l_gate: Length::from_nanometers(21.0),
+            beta: 1.8,
+            i_floor_per_width: 1e-7,
+            floor_activation_ev: 0.6,
+            cap_parasitic_factor: 1.3,
+            temperature_k: 300.0,
+        }
+    }
+
+    #[test]
+    fn validates() {
+        test_model().validate().expect("test model should be valid");
+    }
+
+    #[test]
+    fn rejects_sub_thermionic_slope() {
+        let mut m = test_model();
+        m.ss_mv_per_dec = 40.0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn zero_vds_means_zero_current() {
+        let m = test_model();
+        assert!(approx_eq(m.current_per_width(0.7, 0.0), 0.0, 1e-30));
+    }
+
+    #[test]
+    fn current_increases_with_vgs() {
+        let m = test_model();
+        let lo = m.current_per_width(0.3, 0.7);
+        let hi = m.current_per_width(0.7, 0.7);
+        assert!(hi > lo && lo > 0.0);
+    }
+
+    #[test]
+    fn current_saturates_with_vds() {
+        let m = test_model();
+        let lin = m.current_per_width(0.7, 0.05);
+        let sat1 = m.current_per_width(0.7, 0.6);
+        let sat2 = m.current_per_width(0.7, 0.7);
+        assert!(sat1 > lin);
+        // Deep saturation: increase from 0.6 V to 0.7 V is small apart from
+        // the DIBL contribution.
+        assert!((sat2 - sat1) / sat1 < 0.25);
+    }
+
+    #[test]
+    fn source_drain_symmetry() {
+        let m = test_model();
+        // Reverse conduction equals forward conduction with swapped
+        // terminals: I(vg - vd_true_source...) — check anti-symmetry around
+        // the same gate overdrive.
+        let fwd = m.current_per_width(0.7, 0.3);
+        let rev = m.current_per_width(0.7 - 0.3, -0.3);
+        assert!(approx_eq(fwd, -rev, 1e-12));
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let mut p = test_model();
+        p.polarity = Polarity::P;
+        let n = test_model();
+        let i_n = n.current_per_width(0.7, 0.7);
+        let i_p = p.current_per_width(-0.7, -0.7);
+        assert!(approx_eq(i_n, -i_p, 1e-12));
+        assert!(i_p < 0.0);
+    }
+
+    #[test]
+    fn subthreshold_slope_matches_parameter() {
+        let m = test_model();
+        // Measure decades of current change per 100 mV of gate swing well
+        // below threshold.
+        let i1 = m.current_per_width(0.00, 0.7) - 1e-7; // remove floor contribution
+        let i2 = m.current_per_width(0.10, 0.7) - 1e-7;
+        let decades = (i2 / i1).log10();
+        let ss_measured = 100.0 / decades; // mV per decade
+        assert!(approx_eq(ss_measured, 70.0, 0.05), "measured SS {ss_measured}");
+    }
+
+    #[test]
+    fn ideality_from_slope() {
+        let m = test_model();
+        assert!(approx_eq(m.ideality(), 0.070 / (PHI_T * core::f64::consts::LN_10), 1e-12));
+    }
+
+    #[test]
+    fn display_polarity() {
+        assert_eq!(Polarity::N.to_string(), "NMOS");
+        assert_eq!(Polarity::P.to_string(), "PMOS");
+    }
+}
+
+#[cfg(test)]
+mod temperature_tests {
+    use crate::si::{self, SiVtFlavor};
+    use crate::{cnfet, igzo};
+    use ppatc_units::{Length, Voltage};
+
+    #[test]
+    fn leakage_grows_steeply_with_temperature() {
+        let w = Length::from_micrometers(1.0);
+        let vdd = Voltage::from_volts(0.7);
+        let cold = si::nfet(SiVtFlavor::Rvt).sized(w);
+        let hot = cold.at_temperature(360.0);
+        let ratio = hot.i_off(vdd) / cold.i_off(vdd);
+        // 60 K of heating buys well over an order of magnitude of leakage.
+        assert!(ratio > 10.0, "hot/cold leakage ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn drive_degrades_mildly_with_temperature() {
+        let w = Length::from_micrometers(1.0);
+        let vdd = Voltage::from_volts(0.7);
+        let cold = cnfet::nfet().sized(w);
+        let hot = cold.at_temperature(360.0);
+        let ratio = hot.i_on(vdd) / cold.i_on(vdd);
+        // Velocity degradation and V_T drop partially cancel: small change.
+        assert!((0.7..1.15).contains(&ratio), "hot/cold drive ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn igzo_floor_activates_hard() {
+        // E_a = 1.2 eV: an 85C floor is orders of magnitude above 27C, yet
+        // still far below any Si leakage.
+        let w = Length::from_micrometers(1.0);
+        let vdd = Voltage::from_volts(0.7);
+        let cold = igzo::nfet().sized(w);
+        let hot = cold.at_temperature(358.0);
+        let cold_hold = cold.i_off_underdriven(vdd, Voltage::from_volts(1.0));
+        let hot_hold = hot.i_off_underdriven(vdd, Voltage::from_volts(1.0));
+        assert!(hot_hold.as_amperes() > 50.0 * cold_hold.as_amperes());
+        let si_hot = si::nfet(SiVtFlavor::Hvt)
+            .sized(w)
+            .at_temperature(358.0)
+            .i_off_underdriven(vdd, Voltage::from_volts(1.0));
+        assert!(hot_hold.as_amperes() < 1e-3 * si_hot.as_amperes());
+    }
+
+    #[test]
+    fn reference_temperature_is_identity() {
+        let base = si::nfet(SiVtFlavor::Lvt);
+        let same = base.at_temperature(300.0);
+        assert_eq!(base, same);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the model's 200-500 K range")]
+    fn absurd_temperature_panics() {
+        let _ = si::nfet(SiVtFlavor::Rvt).at_temperature(1000.0);
+    }
+}

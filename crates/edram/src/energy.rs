@@ -1,0 +1,136 @@
+//! Access-energy and leakage models.
+//!
+//! Per-access energy decomposes into three parts:
+//!
+//! - **periphery** — decoder, wordline drivers, sense amplifiers, and word
+//!   I/O. A calibrated constant (the same Si CMOS circuits serve both
+//!   technologies), set so the full system flow reproduces Table II's
+//!   "average memory energy per cycle" anchors.
+//! - **array** — wordline and bitline switching inside one sub-array,
+//!   computed from wire and device capacitances.
+//! - **routing** — the H-tree from the macro port to the selected
+//!   sub-array. Its switched wire length scales with √(macro area), which
+//!   is exactly why the 2.7× smaller M3D macro spends less energy per
+//!   access (15.5 vs 18.0 pJ/cycle in Table II).
+
+use crate::cell::BitCell;
+use crate::organization::Organization;
+use ppatc_pdk::wire::WireModel;
+use ppatc_pdk::Technology;
+use ppatc_units::{Area, Energy, Length, Power};
+
+/// Calibrated periphery energy per word access, picojoules.
+const PERIPHERY_ACCESS_PJ: f64 = 14.23;
+
+/// Effective number of full-length wire equivalents toggled in the H-tree
+/// per access (bus width × tree levels), calibrated with the periphery
+/// constant.
+const ROUTING_WIRE_EQUIVALENTS: f64 = 208.0;
+
+/// Periphery leakage per sub-array (sense amps + drivers + local decode).
+const PERIPHERY_LEAK_PER_SUBARRAY_UW: f64 = 3.1;
+
+/// The periphery / array / routing decomposition of one access.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccessEnergyBreakdown {
+    /// Decoder + sense + drivers + word I/O.
+    pub periphery: Energy,
+    /// Wordline and bitline switching in the sub-array.
+    pub array: Energy,
+    /// Global H-tree routing (√area-scaled).
+    pub routing: Energy,
+}
+
+impl AccessEnergyBreakdown {
+    /// Total energy of one access.
+    pub fn total(&self) -> Energy {
+        self.periphery + self.array + self.routing
+    }
+}
+
+/// Computes the access-energy breakdown for a macro of the given footprint.
+pub(crate) fn access_energy(
+    technology: Technology,
+    org: &Organization,
+    cell: &BitCell,
+    macro_area: Area,
+) -> AccessEnergyBreakdown {
+    let vdd = crate::cell::VDD.as_volts();
+    let wire = WireModel::for_pitch(Length::from_nanometers(36.0));
+
+    // Array: one wordline at the write overdrive, `word_bits` bitlines at
+    // a read/write-averaged half-swing.
+    let wl = wire.segment(org.wordline_length(technology));
+    let c_wl = wl.capacitance.as_farads()
+        + f64::from(org.subarray_cols()) * cell.write_fet().gate_capacitance().as_farads();
+    let v_wwl = cell.v_wwl().as_volts();
+    let e_wl = c_wl * v_wwl * v_wwl;
+
+    let bl = wire.segment(org.bitline_length(technology));
+    let c_bl = bl.capacitance.as_farads()
+        + f64::from(org.subarray_rows())
+            * cell.write_fet().drain_capacitance().as_farads();
+    let e_bl = f64::from(org.word_bits()) * c_bl * vdd * vdd * 0.5;
+
+    // Routing: √area H-tree with a calibrated wire-equivalent count.
+    let route_len_um = macro_area.as_square_micrometers().sqrt();
+    let e_route = ROUTING_WIRE_EQUIVALENTS
+        * route_len_um
+        * wire.capacitance_per_um().as_farads()
+        * vdd
+        * vdd;
+
+    AccessEnergyBreakdown {
+        periphery: Energy::from_picojoules(PERIPHERY_ACCESS_PJ),
+        array: Energy::from_joules(e_wl + e_bl),
+        routing: Energy::from_joules(e_route),
+    }
+}
+
+/// Static leakage of the macro's periphery.
+pub(crate) fn leakage_power(_technology: Technology, org: &Organization) -> Power {
+    Power::from_microwatts(PERIPHERY_LEAK_PER_SUBARRAY_UW * f64::from(org.subarray_count()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(tech: Technology) -> AccessEnergyBreakdown {
+        let org = Organization::paper_default();
+        let cell = BitCell::for_technology(tech);
+        access_energy(tech, &org, &cell, org.macro_area(tech))
+    }
+
+    #[test]
+    fn periphery_dominates() {
+        let b = breakdown(Technology::AllSi);
+        assert!(b.periphery > b.routing);
+        assert!(b.routing > b.array);
+    }
+
+    #[test]
+    fn routing_scales_with_macro_size() {
+        let si = breakdown(Technology::AllSi);
+        let m3d = breakdown(Technology::M3dIgzoCnfetSi);
+        let ratio = si.routing / m3d.routing;
+        // √(0.068/0.025) ≈ 1.65.
+        assert!((1.5..1.8).contains(&ratio), "routing ratio {ratio}");
+        assert_eq!(si.periphery, m3d.periphery);
+    }
+
+    #[test]
+    fn total_access_energy_is_tens_of_picojoules() {
+        let si = breakdown(Technology::AllSi).total().as_picojoules();
+        let m3d = breakdown(Technology::M3dIgzoCnfetSi).total().as_picojoules();
+        assert!((18.0..22.0).contains(&si), "all-Si access {si} pJ");
+        assert!((16.0..19.5).contains(&m3d), "M3D access {m3d} pJ");
+    }
+
+    #[test]
+    fn leakage_scales_with_subarrays() {
+        let small = leakage_power(Technology::AllSi, &Organization::new(32 * 1024, 2048, 32));
+        let big = leakage_power(Technology::AllSi, &Organization::paper_default());
+        assert!((big / small - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,210 @@
+//! Array organization and geometry.
+
+use ppatc_pdk::Technology;
+use ppatc_units::{Area, Length, Time};
+
+/// Bit-cell footprints and periphery overheads.
+///
+/// The M3D cell (IGZO + 2 CNFETs stacked in the BEOL) occupies ~37 F² at
+/// the 36 nm metal pitch and its Si periphery hides underneath it; the
+/// all-Si 3T cell lives in the substrate at ~80 F² and its periphery sits
+/// beside the array. Calibrated to Table II's 0.025 / 0.068 mm² per 64 kB.
+mod geometry {
+    /// All-Si 3T cell area, µm².
+    pub const CELL_SI_UM2: f64 = 0.104;
+    /// M3D stacked 3T cell area, µm².
+    pub const CELL_M3D_UM2: f64 = 0.0477;
+    /// Periphery area overhead beside an all-Si array.
+    pub const PERIPHERY_OVERHEAD_SI: f64 = 0.247;
+    /// Periphery overhead for M3D (periphery under the array).
+    pub const PERIPHERY_OVERHEAD_M3D: f64 = 0.0;
+}
+
+/// Logical and physical organization of an eDRAM macro.
+///
+/// ```
+/// use ppatc_edram::Organization;
+///
+/// let org = Organization::paper_default();
+/// assert_eq!(org.capacity_bytes(), 64 * 1024);
+/// assert_eq!(org.subarray_count(), 32);
+/// assert_eq!(org.words_per_subarray(), 512);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Organization {
+    capacity_bytes: u32,
+    subarray_bytes: u32,
+    word_bits: u32,
+}
+
+impl Organization {
+    /// The paper's Step 2 organization: 64 kB partitioned into 2 kB
+    /// sub-arrays, each 512 words × 32 bits.
+    pub fn paper_default() -> Self {
+        Self {
+            capacity_bytes: 64 * 1024,
+            subarray_bytes: 2 * 1024,
+            word_bits: 32,
+        }
+    }
+
+    /// A custom organization.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `subarray_bytes` divides `capacity_bytes`, the word
+    /// width divides the sub-array size, and all values are positive.
+    pub fn new(capacity_bytes: u32, subarray_bytes: u32, word_bits: u32) -> Self {
+        assert!(capacity_bytes > 0 && subarray_bytes > 0 && word_bits > 0);
+        assert!(
+            capacity_bytes % subarray_bytes == 0,
+            "sub-array size must divide capacity"
+        );
+        assert!(word_bits % 8 == 0, "word width must be whole bytes");
+        assert!(
+            subarray_bytes % (word_bits / 8) == 0,
+            "word width must divide the sub-array"
+        );
+        Self { capacity_bytes, subarray_bytes, word_bits }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u32 {
+        self.capacity_bytes
+    }
+
+    /// Total bit count.
+    pub fn bits(&self) -> u64 {
+        u64::from(self.capacity_bytes) * 8
+    }
+
+    /// Word width in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> u32 {
+        self.capacity_bytes / (self.word_bits / 8)
+    }
+
+    /// Number of sub-arrays.
+    pub fn subarray_count(&self) -> u32 {
+        self.capacity_bytes / self.subarray_bytes
+    }
+
+    /// Words per sub-array (512 in the paper).
+    pub fn words_per_subarray(&self) -> u32 {
+        self.subarray_bytes / (self.word_bits / 8)
+    }
+
+    /// Rows per (square-ish) sub-array mat.
+    pub fn subarray_rows(&self) -> u32 {
+        let bits = self.subarray_bytes * 8;
+        (f64::from(bits)).sqrt().round() as u32
+    }
+
+    /// Bit columns per sub-array mat.
+    pub fn subarray_cols(&self) -> u32 {
+        let bits = self.subarray_bytes * 8;
+        bits / self.subarray_rows()
+    }
+
+    /// Bit-cell footprint in this technology.
+    pub fn cell_area(&self, technology: Technology) -> Area {
+        let um2 = match technology {
+            Technology::AllSi => geometry::CELL_SI_UM2,
+            Technology::M3dIgzoCnfetSi => geometry::CELL_M3D_UM2,
+        };
+        Area::from_square_micrometers(um2)
+    }
+
+    /// Total macro area: cell array plus periphery overhead.
+    pub fn macro_area(&self, technology: Technology) -> Area {
+        let overhead = match technology {
+            Technology::AllSi => geometry::PERIPHERY_OVERHEAD_SI,
+            Technology::M3dIgzoCnfetSi => geometry::PERIPHERY_OVERHEAD_M3D,
+        };
+        self.cell_area(technology) * (self.bits() as f64) * (1.0 + overhead)
+    }
+
+    /// Physical length of one sub-array wordline.
+    pub fn wordline_length(&self, technology: Technology) -> Length {
+        let cell_side = self.cell_area(technology).as_square_micrometers().sqrt();
+        Length::from_micrometers(cell_side * f64::from(self.subarray_cols()))
+    }
+
+    /// Physical length of one sub-array bitline.
+    pub fn bitline_length(&self, technology: Technology) -> Length {
+        let cell_side = self.cell_area(technology).as_square_micrometers().sqrt();
+        Length::from_micrometers(cell_side * f64::from(self.subarray_rows()))
+    }
+
+    /// Retention horizon above which refresh is pointless: if a cell holds
+    /// data for longer than a day, the system lifetime model treats the
+    /// macro as refresh-free (the IGZO case, >10⁵ s).
+    pub fn refresh_horizon() -> Time {
+        Time::from_days(1.0)
+    }
+}
+
+impl Default for Organization {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::approx_eq;
+
+    #[test]
+    fn paper_organization_counts() {
+        let org = Organization::paper_default();
+        assert_eq!(org.bits(), 524_288);
+        assert_eq!(org.words(), 16_384);
+        assert_eq!(org.subarray_count(), 32);
+        assert_eq!(org.words_per_subarray(), 512);
+        // 2 kB = 16384 bits → 128 × 128 mat.
+        assert_eq!(org.subarray_rows(), 128);
+        assert_eq!(org.subarray_cols(), 128);
+    }
+
+    #[test]
+    fn areas_match_table2() {
+        let org = Organization::paper_default();
+        assert!(approx_eq(
+            org.macro_area(Technology::AllSi).as_square_millimeters(),
+            0.068,
+            0.02
+        ));
+        assert!(approx_eq(
+            org.macro_area(Technology::M3dIgzoCnfetSi).as_square_millimeters(),
+            0.025,
+            0.02
+        ));
+    }
+
+    #[test]
+    fn m3d_wires_are_shorter() {
+        let org = Organization::paper_default();
+        assert!(
+            org.bitline_length(Technology::M3dIgzoCnfetSi)
+                < org.bitline_length(Technology::AllSi)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide capacity")]
+    fn bad_subarray_size_panics() {
+        let _ = Organization::new(64 * 1024, 3000, 32);
+    }
+
+    #[test]
+    fn custom_organization() {
+        let org = Organization::new(32 * 1024, 4 * 1024, 64);
+        assert_eq!(org.subarray_count(), 8);
+        assert_eq!(org.words(), 4096);
+    }
+}

@@ -1,0 +1,187 @@
+//! A 6T SRAM baseline macro — the comparator behind the paper's Sec. III-A
+//! bullet "*Low static power: ... DRAM cells do not consume static power,
+//! unlike SRAM cells*".
+//!
+//! This is a logic-rule (not foundry push-rule) 6T SRAM implemented in the
+//! same ASAP7-style Si process as the all-Si eDRAM, with the same 2 kB
+//! sub-array organization and periphery model, so the three-way comparison
+//! (M3D eDRAM / Si eDRAM / Si SRAM) isolates the *cell* trade-offs:
+//!
+//! - 6T cells are about 2× the area of the 3T eDRAM cell;
+//! - every cell leaks continuously through its cross-coupled inverters
+//!   (HVT devices, but half a million of them add up);
+//! - there is no refresh and no retention limit.
+
+use crate::energy::{self, AccessEnergyBreakdown};
+use crate::organization::Organization;
+use ppatc_device::{si, Fet, SiVtFlavor};
+use ppatc_pdk::Technology;
+use ppatc_units::{Area, Energy, Frequency, Length, Power, Time, Voltage};
+
+/// Logic-rule 6T SRAM cell area, µm² (≈ 2× the 3T eDRAM cell).
+const CELL_SRAM_UM2: f64 = 0.21;
+
+/// Periphery overhead beside the array (same as the planar eDRAM).
+const PERIPHERY_OVERHEAD: f64 = 0.247;
+
+/// A characterized 6T SRAM macro in the all-Si process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SramMacro {
+    organization: Organization,
+    cell_leakage: Power,
+    periphery_leakage: Power,
+    access_energy: AccessEnergyBreakdown,
+    area: Area,
+    access_latency: Time,
+}
+
+impl SramMacro {
+    /// Characterizes the 64 kB baseline with the paper's organization.
+    pub fn baseline_64kb() -> Self {
+        Self::characterize(Organization::paper_default())
+    }
+
+    /// Characterizes an SRAM macro with a custom organization.
+    pub fn characterize(organization: Organization) -> Self {
+        let vdd = Voltage::from_volts(0.7);
+        // Each 6T cell has two potential leakage paths (one inverter pulls
+        // high, the other low); HVT devices at minimum width.
+        let w = Length::from_nanometers(54.0);
+        let nfet: Fet = si::nfet(SiVtFlavor::Hvt).sized(w);
+        let pfet: Fet = si::pfet(SiVtFlavor::Hvt).sized(w);
+        let leak_per_cell = vdd * (nfet.i_off(vdd) + pfet.i_off(vdd));
+        let cells = organization.bits() as f64;
+        let cell_leakage = Power::from_watts(leak_per_cell.as_watts() * cells);
+        let area = Area::from_square_micrometers(
+            CELL_SRAM_UM2 * cells * (1.0 + PERIPHERY_OVERHEAD),
+        );
+        // Same periphery models as the eDRAM: decoder/SA/driver energy and
+        // leakage, with the routing term scaled by this macro's footprint.
+        let cell = crate::cell::BitCell::for_technology(Technology::AllSi);
+        let access_energy = energy::access_energy(Technology::AllSi, &organization, &cell, area);
+        let periphery_leakage = energy::leakage_power(Technology::AllSi, &organization);
+        Self {
+            organization,
+            cell_leakage,
+            periphery_leakage,
+            access_energy,
+            area,
+            // Differential read with a full 6T cell is a little faster than
+            // the single-ended 3T read; periphery dominates either way.
+            access_latency: Time::from_picoseconds(550.0),
+        }
+    }
+
+    /// Array organization.
+    pub fn organization(&self) -> &Organization {
+        &self.organization
+    }
+
+    /// Macro footprint.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Continuous leakage of the cell array alone.
+    pub fn cell_leakage(&self) -> Power {
+        self.cell_leakage
+    }
+
+    /// Total static power (cells + periphery). SRAM has no refresh term.
+    pub fn leakage_power(&self) -> Power {
+        self.cell_leakage + self.periphery_leakage
+    }
+
+    /// Energy of one word access.
+    pub fn access_energy(&self) -> Energy {
+        self.access_energy.total()
+    }
+
+    /// Worst-case access latency.
+    pub fn access_latency(&self) -> Time {
+        self.access_latency
+    }
+
+    /// Whether an access fits one cycle at `f_clk`.
+    pub fn meets_timing(&self, f_clk: Frequency) -> bool {
+        self.access_latency <= f_clk.period()
+    }
+
+    /// Average energy per cycle with `accesses` over `cycles` at `f_clk` —
+    /// directly comparable to
+    /// [`EdramMacro::average_energy_per_cycle`](crate::EdramMacro::average_energy_per_cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn average_energy_per_cycle(
+        &self,
+        accesses: u64,
+        cycles: u64,
+        f_clk: Frequency,
+    ) -> Energy {
+        assert!(cycles > 0, "cycle count must be positive");
+        let access = self.access_energy.total() * (accesses as f64 / cycles as f64);
+        access + self.leakage_power() * f_clk.period()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdramMacro;
+    use ppatc_units::approx_eq;
+
+    #[test]
+    fn sram_is_larger_than_si_edram() {
+        // Sec. III-A "high memory density": the 3T eDRAM beats 6T SRAM on
+        // footprint even before M3D stacking.
+        let sram = SramMacro::baseline_64kb();
+        let edram = EdramMacro::characterize(Technology::AllSi).expect("characterizes");
+        let ratio = sram.area() / edram.area();
+        assert!(ratio > 1.5, "SRAM/eDRAM area ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn sram_cells_leak_continuously() {
+        // Sec. III-A "low static power": the DRAM array draws none, the
+        // SRAM array draws tens of µW.
+        let sram = SramMacro::baseline_64kb();
+        assert!(
+            sram.cell_leakage().as_microwatts() > 10.0,
+            "cell leakage {:?}",
+            sram.cell_leakage()
+        );
+        let edram = EdramMacro::characterize(Technology::M3dIgzoCnfetSi).expect("characterizes");
+        // The M3D eDRAM's total static power (periphery only, no refresh)
+        // undercuts the SRAM's (periphery + cells).
+        assert!(edram.leakage_power() + edram.refresh_power() < sram.leakage_power());
+    }
+
+    #[test]
+    fn sram_needs_no_refresh_but_si_edram_does() {
+        let sram = SramMacro::baseline_64kb();
+        let si_edram = EdramMacro::characterize(Technology::AllSi).expect("characterizes");
+        // SRAM's background power is flat; Si eDRAM adds refresh on top of
+        // its periphery. The all-Si *total* standby comparison can go
+        // either way — that's the trade the paper's cell choice navigates.
+        assert!(si_edram.refresh_power().as_microwatts() > 0.0);
+        assert!(sram.leakage_power().as_microwatts() > 0.0);
+    }
+
+    #[test]
+    fn sram_meets_500mhz() {
+        assert!(SramMacro::baseline_64kb().meets_timing(Frequency::from_megahertz(500.0)));
+    }
+
+    #[test]
+    fn energy_per_cycle_composition() {
+        let sram = SramMacro::baseline_64kb();
+        let f = Frequency::from_megahertz(500.0);
+        let idle = sram.average_energy_per_cycle(0, 1000, f);
+        let expected_idle = sram.leakage_power() * f.period();
+        assert!(approx_eq(idle.as_joules(), expected_idle.as_joules(), 1e-12));
+        let busy = sram.average_energy_per_cycle(800, 1000, f);
+        assert!(busy > idle);
+    }
+}

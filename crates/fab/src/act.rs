@@ -1,0 +1,123 @@
+//! Cross-validation against ACT (Gupta et al., ISCA 2022).
+//!
+//! The paper positions itself relative to ACT — "the Architectural Carbon
+//! modeling Tool ... primarily focuses on today's silicon-based
+//! technologies". ACT publishes per-area carbon parameters for logic nodes
+//! (energy per area, gas per area, materials per area) gathered from
+//! industry sustainability reports; this module encodes its 7 nm-class
+//! parameters so our bottom-up all-Si flow can be checked against that
+//! independent, top-down source.
+
+use crate::grid::Grid;
+use ppatc_units::{Area, CarbonMass, Energy};
+
+/// ACT-style per-area fabrication parameters for one logic node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ActNode {
+    /// Node label, e.g. `"7nm"`.
+    pub label: &'static str,
+    /// Fabrication energy per area, kWh/cm².
+    pub epa_kwh_per_cm2: f64,
+    /// Direct gas emissions per area, kgCO₂e/cm².
+    pub gpa_kg_per_cm2: f64,
+    /// Materials (procurement) per area, kgCO₂e/cm².
+    pub mpa_kg_per_cm2: f64,
+}
+
+impl ActNode {
+    /// ACT's 7 nm-class parameter set (industry-report aggregates: ~1 to
+    /// 1.5 kWh/cm² of fab energy, 0.2 kg/cm² of gases, 0.5 kg/cm² of
+    /// materials).
+    pub fn n7() -> Self {
+        Self {
+            label: "7nm",
+            epa_kwh_per_cm2: 1.2,
+            gpa_kg_per_cm2: 0.2,
+            mpa_kg_per_cm2: 0.5,
+        }
+    }
+
+    /// ACT's 14 nm-class parameters (fewer steps, less energy).
+    pub fn n14() -> Self {
+        Self {
+            label: "14nm",
+            epa_kwh_per_cm2: 0.9,
+            gpa_kg_per_cm2: 0.15,
+            mpa_kg_per_cm2: 0.5,
+        }
+    }
+
+    /// ACT Eq.-style embodied carbon for `area` fabricated on `grid`:
+    /// `CI_fab · EPA + GPA + MPA` per area.
+    pub fn embodied(&self, area: Area, grid: Grid) -> CarbonMass {
+        let cm2 = area.as_square_centimeters();
+        let electricity =
+            grid.ci() * Energy::from_kilowatt_hours(self.epa_kwh_per_cm2 * cm2);
+        let gases = CarbonMass::from_kilograms(self.gpa_kg_per_cm2 * cm2);
+        let materials = CarbonMass::from_kilograms(self.mpa_kg_per_cm2 * cm2);
+        electricity + gases + materials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{grid, EmbodiedModel};
+    use ppatc_pdk::Technology;
+    use ppatc_units::Length;
+
+    #[test]
+    fn our_all_si_flow_lands_inside_acts_7nm_band() {
+        // Bottom-up (this crate) vs. top-down (ACT) for a full 300 mm
+        // all-Si wafer on the U.S. grid: the two independent methods must
+        // agree within ~30%.
+        let wafer = Area::of_wafer(Length::from_millimeters(300.0));
+        let act = ActNode::n7().embodied(wafer, grid::US);
+        let ours = EmbodiedModel::paper_default()
+            .embodied_per_wafer(Technology::AllSi, grid::US)
+            .total();
+        let ratio = ours / act;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "bottom-up/ACT ratio {ratio:.2} (ours {:.0} kg vs ACT {:.0} kg)",
+            ours.as_kilograms(),
+            act.as_kilograms()
+        );
+    }
+
+    #[test]
+    fn act_cannot_see_the_m3d_premium() {
+        // The motivating gap: ACT's per-node numbers are area-only, so the
+        // M3D process (same area, more layers) costs the *same* under ACT —
+        // while the bottom-up flow correctly charges it ~31% more. This is
+        // exactly the modeling hole the paper fills.
+        let wafer = Area::of_wafer(Length::from_millimeters(300.0));
+        let act_si = ActNode::n7().embodied(wafer, grid::US);
+        let act_m3d = ActNode::n7().embodied(wafer, grid::US); // no knob to turn
+        assert_eq!(act_si, act_m3d);
+        let ours = EmbodiedModel::paper_default();
+        let ratio = ours
+            .embodied_per_wafer(Technology::M3dIgzoCnfetSi, grid::US)
+            .total()
+            / ours.embodied_per_wafer(Technology::AllSi, grid::US).total();
+        assert!(ratio > 1.25);
+    }
+
+    #[test]
+    fn newer_nodes_cost_more_under_act_too() {
+        let die = Area::from_square_centimeters(1.0);
+        let n7 = ActNode::n7().embodied(die, grid::TAIWAN);
+        let n14 = ActNode::n14().embodied(die, grid::TAIWAN);
+        assert!(n7 > n14);
+    }
+
+    #[test]
+    fn grid_sensitivity_matches_eq2_structure() {
+        let die = Area::from_square_centimeters(1.0);
+        let solar = ActNode::n7().embodied(die, grid::SOLAR);
+        let coal = ActNode::n7().embodied(die, grid::COAL);
+        // Gases + materials put a floor under the clean-grid footprint.
+        assert!(solar.as_kilograms() > 0.69);
+        assert!(coal > solar);
+    }
+}

@@ -1,0 +1,161 @@
+//! Wafer-cost extension (the paper's conclusion: "extended to consider
+//! factors such as **cost**, new materials and processes, ...").
+//!
+//! Fabrication cost follows the same per-step structure as fabrication
+//! energy: every pass through a tool carries an amortized
+//! capital-plus-operations cost, lithography (above all EUV) dominates, and
+//! the M3D process pays for its extra tiers step by step. Combined with the
+//! die/yield models this answers the companion question to the paper's
+//! carbon one: *what does the M3D flexibility cost in dollars per good
+//! die?*
+
+use crate::flow::ProcessFlow;
+use crate::steps::{LithoTool, ProcessArea, ProcessStep};
+
+/// Amortized cost per wafer pass by process area, U.S. dollars.
+///
+/// Calibrated so the complete all-Si flow lands near the widely quoted
+/// ~$9,000–10,000 per 7 nm-class wafer, with EUV exposures (a ~$150M
+/// scanner over its depreciation life) as the single largest line item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    usd_euv_exposure: f64,
+    usd_immersion_exposure: f64,
+    usd_deposition: f64,
+    usd_dry_etch: f64,
+    usd_wet_etch: f64,
+    usd_metallization: f64,
+    usd_metrology: f64,
+    /// FEOL block cost (FinFET front end + MOL), $ per wafer.
+    feol_usd: f64,
+    /// Raw wafer + consumable materials, $ per wafer.
+    materials_usd: f64,
+}
+
+impl CostModel {
+    /// The calibrated 7 nm-class cost set.
+    pub fn typical_7nm() -> Self {
+        Self {
+            usd_euv_exposure: 85.0,
+            usd_immersion_exposure: 25.0,
+            usd_deposition: 12.0,
+            usd_dry_etch: 13.0,
+            usd_wet_etch: 5.0,
+            usd_metallization: 14.0,
+            usd_metrology: 4.0,
+            feol_usd: 4200.0,
+            materials_usd: 500.0,
+        }
+    }
+
+    /// Cost of one step.
+    pub fn usd_for(&self, step: &ProcessStep) -> f64 {
+        match (step.area, step.tool) {
+            (ProcessArea::Lithography, Some(LithoTool::Euv)) => self.usd_euv_exposure,
+            (ProcessArea::Lithography, _) => self.usd_immersion_exposure,
+            (ProcessArea::Deposition, _) => self.usd_deposition,
+            (ProcessArea::DryEtch, _) => self.usd_dry_etch,
+            (ProcessArea::WetEtch, _) => self.usd_wet_etch,
+            (ProcessArea::Metallization, _) => self.usd_metallization,
+            (ProcessArea::Metrology, _) => self.usd_metrology,
+        }
+    }
+
+    /// Total wafer cost for a flow: materials + FEOL + per-step BEOL.
+    pub fn cost_per_wafer(&self, flow: &ProcessFlow) -> f64 {
+        self.materials_usd
+            + self.feol_usd
+            + flow.steps().iter().map(|s| self.usd_for(s)).sum::<f64>()
+    }
+
+    /// Fraction of the BEOL cost spent on lithography.
+    pub fn litho_share(&self, flow: &ProcessFlow) -> f64 {
+        let litho: f64 = flow
+            .steps()
+            .iter()
+            .filter(|s| s.area == ProcessArea::Lithography)
+            .map(|s| self.usd_for(s))
+            .sum();
+        let beol: f64 = flow.steps().iter().map(|s| self.usd_for(s)).sum();
+        litho / beol
+    }
+
+    /// Cost per *good* die, mirroring the carbon Eq. 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `good_dies_per_wafer` is positive.
+    pub fn cost_per_good_die(&self, flow: &ProcessFlow, good_dies_per_wafer: f64) -> f64 {
+        assert!(good_dies_per_wafer > 0.0, "need at least one good die");
+        self.cost_per_wafer(flow) / good_dies_per_wafer
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::typical_7nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_pdk::Technology;
+
+    fn flows() -> (ProcessFlow, ProcessFlow) {
+        (
+            ProcessFlow::for_technology(Technology::AllSi),
+            ProcessFlow::for_technology(Technology::M3dIgzoCnfetSi),
+        )
+    }
+
+    #[test]
+    fn all_si_wafer_cost_is_industry_plausible() {
+        let model = CostModel::typical_7nm();
+        let (si, _) = flows();
+        let usd = model.cost_per_wafer(&si);
+        assert!((7_000.0..12_000.0).contains(&usd), "all-Si wafer ${usd:.0}");
+    }
+
+    #[test]
+    fn m3d_costs_more_per_wafer_but_the_gap_narrows_per_die() {
+        let model = CostModel::typical_7nm();
+        let (si, m3d) = flows();
+        let wafer_ratio = model.cost_per_wafer(&m3d) / model.cost_per_wafer(&si);
+        assert!(wafer_ratio > 1.2, "wafer cost ratio {wafer_ratio:.2}");
+        // Per good die (Table II counts + paper yields), the smaller M3D
+        // die claws back most of the premium.
+        let si_die = model.cost_per_good_die(&si, 299_127.0 * 0.9);
+        let m3d_die = model.cost_per_good_die(&m3d, 606_238.0 * 0.5);
+        let die_ratio = m3d_die / si_die;
+        assert!(die_ratio < wafer_ratio, "die ratio {die_ratio:.2} vs wafer {wafer_ratio:.2}");
+        // Cents-per-die magnitudes.
+        assert!(si_die > 0.01 && si_die < 0.10, "all-Si ${si_die:.3}/die");
+    }
+
+    #[test]
+    fn litho_dominates_the_beol_cost() {
+        let model = CostModel::typical_7nm();
+        let (_, m3d) = flows();
+        let share = model.litho_share(&m3d);
+        assert!(share > 0.35, "litho share {share:.2}");
+    }
+
+    #[test]
+    fn cost_and_carbon_premiums_are_correlated() {
+        // Both premiums come from the same step counts, so their ratios
+        // should be in the same ballpark (carbon adds grid/materials terms).
+        let cost_model = CostModel::typical_7nm();
+        let carbon_model = crate::EmbodiedModel::paper_default();
+        let (si, m3d) = flows();
+        let cost_ratio = cost_model.cost_per_wafer(&m3d) / cost_model.cost_per_wafer(&si);
+        let c_si = carbon_model
+            .embodied_per_wafer(Technology::AllSi, crate::grid::US)
+            .total();
+        let c_m3d = carbon_model
+            .embodied_per_wafer(Technology::M3dIgzoCnfetSi, crate::grid::US)
+            .total();
+        let carbon_ratio = c_m3d / c_si;
+        assert!((cost_ratio - carbon_ratio).abs() < 0.35, "{cost_ratio:.2} vs {carbon_ratio:.2}");
+    }
+}

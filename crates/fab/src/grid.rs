@@ -1,0 +1,109 @@
+//! Electricity-grid carbon intensities.
+
+use ppatc_units::CarbonIntensity;
+
+/// A named electricity grid with its average carbon intensity.
+///
+/// The four grids of the paper's Fig. 2c are provided as constants; build
+/// custom grids with [`Grid::new`].
+///
+/// ```
+/// use ppatc_fab::grid;
+///
+/// assert_eq!(grid::US.ci().as_g_per_kwh(), 380.0);
+/// assert!(grid::SOLAR.ci() < grid::COAL.ci());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Grid {
+    name: &'static str,
+    g_per_kwh: f64,
+}
+
+/// U.S. average grid (380 gCO₂e/kWh).
+pub const US: Grid = Grid { name: "U.S.", g_per_kwh: 380.0 };
+
+/// Coal-dominated grid (820 gCO₂e/kWh).
+pub const COAL: Grid = Grid { name: "coal", g_per_kwh: 820.0 };
+
+/// Solar generation (48 gCO₂e/kWh life-cycle).
+pub const SOLAR: Grid = Grid { name: "solar", g_per_kwh: 48.0 };
+
+/// Taiwanese grid (563 gCO₂e/kWh) — where most leading-edge fabs operate.
+pub const TAIWAN: Grid = Grid { name: "Taiwan", g_per_kwh: 563.0 };
+
+/// The four grids of Fig. 2c, in the paper's order.
+pub const FIG2C_GRIDS: [Grid; 4] = [US, COAL, SOLAR, TAIWAN];
+
+impl Grid {
+    /// Creates a custom grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the intensity is negative.
+    pub fn new(name: &'static str, g_per_kwh: f64) -> Self {
+        assert!(g_per_kwh >= 0.0, "carbon intensity must be non-negative");
+        Self { name, g_per_kwh }
+    }
+
+    /// Grid name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Carbon intensity of this grid.
+    pub fn ci(&self) -> CarbonIntensity {
+        CarbonIntensity::from_g_per_kwh(self.g_per_kwh)
+    }
+
+    /// Returns a copy with the intensity scaled by `factor` — the Fig. 6b
+    /// CI-uncertainty knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        Self {
+            name: self.name,
+            g_per_kwh: self.g_per_kwh * factor,
+        }
+    }
+}
+
+impl core::fmt::Display for Grid {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} ({} gCO₂e/kWh)", self.name, self.g_per_kwh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_values() {
+        assert_eq!(US.ci().as_g_per_kwh(), 380.0);
+        assert_eq!(COAL.ci().as_g_per_kwh(), 820.0);
+        assert_eq!(SOLAR.ci().as_g_per_kwh(), 48.0);
+        assert_eq!(TAIWAN.ci().as_g_per_kwh(), 563.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let tripled = US.scaled(3.0);
+        assert_eq!(tripled.ci().as_g_per_kwh(), 1140.0);
+        assert_eq!(tripled.name(), "U.S.");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(US.to_string(), "U.S. (380 gCO₂e/kWh)");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_ci_panics() {
+        let _ = Grid::new("bad", -1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Embodied-carbon models of fabrication processes (paper Section II).
+//!
+//! The total embodied carbon of a wafer is (Eq. 2):
+//!
+//! ```text
+//! C_embodied = (MPA + GPA + CI_fab · EPA_f) · Area
+//! ```
+//!
+//! - **EPA** (electrical energy per area) comes from a per-step energy
+//!   database ([`steps`]) multiplied by the step counts of a process flow
+//!   ([`flow`]) — the matrix product of the paper's Eq. 4. Flows are derived
+//!   structurally from the [`ppatc_pdk`] layer stacks: every metal/via pair
+//!   contributes a patterning sequence appropriate to its pitch, and each
+//!   CNFET/IGZO device tier contributes its own deposition/patterning
+//!   sequence. `EPA_f = 1.4 × EPA` adds the ITRS facility overhead.
+//! - **MPA** (materials per area) is dominated by the Si substrate
+//!   (500 gCO₂e/cm²); CNT synthesis and IGZO sputter targets add a
+//!   vanishingly small amount ([`materials`]).
+//! - **GPA** (direct gas emissions per area) scales the published imec iN7
+//!   value by the ratio of fabrication energies (Eq. 3, [`carbon`]).
+//! - **CI_fab** is the grid carbon intensity at the foundry ([`grid`]).
+//!
+//! # Example: reproduce Fig. 2c's U.S.-grid bars
+//!
+//! ```
+//! use ppatc_fab::carbon::EmbodiedModel;
+//! use ppatc_fab::grid;
+//! use ppatc_pdk::Technology;
+//!
+//! let model = EmbodiedModel::paper_default();
+//! let si = model.embodied_per_wafer(Technology::AllSi, grid::US);
+//! let m3d = model.embodied_per_wafer(Technology::M3dIgzoCnfetSi, grid::US);
+//! assert!((si.total().as_kilograms() - 837.0).abs() < 9.0);
+//! assert!((m3d.total().as_kilograms() - 1100.0).abs() < 11.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod act;
+pub mod carbon;
+pub mod cost;
+pub mod flow;
+pub mod grid;
+pub mod materials;
+pub mod steps;
+pub mod water;
+
+pub use carbon::{EmbodiedBreakdown, EmbodiedModel};
+pub use flow::ProcessFlow;
+pub use grid::Grid;
+pub use steps::{LithoTool, ProcessArea, ProcessStep, StepEnergies};

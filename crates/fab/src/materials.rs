@@ -1,0 +1,160 @@
+//! Materials-procurement carbon (the MPA term of Eq. 2).
+//!
+//! The Si substrate dominates: 500 gCO₂e/cm² (~353 kgCO₂e per 300 mm wafer,
+//! from semiconductor LCA data \[Boyd 2011\]). The emerging materials of the
+//! M3D process add astonishingly little mass — the CNT channel layer is a
+//! sparse ~2 nm film and the IGZO channel a 10 nm film — so even with the
+//! high specific footprint of CNT synthesis (~14 kgCO₂e per gram, averaged
+//! across CVD methods \[Teah 2020\]) their MPA contribution is negligible.
+//! This module computes it anyway, from geometry, so the claim is checkable.
+
+use ppatc_units::{Area, CarbonArea, CarbonMass, Length};
+
+/// Carbon footprint of the silicon substrate per unit area (LCA value).
+pub fn silicon_wafer_mpa() -> CarbonArea {
+    CarbonArea::from_g_per_cm2(500.0)
+}
+
+/// Specific carbon footprint of CNT synthesis, gCO₂e per gram of CNT
+/// (≈14 kgCO₂e/g averaged across on-substrate and fluidized-bed CVD).
+pub const CNT_SYNTHESIS_G_PER_G: f64 = 14_000.0;
+
+/// Specific carbon footprint of IGZO sputter-target material, gCO₂e per
+/// gram (indium-dominated; upper-bound estimate).
+pub const IGZO_TARGET_G_PER_G: f64 = 250.0;
+
+/// Mass model of one deposited CNT layer.
+///
+/// ```
+/// use ppatc_fab::materials::CntLayer;
+/// use ppatc_units::{Area, Length};
+///
+/// let wafer = Area::of_wafer(Length::from_millimeters(300.0));
+/// let layer = CntLayer::default();
+/// // Even a pessimistic geometric estimate is micrograms per wafer,
+/// // i.e. well under a gram of CO2e.
+/// assert!(layer.carbon(wafer).as_grams() < 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CntLayer {
+    /// Tube areal density where CNTs are present (tubes per metre of width).
+    pub tubes_per_meter: f64,
+    /// Fraction of the wafer covered by retained CNT active regions.
+    ///
+    /// The paper reports the retained mass as "on the order of picograms";
+    /// a geometric estimate with a few percent active-area coverage lands
+    /// in the microgram range instead. Either way MPA is negligible — we
+    /// keep the geometric (pessimistic) estimate and note the deviation.
+    pub area_coverage: f64,
+    /// Linear mass density of one CNT, grams per metre (~1.5 nm diameter).
+    pub mass_per_tube_length: f64,
+}
+
+impl Default for CntLayer {
+    fn default() -> Self {
+        Self {
+            tubes_per_meter: 2.0e8, // 200 CNTs/µm
+            area_coverage: 0.05,
+            mass_per_tube_length: 3.6e-12, // g/m for a ~1.5 nm tube
+        }
+    }
+}
+
+impl CntLayer {
+    /// Total CNT mass deposited-and-retained on a wafer of the given area,
+    /// in grams.
+    pub fn mass_grams(&self, wafer: Area) -> f64 {
+        let covered = wafer.as_square_meters() * self.area_coverage;
+        // Parallel tubes at (1/tubes_per_meter) spacing: total length =
+        // covered area × density.
+        let total_length_m = covered * self.tubes_per_meter;
+        total_length_m * self.mass_per_tube_length
+    }
+
+    /// Synthesis carbon of the layer's CNTs.
+    pub fn carbon(&self, wafer: Area) -> CarbonMass {
+        CarbonMass::from_grams(self.mass_grams(wafer) * CNT_SYNTHESIS_G_PER_G)
+    }
+}
+
+/// Mass model of one sputtered IGZO layer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IgzoLayer {
+    /// Film thickness.
+    pub thickness: Length,
+    /// IGZO density, g/cm³.
+    pub density_g_per_cm3: f64,
+    /// Sputter-target utilization (deposited / consumed).
+    pub target_utilization: f64,
+}
+
+impl Default for IgzoLayer {
+    fn default() -> Self {
+        Self {
+            thickness: Length::from_nanometers(10.0),
+            density_g_per_cm3: 6.1,
+            target_utilization: 0.3,
+        }
+    }
+}
+
+impl IgzoLayer {
+    /// Target material consumed to coat a wafer of the given area, grams.
+    pub fn mass_grams(&self, wafer: Area) -> f64 {
+        let volume_cm3 = wafer.as_square_centimeters() * (self.thickness.as_meters() * 100.0);
+        volume_cm3 * self.density_g_per_cm3 / self.target_utilization
+    }
+
+    /// Procurement carbon of the consumed target material.
+    pub fn carbon(&self, wafer: Area) -> CarbonMass {
+        CarbonMass::from_grams(self.mass_grams(wafer) * IGZO_TARGET_G_PER_G)
+    }
+}
+
+/// Total MPA for a process with the given numbers of CNT and IGZO layers.
+///
+/// Returns the Si-substrate MPA plus the (tiny) emerging-material additions,
+/// expressed per unit area.
+pub fn process_mpa(wafer: Area, cnt_layers: usize, igzo_layers: usize) -> CarbonArea {
+    let si = silicon_wafer_mpa() * wafer;
+    let cnt = CntLayer::default().carbon(wafer) * (cnt_layers as f64);
+    let igzo = IgzoLayer::default().carbon(wafer) * (igzo_layers as f64);
+    (si + cnt + igzo) / wafer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::approx_eq;
+
+    fn wafer() -> Area {
+        Area::of_wafer(Length::from_millimeters(300.0))
+    }
+
+    #[test]
+    fn silicon_dominates() {
+        let si = silicon_wafer_mpa() * wafer();
+        assert!(approx_eq(si.as_grams(), 3.534e5, 1e-3));
+        let m3d = process_mpa(wafer(), 2, 1) * wafer();
+        // Emerging materials add < 0.01% to MPA.
+        assert!((m3d.as_grams() - si.as_grams()) / si.as_grams() < 1e-4);
+    }
+
+    #[test]
+    fn cnt_mass_is_micrograms() {
+        let g = CntLayer::default().mass_grams(wafer());
+        assert!(g > 1e-8 && g < 1e-4, "CNT mass {g} g");
+    }
+
+    #[test]
+    fn igzo_mass_is_milligrams() {
+        let g = IgzoLayer::default().mass_grams(wafer());
+        assert!(g > 1e-3 && g < 1.0, "IGZO mass {g} g");
+    }
+
+    #[test]
+    fn all_si_process_mpa_is_pure_silicon() {
+        let a = process_mpa(wafer(), 0, 0);
+        assert!(approx_eq(a.as_g_per_cm2(), 500.0, 1e-12));
+    }
+}

@@ -1,0 +1,156 @@
+//! Water-footprint extension (the paper's conclusion: "this type of
+//! analysis can be extended to consider factors such as ... water
+//! consumption").
+//!
+//! Semiconductor fabs are prodigious water consumers — several cubic metres
+//! of ultra-pure water (UPW) per wafer, each litre of which takes roughly
+//! 1.4–2.5 litres of municipal supply to produce. The per-step structure of
+//! the Eq. 4 energy model transfers directly: assign each process area a
+//! UPW demand per pass, multiply by the step counts of a flow, and the M3D
+//! process's extra layers show up as extra water exactly the way they show
+//! up as extra carbon.
+
+use crate::flow::ProcessFlow;
+use crate::steps::{ProcessArea, ProcessStep};
+
+/// UPW demand per step, litres per wafer pass, by process area.
+///
+/// Wet processing dominates: wet etch/clean benches and CMP rinses are the
+/// thirstiest steps; plasma and metrology steps need almost nothing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WaterModel {
+    litres_lithography: f64,
+    litres_deposition: f64,
+    litres_dry_etch: f64,
+    litres_wet_etch: f64,
+    litres_metallization: f64,
+    litres_metrology: f64,
+    /// FEOL block demand (the iN7-equivalent front end), litres per wafer.
+    feol_litres: f64,
+    /// Municipal litres consumed per UPW litre produced.
+    upw_overhead: f64,
+}
+
+impl WaterModel {
+    /// Industry-plausible 7 nm-class values: ~4–6 m³ UPW per finished
+    /// wafer, with a 1.6× raw-water multiplier.
+    pub fn typical_7nm() -> Self {
+        Self {
+            litres_lithography: 14.0, // develop + rinse tracks
+            litres_deposition: 7.0,
+            litres_dry_etch: 4.0,
+            litres_wet_etch: 30.0,
+            litres_metallization: 24.0, // plating + CMP rinse
+            litres_metrology: 1.0,
+            feol_litres: 2600.0,
+            upw_overhead: 1.6,
+        }
+    }
+
+    /// UPW demand of one step.
+    pub fn litres_for(&self, step: &ProcessStep) -> f64 {
+        match step.area {
+            ProcessArea::Lithography => self.litres_lithography,
+            ProcessArea::Deposition => self.litres_deposition,
+            ProcessArea::DryEtch => self.litres_dry_etch,
+            ProcessArea::WetEtch => self.litres_wet_etch,
+            ProcessArea::Metallization => self.litres_metallization,
+            ProcessArea::Metrology => self.litres_metrology,
+        }
+    }
+
+    /// UPW consumed to fabricate one wafer with the given flow, litres.
+    pub fn upw_per_wafer(&self, flow: &ProcessFlow) -> f64 {
+        self.feol_litres + flow.steps().iter().map(|s| self.litres_for(s)).sum::<f64>()
+    }
+
+    /// Raw (municipal) water per wafer, litres — UPW × production overhead.
+    pub fn raw_water_per_wafer(&self, flow: &ProcessFlow) -> f64 {
+        self.upw_per_wafer(flow) * self.upw_overhead
+    }
+
+    /// Raw water per *good die*, litres, mirroring Eq. 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `good_dies_per_wafer` is positive.
+    pub fn raw_water_per_good_die(&self, flow: &ProcessFlow, good_dies_per_wafer: f64) -> f64 {
+        assert!(good_dies_per_wafer > 0.0, "need at least one good die");
+        self.raw_water_per_wafer(flow) / good_dies_per_wafer
+    }
+}
+
+impl Default for WaterModel {
+    fn default() -> Self {
+        Self::typical_7nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_pdk::Technology;
+
+    fn flows() -> (ProcessFlow, ProcessFlow) {
+        (
+            ProcessFlow::for_technology(Technology::AllSi),
+            ProcessFlow::for_technology(Technology::M3dIgzoCnfetSi),
+        )
+    }
+
+    #[test]
+    fn per_wafer_magnitude_is_cubic_metres() {
+        let model = WaterModel::typical_7nm();
+        let (si, m3d) = flows();
+        for f in [&si, &m3d] {
+            let m3 = model.upw_per_wafer(f) / 1000.0;
+            assert!((3.0..10.0).contains(&m3), "{}: {m3:.1} m³", f.name());
+        }
+    }
+
+    #[test]
+    fn m3d_uses_more_water() {
+        let model = WaterModel::typical_7nm();
+        let (si, m3d) = flows();
+        let ratio = model.upw_per_wafer(&m3d) / model.upw_per_wafer(&si);
+        // More layers, more wet steps — but the FEOL dominates water the
+        // way it dominates energy, so the overhead is moderate.
+        assert!((1.1..1.8).contains(&ratio), "water ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn raw_water_applies_the_upw_overhead() {
+        let model = WaterModel::typical_7nm();
+        let (si, _) = flows();
+        let upw = model.upw_per_wafer(&si);
+        let raw = model.raw_water_per_wafer(&si);
+        assert!((raw / upw - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_good_die_scales_like_eq5() {
+        let model = WaterModel::typical_7nm();
+        let (si, _) = flows();
+        let at_90 = model.raw_water_per_good_die(&si, 299_127.0 * 0.9);
+        let at_45 = model.raw_water_per_good_die(&si, 299_127.0 * 0.45);
+        assert!((at_45 / at_90 - 2.0).abs() < 1e-9);
+        // Tens of millilitres per good embedded die.
+        assert!(at_90 > 0.01 && at_90 < 0.1, "{at_90:.3} L/die");
+    }
+
+    #[test]
+    fn wet_steps_dominate_the_beol_water() {
+        let model = WaterModel::typical_7nm();
+        let (_, m3d) = flows();
+        let wet: f64 = m3d
+            .steps()
+            .iter()
+            .filter(|s| {
+                matches!(s.area, ProcessArea::WetEtch | ProcessArea::Metallization)
+            })
+            .map(|s| model.litres_for(s))
+            .sum();
+        let total_beol: f64 = m3d.steps().iter().map(|s| model.litres_for(s)).sum();
+        assert!(wet / total_beol > 0.5, "wet share {:.2}", wet / total_beol);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests of the fabrication-energy and carbon models.
+
+use ppatc_fab::flow::metal_via_pair_steps;
+use ppatc_fab::{grid, EmbodiedModel, Grid, ProcessFlow, StepEnergies};
+use ppatc_pdk::{LayerStack, Lithography, MetalLayer, StackElement, Technology, TierKind};
+use ppatc_units::{approx_eq, Length};
+use proptest::prelude::*;
+
+/// Strategy: a random plausible layer stack (1–20 metals, 0–4 tiers).
+fn any_stack() -> impl Strategy<Value = LayerStack> {
+    let element = prop_oneof![
+        4 => prop::sample::select(vec![36.0f64, 48.0, 64.0, 80.0])
+            .prop_map(|p| StackElement::Metal(MetalLayer::new("M", Length::from_nanometers(p)))),
+        1 => Just(StackElement::DeviceTier(TierKind::Cnfet)),
+        1 => Just(StackElement::DeviceTier(TierKind::Igzo)),
+    ];
+    prop::collection::vec(element, 1..24).prop_map(LayerStack::from_elements)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Adding any element to a stack strictly increases its BEOL energy.
+    #[test]
+    fn beol_energy_is_monotone_in_stack(stack in any_stack()) {
+        let db = StepEnergies::calibrated_7nm();
+        let base = ProcessFlow::from_stack("base", &stack).beol_epa(&db);
+        let mut grown: Vec<StackElement> = stack.iter().cloned().collect();
+        grown.push(StackElement::Metal(MetalLayer::new(
+            "extra",
+            Length::from_nanometers(36.0),
+        )));
+        let bigger = ProcessFlow::from_stack("grown", &LayerStack::from_elements(grown)).beol_epa(&db);
+        prop_assert!(bigger > base);
+    }
+
+    /// Flow energy under a uniformly scaled database scales by exactly that
+    /// factor (the FEOL block excluded).
+    #[test]
+    fn beol_energy_is_linear_in_step_energies(stack in any_stack(), k in 0.1..5.0f64) {
+        let base_db = StepEnergies::calibrated_7nm();
+        let flow = ProcessFlow::from_stack("s", &stack);
+        let e1 = flow.beol_epa(&base_db).as_joules();
+        let e2 = flow.beol_epa(&base_db.scaled(k)).as_joules();
+        prop_assert!(approx_eq(e2, k * e1, 1e-9));
+    }
+
+    /// Embodied carbon is affine in grid intensity: doubling CI doubles
+    /// only the electricity term.
+    #[test]
+    fn embodied_affine_in_grid_ci(g1 in 1.0..2000.0f64, k in 1.1..5.0f64) {
+        let model = EmbodiedModel::paper_default();
+        let a = model.embodied_per_wafer(Technology::M3dIgzoCnfetSi, Grid::new("a", g1));
+        let b = model.embodied_per_wafer(Technology::M3dIgzoCnfetSi, Grid::new("b", g1 * k));
+        prop_assert!(approx_eq(
+            b.fab_electricity().as_grams(),
+            k * a.fab_electricity().as_grams(),
+            1e-9
+        ));
+        prop_assert!(approx_eq(a.materials().as_grams(), b.materials().as_grams(), 1e-12));
+        prop_assert!(approx_eq(a.gases().as_grams(), b.gases().as_grams(), 1e-12));
+    }
+
+    /// The M3D process costs more than the all-Si process on any grid.
+    #[test]
+    fn m3d_premium_holds_on_any_grid(gi in 0.0..3000.0f64) {
+        let model = EmbodiedModel::paper_default();
+        let g = Grid::new("x", gi);
+        let si = model.embodied_per_wafer(Technology::AllSi, g).total();
+        let m3d = model.embodied_per_wafer(Technology::M3dIgzoCnfetSi, g).total();
+        prop_assert!(m3d > si);
+    }
+
+    /// Step sequences for a metal/via pair always have lithography counts
+    /// consistent with the patterning class.
+    #[test]
+    fn litho_counts_by_class(pitch in prop::sample::select(vec![36.0f64, 48.0, 64.0, 80.0])) {
+        let litho = Lithography::for_pitch(Length::from_nanometers(pitch));
+        let steps = metal_via_pair_steps("Mx", litho);
+        let exposures = steps
+            .iter()
+            .filter(|s| s.area == ppatc_fab::ProcessArea::Lithography)
+            .count();
+        let expected = match litho {
+            Lithography::EuvSingle => 2,
+            Lithography::ImmersionLele => 3,
+            Lithography::ImmersionSingle => 2,
+        };
+        prop_assert_eq!(exposures, expected);
+    }
+
+    /// Water scales monotonically with flow length too.
+    #[test]
+    fn water_is_monotone_in_stack(stack in any_stack()) {
+        use ppatc_fab::water::WaterModel;
+        let model = WaterModel::typical_7nm();
+        let base = model.upw_per_wafer(&ProcessFlow::from_stack("b", &stack));
+        let mut grown: Vec<StackElement> = stack.iter().cloned().collect();
+        grown.push(StackElement::DeviceTier(TierKind::Igzo));
+        let bigger = model.upw_per_wafer(&ProcessFlow::from_stack(
+            "g",
+            &LayerStack::from_elements(grown),
+        ));
+        prop_assert!(bigger > base);
+    }
+}
+
+#[test]
+fn fig2c_reference_is_stable_under_proptest_runs() {
+    // Anchor retained here so the property file fails loudly if a future
+    // database change silently moves the calibration.
+    let model = EmbodiedModel::paper_default();
+    let si = model.embodied_per_wafer(Technology::AllSi, grid::US).total();
+    assert!(approx_eq(si.as_kilograms(), 837.0, 0.005));
+}

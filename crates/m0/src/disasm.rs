@@ -1,0 +1,232 @@
+//! Disassembly: `Display` for [`Instruction`] in the assembler's own syntax.
+//!
+//! The printed form round-trips through [`crate::asm`] for all
+//! label-free instructions, which the test suite exploits to fuzz the
+//! assembler/encoder/decoder triangle.
+
+use crate::inst::{DpOp, Instruction, Reg};
+use core::fmt;
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            LslImm { rd, rm, imm5 } => {
+                if imm5 == 0 {
+                    write!(f, "movs {rd}, {rm}")
+                } else {
+                    write!(f, "lsls {rd}, {rm}, #{imm5}")
+                }
+            }
+            LsrImm { rd, rm, imm5 } => write!(f, "lsrs {rd}, {rm}, #{imm5}"),
+            AsrImm { rd, rm, imm5 } => write!(f, "asrs {rd}, {rm}, #{imm5}"),
+            AddReg { rd, rn, rm } => write!(f, "adds {rd}, {rn}, {rm}"),
+            SubReg { rd, rn, rm } => write!(f, "subs {rd}, {rn}, {rm}"),
+            AddImm3 { rd, rn, imm3 } => write!(f, "adds {rd}, {rn}, #{imm3}"),
+            SubImm3 { rd, rn, imm3 } => write!(f, "subs {rd}, {rn}, #{imm3}"),
+            MovImm { rd, imm8 } => write!(f, "movs {rd}, #{imm8}"),
+            CmpImm { rn, imm8 } => write!(f, "cmp {rn}, #{imm8}"),
+            AddImm8 { rdn, imm8 } => write!(f, "adds {rdn}, #{imm8}"),
+            SubImm8 { rdn, imm8 } => write!(f, "subs {rdn}, #{imm8}"),
+            DataProc { op, rdn, rm } => {
+                let mnemonic = match op {
+                    DpOp::And => "ands",
+                    DpOp::Eor => "eors",
+                    DpOp::Lsl => "lsls",
+                    DpOp::Lsr => "lsrs",
+                    DpOp::Asr => "asrs",
+                    DpOp::Adc => "adcs",
+                    DpOp::Sbc => "sbcs",
+                    DpOp::Ror => "rors",
+                    DpOp::Tst => "tst",
+                    DpOp::Rsb => "negs",
+                    DpOp::Cmp => "cmp",
+                    DpOp::Cmn => "cmn",
+                    DpOp::Orr => "orrs",
+                    DpOp::Mul => "muls",
+                    DpOp::Bic => "bics",
+                    DpOp::Mvn => "mvns",
+                };
+                write!(f, "{mnemonic} {rdn}, {rm}")
+            }
+            AddHi { rdn, rm } => write!(f, "add {rdn}, {rm}"),
+            CmpHi { rn, rm } => write!(f, "cmp {rn}, {rm}"),
+            MovHi { rd, rm } => write!(f, "mov {rd}, {rm}"),
+            Bx { rm } => write!(f, "bx {rm}"),
+            Blx { rm } => write!(f, "blx {rm}"),
+            LdrLit { rt, imm8 } => write!(f, "ldr {rt}, [pc, #{}]", u32::from(imm8) * 4),
+            LdrImm { rt, rn, imm5 } => write!(f, "ldr {rt}, [{rn}, #{}]", u32::from(imm5) * 4),
+            StrImm { rt, rn, imm5 } => write!(f, "str {rt}, [{rn}, #{}]", u32::from(imm5) * 4),
+            LdrbImm { rt, rn, imm5 } => write!(f, "ldrb {rt}, [{rn}, #{imm5}]"),
+            StrbImm { rt, rn, imm5 } => write!(f, "strb {rt}, [{rn}, #{imm5}]"),
+            LdrhImm { rt, rn, imm5 } => write!(f, "ldrh {rt}, [{rn}, #{}]", u32::from(imm5) * 2),
+            StrhImm { rt, rn, imm5 } => write!(f, "strh {rt}, [{rn}, #{}]", u32::from(imm5) * 2),
+            LdrReg { rt, rn, rm } => write!(f, "ldr {rt}, [{rn}, {rm}]"),
+            StrReg { rt, rn, rm } => write!(f, "str {rt}, [{rn}, {rm}]"),
+            LdrbReg { rt, rn, rm } => write!(f, "ldrb {rt}, [{rn}, {rm}]"),
+            StrbReg { rt, rn, rm } => write!(f, "strb {rt}, [{rn}, {rm}]"),
+            LdrhReg { rt, rn, rm } => write!(f, "ldrh {rt}, [{rn}, {rm}]"),
+            StrhReg { rt, rn, rm } => write!(f, "strh {rt}, [{rn}, {rm}]"),
+            LdrsbReg { rt, rn, rm } => write!(f, "ldrsb {rt}, [{rn}, {rm}]"),
+            LdrshReg { rt, rn, rm } => write!(f, "ldrsh {rt}, [{rn}, {rm}]"),
+            LdrSp { rt, imm8 } => write!(f, "ldr {rt}, [sp, #{}]", u32::from(imm8) * 4),
+            StrSp { rt, imm8 } => write!(f, "str {rt}, [sp, #{}]", u32::from(imm8) * 4),
+            AddRdSp { rd, imm8 } => write!(f, "add {rd}, sp, #{}", u32::from(imm8) * 4),
+            Adr { rd, imm8 } => write!(f, "adr {rd}, pc+{}", u32::from(imm8) * 4),
+            AddSp { imm7 } => write!(f, "add sp, #{}", u32::from(imm7) * 4),
+            SubSp { imm7 } => write!(f, "sub sp, #{}", u32::from(imm7) * 4),
+            Uxtb { rd, rm } => write!(f, "uxtb {rd}, {rm}"),
+            Uxth { rd, rm } => write!(f, "uxth {rd}, {rm}"),
+            Sxtb { rd, rm } => write!(f, "sxtb {rd}, {rm}"),
+            Sxth { rd, rm } => write!(f, "sxth {rd}, {rm}"),
+            Rev { rd, rm } => write!(f, "rev {rd}, {rm}"),
+            Rev16 { rd, rm } => write!(f, "rev16 {rd}, {rm}"),
+            Revsh { rd, rm } => write!(f, "revsh {rd}, {rm}"),
+            Push { registers, lr } => write_reglist(f, "push", registers, lr.then_some(Reg::LR)),
+            Pop { registers, pc } => write_reglist(f, "pop", registers, pc.then_some(Reg::PC)),
+            Ldmia { rn, registers } => {
+                write_reglist(f, &format!("ldmia {rn}!,"), registers, None)
+            }
+            Stmia { rn, registers } => {
+                write_reglist(f, &format!("stmia {rn}!,"), registers, None)
+            }
+            BCond { cond, imm8 } => {
+                write!(f, "b{} pc{:+}", cond.mnemonic(), 4 + 2 * i32::from(imm8 as i8))
+            }
+            B { imm11 } => {
+                let offset = (((imm11 << 5) as i16) as i32) >> 4;
+                write!(f, "b pc{:+}", 4 + offset)
+            }
+            Bl { offset } => write!(f, "bl pc{:+}", 4 + offset),
+            Bkpt { imm8 } => write!(f, "bkpt #{imm8}"),
+            Nop => f.write_str("nop"),
+        }
+    }
+}
+
+fn write_reglist(
+    f: &mut fmt::Formatter<'_>,
+    mnemonic: &str,
+    registers: u8,
+    extra: Option<Reg>,
+) -> fmt::Result {
+    write!(f, "{mnemonic} {{")?;
+    let mut first = true;
+    for r in 0..8u8 {
+        if registers & (1 << r) != 0 {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "r{r}")?;
+            first = false;
+        }
+    }
+    if let Some(x) = extra {
+        if !first {
+            f.write_str(", ")?;
+        }
+        write!(f, "{x}")?;
+    }
+    f.write_str("}")
+}
+
+/// Disassembles a program image into `(address, instruction)` pairs.
+///
+/// Stops at the first undecodable halfword (usually the start of a literal
+/// pool) and returns what it has.
+pub fn disassemble(image: &[u8]) -> Vec<(u32, Instruction)> {
+    let mut out = Vec::new();
+    let mut addr = 0usize;
+    while addr + 1 < image.len() {
+        let half = u16::from_le_bytes([image[addr], image[addr + 1]]);
+        let next = (addr + 3 < image.len())
+            .then(|| u16::from_le_bytes([image[addr + 2], image[addr + 3]]));
+        match Instruction::decode(half, next) {
+            Ok(inst) => {
+                let size = inst.size() as usize;
+                out.push((addr as u32, inst));
+                addr += size;
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    /// The disassembled text of every non-branch instruction must
+    /// re-assemble to the same encoding.
+    #[test]
+    fn display_round_trips_through_the_assembler() {
+        let source = "
+            movs r0, #7
+            adds r1, r0, #3
+            subs r2, r1, r0
+            lsls r3, r2, #4
+            ands r3, r3, r0
+            mvns r4, r3
+            muls r4, r4, r0
+            uxtb r5, r4
+            rev  r6, r5
+            add  r7, sp, #16
+            sub  sp, #8
+            str  r0, [sp, #4]
+            ldr  r0, [sp, #4]
+            push {r0, r4, lr}
+            pop  {r0, r4}
+            nop
+            bkpt #3
+        ";
+        let image = assemble(source).expect("assembles");
+        let insts = disassemble(&image);
+        assert_eq!(insts.len(), 17);
+        for (_, inst) in &insts {
+            let text = inst.to_string();
+            // Branch-family text uses pc-relative notation the assembler
+            // doesn't parse; everything else must round-trip.
+            if text.starts_with('b') && !text.starts_with("bkpt") && !text.starts_with("bics") {
+                continue;
+            }
+            let re = assemble(&text)
+                .unwrap_or_else(|e| panic!("`{text}` did not re-assemble: {e}"));
+            let original: Vec<u8> = inst
+                .encode()
+                .halfwords()
+                .iter()
+                .flat_map(|h| h.to_le_bytes())
+                .collect();
+            assert_eq!(re, original, "`{text}` changed encoding");
+        }
+    }
+
+    #[test]
+    fn branch_text_is_informative() {
+        assert_eq!(
+            Instruction::BCond { cond: crate::Condition::Ne, imm8: 0xFC }.to_string(),
+            "bne pc-4"
+        );
+        assert_eq!(Instruction::Bl { offset: 100 }.to_string(), "bl pc+104");
+    }
+
+    #[test]
+    fn disassemble_stops_at_literal_pool() {
+        let image = assemble("ldr r0, =0x20000000\nbkpt #0").expect("assembles");
+        let insts = disassemble(&image);
+        // ldr + bkpt decoded; pool word (0x0000, 0x2000) decodes as two
+        // harmless instructions or stops — either way the first two match.
+        assert!(insts.len() >= 2);
+        assert_eq!(insts[1].1, Instruction::Bkpt { imm8: 0 });
+    }
+
+    #[test]
+    fn reglist_rendering() {
+        let p = Instruction::Push { registers: 0b1001_0110, lr: true };
+        assert_eq!(p.to_string(), "push {r1, r2, r4, r7, lr}");
+        let q = Instruction::Pop { registers: 0, pc: true };
+        assert_eq!(q.to_string(), "pop {pc}");
+    }
+}

@@ -1,0 +1,761 @@
+//! The ARMv6-M Thumb instruction subset: typed representation with
+//! bidirectional encode/decode.
+
+/// A low or high core register (`r0`–`r15`). `r13` = SP, `r14` = LR,
+/// `r15` = PC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Stack pointer.
+    pub const SP: Reg = Reg(13);
+    /// Link register.
+    pub const LR: Reg = Reg(14);
+    /// Program counter.
+    pub const PC: Reg = Reg(15);
+
+    /// Register index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` for `r0`–`r7`.
+    #[inline]
+    pub fn is_low(self) -> bool {
+        self.0 < 8
+    }
+}
+
+impl core::fmt::Display for Reg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.0 {
+            13 => f.write_str("sp"),
+            14 => f.write_str("lr"),
+            15 => f.write_str("pc"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// Branch condition codes (APSR predicate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Condition {
+    Eq,
+    Ne,
+    Cs,
+    Cc,
+    Mi,
+    Pl,
+    Vs,
+    Vc,
+    Hi,
+    Ls,
+    Ge,
+    Lt,
+    Gt,
+    Le,
+}
+
+impl Condition {
+    /// 4-bit encoding.
+    pub fn bits(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a 4-bit condition field (`0..=13`).
+    pub fn from_bits(bits: u16) -> Option<Condition> {
+        use Condition::*;
+        Some(match bits {
+            0 => Eq,
+            1 => Ne,
+            2 => Cs,
+            3 => Cc,
+            4 => Mi,
+            5 => Pl,
+            6 => Vs,
+            7 => Vc,
+            8 => Hi,
+            9 => Ls,
+            10 => Ge,
+            11 => Lt,
+            12 => Gt,
+            13 => Le,
+            _ => return None,
+        })
+    }
+
+    /// Mnemonic suffix (`"eq"`, `"ne"`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        use Condition::*;
+        match self {
+            Eq => "eq",
+            Ne => "ne",
+            Cs => "cs",
+            Cc => "cc",
+            Mi => "mi",
+            Pl => "pl",
+            Vs => "vs",
+            Vc => "vc",
+            Hi => "hi",
+            Ls => "ls",
+            Ge => "ge",
+            Lt => "lt",
+            Gt => "gt",
+            Le => "le",
+        }
+    }
+}
+
+/// The sixteen register–register data-processing opcodes (`0x4000` page).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum DpOp {
+    And,
+    Eor,
+    Lsl,
+    Lsr,
+    Asr,
+    Adc,
+    Sbc,
+    Ror,
+    Tst,
+    Rsb,
+    Cmp,
+    Cmn,
+    Orr,
+    Mul,
+    Bic,
+    Mvn,
+}
+
+impl DpOp {
+    /// 4-bit opcode field.
+    pub fn bits(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes the 4-bit opcode field.
+    pub fn from_bits(bits: u16) -> DpOp {
+        use DpOp::*;
+        match bits & 0xF {
+            0 => And,
+            1 => Eor,
+            2 => Lsl,
+            3 => Lsr,
+            4 => Asr,
+            5 => Adc,
+            6 => Sbc,
+            7 => Ror,
+            8 => Tst,
+            9 => Rsb,
+            10 => Cmp,
+            11 => Cmn,
+            12 => Orr,
+            13 => Mul,
+            14 => Bic,
+            _ => Mvn,
+        }
+    }
+}
+
+/// One decoded ARMv6-M instruction.
+///
+/// Only the subset needed by the Embench-style kernels is implemented; the
+/// decoder reports anything else as [`DecodeError::Unsupported`]. `Bl` is the
+/// single 32-bit encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Instruction {
+    // Shift (immediate), add, subtract, move, compare.
+    LslImm { rd: Reg, rm: Reg, imm5: u8 },
+    LsrImm { rd: Reg, rm: Reg, imm5: u8 },
+    AsrImm { rd: Reg, rm: Reg, imm5: u8 },
+    AddReg { rd: Reg, rn: Reg, rm: Reg },
+    SubReg { rd: Reg, rn: Reg, rm: Reg },
+    AddImm3 { rd: Reg, rn: Reg, imm3: u8 },
+    SubImm3 { rd: Reg, rn: Reg, imm3: u8 },
+    MovImm { rd: Reg, imm8: u8 },
+    CmpImm { rn: Reg, imm8: u8 },
+    AddImm8 { rdn: Reg, imm8: u8 },
+    SubImm8 { rdn: Reg, imm8: u8 },
+    // Register data processing.
+    DataProc { op: DpOp, rdn: Reg, rm: Reg },
+    // High-register operations and BX/BLX.
+    AddHi { rdn: Reg, rm: Reg },
+    CmpHi { rn: Reg, rm: Reg },
+    MovHi { rd: Reg, rm: Reg },
+    Bx { rm: Reg },
+    Blx { rm: Reg },
+    // Load/store.
+    LdrLit { rt: Reg, imm8: u8 },
+    LdrImm { rt: Reg, rn: Reg, imm5: u8 },
+    StrImm { rt: Reg, rn: Reg, imm5: u8 },
+    LdrbImm { rt: Reg, rn: Reg, imm5: u8 },
+    StrbImm { rt: Reg, rn: Reg, imm5: u8 },
+    LdrhImm { rt: Reg, rn: Reg, imm5: u8 },
+    StrhImm { rt: Reg, rn: Reg, imm5: u8 },
+    LdrReg { rt: Reg, rn: Reg, rm: Reg },
+    StrReg { rt: Reg, rn: Reg, rm: Reg },
+    LdrbReg { rt: Reg, rn: Reg, rm: Reg },
+    StrbReg { rt: Reg, rn: Reg, rm: Reg },
+    LdrhReg { rt: Reg, rn: Reg, rm: Reg },
+    StrhReg { rt: Reg, rn: Reg, rm: Reg },
+    LdrsbReg { rt: Reg, rn: Reg, rm: Reg },
+    LdrshReg { rt: Reg, rn: Reg, rm: Reg },
+    LdrSp { rt: Reg, imm8: u8 },
+    StrSp { rt: Reg, imm8: u8 },
+    // SP/address arithmetic.
+    AddRdSp { rd: Reg, imm8: u8 },
+    Adr { rd: Reg, imm8: u8 },
+    AddSp { imm7: u8 },
+    SubSp { imm7: u8 },
+    // Extend/reverse.
+    Uxtb { rd: Reg, rm: Reg },
+    Uxth { rd: Reg, rm: Reg },
+    Sxtb { rd: Reg, rm: Reg },
+    Sxth { rd: Reg, rm: Reg },
+    Rev { rd: Reg, rm: Reg },
+    Rev16 { rd: Reg, rm: Reg },
+    Revsh { rd: Reg, rm: Reg },
+    // Stack.
+    Push { registers: u8, lr: bool },
+    Pop { registers: u8, pc: bool },
+    // Load/store multiple (increment-after with writeback).
+    Ldmia { rn: Reg, registers: u8 },
+    Stmia { rn: Reg, registers: u8 },
+    // Control flow.
+    BCond { cond: Condition, imm8: u8 },
+    B { imm11: u16 },
+    /// 32-bit BL with a signed byte offset from the aligned PC.
+    Bl { offset: i32 },
+    Bkpt { imm8: u8 },
+    Nop,
+}
+
+/// Error produced when decoding an unknown or unsupported halfword.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The halfword pattern is not in the implemented subset.
+    Unsupported {
+        /// The offending halfword.
+        halfword: u16,
+    },
+    /// First halfword of a 32-bit encoding with a missing/invalid second
+    /// halfword.
+    TruncatedWide {
+        /// The offending first halfword.
+        halfword: u16,
+    },
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Unsupported { halfword } => {
+                write!(f, "unsupported instruction encoding {halfword:#06x}")
+            }
+            DecodeError::TruncatedWide { halfword } => {
+                write!(f, "truncated 32-bit instruction starting {halfword:#06x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Instruction {
+    /// Returns `true` if this instruction occupies two halfwords.
+    pub fn is_wide(&self) -> bool {
+        matches!(self, Instruction::Bl { .. })
+    }
+
+    /// Size in bytes (2 or 4).
+    pub fn size(&self) -> u32 {
+        if self.is_wide() {
+            4
+        } else {
+            2
+        }
+    }
+
+    /// Decodes the instruction starting at `half`, consuming `next` only for
+    /// 32-bit encodings.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] for halfwords outside the implemented subset.
+    pub fn decode(half: u16, next: Option<u16>) -> Result<Instruction, DecodeError> {
+        use Instruction::*;
+        let r = |bits: u16| Reg((bits & 7) as u8);
+        let unsupported = Err(DecodeError::Unsupported { halfword: half });
+
+        match half >> 12 {
+            0b0000 | 0b0001 => {
+                // Shift immediate / add-sub register & 3-bit immediate.
+                let op = (half >> 11) & 3;
+                match op {
+                    0b00 => {
+                        let imm5 = ((half >> 6) & 0x1F) as u8;
+                        if imm5 == 0 && (half >> 11) == 0 {
+                            // LSL #0 is MOVS Rd, Rm.
+                            Ok(LslImm { rd: r(half), rm: r(half >> 3), imm5: 0 })
+                        } else {
+                            Ok(LslImm { rd: r(half), rm: r(half >> 3), imm5 })
+                        }
+                    }
+                    0b01 => Ok(LsrImm { rd: r(half), rm: r(half >> 3), imm5: ((half >> 6) & 0x1F) as u8 }),
+                    0b10 => Ok(AsrImm { rd: r(half), rm: r(half >> 3), imm5: ((half >> 6) & 0x1F) as u8 }),
+                    _ => {
+                        let sub = (half >> 9) & 1 == 1;
+                        let imm = (half >> 10) & 1 == 1;
+                        let (rd, rn) = (r(half), r(half >> 3));
+                        let third = ((half >> 6) & 7) as u8;
+                        Ok(match (imm, sub) {
+                            (false, false) => AddReg { rd, rn, rm: Reg(third) },
+                            (false, true) => SubReg { rd, rn, rm: Reg(third) },
+                            (true, false) => AddImm3 { rd, rn, imm3: third },
+                            (true, true) => SubImm3 { rd, rn, imm3: third },
+                        })
+                    }
+                }
+            }
+            0b0010 | 0b0011 => {
+                let rdn = Reg(((half >> 8) & 7) as u8);
+                let imm8 = (half & 0xFF) as u8;
+                Ok(match (half >> 11) & 3 {
+                    0b00 => MovImm { rd: rdn, imm8 },
+                    0b01 => CmpImm { rn: rdn, imm8 },
+                    0b10 => AddImm8 { rdn, imm8 },
+                    _ => SubImm8 { rdn, imm8 },
+                })
+            }
+            0b0100 => {
+                match (half >> 10) & 3 {
+                    0b00 => Ok(DataProc {
+                        op: DpOp::from_bits((half >> 6) & 0xF),
+                        rdn: r(half),
+                        rm: r(half >> 3),
+                    }),
+                    0b01 => {
+                        // Special data / BX.
+                        let rm = Reg(((half >> 3) & 0xF) as u8);
+                        let rdn = Reg(((half & 7) | ((half >> 4) & 8)) as u8);
+                        match (half >> 8) & 3 {
+                            0b00 => Ok(AddHi { rdn, rm }),
+                            0b01 => Ok(CmpHi { rn: rdn, rm }),
+                            0b10 => Ok(MovHi { rd: rdn, rm }),
+                            _ => {
+                                if (half >> 7) & 1 == 0 {
+                                    Ok(Bx { rm })
+                                } else {
+                                    Ok(Blx { rm })
+                                }
+                            }
+                        }
+                    }
+                    _ => Ok(LdrLit {
+                        rt: Reg(((half >> 8) & 7) as u8),
+                        imm8: (half & 0xFF) as u8,
+                    }),
+                }
+            }
+            0b0101 => {
+                // Load/store register offset.
+                let (rt, rn, rm) = (r(half), r(half >> 3), r(half >> 6));
+                Ok(match (half >> 9) & 7 {
+                    0b000 => StrReg { rt, rn, rm },
+                    0b001 => StrhReg { rt, rn, rm },
+                    0b010 => StrbReg { rt, rn, rm },
+                    0b011 => LdrsbReg { rt, rn, rm },
+                    0b100 => LdrReg { rt, rn, rm },
+                    0b101 => LdrhReg { rt, rn, rm },
+                    0b110 => LdrbReg { rt, rn, rm },
+                    _ => LdrshReg { rt, rn, rm },
+                })
+            }
+            0b0110 | 0b0111 => {
+                let (rt, rn) = (r(half), r(half >> 3));
+                let imm5 = ((half >> 6) & 0x1F) as u8;
+                let byte = (half >> 12) & 1 == 1;
+                let load = (half >> 11) & 1 == 1;
+                Ok(match (byte, load) {
+                    (false, false) => StrImm { rt, rn, imm5 },
+                    (false, true) => LdrImm { rt, rn, imm5 },
+                    (true, false) => StrbImm { rt, rn, imm5 },
+                    (true, true) => LdrbImm { rt, rn, imm5 },
+                })
+            }
+            0b1000 => {
+                let (rt, rn) = (r(half), r(half >> 3));
+                let imm5 = ((half >> 6) & 0x1F) as u8;
+                if (half >> 11) & 1 == 1 {
+                    Ok(LdrhImm { rt, rn, imm5 })
+                } else {
+                    Ok(StrhImm { rt, rn, imm5 })
+                }
+            }
+            0b1001 => {
+                let rt = Reg(((half >> 8) & 7) as u8);
+                let imm8 = (half & 0xFF) as u8;
+                if (half >> 11) & 1 == 1 {
+                    Ok(LdrSp { rt, imm8 })
+                } else {
+                    Ok(StrSp { rt, imm8 })
+                }
+            }
+            0b1010 => {
+                let rd = Reg(((half >> 8) & 7) as u8);
+                let imm8 = (half & 0xFF) as u8;
+                if (half >> 11) & 1 == 1 {
+                    Ok(AddRdSp { rd, imm8 })
+                } else {
+                    Ok(Adr { rd, imm8 })
+                }
+            }
+            0b1011 => {
+                if half == 0b1011_1111_0000_0000 {
+                    return Ok(Nop);
+                }
+                match (half >> 8) & 0xF {
+                    0b0000 => {
+                        let imm7 = (half & 0x7F) as u8;
+                        if (half >> 7) & 1 == 0 {
+                            Ok(AddSp { imm7 })
+                        } else {
+                            Ok(SubSp { imm7 })
+                        }
+                    }
+                    0b0010 => {
+                        let (rd, rm) = (r(half), r(half >> 3));
+                        Ok(match (half >> 6) & 3 {
+                            0b00 => Sxth { rd, rm },
+                            0b01 => Sxtb { rd, rm },
+                            0b10 => Uxth { rd, rm },
+                            _ => Uxtb { rd, rm },
+                        })
+                    }
+                    0b1010 => {
+                        let (rd, rm) = (r(half), r(half >> 3));
+                        match (half >> 6) & 3 {
+                            0b00 => Ok(Rev { rd, rm }),
+                            0b01 => Ok(Rev16 { rd, rm }),
+                            0b11 => Ok(Revsh { rd, rm }),
+                            _ => unsupported,
+                        }
+                    }
+                    0b0100 | 0b0101 => Ok(Push {
+                        registers: (half & 0xFF) as u8,
+                        lr: (half >> 8) & 1 == 1,
+                    }),
+                    0b1100 | 0b1101 => Ok(Pop {
+                        registers: (half & 0xFF) as u8,
+                        pc: (half >> 8) & 1 == 1,
+                    }),
+                    0b1110 => Ok(Bkpt { imm8: (half & 0xFF) as u8 }),
+                    _ => unsupported,
+                }
+            }
+            0b1100 => {
+                let rn = Reg(((half >> 8) & 7) as u8);
+                let registers = (half & 0xFF) as u8;
+                if (half >> 11) & 1 == 1 {
+                    Ok(Ldmia { rn, registers })
+                } else {
+                    Ok(Stmia { rn, registers })
+                }
+            }
+            0b1101 => {
+                let cond_bits = (half >> 8) & 0xF;
+                match Condition::from_bits(cond_bits) {
+                    Some(cond) => Ok(BCond { cond, imm8: (half & 0xFF) as u8 }),
+                    None => unsupported,
+                }
+            }
+            0b1110 => {
+                if (half >> 11) == 0b11100 {
+                    Ok(B { imm11: half & 0x7FF })
+                } else {
+                    unsupported
+                }
+            }
+            0b1111 => {
+                // BL: 32-bit encoding T1.
+                let second = next.ok_or(DecodeError::TruncatedWide { halfword: half })?;
+                if (half >> 11) != 0b11110 || (second >> 14) != 0b11 || (second >> 12) & 1 != 1 {
+                    return Err(DecodeError::Unsupported { halfword: half });
+                }
+                let s = ((half >> 10) & 1) as u32;
+                let imm10 = (half & 0x3FF) as u32;
+                let j1 = ((second >> 13) & 1) as u32;
+                let j2 = ((second >> 11) & 1) as u32;
+                let imm11 = (second & 0x7FF) as u32;
+                let i1 = !(j1 ^ s) & 1;
+                let i2 = !(j2 ^ s) & 1;
+                let raw = (s << 24) | (i1 << 23) | (i2 << 22) | (imm10 << 12) | (imm11 << 1);
+                // Sign-extend from bit 24.
+                let offset = ((raw << 7) as i32) >> 7;
+                Ok(Bl { offset })
+            }
+            _ => unsupported,
+        }
+    }
+
+    /// Encodes the instruction into one or two halfwords.
+    pub fn encode(&self) -> EncodedInstruction {
+        use Instruction::*;
+        let one = EncodedInstruction::narrow;
+        let lo = |r: Reg| -> u16 {
+            debug_assert!(r.is_low());
+            r.0 as u16
+        };
+        match *self {
+            LslImm { rd, rm, imm5 } => one(((imm5 as u16) << 6) | (lo(rm) << 3) | lo(rd)),
+            LsrImm { rd, rm, imm5 } => {
+                one(0x0800 | ((imm5 as u16) << 6) | (lo(rm) << 3) | lo(rd))
+            }
+            AsrImm { rd, rm, imm5 } => {
+                one(0x1000 | ((imm5 as u16) << 6) | (lo(rm) << 3) | lo(rd))
+            }
+            AddReg { rd, rn, rm } => one(0x1800 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rd)),
+            SubReg { rd, rn, rm } => one(0x1A00 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rd)),
+            AddImm3 { rd, rn, imm3 } => {
+                one(0x1C00 | ((imm3 as u16) << 6) | (lo(rn) << 3) | lo(rd))
+            }
+            SubImm3 { rd, rn, imm3 } => {
+                one(0x1E00 | ((imm3 as u16) << 6) | (lo(rn) << 3) | lo(rd))
+            }
+            MovImm { rd, imm8 } => one(0x2000 | (lo(rd) << 8) | imm8 as u16),
+            CmpImm { rn, imm8 } => one(0x2800 | (lo(rn) << 8) | imm8 as u16),
+            AddImm8 { rdn, imm8 } => one(0x3000 | (lo(rdn) << 8) | imm8 as u16),
+            SubImm8 { rdn, imm8 } => one(0x3800 | (lo(rdn) << 8) | imm8 as u16),
+            DataProc { op, rdn, rm } => {
+                one(0x4000 | (op.bits() << 6) | (lo(rm) << 3) | lo(rdn))
+            }
+            AddHi { rdn, rm } => {
+                let dn = rdn.0 as u16;
+                one(0x4400 | ((dn >> 3) << 7) | ((rm.0 as u16) << 3) | (dn & 7))
+            }
+            CmpHi { rn, rm } => {
+                let dn = rn.0 as u16;
+                one(0x4500 | ((dn >> 3) << 7) | ((rm.0 as u16) << 3) | (dn & 7))
+            }
+            MovHi { rd, rm } => {
+                let dn = rd.0 as u16;
+                one(0x4600 | ((dn >> 3) << 7) | ((rm.0 as u16) << 3) | (dn & 7))
+            }
+            Bx { rm } => one(0x4700 | ((rm.0 as u16) << 3)),
+            Blx { rm } => one(0x4780 | ((rm.0 as u16) << 3)),
+            LdrLit { rt, imm8 } => one(0x4800 | (lo(rt) << 8) | imm8 as u16),
+            StrReg { rt, rn, rm } => one(0x5000 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rt)),
+            StrhReg { rt, rn, rm } => one(0x5200 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rt)),
+            StrbReg { rt, rn, rm } => one(0x5400 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rt)),
+            LdrsbReg { rt, rn, rm } => one(0x5600 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rt)),
+            LdrReg { rt, rn, rm } => one(0x5800 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rt)),
+            LdrhReg { rt, rn, rm } => one(0x5A00 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rt)),
+            LdrbReg { rt, rn, rm } => one(0x5C00 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rt)),
+            LdrshReg { rt, rn, rm } => one(0x5E00 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rt)),
+            StrImm { rt, rn, imm5 } => {
+                one(0x6000 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt))
+            }
+            LdrImm { rt, rn, imm5 } => {
+                one(0x6800 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt))
+            }
+            StrbImm { rt, rn, imm5 } => {
+                one(0x7000 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt))
+            }
+            LdrbImm { rt, rn, imm5 } => {
+                one(0x7800 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt))
+            }
+            StrhImm { rt, rn, imm5 } => {
+                one(0x8000 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt))
+            }
+            LdrhImm { rt, rn, imm5 } => {
+                one(0x8800 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt))
+            }
+            StrSp { rt, imm8 } => one(0x9000 | (lo(rt) << 8) | imm8 as u16),
+            LdrSp { rt, imm8 } => one(0x9800 | (lo(rt) << 8) | imm8 as u16),
+            Adr { rd, imm8 } => one(0xA000 | (lo(rd) << 8) | imm8 as u16),
+            AddRdSp { rd, imm8 } => one(0xA800 | (lo(rd) << 8) | imm8 as u16),
+            AddSp { imm7 } => one(0xB000 | imm7 as u16),
+            SubSp { imm7 } => one(0xB080 | imm7 as u16),
+            Sxth { rd, rm } => one(0xB200 | (lo(rm) << 3) | lo(rd)),
+            Sxtb { rd, rm } => one(0xB240 | (lo(rm) << 3) | lo(rd)),
+            Uxth { rd, rm } => one(0xB280 | (lo(rm) << 3) | lo(rd)),
+            Uxtb { rd, rm } => one(0xB2C0 | (lo(rm) << 3) | lo(rd)),
+            Rev { rd, rm } => one(0xBA00 | (lo(rm) << 3) | lo(rd)),
+            Rev16 { rd, rm } => one(0xBA40 | (lo(rm) << 3) | lo(rd)),
+            Revsh { rd, rm } => one(0xBAC0 | (lo(rm) << 3) | lo(rd)),
+            Push { registers, lr } => one(0xB400 | ((lr as u16) << 8) | registers as u16),
+            Pop { registers, pc } => one(0xBC00 | ((pc as u16) << 8) | registers as u16),
+            Stmia { rn, registers } => one(0xC000 | (lo(rn) << 8) | registers as u16),
+            Ldmia { rn, registers } => one(0xC800 | (lo(rn) << 8) | registers as u16),
+            Bkpt { imm8 } => one(0xBE00 | imm8 as u16),
+            Nop => one(0xBF00),
+            BCond { cond, imm8 } => one(0xD000 | (cond.bits() << 8) | imm8 as u16),
+            B { imm11 } => one(0xE000 | (imm11 & 0x7FF)),
+            Bl { offset } => {
+                let raw = (offset as u32) & 0x01FF_FFFF;
+                let s = (raw >> 24) & 1;
+                let i1 = (raw >> 23) & 1;
+                let i2 = (raw >> 22) & 1;
+                let imm10 = (raw >> 12) & 0x3FF;
+                let imm11 = (raw >> 1) & 0x7FF;
+                let j1 = (!(i1 ^ s)) & 1;
+                let j2 = (!(i2 ^ s)) & 1;
+                let first = 0xF000 | ((s as u16) << 10) | imm10 as u16;
+                let second = 0xD000 | ((j1 as u16) << 13) | ((j2 as u16) << 11) | imm11 as u16;
+                EncodedInstruction::wide(first, second)
+            }
+        }
+    }
+}
+
+/// One or two encoded halfwords.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncodedInstruction {
+    halves: [u16; 2],
+    len: u8,
+}
+
+impl EncodedInstruction {
+    fn narrow(half: u16) -> Self {
+        Self { halves: [half, 0], len: 1 }
+    }
+
+    fn wide(first: u16, second: u16) -> Self {
+        Self { halves: [first, second], len: 2 }
+    }
+
+    /// The encoded halfwords.
+    pub fn halfwords(&self) -> &[u16] {
+        &self.halves[..self.len as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(inst: Instruction) {
+        let enc = inst.encode();
+        let halves = enc.halfwords();
+        let decoded = Instruction::decode(halves[0], halves.get(1).copied())
+            .unwrap_or_else(|e| panic!("{inst:?} failed to decode: {e}"));
+        assert_eq!(decoded, inst, "round-trip mismatch for {inst:?}");
+    }
+
+    #[test]
+    fn roundtrip_alu_immediates() {
+        for rd in 0..8u8 {
+            roundtrip(Instruction::MovImm { rd: Reg(rd), imm8: 0xAB });
+            roundtrip(Instruction::CmpImm { rn: Reg(rd), imm8: 1 });
+            roundtrip(Instruction::AddImm8 { rdn: Reg(rd), imm8: 255 });
+            roundtrip(Instruction::SubImm8 { rdn: Reg(rd), imm8: 7 });
+        }
+        roundtrip(Instruction::AddImm3 { rd: Reg(1), rn: Reg(2), imm3: 7 });
+        roundtrip(Instruction::SubImm3 { rd: Reg(7), rn: Reg(0), imm3: 1 });
+    }
+
+    #[test]
+    fn roundtrip_shifts_and_dp() {
+        roundtrip(Instruction::LslImm { rd: Reg(0), rm: Reg(1), imm5: 31 });
+        roundtrip(Instruction::LsrImm { rd: Reg(2), rm: Reg(3), imm5: 1 });
+        roundtrip(Instruction::AsrImm { rd: Reg(4), rm: Reg(5), imm5: 16 });
+        for op_bits in 0..16 {
+            roundtrip(Instruction::DataProc {
+                op: DpOp::from_bits(op_bits),
+                rdn: Reg(3),
+                rm: Reg(6),
+            });
+        }
+    }
+
+    #[test]
+    fn roundtrip_loads_stores() {
+        roundtrip(Instruction::LdrImm { rt: Reg(0), rn: Reg(1), imm5: 31 });
+        roundtrip(Instruction::StrImm { rt: Reg(2), rn: Reg(3), imm5: 0 });
+        roundtrip(Instruction::LdrbImm { rt: Reg(4), rn: Reg(5), imm5: 9 });
+        roundtrip(Instruction::StrbImm { rt: Reg(6), rn: Reg(7), imm5: 3 });
+        roundtrip(Instruction::LdrhImm { rt: Reg(1), rn: Reg(2), imm5: 12 });
+        roundtrip(Instruction::StrhImm { rt: Reg(3), rn: Reg(4), imm5: 30 });
+        roundtrip(Instruction::LdrReg { rt: Reg(0), rn: Reg(1), rm: Reg(2) });
+        roundtrip(Instruction::StrReg { rt: Reg(3), rn: Reg(4), rm: Reg(5) });
+        roundtrip(Instruction::LdrshReg { rt: Reg(6), rn: Reg(7), rm: Reg(0) });
+        roundtrip(Instruction::LdrsbReg { rt: Reg(1), rn: Reg(2), rm: Reg(3) });
+        roundtrip(Instruction::LdrLit { rt: Reg(5), imm8: 200 });
+        roundtrip(Instruction::LdrSp { rt: Reg(2), imm8: 9 });
+        roundtrip(Instruction::StrSp { rt: Reg(1), imm8: 255 });
+    }
+
+    #[test]
+    fn roundtrip_hi_and_misc() {
+        roundtrip(Instruction::AddHi { rdn: Reg(10), rm: Reg(3) });
+        roundtrip(Instruction::CmpHi { rn: Reg(8), rm: Reg(9) });
+        roundtrip(Instruction::MovHi { rd: Reg(14), rm: Reg(2) });
+        roundtrip(Instruction::Bx { rm: Reg::LR });
+        roundtrip(Instruction::Blx { rm: Reg(4) });
+        roundtrip(Instruction::AddSp { imm7: 127 });
+        roundtrip(Instruction::SubSp { imm7: 1 });
+        roundtrip(Instruction::AddRdSp { rd: Reg(3), imm8: 10 });
+        roundtrip(Instruction::Adr { rd: Reg(1), imm8: 4 });
+        roundtrip(Instruction::Uxtb { rd: Reg(0), rm: Reg(1) });
+        roundtrip(Instruction::Sxth { rd: Reg(2), rm: Reg(3) });
+        roundtrip(Instruction::Rev { rd: Reg(4), rm: Reg(5) });
+        roundtrip(Instruction::Revsh { rd: Reg(6), rm: Reg(7) });
+        roundtrip(Instruction::Push { registers: 0b1011, lr: true });
+        roundtrip(Instruction::Pop { registers: 0b0100, pc: true });
+        roundtrip(Instruction::Ldmia { rn: Reg(2), registers: 0b1110 });
+        roundtrip(Instruction::Stmia { rn: Reg(5), registers: 0b0011 });
+        roundtrip(Instruction::Bkpt { imm8: 0xAB });
+        roundtrip(Instruction::Nop);
+    }
+
+    #[test]
+    fn roundtrip_branches() {
+        for cond in [Condition::Eq, Condition::Ne, Condition::Lt, Condition::Hi] {
+            roundtrip(Instruction::BCond { cond, imm8: 0x80 });
+        }
+        roundtrip(Instruction::B { imm11: 0x7FF });
+        roundtrip(Instruction::B { imm11: 0 });
+        for offset in [-4, 4, 1000, -1000, 100_000, -100_000, 0x3F_FFFE, -0x40_0000] {
+            roundtrip(Instruction::Bl { offset });
+        }
+    }
+
+    #[test]
+    fn bl_is_wide() {
+        assert!(Instruction::Bl { offset: 0 }.is_wide());
+        assert_eq!(Instruction::Bl { offset: 0 }.size(), 4);
+        assert_eq!(Instruction::Nop.size(), 2);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        // An ARMv7-M CBZ encoding (0xB1xx) is not in the v6-M subset.
+        assert!(Instruction::decode(0xB100, None).is_err());
+        // BL without a second halfword.
+        assert_eq!(
+            Instruction::decode(0xF000, None),
+            Err(DecodeError::TruncatedWide { halfword: 0xF000 })
+        );
+    }
+
+    #[test]
+    fn condition_round_trip() {
+        for bits in 0..14 {
+            let c = Condition::from_bits(bits).expect("valid condition");
+            assert_eq!(c.bits(), bits);
+        }
+        assert!(Condition::from_bits(14).is_none());
+        assert_eq!(Condition::Lt.mnemonic(), "lt");
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::PC.to_string(), "pc");
+    }
+}

@@ -1,0 +1,55 @@
+//! A cycle-accurate ARMv6-M (Cortex-M0) instruction-set simulator with a
+//! built-in Thumb assembler and memory-access tracing.
+//!
+//! The PPAtC paper obtains application statistics by compiling Embench
+//! workloads for the Cortex-M0 and running RTL simulations (Synopsys VCS) to
+//! extract — from the resulting `.vcd` waveforms — (a) the exact cycle count
+//! of each application, (b) the number and addresses of memory accesses, and
+//! (c) required data-retention times. This crate is that substrate:
+//!
+//! - [`asm`] — a two-pass Thumb assembler (labels, `.word`, `ldr rX, =imm`
+//!   literal pools) so workloads can be written as ARMv6-M assembly without
+//!   an external toolchain.
+//! - [`Instruction`] — the ARMv6-M subset, with bidirectional
+//!   encode/decode.
+//! - [`Cpu`] — the executor with documented Cortex-M0 cycle costs
+//!   (1-cycle ALU, 2-cycle load/store, 3-cycle taken branch, ...).
+//! - [`MemorySystem`]/[`AccessStats`] — the program/data eDRAM regions of
+//!   the paper's Fig. 1 architecture, counting fetches, reads, and writes,
+//!   and tracking the write→last-read intervals that set required eDRAM
+//!   retention time.
+//!
+//! # Example
+//!
+//! ```
+//! use ppatc_m0::{asm, Cpu};
+//!
+//! let program = asm::assemble(r#"
+//!         movs r0, #0      ; sum = 0
+//!         movs r1, #10     ; i = 10
+//!     loop:
+//!         adds r0, r0, r1
+//!         subs r1, r1, #1
+//!         bne  loop
+//!         bkpt #0
+//! "#)?;
+//! let mut cpu = Cpu::new(&program);
+//! let run = cpu.run(1_000_000)?;
+//! assert_eq!(cpu.reg(0), 55);
+//! assert!(run.cycles > 30);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+mod cpu;
+pub mod disasm;
+mod inst;
+mod memory;
+pub mod vcd;
+
+pub use cpu::{Cpu, ExecError, RunSummary};
+pub use disasm::disassemble;
+pub use inst::{Condition, DecodeError, DpOp, Instruction, Reg};
+pub use memory::{AccessStats, MemoryError, MemorySystem, DATA_BASE, DATA_SIZE, PROG_SIZE};

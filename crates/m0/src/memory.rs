@@ -1,0 +1,372 @@
+//! The embedded system's memory map with access tracing.
+//!
+//! Following the paper's Fig. 1 architecture, the system has two 64 kB
+//! eDRAM-backed memories: a *program* memory at `0x0000_0000` (code, literal
+//! pools, constant tables) and a *data* memory at `0x2000_0000`
+//! (globals/heap/stack). Every access is counted — those counts drive the
+//! application-dependent eDRAM energy model — and write→read intervals on
+//! the data memory are tracked to determine the retention time the eDRAM
+//! must provide.
+
+/// Size of the program memory, bytes (64 kB, Sec. III-B Step 1).
+pub const PROG_SIZE: u32 = 64 * 1024;
+
+/// Base address of the data memory.
+pub const DATA_BASE: u32 = 0x2000_0000;
+
+/// Size of the data memory, bytes (64 kB).
+pub const DATA_SIZE: u32 = 64 * 1024;
+
+/// Memory-access fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Access outside both memory regions.
+    OutOfBounds {
+        /// Faulting address.
+        addr: u32,
+    },
+    /// Address not aligned to the access size.
+    Misaligned {
+        /// Faulting address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// Store into the (read-only at run time) program region.
+    ReadOnlyProgram {
+        /// Faulting address.
+        addr: u32,
+    },
+}
+
+impl core::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemoryError::OutOfBounds { addr } => write!(f, "access at {addr:#010x} is out of bounds"),
+            MemoryError::Misaligned { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr:#010x}")
+            }
+            MemoryError::ReadOnlyProgram { addr } => {
+                write!(f, "store to read-only program memory at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Per-region access counters and data-retention statistics — the
+/// simulator's substitute for the paper's `.vcd` waveform analysis.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Instruction fetches from program memory (one per halfword fetched).
+    pub instruction_fetches: u64,
+    /// Data-side reads from program memory (literal pools, constant tables).
+    pub program_reads: u64,
+    /// Reads from data memory.
+    pub data_reads: u64,
+    /// Writes to data memory.
+    pub data_writes: u64,
+    /// Longest observed interval (in cycles) between a write to a data-memory
+    /// word and a subsequent read of it — the retention requirement.
+    pub max_write_to_read_cycles: u64,
+    /// Number of distinct data-memory words ever written.
+    pub words_written: u64,
+}
+
+impl AccessStats {
+    /// Total data-side accesses to either memory (excludes fetches).
+    pub fn total_data_accesses(&self) -> u64 {
+        self.program_reads + self.data_reads + self.data_writes
+    }
+
+    /// Total program-memory read traffic (fetches + literals).
+    pub fn program_accesses(&self) -> u64 {
+        self.instruction_fetches + self.program_reads
+    }
+}
+
+/// The two-region memory system.
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    program: Vec<u8>,
+    data: Vec<u8>,
+    stats: AccessStats,
+    /// Cycle of the last write per data-memory word (u64::MAX = never).
+    last_write: Vec<u64>,
+}
+
+const NEVER: u64 = u64::MAX;
+
+impl MemorySystem {
+    /// Creates a memory system with the given program image loaded at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image exceeds [`PROG_SIZE`].
+    pub fn new(program_image: &[u8]) -> Self {
+        assert!(
+            program_image.len() <= PROG_SIZE as usize,
+            "program image ({} bytes) exceeds program memory ({PROG_SIZE} bytes)",
+            program_image.len()
+        );
+        let mut program = vec![0u8; PROG_SIZE as usize];
+        program[..program_image.len()].copy_from_slice(program_image);
+        Self {
+            program,
+            data: vec![0u8; DATA_SIZE as usize],
+            stats: AccessStats::default(),
+            last_write: vec![NEVER; (DATA_SIZE / 4) as usize],
+        }
+    }
+
+    /// The access statistics collected so far.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Resets access statistics (not memory contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+        self.last_write.fill(NEVER);
+    }
+
+    fn locate(&self, addr: u32, size: u32) -> Result<Region, MemoryError> {
+        if addr % size != 0 {
+            return Err(MemoryError::Misaligned { addr, size });
+        }
+        if addr + size <= PROG_SIZE {
+            Ok(Region::Program(addr as usize))
+        } else if (DATA_BASE..DATA_BASE + DATA_SIZE).contains(&addr)
+            && addr + size <= DATA_BASE + DATA_SIZE
+        {
+            Ok(Region::Data((addr - DATA_BASE) as usize))
+        } else {
+            Err(MemoryError::OutOfBounds { addr })
+        }
+    }
+
+    /// Fetches one instruction halfword (counted as a fetch, not a read).
+    ///
+    /// # Errors
+    ///
+    /// Fails for addresses outside program memory or misaligned by 2.
+    pub fn fetch_halfword(&mut self, addr: u32) -> Result<u16, MemoryError> {
+        match self.locate(addr, 2)? {
+            Region::Program(off) => {
+                self.stats.instruction_fetches += 1;
+                Ok(u16::from_le_bytes([self.program[off], self.program[off + 1]]))
+            }
+            Region::Data(_) => Err(MemoryError::OutOfBounds { addr }),
+        }
+    }
+
+    fn read_bytes(&mut self, addr: u32, size: u32, cycle: u64) -> Result<&[u8], MemoryError> {
+        match self.locate(addr, size)? {
+            Region::Program(off) => {
+                self.stats.program_reads += 1;
+                Ok(&self.program[off..off + size as usize])
+            }
+            Region::Data(off) => {
+                self.stats.data_reads += 1;
+                let word = off / 4;
+                let written = self.last_write[word];
+                if written != NEVER && cycle >= written {
+                    let interval = cycle - written;
+                    if interval > self.stats.max_write_to_read_cycles {
+                        self.stats.max_write_to_read_cycles = interval;
+                    }
+                }
+                Ok(&self.data[off..off + size as usize])
+            }
+        }
+    }
+
+    fn write_bytes(&mut self, addr: u32, bytes: &[u8], cycle: u64) -> Result<(), MemoryError> {
+        match self.locate(addr, bytes.len() as u32)? {
+            Region::Program(_) => Err(MemoryError::ReadOnlyProgram { addr }),
+            Region::Data(off) => {
+                self.stats.data_writes += 1;
+                let word = off / 4;
+                if self.last_write[word] == NEVER {
+                    self.stats.words_written += 1;
+                }
+                self.last_write[word] = cycle;
+                self.data[off..off + bytes.len()].copy_from_slice(bytes);
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range or misaligned addresses.
+    pub fn read_u32(&mut self, addr: u32, cycle: u64) -> Result<u32, MemoryError> {
+        let b = self.read_bytes(addr, 4, cycle)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a 16-bit halfword (zero-extension is the caller's business).
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range or misaligned addresses.
+    pub fn read_u16(&mut self, addr: u32, cycle: u64) -> Result<u16, MemoryError> {
+        let b = self.read_bytes(addr, 2, cycle)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range addresses.
+    pub fn read_u8(&mut self, addr: u32, cycle: u64) -> Result<u8, MemoryError> {
+        Ok(self.read_bytes(addr, 1, cycle)?[0])
+    }
+
+    /// Writes a 32-bit word (data memory only).
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range, misaligned, or program-region addresses.
+    pub fn write_u32(&mut self, addr: u32, value: u32, cycle: u64) -> Result<(), MemoryError> {
+        self.write_bytes(addr, &value.to_le_bytes(), cycle)
+    }
+
+    /// Writes a 16-bit halfword (data memory only).
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range, misaligned, or program-region addresses.
+    pub fn write_u16(&mut self, addr: u32, value: u16, cycle: u64) -> Result<(), MemoryError> {
+        self.write_bytes(addr, &value.to_le_bytes(), cycle)
+    }
+
+    /// Writes one byte (data memory only).
+    ///
+    /// # Errors
+    ///
+    /// Fails for out-of-range or program-region addresses.
+    pub fn write_u8(&mut self, addr: u32, value: u8, cycle: u64) -> Result<(), MemoryError> {
+        self.write_bytes(addr, &[value], cycle)
+    }
+
+    /// Untracked debug read of a data-memory word (for test assertions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside data memory or misaligned.
+    pub fn peek_data_u32(&self, addr: u32) -> u32 {
+        assert!(addr % 4 == 0, "peek address must be word-aligned");
+        assert!(
+            (DATA_BASE..DATA_BASE + DATA_SIZE).contains(&addr),
+            "peek address {addr:#010x} outside data memory"
+        );
+        let off = (addr - DATA_BASE) as usize;
+        u32::from_le_bytes([
+            self.data[off],
+            self.data[off + 1],
+            self.data[off + 2],
+            self.data[off + 3],
+        ])
+    }
+
+    /// Untracked debug write of a data-memory word (for test setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside data memory or misaligned.
+    pub fn poke_data_u32(&mut self, addr: u32, value: u32) {
+        assert!(addr % 4 == 0, "poke address must be word-aligned");
+        assert!(
+            (DATA_BASE..DATA_BASE + DATA_SIZE).contains(&addr),
+            "poke address {addr:#010x} outside data memory"
+        );
+        let off = (addr - DATA_BASE) as usize;
+        self.data[off..off + 4].copy_from_slice(&value.to_le_bytes());
+    }
+}
+
+enum Region {
+    Program(usize),
+    Data(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_image_is_loaded_and_fetchable() {
+        let mut m = MemorySystem::new(&[0x34, 0x12, 0x78, 0x56]);
+        assert_eq!(m.fetch_halfword(0).expect("fetch should work"), 0x1234);
+        assert_eq!(m.fetch_halfword(2).expect("fetch should work"), 0x5678);
+        assert_eq!(m.stats().instruction_fetches, 2);
+    }
+
+    #[test]
+    fn data_round_trip_and_counting() {
+        let mut m = MemorySystem::new(&[]);
+        m.write_u32(DATA_BASE + 8, 0xDEADBEEF, 10).expect("write should work");
+        assert_eq!(m.read_u32(DATA_BASE + 8, 20).expect("read should work"), 0xDEADBEEF);
+        assert_eq!(m.stats().data_writes, 1);
+        assert_eq!(m.stats().data_reads, 1);
+        assert_eq!(m.stats().max_write_to_read_cycles, 10);
+        assert_eq!(m.stats().words_written, 1);
+    }
+
+    #[test]
+    fn retention_tracks_longest_interval() {
+        let mut m = MemorySystem::new(&[]);
+        m.write_u32(DATA_BASE, 1, 0).expect("write");
+        let _ = m.read_u32(DATA_BASE, 5).expect("read");
+        m.write_u32(DATA_BASE + 4, 2, 10).expect("write");
+        let _ = m.read_u32(DATA_BASE + 4, 1_000_010).expect("read");
+        assert_eq!(m.stats().max_write_to_read_cycles, 1_000_000);
+    }
+
+    #[test]
+    fn subword_access() {
+        let mut m = MemorySystem::new(&[]);
+        m.write_u8(DATA_BASE + 3, 0xAA, 0).expect("byte write");
+        m.write_u16(DATA_BASE + 0, 0x1122, 0).expect("half write");
+        assert_eq!(m.read_u8(DATA_BASE + 3, 1).expect("byte read"), 0xAA);
+        assert_eq!(m.read_u16(DATA_BASE, 1).expect("half read"), 0x1122);
+        assert_eq!(m.read_u32(DATA_BASE, 1).expect("word read"), 0xAA00_1122);
+    }
+
+    #[test]
+    fn faults() {
+        let mut m = MemorySystem::new(&[0; 4]);
+        assert_eq!(
+            m.read_u32(DATA_BASE + 2, 0),
+            Err(MemoryError::Misaligned { addr: DATA_BASE + 2, size: 4 })
+        );
+        assert_eq!(
+            m.read_u32(0x1000_0000, 0),
+            Err(MemoryError::OutOfBounds { addr: 0x1000_0000 })
+        );
+        assert_eq!(m.write_u32(0, 1, 0), Err(MemoryError::ReadOnlyProgram { addr: 0 }));
+        // Reading program memory as data is allowed (literal pools).
+        assert!(m.read_u32(0, 0).is_ok());
+        assert_eq!(m.stats().program_reads, 1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut m = MemorySystem::new(&[]);
+        m.write_u32(DATA_BASE, 7, 0).expect("write");
+        m.reset_stats();
+        assert_eq!(m.stats().data_writes, 0);
+        assert_eq!(m.peek_data_u32(DATA_BASE), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds program memory")]
+    fn oversized_image_panics() {
+        let _ = MemorySystem::new(&vec![0u8; (PROG_SIZE + 1) as usize]);
+    }
+}

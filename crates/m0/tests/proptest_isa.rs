@@ -1,0 +1,178 @@
+//! Property tests of the ISA triangle (encode ↔ decode ↔ disassemble) and
+//! of architectural semantics against a Rust-side mini-interpreter.
+
+use ppatc_m0::{asm, Condition, Cpu, DpOp, Instruction, Reg};
+use proptest::prelude::*;
+
+/// Strategy: any low register.
+fn low_reg() -> impl Strategy<Value = Reg> {
+    (0u8..8).prop_map(Reg)
+}
+
+/// Strategy: a random valid instruction (no wide/branch forms, which have
+/// extra encoding context).
+fn any_narrow_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (low_reg(), 0u8..=255).prop_map(|(rd, imm8)| Instruction::MovImm { rd, imm8 }),
+        (low_reg(), 0u8..=255).prop_map(|(rn, imm8)| Instruction::CmpImm { rn, imm8 }),
+        (low_reg(), 0u8..=255).prop_map(|(rdn, imm8)| Instruction::AddImm8 { rdn, imm8 }),
+        (low_reg(), 0u8..=255).prop_map(|(rdn, imm8)| Instruction::SubImm8 { rdn, imm8 }),
+        (low_reg(), low_reg(), 0u8..=7)
+            .prop_map(|(rd, rn, imm3)| Instruction::AddImm3 { rd, rn, imm3 }),
+        (low_reg(), low_reg(), low_reg())
+            .prop_map(|(rd, rn, rm)| Instruction::AddReg { rd, rn, rm }),
+        (low_reg(), low_reg(), low_reg())
+            .prop_map(|(rd, rn, rm)| Instruction::SubReg { rd, rn, rm }),
+        (low_reg(), low_reg(), 0u8..=31)
+            .prop_map(|(rd, rm, imm5)| Instruction::LslImm { rd, rm, imm5 }),
+        (low_reg(), low_reg(), 0u8..=31)
+            .prop_map(|(rd, rm, imm5)| Instruction::LsrImm { rd, rm, imm5 }),
+        (low_reg(), low_reg(), 0u8..=31)
+            .prop_map(|(rd, rm, imm5)| Instruction::AsrImm { rd, rm, imm5 }),
+        (0u16..16, low_reg(), low_reg()).prop_map(|(op, rdn, rm)| Instruction::DataProc {
+            op: DpOp::from_bits(op),
+            rdn,
+            rm
+        }),
+        (low_reg(), low_reg(), 0u8..=31)
+            .prop_map(|(rt, rn, imm5)| Instruction::LdrImm { rt, rn, imm5 }),
+        (low_reg(), low_reg(), 0u8..=31)
+            .prop_map(|(rt, rn, imm5)| Instruction::StrbImm { rt, rn, imm5 }),
+        (low_reg(), low_reg(), low_reg())
+            .prop_map(|(rt, rn, rm)| Instruction::LdrshReg { rt, rn, rm }),
+        (low_reg(), 0u8..=255).prop_map(|(rt, imm8)| Instruction::StrSp { rt, imm8 }),
+        (any::<u8>(), any::<bool>())
+            .prop_map(|(registers, lr)| Instruction::Push { registers, lr }),
+        (any::<u8>(), any::<bool>())
+            .prop_map(|(registers, pc)| Instruction::Pop { registers, pc }),
+        (low_reg(), low_reg()).prop_map(|(rd, rm)| Instruction::Uxtb { rd, rm }),
+        (low_reg(), low_reg()).prop_map(|(rd, rm)| Instruction::Rev { rd, rm }),
+        (0u8..=255).prop_map(|imm8| Instruction::Bkpt { imm8 }),
+        (0u16..14, 0u8..=255).prop_map(|(c, imm8)| Instruction::BCond {
+            cond: Condition::from_bits(c).expect("valid condition"),
+            imm8
+        }),
+        (0u16..=0x7FF).prop_map(|imm11| Instruction::B { imm11 }),
+        Just(Instruction::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_round_trip(inst in any_narrow_instruction()) {
+        let enc = inst.encode();
+        let halves = enc.halfwords();
+        let back = Instruction::decode(halves[0], halves.get(1).copied())
+            .expect("generated instructions decode");
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn bl_offsets_round_trip(offset in -0x0080_0000i32..0x007F_FFFE) {
+        let even = offset & !1;
+        let inst = Instruction::Bl { offset: even };
+        let enc = inst.encode();
+        let halves = enc.halfwords();
+        let back = Instruction::decode(halves[0], halves.get(1).copied())
+            .expect("BL decodes");
+        prop_assert_eq!(back, inst);
+    }
+
+    /// Straight-line ALU programs match a Rust-side register machine.
+    #[test]
+    fn alu_semantics_match_reference(
+        seed in any::<u32>(),
+        ops in prop::collection::vec((0u8..6, 0u8..4, 0u8..4, 0u8..=31), 1..40),
+    ) {
+        let mut asm_text = format!("ldr r0, ={seed}\nldr r1, ={}\nldr r2, ={}\nldr r3, ={}\n",
+            seed.wrapping_mul(3), seed.rotate_left(7), !seed);
+        let mut regs: [u32; 4] = [
+            seed,
+            seed.wrapping_mul(3),
+            seed.rotate_left(7),
+            !seed,
+        ];
+        for &(op, rd, rm, imm) in &ops {
+            let (rd, rm) = (rd as usize, rm as usize);
+            match op {
+                0 => {
+                    asm_text.push_str(&format!("adds r{rd}, r{rd}, r{rm}\n"));
+                    regs[rd] = regs[rd].wrapping_add(regs[rm]);
+                }
+                1 => {
+                    asm_text.push_str(&format!("subs r{rd}, r{rd}, r{rm}\n"));
+                    regs[rd] = regs[rd].wrapping_sub(regs[rm]);
+                }
+                2 => {
+                    asm_text.push_str(&format!("eors r{rd}, r{rd}, r{rm}\n"));
+                    regs[rd] ^= regs[rm];
+                }
+                3 => {
+                    asm_text.push_str(&format!("ands r{rd}, r{rd}, r{rm}\n"));
+                    regs[rd] &= regs[rm];
+                }
+                4 => {
+                    asm_text.push_str(&format!("lsls r{rd}, r{rm}, #{imm}\n"));
+                    regs[rd] = regs[rm] << imm;
+                }
+                _ => {
+                    asm_text.push_str(&format!("muls r{rd}, r{rd}, r{rm}\n"));
+                    regs[rd] = regs[rd].wrapping_mul(regs[rm]);
+                }
+            }
+        }
+        asm_text.push_str("bkpt #0\n");
+        let image = asm::assemble(&asm_text).expect("fuzz program assembles");
+        let mut cpu = Cpu::new(&image);
+        cpu.run(1_000_000).expect("fuzz program halts");
+        for (i, &expected) in regs.iter().enumerate() {
+            prop_assert_eq!(cpu.reg(i as u8), expected, "r{} after:\n{}", i, asm_text);
+        }
+    }
+
+    /// Conditional branches agree with Rust comparisons for random operand
+    /// pairs, across signed and unsigned predicates.
+    #[test]
+    fn branch_predicates_match_rust(a in any::<u32>(), b in any::<u32>()) {
+        let cases: [(&str, bool); 6] = [
+            ("beq", a == b),
+            ("bne", a != b),
+            ("bhs", a >= b),
+            ("blo", a < b),
+            ("bge", (a as i32) >= (b as i32)),
+            ("blt", (a as i32) < (b as i32)),
+        ];
+        for (branch, expected) in cases {
+            let text = format!(
+                "ldr r0, ={a}\nldr r1, ={b}\ncmp r0, r1\n{branch} yes\nmovs r2, #0\nb done\nyes: movs r2, #1\ndone: bkpt #0\n"
+            );
+            let image = asm::assemble(&text).expect("predicate program assembles");
+            let mut cpu = Cpu::new(&image);
+            cpu.run(10_000).expect("predicate program halts");
+            prop_assert_eq!(cpu.reg(2) == 1, expected, "{} with {:#x}, {:#x}", branch, a, b);
+        }
+    }
+
+    /// The memory system never loses data under random word traffic, and
+    /// counts every access.
+    #[test]
+    fn random_word_traffic_is_exact(
+        writes in prop::collection::vec((0u32..16384, any::<u32>()), 1..64),
+    ) {
+        use ppatc_m0::{MemorySystem, DATA_BASE};
+        let mut mem = MemorySystem::new(&[]);
+        let mut model = std::collections::HashMap::new();
+        for (k, &(word, value)) in writes.iter().enumerate() {
+            mem.write_u32(DATA_BASE + word * 4, value, k as u64).expect("in range");
+            model.insert(word, value);
+        }
+        for (&word, &value) in &model {
+            prop_assert_eq!(mem.read_u32(DATA_BASE + word * 4, 1_000_000).expect("in range"), value);
+        }
+        prop_assert_eq!(mem.stats().data_writes, writes.len() as u64);
+        prop_assert_eq!(mem.stats().data_reads, model.len() as u64);
+        prop_assert_eq!(mem.stats().words_written, model.len() as u64);
+    }
+}

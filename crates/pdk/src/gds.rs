@@ -1,0 +1,522 @@
+//! A minimal GDSII stream-format writer and reader.
+//!
+//! The paper's artifact repository ships a GDS layout of the M3D process
+//! for 3D rendering in GDS3D; this module provides the same capability:
+//! build a [`GdsLibrary`] of polygons on numbered layers, serialize it to
+//! the binary GDSII stream format any layout tool can open, and parse it
+//! back (used by the tests to guarantee round-trip fidelity).
+//!
+//! Only the record types needed for polygon layouts are implemented:
+//! `HEADER, BGNLIB, LIBNAME, UNITS, BGNSTR, STRNAME, BOUNDARY, LAYER,
+//! DATATYPE, XY, ENDEL, ENDSTR, ENDLIB`.
+//!
+//! # Example
+//!
+//! ```
+//! use ppatc_pdk::gds::{GdsBoundary, GdsLibrary, GdsStructure};
+//!
+//! let mut cell = GdsStructure::new("CELL");
+//! cell.push(GdsBoundary::rect(10, 0, (0, 0), (1000, 2000))); // nm
+//! let mut lib = GdsLibrary::new("PPATC");
+//! lib.push(cell);
+//! let bytes = lib.to_bytes();
+//! let back = GdsLibrary::from_bytes(&bytes)?;
+//! assert_eq!(back, lib);
+//! # Ok::<(), ppatc_pdk::gds::GdsError>(())
+//! ```
+
+use std::fmt;
+
+/// Database unit: 1 nm (in metres).
+const DB_UNIT_M: f64 = 1e-9;
+/// User unit: 1 µm expressed in database units.
+const DB_PER_USER: f64 = 1e-3;
+
+/// GDSII record types used here.
+mod rec {
+    pub const HEADER: u8 = 0x00;
+    pub const BGNLIB: u8 = 0x01;
+    pub const LIBNAME: u8 = 0x02;
+    pub const UNITS: u8 = 0x03;
+    pub const ENDLIB: u8 = 0x04;
+    pub const BGNSTR: u8 = 0x05;
+    pub const STRNAME: u8 = 0x06;
+    pub const ENDSTR: u8 = 0x07;
+    pub const BOUNDARY: u8 = 0x08;
+    pub const LAYER: u8 = 0x0D;
+    pub const DATATYPE: u8 = 0x0E;
+    pub const XY: u8 = 0x10;
+    pub const ENDEL: u8 = 0x11;
+}
+
+/// GDSII data-type codes.
+mod dt {
+    pub const NONE: u8 = 0x00;
+    pub const I16: u8 = 0x02;
+    pub const I32: u8 = 0x03;
+    pub const F64: u8 = 0x05;
+    pub const ASCII: u8 = 0x06;
+}
+
+/// A polygon on a numbered layer. Coordinates are in database units (nm);
+/// the closing point is implicit (added on write, checked on read).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GdsBoundary {
+    /// GDS layer number.
+    pub layer: i16,
+    /// GDS datatype number.
+    pub datatype: i16,
+    /// Vertices, in nm, without the repeated closing vertex.
+    pub points: Vec<(i32, i32)>,
+}
+
+impl GdsBoundary {
+    /// A rectangle from `min` to `max` corners (nm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is degenerate.
+    pub fn rect(layer: i16, datatype: i16, min: (i32, i32), max: (i32, i32)) -> Self {
+        assert!(max.0 > min.0 && max.1 > min.1, "degenerate rectangle");
+        Self {
+            layer,
+            datatype,
+            points: vec![min, (max.0, min.1), max, (min.0, max.1)],
+        }
+    }
+
+    /// Bounding box `((min_x, min_y), (max_x, max_y))` in nm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polygon has no points.
+    pub fn bbox(&self) -> ((i32, i32), (i32, i32)) {
+        assert!(!self.points.is_empty(), "empty polygon");
+        let mut min = self.points[0];
+        let mut max = self.points[0];
+        for &(x, y) in &self.points {
+            min = (min.0.min(x), min.1.min(y));
+            max = (max.0.max(x), max.1.max(y));
+        }
+        (min, max)
+    }
+}
+
+/// A named structure (cell) containing boundaries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GdsStructure {
+    name: String,
+    elements: Vec<GdsBoundary>,
+}
+
+impl GdsStructure {
+    /// Creates an empty structure.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), elements: Vec::new() }
+    }
+
+    /// Structure name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a boundary.
+    pub fn push(&mut self, boundary: GdsBoundary) {
+        self.elements.push(boundary);
+    }
+
+    /// The boundaries.
+    pub fn elements(&self) -> &[GdsBoundary] {
+        &self.elements
+    }
+
+    /// Polygon count on one layer.
+    pub fn count_on_layer(&self, layer: i16) -> usize {
+        self.elements.iter().filter(|b| b.layer == layer).count()
+    }
+}
+
+/// A GDSII library: named structures with 1 nm database units.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GdsLibrary {
+    name: String,
+    structures: Vec<GdsStructure>,
+}
+
+/// Parse error for GDSII streams.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GdsError {
+    /// Stream ended inside a record.
+    Truncated,
+    /// Unexpected record where another was required.
+    UnexpectedRecord {
+        /// The found record type.
+        found: u8,
+    },
+    /// Record payload malformed (odd XY count, bad string, ...).
+    MalformedRecord {
+        /// The offending record type.
+        record: u8,
+    },
+}
+
+impl fmt::Display for GdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdsError::Truncated => f.write_str("truncated GDSII stream"),
+            GdsError::UnexpectedRecord { found } => {
+                write!(f, "unexpected GDSII record {found:#04x}")
+            }
+            GdsError::MalformedRecord { record } => {
+                write!(f, "malformed GDSII record {record:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GdsError {}
+
+impl GdsLibrary {
+    /// Creates an empty library.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), structures: Vec::new() }
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a structure.
+    pub fn push(&mut self, structure: GdsStructure) {
+        self.structures.push(structure);
+    }
+
+    /// The structures.
+    pub fn structures(&self) -> &[GdsStructure] {
+        &self.structures
+    }
+
+    /// Serializes to the GDSII stream format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.record_i16(rec::HEADER, &[600]); // stream version 6
+        w.record_i16(rec::BGNLIB, &[0; 12]); // timestamps zeroed (determinism)
+        w.record_ascii(rec::LIBNAME, &self.name);
+        w.record_f64(rec::UNITS, &[DB_PER_USER, DB_UNIT_M]);
+        for s in &self.structures {
+            w.record_i16(rec::BGNSTR, &[0; 12]);
+            w.record_ascii(rec::STRNAME, &s.name);
+            for b in &s.elements {
+                w.record_none(rec::BOUNDARY);
+                w.record_i16(rec::LAYER, &[b.layer]);
+                w.record_i16(rec::DATATYPE, &[b.datatype]);
+                let mut xy = Vec::with_capacity(2 * (b.points.len() + 1));
+                for &(x, y) in &b.points {
+                    xy.push(x);
+                    xy.push(y);
+                }
+                // GDSII closes the polygon explicitly.
+                xy.push(b.points[0].0);
+                xy.push(b.points[0].1);
+                w.record_i32(rec::XY, &xy);
+                w.record_none(rec::ENDEL);
+            }
+            w.record_none(rec::ENDSTR);
+        }
+        w.record_none(rec::ENDLIB);
+        w.out
+    }
+
+    /// Parses a GDSII stream produced by [`GdsLibrary::to_bytes`] (or any
+    /// other tool, as long as it sticks to boundary elements).
+    ///
+    /// # Errors
+    ///
+    /// [`GdsError`] on truncation or unsupported/malformed records.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, GdsError> {
+        let mut r = Reader { bytes, pos: 0 };
+        r.expect(rec::HEADER)?;
+        r.expect(rec::BGNLIB)?;
+        let name_rec = r.expect(rec::LIBNAME)?;
+        let name = ascii_payload(&name_rec)?;
+        r.expect(rec::UNITS)?;
+        let mut lib = GdsLibrary::new(name);
+        loop {
+            let (rtype, payload) = r.next_record()?;
+            match rtype {
+                rec::ENDLIB => break,
+                rec::BGNSTR => {
+                    let sname_rec = r.expect(rec::STRNAME)?;
+                    let mut structure = GdsStructure::new(ascii_payload(&sname_rec)?);
+                    loop {
+                        let (etype, _) = r.next_record()?;
+                        match etype {
+                            rec::ENDSTR => break,
+                            rec::BOUNDARY => {
+                                let layer_rec = r.expect(rec::LAYER)?;
+                                let layer = i16_payload(&layer_rec, rec::LAYER)?;
+                                let dt_rec = r.expect(rec::DATATYPE)?;
+                                let datatype = i16_payload(&dt_rec, rec::DATATYPE)?;
+                                let xy_rec = r.expect(rec::XY)?;
+                                let coords = i32_payload(&xy_rec)?;
+                                if coords.len() < 8 || coords.len() % 2 != 0 {
+                                    return Err(GdsError::MalformedRecord { record: rec::XY });
+                                }
+                                let mut points: Vec<(i32, i32)> = coords
+                                    .chunks(2)
+                                    .map(|c| (c[0], c[1]))
+                                    .collect();
+                                // Drop the explicit closing vertex.
+                                if points.last() == points.first() {
+                                    points.pop();
+                                }
+                                r.expect(rec::ENDEL)?;
+                                structure.push(GdsBoundary { layer, datatype, points });
+                            }
+                            other => return Err(GdsError::UnexpectedRecord { found: other }),
+                        }
+                    }
+                    lib.push(structure);
+                }
+                other => {
+                    let _ = payload;
+                    return Err(GdsError::UnexpectedRecord { found: other });
+                }
+            }
+        }
+        Ok(lib)
+    }
+
+    /// Total polygon count across all structures.
+    pub fn polygon_count(&self) -> usize {
+        self.structures.iter().map(|s| s.elements.len()).sum()
+    }
+}
+
+#[derive(Default)]
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn header(&mut self, rtype: u8, dtype: u8, payload_len: usize) {
+        let total = 4 + payload_len;
+        assert!(total <= u16::MAX as usize, "record too long");
+        self.out.extend_from_slice(&(total as u16).to_be_bytes());
+        self.out.push(rtype);
+        self.out.push(dtype);
+    }
+
+    fn record_none(&mut self, rtype: u8) {
+        self.header(rtype, dt::NONE, 0);
+    }
+
+    fn record_i16(&mut self, rtype: u8, values: &[i16]) {
+        self.header(rtype, dt::I16, 2 * values.len());
+        for v in values {
+            self.out.extend_from_slice(&v.to_be_bytes());
+        }
+    }
+
+    fn record_i32(&mut self, rtype: u8, values: &[i32]) {
+        self.header(rtype, dt::I32, 4 * values.len());
+        for v in values {
+            self.out.extend_from_slice(&v.to_be_bytes());
+        }
+    }
+
+    fn record_f64(&mut self, rtype: u8, values: &[f64]) {
+        self.header(rtype, dt::F64, 8 * values.len());
+        for &v in values {
+            self.out.extend_from_slice(&to_gds_real(v));
+        }
+    }
+
+    fn record_ascii(&mut self, rtype: u8, s: &str) {
+        let mut bytes = s.as_bytes().to_vec();
+        if bytes.len() % 2 != 0 {
+            bytes.push(0); // GDSII pads odd strings with NUL
+        }
+        self.header(rtype, dt::ASCII, bytes.len());
+        self.out.extend_from_slice(&bytes);
+    }
+}
+
+/// Converts an `f64` to GDSII 8-byte excess-64 base-16 real format.
+fn to_gds_real(v: f64) -> [u8; 8] {
+    if v == 0.0 {
+        return [0; 8];
+    }
+    let sign = if v < 0.0 { 0x80u8 } else { 0 };
+    let mut mantissa = v.abs();
+    let mut exponent = 0i32;
+    // Normalize mantissa into [1/16, 1).
+    while mantissa >= 1.0 {
+        mantissa /= 16.0;
+        exponent += 1;
+    }
+    while mantissa < 1.0 / 16.0 {
+        mantissa *= 16.0;
+        exponent -= 1;
+    }
+    let mut out = [0u8; 8];
+    out[0] = sign | ((exponent + 64) as u8 & 0x7F);
+    let mut frac = mantissa;
+    for slot in out.iter_mut().skip(1) {
+        frac *= 256.0;
+        let byte = frac.floor();
+        *slot = byte as u8;
+        frac -= byte;
+    }
+    out
+}
+
+/// Converts a GDSII 8-byte real back to `f64` (used by the reader's tests).
+#[cfg(test)]
+pub(crate) fn from_gds_real(bytes: &[u8; 8]) -> f64 {
+    let sign = if bytes[0] & 0x80 != 0 { -1.0 } else { 1.0 };
+    let exponent = i32::from(bytes[0] & 0x7F) - 64;
+    let mut mantissa = 0.0f64;
+    for (i, &b) in bytes[1..].iter().enumerate() {
+        mantissa += f64::from(b) / 256.0f64.powi(i as i32 + 1);
+    }
+    sign * mantissa * 16.0f64.powi(exponent)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn next_record(&mut self) -> Result<(u8, Vec<u8>), GdsError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(GdsError::Truncated);
+        }
+        let len = u16::from_be_bytes([self.bytes[self.pos], self.bytes[self.pos + 1]]) as usize;
+        let rtype = self.bytes[self.pos + 2];
+        if len < 4 || self.pos + len > self.bytes.len() {
+            return Err(GdsError::Truncated);
+        }
+        let payload = self.bytes[self.pos + 4..self.pos + len].to_vec();
+        self.pos += len;
+        Ok((rtype, payload))
+    }
+
+    fn expect(&mut self, rtype: u8) -> Result<Vec<u8>, GdsError> {
+        let (found, payload) = self.next_record()?;
+        if found != rtype {
+            return Err(GdsError::UnexpectedRecord { found });
+        }
+        Ok(payload)
+    }
+}
+
+fn ascii_payload(payload: &[u8]) -> Result<String, GdsError> {
+    let trimmed: Vec<u8> = payload.iter().copied().filter(|&b| b != 0).collect();
+    String::from_utf8(trimmed).map_err(|_| GdsError::MalformedRecord { record: rec::LIBNAME })
+}
+
+fn i16_payload(payload: &[u8], record: u8) -> Result<i16, GdsError> {
+    if payload.len() != 2 {
+        return Err(GdsError::MalformedRecord { record });
+    }
+    Ok(i16::from_be_bytes([payload[0], payload[1]]))
+}
+
+fn i32_payload(payload: &[u8]) -> Result<Vec<i32>, GdsError> {
+    if payload.len() % 4 != 0 {
+        return Err(GdsError::MalformedRecord { record: rec::XY });
+    }
+    Ok(payload
+        .chunks(4)
+        .map(|c| i32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GdsLibrary {
+        let mut cell = GdsStructure::new("BITCELL");
+        cell.push(GdsBoundary::rect(10, 0, (0, 0), (216, 220)));
+        cell.push(GdsBoundary {
+            layer: 42,
+            datatype: 1,
+            points: vec![(0, 0), (100, 0), (100, 50), (50, 80)],
+        });
+        let mut top = GdsStructure::new("TOP");
+        top.push(GdsBoundary::rect(11, 0, (-50, -50), (50, 50)));
+        let mut lib = GdsLibrary::new("PPATC_TEST");
+        lib.push(cell);
+        lib.push(top);
+        lib
+    }
+
+    #[test]
+    fn round_trip() {
+        let lib = sample();
+        let bytes = lib.to_bytes();
+        let back = GdsLibrary::from_bytes(&bytes).expect("parses");
+        assert_eq!(back, lib);
+    }
+
+    #[test]
+    fn stream_is_well_formed() {
+        let bytes = sample().to_bytes();
+        // Starts with HEADER (len 6, type 0x00, dtype 0x02, version 600).
+        assert_eq!(&bytes[..6], &[0, 6, 0x00, 0x02, 0x02, 0x58]);
+        // Ends with ENDLIB.
+        assert_eq!(&bytes[bytes.len() - 4..], &[0, 4, 0x04, 0x00]);
+        // Even length throughout (all records are even-sized).
+        assert_eq!(bytes.len() % 2, 0);
+    }
+
+    #[test]
+    fn gds_real_round_trips_units() {
+        for v in [1e-9, 1e-3, 0.25, 1.0, 123.456, -42.0, 0.0] {
+            let enc = to_gds_real(v);
+            let dec = from_gds_real(&enc);
+            assert!(
+                (dec - v).abs() <= v.abs() * 1e-12,
+                "{v} -> {dec}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let bytes = sample().to_bytes();
+        let err = GdsLibrary::from_bytes(&bytes[..bytes.len() - 2]).expect_err("must fail");
+        assert!(matches!(err, GdsError::Truncated | GdsError::UnexpectedRecord { .. }));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(GdsLibrary::from_bytes(&[1, 2, 3]).is_err());
+        // Valid header then junk record type.
+        let mut bytes = GdsLibrary::new("X").to_bytes();
+        bytes[2 + 4] = 0x7F; // corrupt the BGNLIB record type
+        assert!(GdsLibrary::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bbox_and_counts() {
+        let lib = sample();
+        assert_eq!(lib.polygon_count(), 3);
+        let cell = &lib.structures()[0];
+        assert_eq!(cell.count_on_layer(10), 1);
+        assert_eq!(cell.count_on_layer(42), 1);
+        let (min, max) = cell.elements()[1].bbox();
+        assert_eq!(min, (0, 0));
+        assert_eq!(max, (100, 80));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate rectangle")]
+    fn degenerate_rect_panics() {
+        let _ = GdsBoundary::rect(1, 0, (0, 0), (0, 10));
+    }
+}

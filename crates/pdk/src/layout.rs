@@ -1,0 +1,298 @@
+//! Layout generation: bit-cell and array GDS, and the process
+//! cross-sections of the paper's Fig. 2a/b.
+//!
+//! The paper's artifact includes a GDS of the M3D process with instructions
+//! to render it in 3D. [`cell_array`] generates an equivalent flattened GDS
+//! for either technology, and [`cross_section`] produces the layer-by-layer
+//! z-stack (name, height range, GDS layer number) that a GDS3D-style
+//! process file needs — and that reproduces the structure of Fig. 2a/b.
+
+use crate::gds::{GdsBoundary, GdsLibrary, GdsStructure};
+use crate::stack::{LayerStack, StackElement, Technology, TierKind};
+use ppatc_units::Length;
+
+/// One layer of a technology cross-section (Fig. 2a/b row).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrossSectionLayer {
+    /// Layer name (`"M1"`, `"CNFET tier 1"`, ...).
+    pub name: String,
+    /// Bottom of the layer, nm above the substrate surface.
+    pub z_bottom_nm: f64,
+    /// Top of the layer, nm.
+    pub z_top_nm: f64,
+    /// GDS layer number used by [`cell_array`].
+    pub gds_layer: i16,
+}
+
+/// FEOL thickness (fins + gate + MOL), nm.
+const FEOL_THICKNESS_NM: f64 = 100.0;
+/// Device-tier thickness (channel + gate stack + S/D), nm.
+const TIER_THICKNESS_NM: f64 = 50.0;
+/// GDS layer for the Si FEOL.
+const FEOL_GDS_LAYER: i16 = 1;
+
+/// Metal thickness from pitch: aspect ratio ~1.8 on the half-pitch.
+fn metal_thickness_nm(pitch: Length) -> f64 {
+    0.9 * pitch.as_nanometers()
+}
+
+/// Via (inter-layer dielectric) height under each metal, nm.
+fn via_height_nm(pitch: Length) -> f64 {
+    0.8 * pitch.as_nanometers()
+}
+
+/// GDS layer number of the i-th metal (M1 = 10, M2 = 12, ...).
+fn metal_gds_layer(metal_index: usize) -> i16 {
+    (10 + 2 * metal_index) as i16
+}
+
+/// GDS layer of a device tier (CNFET tiers 60, 62, ...; IGZO 70).
+fn tier_gds_layer(kind: TierKind, ordinal: usize) -> i16 {
+    match kind {
+        TierKind::Cnfet => (60 + 2 * ordinal) as i16,
+        TierKind::Igzo => (70 + 2 * ordinal) as i16,
+    }
+}
+
+/// Computes the full cross-section of a technology, bottom-up —
+/// the data behind Fig. 2a (all-Si) and Fig. 2b (M3D).
+pub fn cross_section(technology: Technology) -> Vec<CrossSectionLayer> {
+    cross_section_of(&technology.stack())
+}
+
+/// Cross-section of an arbitrary stack.
+pub fn cross_section_of(stack: &LayerStack) -> Vec<CrossSectionLayer> {
+    let mut out = vec![CrossSectionLayer {
+        name: "Si FEOL (FinFET + MOL)".to_string(),
+        z_bottom_nm: 0.0,
+        z_top_nm: FEOL_THICKNESS_NM,
+        gds_layer: FEOL_GDS_LAYER,
+    }];
+    let mut z = FEOL_THICKNESS_NM;
+    let mut metal_index = 0usize;
+    let mut cnfet_ordinal = 0usize;
+    let mut igzo_ordinal = 0usize;
+    for element in stack {
+        match element {
+            StackElement::Metal(m) => {
+                z += via_height_nm(m.pitch());
+                let top = z + metal_thickness_nm(m.pitch());
+                out.push(CrossSectionLayer {
+                    name: format!("{} ({:.0} nm pitch)", m.name(), m.pitch().as_nanometers()),
+                    z_bottom_nm: z,
+                    z_top_nm: top,
+                    gds_layer: metal_gds_layer(metal_index),
+                });
+                z = top;
+                metal_index += 1;
+            }
+            StackElement::DeviceTier(kind) => {
+                let ordinal = match kind {
+                    TierKind::Cnfet => {
+                        cnfet_ordinal += 1;
+                        cnfet_ordinal
+                    }
+                    TierKind::Igzo => {
+                        igzo_ordinal += 1;
+                        igzo_ordinal
+                    }
+                };
+                let top = z + TIER_THICKNESS_NM;
+                out.push(CrossSectionLayer {
+                    name: format!("{kind} {ordinal}"),
+                    z_bottom_nm: z,
+                    z_top_nm: top,
+                    gds_layer: tier_gds_layer(*kind, ordinal - 1),
+                });
+                z = top;
+            }
+        }
+    }
+    out
+}
+
+/// Total back-end height of a technology, nm — the M3D stack is visibly
+/// taller, which is exactly the Fig. 2b story.
+pub fn stack_height(technology: Technology) -> Length {
+    let z_top = cross_section(technology)
+        .last()
+        .map(|l| l.z_top_nm)
+        .unwrap_or(0.0);
+    Length::from_nanometers(z_top)
+}
+
+/// Renders a GDS3D-style process description: one line per layer with its
+/// GDS number and height range.
+pub fn gds3d_process_file(technology: Technology) -> String {
+    let mut out = format!("# GDS3D process file for the {technology} stack\n");
+    for layer in cross_section(technology) {
+        out.push_str(&format!(
+            "LayerStart: {}\nLayer: {}\nHeight: {:.1}\nThickness: {:.1}\nLayerEnd\n",
+            layer.name,
+            layer.gds_layer,
+            layer.z_bottom_nm,
+            layer.z_top_nm - layer.z_bottom_nm
+        ));
+    }
+    out
+}
+
+/// Generates the 3T bit-cell structure for a technology. The footprint
+/// matches the eDRAM area model's cell size; polygons sit on the layers the
+/// cell actually uses (FEOL + M1/M2 for all-Si; the CNFET/IGZO tiers and
+/// their local metals for M3D).
+pub fn bit_cell(technology: Technology, cell_side_nm: i32) -> GdsStructure {
+    assert!(cell_side_nm > 40, "cell too small to draw");
+    let mut cell = GdsStructure::new(match technology {
+        Technology::AllSi => "BITCELL_SI",
+        Technology::M3dIgzoCnfetSi => "BITCELL_M3D",
+    });
+    let s = cell_side_nm;
+    let third = s / 3;
+    match technology {
+        Technology::AllSi => {
+            // Active area + three gates in the FEOL, bitline on M1,
+            // wordlines on M2.
+            cell.push(GdsBoundary::rect(FEOL_GDS_LAYER, 0, (4, 4), (s - 4, s - 4)));
+            for k in 0..3 {
+                let x0 = 8 + k * third;
+                cell.push(GdsBoundary::rect(2, 0, (x0, 0), (x0 + third / 3, s)));
+            }
+            cell.push(GdsBoundary::rect(metal_gds_layer(0), 0, (s / 2 - 18, 0), (s / 2 + 18, s)));
+            cell.push(GdsBoundary::rect(metal_gds_layer(1), 0, (0, s / 2 - 18), (s, s / 2 + 18)));
+        }
+        Technology::M3dIgzoCnfetSi => {
+            // Two CNFET read devices on tier 1, IGZO write device on the
+            // IGZO tier, local routing on the tier metals (M5/M6 = metal
+            // indices 4 and 5 in the M3D stack).
+            cell.push(GdsBoundary::rect(tier_gds_layer(TierKind::Cnfet, 0), 0, (4, 4), (s - 4, s / 2)));
+            cell.push(GdsBoundary::rect(
+                tier_gds_layer(TierKind::Cnfet, 1),
+                0,
+                (4, s / 2),
+                (s - 4, s - 4),
+            ));
+            cell.push(GdsBoundary::rect(tier_gds_layer(TierKind::Igzo, 0), 0, (third, third), (2 * third, 2 * third)));
+            cell.push(GdsBoundary::rect(metal_gds_layer(4), 0, (s / 2 - 18, 0), (s / 2 + 18, s)));
+            cell.push(GdsBoundary::rect(metal_gds_layer(5), 0, (0, s / 2 - 18), (s, s / 2 + 18)));
+        }
+    }
+    cell
+}
+
+/// Generates a flattened `rows × cols` cell array with spanning wordlines
+/// and bitlines, as a complete GDS library.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero.
+pub fn cell_array(technology: Technology, rows: usize, cols: usize) -> GdsLibrary {
+    assert!(rows > 0 && cols > 0, "array must be non-empty");
+    let cell_side: i32 = match technology {
+        Technology::AllSi => 322,
+        Technology::M3dIgzoCnfetSi => 218,
+    };
+    let template = bit_cell(technology, cell_side);
+    let mut array = GdsStructure::new("ARRAY");
+    for r in 0..rows {
+        for c in 0..cols {
+            let (dx, dy) = (c as i32 * cell_side, r as i32 * cell_side);
+            for b in template.elements() {
+                array.push(GdsBoundary {
+                    layer: b.layer,
+                    datatype: b.datatype,
+                    points: b.points.iter().map(|&(x, y)| (x + dx, y + dy)).collect(),
+                });
+            }
+        }
+    }
+    let mut lib = GdsLibrary::new(match technology {
+        Technology::AllSi => "PPATC_ALLSI",
+        Technology::M3dIgzoCnfetSi => "PPATC_M3D",
+    });
+    lib.push(template);
+    lib.push(array);
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::approx_eq;
+
+    #[test]
+    fn m3d_stack_is_taller() {
+        let si = stack_height(Technology::AllSi);
+        let m3d = stack_height(Technology::M3dIgzoCnfetSi);
+        assert!(m3d.as_nanometers() > 1.4 * si.as_nanometers());
+    }
+
+    #[test]
+    fn cross_sections_have_paper_layer_counts() {
+        // Fig. 2a: FEOL + 9 metals. Fig. 2b: FEOL + 15 metals + 3 tiers.
+        assert_eq!(cross_section(Technology::AllSi).len(), 1 + 9);
+        assert_eq!(cross_section(Technology::M3dIgzoCnfetSi).len(), 1 + 15 + 3);
+    }
+
+    #[test]
+    fn layers_are_stacked_without_overlap() {
+        for tech in Technology::ALL {
+            let xs = cross_section(tech);
+            for pair in xs.windows(2) {
+                assert!(pair[1].z_bottom_nm >= pair[0].z_top_nm - 1e-9);
+                assert!(pair[1].z_top_nm > pair[1].z_bottom_nm);
+            }
+        }
+    }
+
+    #[test]
+    fn tiers_sit_between_the_right_metals() {
+        let xs = cross_section(Technology::M3dIgzoCnfetSi);
+        let idx = |name: &str| xs.iter().position(|l| l.name.starts_with(name)).unwrap();
+        assert!(idx("CNFET tier 1") > idx("M4"));
+        assert!(idx("CNFET tier 1") < idx("M5"));
+        assert!(idx("IGZO tier 1") > idx("M8"));
+        assert!(idx("IGZO tier 1") < idx("M9"));
+    }
+
+    #[test]
+    fn array_gds_round_trips() {
+        for tech in Technology::ALL {
+            let lib = cell_array(tech, 4, 4);
+            let bytes = lib.to_bytes();
+            let back = GdsLibrary::from_bytes(&bytes).expect("parses");
+            assert_eq!(back, lib);
+            // 2 structures: template + flattened array.
+            assert_eq!(back.structures().len(), 2);
+            let per_cell = back.structures()[0].elements().len();
+            assert_eq!(back.structures()[1].elements().len(), 16 * per_cell);
+        }
+    }
+
+    #[test]
+    fn m3d_cell_uses_beol_device_layers() {
+        let cell = bit_cell(Technology::M3dIgzoCnfetSi, 218);
+        assert_eq!(cell.count_on_layer(60), 1); // CNFET tier 1
+        assert_eq!(cell.count_on_layer(62), 1); // CNFET tier 2
+        assert_eq!(cell.count_on_layer(70), 1); // IGZO tier
+        assert_eq!(cell.count_on_layer(FEOL_GDS_LAYER), 0); // nothing in FEOL
+        let si = bit_cell(Technology::AllSi, 322);
+        assert_eq!(si.count_on_layer(FEOL_GDS_LAYER), 1);
+        assert_eq!(si.count_on_layer(60), 0);
+    }
+
+    #[test]
+    fn gds3d_file_lists_every_layer() {
+        let text = gds3d_process_file(Technology::M3dIgzoCnfetSi);
+        assert_eq!(text.matches("LayerStart").count(), 19);
+        assert!(text.contains("IGZO tier 1"));
+    }
+
+    #[test]
+    fn cell_footprints_match_the_area_model() {
+        // 218 nm and 322 nm sides approximate the eDRAM model's 0.0477 and
+        // 0.104 µm² cells.
+        assert!(approx_eq(0.218 * 0.218, 0.0477, 0.01));
+        assert!(approx_eq(0.322 * 0.322, 0.104, 0.01));
+    }
+}

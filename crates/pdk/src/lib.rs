@@ -1,0 +1,48 @@
+//! An ASAP7-style predictive 7 nm PDK model: back-end metal stacks for the
+//! all-Si and M3D processes, wire parasitics, standard cells, and an
+//! analytical synthesis model.
+//!
+//! This crate is the EDA-flow substrate of the PPAtC reproduction. The paper
+//! uses the ASAP7 PDK (Clark et al., MEJ 2016) with Cadence Genus/Innovus to
+//! produce, per threshold flavor and target frequency: critical-path delay,
+//! energy per cycle, leakage power, and placed area (its Fig. 4 and the M0
+//! rows of Table II). Here those quantities come from:
+//!
+//! - [`stack`] — the structural description of both processes' layer stacks
+//!   (Fig. 2a/b): which metal/via pairs at which pitch, where the CNFET and
+//!   IGZO device tiers sit. The `ppatc-fab` crate walks these stacks to
+//!   count fabrication steps.
+//! - [`wire`] — per-pitch wire resistance/capacitance used for bitline and
+//!   wordline parasitics.
+//! - [`stdcell`] — a small standard-cell library whose delay, energy, and
+//!   leakage are derived from the `ppatc-device` compact models.
+//! - [`synthesis`] — an analytical logic-depth/gate-sizing model mapping a
+//!   target clock frequency to achievable delay, per-cycle energy, leakage,
+//!   and area for a logic block such as the Cortex-M0.
+//!
+//! # Example
+//!
+//! ```
+//! use ppatc_pdk::synthesis::LogicBlock;
+//! use ppatc_pdk::SiVtFlavor;
+//! use ppatc_units::Frequency;
+//!
+//! let m0 = LogicBlock::cortex_m0();
+//! let result = m0.synthesize(SiVtFlavor::Rvt, Frequency::from_megahertz(500.0));
+//! let r = result.expect("RVT closes timing at 500 MHz");
+//! // Table II: M0 dynamic energy per cycle = 1.42 pJ.
+//! assert!((r.energy_per_cycle().as_picojoules() - 1.42).abs() < 0.15);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gds;
+pub mod liberty;
+pub mod layout;
+pub mod stack;
+pub mod stdcell;
+pub mod synthesis;
+pub mod wire;
+
+pub use ppatc_device::SiVtFlavor;
+pub use stack::{LayerStack, Lithography, MetalLayer, StackElement, Technology, TierKind};

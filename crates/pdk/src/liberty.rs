@@ -1,0 +1,148 @@
+//! Liberty (`.lib`) export of the standard-cell library.
+//!
+//! Synthesis tools consume cell timing/power as Liberty files; exporting
+//! our characterized cells in that format makes the library inspectable by
+//! standard EDA tooling, just as the GDS export makes layouts viewable.
+//! The writer emits the scalar (linear-delay) subset: per-cell area,
+//! leakage, pin capacitances, and an intrinsic-plus-resistance timing arc.
+
+use crate::stdcell::{CellKind, StdCell, StdCellLibrary};
+use core::fmt::Write as _;
+
+/// Renders a library as Liberty text.
+///
+/// ```
+/// use ppatc_pdk::stdcell::StdCellLibrary;
+/// use ppatc_pdk::{liberty, SiVtFlavor};
+///
+/// let lib = liberty::export(&StdCellLibrary::asap7(SiVtFlavor::Rvt));
+/// assert!(lib.contains("library (asap7_rvt)"));
+/// assert!(lib.contains("cell (NAND2x1_RVT)"));
+/// ```
+pub fn export(library: &StdCellLibrary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "library (asap7_{}) {{",
+        library.flavor().library_suffix().to_lowercase()
+    );
+    let _ = writeln!(out, "  delay_model : table_lookup;");
+    let _ = writeln!(out, "  time_unit : \"1ps\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(out, "  leakage_power_unit : \"1nW\";");
+    let _ = writeln!(out, "  voltage_unit : \"1V\";");
+    let _ = writeln!(
+        out,
+        "  nom_voltage : {:.2};",
+        library.vdd().as_volts()
+    );
+    for cell in library.iter() {
+        write_cell(&mut out, cell);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn write_cell(out: &mut String, cell: &StdCell) {
+    let _ = writeln!(out, "  cell ({}) {{", cell.name());
+    let _ = writeln!(out, "    area : {:.4};", cell.area().as_square_micrometers());
+    let _ = writeln!(
+        out,
+        "    cell_leakage_power : {:.4};",
+        cell.leakage().as_watts() * 1e9
+    );
+    let inputs: &[&str] = match cell.kind() {
+        CellKind::Inverter => &["A"],
+        CellKind::Nand2 | CellKind::Nor2 => &["A", "B"],
+        CellKind::Dff => &["D", "CLK"],
+    };
+    for pin in inputs {
+        let _ = writeln!(out, "    pin ({pin}) {{");
+        let _ = writeln!(out, "      direction : input;");
+        let _ = writeln!(
+            out,
+            "      capacitance : {:.4};",
+            cell.input_cap().as_femtofarads()
+        );
+        let _ = writeln!(out, "    }}");
+    }
+    let out_pin = if cell.kind() == CellKind::Dff { "Q" } else { "Y" };
+    let _ = writeln!(out, "    pin ({out_pin}) {{");
+    let _ = writeln!(out, "      direction : output;");
+    let related = inputs[0];
+    let _ = writeln!(out, "      timing () {{");
+    let _ = writeln!(out, "        related_pin : \"{related}\";");
+    let _ = writeln!(
+        out,
+        "        intrinsic_rise : {:.2};",
+        cell.intrinsic_delay().as_picoseconds()
+    );
+    let _ = writeln!(
+        out,
+        "        intrinsic_fall : {:.2};",
+        cell.intrinsic_delay().as_picoseconds()
+    );
+    // Liberty linear model: delay = intrinsic + R * C_load. R in ps/fF =
+    // kΩ (since ps/fF ≡ GΩ⁻¹... 1 kΩ × 1 fF = 1 ps).
+    let r_ps_per_ff = cell.drive_resistance().as_ohms() / 1e3;
+    let _ = writeln!(out, "        rise_resistance : {r_ps_per_ff:.3};");
+    let _ = writeln!(out, "        fall_resistance : {r_ps_per_ff:.3};");
+    let _ = writeln!(out, "      }}");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "  }}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SiVtFlavor;
+
+    fn lib_text() -> String {
+        export(&StdCellLibrary::asap7(SiVtFlavor::Slvt))
+    }
+
+    #[test]
+    fn braces_balance() {
+        let text = lib_text();
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close, "unbalanced braces");
+    }
+
+    #[test]
+    fn all_cells_are_present_with_pins() {
+        let text = lib_text();
+        for name in ["INVx1_SLVT", "NAND2x1_SLVT", "NOR2x1_SLVT", "DFFx1_SLVT"] {
+            assert!(text.contains(&format!("cell ({name})")), "missing {name}");
+        }
+        assert!(text.contains("pin (CLK)"));
+        assert!(text.contains("pin (Q)"));
+        assert!(text.contains("related_pin"));
+    }
+
+    #[test]
+    fn numbers_are_physical() {
+        let text = lib_text();
+        // Leakage in nW must be a positive number for SLVT.
+        let leak_line = text
+            .lines()
+            .find(|l| l.contains("cell_leakage_power"))
+            .expect("leakage line exists");
+        let value: f64 = leak_line
+            .trim()
+            .trim_start_matches("cell_leakage_power :")
+            .trim_end_matches(';')
+            .trim()
+            .parse()
+            .expect("parses");
+        assert!(value > 0.1, "SLVT leakage {value} nW");
+    }
+
+    #[test]
+    fn flavors_export_distinct_libraries() {
+        let hvt = export(&StdCellLibrary::asap7(SiVtFlavor::Hvt));
+        let slvt = lib_text();
+        assert!(hvt.contains("library (asap7_hvt)"));
+        assert_ne!(hvt, slvt);
+    }
+}

@@ -1,0 +1,318 @@
+//! Layer-stack descriptions of the all-Si and M3D processes (paper Fig. 2a/b).
+
+use ppatc_units::Length;
+
+/// The two fabrication technologies the paper compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// Baseline 7 nm all-Si CMOS process (Fig. 2a): Si FinFET FEOL plus a
+    /// 9-layer BEOL (M1–M9).
+    AllSi,
+    /// Monolithic-3D process (Fig. 2b): the same Si FinFET FEOL and M1–M4,
+    /// then two CNFET tiers and one IGZO tier interleaved with 36 nm metal
+    /// layers, topped by M11–M15.
+    M3dIgzoCnfetSi,
+}
+
+impl Technology {
+    /// Both technologies, baseline first.
+    pub const ALL: [Technology; 2] = [Technology::AllSi, Technology::M3dIgzoCnfetSi];
+
+    /// Short display name used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technology::AllSi => "all-Si",
+            Technology::M3dIgzoCnfetSi => "M3D IGZO/CNT/Si",
+        }
+    }
+
+    /// The layer stack of this technology.
+    pub fn stack(self) -> LayerStack {
+        match self {
+            Technology::AllSi => LayerStack::all_si(),
+            Technology::M3dIgzoCnfetSi => LayerStack::m3d(),
+        }
+    }
+}
+
+impl core::fmt::Display for Technology {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Patterning method for a metal layer, determined by its pitch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Lithography {
+    /// Single-exposure EUV, required at 36 nm pitch.
+    EuvSingle,
+    /// Litho-etch-litho-etch double patterning with 193i immersion
+    /// (used at 48 nm pitch; the paper maps it to 42 nm-pitch energy data).
+    ImmersionLele,
+    /// Single-exposure 193i immersion (64 and 80 nm pitches).
+    ImmersionSingle,
+}
+
+impl Lithography {
+    /// The patterning method ASAP7-style design rules require at `pitch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch` is not positive.
+    pub fn for_pitch(pitch: Length) -> Self {
+        let nm = pitch.as_nanometers();
+        assert!(nm > 0.0, "pitch must be positive");
+        if nm < 40.0 {
+            Lithography::EuvSingle
+        } else if nm < 60.0 {
+            Lithography::ImmersionLele
+        } else {
+            Lithography::ImmersionSingle
+        }
+    }
+}
+
+/// One metal routing layer (with its underlying via layer).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetalLayer {
+    name: String,
+    pitch: Length,
+}
+
+impl MetalLayer {
+    /// Creates a metal layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch` is not positive.
+    pub fn new(name: impl Into<String>, pitch: Length) -> Self {
+        assert!(pitch.as_nanometers() > 0.0, "pitch must be positive");
+        Self { name: name.into(), pitch }
+    }
+
+    /// Layer name, e.g. `"M1"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Routing pitch of this layer.
+    pub fn pitch(&self) -> Length {
+        self.pitch
+    }
+
+    /// Patterning method this layer's pitch requires.
+    pub fn lithography(&self) -> Lithography {
+        Lithography::for_pitch(self.pitch)
+    }
+}
+
+/// Kind of BEOL device tier in the M3D process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TierKind {
+    /// A carbon-nanotube FET tier (CNT deposition, O₂-plasma active etch,
+    /// S/D + high-k + gate formation).
+    Cnfet,
+    /// An IGZO FET tier (RF-sputtered channel, wet-etched active).
+    Igzo,
+}
+
+impl core::fmt::Display for TierKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TierKind::Cnfet => f.write_str("CNFET tier"),
+            TierKind::Igzo => f.write_str("IGZO tier"),
+        }
+    }
+}
+
+/// One element of a back-end layer stack, bottom-up.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StackElement {
+    /// A metal/via routing pair.
+    Metal(MetalLayer),
+    /// A BEOL transistor tier.
+    DeviceTier(TierKind),
+}
+
+/// An ordered (bottom-up) description of a process back-end.
+///
+/// ```
+/// use ppatc_pdk::{LayerStack, TierKind};
+///
+/// let m3d = LayerStack::m3d();
+/// assert_eq!(m3d.metal_count(), 15);
+/// assert_eq!(m3d.tier_count(TierKind::Cnfet), 2);
+/// assert_eq!(m3d.tier_count(TierKind::Igzo), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerStack {
+    elements: Vec<StackElement>,
+}
+
+impl LayerStack {
+    /// Builds a stack from explicit elements (bottom-up order).
+    pub fn from_elements(elements: Vec<StackElement>) -> Self {
+        Self { elements }
+    }
+
+    /// The all-Si BEOL (Fig. 2a): M1–M3 at 36 nm, M4–M5 at 48 nm, M6–M7 at
+    /// 64 nm, M8–M9 at 80 nm, per the ASAP7 PDK.
+    pub fn all_si() -> Self {
+        let pitches = [36.0, 36.0, 36.0, 48.0, 48.0, 64.0, 64.0, 80.0, 80.0];
+        let elements = pitches
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                StackElement::Metal(MetalLayer::new(
+                    format!("M{}", i + 1),
+                    Length::from_nanometers(p),
+                ))
+            })
+            .collect();
+        Self { elements }
+    }
+
+    /// The M3D BEOL (Fig. 2b): identical to the all-Si stack through M4,
+    /// then `CNFET → M5 M6 → CNFET → M7 M8 → IGZO → M9 M10` (all 36 nm),
+    /// topped by M11–M15 at the same dimensions as the all-Si M5–M9.
+    pub fn m3d() -> Self {
+        let mut elements = Vec::new();
+        let metal = |elements: &mut Vec<StackElement>, idx: usize, p: f64| {
+            elements.push(StackElement::Metal(MetalLayer::new(
+                format!("M{idx}"),
+                Length::from_nanometers(p),
+            )));
+        };
+        // M1–M4 as in the all-Si process.
+        metal(&mut elements, 1, 36.0);
+        metal(&mut elements, 2, 36.0);
+        metal(&mut elements, 3, 36.0);
+        metal(&mut elements, 4, 48.0);
+        // First CNFET tier with its two 36 nm routing layers.
+        elements.push(StackElement::DeviceTier(TierKind::Cnfet));
+        metal(&mut elements, 5, 36.0);
+        metal(&mut elements, 6, 36.0);
+        // Second CNFET tier.
+        elements.push(StackElement::DeviceTier(TierKind::Cnfet));
+        metal(&mut elements, 7, 36.0);
+        metal(&mut elements, 8, 36.0);
+        // IGZO tier and its two 36 nm layers.
+        elements.push(StackElement::DeviceTier(TierKind::Igzo));
+        metal(&mut elements, 9, 36.0);
+        metal(&mut elements, 10, 36.0);
+        // Global layers mirroring all-Si M5–M9.
+        metal(&mut elements, 11, 48.0);
+        metal(&mut elements, 12, 64.0);
+        metal(&mut elements, 13, 64.0);
+        metal(&mut elements, 14, 80.0);
+        metal(&mut elements, 15, 80.0);
+        Self { elements }
+    }
+
+    /// Iterates over the stack elements, bottom-up.
+    pub fn iter(&self) -> core::slice::Iter<'_, StackElement> {
+        self.elements.iter()
+    }
+
+    /// All metal layers, bottom-up.
+    pub fn metals(&self) -> impl Iterator<Item = &MetalLayer> {
+        self.elements.iter().filter_map(|e| match e {
+            StackElement::Metal(m) => Some(m),
+            StackElement::DeviceTier(_) => None,
+        })
+    }
+
+    /// Number of metal routing layers.
+    pub fn metal_count(&self) -> usize {
+        self.metals().count()
+    }
+
+    /// Number of device tiers of the given kind.
+    pub fn tier_count(&self, kind: TierKind) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, StackElement::DeviceTier(k) if *k == kind))
+            .count()
+    }
+
+    /// Number of metal layers at exactly the given pitch (nm).
+    pub fn metals_at_pitch(&self, pitch_nm: f64) -> usize {
+        self.metals()
+            .filter(|m| (m.pitch().as_nanometers() - pitch_nm).abs() < 0.5)
+            .count()
+    }
+}
+
+impl<'a> IntoIterator for &'a LayerStack {
+    type Item = &'a StackElement;
+    type IntoIter = core::slice::Iter<'a, StackElement>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_si_matches_asap7() {
+        let s = LayerStack::all_si();
+        assert_eq!(s.metal_count(), 9);
+        assert_eq!(s.metals_at_pitch(36.0), 3);
+        assert_eq!(s.metals_at_pitch(48.0), 2);
+        assert_eq!(s.metals_at_pitch(64.0), 2);
+        assert_eq!(s.metals_at_pitch(80.0), 2);
+        assert_eq!(s.tier_count(TierKind::Cnfet), 0);
+    }
+
+    #[test]
+    fn m3d_matches_paper_description() {
+        let s = LayerStack::m3d();
+        assert_eq!(s.metal_count(), 15);
+        // Nine 36 nm layers: M1–M3 plus the six tier-local layers M5–M10.
+        assert_eq!(s.metals_at_pitch(36.0), 9);
+        assert_eq!(s.metals_at_pitch(48.0), 2); // M4 and M11
+        assert_eq!(s.metals_at_pitch(64.0), 2);
+        assert_eq!(s.metals_at_pitch(80.0), 2);
+        assert_eq!(s.tier_count(TierKind::Cnfet), 2);
+        assert_eq!(s.tier_count(TierKind::Igzo), 1);
+    }
+
+    #[test]
+    fn m3d_shares_base_with_all_si() {
+        let m3d = LayerStack::m3d();
+        let si = LayerStack::all_si();
+        let m3d_first4: Vec<_> = m3d.metals().take(4).map(|m| m.pitch().as_nanometers()).collect();
+        let si_first4: Vec<_> = si.metals().take(4).map(|m| m.pitch().as_nanometers()).collect();
+        assert_eq!(m3d_first4, si_first4);
+    }
+
+    #[test]
+    fn lithography_by_pitch() {
+        use Lithography::*;
+        assert_eq!(Lithography::for_pitch(Length::from_nanometers(36.0)), EuvSingle);
+        assert_eq!(Lithography::for_pitch(Length::from_nanometers(48.0)), ImmersionLele);
+        assert_eq!(Lithography::for_pitch(Length::from_nanometers(64.0)), ImmersionSingle);
+        assert_eq!(Lithography::for_pitch(Length::from_nanometers(80.0)), ImmersionSingle);
+    }
+
+    #[test]
+    fn ordering_of_m3d_elements() {
+        // The first device tier appears after exactly four metals.
+        let s = LayerStack::m3d();
+        let idx = s
+            .iter()
+            .position(|e| matches!(e, StackElement::DeviceTier(TierKind::Cnfet)))
+            .expect("m3d stack contains a CNFET tier");
+        assert_eq!(idx, 4);
+    }
+
+    #[test]
+    fn technology_accessors() {
+        assert_eq!(Technology::AllSi.stack().metal_count(), 9);
+        assert_eq!(Technology::M3dIgzoCnfetSi.stack().metal_count(), 15);
+        assert_eq!(Technology::AllSi.to_string(), "all-Si");
+    }
+}

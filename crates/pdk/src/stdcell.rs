@@ -1,0 +1,281 @@
+//! A compact ASAP7-style standard-cell library.
+//!
+//! Cell timing/energy/leakage is derived from the `ppatc-device` virtual-
+//! source models rather than tabulated, so threshold-flavor trends (drive vs.
+//! leakage) flow straight from device physics into the synthesis model.
+
+use ppatc_device::{si, SiVtFlavor};
+use ppatc_units::{Area, Capacitance, Energy, Length, Power, Resistance, Time, Voltage};
+
+/// Logic function of a standard cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Single-input inverter.
+    Inverter,
+    /// Two-input NAND — the canonical synthesis gate.
+    Nand2,
+    /// Two-input NOR.
+    Nor2,
+    /// D flip-flop (positive edge).
+    Dff,
+}
+
+/// ASAP7-style geometry constants.
+mod geom {
+    /// Contacted poly pitch, nm.
+    pub const CPP_NM: f64 = 54.0;
+    /// Standard-cell row height, nm (7.5 tracks of M2).
+    pub const ROW_NM: f64 = 270.0;
+    /// x1 NFET width, nm (three fins).
+    pub const WN_NM: f64 = 81.0;
+    /// x1 PFET width, nm.
+    pub const WP_NM: f64 = 108.0;
+}
+
+/// One characterized standard cell at a fixed drive strength (x1).
+///
+/// Larger drives are modeled in the synthesis layer by linear scaling of
+/// drive resistance (1/s), capacitances (s), leakage (s), and area.
+///
+/// ```
+/// use ppatc_pdk::stdcell::{CellKind, StdCellLibrary};
+/// use ppatc_pdk::SiVtFlavor;
+/// use ppatc_units::Capacitance;
+///
+/// let lib = StdCellLibrary::asap7(SiVtFlavor::Rvt);
+/// let nand = lib.cell(CellKind::Nand2);
+/// let d = nand.delay(Capacitance::from_femtofarads(1.0));
+/// assert!(d.as_picoseconds() > 1.0 && d.as_picoseconds() < 50.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StdCell {
+    name: String,
+    kind: CellKind,
+    flavor: SiVtFlavor,
+    area: Area,
+    input_cap: Capacitance,
+    internal_cap: Capacitance,
+    drive_resistance: Resistance,
+    intrinsic_delay: Time,
+    leakage: Power,
+}
+
+impl StdCell {
+    /// Cell name, e.g. `"NAND2x1_RVT"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logic function.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Threshold flavor.
+    pub fn flavor(&self) -> SiVtFlavor {
+        self.flavor
+    }
+
+    /// Placed cell area.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Capacitance presented to each input pin.
+    pub fn input_cap(&self) -> Capacitance {
+        self.input_cap
+    }
+
+    /// Internal (self-load) capacitance switched on each output transition.
+    pub fn internal_cap(&self) -> Capacitance {
+        self.internal_cap
+    }
+
+    /// Effective output drive resistance.
+    pub fn drive_resistance(&self) -> Resistance {
+        self.drive_resistance
+    }
+
+    /// Parasitic (zero-load) delay.
+    pub fn intrinsic_delay(&self) -> Time {
+        self.intrinsic_delay
+    }
+
+    /// Static leakage power at nominal V_DD.
+    pub fn leakage(&self) -> Power {
+        self.leakage
+    }
+
+    /// Propagation delay driving `load`: `t_intrinsic + R_drive · C_load`.
+    pub fn delay(&self, load: Capacitance) -> Time {
+        self.intrinsic_delay + self.drive_resistance * load
+    }
+
+    /// Energy of one output transition pair (charge + discharge of self +
+    /// external load): `(C_int + C_load) · V_DD²`.
+    pub fn switching_energy(&self, load: Capacitance, vdd: Voltage) -> Energy {
+        Energy::from_joules(
+            (self.internal_cap.as_farads() + load.as_farads()) * vdd.as_volts() * vdd.as_volts(),
+        )
+    }
+}
+
+/// A characterized cell set for one threshold flavor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StdCellLibrary {
+    flavor: SiVtFlavor,
+    vdd: Voltage,
+    cells: Vec<StdCell>,
+}
+
+impl StdCellLibrary {
+    /// Builds the ASAP7-style library for one threshold flavor at the PDK's
+    /// recommended V_DD of 0.7 V.
+    pub fn asap7(flavor: SiVtFlavor) -> Self {
+        let vdd = Voltage::from_volts(0.7);
+        let wn = Length::from_nanometers(geom::WN_NM);
+        let wp = Length::from_nanometers(geom::WP_NM);
+        let nfet = si::nfet(flavor).sized(wn);
+        let pfet = si::pfet(flavor).sized(wp);
+
+        // Average N/P drive sets the effective output resistance; the paper's
+        // flows size P wider to balance rise/fall.
+        let i_eff = (nfet.i_eff(vdd) + pfet.i_eff(vdd)) * 0.5;
+        let r_drive = Resistance::from_ohms(vdd.as_volts() / i_eff.as_amperes());
+        let c_in = nfet.gate_capacitance() + pfet.gate_capacitance();
+        let c_self = nfet.drain_capacitance() + pfet.drain_capacitance();
+        let leak = vdd * ((nfet.i_off(vdd) + pfet.i_off(vdd)) * 0.5);
+        let t_intrinsic = r_drive * c_self;
+
+        let cell = |kind: CellKind| -> StdCell {
+            // Topology factors relative to the inverter: input loading,
+            // stack resistance, self-capacitance, leakage paths, and width.
+            let (cpp, cap_f, res_f, leak_f, name) = match kind {
+                CellKind::Inverter => (2.0, 1.0, 1.0, 1.0, "INVx1"),
+                CellKind::Nand2 => (3.0, 1.1, 1.25, 1.6, "NAND2x1"),
+                CellKind::Nor2 => (3.0, 1.15, 1.45, 1.6, "NOR2x1"),
+                CellKind::Dff => (9.0, 2.2, 1.3, 4.0, "DFFx1"),
+            };
+            StdCell {
+                name: format!("{name}_{}", flavor.library_suffix()),
+                kind,
+                flavor,
+                area: Length::from_nanometers(cpp * geom::CPP_NM)
+                    * Length::from_nanometers(geom::ROW_NM),
+                input_cap: c_in * cap_f,
+                internal_cap: c_self * (cap_f * 1.2),
+                drive_resistance: r_drive * res_f,
+                intrinsic_delay: t_intrinsic * res_f * 1.2,
+                leakage: leak * leak_f,
+            }
+        };
+
+        StdCellLibrary {
+            flavor,
+            vdd,
+            cells: vec![
+                cell(CellKind::Inverter),
+                cell(CellKind::Nand2),
+                cell(CellKind::Nor2),
+                cell(CellKind::Dff),
+            ],
+        }
+    }
+
+    /// Threshold flavor of this library.
+    pub fn flavor(&self) -> SiVtFlavor {
+        self.flavor
+    }
+
+    /// Nominal supply voltage.
+    pub fn vdd(&self) -> Voltage {
+        self.vdd
+    }
+
+    /// Looks up the x1 cell of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library lacks that kind (cannot happen for libraries
+    /// from [`StdCellLibrary::asap7`]).
+    pub fn cell(&self, kind: CellKind) -> &StdCell {
+        self.cells
+            .iter()
+            .find(|c| c.kind == kind)
+            .expect("library contains all cell kinds")
+    }
+
+    /// Iterates over the cells.
+    pub fn iter(&self) -> core::slice::Iter<'_, StdCell> {
+        self.cells.iter()
+    }
+
+    /// Fanout-of-4 inverter delay — the canonical speed metric of a library.
+    pub fn fo4_delay(&self) -> Time {
+        let inv = self.cell(CellKind::Inverter);
+        inv.delay(inv.input_cap() * 4.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fo4_is_single_digit_picoseconds() {
+        let lib = StdCellLibrary::asap7(SiVtFlavor::Rvt);
+        let fo4 = lib.fo4_delay().as_picoseconds();
+        assert!(fo4 > 1.0 && fo4 < 20.0, "FO4 {fo4} ps");
+    }
+
+    #[test]
+    fn slvt_is_faster_but_leakier_than_hvt() {
+        let hvt = StdCellLibrary::asap7(SiVtFlavor::Hvt);
+        let slvt = StdCellLibrary::asap7(SiVtFlavor::Slvt);
+        assert!(slvt.fo4_delay() < hvt.fo4_delay());
+        assert!(
+            slvt.cell(CellKind::Nand2).leakage().as_watts()
+                > 10.0 * hvt.cell(CellKind::Nand2).leakage().as_watts()
+        );
+    }
+
+    #[test]
+    fn dff_is_the_largest_cell() {
+        let lib = StdCellLibrary::asap7(SiVtFlavor::Rvt);
+        let dff = lib.cell(CellKind::Dff).area();
+        for c in lib.iter() {
+            assert!(c.area() <= dff);
+        }
+    }
+
+    #[test]
+    fn delay_grows_with_load() {
+        let lib = StdCellLibrary::asap7(SiVtFlavor::Rvt);
+        let nand = lib.cell(CellKind::Nand2);
+        assert!(
+            nand.delay(Capacitance::from_femtofarads(2.0))
+                > nand.delay(Capacitance::from_femtofarads(0.5))
+        );
+    }
+
+    #[test]
+    fn switching_energy_is_femtojoule_scale() {
+        let lib = StdCellLibrary::asap7(SiVtFlavor::Rvt);
+        let inv = lib.cell(CellKind::Inverter);
+        let e = inv
+            .switching_energy(Capacitance::from_femtofarads(1.0), lib.vdd())
+            .as_femtojoules();
+        assert!(e > 0.1 && e < 10.0, "E_sw {e} fJ");
+    }
+
+    #[test]
+    fn cell_metadata() {
+        let lib = StdCellLibrary::asap7(SiVtFlavor::Lvt);
+        let inv = lib.cell(CellKind::Inverter);
+        assert_eq!(inv.name(), "INVx1_LVT");
+        assert_eq!(inv.kind(), CellKind::Inverter);
+        assert_eq!(inv.flavor(), SiVtFlavor::Lvt);
+        let um2 = inv.area().as_square_micrometers();
+        assert!(um2 > 0.01 && um2 < 0.1, "INV area {um2} µm²");
+    }
+}

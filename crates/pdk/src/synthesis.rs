@@ -1,0 +1,409 @@
+//! An analytical synthesis/place-and-route model.
+//!
+//! The paper runs Cadence Genus + Innovus over a sweep of target clock
+//! frequencies (100 MHz–1 GHz) and all four ASAP7 threshold flavors,
+//! extracting critical-path delay and application-dependent energy per
+//! cycle (Fig. 4). This module reproduces that trade-off surface
+//! analytically:
+//!
+//! - The critical path is `depth` canonical (NAND2) stages plus a flip-flop.
+//!   Uniform gate upsizing by factor `s` trades wire-load delay for input
+//!   capacitance: `t_stage(s) = t_i + R·(fo·C_in) + R·C_wire/s`.
+//! - Timing closure picks the smallest `s` meeting the target period;
+//!   infeasible targets return [`TimingError`].
+//! - Energy per cycle = activity-weighted switched capacitance (gates grow
+//!   with `s`) + flop clock energy + leakage · T_clk.
+//!
+//! The model is calibrated so the Table II anchor holds: the Cortex-M0 block
+//! at RVT, 500 MHz consumes ≈ 1.42 pJ per cycle.
+
+use crate::stdcell::{CellKind, StdCellLibrary};
+use ppatc_device::SiVtFlavor;
+use ppatc_units::{Area, Capacitance, Energy, Frequency, Power, Time};
+
+/// Maximum uniform upsizing factor synthesis may apply.
+const MAX_SIZING: f64 = 16.0;
+
+/// A gate-level logic block to be mapped onto a standard-cell library.
+///
+/// ```
+/// use ppatc_pdk::synthesis::LogicBlock;
+/// use ppatc_pdk::SiVtFlavor;
+/// use ppatc_units::Frequency;
+///
+/// let m0 = LogicBlock::cortex_m0();
+/// // HVT cannot close timing at 1 GHz, SLVT can.
+/// assert!(m0.synthesize(SiVtFlavor::Hvt, Frequency::from_gigahertz(1.0)).is_err());
+/// assert!(m0.synthesize(SiVtFlavor::Slvt, Frequency::from_gigahertz(1.0)).is_ok());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogicBlock {
+    name: String,
+    /// Combinational complexity in NAND2-equivalent gates.
+    gate_count: f64,
+    /// Sequential elements.
+    flop_count: f64,
+    /// Canonical stages on the critical path.
+    logic_depth: f64,
+    /// Average fraction of gates switching per cycle (workload-dependent).
+    activity: f64,
+    /// Average routed wire capacitance loading each gate output.
+    wire_cap_per_gate: Capacitance,
+    /// Average logical fanout per gate.
+    fanout: f64,
+    /// Placement utilization.
+    utilization: f64,
+}
+
+impl LogicBlock {
+    /// An ARM Cortex-M0-class microcontroller core: ~12k NAND2-equivalent
+    /// gates, ~850 flops, and the long unpipelined single-cycle paths that
+    /// make it close timing only up to ~1 GHz in a 7 nm library.
+    pub fn cortex_m0() -> Self {
+        Self {
+            name: "cortex-m0".into(),
+            gate_count: 16_000.0,
+            flop_count: 850.0,
+            logic_depth: 86.0,
+            activity: 0.131,
+            wire_cap_per_gate: Capacitance::from_femtofarads(1.05),
+            fanout: 3.0,
+            utilization: 0.70,
+        }
+    }
+
+    /// Creates a custom logic block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count/factor is non-positive, `activity` or
+    /// `utilization` is outside `(0, 1]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        gate_count: f64,
+        flop_count: f64,
+        logic_depth: f64,
+        activity: f64,
+        wire_cap_per_gate: Capacitance,
+        fanout: f64,
+        utilization: f64,
+    ) -> Self {
+        assert!(gate_count > 0.0 && flop_count >= 0.0 && logic_depth > 0.0 && fanout > 0.0);
+        assert!(activity > 0.0 && activity <= 1.0, "activity must be in (0, 1]");
+        assert!(utilization > 0.0 && utilization <= 1.0, "utilization must be in (0, 1]");
+        Self {
+            name: name.into(),
+            gate_count,
+            flop_count,
+            logic_depth,
+            activity,
+            wire_cap_per_gate,
+            fanout,
+            utilization,
+        }
+    }
+
+    /// Block name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns a copy with a different switching activity (workloads differ).
+    #[must_use]
+    pub fn with_activity(mut self, activity: f64) -> Self {
+        assert!(activity > 0.0 && activity <= 1.0, "activity must be in (0, 1]");
+        self.activity = activity;
+        self
+    }
+
+    /// Maps the block onto the given threshold flavor at a target clock.
+    ///
+    /// # Errors
+    ///
+    /// [`TimingError`] if no gate sizing within the library's range meets the
+    /// target period.
+    pub fn synthesize(
+        &self,
+        flavor: SiVtFlavor,
+        f_clk: Frequency,
+    ) -> Result<SynthesisResult, TimingError> {
+        let lib = StdCellLibrary::asap7(flavor);
+        let vdd = lib.vdd();
+        let nand = lib.cell(CellKind::Nand2);
+        let dff = lib.cell(CellKind::Dff);
+        let t_clk = f_clk.period();
+
+        // Stage delay at sizing s: drive R shrinks as 1/s, gate loads grow
+        // with s (they cancel for gate-cap load), wire load does not grow.
+        let r = nand.drive_resistance();
+        let c_in = nand.input_cap();
+        let c_wire = self.wire_cap_per_gate;
+        let t_fixed = nand.intrinsic_delay() + r * (c_in * self.fanout);
+        // Flop overhead: clk→q plus setup, modeled as two flop delays.
+        let t_flop = dff.intrinsic_delay() * 2.0 + dff.drive_resistance() * c_wire;
+        let t_budget = t_clk - t_flop - t_fixed * self.logic_depth;
+        let wire_term = (r * c_wire) * self.logic_depth;
+        if t_budget.as_seconds() <= 0.0 || wire_term / t_budget > MAX_SIZING {
+            return Err(TimingError {
+                block: self.name.clone(),
+                flavor,
+                f_clk,
+                min_period: t_flop + t_fixed * self.logic_depth + wire_term / MAX_SIZING,
+            });
+        }
+        let sizing = (wire_term / t_budget).max(1.0);
+        let critical_path = t_flop + (t_fixed + (r * c_wire) / sizing) * self.logic_depth;
+
+        // Dynamic energy per cycle: each switching gate charges its own
+        // internal cap, its wire, and the downstream gate inputs.
+        let c_switched_per_gate = Capacitance::from_farads(
+            nand.internal_cap().as_farads() * sizing
+                + c_wire.as_farads()
+                + c_in.as_farads() * sizing,
+        );
+        let v2 = vdd.as_volts() * vdd.as_volts();
+        let gate_dynamic = self.activity * self.gate_count * c_switched_per_gate.as_farads() * v2;
+        // Flops see the clock every cycle regardless of data activity.
+        let flop_dynamic = self.flop_count
+            * (dff.internal_cap().as_farads() + dff.input_cap().as_farads())
+            * v2
+            * 0.5;
+        let dynamic_energy = Energy::from_joules(gate_dynamic + flop_dynamic);
+
+        let leakage_power = Power::from_watts(
+            nand.leakage().as_watts() * self.gate_count * sizing
+                + dff.leakage().as_watts() * self.flop_count,
+        );
+
+        let area = Area::from_square_meters(
+            (nand.area().as_square_meters() * self.gate_count * (0.5 + 0.5 * sizing)
+                + dff.area().as_square_meters() * self.flop_count)
+                / self.utilization,
+        );
+
+        Ok(SynthesisResult {
+            flavor,
+            f_clk,
+            sizing,
+            critical_path,
+            dynamic_energy,
+            leakage_power,
+            area,
+        })
+    }
+
+    /// Sweeps the target frequency across `points` for one flavor,
+    /// returning `(frequency, result)` pairs for the targets that close
+    /// timing — the data behind one curve of Fig. 4.
+    pub fn frequency_sweep(
+        &self,
+        flavor: SiVtFlavor,
+        from: Frequency,
+        to: Frequency,
+        points: usize,
+    ) -> Vec<(Frequency, SynthesisResult)> {
+        assert!(points >= 2, "a sweep needs at least two points");
+        (0..points)
+            .filter_map(|i| {
+                let f = Frequency::from_hertz(
+                    from.as_hertz()
+                        + (to.as_hertz() - from.as_hertz()) * (i as f64) / ((points - 1) as f64),
+                );
+                self.synthesize(flavor, f).ok().map(|r| (f, r))
+            })
+            .collect()
+    }
+}
+
+/// Outcome of a successful synthesis run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SynthesisResult {
+    flavor: SiVtFlavor,
+    f_clk: Frequency,
+    sizing: f64,
+    critical_path: Time,
+    dynamic_energy: Energy,
+    leakage_power: Power,
+    area: Area,
+}
+
+impl SynthesisResult {
+    /// Threshold flavor used.
+    pub fn flavor(&self) -> SiVtFlavor {
+        self.flavor
+    }
+
+    /// Target clock frequency.
+    pub fn f_clk(&self) -> Frequency {
+        self.f_clk
+    }
+
+    /// Uniform gate-sizing factor chosen by timing closure.
+    pub fn sizing(&self) -> f64 {
+        self.sizing
+    }
+
+    /// Achieved critical-path delay (≤ the target period).
+    pub fn critical_path(&self) -> Time {
+        self.critical_path
+    }
+
+    /// Dynamic energy per clock cycle (excludes leakage).
+    pub fn dynamic_energy(&self) -> Energy {
+        self.dynamic_energy
+    }
+
+    /// Static leakage power.
+    pub fn leakage_power(&self) -> Power {
+        self.leakage_power
+    }
+
+    /// Total energy per cycle including leakage integrated over one period —
+    /// the y-axis of Fig. 4.
+    pub fn energy_per_cycle(&self) -> Energy {
+        self.dynamic_energy + self.leakage_power * self.f_clk.period()
+    }
+
+    /// Placed block area.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+}
+
+/// Timing-closure failure: the block cannot meet the target period in the
+/// chosen flavor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingError {
+    block: String,
+    flavor: SiVtFlavor,
+    f_clk: Frequency,
+    min_period: Time,
+}
+
+impl TimingError {
+    /// Fastest period the block could achieve in this flavor.
+    pub fn min_period(&self) -> Time {
+        self.min_period
+    }
+
+    /// Fastest achievable clock frequency in this flavor.
+    pub fn max_frequency(&self) -> Frequency {
+        self.min_period.to_frequency()
+    }
+}
+
+impl core::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "block `{}` cannot close timing at {:.0} MHz in {} (min period {:.0} ps)",
+            self.block,
+            self.f_clk.as_megahertz(),
+            self.flavor,
+            self.min_period.as_picoseconds()
+        )
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::approx_eq;
+
+    #[test]
+    fn table2_anchor_m0_energy_per_cycle() {
+        let m0 = LogicBlock::cortex_m0();
+        let r = m0
+            .synthesize(SiVtFlavor::Rvt, Frequency::from_megahertz(500.0))
+            .expect("RVT closes 500 MHz");
+        let pj = r.dynamic_energy().as_picojoules();
+        assert!(approx_eq(pj, 1.42, 0.08), "M0 dynamic energy {pj} pJ/cycle");
+    }
+
+    #[test]
+    fn critical_path_meets_target() {
+        let m0 = LogicBlock::cortex_m0();
+        for flavor in SiVtFlavor::ALL {
+            if let Ok(r) = m0.synthesize(flavor, Frequency::from_megahertz(500.0)) {
+                assert!(r.critical_path() <= Frequency::from_megahertz(500.0).period());
+            }
+        }
+    }
+
+    #[test]
+    fn energy_rises_toward_max_frequency() {
+        let m0 = LogicBlock::cortex_m0();
+        let slow = m0
+            .synthesize(SiVtFlavor::Rvt, Frequency::from_megahertz(300.0))
+            .expect("RVT closes 300 MHz");
+        let f_max = match m0.synthesize(SiVtFlavor::Rvt, Frequency::from_gigahertz(5.0)) {
+            Err(e) => e.max_frequency(),
+            Ok(_) => panic!("5 GHz should not close"),
+        };
+        let fast = m0
+            .synthesize(SiVtFlavor::Rvt, Frequency::from_hertz(f_max.as_hertz() * 0.98))
+            .expect("just under f_max closes");
+        assert!(fast.energy_per_cycle() > slow.energy_per_cycle());
+        assert!(fast.sizing() > slow.sizing());
+    }
+
+    #[test]
+    fn slvt_leakage_dominates_at_low_frequency() {
+        let m0 = LogicBlock::cortex_m0();
+        let f = Frequency::from_megahertz(100.0);
+        let hvt = m0.synthesize(SiVtFlavor::Hvt, f).expect("HVT closes 100 MHz");
+        let slvt = m0.synthesize(SiVtFlavor::Slvt, f).expect("SLVT closes 100 MHz");
+        // Fig. 4: at 100 MHz the SLVT curve sits far above HVT.
+        assert!(slvt.energy_per_cycle().as_joules() > 1.5 * hvt.energy_per_cycle().as_joules());
+    }
+
+    #[test]
+    fn hvt_cannot_reach_one_gigahertz() {
+        let m0 = LogicBlock::cortex_m0();
+        let err = m0
+            .synthesize(SiVtFlavor::Hvt, Frequency::from_gigahertz(1.0))
+            .expect_err("HVT should fail at 1 GHz");
+        assert!(err.max_frequency().as_megahertz() < 1000.0);
+        assert!(err.to_string().contains("cannot close timing"));
+    }
+
+    #[test]
+    fn sweep_skips_infeasible_points() {
+        let m0 = LogicBlock::cortex_m0();
+        let pts = m0.frequency_sweep(
+            SiVtFlavor::Hvt,
+            Frequency::from_megahertz(100.0),
+            Frequency::from_gigahertz(1.0),
+            10,
+        );
+        assert!(!pts.is_empty());
+        assert!(pts.len() < 10, "HVT should drop the top of the sweep");
+        // Monotone non-decreasing energy along the feasible range's ends.
+        assert!(pts.last().unwrap().1.energy_per_cycle() >= pts[0].1.energy_per_cycle() * 0.999);
+    }
+
+    #[test]
+    fn m0_area_is_table2_scale() {
+        // Table II: total area 0.139 mm² with two 0.068 mm² memories leaves
+        // ~0.003 mm² for the core.
+        let m0 = LogicBlock::cortex_m0();
+        let r = m0
+            .synthesize(SiVtFlavor::Rvt, Frequency::from_megahertz(500.0))
+            .expect("RVT closes 500 MHz");
+        let mm2 = r.area().as_square_millimeters();
+        assert!(mm2 > 0.001 && mm2 < 0.006, "M0 area {mm2} mm²");
+    }
+
+    #[test]
+    fn activity_scales_dynamic_energy() {
+        let m0 = LogicBlock::cortex_m0();
+        let busy = m0.clone().with_activity(0.27);
+        let f = Frequency::from_megahertz(500.0);
+        let base = m0.synthesize(SiVtFlavor::Rvt, f).expect("base closes").dynamic_energy();
+        let hot = busy.synthesize(SiVtFlavor::Rvt, f).expect("busy closes").dynamic_energy();
+        assert!(hot.as_joules() > 1.5 * base.as_joules());
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-pitch wire parasitics.
+//!
+//! Wordline/bitline delay and energy in the eDRAM macro are dominated by
+//! wire RC at these geometries, so the paper's SPICE netlists "include wire
+//! parasitics". The values here follow the usual scaling of damascene Cu
+//! interconnect: resistance per length grows roughly with the inverse square
+//! of the half-pitch (cross-section shrinks in both dimensions and the
+//! barrier/size effect worsens), while capacitance per length stays within a
+//! narrow band around 0.2 fF/µm across pitches.
+
+use ppatc_units::{Capacitance, Length, Resistance};
+
+/// Wire resistance/capacitance per unit length at a given routing pitch.
+///
+/// ```
+/// use ppatc_pdk::wire::WireModel;
+/// use ppatc_units::Length;
+///
+/// let m2 = WireModel::for_pitch(Length::from_nanometers(36.0));
+/// let bitline = m2.segment(Length::from_micrometers(30.0));
+/// assert!(bitline.resistance.as_ohms() > 100.0);
+/// assert!(bitline.capacitance.as_femtofarads() > 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireModel {
+    pitch: Length,
+    r_per_um: f64,
+    c_ff_per_um: f64,
+}
+
+/// Lumped parasitics of one routed segment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireSegment {
+    /// Total series resistance of the segment.
+    pub resistance: Resistance,
+    /// Total ground capacitance of the segment.
+    pub capacitance: Capacitance,
+}
+
+impl WireModel {
+    /// Reference: 36 nm-pitch Cu wire resistance, Ω/µm.
+    const R_36: f64 = 28.0;
+    /// Reference capacitance, fF/µm (weak function of pitch).
+    const C_36: f64 = 0.21;
+
+    /// Wire model for a layer of the given routing pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch` is not positive.
+    pub fn for_pitch(pitch: Length) -> Self {
+        let nm = pitch.as_nanometers();
+        assert!(nm > 0.0, "pitch must be positive");
+        let scale = 36.0 / nm;
+        Self {
+            pitch,
+            // R ∝ 1/(w·t) ≈ (36/pitch)²; size effects make fine pitches
+            // slightly worse than geometric scaling alone.
+            r_per_um: Self::R_36 * scale * scale,
+            // C per length is nearly pitch-independent (taller wires at
+            // looser pitch trade ground for coupling capacitance).
+            c_ff_per_um: Self::C_36 * (0.85 + 0.15 * scale),
+        }
+    }
+
+    /// The routing pitch this model describes.
+    pub fn pitch(&self) -> Length {
+        self.pitch
+    }
+
+    /// Resistance per micrometre of routed length.
+    pub fn resistance_per_um(&self) -> Resistance {
+        Resistance::from_ohms(self.r_per_um)
+    }
+
+    /// Capacitance per micrometre of routed length.
+    pub fn capacitance_per_um(&self) -> Capacitance {
+        Capacitance::from_femtofarads(self.c_ff_per_um)
+    }
+
+    /// Lumped parasitics of a segment of the given length.
+    pub fn segment(&self, length: Length) -> WireSegment {
+        let um = length.as_micrometers();
+        WireSegment {
+            resistance: Resistance::from_ohms(self.r_per_um * um),
+            capacitance: Capacitance::from_femtofarads(self.c_ff_per_um * um),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::approx_eq;
+
+    #[test]
+    fn finer_pitch_is_more_resistive() {
+        let fine = WireModel::for_pitch(Length::from_nanometers(36.0));
+        let coarse = WireModel::for_pitch(Length::from_nanometers(80.0));
+        assert!(fine.resistance_per_um() > coarse.resistance_per_um());
+    }
+
+    #[test]
+    fn capacitance_is_nearly_flat() {
+        let fine = WireModel::for_pitch(Length::from_nanometers(36.0));
+        let coarse = WireModel::for_pitch(Length::from_nanometers(80.0));
+        let ratio = fine.capacitance_per_um() / coarse.capacitance_per_um();
+        assert!((1.0..1.2).contains(&ratio), "C ratio {ratio}");
+    }
+
+    #[test]
+    fn segment_scales_linearly() {
+        let m = WireModel::for_pitch(Length::from_nanometers(48.0));
+        let one = m.segment(Length::from_micrometers(1.0));
+        let ten = m.segment(Length::from_micrometers(10.0));
+        assert!(approx_eq(
+            ten.resistance.as_ohms(),
+            10.0 * one.resistance.as_ohms(),
+            1e-12
+        ));
+        assert!(approx_eq(
+            ten.capacitance.as_femtofarads(),
+            10.0 * one.capacitance.as_femtofarads(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn rc_per_mm_is_sub_nanosecond() {
+        // Sanity: a 100 µm 36 nm-pitch wire has RC well under a clock period.
+        let m = WireModel::for_pitch(Length::from_nanometers(36.0));
+        let seg = m.segment(Length::from_micrometers(100.0));
+        let tau = seg.resistance * seg.capacitance;
+        assert!(tau.as_nanoseconds() < 0.2, "tau {tau:?}");
+    }
+}

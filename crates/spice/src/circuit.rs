@@ -1,0 +1,362 @@
+//! Netlist construction and MNA stamping.
+
+use crate::solver::LinearSystem;
+use crate::waveform::Waveform;
+use ppatc_device::Fet;
+use ppatc_units::{Capacitance, Resistance};
+
+/// Identifies a node in a [`Circuit`]. Obtain via [`Circuit::node`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+/// Identifies an element in a [`Circuit`]; returned by the element builders
+/// and consumed by per-element measurements such as
+/// [`Trace::source_energy`](crate::Trace::source_energy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ElementId(pub(crate) usize);
+
+/// Minimum conductance from every node to ground (helps convergence and
+/// pins truly floating nodes), in siemens.
+const GMIN: f64 = 1e-12;
+
+/// Perturbation used for numeric FET derivatives, in volts.
+const DERIV_DV: f64 = 1e-6;
+
+#[derive(Clone, Debug)]
+pub(crate) enum Element {
+    Resistor {
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    },
+    Capacitor {
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    },
+    /// Ideal voltage source from `p` (positive) to `n`; `branch` is the
+    /// index of its current unknown.
+    VSource {
+        p: NodeId,
+        n: NodeId,
+        wave: Waveform,
+        branch: usize,
+    },
+    /// Independent current source driving `value` amperes from `p` to `n`
+    /// (i.e. out of node `p`, into node `n` through the external circuit).
+    ISource {
+        p: NodeId,
+        n: NodeId,
+        wave: Waveform,
+    },
+    Fet {
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        fet: Fet,
+    },
+}
+
+/// A flat transistor-level netlist.
+///
+/// Nodes are created by name with [`Circuit::node`]; the ground node is
+/// [`Circuit::GROUND`]. Elements are added with the builder methods, each
+/// returning an [`ElementId`].
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    pub(crate) elements: Vec<Element>,
+    element_names: Vec<String>,
+    pub(crate) n_branches: usize,
+}
+
+impl Circuit {
+    /// The ground (reference) node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Self {
+            node_names: vec!["0".to_string()],
+            elements: Vec::new(),
+            element_names: Vec::new(),
+            n_branches: 0,
+        }
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// The names `"0"`, `"gnd"`, and `"GND"` alias the ground node.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Self::GROUND;
+        }
+        if let Some(idx) = self.node_names.iter().position(|n| n == name) {
+            return NodeId(idx);
+        }
+        self.node_names.push(name.to_string());
+        NodeId(self.node_names.len() - 1)
+    }
+
+    /// Name of a node (for diagnostics).
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    fn push(&mut self, name: &str, e: Element) -> ElementId {
+        self.elements.push(e);
+        self.element_names.push(name.to_string());
+        ElementId(self.elements.len() - 1)
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is not positive.
+    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, r: Resistance) -> ElementId {
+        assert!(r.as_ohms() > 0.0, "resistance must be positive");
+        self.push(name, Element::Resistor { a, b, ohms: r.as_ohms() })
+    }
+
+    /// Adds a capacitor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is negative.
+    pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, c: Capacitance) -> ElementId {
+        assert!(c.as_farads() >= 0.0, "capacitance must be non-negative");
+        self.push(name, Element::Capacitor { a, b, farads: c.as_farads() })
+    }
+
+    /// Adds an ideal voltage source; `p` is the positive terminal.
+    pub fn voltage_source(&mut self, name: &str, p: NodeId, n: NodeId, wave: Waveform) -> ElementId {
+        let branch = self.n_branches;
+        self.n_branches += 1;
+        self.push(name, Element::VSource { p, n, wave, branch })
+    }
+
+    /// Adds an independent current source driving current from `p` to `n`.
+    pub fn current_source(&mut self, name: &str, p: NodeId, n: NodeId, wave: Waveform) -> ElementId {
+        self.push(name, Element::ISource { p, n, wave })
+    }
+
+    /// Adds a FET with drain `d`, gate `g`, source `s`. The body/back-gate is
+    /// implicitly tied to the source. Device capacitances are *not* added
+    /// automatically — attach explicit capacitors where loading matters.
+    pub fn fet(&mut self, name: &str, d: NodeId, g: NodeId, s: NodeId, fet: Fet) -> ElementId {
+        self.push(name, Element::Fet { d, g, s, fet })
+    }
+
+    /// Number of MNA unknowns: node voltages (minus ground) + source branches.
+    pub(crate) fn unknowns(&self) -> usize {
+        self.node_names.len() - 1 + self.n_branches
+    }
+
+    /// Row/column of a node in the MNA system; `None` for ground.
+    #[inline]
+    pub(crate) fn node_index(&self, node: NodeId) -> Option<usize> {
+        if node.0 == 0 {
+            None
+        } else {
+            Some(node.0 - 1)
+        }
+    }
+
+    /// Row/column of a voltage-source branch unknown.
+    #[inline]
+    pub(crate) fn branch_index(&self, branch: usize) -> usize {
+        self.node_names.len() - 1 + branch
+    }
+
+    /// Voltage of `node` in an unknown vector `x`.
+    #[inline]
+    pub(crate) fn voltage_of(&self, x: &[f64], node: NodeId) -> f64 {
+        match self.node_index(node) {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    }
+
+    /// Stamps the linearised MNA system around the candidate solution `x` at
+    /// time `t`. `cap_companion` provides (g_eq, i_eq) per capacitor for
+    /// transient analysis; `None` treats capacitors as open (DC).
+    pub(crate) fn stamp(
+        &self,
+        sys: &mut LinearSystem,
+        x: &[f64],
+        t: f64,
+        cap_companion: Option<&[(f64, f64)]>,
+    ) {
+        sys.clear();
+        let n_nodes = self.node_names.len() - 1;
+        // GMIN to ground on every non-ground node.
+        for i in 0..n_nodes {
+            sys.add(i, i, GMIN);
+        }
+
+        let mut cap_idx = 0usize;
+        for e in &self.elements {
+            match e {
+                Element::Resistor { a, b, ohms } => {
+                    let g = 1.0 / ohms;
+                    self.stamp_conductance(sys, *a, *b, g);
+                }
+                Element::Capacitor { a, b, .. } => {
+                    if let Some(companion) = cap_companion {
+                        let (g_eq, i_eq) = companion[cap_idx];
+                        self.stamp_conductance(sys, *a, *b, g_eq);
+                        // i_eq flows from a to b inside the companion source.
+                        if let Some(ia) = self.node_index(*a) {
+                            sys.add_rhs(ia, -i_eq);
+                        }
+                        if let Some(ib) = self.node_index(*b) {
+                            sys.add_rhs(ib, i_eq);
+                        }
+                    }
+                    cap_idx += 1;
+                }
+                Element::VSource { p, n, wave, branch } => {
+                    let bi = self.branch_index(*branch);
+                    if let Some(ip) = self.node_index(*p) {
+                        sys.add(ip, bi, 1.0);
+                        sys.add(bi, ip, 1.0);
+                    }
+                    if let Some(in_) = self.node_index(*n) {
+                        sys.add(in_, bi, -1.0);
+                        sys.add(bi, in_, -1.0);
+                    }
+                    sys.add_rhs(bi, wave.at(t));
+                }
+                Element::ISource { p, n, wave } => {
+                    let j = wave.at(t);
+                    if let Some(ip) = self.node_index(*p) {
+                        sys.add_rhs(ip, -j);
+                    }
+                    if let Some(in_) = self.node_index(*n) {
+                        sys.add_rhs(in_, j);
+                    }
+                }
+                Element::Fet { d, g, s, fet } => {
+                    let vd = self.voltage_of(x, *d);
+                    let vg = self.voltage_of(x, *g);
+                    let vs = self.voltage_of(x, *s);
+                    let (vgs, vds) = (vg - vs, vd - vs);
+                    let model = fet.model();
+                    let w = fet.width().as_meters();
+                    let id0 = model.current_per_width(vgs, vds) * w;
+                    let gm = (model.current_per_width(vgs + DERIV_DV, vds) * w - id0) / DERIV_DV;
+                    let gds = (model.current_per_width(vgs, vds + DERIV_DV) * w - id0) / DERIV_DV;
+                    // Norton companion: i_eq = I(v) - gm·vgs - gds·vds, current d→s.
+                    let i_eq = id0 - gm * vgs - gds * vds;
+                    let (di, gi, si) = (self.node_index(*d), self.node_index(*g), self.node_index(*s));
+                    if let Some(di) = di {
+                        if let Some(gi) = gi {
+                            sys.add(di, gi, gm);
+                        }
+                        sys.add(di, di, gds);
+                        if let Some(si) = si {
+                            sys.add(di, si, -(gm + gds));
+                        }
+                        sys.add_rhs(di, -i_eq);
+                    }
+                    if let Some(si) = si {
+                        if let Some(gi) = gi {
+                            sys.add(si, gi, -gm);
+                        }
+                        if let Some(di) = di {
+                            sys.add(si, di, -gds);
+                        }
+                        sys.add(si, si, gm + gds);
+                        sys.add_rhs(si, i_eq);
+                    }
+                }
+            }
+        }
+    }
+
+    fn stamp_conductance(&self, sys: &mut LinearSystem, a: NodeId, b: NodeId, g: f64) {
+        let (ia, ib) = (self.node_index(a), self.node_index(b));
+        if let Some(ia) = ia {
+            sys.add(ia, ia, g);
+            if let Some(ib) = ib {
+                sys.add(ia, ib, -g);
+            }
+        }
+        if let Some(ib) = ib {
+            sys.add(ib, ib, g);
+            if let Some(ia) = ia {
+                sys.add(ib, ia, -g);
+            }
+        }
+    }
+
+    /// Drain current of FET element `element` evaluated at a solved unknown
+    /// vector (e.g. the result of [`Circuit::dc_operating_point`]).
+    /// Returns `None` if `element` is not a FET.
+    pub fn fet_current(&self, element: ElementId, x: &[f64]) -> Option<ppatc_units::Current> {
+        if let Element::Fet { d, g, s, fet } = &self.elements[element.0] {
+            let vgs = self.voltage_of(x, *g) - self.voltage_of(x, *s);
+            let vds = self.voltage_of(x, *d) - self.voltage_of(x, *s);
+            Some(ppatc_units::Current::from_amperes(
+                fet.model().current_per_width(vgs, vds) * fet.width().as_meters(),
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::Voltage;
+
+    #[test]
+    fn ground_aliases() {
+        let mut c = Circuit::new();
+        assert_eq!(c.node("0"), Circuit::GROUND);
+        assert_eq!(c.node("gnd"), Circuit::GROUND);
+        assert_eq!(c.node("GND"), Circuit::GROUND);
+    }
+
+    #[test]
+    fn node_names_are_interned() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let a2 = c.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.node_name(a), "a");
+    }
+
+    #[test]
+    fn unknown_layout() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.voltage_source("V1", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(1.0)));
+        c.resistor("R1", a, b, Resistance::from_ohms(1.0));
+        assert_eq!(c.unknowns(), 3); // two nodes + one branch
+        assert_eq!(c.node_index(Circuit::GROUND), None);
+        assert_eq!(c.node_index(a), Some(0));
+        assert_eq!(c.branch_index(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn zero_resistance_panics() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R1", a, Circuit::GROUND, Resistance::from_ohms(0.0));
+    }
+}

@@ -1,0 +1,181 @@
+//! DC operating-point analysis.
+
+use crate::circuit::Circuit;
+use crate::error::SpiceError;
+use crate::solver::LinearSystem;
+
+/// Maximum Newton iterations for the operating point.
+const MAX_ITER: usize = 400;
+/// Convergence tolerance on the node-voltage update, volts.
+const V_TOL: f64 = 1e-9;
+/// Per-iteration clamp on node-voltage updates, volts (damping).
+const MAX_STEP: f64 = 0.3;
+
+impl Circuit {
+    /// Computes the DC operating point (all sources at their `t = 0` value,
+    /// capacitors open).
+    ///
+    /// Returns the full unknown vector: node voltages (ground excluded)
+    /// followed by voltage-source branch currents. Use
+    /// [`Circuit::node`]-derived ids with [`Circuit::dc_voltage`] for
+    /// convenient access.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] for ill-formed topologies and
+    /// [`SpiceError::NoConvergence`] if damped Newton fails.
+    pub fn dc_operating_point(&self) -> Result<Vec<f64>, SpiceError> {
+        self.newton_solve(&mut vec![0.0; self.unknowns()], 0.0, None, "dc")
+            .map(|x| x.to_vec())
+    }
+
+    /// Convenience: DC voltage of one node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SpiceError`] from [`Circuit::dc_operating_point`].
+    pub fn dc_voltage(&self, node: crate::NodeId) -> Result<ppatc_units::Voltage, SpiceError> {
+        let x = self.dc_operating_point()?;
+        Ok(ppatc_units::Voltage::from_volts(self.voltage_of(&x, node)))
+    }
+
+    /// Damped Newton–Raphson around an initial guess `x` (updated in place
+    /// and returned on success).
+    pub(crate) fn newton_solve<'a>(
+        &self,
+        x: &'a mut Vec<f64>,
+        t: f64,
+        cap_companion: Option<&[(f64, f64)]>,
+        analysis: &'static str,
+    ) -> Result<&'a [f64], SpiceError> {
+        let n = self.unknowns();
+        debug_assert_eq!(x.len(), n);
+        if n == 0 {
+            return Ok(x.as_slice());
+        }
+        let n_node_unknowns = self.node_count() - 1;
+        let mut sys = LinearSystem::new(n);
+        let mut worst = f64::INFINITY;
+        for _ in 0..MAX_ITER {
+            self.stamp(&mut sys, x, t, cap_companion);
+            let x_new = sys.solve()?;
+            worst = 0.0;
+            for i in 0..n {
+                let mut delta = x_new[i] - x[i];
+                // Damp node voltages only; branch currents may legitimately
+                // jump by large amounts.
+                if i < n_node_unknowns {
+                    delta = delta.clamp(-MAX_STEP, MAX_STEP);
+                    worst = worst.max(delta.abs());
+                }
+                x[i] += delta;
+            }
+            if worst < V_TOL {
+                return Ok(x.as_slice());
+            }
+        }
+        Err(SpiceError::NoConvergence {
+            analysis,
+            time: t,
+            residual: worst,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Circuit, Waveform};
+    use ppatc_device::{si, SiVtFlavor};
+    use ppatc_units::{approx_eq, Length, Resistance, Voltage};
+
+    #[test]
+    fn voltage_divider() {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let mid = c.node("mid");
+        c.voltage_source("V1", top, Circuit::GROUND, Waveform::dc(Voltage::from_volts(1.0)));
+        c.resistor("R1", top, mid, Resistance::from_kilo_ohms(1.0));
+        c.resistor("R2", mid, Circuit::GROUND, Resistance::from_kilo_ohms(3.0));
+        let v = c.dc_voltage(mid).expect("divider should solve");
+        assert!(approx_eq(v.as_volts(), 0.75, 1e-6));
+    }
+
+    #[test]
+    fn branch_current_of_source() {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        c.voltage_source("V1", top, Circuit::GROUND, Waveform::dc(Voltage::from_volts(1.0)));
+        c.resistor("R1", top, Circuit::GROUND, Resistance::from_kilo_ohms(1.0));
+        let x = c.dc_operating_point().expect("should solve");
+        // Branch current flows out of the + terminal through the circuit:
+        // MNA convention gives i = -1 mA through the source.
+        assert!(approx_eq(x[c.branch_index(0)], -1.0e-3, 1e-6));
+    }
+
+    #[test]
+    fn cmos_inverter_transfer_points() {
+        let vdd = Voltage::from_volts(0.7);
+        let w = Length::from_nanometers(100.0);
+        let build = |vin: f64| {
+            let mut c = Circuit::new();
+            let nvdd = c.node("vdd");
+            let nin = c.node("in");
+            let nout = c.node("out");
+            c.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(vdd));
+            c.voltage_source("VIN", nin, Circuit::GROUND, Waveform::dc(Voltage::from_volts(vin)));
+            c.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
+            c.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+            (c, nout)
+        };
+        let (c_low, out_low) = build(0.0);
+        let v_high = c_low.dc_voltage(out_low).expect("inverter should solve");
+        assert!(v_high.as_volts() > 0.65, "output high {v_high}");
+
+        let (c_high, out_high) = build(0.7);
+        let v_low = c_high.dc_voltage(out_high).expect("inverter should solve");
+        assert!(v_low.as_volts() < 0.05, "output low {v_low}");
+    }
+
+    #[test]
+    fn inverter_gain_region_is_between_rails() {
+        let vdd = Voltage::from_volts(0.7);
+        let w = Length::from_nanometers(100.0);
+        let mut c = Circuit::new();
+        let nvdd = c.node("vdd");
+        let nin = c.node("in");
+        let nout = c.node("out");
+        c.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(vdd));
+        c.voltage_source("VIN", nin, Circuit::GROUND, Waveform::dc(Voltage::from_volts(0.35)));
+        c.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
+        c.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+        let v = c.dc_voltage(nout).expect("inverter should solve").as_volts();
+        assert!(v > 0.05 && v < 0.65, "midpoint output {v}");
+    }
+
+    #[test]
+    fn fet_current_at_operating_point() {
+        let vdd = Voltage::from_volts(0.7);
+        let w = Length::from_nanometers(100.0);
+        let mut c = Circuit::new();
+        let nvdd = c.node("vdd");
+        let nout = c.node("out");
+        c.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(vdd));
+        c.resistor("RL", nvdd, nout, Resistance::from_kilo_ohms(100.0));
+        let mn = c.fet("MN", nout, nvdd, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+        let rl = crate::ElementId(1);
+        let x = c.dc_operating_point().expect("common-source stage solves");
+        let i_fet = c.fet_current(mn, &x).expect("MN is a FET");
+        assert!(c.fet_current(rl, &x).is_none(), "resistors have no drain current");
+        // KCL: the FET sinks whatever the load resistor delivers.
+        let v_out = x[c.node_index(nout).expect("out is not ground")];
+        let i_res = (0.7 - v_out) / 100e3;
+        assert!(approx_eq(i_fet.as_amperes(), i_res, 1e-3));
+    }
+
+    #[test]
+    fn empty_circuit_is_fine() {
+        let c = Circuit::new();
+        let x = c.dc_operating_point().expect("empty circuit should solve");
+        assert!(x.is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Simulator error type.
+
+/// Error returned by circuit analyses.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpiceError {
+    /// The MNA matrix was singular — usually a floating node or a loop of
+    /// ideal voltage sources.
+    SingularMatrix {
+        /// Index of the pivot row where elimination failed.
+        row: usize,
+    },
+    /// Newton iteration failed to converge within the iteration limit.
+    NoConvergence {
+        /// Analysis that failed (`"dc"` or `"transient"`).
+        analysis: &'static str,
+        /// Simulated time at which convergence failed (seconds; 0 for DC).
+        time: f64,
+        /// Worst node-voltage update in the final iteration, in volts.
+        residual: f64,
+    },
+    /// A transient was requested with a non-positive step or stop time.
+    InvalidTimeAxis,
+}
+
+impl core::fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpiceError::SingularMatrix { row } => {
+                write!(f, "singular MNA matrix at pivot {row} (floating node or voltage-source loop?)")
+            }
+            SpiceError::NoConvergence {
+                analysis,
+                time,
+                residual,
+            } => write!(
+                f,
+                "{analysis} analysis failed to converge at t = {time:.3e} s (residual {residual:.3e} V)"
+            ),
+            SpiceError::InvalidTimeAxis => {
+                write!(f, "transient stop time and step must both be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SpiceError::NoConvergence {
+            analysis: "dc",
+            time: 0.0,
+            residual: 0.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("dc") && msg.contains("converge"));
+    }
+}

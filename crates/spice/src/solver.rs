@@ -1,0 +1,158 @@
+//! Dense linear solver for the MNA system.
+//!
+//! Circuits in this workspace are bit cells and small peripheral blocks —
+//! tens of unknowns — so dense Gaussian elimination with partial pivoting is
+//! simpler and faster than a sparse factorisation would be at this scale.
+
+use crate::error::SpiceError;
+
+/// A dense square matrix stored row-major, paired with a right-hand side,
+/// representing `A·x = b`.
+#[derive(Clone, Debug)]
+pub(crate) struct LinearSystem {
+    n: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl LinearSystem {
+    /// Creates an all-zero `n × n` system.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            a: vec![0.0; n * n],
+            b: vec![0.0; n],
+        }
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.a.fill(0.0);
+        self.b.fill(0.0);
+    }
+
+    /// Adds `v` to `A[row, col]`.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, v: f64) {
+        self.a[row * self.n + col] += v;
+    }
+
+    /// Adds `v` to `b[row]`.
+    #[inline]
+    pub fn add_rhs(&mut self, row: usize, v: f64) {
+        self.b[row] += v;
+    }
+
+    /// Solves the system in place, returning `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] if no usable pivot exists.
+    pub fn solve(&mut self) -> Result<Vec<f64>, SpiceError> {
+        let n = self.n;
+        let a = &mut self.a;
+        let b = &mut self.b;
+
+        for k in 0..n {
+            // Partial pivoting.
+            let mut pivot_row = k;
+            let mut pivot_mag = a[k * n + k].abs();
+            for r in (k + 1)..n {
+                let mag = a[r * n + k].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < 1e-300 {
+                return Err(SpiceError::SingularMatrix { row: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    a.swap(k * n + c, pivot_row * n + c);
+                }
+                b.swap(k, pivot_row);
+            }
+
+            let pivot = a[k * n + k];
+            for r in (k + 1)..n {
+                let factor = a[r * n + k] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[r * n + k] = 0.0;
+                for c in (k + 1)..n {
+                    a[r * n + c] -= factor * a[k * n + c];
+                }
+                b[r] -= factor * b[k];
+            }
+        }
+
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut acc = b[k];
+            for c in (k + 1)..n {
+                acc -= a[k * n + c] * x[c];
+            }
+            x[k] = acc / a[k * n + k];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::approx_eq;
+
+    #[test]
+    fn solves_identity() {
+        let mut sys = LinearSystem::new(3);
+        for i in 0..3 {
+            sys.add(i, i, 1.0);
+            sys.add_rhs(i, (i + 1) as f64);
+        }
+        let x = sys.solve().expect("identity should solve");
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_with_pivoting() {
+        // Requires a row swap: leading zero pivot.
+        let mut sys = LinearSystem::new(2);
+        sys.add(0, 1, 2.0); // [0 2; 3 1] x = [4; 5]
+        sys.add(1, 0, 3.0);
+        sys.add(1, 1, 1.0);
+        sys.add_rhs(0, 4.0);
+        sys.add_rhs(1, 5.0);
+        let x = sys.solve().expect("pivoted system should solve");
+        assert!(approx_eq(x[0], 1.0, 1e-12));
+        assert!(approx_eq(x[1], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn reports_singular() {
+        let mut sys = LinearSystem::new(2);
+        sys.add(0, 0, 1.0);
+        sys.add(0, 1, 1.0);
+        sys.add(1, 0, 2.0);
+        sys.add(1, 1, 2.0);
+        sys.add_rhs(0, 1.0);
+        assert!(matches!(sys.solve(), Err(SpiceError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_size() {
+        let mut sys = LinearSystem::new(2);
+        sys.add(0, 0, 5.0);
+        sys.add_rhs(0, 5.0);
+        sys.clear();
+        sys.add(0, 0, 1.0);
+        sys.add(1, 1, 1.0);
+        sys.add_rhs(0, 7.0);
+        let x = sys.solve().expect("cleared system should solve");
+        assert!(approx_eq(x[0], 7.0, 1e-12));
+        assert!(approx_eq(x[1], 0.0, 1e-12));
+    }
+}

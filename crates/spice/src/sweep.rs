@@ -1,0 +1,181 @@
+//! DC sweep analysis: transfer curves.
+
+use crate::circuit::{Circuit, Element, ElementId, NodeId};
+use crate::error::SpiceError;
+use crate::waveform::Waveform;
+use ppatc_units::Voltage;
+
+/// Result of a DC sweep: one operating point per sweep value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepResult {
+    values: Vec<f64>,
+    solutions: Vec<Vec<f64>>,
+}
+
+impl SweepResult {
+    /// The swept source values, in volts.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Voltage of `node` at sweep point `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn voltage(&self, node: NodeId, idx: usize) -> Voltage {
+        let x = &self.solutions[idx];
+        if node.0 == 0 {
+            Voltage::zero()
+        } else {
+            Voltage::from_volts(x[node.0 - 1])
+        }
+    }
+
+    /// The full transfer curve of `node`: `(input, output)` pairs in volts.
+    pub fn transfer(&self, node: NodeId) -> Vec<(f64, f64)> {
+        (0..self.len())
+            .map(|i| (self.values[i], self.voltage(node, i).as_volts()))
+            .collect()
+    }
+
+    /// The input value where `node` crosses `level` (linear interpolation),
+    /// scanning in sweep order. `None` if it never crosses.
+    pub fn input_crossing(&self, node: NodeId, level: Voltage) -> Option<f64> {
+        let curve = self.transfer(node);
+        let lvl = level.as_volts();
+        for pair in curve.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            if (y0 - lvl) * (y1 - lvl) <= 0.0 && (y1 - y0).abs() > 0.0 {
+                return Some(x0 + (x1 - x0) * (lvl - y0) / (y1 - y0));
+            }
+        }
+        None
+    }
+
+    /// Peak magnitude of the small-signal gain `|dV(node)/dV(in)|` along
+    /// the sweep (finite differences).
+    pub fn peak_gain(&self, node: NodeId) -> f64 {
+        let curve = self.transfer(node);
+        curve
+            .windows(2)
+            .filter(|w| (w[1].0 - w[0].0).abs() > 0.0)
+            .map(|w| ((w[1].1 - w[0].1) / (w[1].0 - w[0].0)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Circuit {
+    /// Sweeps the DC value of voltage source `source` through `values`,
+    /// solving the operating point at each step (warm-started from the
+    /// previous point, so sharp transfer curves converge quickly).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError`] if `source` is not a voltage source or any point
+    /// fails to converge.
+    pub fn dc_sweep(&self, source: ElementId, values: &[f64]) -> Result<SweepResult, SpiceError> {
+        let mut ckt = self.clone();
+        {
+            let Some(Element::VSource { .. }) = ckt.elements.get(source.0) else {
+                return Err(SpiceError::NoConvergence {
+                    analysis: "dc-sweep",
+                    time: 0.0,
+                    residual: f64::NAN,
+                });
+            };
+        }
+        let n_nodes = self.node_count() - 1;
+        let mut x = vec![0.0; self.unknowns()];
+        let mut solutions = Vec::with_capacity(values.len());
+        for &v in values {
+            if let Element::VSource { wave, .. } = &mut ckt.elements[source.0] {
+                *wave = Waveform::Dc(v);
+            }
+            ckt.newton_solve(&mut x, 0.0, None, "dc")?;
+            solutions.push(x[..n_nodes].to_vec());
+        }
+        Ok(SweepResult { values: values.to_vec(), solutions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_device::{si, SiVtFlavor};
+    use ppatc_units::{approx_eq, Length};
+
+    fn inverter() -> (Circuit, ElementId, NodeId) {
+        let vdd = Voltage::from_volts(0.7);
+        let w = Length::from_nanometers(100.0);
+        let mut c = Circuit::new();
+        let nvdd = c.node("vdd");
+        let nin = c.node("in");
+        let nout = c.node("out");
+        c.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(vdd));
+        let vin = c.voltage_source("VIN", nin, Circuit::GROUND, Waveform::dc(Voltage::zero()));
+        c.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
+        c.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+        (c, vin, nout)
+    }
+
+    fn ramp(n: usize, hi: f64) -> Vec<f64> {
+        (0..=n).map(|i| hi * i as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn inverter_vtc_shape() {
+        let (c, vin, out) = inverter();
+        let sweep = c.dc_sweep(vin, &ramp(70, 0.7)).expect("sweep solves");
+        let curve = sweep.transfer(out);
+        // Monotone non-increasing.
+        for pair in curve.windows(2) {
+            assert!(pair[1].1 <= pair[0].1 + 1e-9);
+        }
+        // Full logic swing at the rails.
+        assert!(curve[0].1 > 0.65);
+        assert!(curve.last().expect("non-empty").1 < 0.05);
+    }
+
+    #[test]
+    fn inverter_gain_and_threshold() {
+        let (c, vin, out) = inverter();
+        let sweep = c.dc_sweep(vin, &ramp(140, 0.7)).expect("sweep solves");
+        // Regenerative: peak gain above 1 (required for bistable storage).
+        assert!(sweep.peak_gain(out) > 1.5, "gain {}", sweep.peak_gain(out));
+        // The switching threshold sits mid-rail-ish.
+        let vm = sweep
+            .input_crossing(out, Voltage::from_volts(0.35))
+            .expect("crosses mid-rail");
+        assert!((0.2..0.5).contains(&vm), "V_M = {vm}");
+    }
+
+    #[test]
+    fn sweep_values_round_trip() {
+        let (c, vin, _) = inverter();
+        let vals = ramp(10, 0.7);
+        let sweep = c.dc_sweep(vin, &vals).expect("sweep solves");
+        assert_eq!(sweep.len(), vals.len());
+        assert!(approx_eq(sweep.values()[5], vals[5], 1e-12));
+    }
+
+    #[test]
+    fn sweeping_a_resistor_is_an_error() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("V", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(1.0)));
+        let r = c.resistor("R", a, Circuit::GROUND, ppatc_units::Resistance::from_ohms(100.0));
+        assert!(c.dc_sweep(r, &[0.0, 1.0]).is_err());
+    }
+}

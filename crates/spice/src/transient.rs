@@ -1,0 +1,225 @@
+//! Fixed-step transient analysis.
+
+use crate::circuit::{Circuit, Element};
+use crate::error::SpiceError;
+use crate::measure::Trace;
+use ppatc_units::{Time, Voltage};
+
+/// Time-integration scheme for capacitor companion models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Integration {
+    /// First-order implicit Euler: L-stable, slightly lossy. Good default
+    /// for strongly nonlinear switching circuits.
+    BackwardEuler,
+    /// Second-order trapezoidal rule (with a backward-Euler start-up step).
+    #[default]
+    Trapezoidal,
+}
+
+/// Configuration for [`Circuit::transient`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransientConfig {
+    /// Total simulated time.
+    pub stop: Time,
+    /// Fixed time step.
+    pub step: Time,
+    /// Integration scheme.
+    pub integration: Integration,
+    /// Whether to start from the DC operating point (`true`, default) or
+    /// from all-zero node voltages.
+    pub from_dc: bool,
+    /// Node voltages to force as initial conditions *after* the DC solve —
+    /// used to seed dynamic storage nodes (e.g. a DRAM cell's state).
+    pub initial_voltages: Vec<(crate::NodeId, Voltage)>,
+}
+
+impl TransientConfig {
+    /// Creates a configuration with the default scheme (trapezoidal) and a
+    /// DC-derived initial state.
+    pub fn new(stop: Time, step: Time) -> Self {
+        Self {
+            stop,
+            step,
+            integration: Integration::default(),
+            from_dc: true,
+            initial_voltages: Vec::new(),
+        }
+    }
+
+    /// Builder: sets the integration scheme.
+    #[must_use]
+    pub fn with_integration(mut self, integration: Integration) -> Self {
+        self.integration = integration;
+        self
+    }
+
+    /// Builder: forces a node's initial voltage (applied after the DC solve).
+    #[must_use]
+    pub fn with_initial_voltage(mut self, node: crate::NodeId, v: Voltage) -> Self {
+        self.initial_voltages.push((node, v));
+        self
+    }
+
+    /// Builder: starts from all-zero node voltages instead of the DC point.
+    #[must_use]
+    pub fn without_dc(mut self) -> Self {
+        self.from_dc = false;
+        self
+    }
+}
+
+impl Circuit {
+    /// Runs a fixed-step transient analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidTimeAxis`] for non-positive `stop`/`step`,
+    /// otherwise any solver error from the per-step Newton iterations.
+    pub fn transient(&self, cfg: &TransientConfig) -> Result<Trace, SpiceError> {
+        let h = cfg.step.as_seconds();
+        let stop = cfg.stop.as_seconds();
+        if !(h > 0.0) || !(stop > 0.0) {
+            return Err(SpiceError::InvalidTimeAxis);
+        }
+        let n_steps = (stop / h).ceil() as usize;
+
+        // Initial state.
+        let mut x = vec![0.0; self.unknowns()];
+        if cfg.from_dc {
+            self.newton_solve(&mut x, 0.0, None, "dc")?;
+        }
+        for &(node, v) in &cfg.initial_voltages {
+            if let Some(i) = self.node_index(node) {
+                x[i] = v.as_volts();
+            }
+        }
+
+        // Per-capacitor state: previous voltage across it and previous
+        // current through it (for trapezoidal).
+        let caps: Vec<(crate::NodeId, crate::NodeId, f64)> = self
+            .elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Capacitor { a, b, farads } => Some((*a, *b, *farads)),
+                _ => None,
+            })
+            .collect();
+        let mut v_prev: Vec<f64> = caps
+            .iter()
+            .map(|&(a, b, _)| self.voltage_of(&x, a) - self.voltage_of(&x, b))
+            .collect();
+        let mut i_prev: Vec<f64> = vec![0.0; caps.len()];
+
+        let mut trace = Trace::new(self, n_steps + 1);
+        trace.record(self, 0.0, &x);
+
+        let mut companion = vec![(0.0, 0.0); caps.len()];
+        for k in 1..=n_steps {
+            let t = (k as f64) * h;
+            // Backward-Euler start-up step even under trapezoidal: the DC
+            // point carries no capacitor-current history.
+            let use_trap = cfg.integration == Integration::Trapezoidal && k > 1;
+            for (ci, &(_, _, c)) in caps.iter().enumerate() {
+                if use_trap {
+                    let g_eq = 2.0 * c / h;
+                    let i_eq = -(g_eq * v_prev[ci] + i_prev[ci]);
+                    companion[ci] = (g_eq, i_eq);
+                } else {
+                    let g_eq = c / h;
+                    companion[ci] = (g_eq, -g_eq * v_prev[ci]);
+                }
+            }
+            self.newton_solve(&mut x, t, Some(&companion), "transient")?;
+            for (ci, &(a, b, _)) in caps.iter().enumerate() {
+                let v_now = self.voltage_of(&x, a) - self.voltage_of(&x, b);
+                let (g_eq, i_eq) = companion[ci];
+                i_prev[ci] = g_eq * v_now + i_eq;
+                v_prev[ci] = v_now;
+            }
+            trace.record(self, t, &x);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circuit, Waveform};
+    use ppatc_device::{si, SiVtFlavor};
+    use ppatc_units::{approx_eq, Capacitance, Length, Resistance};
+
+    fn rc_circuit() -> (Circuit, crate::NodeId) {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.voltage_source("V1", vin, Circuit::GROUND, Waveform::step(Voltage::from_volts(1.0)));
+        c.resistor("R1", vin, vout, Resistance::from_kilo_ohms(1.0));
+        c.capacitor("C1", vout, Circuit::GROUND, Capacitance::from_femtofarads(1000.0));
+        (c, vout)
+    }
+
+    #[test]
+    fn rc_charging_follows_exponential() {
+        let (c, out) = rc_circuit();
+        let cfg = TransientConfig::new(Time::from_nanoseconds(3.0), Time::from_picoseconds(2.0));
+        let trace = c.transient(&cfg).expect("RC transient should run");
+        // At t = tau = 1 ns: 1 - 1/e ≈ 0.632.
+        let v_tau = trace.voltage_at(out, Time::from_nanoseconds(1.0));
+        assert!(approx_eq(v_tau.as_volts(), 0.632, 0.02), "v(tau) = {v_tau}");
+    }
+
+    #[test]
+    fn backward_euler_also_converges_to_final_value() {
+        let (c, out) = rc_circuit();
+        let cfg = TransientConfig::new(Time::from_nanoseconds(8.0), Time::from_picoseconds(4.0))
+            .with_integration(Integration::BackwardEuler);
+        let trace = c.transient(&cfg).expect("RC transient should run");
+        assert!(approx_eq(trace.last_voltage(out).as_volts(), 1.0, 1e-3));
+    }
+
+    #[test]
+    fn initial_condition_holds_on_floating_cap() {
+        // A capacitor to ground with no DC path keeps its seeded voltage.
+        let mut c = Circuit::new();
+        let store = c.node("store");
+        c.capacitor("C1", store, Circuit::GROUND, Capacitance::from_femtofarads(10.0));
+        let cfg = TransientConfig::new(Time::from_nanoseconds(1.0), Time::from_picoseconds(10.0))
+            .with_initial_voltage(store, Voltage::from_volts(0.5));
+        let trace = c.transient(&cfg).expect("floating cap should simulate");
+        // GMIN discharge over 1 ns is negligible for 10 fF.
+        assert!(approx_eq(trace.last_voltage(store).as_volts(), 0.5, 1e-6));
+    }
+
+    #[test]
+    fn inverter_switches_dynamically() {
+        let vdd = Voltage::from_volts(0.7);
+        let w = Length::from_nanometers(100.0);
+        let mut c = Circuit::new();
+        let nvdd = c.node("vdd");
+        let nin = c.node("in");
+        let nout = c.node("out");
+        c.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(vdd));
+        c.voltage_source(
+            "VIN",
+            nin,
+            Circuit::GROUND,
+            Waveform::step_at(vdd, Time::from_picoseconds(50.0), Time::from_picoseconds(10.0)),
+        );
+        c.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
+        c.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+        c.capacitor("CL", nout, Circuit::GROUND, Capacitance::from_femtofarads(1.0));
+        let cfg = TransientConfig::new(Time::from_picoseconds(500.0), Time::from_picoseconds(0.25));
+        let trace = c.transient(&cfg).expect("inverter transient should run");
+        // Starts high (input low), ends low.
+        assert!(trace.voltage_at(nout, Time::from_picoseconds(40.0)).as_volts() > 0.65);
+        assert!(trace.last_voltage(nout).as_volts() < 0.05);
+    }
+
+    #[test]
+    fn invalid_axis_is_rejected() {
+        let (c, _) = rc_circuit();
+        let bad = TransientConfig::new(Time::zero(), Time::from_picoseconds(1.0));
+        assert_eq!(c.transient(&bad), Err(SpiceError::InvalidTimeAxis));
+    }
+}

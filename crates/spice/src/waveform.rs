@@ -1,0 +1,209 @@
+//! Source waveforms.
+
+use ppatc_units::{Time, Voltage};
+
+/// The time-dependent value of an independent source.
+///
+/// Values are in volts for voltage sources and amperes for current sources.
+///
+/// ```
+/// use ppatc_spice::Waveform;
+/// use ppatc_units::{Time, Voltage};
+///
+/// let clk = Waveform::pulse(
+///     Voltage::zero(),
+///     Voltage::from_volts(0.7),
+///     Time::zero(),                    // delay
+///     Time::from_picoseconds(20.0),    // rise
+///     Time::from_picoseconds(20.0),    // fall
+///     Time::from_nanoseconds(0.98),    // width
+///     Time::from_nanoseconds(2.0),     // period
+/// );
+/// assert!((clk.at(1e-9) - 0.7).abs() < 1e-12);
+/// assert!(clk.at(1.5e-9) < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Waveform {
+    /// A constant value.
+    Dc(f64),
+    /// A (periodic) trapezoidal pulse, SPICE `PULSE(...)` semantics.
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge, seconds.
+        delay: f64,
+        /// Rise time, seconds (must be > 0).
+        rise: f64,
+        /// Fall time, seconds (must be > 0).
+        fall: f64,
+        /// Time spent at `v1`, seconds.
+        width: f64,
+        /// Repetition period, seconds (`f64::INFINITY` for a single pulse).
+        period: f64,
+    },
+    /// Piece-wise linear interpolation through `(time, value)` points.
+    ///
+    /// Before the first point the first value holds; after the last point
+    /// the last value holds. Points must be sorted by time.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// A DC voltage level.
+    pub fn dc(v: Voltage) -> Self {
+        Waveform::Dc(v.as_volts())
+    }
+
+    /// An ideal step from 0 to `v` at t = 0 (implemented as a 1 ps ramp to
+    /// keep the transient well-conditioned).
+    pub fn step(v: Voltage) -> Self {
+        Waveform::Pwl(vec![(0.0, 0.0), (1e-12, v.as_volts())])
+    }
+
+    /// A step from 0 to `v` starting at `at` with the given `rise` time.
+    pub fn step_at(v: Voltage, at: Time, rise: Time) -> Self {
+        Waveform::Pwl(vec![
+            (at.as_seconds(), 0.0),
+            (at.as_seconds() + rise.as_seconds().max(1e-15), v.as_volts()),
+        ])
+    }
+
+    /// A falling step from `v` to 0 starting at `at` with the given `fall` time.
+    pub fn fall_at(v: Voltage, at: Time, fall: Time) -> Self {
+        Waveform::Pwl(vec![
+            (at.as_seconds(), v.as_volts()),
+            (at.as_seconds() + fall.as_seconds().max(1e-15), 0.0),
+        ])
+    }
+
+    /// A SPICE-style periodic pulse.
+    pub fn pulse(
+        v0: Voltage,
+        v1: Voltage,
+        delay: Time,
+        rise: Time,
+        fall: Time,
+        width: Time,
+        period: Time,
+    ) -> Self {
+        Waveform::Pulse {
+            v0: v0.as_volts(),
+            v1: v1.as_volts(),
+            delay: delay.as_seconds(),
+            rise: rise.as_seconds().max(1e-15),
+            fall: fall.as_seconds().max(1e-15),
+            width: width.as_seconds(),
+            period: period.as_seconds(),
+        }
+    }
+
+    /// Evaluates the waveform at time `t` (seconds).
+    pub fn at(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let mut tau = t - delay;
+                if period.is_finite() && *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < *rise {
+                    v0 + (v1 - v0) * tau / rise
+                } else if tau < rise + width {
+                    *v1
+                } else if tau < rise + width + fall {
+                    v1 + (v0 - v1) * (tau - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, v0) = pair[0];
+                    let (t1, v1) = pair[1];
+                    if t <= t1 {
+                        if t1 <= t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().map(|&(_, v)| v).unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// The value at t = 0, used as the DC-operating-point value.
+    pub fn initial(&self) -> f64 {
+        self.at(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatc_units::approx_eq;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::dc(Voltage::from_volts(0.7));
+        assert_eq!(w.at(0.0), 0.7);
+        assert_eq!(w.at(1.0), 0.7);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(1.0, 0.0), (2.0, 1.0)]);
+        assert!(approx_eq(w.at(0.5), 0.0, 1e-12));
+        assert!(approx_eq(w.at(1.5), 0.5, 1e-12));
+        assert!(approx_eq(w.at(3.0), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn pulse_repeats() {
+        let w = Waveform::pulse(
+            Voltage::zero(),
+            Voltage::from_volts(1.0),
+            Time::zero(),
+            Time::from_picoseconds(1.0),
+            Time::from_picoseconds(1.0),
+            Time::from_nanoseconds(1.0),
+            Time::from_nanoseconds(2.0),
+        );
+        // Mid-pulse in the first and the third period.
+        assert!(approx_eq(w.at(0.5e-9), 1.0, 1e-12));
+        assert!(approx_eq(w.at(4.5e-9), 1.0, 1e-12));
+        // Between pulses.
+        assert!(w.at(1.7e-9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_starts_at_zero() {
+        let w = Waveform::step(Voltage::from_volts(0.7));
+        assert!(approx_eq(w.initial(), 0.0, 1e-12));
+        assert!(approx_eq(w.at(1e-9), 0.7, 1e-12));
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        assert_eq!(Waveform::Pwl(vec![]).at(1.0), 0.0);
+    }
+}

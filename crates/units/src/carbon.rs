@@ -1,0 +1,218 @@
+//! Carbon-accounting quantities: CO₂-equivalent mass, carbon intensity,
+//! per-area footprints, and the carbon-delay product.
+
+use crate::energy::Energy;
+use crate::geometry::Area;
+use crate::time::Time;
+
+quantity! {
+    /// A mass of CO₂-equivalent emissions. Canonical unit: grams CO₂e.
+    ///
+    /// ```
+    /// use ppatc_units::CarbonMass;
+    /// let per_wafer = CarbonMass::from_kilograms(837.0);
+    /// assert!((per_wafer.as_grams() - 837_000.0).abs() < 1e-6);
+    /// ```
+    CarbonMass, base = "grams CO₂e", symbol = "gCO₂e"
+}
+
+impl CarbonMass {
+    /// Creates a carbon mass from grams CO₂e.
+    #[inline]
+    pub const fn from_grams(g: f64) -> Self {
+        Self::new(g)
+    }
+
+    /// Creates a carbon mass from kilograms CO₂e.
+    #[inline]
+    pub fn from_kilograms(kg: f64) -> Self {
+        Self::new(kg * 1e3)
+    }
+
+    /// Creates a carbon mass from (metric) tonnes CO₂e.
+    #[inline]
+    pub fn from_tonnes(t: f64) -> Self {
+        Self::new(t * 1e6)
+    }
+
+    /// Returns the carbon mass in grams CO₂e.
+    #[inline]
+    pub const fn as_grams(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the carbon mass in kilograms CO₂e.
+    #[inline]
+    pub fn as_kilograms(self) -> f64 {
+        self.value() / 1e3
+    }
+
+    /// Returns the carbon mass in tonnes CO₂e.
+    #[inline]
+    pub fn as_tonnes(self) -> f64 {
+        self.value() / 1e6
+    }
+}
+
+quantity! {
+    /// Carbon intensity of electrical energy. Canonical unit: grams CO₂e per
+    /// joule.
+    ///
+    /// Grid intensities are quoted in gCO₂e/kWh (the paper's Fig. 2c uses
+    /// U.S. 380, coal 820, solar 48, and Taiwan 563 gCO₂e/kWh).
+    ///
+    /// ```
+    /// use ppatc_units::{CarbonIntensity, Energy};
+    /// let us = CarbonIntensity::from_g_per_kwh(380.0);
+    /// let c = us * Energy::from_kilowatt_hours(699.0);
+    /// assert!((c.as_kilograms() - 265.62).abs() < 1e-9);
+    /// ```
+    CarbonIntensity, base = "gCO₂e/J", symbol = "gCO₂e/J"
+}
+
+impl CarbonIntensity {
+    /// Creates a carbon intensity from grams CO₂e per kilowatt-hour.
+    #[inline]
+    pub fn from_g_per_kwh(g_per_kwh: f64) -> Self {
+        Self::new(g_per_kwh / 3.6e6)
+    }
+
+    /// Returns the carbon intensity in grams CO₂e per kilowatt-hour.
+    #[inline]
+    pub fn as_g_per_kwh(self) -> f64 {
+        self.value() * 3.6e6
+    }
+}
+
+quantity! {
+    /// A carbon surface density (gCO₂e per unit area), used for the MPA and
+    /// GPA terms of the embodied-carbon model (Eq. 2).
+    ///
+    /// ```
+    /// use ppatc_units::{Area, CarbonArea, Length};
+    /// let mpa = CarbonArea::from_g_per_cm2(500.0);
+    /// let wafer = Area::of_wafer(Length::from_millimeters(300.0));
+    /// assert!(((mpa * wafer).as_grams() - 3.534e5).abs() < 100.0);
+    /// ```
+    CarbonArea, base = "gCO₂e/m²", symbol = "gCO₂e/m²"
+}
+
+impl CarbonArea {
+    /// Creates a carbon density from grams CO₂e per square centimetre.
+    #[inline]
+    pub fn from_g_per_cm2(g_per_cm2: f64) -> Self {
+        Self::new(g_per_cm2 / 1e-4)
+    }
+
+    /// Creates a carbon density from kilograms CO₂e per square centimetre.
+    #[inline]
+    pub fn from_kg_per_cm2(kg_per_cm2: f64) -> Self {
+        Self::new(kg_per_cm2 * 1e3 / 1e-4)
+    }
+
+    /// Returns the carbon density in grams CO₂e per square centimetre.
+    #[inline]
+    pub fn as_g_per_cm2(self) -> f64 {
+        self.value() * 1e-4
+    }
+}
+
+quantity! {
+    /// Carbon emitted per unit mass-specific energy·area — internal helper
+    /// dimension for (CI_fab · EPA) terms before integrating over area.
+    /// Canonical unit: gCO₂e/m² (same dimension as [`CarbonArea`] but kept
+    /// distinct to mark its origin in fabrication electricity).
+    CarbonPerEnergyArea, base = "gCO₂e/m²", symbol = "gCO₂e/m²"
+}
+
+impl CarbonPerEnergyArea {
+    /// Reinterprets the fabrication-electricity carbon density as a plain
+    /// carbon surface density so it can be summed with MPA and GPA.
+    #[inline]
+    pub fn to_carbon_area(self) -> CarbonArea {
+        CarbonArea::new(self.value())
+    }
+}
+
+quantity! {
+    /// A total-carbon-delay product (tCDP): carbon mass × execution time.
+    ///
+    /// Canonical unit: gCO₂e·s, which is the same as the paper's
+    /// gCO₂e/Hz. Lower is more carbon-efficient.
+    ///
+    /// ```
+    /// use ppatc_units::{CarbonMass, Time};
+    /// let tcdp = CarbonMass::from_grams(8.5) * Time::from_seconds(0.04);
+    /// assert!((tcdp.as_grams_per_hertz() - 0.34).abs() < 1e-12);
+    /// ```
+    CarbonDelay, base = "gCO₂e·s", symbol = "gCO₂e·s"
+}
+
+impl CarbonDelay {
+    /// Creates a carbon-delay product from gCO₂e·s (equivalently gCO₂e/Hz).
+    #[inline]
+    pub const fn from_gram_seconds(gs: f64) -> Self {
+        Self::new(gs)
+    }
+
+    /// Returns the carbon-delay product in gCO₂e/Hz (the paper's unit).
+    #[inline]
+    pub const fn as_grams_per_hertz(self) -> f64 {
+        self.value()
+    }
+}
+
+quantity_product!(CarbonIntensity, Energy => CarbonMass);
+quantity_quotient!(CarbonMass, Energy => CarbonIntensity);
+quantity_product!(CarbonArea, Area => CarbonMass);
+quantity_quotient!(CarbonMass, Area => CarbonArea);
+quantity_product!(CarbonMass, Time => CarbonDelay);
+quantity_quotient!(CarbonDelay, Time => CarbonMass);
+quantity_quotient!(CarbonDelay, CarbonMass => Time);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::geometry::Length;
+
+    #[test]
+    fn grid_intensity_round_trip() {
+        for g in [380.0, 820.0, 48.0, 563.0] {
+            let ci = CarbonIntensity::from_g_per_kwh(g);
+            assert!(approx_eq(ci.as_g_per_kwh(), g, 1e-12));
+        }
+    }
+
+    #[test]
+    fn embodied_kwh_to_carbon() {
+        // CI_fab · EPA for the all-Si process on the U.S. grid, with the
+        // 1.4× facility overhead: 380 g/kWh × 699 kWh × 1.4 ≈ 371.9 kg.
+        let ci = CarbonIntensity::from_g_per_kwh(380.0);
+        let epa = Energy::from_kilowatt_hours(699.0);
+        let c = ci * epa * 1.4;
+        assert!(approx_eq(c.as_kilograms(), 371.868, 1e-6));
+    }
+
+    #[test]
+    fn mpa_times_wafer_area() {
+        let mpa = CarbonArea::from_g_per_cm2(500.0);
+        let wafer = Area::of_wafer(Length::from_millimeters(300.0));
+        assert!(approx_eq((mpa * wafer).as_grams(), 353_429.0, 1e-3));
+    }
+
+    #[test]
+    fn tcdp_units() {
+        // 20,047,348 cycles at 500 MHz is ~40.1 ms of execution time.
+        let exec = Time::from_seconds(20_047_348.0 / 500e6);
+        let tc = CarbonMass::from_grams(8.5);
+        let tcdp = tc * exec;
+        assert!(approx_eq(tcdp.as_grams_per_hertz(), 0.3408, 1e-3));
+    }
+
+    #[test]
+    fn kg_per_cm2_gpa() {
+        let gpa = CarbonArea::from_kg_per_cm2(0.20);
+        assert!(approx_eq(gpa.as_g_per_cm2(), 200.0, 1e-12));
+    }
+}

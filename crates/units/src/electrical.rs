@@ -1,0 +1,239 @@
+//! Electrical quantities used by the device and circuit models.
+
+use crate::energy::Power;
+use crate::time::Time;
+
+quantity! {
+    /// An electric potential. Canonical unit: volts.
+    ///
+    /// ```
+    /// use ppatc_units::Voltage;
+    /// let vdd = Voltage::from_volts(0.7);
+    /// assert!((vdd.as_millivolts() - 700.0).abs() < 1e-9);
+    /// ```
+    Voltage, base = "volts", symbol = "V"
+}
+
+impl Voltage {
+    /// Creates a voltage from volts.
+    #[inline]
+    pub const fn from_volts(v: f64) -> Self {
+        Self::new(v)
+    }
+
+    /// Creates a voltage from millivolts.
+    #[inline]
+    pub fn from_millivolts(mv: f64) -> Self {
+        Self::new(mv * 1e-3)
+    }
+
+    /// Returns the voltage in volts.
+    #[inline]
+    pub const fn as_volts(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the voltage in millivolts.
+    #[inline]
+    pub fn as_millivolts(self) -> f64 {
+        self.value() * 1e3
+    }
+}
+
+quantity! {
+    /// An electric current. Canonical unit: amperes.
+    ///
+    /// Device currents are usually quoted per micrometre of transistor width
+    /// (µA/µm); this type holds the absolute current after multiplying by
+    /// width.
+    Current, base = "amperes", symbol = "A"
+}
+
+impl Current {
+    /// Creates a current from amperes.
+    #[inline]
+    pub const fn from_amperes(a: f64) -> Self {
+        Self::new(a)
+    }
+
+    /// Creates a current from microamperes.
+    #[inline]
+    pub fn from_microamperes(ua: f64) -> Self {
+        Self::new(ua * 1e-6)
+    }
+
+    /// Creates a current from nanoamperes.
+    #[inline]
+    pub fn from_nanoamperes(na: f64) -> Self {
+        Self::new(na * 1e-9)
+    }
+
+    /// Returns the current in amperes.
+    #[inline]
+    pub const fn as_amperes(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the current in microamperes.
+    #[inline]
+    pub fn as_microamperes(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// Returns the current in nanoamperes.
+    #[inline]
+    pub fn as_nanoamperes(self) -> f64 {
+        self.value() * 1e9
+    }
+}
+
+quantity! {
+    /// An electric charge. Canonical unit: coulombs.
+    Charge, base = "coulombs", symbol = "C"
+}
+
+impl Charge {
+    /// Creates a charge from coulombs.
+    #[inline]
+    pub const fn from_coulombs(c: f64) -> Self {
+        Self::new(c)
+    }
+
+    /// Creates a charge from femtocoulombs.
+    #[inline]
+    pub fn from_femtocoulombs(fc: f64) -> Self {
+        Self::new(fc * 1e-15)
+    }
+
+    /// Returns the charge in coulombs.
+    #[inline]
+    pub const fn as_coulombs(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the charge in femtocoulombs.
+    #[inline]
+    pub fn as_femtocoulombs(self) -> f64 {
+        self.value() * 1e15
+    }
+}
+
+quantity! {
+    /// A capacitance. Canonical unit: farads.
+    ///
+    /// ```
+    /// use ppatc_units::{Capacitance, Voltage};
+    /// let c = Capacitance::from_femtofarads(1.0);
+    /// let q = c * Voltage::from_volts(0.7);
+    /// assert!((q.as_femtocoulombs() - 0.7).abs() < 1e-12);
+    /// ```
+    Capacitance, base = "farads", symbol = "F"
+}
+
+impl Capacitance {
+    /// Creates a capacitance from farads.
+    #[inline]
+    pub const fn from_farads(f: f64) -> Self {
+        Self::new(f)
+    }
+
+    /// Creates a capacitance from femtofarads.
+    #[inline]
+    pub fn from_femtofarads(ff: f64) -> Self {
+        Self::new(ff * 1e-15)
+    }
+
+    /// Creates a capacitance from attofarads.
+    #[inline]
+    pub fn from_attofarads(af: f64) -> Self {
+        Self::new(af * 1e-18)
+    }
+
+    /// Returns the capacitance in farads.
+    #[inline]
+    pub const fn as_farads(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the capacitance in femtofarads.
+    #[inline]
+    pub fn as_femtofarads(self) -> f64 {
+        self.value() * 1e15
+    }
+
+    /// Returns the capacitance in attofarads.
+    #[inline]
+    pub fn as_attofarads(self) -> f64 {
+        self.value() * 1e18
+    }
+}
+
+quantity! {
+    /// An electrical resistance. Canonical unit: ohms.
+    Resistance, base = "ohms", symbol = "Ω"
+}
+
+impl Resistance {
+    /// Creates a resistance from ohms.
+    #[inline]
+    pub const fn from_ohms(ohms: f64) -> Self {
+        Self::new(ohms)
+    }
+
+    /// Creates a resistance from kilo-ohms.
+    #[inline]
+    pub fn from_kilo_ohms(kohms: f64) -> Self {
+        Self::new(kohms * 1e3)
+    }
+
+    /// Returns the resistance in ohms.
+    #[inline]
+    pub const fn as_ohms(self) -> f64 {
+        self.value()
+    }
+}
+
+quantity_product!(Capacitance, Voltage => Charge);
+quantity_quotient!(Charge, Voltage => Capacitance);
+quantity_quotient!(Charge, Capacitance => Voltage);
+quantity_product!(Current, Time => Charge);
+quantity_quotient!(Charge, Current => Time);
+quantity_quotient!(Charge, Time => Current);
+quantity_product!(Voltage, Current => Power);
+quantity_quotient!(Power, Voltage => Current);
+quantity_quotient!(Voltage, Current => Resistance);
+quantity_quotient!(Voltage, Resistance => Current);
+quantity_product!(Resistance, Capacitance => Time);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn rc_product_is_time() {
+        let tau = Resistance::from_kilo_ohms(10.0) * Capacitance::from_femtofarads(2.0);
+        assert!(approx_eq(tau.as_picoseconds(), 20.0, 1e-12));
+    }
+
+    #[test]
+    fn charge_over_current_is_time() {
+        let q = Charge::from_femtocoulombs(10.0);
+        let i = Current::from_microamperes(1.0);
+        assert!(approx_eq((q / i).as_nanoseconds(), 10.0, 1e-12));
+    }
+
+    #[test]
+    fn static_power_from_leakage() {
+        let p = Voltage::from_volts(0.7) * Current::from_nanoamperes(100.0);
+        assert!(approx_eq(p.as_watts(), 7e-8, 1e-12));
+    }
+
+    #[test]
+    fn ohms_law_round_trip() {
+        let r = Voltage::from_volts(1.0) / Current::from_microamperes(10.0);
+        assert!(approx_eq(r.as_ohms(), 1e5, 1e-12));
+        let i = Voltage::from_volts(1.0) / r;
+        assert!(approx_eq(i.as_microamperes(), 10.0, 1e-12));
+    }
+}

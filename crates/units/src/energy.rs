@@ -1,0 +1,232 @@
+//! Energy, power, and energy-per-area.
+
+use crate::geometry::Area;
+use crate::time::{Frequency, Time};
+
+quantity! {
+    /// An amount of energy. Canonical unit: joules.
+    ///
+    /// Fabrication energies are quoted in kWh per wafer; circuit energies in
+    /// picojoules per cycle. Both views are provided.
+    ///
+    /// ```
+    /// use ppatc_units::Energy;
+    /// let e = Energy::from_kilowatt_hours(436.0);
+    /// assert!((e.as_joules() - 1.5696e9).abs() < 1e3);
+    /// ```
+    Energy, base = "joules", symbol = "J"
+}
+
+impl Energy {
+    /// Creates an energy from joules.
+    #[inline]
+    pub const fn from_joules(j: f64) -> Self {
+        Self::new(j)
+    }
+
+    /// Creates an energy from kilowatt-hours.
+    #[inline]
+    pub fn from_kilowatt_hours(kwh: f64) -> Self {
+        Self::new(kwh * 3.6e6)
+    }
+
+    /// Creates an energy from picojoules.
+    #[inline]
+    pub fn from_picojoules(pj: f64) -> Self {
+        Self::new(pj * 1e-12)
+    }
+
+    /// Creates an energy from femtojoules.
+    #[inline]
+    pub fn from_femtojoules(fj: f64) -> Self {
+        Self::new(fj * 1e-15)
+    }
+
+    /// Returns the energy in joules.
+    #[inline]
+    pub const fn as_joules(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the energy in kilowatt-hours.
+    #[inline]
+    pub fn as_kilowatt_hours(self) -> f64 {
+        self.value() / 3.6e6
+    }
+
+    /// Returns the energy in picojoules.
+    #[inline]
+    pub fn as_picojoules(self) -> f64 {
+        self.value() * 1e12
+    }
+
+    /// Returns the energy in femtojoules.
+    #[inline]
+    pub fn as_femtojoules(self) -> f64 {
+        self.value() * 1e15
+    }
+
+    /// Returns the average power delivering this energy over `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is zero or negative.
+    #[inline]
+    pub fn average_power(self, t: Time) -> Power {
+        assert!(t.value() > 0.0, "averaging window must be positive");
+        Power::new(self.value() / t.value())
+    }
+
+    /// Interprets this energy as a per-cycle energy and returns the resulting
+    /// power at clock frequency `f` (`E · f`).
+    #[inline]
+    pub fn per_cycle_power(self, f: Frequency) -> Power {
+        Power::new(self.value() * f.value())
+    }
+}
+
+quantity! {
+    /// A power. Canonical unit: watts.
+    ///
+    /// ```
+    /// use ppatc_units::{Power, Time};
+    /// let p = Power::from_milliwatts(10.0);
+    /// let e = p * Time::from_hours(2.0);
+    /// assert!((e.as_kilowatt_hours() - 2.0e-5).abs() < 1e-12);
+    /// ```
+    Power, base = "watts", symbol = "W"
+}
+
+impl Power {
+    /// Creates a power from watts.
+    #[inline]
+    pub const fn from_watts(w: f64) -> Self {
+        Self::new(w)
+    }
+
+    /// Creates a power from milliwatts.
+    #[inline]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self::new(mw * 1e-3)
+    }
+
+    /// Creates a power from microwatts.
+    #[inline]
+    pub fn from_microwatts(uw: f64) -> Self {
+        Self::new(uw * 1e-6)
+    }
+
+    /// Creates a power from nanowatts.
+    #[inline]
+    pub fn from_nanowatts(nw: f64) -> Self {
+        Self::new(nw * 1e-9)
+    }
+
+    /// Returns the power in watts.
+    #[inline]
+    pub const fn as_watts(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the power in milliwatts.
+    #[inline]
+    pub fn as_milliwatts(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Returns the power in microwatts.
+    #[inline]
+    pub fn as_microwatts(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// Returns the energy consumed per clock cycle at frequency `f` (`P / f`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is zero or negative.
+    #[inline]
+    pub fn energy_per_cycle(self, f: Frequency) -> Energy {
+        assert!(f.value() > 0.0, "frequency must be positive");
+        Energy::new(self.value() / f.value())
+    }
+}
+
+quantity! {
+    /// An energy surface density (electrical energy per area, "EPA" in the
+    /// paper). Canonical unit: joules per square metre.
+    ///
+    /// ```
+    /// use ppatc_units::{Area, EnergyArea};
+    /// let epa = EnergyArea::from_kwh_per_cm2(1.0);
+    /// let e = epa * Area::from_square_centimeters(2.0);
+    /// assert!((e.as_kilowatt_hours() - 2.0).abs() < 1e-12);
+    /// ```
+    EnergyArea, base = "J/m²", symbol = "J/m²"
+}
+
+impl EnergyArea {
+    /// Creates an energy density from kWh per cm².
+    #[inline]
+    pub fn from_kwh_per_cm2(kwh_per_cm2: f64) -> Self {
+        Self::new(kwh_per_cm2 * 3.6e6 / 1e-4)
+    }
+
+    /// Returns the energy density in kWh per cm².
+    #[inline]
+    pub fn as_kwh_per_cm2(self) -> f64 {
+        self.value() * 1e-4 / 3.6e6
+    }
+}
+
+quantity_product!(Power, Time => Energy);
+quantity_quotient!(Energy, Time => Power);
+quantity_quotient!(Energy, Power => Time);
+quantity_product!(EnergyArea, Area => Energy);
+quantity_quotient!(Energy, Area => EnergyArea);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn kwh_round_trip() {
+        let e = Energy::from_kilowatt_hours(699.0);
+        assert!(approx_eq(e.as_kilowatt_hours(), 699.0, 1e-12));
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_watts(1000.0) * Time::from_hours(1.0);
+        assert!(approx_eq(e.as_kilowatt_hours(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Energy::from_kilowatt_hours(1.0) / Time::from_hours(2.0);
+        assert!(approx_eq(p.as_watts(), 500.0, 1e-12));
+    }
+
+    #[test]
+    fn per_cycle_energy_at_500mhz() {
+        // Table II: 1.42 pJ/cycle at 500 MHz is 0.71 mW of dynamic power.
+        let p = Energy::from_picojoules(1.42).per_cycle_power(Frequency::from_megahertz(500.0));
+        assert!(approx_eq(p.as_milliwatts(), 0.71, 1e-12));
+        let e = p.energy_per_cycle(Frequency::from_megahertz(500.0));
+        assert!(approx_eq(e.as_picojoules(), 1.42, 1e-12));
+    }
+
+    #[test]
+    fn energy_area_integrates_over_area() {
+        let epa = EnergyArea::from_kwh_per_cm2(0.5);
+        let wafer = Area::from_square_centimeters(706.86);
+        assert!(approx_eq((epa * wafer).as_kilowatt_hours(), 353.43, 1e-9));
+    }
+
+    #[test]
+    fn sum_of_energies() {
+        let total: Energy = (1..=3).map(|i| Energy::from_joules(i as f64)).sum();
+        assert!(approx_eq(total.as_joules(), 6.0, 1e-12));
+    }
+}

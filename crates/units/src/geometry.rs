@@ -1,0 +1,176 @@
+//! Lengths and areas.
+
+quantity! {
+    /// A length. Canonical unit: metres.
+    ///
+    /// Used for die dimensions (µm–mm), wafer diameters (mm), and device
+    /// feature sizes (nm).
+    ///
+    /// ```
+    /// use ppatc_units::Length;
+    /// let pitch = Length::from_nanometers(36.0);
+    /// assert!((pitch.as_micrometers() - 0.036).abs() < 1e-12);
+    /// ```
+    Length, base = "metres", symbol = "m"
+}
+
+impl Length {
+    /// Creates a length from metres.
+    #[inline]
+    pub const fn from_meters(m: f64) -> Self {
+        Self::new(m)
+    }
+
+    /// Creates a length from millimetres.
+    #[inline]
+    pub fn from_millimeters(mm: f64) -> Self {
+        Self::new(mm * 1e-3)
+    }
+
+    /// Creates a length from micrometres.
+    #[inline]
+    pub fn from_micrometers(um: f64) -> Self {
+        Self::new(um * 1e-6)
+    }
+
+    /// Creates a length from nanometres.
+    #[inline]
+    pub fn from_nanometers(nm: f64) -> Self {
+        Self::new(nm * 1e-9)
+    }
+
+    /// Returns the length in metres.
+    #[inline]
+    pub const fn as_meters(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the length in millimetres.
+    #[inline]
+    pub fn as_millimeters(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Returns the length in micrometres.
+    #[inline]
+    pub fn as_micrometers(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// Returns the length in nanometres.
+    #[inline]
+    pub fn as_nanometers(self) -> f64 {
+        self.value() * 1e9
+    }
+}
+
+quantity! {
+    /// An area. Canonical unit: square metres.
+    ///
+    /// ```
+    /// use ppatc_units::{Area, Length};
+    /// let die = Length::from_micrometers(270.0) * Length::from_micrometers(515.0);
+    /// assert!((die.as_square_millimeters() - 0.139).abs() < 5e-4);
+    /// ```
+    Area, base = "m²", symbol = "m²"
+}
+
+impl Area {
+    /// Creates an area from square metres.
+    #[inline]
+    pub const fn from_square_meters(m2: f64) -> Self {
+        Self::new(m2)
+    }
+
+    /// Creates an area from square centimetres.
+    #[inline]
+    pub fn from_square_centimeters(cm2: f64) -> Self {
+        Self::new(cm2 * 1e-4)
+    }
+
+    /// Creates an area from square millimetres.
+    #[inline]
+    pub fn from_square_millimeters(mm2: f64) -> Self {
+        Self::new(mm2 * 1e-6)
+    }
+
+    /// Creates an area from square micrometres.
+    #[inline]
+    pub fn from_square_micrometers(um2: f64) -> Self {
+        Self::new(um2 * 1e-12)
+    }
+
+    /// Returns the area in square metres.
+    #[inline]
+    pub const fn as_square_meters(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the area in square centimetres.
+    #[inline]
+    pub fn as_square_centimeters(self) -> f64 {
+        self.value() * 1e4
+    }
+
+    /// Returns the area in square millimetres.
+    #[inline]
+    pub fn as_square_millimeters(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// Returns the area in square micrometres.
+    #[inline]
+    pub fn as_square_micrometers(self) -> f64 {
+        self.value() * 1e12
+    }
+
+    /// Area of a full circular wafer of the given diameter (no edge
+    /// exclusion).
+    ///
+    /// ```
+    /// use ppatc_units::{Area, Length};
+    /// let wafer = Area::of_wafer(Length::from_millimeters(300.0));
+    /// assert!((wafer.as_square_centimeters() - 706.858).abs() < 1e-2);
+    /// ```
+    #[inline]
+    pub fn of_wafer(diameter: Length) -> Self {
+        let r = diameter.value() / 2.0;
+        Self::new(core::f64::consts::PI * r * r)
+    }
+}
+
+quantity_product!(square Length => Area);
+quantity_quotient!(Area, Length => Length);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn length_conversions_round_trip() {
+        let l = Length::from_nanometers(48.0);
+        assert!(approx_eq(l.as_nanometers(), 48.0, 1e-12));
+        assert!(approx_eq(l.as_micrometers(), 0.048, 1e-12));
+    }
+
+    #[test]
+    fn length_squared_is_area() {
+        let a = Length::from_millimeters(2.0) * Length::from_millimeters(3.0);
+        assert!(approx_eq(a.as_square_millimeters(), 6.0, 1e-12));
+    }
+
+    #[test]
+    fn wafer_area_matches_paper() {
+        // 300 mm wafer = 706.86 cm²; MPA of 500 g/cm² gives 3.5e5 g (Sec. II-B).
+        let a = Area::of_wafer(Length::from_millimeters(300.0));
+        assert!(approx_eq(a.as_square_centimeters() * 500.0, 3.534e5, 1e-3));
+    }
+
+    #[test]
+    fn area_divided_by_length_is_length() {
+        let a = Area::from_square_millimeters(6.0);
+        let l = a / Length::from_millimeters(2.0);
+        assert!(approx_eq(l.as_millimeters(), 3.0, 1e-12));
+    }
+}

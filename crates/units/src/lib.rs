@@ -1,0 +1,79 @@
+//! Strongly-typed physical quantities for carbon-aware hardware modeling.
+//!
+//! Every quantity in the PPAtC model stack — energy per wafer, carbon
+//! intensity of a power grid, die area, clock frequency — is represented by a
+//! dedicated newtype over `f64` ([C-NEWTYPE]). This prevents the classic
+//! spreadsheet failure mode of multiplying a gCO₂e/kWh number by a pJ number
+//! and silently being off by nine orders of magnitude.
+//!
+//! Each type stores its value in a single canonical SI-flavored base unit
+//! (joules, watts, seconds, square metres, grams CO₂e, ...) and offers
+//! constructors and accessors for the unit spellings used by the paper
+//! (kWh/wafer, pJ/cycle, gCO₂e/kWh, mm², months of lifetime, ...).
+//!
+//! Dimensional arithmetic is implemented for the products and quotients the
+//! models actually need, e.g.:
+//!
+//! ```
+//! use ppatc_units::{Power, Time, CarbonIntensity};
+//!
+//! let power = Power::from_milliwatts(9.71);
+//! let two_hours = Time::from_hours(2.0);
+//! let energy = power * two_hours;
+//! let grid = CarbonIntensity::from_g_per_kwh(380.0);
+//! let carbon = grid * energy;
+//! assert!((carbon.as_grams() - 0.00738).abs() < 1e-4);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+#![warn(missing_docs)]
+
+#[macro_use]
+mod quantity;
+mod carbon;
+mod electrical;
+mod energy;
+mod geometry;
+mod time;
+
+pub use carbon::{CarbonArea, CarbonDelay, CarbonIntensity, CarbonMass, CarbonPerEnergyArea};
+pub use electrical::{Capacitance, Charge, Current, Resistance, Voltage};
+pub use energy::{Energy, EnergyArea, Power};
+pub use geometry::{Area, Length};
+pub use time::{Frequency, Time};
+
+/// Returns `true` when `a` and `b` agree to within relative tolerance `tol`
+/// (or absolute tolerance `tol` when both are near zero).
+///
+/// This is the comparison used throughout the workspace test suites to check
+/// model outputs against the paper's published anchors.
+///
+/// ```
+/// assert!(ppatc_units::approx_eq(837.0, 838.0, 0.01));
+/// assert!(!ppatc_units::approx_eq(837.0, 1100.0, 0.01));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs());
+    if scale < 1e-300 {
+        return true;
+    }
+    (a - b).abs() <= tol * scale.max(1.0e-30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_handles_zero() {
+        assert!(approx_eq(0.0, 0.0, 1e-9));
+        assert!(approx_eq(0.0, -0.0, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_is_relative() {
+        assert!(approx_eq(1.0e6, 1.0e6 * (1.0 + 1e-7), 1e-6));
+        assert!(!approx_eq(1.0e6, 1.1e6, 1e-3));
+    }
+}

@@ -1,0 +1,222 @@
+//! The `quantity!` macro: boilerplate for scalar physical-quantity newtypes.
+
+/// Defines a physical-quantity newtype over `f64` with the full set of
+/// arithmetic and comparison trait impls shared by every unit in this crate.
+///
+/// Generated API per type:
+/// - `new(base)` / `value()` — construct from / read back the canonical unit
+/// - `zero()` and `Default` (zero)
+/// - `Add`, `Sub`, `Neg`, `AddAssign`, `SubAssign` with `Self`
+/// - `Mul<f64>`, `Div<f64>`, `f64 * Self`, and `Div<Self> -> f64` (ratio)
+/// - `Sum` over iterators of `Self`
+/// - `PartialOrd`, `Display` (canonical unit with symbol), `Debug`
+/// - `min`/`max`/`abs`/`clamp` helpers and `is_finite`
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, base = $base_doc:literal, symbol = $symbol:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        #[cfg_attr(feature = "serde", serde(transparent))]
+        pub struct $name(f64);
+
+        impl $name {
+            #[doc = concat!("Creates a value from the canonical unit (", $base_doc, ").")]
+            #[inline]
+            pub const fn new(base: f64) -> Self {
+                Self(base)
+            }
+
+            #[doc = concat!("Returns the value in the canonical unit (", $base_doc, ").")]
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the zero value.
+            #[inline]
+            pub const fn zero() -> Self {
+                Self(0.0)
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Clamps the value to the inclusive range `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi` or either bound is NaN.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the value is neither infinite nor NaN.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                if let Some(precision) = f.precision() {
+                    write!(f, "{:.*} {}", precision, self.0, $symbol)
+                } else {
+                    write!(f, "{} {}", self.0, $symbol)
+                }
+            }
+        }
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, concat!(stringify!($name), "({} ", $symbol, ")"), self.0)
+            }
+        }
+    };
+}
+
+/// Implements `Mul` for a dimensional product `$a * $b = $c` (and the
+/// commuted order when the operand types differ). Use the `square` form for
+/// `$a * $a = $c`.
+macro_rules! quantity_product {
+    (square $a:ty => $c:ty) => {
+        impl core::ops::Mul for $a {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: Self) -> $c {
+                <$c>::new(self.value() * rhs.value())
+            }
+        }
+    };
+    ($a:ty, $b:ty => $c:ty) => {
+        impl core::ops::Mul<$b> for $a {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $b) -> $c {
+                <$c>::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Mul<$a> for $b {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $a) -> $c {
+                <$c>::new(self.value() * rhs.value())
+            }
+        }
+    };
+}
+
+/// Implements `Div` for a dimensional quotient `$a / $b = $c`.
+macro_rules! quantity_quotient {
+    ($a:ty, $b:ty => $c:ty) => {
+        impl core::ops::Div<$b> for $a {
+            type Output = $c;
+            #[inline]
+            fn div(self, rhs: $b) -> $c {
+                <$c>::new(self.value() / rhs.value())
+            }
+        }
+    };
+}

@@ -1,0 +1,211 @@
+//! Time and frequency.
+
+quantity! {
+    /// A duration. Canonical unit: seconds.
+    ///
+    /// System lifetimes in the paper are given in months of calendar time;
+    /// [`Time::from_months`] uses the mean Gregorian month (30.44 days), the
+    /// convention used when amortizing embodied carbon over a lifetime.
+    ///
+    /// ```
+    /// use ppatc_units::Time;
+    /// let life = Time::from_months(24.0);
+    /// assert!((life.as_days() - 730.5).abs() < 0.1);
+    /// ```
+    Time, base = "seconds", symbol = "s"
+}
+
+/// Seconds per mean Gregorian month (365.25 days / 12).
+const SECONDS_PER_MONTH: f64 = 365.25 / 12.0 * 86_400.0;
+
+impl Time {
+    /// Creates a duration from seconds.
+    #[inline]
+    pub const fn from_seconds(s: f64) -> Self {
+        Self::new(s)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub fn from_nanoseconds(ns: f64) -> Self {
+        Self::new(ns * 1e-9)
+    }
+
+    /// Creates a duration from picoseconds.
+    #[inline]
+    pub fn from_picoseconds(ps: f64) -> Self {
+        Self::new(ps * 1e-12)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub fn from_microseconds(us: f64) -> Self {
+        Self::new(us * 1e-6)
+    }
+
+    /// Creates a duration from hours.
+    #[inline]
+    pub fn from_hours(h: f64) -> Self {
+        Self::new(h * 3600.0)
+    }
+
+    /// Creates a duration from days (24 h).
+    #[inline]
+    pub fn from_days(d: f64) -> Self {
+        Self::new(d * 86_400.0)
+    }
+
+    /// Creates a duration from mean Gregorian months (30.44 days).
+    #[inline]
+    pub fn from_months(months: f64) -> Self {
+        Self::new(months * SECONDS_PER_MONTH)
+    }
+
+    /// Returns the duration in seconds.
+    #[inline]
+    pub const fn as_seconds(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the duration in nanoseconds.
+    #[inline]
+    pub fn as_nanoseconds(self) -> f64 {
+        self.value() * 1e9
+    }
+
+    /// Returns the duration in picoseconds.
+    #[inline]
+    pub fn as_picoseconds(self) -> f64 {
+        self.value() * 1e12
+    }
+
+    /// Returns the duration in hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.value() / 3600.0
+    }
+
+    /// Returns the duration in days.
+    #[inline]
+    pub fn as_days(self) -> f64 {
+        self.value() / 86_400.0
+    }
+
+    /// Returns the duration in mean Gregorian months.
+    #[inline]
+    pub fn as_months(self) -> f64 {
+        self.value() / SECONDS_PER_MONTH
+    }
+
+    /// Returns the frequency whose period is this duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero or negative.
+    #[inline]
+    pub fn to_frequency(self) -> Frequency {
+        assert!(self.value() > 0.0, "period must be positive");
+        Frequency::new(1.0 / self.value())
+    }
+}
+
+quantity! {
+    /// A frequency. Canonical unit: hertz.
+    ///
+    /// ```
+    /// use ppatc_units::Frequency;
+    /// let f = Frequency::from_megahertz(500.0);
+    /// assert!((f.period().as_nanoseconds() - 2.0).abs() < 1e-12);
+    /// ```
+    Frequency, base = "Hz", symbol = "Hz"
+}
+
+impl Frequency {
+    /// Creates a frequency from hertz.
+    #[inline]
+    pub const fn from_hertz(hz: f64) -> Self {
+        Self::new(hz)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[inline]
+    pub fn from_megahertz(mhz: f64) -> Self {
+        Self::new(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[inline]
+    pub fn from_gigahertz(ghz: f64) -> Self {
+        Self::new(ghz * 1e9)
+    }
+
+    /// Returns the frequency in hertz.
+    #[inline]
+    pub const fn as_hertz(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the frequency in megahertz.
+    #[inline]
+    pub fn as_megahertz(self) -> f64 {
+        self.value() / 1e6
+    }
+
+    /// Returns the frequency in gigahertz.
+    #[inline]
+    pub fn as_gigahertz(self) -> f64 {
+        self.value() / 1e9
+    }
+
+    /// Returns the clock period of this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    #[inline]
+    pub fn period(self) -> Time {
+        assert!(self.value() > 0.0, "frequency must be positive");
+        Time::new(1.0 / self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn month_convention_is_mean_gregorian() {
+        let t = Time::from_months(12.0);
+        assert!(approx_eq(t.as_days(), 365.25, 1e-12));
+    }
+
+    #[test]
+    fn period_round_trips() {
+        let f = Frequency::from_megahertz(500.0);
+        assert!(approx_eq(f.period().to_frequency().as_hertz(), 5e8, 1e-12));
+    }
+
+    #[test]
+    fn arithmetic_and_ratio() {
+        let a = Time::from_hours(2.0);
+        let b = Time::from_hours(1.0);
+        assert!(approx_eq((a + b).as_hours(), 3.0, 1e-12));
+        assert!(approx_eq((a - b).as_hours(), 1.0, 1e-12));
+        assert!(approx_eq(a / b, 2.0, 1e-12));
+        assert!(approx_eq((a * 3.0).as_hours(), 6.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = Time::zero().to_frequency();
+    }
+
+    #[test]
+    fn display_includes_symbol() {
+        let f = Frequency::from_hertz(5.0);
+        assert_eq!(format!("{f:.1}"), "5.0 Hz");
+        assert_eq!(format!("{f:?}"), "Frequency(5 Hz)");
+    }
+}

@@ -1,0 +1,53 @@
+//! Serde round-trip tests (run with `--features serde`).
+//!
+//! Quantities serialize transparently as their canonical-unit `f64`, so
+//! carbon reports written by one tool read back bit-exactly in another.
+
+#![cfg(feature = "serde")]
+
+use ppatc_units::*;
+
+#[test]
+fn quantities_round_trip_through_json() {
+    let energy = Energy::from_kilowatt_hours(699.0);
+    let json = serde_json::to_string(&energy).expect("serializes");
+    let back: Energy = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, energy);
+
+    let carbon = CarbonMass::from_grams(3.11);
+    let back: CarbonMass =
+        serde_json::from_str(&serde_json::to_string(&carbon).expect("serializes"))
+            .expect("deserializes");
+    assert_eq!(back, carbon);
+}
+
+#[test]
+fn serialization_is_transparent_f64() {
+    // A quantity serializes as a bare number (its canonical unit), not a
+    // struct — so external tools can consume reports without knowing the
+    // newtypes.
+    let p = Power::from_watts(0.0097);
+    assert_eq!(serde_json::to_string(&p).expect("serializes"), "0.0097");
+    let ci: CarbonIntensity = serde_json::from_str("0.0001").expect("deserializes");
+    assert!((ci.value() - 0.0001).abs() < 1e-18);
+}
+
+#[test]
+fn a_full_report_structure_serializes() {
+    #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+    struct Report {
+        embodied: CarbonMass,
+        power: Power,
+        lifetime: Time,
+        area: Area,
+    }
+    let report = Report {
+        embodied: CarbonMass::from_grams(3.63),
+        power: Power::from_milliwatts(8.5),
+        lifetime: Time::from_months(24.0),
+        area: Area::from_square_millimeters(0.053),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializes");
+    let back: Report = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, report);
+}

@@ -1,0 +1,71 @@
+//! Design-space exploration: how clock target, threshold flavor, workload,
+//! and M3D yield move the carbon-efficiency comparison.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use ppatc::{CaseStudy, EmbodiedPipeline, Lifetime, SystemDesign, Technology, UsagePattern, YieldModel};
+use ppatc_pdk::synthesis::LogicBlock;
+use ppatc_pdk::SiVtFlavor;
+use ppatc_units::Frequency;
+use ppatc_workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let life = Lifetime::months(24.0);
+
+    // 1. Threshold flavor × frequency: the Fig. 4 trade-off.
+    println!("== Cortex-M0 energy/cycle across flavors and clocks ==");
+    let m0 = LogicBlock::cortex_m0();
+    for flavor in SiVtFlavor::ALL {
+        print!("{flavor:>5}: ");
+        for mhz in [200.0, 500.0, 800.0] {
+            match m0.synthesize(flavor, Frequency::from_megahertz(mhz)) {
+                Ok(r) => print!(
+                    "{mhz:>4.0} MHz -> {:>5.2} pJ   ",
+                    r.energy_per_cycle().as_picojoules()
+                ),
+                Err(_) => print!("{mhz:>4.0} MHz ->  n/a     "),
+            }
+        }
+        println!();
+    }
+
+    // 2. Workload dependence: every kernel in the suite, at reduced reps to
+    //    keep the example quick (access *rates* converge fast).
+    println!("\n== tCDP benefit of M3D at 24 months, per workload ==");
+    for workload in Workload::suite() {
+        let run = workload.execute_with_reps(2)?;
+        let study = CaseStudy::paper(&run)?;
+        let benefit = 1.0 / study.tcdp_ratio(life);
+        println!(
+            "{:<12} {:>9} cycles/run   M3D benefit {benefit:.3}x",
+            workload.name(),
+            run.cycles
+        );
+    }
+
+    // 3. Yield sensitivity: the M3D process is immature; how good must its
+    //    yield be for the 24-month win to survive?
+    println!("\n== M3D yield sensitivity (matmul-int, 24 months) ==");
+    let run = Workload::matmul_int().execute_with_reps(4)?;
+    let f = Frequency::from_megahertz(500.0);
+    let si = SystemDesign::new(Technology::AllSi, f)?;
+    for yield_pct in [10, 30, 50, 70, 90] {
+        let m3d = SystemDesign::new(Technology::M3dIgzoCnfetSi, f)?
+            .with_yield(YieldModel::Fixed(f64::from(yield_pct) / 100.0));
+        let study = CaseStudy::from_designs(
+            si.clone(),
+            m3d,
+            &run,
+            EmbodiedPipeline::paper_default(),
+            UsagePattern::paper_default(),
+        );
+        let ratio = study.tcdp_ratio(life);
+        println!(
+            "yield {yield_pct:>3}%: tCDP(M3D)/tCDP(all-Si) = {ratio:.3}  ({})",
+            if ratio < 1.0 { "M3D wins" } else { "all-Si wins" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: reproduce the paper's headline result.
+//!
+//! Runs the full `matmul-int` workload on the Cortex-M0 simulator, builds
+//! the case study (both technologies at 500 MHz), prints the Table II
+//! summary, and reports the 24-month tCDP comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ppatc::{CaseStudy, Lifetime, Technology};
+use ppatc_workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("simulating matmul-int on the Cortex-M0 ISS...");
+    let run = Workload::matmul_int().execute()?;
+    println!(
+        "  {} cycles, {} instructions, checksum {:#010x}\n",
+        run.cycles, run.instructions, run.checksum
+    );
+
+    let study = CaseStudy::paper(&run)?;
+    println!("{}\n", study.summary());
+
+    for months in [6.0, 12.0, 18.0, 24.0] {
+        let life = Lifetime::months(months);
+        let ratio = study.tcdp_ratio(life);
+        let (winner, benefit) = if ratio < 1.0 {
+            ("M3D IGZO/CNFET/Si", 1.0 / ratio)
+        } else {
+            ("all-Si", ratio)
+        };
+        println!(
+            "lifetime {months:>4.0} months: {winner} is {benefit:.3}x more carbon-efficient (tCDP)"
+        );
+    }
+
+    let si = study.trajectory(Technology::AllSi);
+    let m3d = study.trajectory(Technology::M3dIgzoCnfetSi);
+    if let (Some(a), Some(b)) = (
+        si.embodied_dominance_crossover(),
+        m3d.embodied_dominance_crossover(),
+    ) {
+        println!(
+            "\noperational carbon overtakes embodied carbon after {:.1} months (all-Si) / {:.1} months (M3D)",
+            a.as_months(),
+            b.as_months()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Umbrella library for the `ppatc` workspace.
+//!
+//! This crate exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`) that span multiple member crates.
+//! The actual functionality lives in the `ppatc-*` crates; see the
+//! workspace [README](https://github.com/example/ppatc) for the map.
+
+pub use ppatc as core;

@@ -1,0 +1,176 @@
+//! Cross-crate consistency checks: quantities that two different crates
+//! compute (or imply) independently must agree.
+
+use ppatc::{Lifetime, SystemDesign, Technology};
+use ppatc_fab::{grid, EmbodiedModel, ProcessFlow, ProcessArea};
+use ppatc_pdk::{LayerStack, Lithography, TierKind};
+use ppatc_units::{approx_eq, Frequency};
+use ppatc_workloads::Workload;
+
+#[test]
+fn fab_flow_litho_counts_match_pdk_stack_structure() {
+    // The fab crate derives its flows by walking the pdk stacks: the EUV
+    // exposure count must equal 2 per 36 nm metal + 4 per device tier.
+    for tech in Technology::ALL {
+        let stack = tech.stack();
+        let flow = ProcessFlow::for_technology(tech);
+        let euv_from_structure = 2 * stack.metals_at_pitch(36.0)
+            + 4 * (stack.tier_count(TierKind::Cnfet) + stack.tier_count(TierKind::Igzo));
+        let euv_in_flow = flow
+            .steps()
+            .iter()
+            .filter(|s| s.tool == Some(ppatc_fab::LithoTool::Euv))
+            .count();
+        assert_eq!(euv_in_flow, euv_from_structure, "{tech}");
+    }
+}
+
+#[test]
+fn gpa_scaling_consistent_with_epa_ratio() {
+    // Eq. 3: GPA scales exactly with EPA; check through the public API.
+    let model = EmbodiedModel::paper_default();
+    let si_flow = ProcessFlow::for_technology(Technology::AllSi);
+    let m3d_flow = ProcessFlow::for_technology(Technology::M3dIgzoCnfetSi);
+    let epa_ratio = model.epa(&m3d_flow) / model.epa(&si_flow);
+    let gpa_ratio = model.gpa(&m3d_flow).as_g_per_cm2() / model.gpa(&si_flow).as_g_per_cm2();
+    assert!(approx_eq(epa_ratio, gpa_ratio, 1e-12));
+}
+
+#[test]
+fn system_area_is_the_sum_of_its_parts() {
+    for tech in Technology::ALL {
+        let d = SystemDesign::new(tech, Frequency::from_megahertz(500.0)).expect("designs");
+        let parts = d.m0().area().as_square_meters()
+            + d.program_mem().area().as_square_meters()
+            + d.data_mem().area().as_square_meters();
+        assert!(approx_eq(d.area().as_square_meters(), parts, 1e-12));
+        let die = d.die();
+        assert!(approx_eq(
+            die.area().as_square_meters(),
+            d.area().as_square_meters(),
+            1e-9
+        ));
+    }
+}
+
+#[test]
+fn evaluate_equals_evaluate_counts() {
+    let run = Workload::edn().execute_with_reps(1).expect("edn runs");
+    let d = SystemDesign::new(Technology::AllSi, Frequency::from_megahertz(500.0))
+        .expect("designs");
+    assert_eq!(d.evaluate(&run), d.evaluate_counts(run.cycles, &run.stats));
+}
+
+#[test]
+fn trajectory_matches_direct_composition() {
+    // CarbonTrajectory must be an exact decomposition: total = embodied +
+    // usage.operational_carbon(power, t) for any t.
+    let run = Workload::fir().execute_with_reps(1).expect("fir runs");
+    let study = ppatc::CaseStudy::paper(&run).expect("case study builds");
+    for tech in Technology::ALL {
+        let traj = study.trajectory(tech);
+        for months in [0.5, 7.0, 13.0, 36.0] {
+            let life = Lifetime::months(months);
+            let direct = study.embodied(tech).per_good_die()
+                + study
+                    .usage()
+                    .operational_carbon(study.evaluation(tech).operational_power, life);
+            assert!(approx_eq(
+                traj.total(life).as_grams(),
+                direct.as_grams(),
+                1e-12
+            ));
+        }
+    }
+}
+
+#[test]
+fn isoline_points_really_equalize_tcdp() {
+    let run = Workload::crc32().execute_with_reps(1).expect("crc32 runs");
+    let study = ppatc::CaseStudy::paper(&run).expect("case study builds");
+    let map = study.tcdp_map(Lifetime::months(24.0));
+    for x in [0.6, 1.0, 1.4, 1.9] {
+        if let Some(y) = map.isoline_y(x, None) {
+            let r = map.ratio(x, y);
+            assert!(approx_eq(r, 1.0, 1e-9), "ratio at isoline ({x}, {y}) = {r}");
+        }
+    }
+}
+
+#[test]
+fn step_matrix_total_equals_flow_length() {
+    for tech in Technology::ALL {
+        let flow = ProcessFlow::for_technology(tech);
+        let total: usize = flow.step_counts().iter().map(|(_, _, n)| n).sum();
+        assert_eq!(total, flow.steps().len(), "{tech}");
+    }
+}
+
+#[test]
+fn custom_stack_flows_compose() {
+    // A stack of two identical halves must cost exactly twice one half
+    // (per-step energies are context-free).
+    use ppatc_pdk::{MetalLayer, StackElement};
+    use ppatc_units::Length;
+    let half = vec![
+        StackElement::Metal(MetalLayer::new("Ma", Length::from_nanometers(36.0))),
+        StackElement::DeviceTier(TierKind::Cnfet),
+    ];
+    let mut double = half.clone();
+    double.extend(half.clone());
+    let model = EmbodiedModel::paper_default();
+    let f1 = ProcessFlow::from_stack("half", &LayerStack::from_elements(half));
+    let f2 = ProcessFlow::from_stack("double", &LayerStack::from_elements(double));
+    let beol1 = f1.beol_epa(model.step_energies());
+    let beol2 = f2.beol_epa(model.step_energies());
+    assert!(approx_eq(beol2.as_joules(), 2.0 * beol1.as_joules(), 1e-12));
+}
+
+#[test]
+fn device_figures_survive_the_full_stack() {
+    // Table I orderings must still be visible at the system level: the M3D
+    // memory (CNFET reads, IGZO retention) must be faster to read and hold
+    // longer than the all-Si memory.
+    let f = Frequency::from_megahertz(500.0);
+    let si = SystemDesign::new(Technology::AllSi, f).expect("all-Si designs");
+    let m3d = SystemDesign::new(Technology::M3dIgzoCnfetSi, f).expect("M3D designs");
+    assert!(m3d.program_mem().read_latency() <= si.program_mem().read_latency());
+    assert!(m3d.program_mem().retention() > si.program_mem().retention() * 1e3);
+}
+
+#[test]
+fn all_metal_pitches_have_wire_models_and_litho_classes() {
+    for tech in Technology::ALL {
+        for metal in tech.stack().metals() {
+            let _ = Lithography::for_pitch(metal.pitch());
+            let wire = ppatc_pdk::wire::WireModel::for_pitch(metal.pitch());
+            assert!(wire.resistance_per_um().as_ohms() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn fig2c_breakdowns_are_internally_additive() {
+    let model = EmbodiedModel::paper_default();
+    for tech in Technology::ALL {
+        for g in grid::FIG2C_GRIDS {
+            let b = model.embodied_per_wafer(tech, g);
+            let sum = b.materials() + b.gases() + b.fab_electricity();
+            assert!(approx_eq(sum.as_grams(), b.total().as_grams(), 1e-12));
+        }
+    }
+}
+
+#[test]
+fn flow_area_breakdown_partitions_all_areas() {
+    let flow = ProcessFlow::for_technology(Technology::M3dIgzoCnfetSi);
+    let model = EmbodiedModel::paper_default();
+    let rows = ppatc_fab::flow::area_breakdown(flow.steps(), model.step_energies());
+    assert_eq!(rows.len(), ProcessArea::ALL.len());
+    let total: f64 = rows.iter().map(|(_, _, e)| e.as_kilowatt_hours()).sum();
+    assert!(approx_eq(
+        total,
+        flow.beol_epa(model.step_energies()).as_kilowatt_hours(),
+        1e-9
+    ));
+}

@@ -1,0 +1,136 @@
+//! End-to-end reproduction test: from assembly-level workload simulation to
+//! the paper's headline carbon-efficiency claim, exercising every crate in
+//! the workspace in one flow.
+
+use ppatc::{CaseStudy, Lifetime, Technology};
+use ppatc_units::approx_eq;
+use ppatc_workloads::{Workload, WorkloadRun};
+use std::sync::OnceLock;
+
+fn full_matmul() -> &'static WorkloadRun {
+    static RUN: OnceLock<WorkloadRun> = OnceLock::new();
+    RUN.get_or_init(|| Workload::matmul_int().execute().expect("matmul-int executes"))
+}
+
+fn study() -> &'static CaseStudy {
+    static STUDY: OnceLock<CaseStudy> = OnceLock::new();
+    STUDY.get_or_init(|| CaseStudy::paper(full_matmul()).expect("case study builds"))
+}
+
+#[test]
+fn headline_claim_m3d_is_more_carbon_efficient_at_24_months() {
+    let ratio = study().tcdp_ratio(Lifetime::months(24.0));
+    let benefit = 1.0 / ratio;
+    assert!(
+        approx_eq(benefit, 1.02, 0.015),
+        "24-month M3D tCDP benefit is {benefit:.3} (paper: 1.02x)"
+    );
+}
+
+#[test]
+fn workload_cycle_count_matches_table2() {
+    assert!(approx_eq(
+        full_matmul().cycles as f64,
+        20_047_348.0,
+        0.01
+    ));
+}
+
+#[test]
+fn embodied_carbon_ranking_holds_on_every_grid() {
+    // The M3D process always costs more carbon to *fabricate* — the win
+    // must come from use-phase energy. True per wafer on any grid.
+    use ppatc_fab::{grid, EmbodiedModel};
+    let model = EmbodiedModel::paper_default();
+    for g in grid::FIG2C_GRIDS {
+        let si = model.embodied_per_wafer(Technology::AllSi, g).total();
+        let m3d = model.embodied_per_wafer(Technology::M3dIgzoCnfetSi, g).total();
+        assert!(m3d > si, "{}", g.name());
+    }
+}
+
+#[test]
+fn operational_power_ordering_and_magnitude() {
+    let s = study();
+    let p_si = s.evaluation(Technology::AllSi).operational_power;
+    let p_m3d = s.evaluation(Technology::M3dIgzoCnfetSi).operational_power;
+    assert!(p_m3d < p_si, "M3D must draw less power");
+    // ~10 mW class embedded system.
+    assert!(p_si.as_milliwatts() < 15.0 && p_si.as_milliwatts() > 5.0);
+}
+
+#[test]
+fn both_designs_satisfy_workload_retention() {
+    let s = study();
+    for tech in Technology::ALL {
+        let eval = s.evaluation(tech);
+        assert!(eval.retention_satisfied, "{tech} fails retention");
+        // matmul-int holds data nearly the whole 40 ms run.
+        assert!(eval.required_retention.as_seconds() > 0.01);
+    }
+}
+
+#[test]
+fn all_workloads_flow_through_the_pipeline() {
+    for w in Workload::suite() {
+        let run = w.execute_with_reps(1).expect("kernel runs");
+        let study = CaseStudy::paper(&run).expect("case study builds");
+        let ratio = study.tcdp_ratio(Lifetime::months(24.0));
+        assert!(
+            ratio > 0.8 && ratio < 1.2,
+            "{}: implausible tCDP ratio {ratio}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn per_workload_memory_energy_tracks_access_rate() {
+    // The denser a workload's memory traffic, the higher its average
+    // memory energy per cycle.
+    let s = study();
+    let si = s.design(Technology::AllSi);
+    let mut rates_and_energies: Vec<(f64, f64)> = Vec::new();
+    for w in Workload::suite() {
+        let run = w.execute_with_reps(1).expect("kernel runs");
+        let accesses = run.stats.instruction_fetches
+            + run.stats.program_reads
+            + run.stats.data_reads
+            + run.stats.data_writes;
+        let rate = accesses as f64 / run.cycles as f64;
+        let e = si.evaluate(&run).mem_energy_per_cycle.as_picojoules();
+        rates_and_energies.push((rate, e));
+    }
+    rates_and_energies.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    for pair in rates_and_energies.windows(2) {
+        assert!(pair[1].1 >= pair[0].1, "energy must track access rate: {rates_and_energies:?}");
+    }
+}
+
+#[test]
+fn fig5_shape_is_reproduced() {
+    let (si, m3d) = study().fig5_series(24);
+    // Month 1: M3D above (embodied-dominated). Month 24: M3D below.
+    assert!(m3d[0].total > si[0].total);
+    assert!(m3d[23].total < si[23].total);
+    // Exactly one sign change along the window.
+    let mut flips = 0;
+    for k in 1..24 {
+        let before = m3d[k - 1].total > si[k - 1].total;
+        let after = m3d[k].total > si[k].total;
+        if before != after {
+            flips += 1;
+        }
+    }
+    assert_eq!(flips, 1, "total-carbon curves must cross exactly once");
+}
+
+#[test]
+fn checksum_golden_references_guard_the_simulator() {
+    // Any ISS regression breaks a golden checksum long before it corrupts
+    // carbon numbers: verify all six.
+    for w in Workload::suite() {
+        let run = w.execute_with_reps(1).expect("kernel runs");
+        assert_eq!(run.checksum, w.expected_checksum(), "{}", w.name());
+    }
+}

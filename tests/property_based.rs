@@ -1,0 +1,209 @@
+//! Property-based tests (proptest) on the core invariants of the model
+//! stack.
+
+use ppatc::{CarbonTrajectory, Lifetime, TcdpMap, UsagePattern};
+use ppatc_device::{si, SiVtFlavor};
+use ppatc_m0::{Cpu, Instruction, Reg};
+use ppatc_units::*;
+use ppatc_wafer::{DieSpec, WaferSpec, YieldModel};
+use proptest::prelude::*;
+
+proptest! {
+    // ---- units ----
+
+    #[test]
+    fn unit_arithmetic_is_consistent(a in 1e-6..1e6f64, b in 1e-6..1e6f64) {
+        // P·t/t = P, E/t·t = E, ratios are dimensionless inverses.
+        let p = Power::from_watts(a);
+        let t = Time::from_seconds(b);
+        let e = p * t;
+        prop_assert!(approx_eq((e / t).as_watts(), a, 1e-12));
+        prop_assert!(approx_eq((e / p).as_seconds(), b, 1e-12));
+    }
+
+    #[test]
+    fn carbon_intensity_round_trip(g_per_kwh in 0.0..5000.0f64, kwh in 0.0..1e6f64) {
+        let ci = CarbonIntensity::from_g_per_kwh(g_per_kwh);
+        let c = ci * Energy::from_kilowatt_hours(kwh);
+        prop_assert!(approx_eq(c.as_grams(), g_per_kwh * kwh, 1e-9));
+    }
+
+    #[test]
+    fn month_conversions_invert(months in 0.0..1200.0f64) {
+        prop_assert!(approx_eq(Time::from_months(months).as_months(), months, 1e-12));
+    }
+
+    // ---- devices ----
+
+    #[test]
+    fn drain_current_is_monotone_in_vgs(
+        v1 in 0.0..1.3f64,
+        dv in 0.001..0.5f64,
+        vds in 0.05..0.7f64,
+    ) {
+        let model = si::nfet(SiVtFlavor::Rvt);
+        let lo = model.current_per_width(v1, vds);
+        let hi = model.current_per_width(v1 + dv, vds);
+        prop_assert!(hi > lo, "I(vgs) must increase: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn drain_current_antisymmetric_under_terminal_swap(
+        vgs in 0.0..1.0f64,
+        vds in 0.0..0.7f64,
+    ) {
+        // I(vgs, vds) = -I(vgs - vds, -vds): exchanging source and drain
+        // flips the sign.
+        let model = si::nfet(SiVtFlavor::Lvt);
+        let fwd = model.current_per_width(vgs, vds);
+        let rev = model.current_per_width(vgs - vds, -vds);
+        prop_assert!(approx_eq(fwd, -rev, 1e-9));
+    }
+
+    // ---- wafer / yield ----
+
+    #[test]
+    fn dies_per_wafer_decreases_with_die_size(
+        w_um in 100.0..2000.0f64,
+        h_um in 100.0..2000.0f64,
+        grow in 1.01..3.0f64,
+    ) {
+        let wafer = WaferSpec::paper_default();
+        let small = DieSpec::new(Length::from_micrometers(w_um), Length::from_micrometers(h_um));
+        let big = DieSpec::new(
+            Length::from_micrometers(w_um * grow),
+            Length::from_micrometers(h_um * grow),
+        );
+        prop_assert!(wafer.dies_per_wafer(&big) <= wafer.dies_per_wafer(&small));
+    }
+
+    #[test]
+    fn yield_models_stay_in_unit_interval(
+        d0 in 0.0..10.0f64,
+        alpha in 0.1..100.0f64,
+        area_mm2 in 0.001..500.0f64,
+    ) {
+        let a = Area::from_square_millimeters(area_mm2);
+        for y in [
+            YieldModel::Poisson { d0_per_cm2: d0 }.die_yield(a),
+            YieldModel::Murphy { d0_per_cm2: d0 }.die_yield(a),
+            YieldModel::NegativeBinomial { d0_per_cm2: d0, alpha }.die_yield(a),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&y), "yield {y} out of range");
+        }
+    }
+
+    #[test]
+    fn murphy_bounds_poisson_from_above(
+        d0 in 0.01..5.0f64,
+        area_mm2 in 0.1..200.0f64,
+    ) {
+        let a = Area::from_square_millimeters(area_mm2);
+        let poisson = YieldModel::Poisson { d0_per_cm2: d0 }.die_yield(a);
+        let murphy = YieldModel::Murphy { d0_per_cm2: d0 }.die_yield(a);
+        prop_assert!(murphy >= poisson - 1e-12);
+    }
+
+    // ---- carbon trajectories ----
+
+    #[test]
+    fn total_carbon_is_monotone_in_lifetime(
+        embodied_g in 0.1..100.0f64,
+        power_mw in 0.01..1000.0f64,
+        m1 in 0.1..600.0f64,
+        dm in 0.1..600.0f64,
+    ) {
+        let t = CarbonTrajectory::new(
+            CarbonMass::from_grams(embodied_g),
+            Power::from_milliwatts(power_mw),
+            UsagePattern::paper_default(),
+            Time::from_seconds(0.04),
+        );
+        let a = t.total(Lifetime::months(m1));
+        let b = t.total(Lifetime::months(m1 + dm));
+        prop_assert!(b > a);
+    }
+
+    #[test]
+    fn embodied_dominance_crossover_is_exact(
+        embodied_g in 0.1..100.0f64,
+        power_mw in 0.1..1000.0f64,
+    ) {
+        let t = CarbonTrajectory::new(
+            CarbonMass::from_grams(embodied_g),
+            Power::from_milliwatts(power_mw),
+            UsagePattern::paper_default(),
+            Time::from_seconds(0.04),
+        );
+        let cross = t.embodied_dominance_crossover().expect("power > 0");
+        prop_assert!(approx_eq(
+            t.operational(cross).as_grams(),
+            t.embodied().as_grams(),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn isoline_equalizes_random_design_pairs(
+        e_si in 0.5..50.0f64,
+        e_m3d in 0.5..50.0f64,
+        p_si in 1.0..100.0f64,
+        p_m3d in 1.0..100.0f64,
+        x in 0.2..3.0f64,
+        months in 1.0..60.0f64,
+    ) {
+        let usage = UsagePattern::paper_default();
+        let exec = Time::from_seconds(0.04);
+        let si = CarbonTrajectory::new(
+            CarbonMass::from_grams(e_si), Power::from_milliwatts(p_si), usage, exec);
+        let m3d = CarbonTrajectory::new(
+            CarbonMass::from_grams(e_m3d), Power::from_milliwatts(p_m3d), usage, exec);
+        let map = TcdpMap::new(si, m3d, Lifetime::months(months), 0.5);
+        if let Some(y) = map.isoline_y(x, None) {
+            prop_assert!(approx_eq(map.ratio(x, y), 1.0, 1e-9));
+        }
+    }
+
+    // ---- the instruction set ----
+
+    #[test]
+    fn movs_adds_sequences_compute_correct_sums(
+        start in 0u8..200,
+        add in prop::collection::vec(0u8..50, 1..20),
+    ) {
+        // Build a straight-line program with the typed encoder, run it, and
+        // check the architectural result against u32 arithmetic.
+        let mut halves: Vec<u16> = Vec::new();
+        let mut push = |i: Instruction| {
+            halves.extend_from_slice(i.encode().halfwords());
+        };
+        push(Instruction::MovImm { rd: Reg(0), imm8: start });
+        let mut expected = u32::from(start);
+        for &a in &add {
+            push(Instruction::AddImm8 { rdn: Reg(0), imm8: a });
+            expected = expected.wrapping_add(u32::from(a));
+        }
+        push(Instruction::Bkpt { imm8: 0 });
+        let image: Vec<u8> = halves.iter().flat_map(|h| h.to_le_bytes()).collect();
+        let mut cpu = Cpu::new(&image);
+        cpu.run(100_000).expect("straight-line program halts");
+        prop_assert_eq!(cpu.reg(0), expected);
+        // 1 cycle per instruction (+1 for bkpt).
+        prop_assert_eq!(cpu.cycles(), add.len() as u64 + 2);
+    }
+
+    #[test]
+    fn memory_roundtrip_random_words(words in prop::collection::vec(any::<u32>(), 1..32)) {
+        use ppatc_m0::{MemorySystem, DATA_BASE};
+        let mut mem = MemorySystem::new(&[]);
+        for (i, &w) in words.iter().enumerate() {
+            mem.write_u32(DATA_BASE + 4 * i as u32, w, i as u64).expect("in range");
+        }
+        for (i, &w) in words.iter().enumerate() {
+            let got = mem.read_u32(DATA_BASE + 4 * i as u32, 1000).expect("in range");
+            prop_assert_eq!(got, w);
+        }
+        prop_assert_eq!(mem.stats().data_writes, words.len() as u64);
+        prop_assert_eq!(mem.stats().data_reads, words.len() as u64);
+    }
+}
