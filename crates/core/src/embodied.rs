@@ -1,5 +1,6 @@
 //! Per-good-die embodied carbon: Eq. 2 (wafer) through Eq. 5 (good die).
 
+use crate::error::{check, ValidationError};
 use crate::system::SystemDesign;
 use ppatc_fab::{EmbodiedModel, Grid};
 use ppatc_units::CarbonMass;
@@ -51,16 +52,26 @@ impl EmbodiedPipeline {
     }
 
     /// Scales the final embodied carbon by `factor` — the x-axis of the
-    /// Fig. 6 maps (uncertainty in C_embodied).
+    /// Fig. 6 maps (uncertainty in C_embodied). Rejects non-positive or
+    /// non-finite factors.
+    pub fn try_with_embodied_scale(mut self, factor: f64) -> Result<Self, ValidationError> {
+        check::positive("embodied_scale", factor)?;
+        self.embodied_scale = factor;
+        Ok(self)
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`EmbodiedPipeline::try_with_embodied_scale`].
     ///
     /// # Panics
     ///
-    /// Panics if `factor` is not positive.
+    /// Panics if `factor` is not finite and positive.
     #[must_use]
-    pub fn with_embodied_scale(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0, "embodied scale must be positive");
-        self.embodied_scale = factor;
-        self
+    pub fn with_embodied_scale(self, factor: f64) -> Self {
+        match self.try_with_embodied_scale(factor) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Fabrication grid in use.

@@ -1,0 +1,259 @@
+//! Unified error taxonomy for the evaluation pipeline.
+//!
+//! Every fallible step of the five-step PPAtC flow — SPICE characterization,
+//! eDRAM design, logic synthesis, workload simulation, system composition,
+//! and the statistical analyses on top — reports failure through its own
+//! crate-local error type. [`PpatcError`] wraps all of them so pipeline-level
+//! code (case studies, optimizers, Monte-Carlo sweeps, CLI tools) can return
+//! one `Result` type, match on the cause, and walk `Error::source` chains
+//! down to the physical detail.
+//!
+//! Invalid *inputs* (NaN lifetimes, negative powers, yields above 1, ...)
+//! are reported as structured [`ValidationError`]s carrying the parameter
+//! name, the offending value, and the allowed range — never as panics.
+
+use crate::system::DesignError;
+use ppatc_edram::EdramError;
+use ppatc_pdk::synthesis::TimingError;
+use ppatc_spice::SpiceError;
+use ppatc_workloads::WorkloadError;
+
+/// A structured report of an invalid model input.
+///
+/// Carries enough to render a precise message (`invalid 'yield': 1.7 is not
+/// in (0, 1]`) and for callers to react programmatically to the field name
+/// or offending value.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub struct ValidationError {
+    /// Name of the offending parameter, e.g. `"m3d_yield"`.
+    pub field: &'static str,
+    /// The value that was rejected.
+    pub value: f64,
+    /// Statement of the allowed range, e.g. `"in (0, 1]"` or
+    /// `"finite and > 0"`.
+    pub requirement: &'static str,
+}
+
+impl ValidationError {
+    /// Creates a validation error for `field` with the given `value` and
+    /// `requirement` description.
+    pub fn new(field: &'static str, value: f64, requirement: &'static str) -> Self {
+        Self { field, value, requirement }
+    }
+}
+
+impl core::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "invalid '{}': {} is not {}",
+            self.field, self.value, self.requirement
+        )
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Input-validation helpers shared by the model constructors.
+///
+/// Each returns the value on success so checks compose as expressions; on
+/// failure they build the [`ValidationError`] with the caller's field name.
+pub mod check {
+    use super::ValidationError;
+
+    /// Requires `value` to be finite (neither NaN nor ±∞).
+    pub fn finite(field: &'static str, value: f64) -> Result<f64, ValidationError> {
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(ValidationError::new(field, value, "finite"))
+        }
+    }
+
+    /// Requires `value` to be finite and strictly positive.
+    pub fn positive(field: &'static str, value: f64) -> Result<f64, ValidationError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(value)
+        } else {
+            Err(ValidationError::new(field, value, "finite and > 0"))
+        }
+    }
+
+    /// Requires `value` to be finite and non-negative.
+    pub fn non_negative(field: &'static str, value: f64) -> Result<f64, ValidationError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(value)
+        } else {
+            Err(ValidationError::new(field, value, "finite and >= 0"))
+        }
+    }
+
+    /// Requires `lo < value <= hi` (the shape of a yield or duty-cycle
+    /// bound). The `requirement` string should spell the range, e.g.
+    /// `"in (0, 1]"`.
+    pub fn in_open_closed(
+        field: &'static str,
+        value: f64,
+        lo: f64,
+        hi: f64,
+        requirement: &'static str,
+    ) -> Result<f64, ValidationError> {
+        if value.is_finite() && value > lo && value <= hi {
+            Ok(value)
+        } else {
+            Err(ValidationError::new(field, value, requirement))
+        }
+    }
+}
+
+/// The unified error type of the PPAtC evaluation pipeline.
+///
+/// Wraps every crate-local error the five-step flow can produce, plus the
+/// analysis-level failures (invalid inputs, exceeded Monte-Carlo failure
+/// budgets). `Error::source` exposes the wrapped cause where one exists.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum PpatcError {
+    /// System composition failed (timing, memory speed, eDRAM, workload).
+    Design(DesignError),
+    /// A SPICE analysis failed (singular matrix, non-convergence).
+    Spice(SpiceError),
+    /// eDRAM macro characterization failed.
+    Edram(EdramError),
+    /// Workload assembly, execution, or checksum verification failed.
+    Workload(WorkloadError),
+    /// Logic synthesis could not close timing.
+    Timing(TimingError),
+    /// A model input was rejected before evaluation started.
+    Validation(ValidationError),
+    /// A Monte-Carlo sweep discarded more samples than its failure budget
+    /// allows.
+    FailureBudgetExceeded {
+        /// Number of samples that failed to evaluate.
+        failed: usize,
+        /// Total number of samples drawn.
+        samples: usize,
+        /// The configured maximum tolerated failed fraction.
+        budget: f64,
+    },
+}
+
+impl core::fmt::Display for PpatcError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Design(e) => write!(f, "design error: {e}"),
+            Self::Spice(e) => write!(f, "spice error: {e}"),
+            Self::Edram(e) => write!(f, "edram error: {e}"),
+            Self::Workload(e) => write!(f, "workload error: {e}"),
+            Self::Timing(e) => write!(f, "timing error: {e}"),
+            Self::Validation(e) => write!(f, "{e}"),
+            Self::FailureBudgetExceeded { failed, samples, budget } => write!(
+                f,
+                "{failed} of {samples} Monte-Carlo samples failed, exceeding the \
+                 failure budget of {:.1}%",
+                budget * 100.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PpatcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Design(e) => Some(e),
+            Self::Spice(e) => Some(e),
+            Self::Edram(e) => Some(e),
+            Self::Workload(e) => Some(e),
+            Self::Timing(e) => Some(e),
+            Self::Validation(e) => Some(e),
+            Self::FailureBudgetExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<DesignError> for PpatcError {
+    fn from(e: DesignError) -> Self {
+        Self::Design(e)
+    }
+}
+
+impl From<SpiceError> for PpatcError {
+    fn from(e: SpiceError) -> Self {
+        Self::Spice(e)
+    }
+}
+
+impl From<EdramError> for PpatcError {
+    fn from(e: EdramError) -> Self {
+        Self::Edram(e)
+    }
+}
+
+impl From<WorkloadError> for PpatcError {
+    fn from(e: WorkloadError) -> Self {
+        Self::Workload(e)
+    }
+}
+
+impl From<TimingError> for PpatcError {
+    fn from(e: TimingError) -> Self {
+        Self::Timing(e)
+    }
+}
+
+impl From<ValidationError> for PpatcError {
+    fn from(e: ValidationError) -> Self {
+        Self::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn validation_error_renders_field_value_and_range() {
+        let e = ValidationError::new("m3d_yield", 1.7, "in (0, 1]");
+        let text = e.to_string();
+        assert!(text.contains("m3d_yield"), "{text}");
+        assert!(text.contains("1.7"), "{text}");
+        assert!(text.contains("(0, 1]"), "{text}");
+    }
+
+    #[test]
+    fn check_helpers_accept_and_reject() {
+        assert_eq!(check::finite("x", 1.0), Ok(1.0));
+        assert!(check::finite("x", f64::NAN).is_err());
+        assert!(check::finite("x", f64::INFINITY).is_err());
+        assert_eq!(check::positive("x", 0.5), Ok(0.5));
+        assert!(check::positive("x", 0.0).is_err());
+        assert!(check::positive("x", -1.0).is_err());
+        assert!(check::positive("x", f64::NAN).is_err());
+        assert_eq!(check::non_negative("x", 0.0), Ok(0.0));
+        assert!(check::non_negative("x", -1e-300).is_err());
+        assert_eq!(check::in_open_closed("y", 1.0, 0.0, 1.0, "in (0, 1]"), Ok(1.0));
+        assert!(check::in_open_closed("y", 0.0, 0.0, 1.0, "in (0, 1]").is_err());
+        assert!(check::in_open_closed("y", f64::NAN, 0.0, 1.0, "in (0, 1]").is_err());
+    }
+
+    #[test]
+    fn source_chain_reaches_the_wrapped_error() {
+        let v = ValidationError::new("n", 0.0, "finite and > 0");
+        let e = PpatcError::from(v.clone());
+        let src = e.source().expect("validation has a source");
+        assert_eq!(src.to_string(), v.to_string());
+        assert!(PpatcError::FailureBudgetExceeded { failed: 3, samples: 10, budget: 0.1 }
+            .source()
+            .is_none());
+    }
+
+    #[test]
+    fn display_covers_budget_variant() {
+        let e = PpatcError::FailureBudgetExceeded { failed: 7, samples: 100, budget: 0.05 };
+        let text = e.to_string();
+        assert!(text.contains("7 of 100"), "{text}");
+        assert!(text.contains("5.0%"), "{text}");
+    }
+}

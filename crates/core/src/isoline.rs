@@ -15,6 +15,7 @@
 //! Uncertainty in lifetime, CI_use, or M3D yield (Fig. 6b) moves the
 //! isoline; [`TcdpMap::isoline_with`] evaluates those perturbed variants.
 
+use crate::error::{check, ValidationError};
 use crate::lifetime::{CarbonTrajectory, Lifetime};
 
 /// Uncertainty knobs of Fig. 6b.
@@ -54,20 +55,35 @@ impl TcdpMap {
     /// `m3d_nominal_yield` is the yield already baked into the M3D
     /// trajectory's embodied carbon (needed for yield perturbations).
     ///
+    /// Rejects yields outside `(0, 1]` (including NaN) and non-finite or
+    /// non-positive lifetimes with a structured [`ValidationError`].
+    pub fn try_new(
+        si: CarbonTrajectory,
+        m3d: CarbonTrajectory,
+        lifetime: Lifetime,
+        m3d_nominal_yield: f64,
+    ) -> Result<Self, ValidationError> {
+        check::in_open_closed("m3d_nominal_yield", m3d_nominal_yield, 0.0, 1.0, "in (0, 1]")?;
+        check::positive("lifetime", lifetime.as_time().as_months())?;
+        Ok(Self { si, m3d, lifetime, m3d_nominal_yield })
+    }
+
+    /// Panicking convenience wrapper around [`TcdpMap::try_new`].
+    ///
     /// # Panics
     ///
-    /// Panics if `m3d_nominal_yield` is outside `(0, 1]`.
+    /// Panics if `m3d_nominal_yield` is outside `(0, 1]` or the lifetime is
+    /// not a positive finite duration.
     pub fn new(
         si: CarbonTrajectory,
         m3d: CarbonTrajectory,
         lifetime: Lifetime,
         m3d_nominal_yield: f64,
     ) -> Self {
-        assert!(
-            m3d_nominal_yield > 0.0 && m3d_nominal_yield <= 1.0,
-            "yield must be in (0, 1]"
-        );
-        Self { si, m3d, lifetime, m3d_nominal_yield }
+        match Self::try_new(si, m3d, lifetime, m3d_nominal_yield) {
+            Ok(map) => map,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Evaluation lifetime of the map.
@@ -81,39 +97,80 @@ impl TcdpMap {
         self.ratio_with(embodied_scale, eop_scale, None)
     }
 
-    /// tCDP ratio under an optional Fig. 6b perturbation.
+    /// tCDP ratio under an optional Fig. 6b perturbation, rejecting
+    /// non-positive or non-finite scale factors and invalid perturbations
+    /// with a structured [`ValidationError`].
+    pub fn try_ratio_with(
+        &self,
+        embodied_scale: f64,
+        eop_scale: f64,
+        perturbation: Option<Perturbation>,
+    ) -> Result<f64, ValidationError> {
+        check::positive("embodied_scale", embodied_scale)?;
+        check::positive("eop_scale", eop_scale)?;
+        let (life, ci_scale, yield_scale) = self.apply(perturbation)?;
+        let e_si = self.si.embodied().as_grams();
+        let o_si = self.si.operational(life).as_grams() * ci_scale;
+        let e_m3d = self.m3d.embodied().as_grams() * yield_scale * embodied_scale;
+        let o_m3d = self.m3d.operational(life).as_grams() * ci_scale * eop_scale;
+        Ok((e_m3d + o_m3d) / (e_si + o_si))
+    }
+
+    /// Panicking convenience wrapper around [`TcdpMap::try_ratio_with`].
     ///
     /// # Panics
     ///
-    /// Panics if a scale factor or yield perturbation is non-positive.
+    /// Panics if a scale factor or yield perturbation is non-positive or
+    /// non-finite.
     pub fn ratio_with(
         &self,
         embodied_scale: f64,
         eop_scale: f64,
         perturbation: Option<Perturbation>,
     ) -> f64 {
-        assert!(embodied_scale > 0.0 && eop_scale > 0.0, "scales must be positive");
-        let (life, ci_scale, yield_scale) = self.apply(perturbation);
-        let e_si = self.si.embodied().as_grams();
-        let o_si = self.si.operational(life).as_grams() * ci_scale;
-        let e_m3d = self.m3d.embodied().as_grams() * yield_scale * embodied_scale;
-        let o_m3d = self.m3d.operational(life).as_grams() * ci_scale * eop_scale;
-        (e_m3d + o_m3d) / (e_si + o_si)
+        match self.try_ratio_with(embodied_scale, eop_scale, perturbation) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The y value where the isoline crosses a given x (closed form), under
-    /// an optional perturbation.
-    pub fn isoline_y(&self, embodied_scale: f64, perturbation: Option<Perturbation>) -> Option<f64> {
-        let (life, ci_scale, yield_scale) = self.apply(perturbation);
+    /// an optional perturbation. `Ok(None)` means the all-Si design wins at
+    /// every positive operational scale for this x; `Err` reports an
+    /// invalid perturbation.
+    pub fn try_isoline_y(
+        &self,
+        embodied_scale: f64,
+        perturbation: Option<Perturbation>,
+    ) -> Result<Option<f64>, ValidationError> {
+        check::finite("embodied_scale", embodied_scale)?;
+        let (life, ci_scale, yield_scale) = self.apply(perturbation)?;
         let tc_si = self.si.embodied().as_grams()
             + self.si.operational(life).as_grams() * ci_scale;
         let e_m3d = self.m3d.embodied().as_grams() * yield_scale * embodied_scale;
         let o_m3d = self.m3d.operational(life).as_grams() * ci_scale;
         if o_m3d <= 0.0 {
-            return None;
+            return Ok(None);
         }
         let y = (tc_si - e_m3d) / o_m3d;
-        (y > 0.0).then_some(y)
+        Ok((y > 0.0).then_some(y))
+    }
+
+    /// Panicking convenience wrapper around [`TcdpMap::try_isoline_y`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `embodied_scale` is non-finite or the perturbation is
+    /// invalid.
+    pub fn isoline_y(
+        &self,
+        embodied_scale: f64,
+        perturbation: Option<Perturbation>,
+    ) -> Option<f64> {
+        match self.try_isoline_y(embodied_scale, perturbation) {
+            Ok(y) => y,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Samples the nominal isoline at the given x values.
@@ -132,20 +189,29 @@ impl TcdpMap {
     }
 
     /// Rasterizes the ratio colormap over `[x0, x1] × [y0, y1]` as
-    /// `(x, y, ratio)` triples, row-major in y.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either resolution is below 2 or a range is empty.
-    pub fn raster(
+    /// `(x, y, ratio)` triples, row-major in y. Rejects resolutions below
+    /// 2×2 and empty or non-finite ranges.
+    pub fn try_raster(
         &self,
         (x0, x1): (f64, f64),
         (y0, y1): (f64, f64),
         nx: usize,
         ny: usize,
-    ) -> Vec<(f64, f64, f64)> {
-        assert!(nx >= 2 && ny >= 2, "raster needs at least 2×2 samples");
-        assert!(x1 > x0 && y1 > y0, "raster ranges must be non-empty");
+    ) -> Result<Vec<(f64, f64, f64)>, ValidationError> {
+        if nx < 2 {
+            return Err(ValidationError::new("nx", nx as f64, ">= 2"));
+        }
+        if ny < 2 {
+            return Err(ValidationError::new("ny", ny as f64, ">= 2"));
+        }
+        check::positive("x0", x0)?;
+        check::positive("y0", y0)?;
+        if !(x1.is_finite() && x1 > x0) {
+            return Err(ValidationError::new("x1", x1, "finite and > x0"));
+        }
+        if !(y1.is_finite() && y1 > y0) {
+            return Err(ValidationError::new("y1", y1, "finite and > y0"));
+        }
         let mut out = Vec::with_capacity(nx * ny);
         for j in 0..ny {
             let y = y0 + (y1 - y0) * (j as f64) / ((ny - 1) as f64);
@@ -154,7 +220,26 @@ impl TcdpMap {
                 out.push((x, y, self.ratio(x, y)));
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Panicking convenience wrapper around [`TcdpMap::try_raster`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either resolution is below 2 or a range is empty or
+    /// non-finite.
+    pub fn raster(
+        &self,
+        x_range: (f64, f64),
+        y_range: (f64, f64),
+        nx: usize,
+        ny: usize,
+    ) -> Vec<(f64, f64, f64)> {
+        match self.try_raster(x_range, y_range, nx, ny) {
+            Ok(grid) => grid,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// tCDP ratio under a jointly sampled uncertainty point (see
@@ -170,21 +255,27 @@ impl TcdpMap {
     }
 
     /// Resolves a perturbation into (lifetime, CI scale, embodied-yield
-    /// scale).
-    fn apply(&self, perturbation: Option<Perturbation>) -> (Lifetime, f64, f64) {
-        match perturbation {
+    /// scale), rejecting non-finite or out-of-range knob values.
+    fn apply(
+        &self,
+        perturbation: Option<Perturbation>,
+    ) -> Result<(Lifetime, f64, f64), ValidationError> {
+        Ok(match perturbation {
             None => (self.lifetime, 1.0, 1.0),
-            Some(Perturbation::LifetimeDeltaMonths(dm)) => (self.lifetime.shifted(dm), 1.0, 1.0),
+            Some(Perturbation::LifetimeDeltaMonths(dm)) => {
+                check::finite("lifetime_delta_months", dm)?;
+                (self.lifetime.shifted(dm), 1.0, 1.0)
+            }
             Some(Perturbation::CiUseScale(s)) => {
-                assert!(s > 0.0, "CI scale must be positive");
+                check::positive("ci_use_scale", s)?;
                 (self.lifetime, s, 1.0)
             }
             Some(Perturbation::M3dYield(y)) => {
-                assert!(y > 0.0 && y <= 1.0, "yield must be in (0, 1]");
+                check::in_open_closed("m3d_yield", y, 0.0, 1.0, "in (0, 1]")?;
                 // Embodied per good die scales inversely with yield.
                 (self.lifetime, 1.0, self.m3d_nominal_yield / y)
             }
-        }
+        })
     }
 }
 
@@ -283,6 +374,39 @@ mod tests {
         if let Some(w) = worse {
             assert!(w < nominal);
         }
+    }
+
+    #[test]
+    fn invalid_inputs_are_structured_errors() {
+        let m = map();
+        let exec = Time::from_seconds(0.04);
+        let usage = UsagePattern::paper_default();
+        let t = |g: f64, mw: f64| {
+            CarbonTrajectory::new(CarbonMass::from_grams(g), Power::from_milliwatts(mw), usage, exec)
+        };
+        let e = TcdpMap::try_new(t(3.0, 9.0), t(3.5, 8.0), Lifetime::months(24.0), 1.7)
+            .expect_err("yield above 1 rejected");
+        assert_eq!(e.field, "m3d_nominal_yield");
+        assert_eq!(e.value, 1.7);
+        let e = TcdpMap::try_new(t(3.0, 9.0), t(3.5, 8.0), Lifetime::months(24.0), f64::NAN)
+            .expect_err("NaN yield rejected");
+        assert_eq!(e.field, "m3d_nominal_yield");
+        let e = m.try_ratio_with(f64::NAN, 1.0, None).expect_err("NaN scale rejected");
+        assert_eq!(e.field, "embodied_scale");
+        let e = m.try_ratio_with(1.0, -2.0, None).expect_err("negative scale rejected");
+        assert_eq!(e.field, "eop_scale");
+        let e = m
+            .try_ratio_with(1.0, 1.0, Some(Perturbation::M3dYield(0.0)))
+            .expect_err("zero yield perturbation rejected");
+        assert_eq!(e.field, "m3d_yield");
+        let e = m
+            .try_isoline_y(1.0, Some(Perturbation::CiUseScale(f64::INFINITY)))
+            .expect_err("infinite CI scale rejected");
+        assert_eq!(e.field, "ci_use_scale");
+        let e = m.try_raster((0.5, 3.0), (0.25, 1.5), 1, 5).expect_err("1-wide raster rejected");
+        assert_eq!(e.field, "nx");
+        let e = m.try_raster((3.0, 0.5), (0.25, 1.5), 6, 5).expect_err("empty range rejected");
+        assert_eq!(e.field, "x1");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod embodied;
+pub mod error;
 mod isoline;
 mod lifetime;
 pub mod mix;
@@ -52,6 +53,7 @@ mod system;
 mod usage;
 
 pub use embodied::{EmbodiedPerDie, EmbodiedPipeline};
+pub use error::{PpatcError, ValidationError};
 pub use isoline::{IsolinePoint, Perturbation, TcdpMap};
 pub use lifetime::{CarbonTrajectory, Lifetime, TrajectoryPoint};
 pub use scenario::{CaseStudy, PpatcSummary};

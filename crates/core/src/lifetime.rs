@@ -2,6 +2,7 @@
 
 use ppatc_units::{CarbonDelay, CarbonMass, Power, Time};
 
+use crate::error::{check, ValidationError};
 use crate::usage::UsagePattern;
 
 /// A system lifetime — months of calendar deployment.
@@ -12,9 +13,23 @@ use crate::usage::UsagePattern;
 pub struct Lifetime(Time);
 
 impl Lifetime {
-    /// A lifetime in (mean Gregorian) months.
+    /// A lifetime in (mean Gregorian) months. Rejects negative or
+    /// non-finite durations.
+    pub fn try_months(months: f64) -> Result<Self, ValidationError> {
+        check::non_negative("lifetime_months", months)?;
+        Ok(Self(Time::from_months(months)))
+    }
+
+    /// Panicking convenience wrapper around [`Lifetime::try_months`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `months` is negative or non-finite.
     pub fn months(months: f64) -> Self {
-        Self(Time::from_months(months))
+        match Self::try_months(months) {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The lifetime as a plain duration.
@@ -65,29 +80,68 @@ pub struct CarbonTrajectory {
 impl CarbonTrajectory {
     /// Builds a trajectory from a per-good-die embodied footprint, the
     /// Eq. 6 busy power, a usage pattern, and the application's execution
-    /// time (for tCDP).
+    /// time (for tCDP). Rejects negative or non-finite carbon, power, and
+    /// execution-time values.
+    pub fn try_new(
+        embodied: CarbonMass,
+        operational_power: Power,
+        usage: UsagePattern,
+        execution_time: Time,
+    ) -> Result<Self, ValidationError> {
+        check::non_negative("embodied_carbon", embodied.as_grams())?;
+        check::non_negative("operational_power", operational_power.as_watts())?;
+        check::non_negative("execution_time", execution_time.as_seconds())?;
+        Ok(Self {
+            embodied,
+            operational_power,
+            standby_power: Power::zero(),
+            usage,
+            execution_time,
+        })
+    }
+
+    /// Panicking convenience wrapper around [`CarbonTrajectory::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embodied carbon, power, or execution time is negative
+    /// or non-finite.
     pub fn new(
         embodied: CarbonMass,
         operational_power: Power,
         usage: UsagePattern,
         execution_time: Time,
     ) -> Self {
-        Self {
-            embodied,
-            operational_power,
-            standby_power: Power::zero(),
-            usage,
-            execution_time,
+        match Self::try_new(embodied, operational_power, usage, execution_time) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// Adds a standby power drawn during the *inactive* hours of the usage
     /// pattern (see [`crate::standby`]). The paper's Eq. 6 corresponds to
-    /// zero standby power.
-    #[must_use]
-    pub fn with_standby_power(mut self, standby_power: Power) -> Self {
+    /// zero standby power. Rejects negative or non-finite powers.
+    pub fn try_with_standby_power(
+        mut self,
+        standby_power: Power,
+    ) -> Result<Self, ValidationError> {
+        check::non_negative("standby_power", standby_power.as_watts())?;
         self.standby_power = standby_power;
-        self
+        Ok(self)
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`CarbonTrajectory::try_with_standby_power`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `standby_power` is negative or non-finite.
+    #[must_use]
+    pub fn with_standby_power(self, standby_power: Power) -> Self {
+        match self.try_with_standby_power(standby_power) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The standby power during inactive hours.

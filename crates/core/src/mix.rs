@@ -22,6 +22,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::error::{check, ValidationError};
 use crate::system::{Evaluation, SystemDesign};
 use ppatc_units::{Power, Time};
 use ppatc_workloads::WorkloadRun;
@@ -53,16 +54,25 @@ impl WorkloadMix {
         Self::default()
     }
 
-    /// Adds an application with a share of the active window.
+    /// Adds an application with a share of the active window. Rejects
+    /// non-positive or non-finite weights.
+    pub fn try_with(mut self, run: WorkloadRun, weight: f64) -> Result<Self, ValidationError> {
+        check::positive("mix_weight", weight)?;
+        self.entries.push((run, weight));
+        Ok(self)
+    }
+
+    /// Panicking convenience wrapper around [`WorkloadMix::try_with`].
     ///
     /// # Panics
     ///
-    /// Panics if `weight` is not positive.
+    /// Panics if `weight` is not finite and positive.
     #[must_use]
-    pub fn with(mut self, run: WorkloadRun, weight: f64) -> Self {
-        assert!(weight > 0.0, "mix weights must be positive");
-        self.entries.push((run, weight));
-        self
+    pub fn with(self, run: WorkloadRun, weight: f64) -> Self {
+        match self.try_with(run, weight) {
+            Ok(mix) => mix,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of applications in the mix.
@@ -81,13 +91,12 @@ impl WorkloadMix {
         self.entries.iter().map(|(_, w)| w / total).collect()
     }
 
-    /// Evaluates the mix on a design.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the mix is empty.
-    pub fn evaluate(&self, design: &SystemDesign) -> MixEvaluation {
-        assert!(!self.is_empty(), "cannot evaluate an empty mix");
+    /// Evaluates the mix on a design. Rejects empty mixes with a
+    /// structured [`ValidationError`].
+    pub fn try_evaluate(&self, design: &SystemDesign) -> Result<MixEvaluation, ValidationError> {
+        if self.is_empty() {
+            return Err(ValidationError::new("mix_len", 0.0, ">= 1 workload"));
+        }
         let weights = self.weights();
         let per_app: Vec<Evaluation> = self
             .entries
@@ -104,30 +113,59 @@ impl WorkloadMix {
             mem_j += w * eval.mem_energy_per_cycle.as_joules();
             retention &= eval.retention_satisfied;
         }
-        MixEvaluation {
+        Ok(MixEvaluation {
             operational_power: Power::from_watts(power_w),
             execution_time: Time::from_seconds(exec_s),
             mem_energy_per_cycle: ppatc_units::Energy::from_joules(mem_j),
             retention_satisfied: retention,
             per_app,
+        })
+    }
+
+    /// Panicking convenience wrapper around [`WorkloadMix::try_evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is empty.
+    pub fn evaluate(&self, design: &SystemDesign) -> MixEvaluation {
+        match self.try_evaluate(design) {
+            Ok(blend) => blend,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// Builds a carbon trajectory for the mix on a design, using the
-    /// standard embodied pipeline and usage pattern.
+    /// standard embodied pipeline and usage pattern. Rejects empty mixes.
+    pub fn try_trajectory(
+        &self,
+        design: &SystemDesign,
+        embodied: &crate::EmbodiedPipeline,
+        usage: crate::UsagePattern,
+    ) -> Result<crate::CarbonTrajectory, ValidationError> {
+        let blend = self.try_evaluate(design)?;
+        crate::CarbonTrajectory::try_new(
+            embodied.per_good_die(design).per_good_die(),
+            blend.operational_power,
+            usage,
+            blend.execution_time,
+        )
+    }
+
+    /// Panicking convenience wrapper around [`WorkloadMix::try_trajectory`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is empty.
     pub fn trajectory(
         &self,
         design: &SystemDesign,
         embodied: &crate::EmbodiedPipeline,
         usage: crate::UsagePattern,
     ) -> crate::CarbonTrajectory {
-        let blend = self.evaluate(design);
-        crate::CarbonTrajectory::new(
-            embodied.per_good_die(design).per_good_die(),
-            blend.operational_power,
-            usage,
-            blend.execution_time,
-        )
+        match self.try_trajectory(design, embodied, usage) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -197,15 +235,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot evaluate an empty mix")]
+    #[should_panic(expected = "invalid 'mix_len'")]
     fn empty_mix_panics() {
         let _ = WorkloadMix::new().evaluate(&design());
     }
 
     #[test]
-    #[should_panic(expected = "mix weights must be positive")]
+    #[should_panic(expected = "invalid 'mix_weight'")]
     fn zero_weight_panics() {
         let run = Workload::edn().execute_with_reps(1).expect("runs");
         let _ = WorkloadMix::new().with(run, 0.0);
+    }
+
+    #[test]
+    fn invalid_mixes_are_structured_errors() {
+        let e = WorkloadMix::new().try_evaluate(&design()).expect_err("empty mix rejected");
+        assert_eq!(e.field, "mix_len");
+        let run = Workload::edn().execute_with_reps(1).expect("runs");
+        let e = WorkloadMix::new().try_with(run.clone(), f64::NAN).expect_err("NaN weight");
+        assert_eq!(e.field, "mix_weight");
+        let e = WorkloadMix::new().try_with(run, -1.0).expect_err("negative weight");
+        assert_eq!(e.field, "mix_weight");
     }
 }

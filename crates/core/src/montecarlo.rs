@@ -10,11 +10,22 @@
 //! family of isolines.
 //!
 //! Sampling is deterministic given a seed, so results are reproducible.
+//!
+//! # Fault isolation
+//!
+//! A sweep is only as robust as its worst sample: one NaN from a perturbed
+//! model must not abort the other 9 999 samples. [`try_run_with`] therefore
+//! evaluates each sample in isolation, classifies failures into a
+//! [`FailureBreakdown`] by cause, and computes the statistics over the
+//! survivors. A configurable [`MonteCarloConfig::failure_budget`] bounds the
+//! tolerated failed fraction; exceeding it returns
+//! [`PpatcError::FailureBudgetExceeded`] instead of silently reporting
+//! statistics from a crippled sweep.
 
+use crate::error::{check, PpatcError, ValidationError};
 use crate::isoline::TcdpMap;
 use crate::lifetime::Lifetime;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ppatc_units::rng::SplitMix64;
 
 /// Joint uncertainty ranges. Scales are sampled log-uniformly (a factor of
 /// 2 up is as likely as a factor of 2 down); lifetimes and yields
@@ -47,17 +58,26 @@ impl UncertaintyRanges {
         }
     }
 
-    fn validate(&self) {
+    /// Checks that every range is finite, positive, and ordered, and that
+    /// the yield range stays within (0, 1].
+    pub fn validate(&self) -> Result<(), ValidationError> {
         for (name, (lo, hi)) in [
-            ("lifetime", self.lifetime_months),
-            ("ci scale", self.ci_use_scale),
-            ("yield", self.m3d_yield),
-            ("embodied scale", self.m3d_embodied_scale),
-            ("eop scale", self.m3d_eop_scale),
+            ("lifetime_months", self.lifetime_months),
+            ("ci_use_scale", self.ci_use_scale),
+            ("m3d_yield", self.m3d_yield),
+            ("m3d_embodied_scale", self.m3d_embodied_scale),
+            ("m3d_eop_scale", self.m3d_eop_scale),
         ] {
-            assert!(lo > 0.0 && hi >= lo, "invalid {name} range ({lo}, {hi})");
+            check::positive(name, lo)?;
+            check::finite(name, hi)?;
+            if hi < lo {
+                return Err(ValidationError::new(name, hi, "an ordered range (hi >= lo)"));
+            }
         }
-        assert!(self.m3d_yield.1 <= 1.0, "yield cannot exceed 1");
+        if self.m3d_yield.1 > 1.0 {
+            return Err(ValidationError::new("m3d_yield", self.m3d_yield.1, "in (0, 1]"));
+        }
+        Ok(())
     }
 }
 
@@ -76,14 +96,121 @@ pub struct UncertaintySample {
     pub eop_scale: f64,
 }
 
+/// Anything that maps an [`UncertaintySample`] to a tCDP ratio
+/// (M3D / all-Si).
+///
+/// [`TcdpMap`] is the production implementation; the fault-injection test
+/// harness substitutes sources that return NaN or non-positive ratios on
+/// selected samples to exercise the isolation machinery.
+pub trait RatioSource {
+    /// The tCDP ratio of the two designs under this sampled future.
+    fn tcdp_ratio(&self, sample: &UncertaintySample) -> f64;
+}
+
+impl RatioSource for TcdpMap {
+    fn tcdp_ratio(&self, sample: &UncertaintySample) -> f64 {
+        self.ratio_sampled(sample)
+    }
+}
+
+/// Configuration of a Monte-Carlo sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonteCarloConfig {
+    /// Number of samples to draw. Always at least 1.
+    samples: usize,
+    /// PRNG seed; equal seeds reproduce the sweep exactly.
+    seed: u64,
+    /// Maximum tolerated fraction of failed samples, in `[0, 1]`.
+    failure_budget: f64,
+}
+
+impl MonteCarloConfig {
+    /// Creates a configuration with a zero failure budget (any failed
+    /// sample aborts the sweep).
+    pub fn new(samples: usize, seed: u64) -> Result<Self, ValidationError> {
+        if samples == 0 {
+            return Err(ValidationError::new("samples", 0.0, ">= 1"));
+        }
+        Ok(Self { samples, seed, failure_budget: 0.0 })
+    }
+
+    /// Sets the maximum tolerated fraction of failed samples.
+    pub fn with_failure_budget(self, budget: f64) -> Result<Self, ValidationError> {
+        if !(budget.is_finite() && (0.0..=1.0).contains(&budget)) {
+            return Err(ValidationError::new("failure_budget", budget, "in [0, 1]"));
+        }
+        Ok(Self { failure_budget: budget, ..self })
+    }
+
+    /// The number of samples this sweep will draw.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The PRNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The maximum tolerated fraction of failed samples.
+    pub fn failure_budget(&self) -> f64 {
+        self.failure_budget
+    }
+}
+
+/// Per-cause counts of samples discarded by a sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FailureBreakdown {
+    /// Samples whose tCDP ratio came back NaN or infinite.
+    pub non_finite_ratio: usize,
+    /// Samples whose tCDP ratio was zero or negative (a physically
+    /// meaningless carbon ratio).
+    pub non_positive_ratio: usize,
+}
+
+impl FailureBreakdown {
+    /// Total number of discarded samples.
+    pub fn total(&self) -> usize {
+        self.non_finite_ratio + self.non_positive_ratio
+    }
+
+    fn record(&mut self, ratio: f64) {
+        if !ratio.is_finite() {
+            self.non_finite_ratio += 1;
+        } else {
+            self.non_positive_ratio += 1;
+        }
+    }
+}
+
+impl core::fmt::Display for FailureBreakdown {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} failed ({} non-finite, {} non-positive)",
+            self.total(),
+            self.non_finite_ratio,
+            self.non_positive_ratio
+        )
+    }
+}
+
 /// Summary of a Monte-Carlo run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MonteCarloResult {
     /// Number of samples drawn.
     pub samples: usize,
-    /// Fraction of futures in which the M3D design has lower tCDP.
+    /// Number of samples that evaluated successfully (the statistics below
+    /// are computed over these survivors).
+    pub evaluated: usize,
+    /// Per-cause counts of discarded samples.
+    pub failures: FailureBreakdown,
+    /// Fraction of surviving futures in which the M3D design has lower
+    /// tCDP.
     pub p_m3d_wins: f64,
-    /// 5th / 50th / 95th percentiles of the tCDP ratio (M3D / all-Si).
+    /// 5th / 50th / 95th percentiles of the tCDP ratio (M3D / all-Si) over
+    /// the survivors.
     pub ratio_quantiles: (f64, f64, f64),
 }
 
@@ -97,41 +224,95 @@ impl core::fmt::Display for MonteCarloResult {
             self.ratio_quantiles.0,
             self.ratio_quantiles.1,
             self.ratio_quantiles.2
-        )
+        )?;
+        if self.failures.total() > 0 {
+            write!(f, " ({} over survivors)", self.failures)?;
+        }
+        Ok(())
     }
 }
 
 /// Runs a Monte-Carlo sweep over a [`TcdpMap`]'s underlying designs.
 ///
+/// This is the panicking convenience wrapper around [`try_run`] with a zero
+/// failure budget, kept for call sites whose inputs are statically known to
+/// be valid.
+///
 /// # Panics
 ///
-/// Panics if `n` is zero or a range is invalid.
-pub fn run(
+/// Panics if `n` is zero, a range is invalid, or any sample fails to
+/// evaluate.
+pub fn run(map: &TcdpMap, ranges: &UncertaintyRanges, n: usize, seed: u64) -> MonteCarloResult {
+    let config = match MonteCarloConfig::new(n, seed) {
+        Ok(c) => c,
+        Err(e) => panic!("{e}"),
+    };
+    match try_run(map, ranges, &config) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs a Monte-Carlo sweep over a [`TcdpMap`]'s underlying designs,
+/// isolating per-sample failures.
+pub fn try_run(
     map: &TcdpMap,
     ranges: &UncertaintyRanges,
-    n: usize,
-    seed: u64,
-) -> MonteCarloResult {
-    assert!(n > 0, "need at least one sample");
-    ranges.validate();
-    let mut rng = StdRng::seed_from_u64(seed);
+    config: &MonteCarloConfig,
+) -> Result<MonteCarloResult, PpatcError> {
+    try_run_with(map, ranges, config)
+}
+
+/// Runs a Monte-Carlo sweep over any [`RatioSource`], isolating per-sample
+/// failures.
+///
+/// Each drawn sample is evaluated independently; samples producing
+/// non-finite or non-positive ratios are recorded in the result's
+/// [`FailureBreakdown`] instead of aborting the sweep. Statistics are
+/// computed over the survivors. Returns
+/// [`PpatcError::FailureBudgetExceeded`] when the failed fraction exceeds
+/// [`MonteCarloConfig::failure_budget`], or when no sample survives at all.
+pub fn try_run_with(
+    source: &dyn RatioSource,
+    ranges: &UncertaintyRanges,
+    config: &MonteCarloConfig,
+) -> Result<MonteCarloResult, PpatcError> {
+    ranges.validate()?;
+    let n = config.samples;
+    let mut rng = SplitMix64::new(config.seed);
     let mut ratios = Vec::with_capacity(n);
+    let mut failures = FailureBreakdown::default();
     let mut wins = 0usize;
     for _ in 0..n {
         let sample = draw(&mut rng, ranges);
-        let r = map.ratio_sampled(&sample);
+        let r = source.tcdp_ratio(&sample);
+        if !r.is_finite() || r <= 0.0 {
+            failures.record(r);
+            continue;
+        }
         if r < 1.0 {
             wins += 1;
         }
         ratios.push(r);
     }
-    ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
-    let q = |p: f64| ratios[(p * (n - 1) as f64).round() as usize];
-    MonteCarloResult {
-        samples: n,
-        p_m3d_wins: wins as f64 / n as f64,
-        ratio_quantiles: (q(0.05), q(0.50), q(0.95)),
+    let failed = failures.total();
+    if ratios.is_empty() || failed as f64 / n as f64 > config.failure_budget {
+        return Err(PpatcError::FailureBudgetExceeded {
+            failed,
+            samples: n,
+            budget: config.failure_budget,
+        });
     }
+    ratios.sort_by(f64::total_cmp);
+    let survivors = ratios.len();
+    let q = |p: f64| ratios[(p * (survivors - 1) as f64).round() as usize];
+    Ok(MonteCarloResult {
+        samples: n,
+        evaluated: survivors,
+        failures,
+        p_m3d_wins: wins as f64 / survivors as f64,
+        ratio_quantiles: (q(0.05), q(0.50), q(0.95)),
+    })
 }
 
 /// Variance-based sensitivity: for each uncertainty source, the fraction of
@@ -139,6 +320,8 @@ pub fn run(
 /// its nominal value (a freeze-one-at-a-time importance measure).
 ///
 /// Returns `(source name, variance share in [0, 1])`, sorted descending.
+///
+/// This is the panicking convenience wrapper around [`try_sensitivity`].
 ///
 /// # Panics
 ///
@@ -149,25 +332,47 @@ pub fn sensitivity(
     n: usize,
     seed: u64,
 ) -> Vec<(&'static str, f64)> {
-    assert!(n > 0, "need at least one sample");
-    ranges.validate();
+    match try_sensitivity(map, ranges, n, seed) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Variance-based sensitivity (see [`sensitivity`]), returning structured
+/// errors for invalid inputs. Non-finite sample ratios are skipped in the
+/// variance estimates.
+pub fn try_sensitivity(
+    map: &TcdpMap,
+    ranges: &UncertaintyRanges,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<(&'static str, f64)>, PpatcError> {
+    if n == 0 {
+        return Err(ValidationError::new("samples", 0.0, ">= 1").into());
+    }
+    ranges.validate()?;
     let variance_of = |ranges: &UncertaintyRanges, seed: u64| {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let ratios: Vec<f64> = (0..n)
             .map(|_| map.ratio_sampled(&draw(&mut rng, ranges)))
+            .filter(|r| r.is_finite())
             .collect();
-        let mean = ratios.iter().sum::<f64>() / n as f64;
-        ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n as f64
+        if ratios.is_empty() {
+            return 0.0;
+        }
+        let m = ratios.len() as f64;
+        let mean = ratios.iter().sum::<f64>() / m;
+        ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / m
     };
     let base = variance_of(ranges, seed);
     if base <= 0.0 {
-        return vec![
+        return Ok(vec![
             ("lifetime", 0.0),
             ("CI_use", 0.0),
             ("M3D yield", 0.0),
             ("embodied model", 0.0),
             ("operational model", 0.0),
-        ];
+        ]);
     }
     let mid = |(lo, hi): (f64, f64)| ((lo + hi) / 2.0, (lo + hi) / 2.0);
     let mid_log = |(lo, hi): (f64, f64)| {
@@ -194,31 +399,17 @@ pub fn sensitivity(
             (*name, ((base - reduced) / base).max(0.0))
         })
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
-    out
+    out.sort_by(|a, b| f64::total_cmp(&b.1, &a.1));
+    Ok(out)
 }
 
-fn draw(rng: &mut StdRng, r: &UncertaintyRanges) -> UncertaintySample {
-    let uniform = |rng: &mut StdRng, (lo, hi): (f64, f64)| {
-        if hi > lo {
-            rng.gen_range(lo..hi)
-        } else {
-            lo
-        }
-    };
-    let log_uniform = |rng: &mut StdRng, (lo, hi): (f64, f64)| {
-        if hi > lo {
-            (rng.gen_range(lo.ln()..hi.ln())).exp()
-        } else {
-            lo
-        }
-    };
+fn draw(rng: &mut SplitMix64, r: &UncertaintyRanges) -> UncertaintySample {
     UncertaintySample {
-        lifetime: Lifetime::months(uniform(rng, r.lifetime_months)),
-        ci_scale: log_uniform(rng, r.ci_use_scale),
-        m3d_yield: uniform(rng, r.m3d_yield),
-        embodied_scale: log_uniform(rng, r.m3d_embodied_scale),
-        eop_scale: log_uniform(rng, r.m3d_eop_scale),
+        lifetime: Lifetime::months(rng.uniform(r.lifetime_months.0, r.lifetime_months.1)),
+        ci_scale: rng.log_uniform(r.ci_use_scale.0, r.ci_use_scale.1),
+        m3d_yield: rng.uniform(r.m3d_yield.0, r.m3d_yield.1),
+        embodied_scale: rng.log_uniform(r.m3d_embodied_scale.0, r.m3d_embodied_scale.1),
+        eop_scale: rng.log_uniform(r.m3d_eop_scale.0, r.m3d_eop_scale.1),
     }
 }
 
@@ -261,6 +452,8 @@ mod tests {
     fn probabilities_are_sane() {
         let r = run(&map(), &UncertaintyRanges::paper_default(), 5000, 7);
         assert!((0.0..=1.0).contains(&r.p_m3d_wins));
+        assert_eq!(r.evaluated, r.samples);
+        assert_eq!(r.failures.total(), 0);
         // The decision is genuinely uncertain under the full Fig. 6b joint
         // ranges: neither side should win more than ~95% of futures.
         assert!(
@@ -338,5 +531,100 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("sampled futures"));
         assert!(text.contains("p5/p50/p95"));
+    }
+
+    #[test]
+    fn invalid_ranges_are_structured_errors_not_panics() {
+        let mut bad = UncertaintyRanges::paper_default();
+        bad.m3d_yield = (0.5, 1.7);
+        let config = MonteCarloConfig::new(100, 1).expect("valid config");
+        match try_run(&map(), &bad, &config) {
+            Err(PpatcError::Validation(v)) => {
+                assert_eq!(v.field, "m3d_yield");
+                assert_eq!(v.value, 1.7);
+            }
+            other => panic!("expected validation error, got {other:?}"),
+        }
+        let mut nan = UncertaintyRanges::paper_default();
+        nan.ci_use_scale.0 = f64::NAN;
+        assert!(matches!(
+            try_run(&map(), &nan, &config),
+            Err(PpatcError::Validation(_))
+        ));
+    }
+
+    #[test]
+    fn zero_samples_is_a_structured_error() {
+        let e = MonteCarloConfig::new(0, 1).expect_err("zero samples rejected");
+        assert_eq!(e.field, "samples");
+    }
+
+    /// A source that fails (returns NaN) on every k-th sample.
+    struct FlakySource {
+        inner: TcdpMap,
+        every: usize,
+        calls: core::cell::Cell<usize>,
+    }
+
+    impl RatioSource for FlakySource {
+        fn tcdp_ratio(&self, sample: &UncertaintySample) -> f64 {
+            let n = self.calls.get();
+            self.calls.set(n + 1);
+            if n % self.every == 0 {
+                f64::NAN
+            } else {
+                self.inner.ratio_sampled(sample)
+            }
+        }
+    }
+
+    #[test]
+    fn failures_are_isolated_and_counted() {
+        let flaky = FlakySource { inner: map(), every: 10, calls: core::cell::Cell::new(0) };
+        let config = MonteCarloConfig::new(1000, 7)
+            .expect("valid")
+            .with_failure_budget(0.2)
+            .expect("valid budget");
+        let r = try_run_with(&flaky, &UncertaintyRanges::paper_default(), &config)
+            .expect("within budget");
+        assert_eq!(r.failures.non_finite_ratio, 100);
+        assert_eq!(r.evaluated, 900);
+        assert_eq!(r.samples, 1000);
+        let (p5, p50, p95) = r.ratio_quantiles;
+        assert!(p5.is_finite() && p50.is_finite() && p95.is_finite());
+        assert!(p5 <= p50 && p50 <= p95);
+    }
+
+    #[test]
+    fn exceeding_the_budget_is_an_error() {
+        let flaky = FlakySource { inner: map(), every: 2, calls: core::cell::Cell::new(0) };
+        let config = MonteCarloConfig::new(1000, 7)
+            .expect("valid")
+            .with_failure_budget(0.2)
+            .expect("valid budget");
+        match try_run_with(&flaky, &UncertaintyRanges::paper_default(), &config) {
+            Err(PpatcError::FailureBudgetExceeded { failed, samples, budget }) => {
+                assert_eq!(failed, 500);
+                assert_eq!(samples, 1000);
+                assert_eq!(budget, 0.2);
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn survivors_statistics_ignore_failed_samples() {
+        // With a generous budget, the quantiles over survivors must match a
+        // clean run over the same surviving draws' distribution shape:
+        // every survivor ratio is finite and positive.
+        let flaky = FlakySource { inner: map(), every: 3, calls: core::cell::Cell::new(0) };
+        let config = MonteCarloConfig::new(900, 11)
+            .expect("valid")
+            .with_failure_budget(0.5)
+            .expect("valid budget");
+        let r = try_run_with(&flaky, &UncertaintyRanges::paper_default(), &config)
+            .expect("within budget");
+        assert_eq!(r.evaluated + r.failures.total(), r.samples);
+        assert!((0.0..=1.0).contains(&r.p_m3d_wins));
     }
 }

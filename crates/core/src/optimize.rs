@@ -225,9 +225,10 @@ impl Optimizer {
             }
         }
         out.sort_by(|a, b| {
-            b.feasible
-                .cmp(&a.feasible)
-                .then(a.tcdp.partial_cmp(&b.tcdp).expect("tCDP is finite"))
+            b.feasible.cmp(&a.feasible).then(f64::total_cmp(
+                &a.tcdp.as_grams_per_hertz(),
+                &b.tcdp.as_grams_per_hertz(),
+            ))
         });
         out
     }
@@ -248,9 +249,10 @@ impl Optimizer {
             }
         }
         front.sort_by(|a, b| {
-            a.execution_time
-                .partial_cmp(&b.execution_time)
-                .expect("times are finite")
+            f64::total_cmp(
+                &a.execution_time.as_seconds(),
+                &b.execution_time.as_seconds(),
+            )
         });
         front
     }

@@ -1,5 +1,6 @@
 //! The embedded system: Cortex-M0 + program/data eDRAM in one technology.
 
+use crate::error::{check, ValidationError};
 use ppatc_edram::{EdramError, EdramMacro};
 use ppatc_m0::AccessStats;
 use ppatc_pdk::synthesis::{LogicBlock, SynthesisResult, TimingError};
@@ -14,6 +15,7 @@ const DIE_ASPECT: f64 = 0.524;
 
 /// Error constructing or evaluating a system design.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum DesignError {
     /// The M0 cannot close timing at the target clock in the chosen flavor.
     Timing(TimingError),
@@ -28,6 +30,8 @@ pub enum DesignError {
     },
     /// Workload execution failed.
     Workload(WorkloadError),
+    /// A design parameter was rejected before construction started.
+    Invalid(ValidationError),
 }
 
 impl core::fmt::Display for DesignError {
@@ -41,6 +45,7 @@ impl core::fmt::Display for DesignError {
                 f_clk.as_megahertz()
             ),
             DesignError::Workload(e) => write!(f, "{e}"),
+            DesignError::Invalid(e) => write!(f, "{e}"),
         }
     }
 }
@@ -51,6 +56,7 @@ impl std::error::Error for DesignError {
             DesignError::Timing(e) => Some(e),
             DesignError::Edram(e) => Some(e),
             DesignError::Workload(e) => Some(e),
+            DesignError::Invalid(e) => Some(e),
             DesignError::MemoryTooSlow { .. } => None,
         }
     }
@@ -71,6 +77,12 @@ impl From<EdramError> for DesignError {
 impl From<WorkloadError> for DesignError {
     fn from(e: WorkloadError) -> Self {
         DesignError::Workload(e)
+    }
+}
+
+impl From<ValidationError> for DesignError {
+    fn from(e: ValidationError) -> Self {
+        DesignError::Invalid(e)
     }
 }
 
@@ -135,6 +147,7 @@ impl SystemDesign {
         flavor: SiVtFlavor,
         organization: ppatc_edram::Organization,
     ) -> Result<Self, DesignError> {
+        check::positive("f_clk", f_clk.as_hertz())?;
         let m0 = LogicBlock::cortex_m0().synthesize(flavor, f_clk)?;
         let program_mem = EdramMacro::characterize_with(technology, organization)?;
         let data_mem = program_mem.clone();
@@ -223,14 +236,16 @@ impl SystemDesign {
         self.evaluate_counts(run.cycles, &run.stats)
     }
 
-    /// Evaluates power/performance from raw cycle/access counts (the data a
-    /// `.vcd` analysis would produce).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cycles` is zero.
-    pub fn evaluate_counts(&self, cycles: u64, stats: &AccessStats) -> Evaluation {
-        assert!(cycles > 0, "evaluation requires at least one cycle");
+    /// Evaluates power/performance from raw cycle/access counts. Rejects a
+    /// zero cycle count with a structured [`ValidationError`].
+    pub fn try_evaluate_counts(
+        &self,
+        cycles: u64,
+        stats: &AccessStats,
+    ) -> Result<Evaluation, ValidationError> {
+        if cycles == 0 {
+            return Err(ValidationError::new("cycles", 0.0, ">= 1"));
+        }
         let f = self.f_clk;
         let period = f.period();
         let prog_accesses = stats.instruction_fetches + stats.program_reads;
@@ -248,7 +263,7 @@ impl SystemDesign {
         let required_retention = period * (stats.max_write_to_read_cycles as f64);
         let retention = self.data_mem.retention();
         let refreshed = self.data_mem.refresh_power().as_watts() > 0.0;
-        Evaluation {
+        Ok(Evaluation {
             cycles,
             execution_time: period * (cycles as f64),
             m0_dynamic_per_cycle: m0_dynamic,
@@ -257,6 +272,19 @@ impl SystemDesign {
             operational_power,
             required_retention,
             retention_satisfied: refreshed || retention >= required_retention,
+        })
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`SystemDesign::try_evaluate_counts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn evaluate_counts(&self, cycles: u64, stats: &AccessStats) -> Evaluation {
+        match self.try_evaluate_counts(cycles, stats) {
+            Ok(eval) => eval,
+            Err(e) => panic!("{e}"),
         }
     }
 }

@@ -1,5 +1,6 @@
 //! The usage model: duty-cycled operational carbon (Eqs. 6–8).
 
+use crate::error::{check, ValidationError};
 use crate::lifetime::Lifetime;
 use ppatc_units::{CarbonIntensity, CarbonMass, Power};
 
@@ -39,17 +40,28 @@ impl UsagePattern {
 
     /// A custom usage pattern.
     ///
+    /// Rejects `hours_per_day` outside `(0, 24]` and negative or non-finite
+    /// carbon intensities with a structured [`ValidationError`].
+    pub fn try_new(
+        hours_per_day: f64,
+        ci_use: CarbonIntensity,
+    ) -> Result<Self, ValidationError> {
+        check::in_open_closed("hours_per_day", hours_per_day, 0.0, 24.0, "in (0, 24]")?;
+        check::non_negative("ci_use", ci_use.value())?;
+        Ok(Self { hours_per_day, ci_use })
+    }
+
+    /// Panicking convenience wrapper around [`UsagePattern::try_new`].
+    ///
     /// # Panics
     ///
     /// Panics if `hours_per_day` is outside `(0, 24]` or the intensity is
-    /// negative.
+    /// negative or non-finite.
     pub fn new(hours_per_day: f64, ci_use: CarbonIntensity) -> Self {
-        assert!(
-            hours_per_day > 0.0 && hours_per_day <= 24.0,
-            "daily use must be in (0, 24] hours"
-        );
-        assert!(ci_use.value() >= 0.0, "carbon intensity must be non-negative");
-        Self { hours_per_day, ci_use }
+        match Self::try_new(hours_per_day, ci_use) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Hours of active use per day.
@@ -63,16 +75,26 @@ impl UsagePattern {
     }
 
     /// Returns a copy with the carbon intensity scaled by `factor` — the
-    /// Fig. 6b CI_use uncertainty knob (×3 / ÷3).
+    /// Fig. 6b CI_use uncertainty knob (×3 / ÷3). Rejects negative or
+    /// non-finite factors.
+    pub fn try_with_ci_scaled(mut self, factor: f64) -> Result<Self, ValidationError> {
+        check::non_negative("ci_scale_factor", factor)?;
+        self.ci_use = CarbonIntensity::new(self.ci_use.value() * factor);
+        Ok(self)
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`UsagePattern::try_with_ci_scaled`].
     ///
     /// # Panics
     ///
-    /// Panics if `factor` is negative.
+    /// Panics if `factor` is negative or non-finite.
     #[must_use]
-    pub fn with_ci_scaled(mut self, factor: f64) -> Self {
-        assert!(factor >= 0.0, "scale factor must be non-negative");
-        self.ci_use = CarbonIntensity::new(self.ci_use.value() * factor);
-        self
+    pub fn with_ci_scaled(self, factor: f64) -> Self {
+        match self.try_with_ci_scaled(factor) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Duty cycle: the fraction of calendar time the system is active.
@@ -134,8 +156,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "daily use must be in (0, 24]")]
+    #[should_panic(expected = "invalid 'hours_per_day'")]
     fn invalid_hours_panics() {
         let _ = UsagePattern::new(25.0, CarbonIntensity::from_g_per_kwh(380.0));
+    }
+
+    #[test]
+    fn invalid_inputs_are_structured_errors() {
+        let e = UsagePattern::try_new(0.0, CarbonIntensity::from_g_per_kwh(380.0))
+            .expect_err("zero hours rejected");
+        assert_eq!(e.field, "hours_per_day");
+        let e = UsagePattern::try_new(f64::NAN, CarbonIntensity::from_g_per_kwh(380.0))
+            .expect_err("NaN hours rejected");
+        assert_eq!(e.field, "hours_per_day");
+        let e = UsagePattern::try_new(2.0, CarbonIntensity::from_g_per_kwh(-1.0))
+            .expect_err("negative CI rejected");
+        assert_eq!(e.field, "ci_use");
+        let e = UsagePattern::paper_default()
+            .try_with_ci_scaled(f64::INFINITY)
+            .expect_err("infinite scale rejected");
+        assert_eq!(e.field, "ci_scale_factor");
     }
 }

@@ -1,7 +1,43 @@
 //! A sized FET instance and its figures of merit.
 
-use crate::vs::{Polarity, VirtualSourceModel};
+use crate::vs::{ModelParameterError, Polarity, VirtualSourceModel};
 use ppatc_units::{Capacitance, Current, Length, Voltage};
+
+/// Why a transistor instance could not be constructed.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// The compact model itself violates a physical invariant.
+    Model(ModelParameterError),
+    /// The requested width (in meters) is not finite and positive.
+    InvalidWidth(f64),
+}
+
+impl core::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Model(e) => write!(f, "{e}"),
+            Self::InvalidWidth(w) => {
+                write!(f, "width must be positive (got {w} m)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Model(e) => Some(e),
+            Self::InvalidWidth(_) => None,
+        }
+    }
+}
+
+impl From<ModelParameterError> for DeviceError {
+    fn from(e: ModelParameterError) -> Self {
+        Self::Model(e)
+    }
+}
 
 /// A transistor instance: a [`VirtualSourceModel`] with a physical width.
 ///
@@ -25,18 +61,30 @@ pub struct Fet {
 }
 
 impl VirtualSourceModel {
-    /// Creates a sized transistor instance of this model.
+    /// Creates a sized transistor instance of this model, rejecting invalid
+    /// model parameters (see [`VirtualSourceModel::validate`]) and
+    /// non-positive or non-finite widths with a structured [`DeviceError`].
+    pub fn try_sized(self, width: Length) -> Result<Fet, DeviceError> {
+        self.validate()?;
+        let w = width.as_meters();
+        if !w.is_finite() || w <= 0.0 {
+            return Err(DeviceError::InvalidWidth(w));
+        }
+        Ok(Fet { model: self, width })
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`VirtualSourceModel::try_sized`].
     ///
     /// # Panics
     ///
     /// Panics if the model parameters are invalid
     /// (see [`VirtualSourceModel::validate`]) or `width` is not positive.
     pub fn sized(self, width: Length) -> Fet {
-        if let Err(e) = self.validate() {
-            panic!("{e}");
+        match self.try_sized(width) {
+            Ok(fet) => fet,
+            Err(e) => panic!("{e}"),
         }
-        assert!(width.as_meters() > 0.0, "width must be positive");
-        Fet { model: self, width }
     }
 }
 
@@ -199,6 +247,24 @@ mod tests {
     #[should_panic(expected = "width must be positive")]
     fn zero_width_panics() {
         let _ = si::nfet(SiVtFlavor::Rvt).sized(Length::zero());
+    }
+
+    #[test]
+    fn try_sized_rejects_bad_widths_without_panicking() {
+        for bad in [0.0, -50.0, f64::NAN, f64::INFINITY] {
+            let err = si::nfet(SiVtFlavor::Rvt)
+                .try_sized(Length::from_nanometers(bad))
+                .expect_err("bad width rejected");
+            assert!(matches!(err, DeviceError::InvalidWidth(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn try_sized_accepts_valid_widths() {
+        let fet = si::nfet(SiVtFlavor::Rvt)
+            .try_sized(Length::from_nanometers(81.0))
+            .expect("valid width");
+        assert!(approx_eq(fet.width().as_nanometers(), 81.0, 1e-12));
     }
 
     #[test]

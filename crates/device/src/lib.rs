@@ -48,6 +48,6 @@ pub mod igzo;
 pub mod si;
 mod vs;
 
-pub use fet::Fet;
+pub use fet::{DeviceError, Fet};
 pub use si::SiVtFlavor;
-pub use vs::{Polarity, VirtualSourceModel};
+pub use vs::{ModelParameterError, Polarity, VirtualSourceModel};

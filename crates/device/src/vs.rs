@@ -153,6 +153,9 @@ impl VirtualSourceModel {
     /// capacitance, velocity, mobility, gate length, slope, or β; a DIBL or
     /// threshold magnitude outside sensible bounds; a negative leakage floor;
     /// or a parasitic factor below 1.
+    // The negated comparisons are deliberate: `!(x > 0.0)` also rejects
+    // NaN, which a rewritten `x <= 0.0` would silently accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), ModelParameterError> {
         fn err(model: &VirtualSourceModel, what: &'static str) -> Result<(), ModelParameterError> {
             Err(ModelParameterError {

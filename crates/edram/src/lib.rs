@@ -57,6 +57,7 @@ use ppatc_units::{Area, Energy, Frequency, Power, Time, Voltage};
 
 /// Error from eDRAM characterization.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum EdramError {
     /// A characterization circuit failed to simulate.
     Simulation(ppatc_spice::SpiceError),

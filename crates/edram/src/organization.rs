@@ -57,12 +57,12 @@ impl Organization {
     pub fn new(capacity_bytes: u32, subarray_bytes: u32, word_bits: u32) -> Self {
         assert!(capacity_bytes > 0 && subarray_bytes > 0 && word_bits > 0);
         assert!(
-            capacity_bytes % subarray_bytes == 0,
+            capacity_bytes.is_multiple_of(subarray_bytes),
             "sub-array size must divide capacity"
         );
-        assert!(word_bits % 8 == 0, "word width must be whole bytes");
+        assert!(word_bits.is_multiple_of(8), "word width must be whole bytes");
         assert!(
-            subarray_bytes % (word_bits / 8) == 0,
+            subarray_bytes.is_multiple_of(word_bits / 8),
             "word width must divide the sub-array"
         );
         Self { capacity_bytes, subarray_bytes, word_bits }

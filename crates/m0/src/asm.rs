@@ -146,7 +146,7 @@ impl Assembler {
         for item in &self.items {
             match item {
                 Item::Align => {
-                    while addr % 4 != 0 {
+                    while !addr.is_multiple_of(4) {
                         out.extend_from_slice(&Instruction::Nop.encode().halfwords()[0].to_le_bytes());
                         addr += 2;
                     }
@@ -170,7 +170,7 @@ impl Assembler {
             }
         }
         // Emit the literal pool (word-aligned; no padding when empty).
-        while !pool.is_empty() && out.len() % 4 != 0 {
+        while !pool.is_empty() && !out.len().is_multiple_of(4) {
             out.push(0);
         }
         for value in &pool {
@@ -202,7 +202,7 @@ impl Assembler {
         match parsed {
             ParsedInst::Ready(inst) => Ok(*inst),
             ParsedInst::Branch { cond, target } => {
-                let dest = self.resolve(line, &ValueRef::Symbol(target.clone()))? as i64;
+                let dest = self.resolve(line, &ValueRef::Symbol(target.clone()))?;
                 let offset = dest - (addr as i64 + 4);
                 if offset % 2 != 0 {
                     return Err(AsmError::new(line, "branch target is not halfword aligned"));
@@ -231,7 +231,7 @@ impl Assembler {
                 }
             }
             ParsedInst::BranchLink { target } => {
-                let dest = self.resolve(line, &ValueRef::Symbol(target.clone()))? as i64;
+                let dest = self.resolve(line, &ValueRef::Symbol(target.clone()))?;
                 let offset = dest - (addr as i64 + 4);
                 if !(-(1 << 24)..(1 << 24)).contains(&offset) {
                     return Err(AsmError::new(line, format!("bl to `{target}` out of range")));
@@ -242,10 +242,10 @@ impl Assembler {
                 let slot = pool
                     .iter()
                     .position(|v| value_key(v) == value_key(value))
-                    .expect("value was pooled in pass 1");
+                    .ok_or_else(|| AsmError::new(line, "literal value missing from pool"))?;
                 let target = pool_base + 4 * slot as u32;
                 let base = (addr + 4) & !3;
-                if target < base || (target - base) % 4 != 0 {
+                if target < base || !(target - base).is_multiple_of(4) {
                     return Err(AsmError::new(line, "literal pool behind the load"));
                 }
                 let imm = (target - base) / 4;
@@ -255,7 +255,7 @@ impl Assembler {
                 Ok(Instruction::LdrLit { rt: *rt, imm8: imm as u8 })
             }
             ParsedInst::Adr { rd, target } => {
-                let dest = self.resolve(line, &ValueRef::Symbol(target.clone()))? as i64;
+                let dest = self.resolve(line, &ValueRef::Symbol(target.clone()))?;
                 let base = ((addr + 4) & !3) as i64;
                 let offset = dest - base;
                 if offset < 0 || offset % 4 != 0 || offset / 4 > 255 {
@@ -789,14 +789,14 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
         }
         "ldr" | "str" | "ldrb" | "strb" | "ldrh" | "strh" | "ldrsb" | "ldrsh" => {
             let rt = low(0)?;
-            let second = ops.get(1).ok_or_else(|| bad_operands())?;
+            let second = ops.get(1).ok_or_else(&bad_operands)?;
             // ldr rX, =value pseudo-instruction.
             if mnemonic == "ldr" {
                 if let Some(val) = second.strip_prefix('=') {
                     return Ok(ParsedInst::LdrPool { rt, value: parse_value_ref(val) });
                 }
             }
-            let mem = parse_mem(second).ok_or_else(|| bad_operands())?;
+            let mem = parse_mem(second).ok_or_else(&bad_operands)?;
             match (mnemonic, mem) {
                 ("ldr", MemOperand::Imm(rn, v)) if rn == Reg::SP => {
                     check_scaled(line, v, 4, 255)?;

@@ -132,7 +132,7 @@ impl MemorySystem {
     }
 
     fn locate(&self, addr: u32, size: u32) -> Result<Region, MemoryError> {
-        if addr % size != 0 {
+        if !addr.is_multiple_of(size) {
             return Err(MemoryError::Misaligned { addr, size });
         }
         if addr + size <= PROG_SIZE {
@@ -260,7 +260,7 @@ impl MemorySystem {
     ///
     /// Panics if `addr` is outside data memory or misaligned.
     pub fn peek_data_u32(&self, addr: u32) -> u32 {
-        assert!(addr % 4 == 0, "peek address must be word-aligned");
+        assert!(addr.is_multiple_of(4), "peek address must be word-aligned");
         assert!(
             (DATA_BASE..DATA_BASE + DATA_SIZE).contains(&addr),
             "peek address {addr:#010x} outside data memory"
@@ -280,7 +280,7 @@ impl MemorySystem {
     ///
     /// Panics if `addr` is outside data memory or misaligned.
     pub fn poke_data_u32(&mut self, addr: u32, value: u32) {
-        assert!(addr % 4 == 0, "poke address must be word-aligned");
+        assert!(addr.is_multiple_of(4), "poke address must be word-aligned");
         assert!(
             (DATA_BASE..DATA_BASE + DATA_SIZE).contains(&addr),
             "poke address {addr:#010x} outside data memory"

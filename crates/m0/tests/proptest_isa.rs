@@ -1,101 +1,113 @@
 //! Property tests of the ISA triangle (encode ↔ decode ↔ disassemble) and
-//! of architectural semantics against a Rust-side mini-interpreter.
+//! of architectural semantics against a Rust-side mini-interpreter, driven
+//! by the deterministic in-repo PRNG instead of an external framework.
 
 use ppatc_m0::{asm, Condition, Cpu, DpOp, Instruction, Reg};
-use proptest::prelude::*;
+use ppatc_units::rng::SplitMix64;
 
-/// Strategy: any low register.
-fn low_reg() -> impl Strategy<Value = Reg> {
-    (0u8..8).prop_map(Reg)
+/// Any low register.
+fn low_reg(rng: &mut SplitMix64) -> Reg {
+    Reg(rng.next_below(8) as u8)
 }
 
-/// Strategy: a random valid instruction (no wide/branch forms, which have
-/// extra encoding context).
-fn any_narrow_instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        (low_reg(), 0u8..=255).prop_map(|(rd, imm8)| Instruction::MovImm { rd, imm8 }),
-        (low_reg(), 0u8..=255).prop_map(|(rn, imm8)| Instruction::CmpImm { rn, imm8 }),
-        (low_reg(), 0u8..=255).prop_map(|(rdn, imm8)| Instruction::AddImm8 { rdn, imm8 }),
-        (low_reg(), 0u8..=255).prop_map(|(rdn, imm8)| Instruction::SubImm8 { rdn, imm8 }),
-        (low_reg(), low_reg(), 0u8..=7)
-            .prop_map(|(rd, rn, imm3)| Instruction::AddImm3 { rd, rn, imm3 }),
-        (low_reg(), low_reg(), low_reg())
-            .prop_map(|(rd, rn, rm)| Instruction::AddReg { rd, rn, rm }),
-        (low_reg(), low_reg(), low_reg())
-            .prop_map(|(rd, rn, rm)| Instruction::SubReg { rd, rn, rm }),
-        (low_reg(), low_reg(), 0u8..=31)
-            .prop_map(|(rd, rm, imm5)| Instruction::LslImm { rd, rm, imm5 }),
-        (low_reg(), low_reg(), 0u8..=31)
-            .prop_map(|(rd, rm, imm5)| Instruction::LsrImm { rd, rm, imm5 }),
-        (low_reg(), low_reg(), 0u8..=31)
-            .prop_map(|(rd, rm, imm5)| Instruction::AsrImm { rd, rm, imm5 }),
-        (0u16..16, low_reg(), low_reg()).prop_map(|(op, rdn, rm)| Instruction::DataProc {
-            op: DpOp::from_bits(op),
-            rdn,
-            rm
-        }),
-        (low_reg(), low_reg(), 0u8..=31)
-            .prop_map(|(rt, rn, imm5)| Instruction::LdrImm { rt, rn, imm5 }),
-        (low_reg(), low_reg(), 0u8..=31)
-            .prop_map(|(rt, rn, imm5)| Instruction::StrbImm { rt, rn, imm5 }),
-        (low_reg(), low_reg(), low_reg())
-            .prop_map(|(rt, rn, rm)| Instruction::LdrshReg { rt, rn, rm }),
-        (low_reg(), 0u8..=255).prop_map(|(rt, imm8)| Instruction::StrSp { rt, imm8 }),
-        (any::<u8>(), any::<bool>())
-            .prop_map(|(registers, lr)| Instruction::Push { registers, lr }),
-        (any::<u8>(), any::<bool>())
-            .prop_map(|(registers, pc)| Instruction::Pop { registers, pc }),
-        (low_reg(), low_reg()).prop_map(|(rd, rm)| Instruction::Uxtb { rd, rm }),
-        (low_reg(), low_reg()).prop_map(|(rd, rm)| Instruction::Rev { rd, rm }),
-        (0u8..=255).prop_map(|imm8| Instruction::Bkpt { imm8 }),
-        (0u16..14, 0u8..=255).prop_map(|(c, imm8)| Instruction::BCond {
-            cond: Condition::from_bits(c).expect("valid condition"),
-            imm8
-        }),
-        (0u16..=0x7FF).prop_map(|imm11| Instruction::B { imm11 }),
-        Just(Instruction::Nop),
-    ]
+fn imm8(rng: &mut SplitMix64) -> u8 {
+    rng.next_below(256) as u8
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn imm5(rng: &mut SplitMix64) -> u8 {
+    rng.next_below(32) as u8
+}
 
-    #[test]
-    fn encode_decode_round_trip(inst in any_narrow_instruction()) {
+/// A random valid instruction (no wide/branch forms, which have extra
+/// encoding context), covering the same 22 shapes as the proptest version.
+fn any_narrow_instruction(rng: &mut SplitMix64) -> Instruction {
+    match rng.next_below(22) {
+        0 => Instruction::MovImm { rd: low_reg(rng), imm8: imm8(rng) },
+        1 => Instruction::CmpImm { rn: low_reg(rng), imm8: imm8(rng) },
+        2 => Instruction::AddImm8 { rdn: low_reg(rng), imm8: imm8(rng) },
+        3 => Instruction::SubImm8 { rdn: low_reg(rng), imm8: imm8(rng) },
+        4 => Instruction::AddImm3 {
+            rd: low_reg(rng),
+            rn: low_reg(rng),
+            imm3: rng.next_below(8) as u8,
+        },
+        5 => Instruction::AddReg { rd: low_reg(rng), rn: low_reg(rng), rm: low_reg(rng) },
+        6 => Instruction::SubReg { rd: low_reg(rng), rn: low_reg(rng), rm: low_reg(rng) },
+        7 => Instruction::LslImm { rd: low_reg(rng), rm: low_reg(rng), imm5: imm5(rng) },
+        8 => Instruction::LsrImm { rd: low_reg(rng), rm: low_reg(rng), imm5: imm5(rng) },
+        9 => Instruction::AsrImm { rd: low_reg(rng), rm: low_reg(rng), imm5: imm5(rng) },
+        10 => Instruction::DataProc {
+            op: DpOp::from_bits(rng.next_below(16) as u16),
+            rdn: low_reg(rng),
+            rm: low_reg(rng),
+        },
+        11 => Instruction::LdrImm { rt: low_reg(rng), rn: low_reg(rng), imm5: imm5(rng) },
+        12 => Instruction::StrbImm { rt: low_reg(rng), rn: low_reg(rng), imm5: imm5(rng) },
+        13 => Instruction::LdrshReg { rt: low_reg(rng), rn: low_reg(rng), rm: low_reg(rng) },
+        14 => Instruction::StrSp { rt: low_reg(rng), imm8: imm8(rng) },
+        15 => Instruction::Push { registers: imm8(rng), lr: rng.next_below(2) == 1 },
+        16 => Instruction::Pop { registers: imm8(rng), pc: rng.next_below(2) == 1 },
+        17 => Instruction::Uxtb { rd: low_reg(rng), rm: low_reg(rng) },
+        18 => Instruction::Rev { rd: low_reg(rng), rm: low_reg(rng) },
+        19 => Instruction::Bkpt { imm8: imm8(rng) },
+        20 => Instruction::BCond {
+            cond: Condition::from_bits(rng.next_below(14) as u16).expect("valid condition"),
+            imm8: imm8(rng),
+        },
+        _ => match rng.next_below(2) {
+            0 => Instruction::B { imm11: rng.next_below(0x800) as u16 },
+            _ => Instruction::Nop,
+        },
+    }
+}
+
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = SplitMix64::new(0x15A1);
+    for case in 0..512 {
+        let inst = any_narrow_instruction(&mut rng);
         let enc = inst.encode();
         let halves = enc.halfwords();
         let back = Instruction::decode(halves[0], halves.get(1).copied())
             .expect("generated instructions decode");
-        prop_assert_eq!(back, inst);
+        assert_eq!(back, inst, "case {case}");
     }
+}
 
-    #[test]
-    fn bl_offsets_round_trip(offset in -0x0080_0000i32..0x007F_FFFE) {
+#[test]
+fn bl_offsets_round_trip() {
+    let mut rng = SplitMix64::new(0x15A2);
+    for case in 0..512 {
+        let offset =
+            -0x0080_0000i32 + rng.next_below((0x007F_FFFEi64 + 0x0080_0000) as u64) as i32;
         let even = offset & !1;
         let inst = Instruction::Bl { offset: even };
         let enc = inst.encode();
         let halves = enc.halfwords();
-        let back = Instruction::decode(halves[0], halves.get(1).copied())
-            .expect("BL decodes");
-        prop_assert_eq!(back, inst);
+        let back = Instruction::decode(halves[0], halves.get(1).copied()).expect("BL decodes");
+        assert_eq!(back, inst, "case {case}: offset {even:#x}");
     }
+}
 
-    /// Straight-line ALU programs match a Rust-side register machine.
-    #[test]
-    fn alu_semantics_match_reference(
-        seed in any::<u32>(),
-        ops in prop::collection::vec((0u8..6, 0u8..4, 0u8..4, 0u8..=31), 1..40),
-    ) {
-        let mut asm_text = format!("ldr r0, ={seed}\nldr r1, ={}\nldr r2, ={}\nldr r3, ={}\n",
-            seed.wrapping_mul(3), seed.rotate_left(7), !seed);
-        let mut regs: [u32; 4] = [
-            seed,
+/// Straight-line ALU programs match a Rust-side register machine.
+#[test]
+fn alu_semantics_match_reference() {
+    let mut rng = SplitMix64::new(0x15A3);
+    for case in 0..128 {
+        let seed = rng.next_u32();
+        let op_count = 1 + rng.next_below(39) as usize;
+        let mut asm_text = format!(
+            "ldr r0, ={seed}\nldr r1, ={}\nldr r2, ={}\nldr r3, ={}\n",
             seed.wrapping_mul(3),
             seed.rotate_left(7),
-            !seed,
-        ];
-        for &(op, rd, rm, imm) in &ops {
-            let (rd, rm) = (rd as usize, rm as usize);
+            !seed
+        );
+        let mut regs: [u32; 4] = [seed, seed.wrapping_mul(3), seed.rotate_left(7), !seed];
+        for _ in 0..op_count {
+            let op = rng.next_below(6);
+            let rd = rng.next_below(4) as usize;
+            let rm = rng.next_below(4) as usize;
+            let imm = rng.next_below(32);
             match op {
                 0 => {
                     asm_text.push_str(&format!("adds r{rd}, r{rd}, r{rm}\n"));
@@ -128,14 +140,19 @@ proptest! {
         let mut cpu = Cpu::new(&image);
         cpu.run(1_000_000).expect("fuzz program halts");
         for (i, &expected) in regs.iter().enumerate() {
-            prop_assert_eq!(cpu.reg(i as u8), expected, "r{} after:\n{}", i, asm_text);
+            assert_eq!(cpu.reg(i as u8), expected, "case {case}, r{i} after:\n{asm_text}");
         }
     }
+}
 
-    /// Conditional branches agree with Rust comparisons for random operand
-    /// pairs, across signed and unsigned predicates.
-    #[test]
-    fn branch_predicates_match_rust(a in any::<u32>(), b in any::<u32>()) {
+/// Conditional branches agree with Rust comparisons for random operand
+/// pairs, across signed and unsigned predicates.
+#[test]
+fn branch_predicates_match_rust() {
+    let mut rng = SplitMix64::new(0x15A4);
+    for _ in 0..64 {
+        let a = rng.next_u32();
+        let b = if rng.next_below(8) == 0 { a } else { rng.next_u32() };
         let cases: [(&str, bool); 6] = [
             ("beq", a == b),
             ("bne", a != b),
@@ -151,17 +168,22 @@ proptest! {
             let image = asm::assemble(&text).expect("predicate program assembles");
             let mut cpu = Cpu::new(&image);
             cpu.run(10_000).expect("predicate program halts");
-            prop_assert_eq!(cpu.reg(2) == 1, expected, "{} with {:#x}, {:#x}", branch, a, b);
+            assert_eq!(cpu.reg(2) == 1, expected, "{branch} with {a:#x}, {b:#x}");
         }
     }
+}
 
-    /// The memory system never loses data under random word traffic, and
-    /// counts every access.
-    #[test]
-    fn random_word_traffic_is_exact(
-        writes in prop::collection::vec((0u32..16384, any::<u32>()), 1..64),
-    ) {
-        use ppatc_m0::{MemorySystem, DATA_BASE};
+/// The memory system never loses data under random word traffic, and
+/// counts every access.
+#[test]
+fn random_word_traffic_is_exact() {
+    use ppatc_m0::{MemorySystem, DATA_BASE};
+    let mut rng = SplitMix64::new(0x15A5);
+    for _ in 0..64 {
+        let n_writes = 1 + rng.next_below(63) as usize;
+        let writes: Vec<(u32, u32)> = (0..n_writes)
+            .map(|_| (rng.next_below(16384) as u32, rng.next_u32()))
+            .collect();
         let mut mem = MemorySystem::new(&[]);
         let mut model = std::collections::HashMap::new();
         for (k, &(word, value)) in writes.iter().enumerate() {
@@ -169,10 +191,13 @@ proptest! {
             model.insert(word, value);
         }
         for (&word, &value) in &model {
-            prop_assert_eq!(mem.read_u32(DATA_BASE + word * 4, 1_000_000).expect("in range"), value);
+            assert_eq!(
+                mem.read_u32(DATA_BASE + word * 4, 1_000_000).expect("in range"),
+                value
+            );
         }
-        prop_assert_eq!(mem.stats().data_writes, writes.len() as u64);
-        prop_assert_eq!(mem.stats().data_reads, model.len() as u64);
-        prop_assert_eq!(mem.stats().words_written, model.len() as u64);
+        assert_eq!(mem.stats().data_writes, writes.len() as u64);
+        assert_eq!(mem.stats().data_reads, model.len() as u64);
+        assert_eq!(mem.stats().words_written, model.len() as u64);
     }
 }

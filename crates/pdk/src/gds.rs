@@ -335,7 +335,7 @@ impl Writer {
 
     fn record_ascii(&mut self, rtype: u8, s: &str) {
         let mut bytes = s.as_bytes().to_vec();
-        if bytes.len() % 2 != 0 {
+        if !bytes.len().is_multiple_of(2) {
             bytes.push(0); // GDSII pads odd strings with NUL
         }
         self.header(rtype, dt::ASCII, bytes.len());
@@ -426,7 +426,7 @@ fn i16_payload(payload: &[u8], record: u8) -> Result<i16, GdsError> {
 }
 
 fn i32_payload(payload: &[u8]) -> Result<Vec<i32>, GdsError> {
-    if payload.len() % 4 != 0 {
+    if !payload.len().is_multiple_of(4) {
         return Err(GdsError::MalformedRecord { record: rec::XY });
     }
     Ok(payload

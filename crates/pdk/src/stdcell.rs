@@ -199,10 +199,10 @@ impl StdCellLibrary {
     /// Panics if the library lacks that kind (cannot happen for libraries
     /// from [`StdCellLibrary::asap7`]).
     pub fn cell(&self, kind: CellKind) -> &StdCell {
-        self.cells
-            .iter()
-            .find(|c| c.kind == kind)
-            .expect("library contains all cell kinds")
+        match self.cells.iter().find(|c| c.kind == kind) {
+            Some(cell) => cell,
+            None => panic!("library lacks cell kind {kind:?}"),
+        }
     }
 
     /// Iterates over the cells.

@@ -17,7 +17,7 @@ pub struct ElementId(pub(crate) usize);
 
 /// Minimum conductance from every node to ground (helps convergence and
 /// pins truly floating nodes), in siemens.
-const GMIN: f64 = 1e-12;
+pub(crate) const GMIN: f64 = 1e-12;
 
 /// Perturbation used for numeric FET derivatives, in volts.
 const DERIV_DV: f64 = 1e-6;
@@ -190,18 +190,25 @@ impl Circuit {
     /// Stamps the linearised MNA system around the candidate solution `x` at
     /// time `t`. `cap_companion` provides (g_eq, i_eq) per capacitor for
     /// transient analysis; `None` treats capacitors as open (DC).
+    ///
+    /// `gmin` is the shunt conductance to ground on every node (the
+    /// convergence-recovery ladder raises it temporarily); `source_scale`
+    /// multiplies every independent source value (source stepping ramps it
+    /// from near zero back to 1).
     pub(crate) fn stamp(
         &self,
         sys: &mut LinearSystem,
         x: &[f64],
         t: f64,
         cap_companion: Option<&[(f64, f64)]>,
+        gmin: f64,
+        source_scale: f64,
     ) {
         sys.clear();
         let n_nodes = self.node_names.len() - 1;
         // GMIN to ground on every non-ground node.
         for i in 0..n_nodes {
-            sys.add(i, i, GMIN);
+            sys.add(i, i, gmin);
         }
 
         let mut cap_idx = 0usize;
@@ -235,10 +242,10 @@ impl Circuit {
                         sys.add(in_, bi, -1.0);
                         sys.add(bi, in_, -1.0);
                     }
-                    sys.add_rhs(bi, wave.at(t));
+                    sys.add_rhs(bi, wave.at(t) * source_scale);
                 }
                 Element::ISource { p, n, wave } => {
-                    let j = wave.at(t);
+                    let j = wave.at(t) * source_scale;
                     if let Some(ip) = self.node_index(*p) {
                         sys.add_rhs(ip, -j);
                     }

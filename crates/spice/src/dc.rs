@@ -1,6 +1,22 @@
-//! DC operating-point analysis.
+//! DC operating-point analysis with a convergence-recovery ladder.
+//!
+//! The plain operating point ([`Circuit::dc_operating_point`]) runs one
+//! damped Newton solve. When that fails — stiff transfer curves, poor
+//! initial guesses, deliberately tight iteration budgets — the recovery
+//! entry point ([`Circuit::dc_operating_point_recovered`]) escalates
+//! through the classic SPICE ladder:
+//!
+//! 1. **Plain retry** at the configured iteration budget.
+//! 2. **GMIN stepping**: solve with a large shunt conductance to ground
+//!    (which linearises the system), then ramp it back down one decade at
+//!    a time, warm-starting each rung from the previous solution.
+//! 3. **Source stepping**: ramp every independent source from 10 % to
+//!    100 % of its value, warm-starting each rung.
+//!
+//! Every attempt is recorded in a [`RecoveryLog`] so callers can see
+//! which rung rescued the solve (or audit why everything failed).
 
-use crate::circuit::Circuit;
+use crate::circuit::{Circuit, GMIN};
 use crate::error::SpiceError;
 use crate::solver::LinearSystem;
 
@@ -10,6 +26,175 @@ const MAX_ITER: usize = 400;
 const V_TOL: f64 = 1e-9;
 /// Per-iteration clamp on node-voltage updates, volts (damping).
 const MAX_STEP: f64 = 0.3;
+/// GMIN-stepping ladder, in siemens, ending at the nominal [`GMIN`].
+const GMIN_LADDER: [f64; 5] = [1e-3, 1e-5, 1e-7, 1e-9, GMIN];
+/// Source-stepping rungs: fraction of full source value.
+const SOURCE_LADDER: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Internal knobs for one damped-Newton solve.
+pub(crate) struct NewtonOptions {
+    pub max_iter: usize,
+    pub gmin: f64,
+    pub source_scale: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self {
+            max_iter: MAX_ITER,
+            gmin: GMIN,
+            source_scale: 1.0,
+        }
+    }
+}
+
+/// Options for [`Circuit::dc_operating_point_recovered_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DcOptions {
+    max_iter: usize,
+}
+
+impl DcOptions {
+    /// The default configuration (400 Newton iterations per attempt).
+    pub fn new() -> Self {
+        Self { max_iter: MAX_ITER }
+    }
+
+    /// Overrides the per-attempt Newton iteration budget. Clamped to at
+    /// least 1.
+    #[must_use]
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter.max(1);
+        self
+    }
+
+    /// The per-attempt Newton iteration budget.
+    pub fn max_iter(&self) -> usize {
+        self.max_iter
+    }
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One rung of the convergence-recovery ladder.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum RecoveryStage {
+    /// The ordinary damped-Newton solve, no aids.
+    Plain,
+    /// A solve with an elevated GMIN shunt conductance (siemens).
+    GminStepping {
+        /// Shunt conductance used on this rung.
+        gmin: f64,
+    },
+    /// A solve with all independent sources scaled down.
+    SourceStepping {
+        /// Fraction of the full source values used on this rung.
+        scale: f64,
+    },
+}
+
+impl core::fmt::Display for RecoveryStage {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Plain => write!(f, "plain"),
+            Self::GminStepping { gmin } => write!(f, "gmin-step (gmin = {gmin:.0e} S)"),
+            Self::SourceStepping { scale } => {
+                write!(f, "source-step (scale = {scale:.1})")
+            }
+        }
+    }
+}
+
+/// The outcome of one recovery-ladder attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryAttempt {
+    /// Which ladder rung this attempt ran on.
+    pub stage: RecoveryStage,
+    /// Newton iterations spent in this attempt.
+    pub iterations: usize,
+    /// `None` on success; the solver error otherwise.
+    pub error: Option<SpiceError>,
+}
+
+impl RecoveryAttempt {
+    /// Whether this attempt converged.
+    pub fn converged(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// The full audit trail of a recovered DC solve: every attempt, in order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryLog {
+    /// All attempts, in the order they ran.
+    pub attempts: Vec<RecoveryAttempt>,
+}
+
+impl RecoveryLog {
+    fn record(&mut self, stage: RecoveryStage, outcome: &Result<usize, SpiceError>) {
+        self.attempts.push(match outcome {
+            Ok(iters) => RecoveryAttempt {
+                stage,
+                iterations: *iters,
+                error: None,
+            },
+            Err(e) => RecoveryAttempt {
+                stage,
+                // The attempt burned its whole budget without converging.
+                iterations: 0,
+                error: Some(e.clone()),
+            },
+        });
+    }
+
+    /// Total attempts across all stages.
+    pub fn total_attempts(&self) -> usize {
+        self.attempts.len()
+    }
+
+    /// Attempts that did *not* converge.
+    pub fn failed_attempts(&self) -> usize {
+        self.attempts.iter().filter(|a| !a.converged()).count()
+    }
+
+    /// Whether any recovery rung (anything beyond the first plain attempt)
+    /// was needed.
+    pub fn recovery_was_needed(&self) -> bool {
+        self.attempts.len() > 1
+    }
+
+    /// The stage of the final, successful attempt — i.e. which rung of the
+    /// ladder rescued the solve. `None` if nothing converged.
+    pub fn succeeded_via(&self) -> Option<RecoveryStage> {
+        let last = self.attempts.last()?;
+        last.converged().then_some(last.stage)
+    }
+
+    /// Total Newton iterations across every attempt that converged.
+    pub fn converged_iterations(&self) -> usize {
+        self.attempts.iter().map(|a| a.iterations).sum()
+    }
+}
+
+impl core::fmt::Display for RecoveryLog {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} attempt(s), {} failed",
+            self.total_attempts(),
+            self.failed_attempts()
+        )?;
+        match self.succeeded_via() {
+            Some(stage) => write!(f, "; converged via {stage}"),
+            None => write!(f, "; did not converge"),
+        }
+    }
+}
 
 impl Circuit {
     /// Computes the DC operating point (all sources at their `t = 0` value,
@@ -23,10 +208,13 @@ impl Circuit {
     /// # Errors
     ///
     /// [`SpiceError::SingularMatrix`] for ill-formed topologies and
-    /// [`SpiceError::NoConvergence`] if damped Newton fails.
+    /// [`SpiceError::NoConvergence`] if damped Newton fails. For automatic
+    /// retries through GMIN and source stepping, use
+    /// [`Circuit::dc_operating_point_recovered`].
     pub fn dc_operating_point(&self) -> Result<Vec<f64>, SpiceError> {
-        self.newton_solve(&mut vec![0.0; self.unknowns()], 0.0, None, "dc")
-            .map(|x| x.to_vec())
+        let mut x = vec![0.0; self.unknowns()];
+        self.newton_solve(&mut x, 0.0, None, "dc")?;
+        Ok(x)
     }
 
     /// Convenience: DC voltage of one node.
@@ -39,25 +227,153 @@ impl Circuit {
         Ok(ppatc_units::Voltage::from_volts(self.voltage_of(&x, node)))
     }
 
-    /// Damped Newton–Raphson around an initial guess `x` (updated in place
-    /// and returned on success).
-    pub(crate) fn newton_solve<'a>(
+    /// DC operating point with the full convergence-recovery ladder (see
+    /// the module docs) at default options.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] immediately for ill-formed
+    /// topologies; [`SpiceError::NoConvergence`] only after every rung of
+    /// the ladder has failed.
+    pub fn dc_operating_point_recovered(&self) -> Result<(Vec<f64>, RecoveryLog), SpiceError> {
+        self.dc_operating_point_recovered_with(DcOptions::new())
+    }
+
+    /// DC operating point with the recovery ladder and explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::dc_operating_point_recovered`].
+    pub fn dc_operating_point_recovered_with(
         &self,
-        x: &'a mut Vec<f64>,
+        opts: DcOptions,
+    ) -> Result<(Vec<f64>, RecoveryLog), SpiceError> {
+        let n = self.unknowns();
+        let mut log = RecoveryLog::default();
+
+        // Rung 1: plain solve.
+        let mut x = vec![0.0; n];
+        let plain = self.newton_solve_with(
+            &mut x,
+            0.0,
+            None,
+            "dc",
+            &NewtonOptions {
+                max_iter: opts.max_iter,
+                ..NewtonOptions::default()
+            },
+        );
+        log.record(RecoveryStage::Plain, &plain);
+        match plain {
+            Ok(_) => return Ok((x, log)),
+            // A singular matrix is structural (floating node, source loop);
+            // no amount of stepping will fix it. Fail fast.
+            Err(e @ SpiceError::SingularMatrix { .. }) => return Err(e),
+            Err(SpiceError::NoConvergence { .. }) => {}
+            Err(e) => return Err(e),
+        }
+
+        // Rung 2: GMIN stepping — heavily shunted first solve, then ramp
+        // the shunt back down to nominal, warm-starting each step.
+        let mut x = vec![0.0; n];
+        let mut gmin_ok = true;
+        for &gmin in &GMIN_LADDER {
+            let step = self.newton_solve_with(
+                &mut x,
+                0.0,
+                None,
+                "dc",
+                &NewtonOptions {
+                    max_iter: opts.max_iter,
+                    gmin,
+                    ..NewtonOptions::default()
+                },
+            );
+            log.record(RecoveryStage::GminStepping { gmin }, &step);
+            match step {
+                Ok(_) => {}
+                Err(e @ SpiceError::SingularMatrix { .. }) => return Err(e),
+                Err(_) => {
+                    gmin_ok = false;
+                    break;
+                }
+            }
+        }
+        if gmin_ok {
+            return Ok((x, log));
+        }
+
+        // Rung 3: source stepping — ramp all independent sources from 10 %
+        // to full value, warm-starting each step.
+        let mut x = vec![0.0; n];
+        let mut last_err = None;
+        let mut source_ok = true;
+        for &scale in &SOURCE_LADDER {
+            let step = self.newton_solve_with(
+                &mut x,
+                0.0,
+                None,
+                "dc",
+                &NewtonOptions {
+                    max_iter: opts.max_iter,
+                    source_scale: scale,
+                    ..NewtonOptions::default()
+                },
+            );
+            log.record(RecoveryStage::SourceStepping { scale }, &step);
+            match step {
+                Ok(_) => {}
+                Err(e @ SpiceError::SingularMatrix { .. }) => return Err(e),
+                Err(e) => {
+                    last_err = Some(e);
+                    source_ok = false;
+                    break;
+                }
+            }
+        }
+        if source_ok {
+            return Ok((x, log));
+        }
+
+        Err(last_err.unwrap_or(SpiceError::NoConvergence {
+            analysis: "dc",
+            time: 0.0,
+            residual: f64::INFINITY,
+        }))
+    }
+
+    /// Damped Newton–Raphson around an initial guess `x` (updated in place)
+    /// with default options. Returns the iteration count on success.
+    pub(crate) fn newton_solve(
+        &self,
+        x: &mut [f64],
         t: f64,
         cap_companion: Option<&[(f64, f64)]>,
         analysis: &'static str,
-    ) -> Result<&'a [f64], SpiceError> {
+    ) -> Result<usize, SpiceError> {
+        self.newton_solve_with(x, t, cap_companion, analysis, &NewtonOptions::default())
+    }
+
+    /// Damped Newton–Raphson with explicit iteration/GMIN/source-scale
+    /// options. Returns the number of iterations used on success.
+    pub(crate) fn newton_solve_with(
+        &self,
+        x: &mut [f64],
+        t: f64,
+        cap_companion: Option<&[(f64, f64)]>,
+        analysis: &'static str,
+        opts: &NewtonOptions,
+    ) -> Result<usize, SpiceError> {
         let n = self.unknowns();
         debug_assert_eq!(x.len(), n);
         if n == 0 {
-            return Ok(x.as_slice());
+            return Ok(0);
         }
         let n_node_unknowns = self.node_count() - 1;
         let mut sys = LinearSystem::new(n);
         let mut worst = f64::INFINITY;
-        for _ in 0..MAX_ITER {
-            self.stamp(&mut sys, x, t, cap_companion);
+        for iter in 0..opts.max_iter {
+            self.stamp(&mut sys, x, t, cap_companion, opts.gmin, opts.source_scale);
             let x_new = sys.solve()?;
             worst = 0.0;
             for i in 0..n {
@@ -71,7 +387,7 @@ impl Circuit {
                 x[i] += delta;
             }
             if worst < V_TOL {
-                return Ok(x.as_slice());
+                return Ok(iter + 1);
             }
         }
         Err(SpiceError::NoConvergence {
@@ -84,7 +400,8 @@ impl Circuit {
 
 #[cfg(test)]
 mod tests {
-    use crate::{Circuit, Waveform};
+    use super::{DcOptions, RecoveryStage};
+    use crate::{Circuit, SpiceError, Waveform};
     use ppatc_device::{si, SiVtFlavor};
     use ppatc_units::{approx_eq, Length, Resistance, Voltage};
 
@@ -112,32 +429,7 @@ mod tests {
         assert!(approx_eq(x[c.branch_index(0)], -1.0e-3, 1e-6));
     }
 
-    #[test]
-    fn cmos_inverter_transfer_points() {
-        let vdd = Voltage::from_volts(0.7);
-        let w = Length::from_nanometers(100.0);
-        let build = |vin: f64| {
-            let mut c = Circuit::new();
-            let nvdd = c.node("vdd");
-            let nin = c.node("in");
-            let nout = c.node("out");
-            c.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(vdd));
-            c.voltage_source("VIN", nin, Circuit::GROUND, Waveform::dc(Voltage::from_volts(vin)));
-            c.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
-            c.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
-            (c, nout)
-        };
-        let (c_low, out_low) = build(0.0);
-        let v_high = c_low.dc_voltage(out_low).expect("inverter should solve");
-        assert!(v_high.as_volts() > 0.65, "output high {v_high}");
-
-        let (c_high, out_high) = build(0.7);
-        let v_low = c_high.dc_voltage(out_high).expect("inverter should solve");
-        assert!(v_low.as_volts() < 0.05, "output low {v_low}");
-    }
-
-    #[test]
-    fn inverter_gain_region_is_between_rails() {
+    fn inverter(vin: f64) -> (Circuit, crate::NodeId) {
         let vdd = Voltage::from_volts(0.7);
         let w = Length::from_nanometers(100.0);
         let mut c = Circuit::new();
@@ -145,9 +437,26 @@ mod tests {
         let nin = c.node("in");
         let nout = c.node("out");
         c.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(vdd));
-        c.voltage_source("VIN", nin, Circuit::GROUND, Waveform::dc(Voltage::from_volts(0.35)));
+        c.voltage_source("VIN", nin, Circuit::GROUND, Waveform::dc(Voltage::from_volts(vin)));
         c.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
         c.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+        (c, nout)
+    }
+
+    #[test]
+    fn cmos_inverter_transfer_points() {
+        let (c_low, out_low) = inverter(0.0);
+        let v_high = c_low.dc_voltage(out_low).expect("inverter should solve");
+        assert!(v_high.as_volts() > 0.65, "output high {v_high}");
+
+        let (c_high, out_high) = inverter(0.7);
+        let v_low = c_high.dc_voltage(out_high).expect("inverter should solve");
+        assert!(v_low.as_volts() < 0.05, "output low {v_low}");
+    }
+
+    #[test]
+    fn inverter_gain_region_is_between_rails() {
+        let (c, nout) = inverter(0.35);
         let v = c.dc_voltage(nout).expect("inverter should solve").as_volts();
         assert!(v > 0.05 && v < 0.65, "midpoint output {v}");
     }
@@ -178,4 +487,92 @@ mod tests {
         let x = c.dc_operating_point().expect("empty circuit should solve");
         assert!(x.is_empty());
     }
+
+    #[test]
+    fn recovered_solve_matches_plain_solve_when_plain_converges() {
+        let (c, nout) = inverter(0.35);
+        let plain = c.dc_operating_point().expect("plain converges");
+        let (recovered, log) = c.dc_operating_point_recovered().expect("recovered converges");
+        let i = c.node_index(nout).expect("out is not ground");
+        assert!(approx_eq(plain[i], recovered[i], 1e-9));
+        assert_eq!(log.total_attempts(), 1, "no recovery needed: {log}");
+        assert!(!log.recovery_was_needed());
+        assert_eq!(log.succeeded_via(), Some(RecoveryStage::Plain));
+    }
+
+    #[test]
+    fn ladder_rescues_a_solve_the_plain_budget_cannot() {
+        // With the 0.3 V damping clamp, walking the supply rail up to
+        // 0.7 V from a zero guess alone needs ≥ 3 iterations, and the
+        // nonlinear output node needs several more (9 total): a
+        // 5-iteration budget starves the plain solve deterministically,
+        // while the warm-started source-stepping rungs each converge.
+        let opts = DcOptions::new().with_max_iter(5);
+        let (c, nout) = inverter(0.35);
+        let plain_err = {
+            let (c2, _) = inverter(0.35);
+            let mut x = vec![0.0; 5];
+            c2.newton_solve_with(
+                &mut x,
+                0.0,
+                None,
+                "dc",
+                &super::NewtonOptions {
+                    max_iter: opts.max_iter(),
+                    ..super::NewtonOptions::default()
+                },
+            )
+        };
+        assert!(
+            matches!(plain_err, Err(SpiceError::NoConvergence { .. })),
+            "plain solve must fail for the ladder to matter: {plain_err:?}"
+        );
+
+        let (x, log) = c
+            .dc_operating_point_recovered_with(opts)
+            .expect("ladder rescues the solve");
+        // The rescued answer matches the unconstrained solve.
+        let reference = c.dc_operating_point().expect("reference converges");
+        let i = c.node_index(nout).expect("out is not ground");
+        assert!(approx_eq(x[i], reference[i], 1e-6), "{} vs {}", x[i], reference[i]);
+
+        // The retry path is visible: the plain rung failed, recovery ran,
+        // and the final rung converged at full source value / nominal GMIN.
+        assert!(log.recovery_was_needed(), "{log}");
+        assert!(!log.attempts[0].converged());
+        assert_eq!(log.attempts[0].stage, RecoveryStage::Plain);
+        assert!(log.failed_attempts() >= 1);
+        match log.succeeded_via().expect("ladder converged") {
+            RecoveryStage::GminStepping { gmin } => {
+                assert!(approx_eq(gmin, crate::circuit::GMIN, 1e-18));
+            }
+            RecoveryStage::SourceStepping { scale } => {
+                assert!(approx_eq(scale, 1.0, 1e-12));
+            }
+            RecoveryStage::Plain => panic!("plain cannot be the rescuing rung: {log}"),
+        }
+    }
+
+    #[test]
+    fn singular_topologies_fail_fast_without_laddering() {
+        // Two ideal voltage sources in parallel with conflicting values:
+        // structurally singular, so the ladder must not retry.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("V1", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(1.0)));
+        c.voltage_source("V2", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(2.0)));
+        let err = c.dc_operating_point_recovered().expect_err("singular");
+        assert!(matches!(err, SpiceError::SingularMatrix { .. }), "{err}");
+    }
+
+    #[test]
+    fn exhausted_ladder_reports_no_convergence() {
+        // A 1-iteration budget cannot finish even the warm-started rungs.
+        let (c, _) = inverter(0.35);
+        let err = c
+            .dc_operating_point_recovered_with(DcOptions::new().with_max_iter(1))
+            .expect_err("nothing converges in one iteration");
+        assert!(matches!(err, SpiceError::NoConvergence { .. }), "{err}");
+    }
 }
+

@@ -2,6 +2,7 @@
 
 /// Error returned by circuit analyses.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum SpiceError {
     /// The MNA matrix was singular — usually a floating node or a loop of
     /// ideal voltage sources.

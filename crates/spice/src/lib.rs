@@ -52,6 +52,7 @@ mod transient;
 mod waveform;
 
 pub use circuit::{Circuit, ElementId, NodeId};
+pub use dc::{DcOptions, RecoveryAttempt, RecoveryLog, RecoveryStage};
 pub use error::SpiceError;
 pub use measure::{Edge, Trace};
 pub use sweep::SweepResult;

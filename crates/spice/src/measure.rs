@@ -101,7 +101,7 @@ impl Trace {
                 let frac = if t1 > t0 { (ts - t0) / (t1 - t0) } else { 1.0 };
                 Voltage::from_volts(v[k] + (v[k + 1] - v[k]) * frac)
             }
-            None => Voltage::from_volts(*v.last().expect("trace is non-empty")),
+            None => Voltage::from_volts(v.last().copied().unwrap_or(0.0)),
         }
     }
 

@@ -78,7 +78,7 @@ impl Circuit {
     pub fn transient(&self, cfg: &TransientConfig) -> Result<Trace, SpiceError> {
         let h = cfg.step.as_seconds();
         let stop = cfg.stop.as_seconds();
-        if !(h > 0.0) || !(stop > 0.0) {
+        if !h.is_finite() || h <= 0.0 || !stop.is_finite() || stop <= 0.0 {
             return Err(SpiceError::InvalidTimeAxis);
         }
         let n_steps = (stop / h).ceil() as usize;

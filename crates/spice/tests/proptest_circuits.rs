@@ -1,19 +1,20 @@
-//! Property tests of the circuit solver against closed-form analysis.
+//! Property tests of the circuit solver against closed-form analysis,
+//! driven by the deterministic in-repo PRNG.
 
 use ppatc_spice::{Circuit, TransientConfig, Waveform};
+use ppatc_units::rng::SplitMix64;
 use ppatc_units::{approx_eq, Capacitance, Resistance, Time, Voltage};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A random resistive ladder's DC node voltages satisfy the analytic
+/// series-divider formula.
+#[test]
+fn resistor_ladder_matches_divider_formula() {
+    let mut rng = SplitMix64::new(0x5B1C_E001);
+    for case in 0..64 {
+        let n = 2 + rng.next_below(6) as usize;
+        let r_kohms: Vec<f64> = (0..n).map(|_| rng.uniform(0.1, 100.0)).collect();
+        let v_in = rng.uniform(0.1, 5.0);
 
-    /// A random resistive ladder's DC node voltages satisfy the analytic
-    /// series-divider formula.
-    #[test]
-    fn resistor_ladder_matches_divider_formula(
-        r_kohms in prop::collection::vec(0.1..100.0f64, 2..8),
-        v_in in 0.1..5.0f64,
-    ) {
         let mut ckt = Circuit::new();
         let top = ckt.node("n0");
         ckt.voltage_source("V", top, Circuit::GROUND, Waveform::dc(Voltage::from_volts(v_in)));
@@ -41,18 +42,21 @@ proptest! {
             let v = ckt.dc_voltage(node).expect("solves").as_volts();
             // GMIN introduces a tiny systematic error; 0.1% is plenty.
             let _ = &x;
-            prop_assert!(approx_eq(v, expected, 1e-3), "node {i}: {v} vs {expected}");
+            assert!(approx_eq(v, expected, 1e-3), "case {case}, node {i}: {v} vs {expected}");
         }
     }
+}
 
-    /// Any RC low-pass settles to the source voltage, and its 63% point
-    /// lands near the analytic time constant.
-    #[test]
-    fn rc_settling_matches_tau(
-        r_kohm in 0.5..50.0f64,
-        c_ff in 10.0..2000.0f64,
-        v in 0.2..2.0f64,
-    ) {
+/// Any RC low-pass settles to the source voltage, and its 63% point
+/// lands near the analytic time constant.
+#[test]
+fn rc_settling_matches_tau() {
+    let mut rng = SplitMix64::new(0x5B1C_E002);
+    for case in 0..64 {
+        let r_kohm = rng.uniform(0.5, 50.0);
+        let c_ff = rng.uniform(10.0, 2000.0);
+        let v = rng.uniform(0.2, 2.0);
+
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let out = ckt.node("out");
@@ -65,24 +69,32 @@ proptest! {
             Time::from_seconds(tau_s / 200.0),
         );
         let trace = ckt.transient(&cfg).expect("rc runs");
-        prop_assert!(approx_eq(trace.last_voltage(out).as_volts(), v, 2e-3));
+        assert!(approx_eq(trace.last_voltage(out).as_volts(), v, 2e-3), "case {case}");
         let t63 = trace
             .crossing(out, Voltage::from_volts(v * 0.632), ppatc_spice::Edge::Rising, Time::zero())
             .expect("63% crossing exists");
-        prop_assert!(approx_eq(t63.as_seconds(), tau_s, 0.03), "tau {} vs {}", t63.as_seconds(), tau_s);
+        assert!(
+            approx_eq(t63.as_seconds(), tau_s, 0.03),
+            "case {case}: tau {} vs {tau_s}",
+            t63.as_seconds()
+        );
     }
+}
 
-    /// Charge conservation: the charge delivered by the source equals C·ΔV
-    /// on the load within integration error.
-    #[test]
-    fn source_charge_equals_cv(
-        c_ff in 10.0..1000.0f64,
-        v in 0.2..2.0f64,
-    ) {
+/// Charge conservation: the charge delivered by the source equals C·ΔV
+/// on the load within integration error.
+#[test]
+fn source_charge_equals_cv() {
+    let mut rng = SplitMix64::new(0x5B1C_E003);
+    for case in 0..64 {
+        let c_ff = rng.uniform(10.0, 1000.0);
+        let v = rng.uniform(0.2, 2.0);
+
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let out = ckt.node("out");
-        let src = ckt.voltage_source("V", vin, Circuit::GROUND, Waveform::step(Voltage::from_volts(v)));
+        let src =
+            ckt.voltage_source("V", vin, Circuit::GROUND, Waveform::step(Voltage::from_volts(v)));
         ckt.resistor("R", vin, out, Resistance::from_kilo_ohms(1.0));
         ckt.capacitor("C", out, Circuit::GROUND, Capacitance::from_femtofarads(c_ff));
         let tau_s = 1e3 * c_ff * 1e-15;
@@ -92,6 +104,6 @@ proptest! {
         );
         let trace = ckt.transient(&cfg).expect("rc runs");
         let q = trace.source_charge(src).as_femtocoulombs();
-        prop_assert!(approx_eq(q, c_ff * v, 0.02), "Q {q} vs {}", c_ff * v);
+        assert!(approx_eq(q, c_ff * v, 0.02), "case {case}: Q {q} vs {}", c_ff * v);
     }
 }

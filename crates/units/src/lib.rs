@@ -35,6 +35,7 @@ mod carbon;
 mod electrical;
 mod energy;
 mod geometry;
+pub mod rng;
 mod time;
 
 pub use carbon::{CarbonArea, CarbonDelay, CarbonIntensity, CarbonMass, CarbonPerEnergyArea};

@@ -18,8 +18,6 @@ macro_rules! quantity {
     ) => {
         $(#[$meta])*
         #[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
-        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-        #[cfg_attr(feature = "serde", serde(transparent))]
         pub struct $name(f64);
 
         impl $name {

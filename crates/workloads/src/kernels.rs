@@ -20,7 +20,7 @@ pub(crate) const MATMUL_DEFAULT_REPS: u32 = 186;
 const N: usize = 20;
 
 fn matmul_source(reps: u32) -> String {
-    assert!(reps >= 1 && reps <= 255, "matmul reps must be 1-255");
+    assert!((1..=255).contains(&reps), "matmul reps must be 1-255");
     format!(
         "
         ; ---- init: A[idx] = (7*idx+1)&0xFF, B[idx] = (3*idx+2)&0xFF ----
@@ -129,7 +129,7 @@ pub fn crc32() -> Workload {
 }
 
 fn crc32_source(reps: u32) -> String {
-    assert!(reps >= 1 && reps <= 255, "crc32 reps must be 1-255");
+    assert!((1..=255).contains(&reps), "crc32 reps must be 1-255");
     format!(
         "
         ; ---- init: data[i] = (13*i + 7) & 0xFF ----
@@ -202,7 +202,7 @@ pub fn edn() -> Workload {
 }
 
 fn edn_source(reps: u32) -> String {
-    assert!(reps >= 1 && reps <= 255, "edn reps must be 1-255");
+    assert!((1..=255).contains(&reps), "edn reps must be 1-255");
     format!(
         "
         ; ---- init: x[i]=(5i+3)&0x7F, y[i]=(11i+1)&0x7F ----
@@ -269,7 +269,7 @@ pub fn bubblesort() -> Workload {
 }
 
 fn bubblesort_source(reps: u32) -> String {
-    assert!(reps >= 1 && reps <= 255, "bubblesort reps must be 1-255");
+    assert!((1..=255).contains(&reps), "bubblesort reps must be 1-255");
     format!(
         "
             movs r7, #{reps}
@@ -347,7 +347,7 @@ pub fn sieve() -> Workload {
 }
 
 fn sieve_source(reps: u32) -> String {
-    assert!(reps >= 1 && reps <= 255, "sieve reps must be 1-255");
+    assert!((1..=255).contains(&reps), "sieve reps must be 1-255");
     format!(
         "
             movs r7, #{reps}
@@ -421,7 +421,7 @@ pub fn fir() -> Workload {
 }
 
 fn fir_source(reps: u32) -> String {
-    assert!(reps >= 1 && reps <= 255, "fir reps must be 1-255");
+    assert!((1..=255).contains(&reps), "fir reps must be 1-255");
     format!(
         "
         ; ---- init: x[i]=(9i+5)&0xFF, c[k]=k+1 ----

@@ -317,7 +317,7 @@ fn nbody_golden() -> u32 {
     let mut x: Vec<i32> = (0..8i64)
         .map(|i| ((i * i * 17) & 0x3FFF) as i32)
         .collect();
-    let mut v = vec![0i32; 8];
+    let mut v = [0i32; 8];
     for _ in 0..32 {
         for i in 1..7usize {
             let f = x[i - 1].wrapping_add(x[i + 1]).wrapping_sub(2i32.wrapping_mul(x[i]));

@@ -229,6 +229,7 @@ pub struct WorkloadRun {
 
 /// Failure while preparing or running a workload.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum WorkloadError {
     /// Kernel source failed to assemble.
     Assemble(asm::AsmError),

@@ -1,0 +1,323 @@
+//! Deterministic fault-injection harness.
+//!
+//! Every test here feeds the pipeline deliberately corrupted inputs — NaN
+//! model parameters, zero and negative widths, inverted uncertainty
+//! ranges, solvers starved of iterations — and asserts that the failure
+//! surfaces as a *structured error*, never as a panic, and that
+//! per-sample faults in a Monte-Carlo sweep are isolated and counted
+//! rather than aborting the sweep.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ppatc::montecarlo::{
+    self, MonteCarloConfig, RatioSource, UncertaintyRanges, UncertaintySample,
+};
+use ppatc::{
+    CarbonTrajectory, EmbodiedPipeline, Lifetime, PpatcError, SystemDesign, TcdpMap, Technology,
+    UsagePattern,
+};
+use ppatc_device::{si, DeviceError, SiVtFlavor};
+use ppatc_spice::{Circuit, DcOptions, RecoveryStage, SpiceError, Waveform};
+use ppatc_units::{CarbonIntensity, CarbonMass, Frequency, Length, Power, Time, Voltage};
+
+/// Asserts that `f` completes without panicking and returns its value.
+fn no_panic<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => v,
+        Err(_) => panic!("`{label}` panicked on hostile input"),
+    }
+}
+
+fn paper_trajectory(embodied_g: f64, power_mw: f64) -> CarbonTrajectory {
+    CarbonTrajectory::new(
+        CarbonMass::from_grams(embodied_g),
+        Power::from_milliwatts(power_mw),
+        UsagePattern::paper_default(),
+        Time::from_seconds(0.04),
+    )
+}
+
+fn paper_map() -> TcdpMap {
+    TcdpMap::new(
+        paper_trajectory(3.11, 9.7),
+        paper_trajectory(3.63, 8.45),
+        Lifetime::months(24.0),
+        0.81,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Device layer: NaN parameters and degenerate widths.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nan_model_parameters_are_structured_errors() {
+    let w = Length::from_nanometers(100.0);
+    let corruptions: [fn(&mut ppatc_device::VirtualSourceModel); 4] = [
+        |m| m.c_inv = f64::NAN,
+        |m| m.v_x0 = f64::NAN,
+        |m| m.mobility = -1.0,
+        |m| m.beta = f64::NAN,
+    ];
+    for corrupt in corruptions {
+        let mut model = si::nfet(SiVtFlavor::Rvt);
+        corrupt(&mut model);
+        let err = no_panic("try_sized with NaN parameter", || model.try_sized(w))
+            .expect_err("corrupted model must be rejected");
+        assert!(matches!(err, DeviceError::Model(_)), "{err}");
+        // The source chain reaches the underlying parameter error.
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}
+
+#[test]
+fn degenerate_widths_are_structured_errors() {
+    for bad_nm in [0.0, -100.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let err = no_panic("try_sized with degenerate width", || {
+            si::nfet(SiVtFlavor::Rvt).try_sized(Length::from_nanometers(bad_nm))
+        })
+        .expect_err("degenerate width must be rejected");
+        assert!(matches!(err, DeviceError::InvalidWidth(_)), "{err}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation layer: hostile scalar inputs through every try_* constructor.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hostile_scalars_never_panic_through_try_apis() {
+    let hostile = [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+    for &v in &hostile {
+        no_panic("Lifetime::try_months", || {
+            let r = Lifetime::try_months(v);
+            // 0.0 is a legal (degenerate) lifetime; everything else here is not.
+            assert_eq!(r.is_ok(), v == 0.0, "months({v})");
+        });
+        no_panic("UsagePattern::try_new", || {
+            assert!(
+                UsagePattern::try_new(v, CarbonIntensity::from_g_per_kwh(380.0)).is_err(),
+                "hours_per_day({v})"
+            );
+        });
+        no_panic("EmbodiedPipeline::try_with_embodied_scale", || {
+            assert!(EmbodiedPipeline::paper_default()
+                .try_with_embodied_scale(v)
+                .is_err());
+        });
+        no_panic("TcdpMap::try_ratio_with", || {
+            assert!(paper_map().try_ratio_with(v, 1.0, None).is_err());
+            assert!(paper_map().try_ratio_with(1.0, v, None).is_err());
+        });
+        no_panic("SystemDesign::new with hostile f_clk", || {
+            let r = SystemDesign::new(Technology::AllSi, Frequency::from_hertz(v));
+            assert!(r.is_err(), "f_clk({v})");
+        });
+    }
+}
+
+#[test]
+fn hostile_inputs_carry_field_names() {
+    let e = Lifetime::try_months(f64::NAN).expect_err("NaN lifetime");
+    assert_eq!(e.field, "lifetime_months");
+    let e = UsagePattern::try_new(25.0, CarbonIntensity::from_g_per_kwh(380.0))
+        .expect_err("26-hour day");
+    assert_eq!(e.field, "hours_per_day");
+    let e = TcdpMap::try_new(
+        paper_trajectory(3.11, 9.7),
+        paper_trajectory(3.63, 8.45),
+        Lifetime::months(24.0),
+        1.5,
+    )
+    .expect_err("yield above 1");
+    assert_eq!(e.field, "m3d_nominal_yield");
+}
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo layer: invalid ranges and injected per-sample faults.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn inverted_and_nan_ranges_are_structured_errors() {
+    let config = MonteCarloConfig::new(100, 1).expect("valid config");
+    let map = paper_map();
+
+    let mut inverted = UncertaintyRanges::paper_default();
+    inverted.lifetime_months = (36.0, 12.0);
+    let err = no_panic("try_run with inverted range", || {
+        montecarlo::try_run(&map, &inverted, &config)
+    })
+    .expect_err("inverted range must be rejected");
+    assert!(matches!(err, PpatcError::Validation(_)), "{err}");
+
+    let mut nan_hi = UncertaintyRanges::paper_default();
+    nan_hi.ci_use_scale = (0.5, f64::NAN);
+    assert!(montecarlo::try_run(&map, &nan_hi, &config).is_err());
+
+    let mut wild_yield = UncertaintyRanges::paper_default();
+    wild_yield.m3d_yield = (0.5, 1.5);
+    assert!(montecarlo::try_run(&map, &wild_yield, &config).is_err());
+}
+
+/// A ratio source that corrupts every `nan_every`-th evaluation with NaN
+/// and every `neg_every`-th with a negative ratio.
+struct FaultySource {
+    inner: TcdpMap,
+    nan_every: usize,
+    neg_every: usize,
+    calls: Cell<usize>,
+}
+
+impl RatioSource for FaultySource {
+    fn tcdp_ratio(&self, sample: &UncertaintySample) -> f64 {
+        let n = self.calls.get() + 1;
+        self.calls.set(n);
+        if n % self.nan_every == 0 {
+            f64::NAN
+        } else if n % self.neg_every == 0 {
+            -1.0
+        } else {
+            self.inner.tcdp_ratio(sample)
+        }
+    }
+}
+
+#[test]
+fn injected_sample_faults_are_isolated_and_counted_per_cause() {
+    let source = FaultySource {
+        inner: paper_map(),
+        nan_every: 10,
+        neg_every: 7,
+        calls: Cell::new(0),
+    };
+    let config = MonteCarloConfig::new(700, 42)
+        .expect("valid config")
+        .with_failure_budget(0.5)
+        .expect("valid budget");
+    let result = no_panic("try_run_with under injected faults", || {
+        montecarlo::try_run_with(&source, &UncertaintyRanges::paper_default(), &config)
+    })
+    .expect("sweep completes despite injected faults");
+
+    // Of 700 calls: 70 are NaN; multiples of 7 that are not also
+    // multiples of 10 (i.e. not multiples of 70) are negative.
+    assert_eq!(result.failures.non_finite_ratio, 70);
+    assert_eq!(result.failures.non_positive_ratio, 100 - 10);
+    assert_eq!(result.evaluated + result.failures.total(), result.samples);
+    // Survivor statistics stay physical.
+    assert!(result.p_m3d_wins >= 0.0 && result.p_m3d_wins <= 1.0);
+    let (q05, q50, q95) = result.ratio_quantiles;
+    assert!(q05 <= q50 && q50 <= q95);
+    assert!(q05 > 0.0);
+}
+
+#[test]
+fn blown_failure_budget_is_an_error_not_a_panic() {
+    struct AlwaysNan;
+    impl RatioSource for AlwaysNan {
+        fn tcdp_ratio(&self, _: &UncertaintySample) -> f64 {
+            f64::NAN
+        }
+    }
+    let config = MonteCarloConfig::new(50, 3).expect("valid config");
+    let err = no_panic("try_run_with with 100% faults", || {
+        montecarlo::try_run_with(&AlwaysNan, &UncertaintyRanges::paper_default(), &config)
+    })
+    .expect_err("nothing survives");
+    match err {
+        PpatcError::FailureBudgetExceeded { failed, samples, .. } => {
+            assert_eq!(failed, 50);
+            assert_eq!(samples, 50);
+        }
+        other => panic!("expected FailureBudgetExceeded, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SPICE layer: forced non-convergence and the recovery ladder.
+// ---------------------------------------------------------------------------
+
+fn inverter_at_midrail() -> (Circuit, ppatc_spice::NodeId) {
+    let vdd = Voltage::from_volts(0.7);
+    let w = Length::from_nanometers(100.0);
+    let mut c = Circuit::new();
+    let nvdd = c.node("vdd");
+    let nin = c.node("in");
+    let nout = c.node("out");
+    c.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(vdd));
+    c.voltage_source("VIN", nin, Circuit::GROUND, Waveform::dc(Voltage::from_volts(0.35)));
+    c.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
+    c.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+    (c, nout)
+}
+
+#[test]
+fn forced_non_convergence_is_a_structured_error() {
+    let (c, _) = inverter_at_midrail();
+    // One Newton iteration per rung cannot converge anything nonlinear —
+    // even the full ladder must give up, with an error, not a panic.
+    let err = no_panic("recovery ladder at max_iter = 1", || {
+        c.dc_operating_point_recovered_with(DcOptions::new().with_max_iter(1))
+    })
+    .expect_err("one iteration cannot converge an inverter");
+    assert!(matches!(err, SpiceError::NoConvergence { .. }), "{err}");
+}
+
+#[test]
+fn recovery_ladder_rescues_a_starved_solve_and_logs_the_path() {
+    let (c, nout) = inverter_at_midrail();
+    let opts = DcOptions::new().with_max_iter(5);
+    let (x, log) = c
+        .dc_operating_point_recovered_with(opts)
+        .expect("ladder rescues the solve");
+
+    // The plain rung failed and the ladder escalated.
+    assert!(log.recovery_was_needed(), "{log}");
+    assert_eq!(log.attempts[0].stage, RecoveryStage::Plain);
+    assert!(!log.attempts[0].converged());
+    assert!(log.failed_attempts() >= 1);
+    // The final rung converged at full source value.
+    assert!(matches!(
+        log.succeeded_via(),
+        Some(RecoveryStage::SourceStepping { scale }) if (scale - 1.0).abs() < 1e-12
+    ));
+
+    // And the rescued solution matches the unconstrained solve. Nodes are
+    // created in order vdd, in, out → out is unknown index 2.
+    let v = c.dc_voltage(nout).expect("reference converges").as_volts();
+    assert!((x[2] - v).abs() < 1e-6, "{} vs {v}", x[2]);
+}
+
+#[test]
+fn singular_topologies_fail_fast_with_a_structured_error() {
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    c.voltage_source("V1", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(1.0)));
+    c.voltage_source("V2", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(2.0)));
+    let err = no_panic("singular circuit", || c.dc_operating_point_recovered())
+        .expect_err("conflicting ideal sources are singular");
+    assert!(matches!(err, SpiceError::SingularMatrix { .. }), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Cross-layer: errors compose into the unified taxonomy.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_layer_error_converts_into_ppatc_error() {
+    let spice_err = SpiceError::NoConvergence {
+        analysis: "dc",
+        time: 0.0,
+        residual: 1.0,
+    };
+    let unified: PpatcError = spice_err.into();
+    assert!(matches!(unified, PpatcError::Spice(_)));
+    assert!(std::error::Error::source(&unified).is_some());
+
+    let validation = Lifetime::try_months(-1.0).expect_err("negative lifetime");
+    let unified: PpatcError = validation.into();
+    assert!(matches!(unified, PpatcError::Validation(_)));
+    let msg = unified.to_string();
+    assert!(msg.contains("lifetime_months"), "{msg}");
+}

@@ -1,118 +1,154 @@
-//! Property-based tests (proptest) on the core invariants of the model
-//! stack.
+//! Property-based tests on the core invariants of the model stack, driven
+//! by the deterministic in-repo PRNG ([`ppatc_units::rng::SplitMix64`]).
+//!
+//! Each property runs a fixed number of pseudo-random cases from a fixed
+//! seed, so a failure is always reproducible; the panic message includes the
+//! case index and inputs.
 
 use ppatc::{CarbonTrajectory, Lifetime, TcdpMap, UsagePattern};
 use ppatc_device::{si, SiVtFlavor};
 use ppatc_m0::{Cpu, Instruction, Reg};
+use ppatc_units::rng::SplitMix64;
 use ppatc_units::*;
 use ppatc_wafer::{DieSpec, WaferSpec, YieldModel};
-use proptest::prelude::*;
 
-proptest! {
-    // ---- units ----
+const CASES: usize = 64;
 
-    #[test]
-    fn unit_arithmetic_is_consistent(a in 1e-6..1e6f64, b in 1e-6..1e6f64) {
+// ---- units ----
+
+#[test]
+fn unit_arithmetic_is_consistent() {
+    let mut rng = SplitMix64::new(0xBA5E_0001);
+    for case in 0..CASES {
         // P·t/t = P, E/t·t = E, ratios are dimensionless inverses.
+        let a = rng.log_uniform(1e-6, 1e6);
+        let b = rng.log_uniform(1e-6, 1e6);
         let p = Power::from_watts(a);
         let t = Time::from_seconds(b);
         let e = p * t;
-        prop_assert!(approx_eq((e / t).as_watts(), a, 1e-12));
-        prop_assert!(approx_eq((e / p).as_seconds(), b, 1e-12));
+        assert!(approx_eq((e / t).as_watts(), a, 1e-12), "case {case}: a={a}, b={b}");
+        assert!(approx_eq((e / p).as_seconds(), b, 1e-12), "case {case}: a={a}, b={b}");
     }
+}
 
-    #[test]
-    fn carbon_intensity_round_trip(g_per_kwh in 0.0..5000.0f64, kwh in 0.0..1e6f64) {
+#[test]
+fn carbon_intensity_round_trip() {
+    let mut rng = SplitMix64::new(0xBA5E_0002);
+    for case in 0..CASES {
+        let g_per_kwh = rng.uniform(0.0, 5000.0);
+        let kwh = rng.uniform(0.0, 1e6);
         let ci = CarbonIntensity::from_g_per_kwh(g_per_kwh);
         let c = ci * Energy::from_kilowatt_hours(kwh);
-        prop_assert!(approx_eq(c.as_grams(), g_per_kwh * kwh, 1e-9));
+        assert!(approx_eq(c.as_grams(), g_per_kwh * kwh, 1e-9), "case {case}");
     }
+}
 
-    #[test]
-    fn month_conversions_invert(months in 0.0..1200.0f64) {
-        prop_assert!(approx_eq(Time::from_months(months).as_months(), months, 1e-12));
+#[test]
+fn month_conversions_invert() {
+    let mut rng = SplitMix64::new(0xBA5E_0003);
+    for case in 0..CASES {
+        let months = rng.uniform(0.0, 1200.0);
+        assert!(
+            approx_eq(Time::from_months(months).as_months(), months, 1e-12),
+            "case {case}: {months}"
+        );
     }
+}
 
-    // ---- devices ----
+// ---- devices ----
 
-    #[test]
-    fn drain_current_is_monotone_in_vgs(
-        v1 in 0.0..1.3f64,
-        dv in 0.001..0.5f64,
-        vds in 0.05..0.7f64,
-    ) {
+#[test]
+fn drain_current_is_monotone_in_vgs() {
+    let mut rng = SplitMix64::new(0xBA5E_0004);
+    for case in 0..CASES {
+        let v1 = rng.uniform(0.0, 1.3);
+        let dv = rng.uniform(0.001, 0.5);
+        let vds = rng.uniform(0.05, 0.7);
         let model = si::nfet(SiVtFlavor::Rvt);
         let lo = model.current_per_width(v1, vds);
         let hi = model.current_per_width(v1 + dv, vds);
-        prop_assert!(hi > lo, "I(vgs) must increase: {lo} vs {hi}");
+        assert!(hi > lo, "case {case}: I(vgs) must increase: {lo} vs {hi}");
     }
+}
 
-    #[test]
-    fn drain_current_antisymmetric_under_terminal_swap(
-        vgs in 0.0..1.0f64,
-        vds in 0.0..0.7f64,
-    ) {
+#[test]
+fn drain_current_antisymmetric_under_terminal_swap() {
+    let mut rng = SplitMix64::new(0xBA5E_0005);
+    for case in 0..CASES {
+        let vgs = rng.uniform(0.0, 1.0);
+        let vds = rng.uniform(0.0, 0.7);
         // I(vgs, vds) = -I(vgs - vds, -vds): exchanging source and drain
         // flips the sign.
         let model = si::nfet(SiVtFlavor::Lvt);
         let fwd = model.current_per_width(vgs, vds);
         let rev = model.current_per_width(vgs - vds, -vds);
-        prop_assert!(approx_eq(fwd, -rev, 1e-9));
+        assert!(approx_eq(fwd, -rev, 1e-9), "case {case}: vgs={vgs}, vds={vds}");
     }
+}
 
-    // ---- wafer / yield ----
+// ---- wafer / yield ----
 
-    #[test]
-    fn dies_per_wafer_decreases_with_die_size(
-        w_um in 100.0..2000.0f64,
-        h_um in 100.0..2000.0f64,
-        grow in 1.01..3.0f64,
-    ) {
+#[test]
+fn dies_per_wafer_decreases_with_die_size() {
+    let mut rng = SplitMix64::new(0xBA5E_0006);
+    for case in 0..CASES {
+        let w_um = rng.uniform(100.0, 2000.0);
+        let h_um = rng.uniform(100.0, 2000.0);
+        let grow = rng.uniform(1.01, 3.0);
         let wafer = WaferSpec::paper_default();
         let small = DieSpec::new(Length::from_micrometers(w_um), Length::from_micrometers(h_um));
         let big = DieSpec::new(
             Length::from_micrometers(w_um * grow),
             Length::from_micrometers(h_um * grow),
         );
-        prop_assert!(wafer.dies_per_wafer(&big) <= wafer.dies_per_wafer(&small));
+        assert!(
+            wafer.dies_per_wafer(&big) <= wafer.dies_per_wafer(&small),
+            "case {case}: {w_um}x{h_um} grow {grow}"
+        );
     }
+}
 
-    #[test]
-    fn yield_models_stay_in_unit_interval(
-        d0 in 0.0..10.0f64,
-        alpha in 0.1..100.0f64,
-        area_mm2 in 0.001..500.0f64,
-    ) {
+#[test]
+fn yield_models_stay_in_unit_interval() {
+    let mut rng = SplitMix64::new(0xBA5E_0007);
+    for case in 0..CASES {
+        let d0 = rng.uniform(0.0, 10.0);
+        let alpha = rng.uniform(0.1, 100.0);
+        let area_mm2 = rng.log_uniform(0.001, 500.0);
         let a = Area::from_square_millimeters(area_mm2);
         for y in [
             YieldModel::Poisson { d0_per_cm2: d0 }.die_yield(a),
             YieldModel::Murphy { d0_per_cm2: d0 }.die_yield(a),
             YieldModel::NegativeBinomial { d0_per_cm2: d0, alpha }.die_yield(a),
         ] {
-            prop_assert!((0.0..=1.0).contains(&y), "yield {y} out of range");
+            assert!((0.0..=1.0).contains(&y), "case {case}: yield {y} out of range");
         }
     }
+}
 
-    #[test]
-    fn murphy_bounds_poisson_from_above(
-        d0 in 0.01..5.0f64,
-        area_mm2 in 0.1..200.0f64,
-    ) {
+#[test]
+fn murphy_bounds_poisson_from_above() {
+    let mut rng = SplitMix64::new(0xBA5E_0008);
+    for case in 0..CASES {
+        let d0 = rng.uniform(0.01, 5.0);
+        let area_mm2 = rng.uniform(0.1, 200.0);
         let a = Area::from_square_millimeters(area_mm2);
         let poisson = YieldModel::Poisson { d0_per_cm2: d0 }.die_yield(a);
         let murphy = YieldModel::Murphy { d0_per_cm2: d0 }.die_yield(a);
-        prop_assert!(murphy >= poisson - 1e-12);
+        assert!(murphy >= poisson - 1e-12, "case {case}: d0={d0}, A={area_mm2}");
     }
+}
 
-    // ---- carbon trajectories ----
+// ---- carbon trajectories ----
 
-    #[test]
-    fn total_carbon_is_monotone_in_lifetime(
-        embodied_g in 0.1..100.0f64,
-        power_mw in 0.01..1000.0f64,
-        m1 in 0.1..600.0f64,
-        dm in 0.1..600.0f64,
-    ) {
+#[test]
+fn total_carbon_is_monotone_in_lifetime() {
+    let mut rng = SplitMix64::new(0xBA5E_0009);
+    for case in 0..CASES {
+        let embodied_g = rng.uniform(0.1, 100.0);
+        let power_mw = rng.log_uniform(0.01, 1000.0);
+        let m1 = rng.uniform(0.1, 600.0);
+        let dm = rng.uniform(0.1, 600.0);
         let t = CarbonTrajectory::new(
             CarbonMass::from_grams(embodied_g),
             Power::from_milliwatts(power_mw),
@@ -121,14 +157,16 @@ proptest! {
         );
         let a = t.total(Lifetime::months(m1));
         let b = t.total(Lifetime::months(m1 + dm));
-        prop_assert!(b > a);
+        assert!(b > a, "case {case}");
     }
+}
 
-    #[test]
-    fn embodied_dominance_crossover_is_exact(
-        embodied_g in 0.1..100.0f64,
-        power_mw in 0.1..1000.0f64,
-    ) {
+#[test]
+fn embodied_dominance_crossover_is_exact() {
+    let mut rng = SplitMix64::new(0xBA5E_000A);
+    for case in 0..CASES {
+        let embodied_g = rng.uniform(0.1, 100.0);
+        let power_mw = rng.log_uniform(0.1, 1000.0);
         let t = CarbonTrajectory::new(
             CarbonMass::from_grams(embodied_g),
             Power::from_milliwatts(power_mw),
@@ -136,43 +174,55 @@ proptest! {
             Time::from_seconds(0.04),
         );
         let cross = t.embodied_dominance_crossover().expect("power > 0");
-        prop_assert!(approx_eq(
-            t.operational(cross).as_grams(),
-            t.embodied().as_grams(),
-            1e-9
-        ));
+        assert!(
+            approx_eq(t.operational(cross).as_grams(), t.embodied().as_grams(), 1e-9),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn isoline_equalizes_random_design_pairs(
-        e_si in 0.5..50.0f64,
-        e_m3d in 0.5..50.0f64,
-        p_si in 1.0..100.0f64,
-        p_m3d in 1.0..100.0f64,
-        x in 0.2..3.0f64,
-        months in 1.0..60.0f64,
-    ) {
+#[test]
+fn isoline_equalizes_random_design_pairs() {
+    let mut rng = SplitMix64::new(0xBA5E_000B);
+    for case in 0..CASES {
+        let e_si = rng.uniform(0.5, 50.0);
+        let e_m3d = rng.uniform(0.5, 50.0);
+        let p_si = rng.uniform(1.0, 100.0);
+        let p_m3d = rng.uniform(1.0, 100.0);
+        let x = rng.uniform(0.2, 3.0);
+        let months = rng.uniform(1.0, 60.0);
         let usage = UsagePattern::paper_default();
         let exec = Time::from_seconds(0.04);
         let si = CarbonTrajectory::new(
-            CarbonMass::from_grams(e_si), Power::from_milliwatts(p_si), usage, exec);
+            CarbonMass::from_grams(e_si),
+            Power::from_milliwatts(p_si),
+            usage,
+            exec,
+        );
         let m3d = CarbonTrajectory::new(
-            CarbonMass::from_grams(e_m3d), Power::from_milliwatts(p_m3d), usage, exec);
+            CarbonMass::from_grams(e_m3d),
+            Power::from_milliwatts(p_m3d),
+            usage,
+            exec,
+        );
         let map = TcdpMap::new(si, m3d, Lifetime::months(months), 0.5);
         if let Some(y) = map.isoline_y(x, None) {
-            prop_assert!(approx_eq(map.ratio(x, y), 1.0, 1e-9));
+            assert!(approx_eq(map.ratio(x, y), 1.0, 1e-9), "case {case}");
         }
     }
+}
 
-    // ---- the instruction set ----
+// ---- the instruction set ----
 
-    #[test]
-    fn movs_adds_sequences_compute_correct_sums(
-        start in 0u8..200,
-        add in prop::collection::vec(0u8..50, 1..20),
-    ) {
+#[test]
+fn movs_adds_sequences_compute_correct_sums() {
+    let mut rng = SplitMix64::new(0xBA5E_000C);
+    for case in 0..CASES {
         // Build a straight-line program with the typed encoder, run it, and
         // check the architectural result against u32 arithmetic.
+        let start = rng.next_below(200) as u8;
+        let n_adds = 1 + rng.next_below(19) as usize;
+        let add: Vec<u8> = (0..n_adds).map(|_| rng.next_below(50) as u8).collect();
         let mut halves: Vec<u16> = Vec::new();
         let mut push = |i: Instruction| {
             halves.extend_from_slice(i.encode().halfwords());
@@ -187,23 +237,137 @@ proptest! {
         let image: Vec<u8> = halves.iter().flat_map(|h| h.to_le_bytes()).collect();
         let mut cpu = Cpu::new(&image);
         cpu.run(100_000).expect("straight-line program halts");
-        prop_assert_eq!(cpu.reg(0), expected);
+        assert_eq!(cpu.reg(0), expected, "case {case}");
         // 1 cycle per instruction (+1 for bkpt).
-        prop_assert_eq!(cpu.cycles(), add.len() as u64 + 2);
+        assert_eq!(cpu.cycles(), add.len() as u64 + 2, "case {case}");
     }
+}
 
-    #[test]
-    fn memory_roundtrip_random_words(words in prop::collection::vec(any::<u32>(), 1..32)) {
-        use ppatc_m0::{MemorySystem, DATA_BASE};
+#[test]
+fn memory_roundtrip_random_words() {
+    use ppatc_m0::{MemorySystem, DATA_BASE};
+    let mut rng = SplitMix64::new(0xBA5E_000D);
+    for case in 0..CASES {
+        let n = 1 + rng.next_below(31) as usize;
+        let words: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
         let mut mem = MemorySystem::new(&[]);
         for (i, &w) in words.iter().enumerate() {
             mem.write_u32(DATA_BASE + 4 * i as u32, w, i as u64).expect("in range");
         }
         for (i, &w) in words.iter().enumerate() {
             let got = mem.read_u32(DATA_BASE + 4 * i as u32, 1000).expect("in range");
-            prop_assert_eq!(got, w);
+            assert_eq!(got, w, "case {case}, word {i}");
         }
-        prop_assert_eq!(mem.stats().data_writes, words.len() as u64);
-        prop_assert_eq!(mem.stats().data_reads, words.len() as u64);
+        assert_eq!(mem.stats().data_writes, words.len() as u64);
+        assert_eq!(mem.stats().data_reads, words.len() as u64);
+    }
+}
+
+// ---- boundary robustness: try_* APIs never panic on hostile inputs ----
+
+/// Draws a hostile scalar: zero, a negative value, NaN, or an infinity.
+fn hostile_scalar(rng: &mut SplitMix64) -> f64 {
+    match rng.next_below(5) {
+        0 => 0.0,
+        1 => -rng.log_uniform(1e-12, 1e12),
+        2 => f64::NAN,
+        3 => f64::INFINITY,
+        _ => f64::NEG_INFINITY,
+    }
+}
+
+#[test]
+fn try_constructors_never_panic_on_hostile_scalars() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let mut rng = SplitMix64::new(0xBA5E_000E);
+    for case in 0..CASES {
+        let v = hostile_scalar(&mut rng);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = Lifetime::try_months(v);
+            let _ = UsagePattern::try_new(v, CarbonIntensity::from_g_per_kwh(380.0));
+            let _ = ppatc::EmbodiedPipeline::paper_default().try_with_embodied_scale(v);
+            let _ = si::nfet(SiVtFlavor::Rvt).try_sized(Length::from_nanometers(v));
+            let _ = ppatc::montecarlo::MonteCarloConfig::new(1, 1)
+                .expect("valid base config")
+                .with_failure_budget(v);
+        }));
+        assert!(outcome.is_ok(), "case {case}: try_* API panicked on {v}");
+    }
+}
+
+#[test]
+fn hostile_scalars_are_rejected_not_accepted() {
+    let mut rng = SplitMix64::new(0xBA5E_000F);
+    for case in 0..CASES {
+        let v = hostile_scalar(&mut rng);
+        // Strictly-positive constructors must reject every hostile draw.
+        assert!(
+            ppatc::EmbodiedPipeline::paper_default()
+                .try_with_embodied_scale(v)
+                .is_err(),
+            "case {case}: embodied scale accepted {v}"
+        );
+        assert!(
+            si::nfet(SiVtFlavor::Rvt)
+                .try_sized(Length::from_nanometers(v))
+                .is_err(),
+            "case {case}: width accepted {v}"
+        );
+        // Non-negative constructors accept only exact zero.
+        assert_eq!(
+            Lifetime::try_months(v).is_ok(),
+            v == 0.0,
+            "case {case}: lifetime({v})"
+        );
+    }
+}
+
+#[test]
+fn hostile_trajectory_inputs_never_panic() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let mut rng = SplitMix64::new(0xBA5E_0010);
+    for case in 0..CASES {
+        let (a, b, c) = (
+            hostile_scalar(&mut rng),
+            hostile_scalar(&mut rng),
+            hostile_scalar(&mut rng),
+        );
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = CarbonTrajectory::try_new(
+                CarbonMass::from_grams(a),
+                Power::from_watts(b),
+                UsagePattern::paper_default(),
+                Time::from_seconds(c),
+            );
+        }));
+        assert!(outcome.is_ok(), "case {case}: trajectory panicked on ({a}, {b}, {c})");
+    }
+}
+
+#[test]
+fn hostile_map_scales_are_structured_errors_across_random_maps() {
+    let mut rng = SplitMix64::new(0xBA5E_0011);
+    for case in 0..CASES {
+        // A random but valid map...
+        let traj = |rng: &mut SplitMix64| {
+            CarbonTrajectory::new(
+                CarbonMass::from_grams(rng.uniform(0.5, 10.0)),
+                Power::from_milliwatts(rng.uniform(1.0, 20.0)),
+                UsagePattern::paper_default(),
+                Time::from_seconds(rng.uniform(0.01, 0.1)),
+            )
+        };
+        let map = TcdpMap::new(
+            traj(&mut rng),
+            traj(&mut rng),
+            Lifetime::months(rng.uniform(1.0, 48.0)),
+            rng.uniform(0.1, 1.0),
+        );
+        // ...still rejects every hostile scale factor with a field name.
+        let v = hostile_scalar(&mut rng);
+        let e = map.try_ratio_with(v, 1.0, None).expect_err("hostile x scale");
+        assert_eq!(e.field, "embodied_scale", "case {case}");
+        let e = map.try_ratio_with(1.0, v, None).expect_err("hostile y scale");
+        assert_eq!(e.field, "eop_scale", "case {case}");
     }
 }
