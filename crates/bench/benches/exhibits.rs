@@ -98,7 +98,10 @@ fn main() {
 
     h.bench("fig5/lifetime_series", ppatc_bench::fig5::series);
     h.bench("fig6a/raster_21x21", ppatc_bench::fig6::raster);
-    h.bench("fig6b/uncertainty_isolines", ppatc_bench::fig6::uncertainty_isolines);
+    h.bench(
+        "fig6b/uncertainty_isolines",
+        ppatc_bench::fig6::uncertainty_isolines,
+    );
 
     {
         let map = ppatc_bench::case_study().tcdp_map(ppatc::Lifetime::months(24.0));
@@ -142,7 +145,13 @@ fn main() {
         let vin = ckt.voltage_source("VIN", nin, Circuit::GROUND, Waveform::dc(Voltage::zero()));
         let w = Length::from_nanometers(100.0);
         ckt.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
-        ckt.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+        ckt.fet(
+            "MN",
+            nout,
+            nin,
+            Circuit::GROUND,
+            si::nfet(SiVtFlavor::Rvt).sized(w),
+        );
         let values: Vec<f64> = (0..=140).map(|i| 0.7 * f64::from(i) / 140.0).collect();
         h.bench("ext/spice_inverter_vtc_141pts", || {
             ckt.dc_sweep(vin, &values).expect("sweep solves")

@@ -81,8 +81,7 @@ pub fn euv_sensitivity() -> Vec<(f64, f64, f64, f64)> {
             // Scale only the EUV entry of the database.
             let base = StepEnergies::calibrated_7nm();
             let probe = ppatc_fab::ProcessStep::litho(ppatc_fab::LithoTool::Euv, "probe");
-            let imm_probe =
-                ppatc_fab::ProcessStep::litho(ppatc_fab::LithoTool::Immersion, "probe");
+            let imm_probe = ppatc_fab::ProcessStep::litho(ppatc_fab::LithoTool::Immersion, "probe");
             let dep = ppatc_fab::ProcessStep::new(ppatc_fab::ProcessArea::Deposition, "p");
             let dry = ppatc_fab::ProcessStep::new(ppatc_fab::ProcessArea::DryEtch, "p");
             let wet = ppatc_fab::ProcessStep::new(ppatc_fab::ProcessArea::WetEtch, "p");
@@ -242,7 +241,10 @@ mod tests {
     #[test]
     fn paper_2kb_choice_is_on_the_flat_part() {
         let rows = subarray_sweep();
-        let at_2k = rows.iter().find(|r| r.subarray_bytes == 2048).expect("2 kB row");
+        let at_2k = rows
+            .iter()
+            .find(|r| r.subarray_bytes == 2048)
+            .expect("2 kB row");
         assert!(at_2k.meets_500mhz);
         // Within 15% of the fastest organization's latency…
         let fastest = rows
@@ -297,7 +299,10 @@ mod tests {
     #[test]
     fn murphy_punishes_the_bigger_die() {
         let rows = yield_model_choice();
-        let si = rows.iter().find(|(t, ..)| *t == Technology::AllSi).expect("Si row");
+        let si = rows
+            .iter()
+            .find(|(t, ..)| *t == Technology::AllSi)
+            .expect("Si row");
         let m3d = rows
             .iter()
             .find(|(t, ..)| *t == Technology::M3dIgzoCnfetSi)
@@ -306,6 +311,10 @@ mod tests {
         // worse than the M3D die.
         assert!(si.3 < m3d.3, "yields: Si {:.2} vs M3D {:.2}", si.3, m3d.3);
         // Murphy at this D0 leaves M3D near its fixed 50% anchor.
-        assert!(approx_eq(m3d.3, 0.50, 0.10), "M3D Murphy yield {:.2}", m3d.3);
+        assert!(
+            approx_eq(m3d.3, 0.50, 0.10),
+            "M3D Murphy yield {:.2}",
+            m3d.3
+        );
     }
 }

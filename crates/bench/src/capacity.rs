@@ -64,7 +64,10 @@ pub fn sweep() -> Vec<CapacityPoint> {
                 ],
                 embodied_g: [
                     study.embodied(Technology::AllSi).per_good_die().as_grams(),
-                    study.embodied(Technology::M3dIgzoCnfetSi).per_good_die().as_grams(),
+                    study
+                        .embodied(Technology::M3dIgzoCnfetSi)
+                        .per_good_die()
+                        .as_grams(),
                 ],
                 m3d_benefit_24mo: 1.0 / study.tcdp_ratio(life),
             }
@@ -132,7 +135,10 @@ mod tests {
     #[test]
     fn the_paper_point_is_in_the_sweep() {
         let pts = sweep();
-        let at_64 = pts.iter().find(|p| p.kb_per_macro == 64).expect("64 kB point");
+        let at_64 = pts
+            .iter()
+            .find(|p| p.kb_per_macro == 64)
+            .expect("64 kB point");
         assert!((at_64.m3d_benefit_24mo - 1.03).abs() < 0.02);
         assert!((at_64.area_mm2[0] - 0.137).abs() < 0.01);
     }

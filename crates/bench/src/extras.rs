@@ -67,9 +67,8 @@ pub fn workload_rows() -> Vec<WorkloadRow> {
 
 /// Renders the workload table.
 pub fn render_workloads() -> String {
-    let mut out = String::from(
-        "kernel        cycles/rep     IPC   mem-accesses/cycle   write fraction\n",
-    );
+    let mut out =
+        String::from("kernel        cycles/rep     IPC   mem-accesses/cycle   write fraction\n");
     for r in workload_rows() {
         out.push_str(&format!(
             "{:<12}{:>12}{:>8.2}{:>15.2}{:>17.2}\n",
@@ -97,7 +96,12 @@ mod tests {
         assert_eq!(rows.len(), 10);
         for r in &rows {
             assert!(r.ipc > 0.3 && r.ipc < 1.0, "{}: IPC {}", r.name, r.ipc);
-            assert!(r.accesses_per_cycle > 0.3, "{}: A/C {}", r.name, r.accesses_per_cycle);
+            assert!(
+                r.accesses_per_cycle > 0.3,
+                "{}: A/C {}",
+                r.name,
+                r.accesses_per_cycle
+            );
             assert!((0.0..=1.0).contains(&r.write_fraction));
         }
     }
@@ -108,6 +112,9 @@ mod tests {
         let max_wf = rows.iter().map(|r| r.write_fraction).fold(0.0, f64::max);
         let min_wf = rows.iter().map(|r| r.write_fraction).fold(1.0, f64::min);
         // From read-only (fsm) to write-heavy (sieve).
-        assert!(max_wf > 0.5 && min_wf < 0.1, "write fractions {min_wf:.2}..{max_wf:.2}");
+        assert!(
+            max_wf > 0.5 && min_wf < 0.1,
+            "write fractions {min_wf:.2}..{max_wf:.2}"
+        );
     }
 }

@@ -29,7 +29,9 @@ pub fn render() -> String {
         let left = si
             .get(si.len().wrapping_sub(1 + i).min(si.len().saturating_sub(1)))
             .filter(|_| i < si.len());
-        let right = m3d.get(m3d.len().wrapping_sub(1 + i)).filter(|_| i < m3d.len());
+        let right = m3d
+            .get(m3d.len().wrapping_sub(1 + i))
+            .filter(|_| i < m3d.len());
         let fmt_layer = |l: Option<&CrossSectionLayer>| match l {
             Some(l) => format!("{:<22}{:>5.0}-{:<5.0}", l.name, l.z_bottom_nm, l.z_top_nm),
             None => " ".repeat(34),

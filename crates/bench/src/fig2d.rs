@@ -39,8 +39,7 @@ pub fn rows() -> Vec<AreaRow> {
 
 /// Renders the figure's data.
 pub fn render() -> String {
-    let mut out =
-        String::from("process area     steps   total (kWh/wafer)   per step (kWh)\n");
+    let mut out = String::from("process area     steps   total (kWh/wafer)   per step (kWh)\n");
     let mut total = 0.0;
     let mut n = 0;
     for r in rows() {
@@ -87,7 +86,11 @@ mod tests {
     fn per_step_division_is_consistent() {
         for r in rows() {
             if r.steps > 0 {
-                assert!(approx_eq(r.kwh_per_step * r.steps as f64, r.total_kwh, 1e-12));
+                assert!(approx_eq(
+                    r.kwh_per_step * r.steps as f64,
+                    r.total_kwh,
+                    1e-12
+                ));
             }
         }
     }

@@ -44,7 +44,8 @@ pub fn curves() -> Vec<(SiVtFlavor, Vec<CurvePoint>)> {
 
 /// Renders the sweep.
 pub fn render() -> String {
-    let mut out = String::from("f_clk (MHz)      HVT      RVT      LVT     SLVT   (energy/cycle, pJ)\n");
+    let mut out =
+        String::from("f_clk (MHz)      HVT      RVT      LVT     SLVT   (energy/cycle, pJ)\n");
     let curves = curves();
     for i in 0..10 {
         let f_mhz = 100.0 * (i + 1) as f64;

@@ -71,7 +71,9 @@ pub fn render() -> String {
         out.push_str(&format!("design total-carbon crossover: {c:.1} mo\n"));
     }
     for (m, benefit) in tcdp_benefits() {
-        out.push_str(&format!("tCDP benefit of M3D at {m:>4.0} mo: {benefit:.3}x\n"));
+        out.push_str(&format!(
+            "tCDP benefit of M3D at {m:>4.0} mo: {benefit:.3}x\n"
+        ));
     }
     out
 }
@@ -94,7 +96,11 @@ mod tests {
         // At 1 month M3D is less carbon-efficient (benefit < 1); by 24
         // months the benefit reaches the paper's 1.02×.
         assert!(benefits[0].1 < 1.0);
-        assert!(approx_eq(benefits[2].1, 1.02, 0.015), "24-mo benefit {}", benefits[2].1);
+        assert!(
+            approx_eq(benefits[2].1, 1.02, 0.015),
+            "24-mo benefit {}",
+            benefits[2].1
+        );
         // Benefit grows monotonically with lifetime.
         assert!(benefits[0].1 < benefits[1].1 && benefits[1].1 < benefits[2].1);
     }

@@ -29,12 +29,30 @@ pub fn uncertainty_isolines() -> Vec<(&'static str, Vec<IsolinePoint>)> {
     let xs = x_samples();
     vec![
         ("nominal", m.isoline(&xs)),
-        ("lifetime −6 mo", m.isoline_with(&xs, Some(Perturbation::LifetimeDeltaMonths(-6.0)))),
-        ("lifetime +6 mo", m.isoline_with(&xs, Some(Perturbation::LifetimeDeltaMonths(6.0)))),
-        ("CI_use ÷ 3", m.isoline_with(&xs, Some(Perturbation::CiUseScale(1.0 / 3.0)))),
-        ("CI_use × 3", m.isoline_with(&xs, Some(Perturbation::CiUseScale(3.0)))),
-        ("M3D yield 10%", m.isoline_with(&xs, Some(Perturbation::M3dYield(0.10)))),
-        ("M3D yield 90%", m.isoline_with(&xs, Some(Perturbation::M3dYield(0.90)))),
+        (
+            "lifetime −6 mo",
+            m.isoline_with(&xs, Some(Perturbation::LifetimeDeltaMonths(-6.0))),
+        ),
+        (
+            "lifetime +6 mo",
+            m.isoline_with(&xs, Some(Perturbation::LifetimeDeltaMonths(6.0))),
+        ),
+        (
+            "CI_use ÷ 3",
+            m.isoline_with(&xs, Some(Perturbation::CiUseScale(1.0 / 3.0))),
+        ),
+        (
+            "CI_use × 3",
+            m.isoline_with(&xs, Some(Perturbation::CiUseScale(3.0))),
+        ),
+        (
+            "M3D yield 10%",
+            m.isoline_with(&xs, Some(Perturbation::M3dYield(0.10))),
+        ),
+        (
+            "M3D yield 90%",
+            m.isoline_with(&xs, Some(Perturbation::M3dYield(0.90))),
+        ),
     ]
 }
 
@@ -63,7 +81,10 @@ pub fn render_map() -> String {
     for p in isoline() {
         match p.eop_scale {
             Some(y) => out.push_str(&format!("  x = {:>5.2}  y = {y:.3}\n", p.embodied_scale)),
-            None => out.push_str(&format!("  x = {:>5.2}  (all-Si always wins)\n", p.embodied_scale)),
+            None => out.push_str(&format!(
+                "  x = {:>5.2}  (all-Si always wins)\n",
+                p.embodied_scale
+            )),
         }
     }
     out
@@ -151,8 +172,14 @@ mod tests {
             Some(Perturbation::M3dYield(0.10)),
             Some(Perturbation::M3dYield(0.90)),
         ] {
-            assert!(m.ratio_with(0.3, 0.2, p) < 1.0, "M3D corner flips under {p:?}");
-            assert!(m.ratio_with(3.0, 1.5, p) > 1.0, "Si corner flips under {p:?}");
+            assert!(
+                m.ratio_with(0.3, 0.2, p) < 1.0,
+                "M3D corner flips under {p:?}"
+            );
+            assert!(
+                m.ratio_with(3.0, 1.5, p) > 1.0,
+                "Si corner flips under {p:?}"
+            );
         }
     }
 }

@@ -80,7 +80,9 @@ mod tests {
     #[test]
     fn all_exhibits_render() {
         let text = super::render_all();
-        for marker in ["Table I", "Fig. 2c", "Fig. 4", "Table II", "Fig. 5", "Fig. 6"] {
+        for marker in [
+            "Table I", "Fig. 2c", "Fig. 4", "Table II", "Fig. 5", "Fig. 6",
+        ] {
             assert!(text.contains(marker), "missing {marker}");
         }
     }

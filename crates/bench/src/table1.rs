@@ -47,16 +47,18 @@ pub fn rows() -> Vec<FetRow> {
 
 /// Renders the table.
 pub fn render() -> String {
-    let mut out = String::from(
-        "FET        I_EFF (µA/µm)    I_OFF (A/µm)    BEOL-compatible\n",
-    );
+    let mut out = String::from("FET        I_EFF (µA/µm)    I_OFF (A/µm)    BEOL-compatible\n");
     for r in rows() {
         out.push_str(&format!(
             "{:<11}{:>12.1}{:>17.2e}    {}\n",
             r.name,
             r.i_eff_ua_per_um,
             r.i_off_a_per_um,
-            if r.beol_compatible { "yes (low-T)" } else { "no (FEOL only)" }
+            if r.beol_compatible {
+                "yes (low-T)"
+            } else {
+                "no (FEOL only)"
+            }
         ));
     }
     out

@@ -54,6 +54,7 @@ impl EmbodiedPipeline {
     /// Scales the final embodied carbon by `factor` — the x-axis of the
     /// Fig. 6 maps (uncertainty in C_embodied). Rejects non-positive or
     /// non-finite factors.
+    #[must_use = "this returns a Result that must be handled"]
     pub fn try_with_embodied_scale(mut self, factor: f64) -> Result<Self, ValidationError> {
         check::positive("embodied_scale", factor)?;
         self.embodied_scale = factor;
@@ -88,8 +89,12 @@ impl EmbodiedPipeline {
         let die = design.die();
         let dies_per_wafer = self.wafer.dies_per_wafer(&die);
         let die_yield = design.yield_model().die_yield(die.area());
-        let per_good_die =
-            ppatc_wafer::embodied_per_good_die(per_wafer, dies_per_wafer, design.yield_model(), die.area());
+        let per_good_die = ppatc_wafer::embodied_per_good_die(
+            per_wafer,
+            dies_per_wafer,
+            design.yield_model(),
+            die.area(),
+        );
         EmbodiedPerDie {
             per_wafer,
             dies_per_wafer,
@@ -156,7 +161,10 @@ mod tests {
         let pipe = EmbodiedPipeline::paper_default();
         let n_si = pipe.per_good_die(&si).dies_per_wafer();
         let n_m3d = pipe.per_good_die(&m3d).dies_per_wafer();
-        assert!(approx_eq(n_si as f64, 299_127.0, 0.02), "all-Si dies {n_si}");
+        assert!(
+            approx_eq(n_si as f64, 299_127.0, 0.02),
+            "all-Si dies {n_si}"
+        );
         assert!(approx_eq(n_m3d as f64, 606_238.0, 0.04), "M3D dies {n_m3d}");
     }
 
@@ -169,7 +177,11 @@ mod tests {
         assert!(approx_eq(c_si, 3.11, 0.03), "all-Si per good die {c_si} g");
         assert!(approx_eq(c_m3d, 3.63, 0.05), "M3D per good die {c_m3d} g");
         // Sec. III-C: 1.17× embodied increase per good die for M3D.
-        assert!(approx_eq(c_m3d / c_si, 1.17, 0.04), "ratio {}", c_m3d / c_si);
+        assert!(
+            approx_eq(c_m3d / c_si, 1.17, 0.04),
+            "ratio {}",
+            c_m3d / c_si
+        );
     }
 
     #[test]

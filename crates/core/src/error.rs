@@ -38,8 +38,13 @@ pub struct ValidationError {
 impl ValidationError {
     /// Creates a validation error for `field` with the given `value` and
     /// `requirement` description.
+    // ppatc-lint: allow(raw-unit-api) — generic validation over any raw float
     pub fn new(field: &'static str, value: f64, requirement: &'static str) -> Self {
-        Self { field, value, requirement }
+        Self {
+            field,
+            value,
+            requirement,
+        }
     }
 }
 
@@ -63,6 +68,7 @@ pub mod check {
     use super::ValidationError;
 
     /// Requires `value` to be finite (neither NaN nor ±∞).
+    // ppatc-lint: allow(raw-unit-api) — generic validation over any raw float
     pub fn finite(field: &'static str, value: f64) -> Result<f64, ValidationError> {
         if value.is_finite() {
             Ok(value)
@@ -72,6 +78,7 @@ pub mod check {
     }
 
     /// Requires `value` to be finite and strictly positive.
+    // ppatc-lint: allow(raw-unit-api) — generic validation over any raw float
     pub fn positive(field: &'static str, value: f64) -> Result<f64, ValidationError> {
         if value.is_finite() && value > 0.0 {
             Ok(value)
@@ -81,6 +88,7 @@ pub mod check {
     }
 
     /// Requires `value` to be finite and non-negative.
+    // ppatc-lint: allow(raw-unit-api) — generic validation over any raw float
     pub fn non_negative(field: &'static str, value: f64) -> Result<f64, ValidationError> {
         if value.is_finite() && value >= 0.0 {
             Ok(value)
@@ -92,6 +100,7 @@ pub mod check {
     /// Requires `lo < value <= hi` (the shape of a yield or duty-cycle
     /// bound). The `requirement` string should spell the range, e.g.
     /// `"in (0, 1]"`.
+    // ppatc-lint: allow(raw-unit-api) — generic validation over any raw float
     pub fn in_open_closed(
         field: &'static str,
         value: f64,
@@ -148,7 +157,11 @@ impl core::fmt::Display for PpatcError {
             Self::Workload(e) => write!(f, "workload error: {e}"),
             Self::Timing(e) => write!(f, "timing error: {e}"),
             Self::Validation(e) => write!(f, "{e}"),
-            Self::FailureBudgetExceeded { failed, samples, budget } => write!(
+            Self::FailureBudgetExceeded {
+                failed,
+                samples,
+                budget,
+            } => write!(
                 f,
                 "{failed} of {samples} Monte-Carlo samples failed, exceeding the \
                  failure budget of {:.1}%",
@@ -233,7 +246,10 @@ mod tests {
         assert!(check::positive("x", f64::NAN).is_err());
         assert_eq!(check::non_negative("x", 0.0), Ok(0.0));
         assert!(check::non_negative("x", -1e-300).is_err());
-        assert_eq!(check::in_open_closed("y", 1.0, 0.0, 1.0, "in (0, 1]"), Ok(1.0));
+        assert_eq!(
+            check::in_open_closed("y", 1.0, 0.0, 1.0, "in (0, 1]"),
+            Ok(1.0)
+        );
         assert!(check::in_open_closed("y", 0.0, 0.0, 1.0, "in (0, 1]").is_err());
         assert!(check::in_open_closed("y", f64::NAN, 0.0, 1.0, "in (0, 1]").is_err());
     }
@@ -244,14 +260,22 @@ mod tests {
         let e = PpatcError::from(v.clone());
         let src = e.source().expect("validation has a source");
         assert_eq!(src.to_string(), v.to_string());
-        assert!(PpatcError::FailureBudgetExceeded { failed: 3, samples: 10, budget: 0.1 }
-            .source()
-            .is_none());
+        assert!(PpatcError::FailureBudgetExceeded {
+            failed: 3,
+            samples: 10,
+            budget: 0.1
+        }
+        .source()
+        .is_none());
     }
 
     #[test]
     fn display_covers_budget_variant() {
-        let e = PpatcError::FailureBudgetExceeded { failed: 7, samples: 100, budget: 0.05 };
+        let e = PpatcError::FailureBudgetExceeded {
+            failed: 7,
+            samples: 100,
+            budget: 0.05,
+        };
         let text = e.to_string();
         assert!(text.contains("7 of 100"), "{text}");
         assert!(text.contains("5.0%"), "{text}");

@@ -57,15 +57,27 @@ impl TcdpMap {
     ///
     /// Rejects yields outside `(0, 1]` (including NaN) and non-finite or
     /// non-positive lifetimes with a structured [`ValidationError`].
+    #[must_use = "this returns a Result that must be handled"]
     pub fn try_new(
         si: CarbonTrajectory,
         m3d: CarbonTrajectory,
         lifetime: Lifetime,
         m3d_nominal_yield: f64,
     ) -> Result<Self, ValidationError> {
-        check::in_open_closed("m3d_nominal_yield", m3d_nominal_yield, 0.0, 1.0, "in (0, 1]")?;
+        check::in_open_closed(
+            "m3d_nominal_yield",
+            m3d_nominal_yield,
+            0.0,
+            1.0,
+            "in (0, 1]",
+        )?;
         check::positive("lifetime", lifetime.as_time().as_months())?;
-        Ok(Self { si, m3d, lifetime, m3d_nominal_yield })
+        Ok(Self {
+            si,
+            m3d,
+            lifetime,
+            m3d_nominal_yield,
+        })
     }
 
     /// Panicking convenience wrapper around [`TcdpMap::try_new`].
@@ -100,6 +112,7 @@ impl TcdpMap {
     /// tCDP ratio under an optional Fig. 6b perturbation, rejecting
     /// non-positive or non-finite scale factors and invalid perturbations
     /// with a structured [`ValidationError`].
+    #[must_use = "this returns a Result that must be handled"]
     pub fn try_ratio_with(
         &self,
         embodied_scale: f64,
@@ -138,6 +151,8 @@ impl TcdpMap {
     /// an optional perturbation. `Ok(None)` means the all-Si design wins at
     /// every positive operational scale for this x; `Err` reports an
     /// invalid perturbation.
+    #[must_use = "this returns a Result that must be handled"]
+    // ppatc-lint: allow(raw-unit-api) — Fig. 6 isoline axes are dimensionless scale factors
     pub fn try_isoline_y(
         &self,
         embodied_scale: f64,
@@ -145,8 +160,7 @@ impl TcdpMap {
     ) -> Result<Option<f64>, ValidationError> {
         check::finite("embodied_scale", embodied_scale)?;
         let (life, ci_scale, yield_scale) = self.apply(perturbation)?;
-        let tc_si = self.si.embodied().as_grams()
-            + self.si.operational(life).as_grams() * ci_scale;
+        let tc_si = self.si.embodied().as_grams() + self.si.operational(life).as_grams() * ci_scale;
         let e_m3d = self.m3d.embodied().as_grams() * yield_scale * embodied_scale;
         let o_m3d = self.m3d.operational(life).as_grams() * ci_scale;
         if o_m3d <= 0.0 {
@@ -162,6 +176,7 @@ impl TcdpMap {
     ///
     /// Panics if `embodied_scale` is non-finite or the perturbation is
     /// invalid.
+    // ppatc-lint: allow(raw-unit-api) — Fig. 6 isoline axes are dimensionless scale factors
     pub fn isoline_y(
         &self,
         embodied_scale: f64,
@@ -174,12 +189,18 @@ impl TcdpMap {
     }
 
     /// Samples the nominal isoline at the given x values.
+    // ppatc-lint: allow(raw-unit-api) — Fig. 6 isoline axes are dimensionless scale factors
     pub fn isoline(&self, xs: &[f64]) -> Vec<IsolinePoint> {
         self.isoline_with(xs, None)
     }
 
     /// Samples a perturbed isoline at the given x values.
-    pub fn isoline_with(&self, xs: &[f64], perturbation: Option<Perturbation>) -> Vec<IsolinePoint> {
+    // ppatc-lint: allow(raw-unit-api) — Fig. 6 isoline axes are dimensionless scale factors
+    pub fn isoline_with(
+        &self,
+        xs: &[f64],
+        perturbation: Option<Perturbation>,
+    ) -> Vec<IsolinePoint> {
         xs.iter()
             .map(|&x| IsolinePoint {
                 embodied_scale: x,
@@ -191,6 +212,8 @@ impl TcdpMap {
     /// Rasterizes the ratio colormap over `[x0, x1] × [y0, y1]` as
     /// `(x, y, ratio)` triples, row-major in y. Rejects resolutions below
     /// 2×2 and empty or non-finite ranges.
+    #[must_use = "this returns a Result that must be handled"]
+    // ppatc-lint: allow(raw-unit-api) — raster axes are dimensionless scale factors
     pub fn try_raster(
         &self,
         (x0, x1): (f64, f64),
@@ -229,6 +252,7 @@ impl TcdpMap {
     ///
     /// Panics if either resolution is below 2 or a range is empty or
     /// non-finite.
+    // ppatc-lint: allow(raw-unit-api) — raster axes are dimensionless scale factors
     pub fn raster(
         &self,
         x_range: (f64, f64),
@@ -382,7 +406,12 @@ mod tests {
         let exec = Time::from_seconds(0.04);
         let usage = UsagePattern::paper_default();
         let t = |g: f64, mw: f64| {
-            CarbonTrajectory::new(CarbonMass::from_grams(g), Power::from_milliwatts(mw), usage, exec)
+            CarbonTrajectory::new(
+                CarbonMass::from_grams(g),
+                Power::from_milliwatts(mw),
+                usage,
+                exec,
+            )
         };
         let e = TcdpMap::try_new(t(3.0, 9.0), t(3.5, 8.0), Lifetime::months(24.0), 1.7)
             .expect_err("yield above 1 rejected");
@@ -391,9 +420,13 @@ mod tests {
         let e = TcdpMap::try_new(t(3.0, 9.0), t(3.5, 8.0), Lifetime::months(24.0), f64::NAN)
             .expect_err("NaN yield rejected");
         assert_eq!(e.field, "m3d_nominal_yield");
-        let e = m.try_ratio_with(f64::NAN, 1.0, None).expect_err("NaN scale rejected");
+        let e = m
+            .try_ratio_with(f64::NAN, 1.0, None)
+            .expect_err("NaN scale rejected");
         assert_eq!(e.field, "embodied_scale");
-        let e = m.try_ratio_with(1.0, -2.0, None).expect_err("negative scale rejected");
+        let e = m
+            .try_ratio_with(1.0, -2.0, None)
+            .expect_err("negative scale rejected");
         assert_eq!(e.field, "eop_scale");
         let e = m
             .try_ratio_with(1.0, 1.0, Some(Perturbation::M3dYield(0.0)))
@@ -403,9 +436,13 @@ mod tests {
             .try_isoline_y(1.0, Some(Perturbation::CiUseScale(f64::INFINITY)))
             .expect_err("infinite CI scale rejected");
         assert_eq!(e.field, "ci_use_scale");
-        let e = m.try_raster((0.5, 3.0), (0.25, 1.5), 1, 5).expect_err("1-wide raster rejected");
+        let e = m
+            .try_raster((0.5, 3.0), (0.25, 1.5), 1, 5)
+            .expect_err("1-wide raster rejected");
         assert_eq!(e.field, "nx");
-        let e = m.try_raster((3.0, 0.5), (0.25, 1.5), 6, 5).expect_err("empty range rejected");
+        let e = m
+            .try_raster((3.0, 0.5), (0.25, 1.5), 6, 5)
+            .expect_err("empty range rejected");
         assert_eq!(e.field, "x1");
     }
 

@@ -15,6 +15,7 @@ pub struct Lifetime(Time);
 impl Lifetime {
     /// A lifetime in (mean Gregorian) months. Rejects negative or
     /// non-finite durations.
+    #[must_use = "this returns a Result that must be handled"]
     pub fn try_months(months: f64) -> Result<Self, ValidationError> {
         check::non_negative("lifetime_months", months)?;
         Ok(Self(Time::from_months(months)))
@@ -82,6 +83,7 @@ impl CarbonTrajectory {
     /// Eq. 6 busy power, a usage pattern, and the application's execution
     /// time (for tCDP). Rejects negative or non-finite carbon, power, and
     /// execution-time values.
+    #[must_use = "this returns a Result that must be handled"]
     pub fn try_new(
         embodied: CarbonMass,
         operational_power: Power,
@@ -121,10 +123,8 @@ impl CarbonTrajectory {
     /// Adds a standby power drawn during the *inactive* hours of the usage
     /// pattern (see [`crate::standby`]). The paper's Eq. 6 corresponds to
     /// zero standby power. Rejects negative or non-finite powers.
-    pub fn try_with_standby_power(
-        mut self,
-        standby_power: Power,
-    ) -> Result<Self, ValidationError> {
+    #[must_use = "this returns a Result that must be handled"]
+    pub fn try_with_standby_power(mut self, standby_power: Power) -> Result<Self, ValidationError> {
         check::non_negative("standby_power", standby_power.as_watts())?;
         self.standby_power = standby_power;
         Ok(self)
@@ -172,7 +172,9 @@ impl CarbonTrajectory {
     /// Operational carbon accumulated by `lifetime`: the Eq. 8 active term
     /// plus any standby power integrated over the inactive hours.
     pub fn operational(&self, lifetime: Lifetime) -> CarbonMass {
-        let active = self.usage.operational_carbon(self.operational_power, lifetime);
+        let active = self
+            .usage
+            .operational_carbon(self.operational_power, lifetime);
         if self.standby_power.as_watts() == 0.0 {
             return active;
         }
@@ -270,9 +272,19 @@ mod tests {
         let si = paper_like(3.11, 9.7);
         let m3d = paper_like(3.63, 8.45);
         let t_si = si.embodied_dominance_crossover().expect("crossover exists");
-        let t_m3d = m3d.embodied_dominance_crossover().expect("crossover exists");
-        assert!(approx_eq(t_si.as_months(), 13.9, 0.05), "all-Si {:.1} mo", t_si.as_months());
-        assert!(approx_eq(t_m3d.as_months(), 18.6, 0.05), "M3D {:.1} mo", t_m3d.as_months());
+        let t_m3d = m3d
+            .embodied_dominance_crossover()
+            .expect("crossover exists");
+        assert!(
+            approx_eq(t_si.as_months(), 13.9, 0.05),
+            "all-Si {:.1} mo",
+            t_si.as_months()
+        );
+        assert!(
+            approx_eq(t_m3d.as_months(), 18.6, 0.05),
+            "M3D {:.1} mo",
+            t_m3d.as_months()
+        );
     }
 
     #[test]
@@ -281,7 +293,11 @@ mod tests {
         let m3d = paper_like(3.63, 8.45);
         let t = m3d.crossover_with(&si).expect("curves cross");
         // M3D starts higher (embodied) and grows slower → one crossover.
-        assert!(t.as_months() > 6.0 && t.as_months() < 30.0, "{:.1} mo", t.as_months());
+        assert!(
+            t.as_months() > 6.0 && t.as_months() < 30.0,
+            "{:.1} mo",
+            t.as_months()
+        );
         assert!(m3d.total(Lifetime::months(1.0)) > si.total(Lifetime::months(1.0)));
         assert!(m3d.total(t.shifted(6.0)) < si.total(t.shifted(6.0)));
     }
@@ -310,7 +326,11 @@ mod tests {
         let t = paper_like(3.11, 9.7);
         let life = Lifetime::months(24.0);
         let expected = t.total(life).as_grams() * t.execution_time().as_seconds();
-        assert!(approx_eq(t.tcdp(life).as_grams_per_hertz(), expected, 1e-12));
+        assert!(approx_eq(
+            t.tcdp(life).as_grams_per_hertz(),
+            expected,
+            1e-12
+        ));
     }
 
     #[test]

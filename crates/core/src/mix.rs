@@ -56,6 +56,7 @@ impl WorkloadMix {
 
     /// Adds an application with a share of the active window. Rejects
     /// non-positive or non-finite weights.
+    #[must_use = "this returns a Result that must be handled"]
     pub fn try_with(mut self, run: WorkloadRun, weight: f64) -> Result<Self, ValidationError> {
         check::positive("mix_weight", weight)?;
         self.entries.push((run, weight));
@@ -93,6 +94,7 @@ impl WorkloadMix {
 
     /// Evaluates the mix on a design. Rejects empty mixes with a
     /// structured [`ValidationError`].
+    #[must_use = "this returns a Result that must be handled"]
     pub fn try_evaluate(&self, design: &SystemDesign) -> Result<MixEvaluation, ValidationError> {
         if self.is_empty() {
             return Err(ValidationError::new("mix_len", 0.0, ">= 1 workload"));
@@ -136,6 +138,7 @@ impl WorkloadMix {
 
     /// Builds a carbon trajectory for the mix on a design, using the
     /// standard embodied pipeline and usage pattern. Rejects empty mixes.
+    #[must_use = "this returns a Result that must be handled"]
     pub fn try_trajectory(
         &self,
         design: &SystemDesign,
@@ -228,7 +231,11 @@ mod tests {
         let mix = WorkloadMix::new()
             .with(Workload::crc32().execute_with_reps(1).expect("runs"), 1.0)
             .with(Workload::edn().execute_with_reps(1).expect("runs"), 1.0);
-        let traj = mix.trajectory(&d, &EmbodiedPipeline::paper_default(), UsagePattern::paper_default());
+        let traj = mix.trajectory(
+            &d,
+            &EmbodiedPipeline::paper_default(),
+            UsagePattern::paper_default(),
+        );
         let tcdp = traj.tcdp(Lifetime::months(24.0));
         assert!(tcdp.as_grams_per_hertz() > 0.0);
         assert!(traj.embodied().as_grams() > 3.0);
@@ -249,12 +256,18 @@ mod tests {
 
     #[test]
     fn invalid_mixes_are_structured_errors() {
-        let e = WorkloadMix::new().try_evaluate(&design()).expect_err("empty mix rejected");
+        let e = WorkloadMix::new()
+            .try_evaluate(&design())
+            .expect_err("empty mix rejected");
         assert_eq!(e.field, "mix_len");
         let run = Workload::edn().execute_with_reps(1).expect("runs");
-        let e = WorkloadMix::new().try_with(run.clone(), f64::NAN).expect_err("NaN weight");
+        let e = WorkloadMix::new()
+            .try_with(run.clone(), f64::NAN)
+            .expect_err("NaN weight");
         assert_eq!(e.field, "mix_weight");
-        let e = WorkloadMix::new().try_with(run, -1.0).expect_err("negative weight");
+        let e = WorkloadMix::new()
+            .try_with(run, -1.0)
+            .expect_err("negative weight");
         assert_eq!(e.field, "mix_weight");
     }
 }

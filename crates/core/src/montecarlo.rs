@@ -71,11 +71,19 @@ impl UncertaintyRanges {
             check::positive(name, lo)?;
             check::finite(name, hi)?;
             if hi < lo {
-                return Err(ValidationError::new(name, hi, "an ordered range (hi >= lo)"));
+                return Err(ValidationError::new(
+                    name,
+                    hi,
+                    "an ordered range (hi >= lo)",
+                ));
             }
         }
         if self.m3d_yield.1 > 1.0 {
-            return Err(ValidationError::new("m3d_yield", self.m3d_yield.1, "in (0, 1]"));
+            return Err(ValidationError::new(
+                "m3d_yield",
+                self.m3d_yield.1,
+                "in (0, 1]",
+            ));
         }
         Ok(())
     }
@@ -131,15 +139,23 @@ impl MonteCarloConfig {
         if samples == 0 {
             return Err(ValidationError::new("samples", 0.0, ">= 1"));
         }
-        Ok(Self { samples, seed, failure_budget: 0.0 })
+        Ok(Self {
+            samples,
+            seed,
+            failure_budget: 0.0,
+        })
     }
 
     /// Sets the maximum tolerated fraction of failed samples.
+    // ppatc-lint: allow(raw-unit-api) — dimensionless fraction of samples
     pub fn with_failure_budget(self, budget: f64) -> Result<Self, ValidationError> {
         if !(budget.is_finite() && (0.0..=1.0).contains(&budget)) {
             return Err(ValidationError::new("failure_budget", budget, "in [0, 1]"));
         }
-        Ok(Self { failure_budget: budget, ..self })
+        Ok(Self {
+            failure_budget: budget,
+            ..self
+        })
     }
 
     /// The number of samples this sweep will draw.
@@ -153,6 +169,7 @@ impl MonteCarloConfig {
     }
 
     /// The maximum tolerated fraction of failed samples.
+    // ppatc-lint: allow(raw-unit-api) — dimensionless fraction of samples
     pub fn failure_budget(&self) -> f64 {
         self.failure_budget
     }
@@ -255,6 +272,7 @@ pub fn run(map: &TcdpMap, ranges: &UncertaintyRanges, n: usize, seed: u64) -> Mo
 
 /// Runs a Monte-Carlo sweep over a [`TcdpMap`]'s underlying designs,
 /// isolating per-sample failures.
+#[must_use = "this returns a Result that must be handled"]
 pub fn try_run(
     map: &TcdpMap,
     ranges: &UncertaintyRanges,
@@ -272,6 +290,7 @@ pub fn try_run(
 /// computed over the survivors. Returns
 /// [`PpatcError::FailureBudgetExceeded`] when the failed fraction exceeds
 /// [`MonteCarloConfig::failure_budget`], or when no sample survives at all.
+#[must_use = "this returns a Result that must be handled"]
 pub fn try_run_with(
     source: &dyn RatioSource,
     ranges: &UncertaintyRanges,
@@ -341,6 +360,7 @@ pub fn sensitivity(
 /// Variance-based sensitivity (see [`sensitivity`]), returning structured
 /// errors for invalid inputs. Non-finite sample ratios are skipped in the
 /// variance estimates.
+#[must_use = "this returns a Result that must be handled"]
 pub fn try_sensitivity(
     map: &TcdpMap,
     ranges: &UncertaintyRanges,
@@ -380,16 +400,40 @@ pub fn try_sensitivity(
         (g, g)
     };
     let variants: [(&'static str, UncertaintyRanges); 5] = [
-        ("lifetime", UncertaintyRanges { lifetime_months: mid(ranges.lifetime_months), ..*ranges }),
-        ("CI_use", UncertaintyRanges { ci_use_scale: mid_log(ranges.ci_use_scale), ..*ranges }),
-        ("M3D yield", UncertaintyRanges { m3d_yield: mid(ranges.m3d_yield), ..*ranges }),
+        (
+            "lifetime",
+            UncertaintyRanges {
+                lifetime_months: mid(ranges.lifetime_months),
+                ..*ranges
+            },
+        ),
+        (
+            "CI_use",
+            UncertaintyRanges {
+                ci_use_scale: mid_log(ranges.ci_use_scale),
+                ..*ranges
+            },
+        ),
+        (
+            "M3D yield",
+            UncertaintyRanges {
+                m3d_yield: mid(ranges.m3d_yield),
+                ..*ranges
+            },
+        ),
         (
             "embodied model",
-            UncertaintyRanges { m3d_embodied_scale: mid_log(ranges.m3d_embodied_scale), ..*ranges },
+            UncertaintyRanges {
+                m3d_embodied_scale: mid_log(ranges.m3d_embodied_scale),
+                ..*ranges
+            },
         ),
         (
             "operational model",
-            UncertaintyRanges { m3d_eop_scale: mid_log(ranges.m3d_eop_scale), ..*ranges },
+            UncertaintyRanges {
+                m3d_eop_scale: mid_log(ranges.m3d_eop_scale),
+                ..*ranges
+            },
         ),
     ];
     let mut out: Vec<(&'static str, f64)> = variants
@@ -580,7 +624,11 @@ mod tests {
 
     #[test]
     fn failures_are_isolated_and_counted() {
-        let flaky = FlakySource { inner: map(), every: 10, calls: core::cell::Cell::new(0) };
+        let flaky = FlakySource {
+            inner: map(),
+            every: 10,
+            calls: core::cell::Cell::new(0),
+        };
         let config = MonteCarloConfig::new(1000, 7)
             .expect("valid")
             .with_failure_budget(0.2)
@@ -597,13 +645,21 @@ mod tests {
 
     #[test]
     fn exceeding_the_budget_is_an_error() {
-        let flaky = FlakySource { inner: map(), every: 2, calls: core::cell::Cell::new(0) };
+        let flaky = FlakySource {
+            inner: map(),
+            every: 2,
+            calls: core::cell::Cell::new(0),
+        };
         let config = MonteCarloConfig::new(1000, 7)
             .expect("valid")
             .with_failure_budget(0.2)
             .expect("valid budget");
         match try_run_with(&flaky, &UncertaintyRanges::paper_default(), &config) {
-            Err(PpatcError::FailureBudgetExceeded { failed, samples, budget }) => {
+            Err(PpatcError::FailureBudgetExceeded {
+                failed,
+                samples,
+                budget,
+            }) => {
                 assert_eq!(failed, 500);
                 assert_eq!(samples, 1000);
                 assert_eq!(budget, 0.2);
@@ -617,7 +673,11 @@ mod tests {
         // With a generous budget, the quantiles over survivors must match a
         // clean run over the same surviving draws' distribution shape:
         // every survivor ratio is finite and positive.
-        let flaky = FlakySource { inner: map(), every: 3, calls: core::cell::Cell::new(0) };
+        let flaky = FlakySource {
+            inner: map(),
+            every: 3,
+            calls: core::cell::Cell::new(0),
+        };
         let config = MonteCarloConfig::new(900, 11)
             .expect("valid")
             .with_failure_budget(0.5)

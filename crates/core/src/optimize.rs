@@ -19,7 +19,7 @@
 //!     .run(&run)
 //!     .into_iter()
 //!     .find(|c| c.feasible)
-//!     .expect("some design is feasible");
+//!     .ok_or("no feasible design")?;
 //! println!("best: {} @ {:.0} MHz, tCDP {:.4} gCO2e/Hz",
 //!     best.technology, best.f_clk.as_megahertz(), best.tcdp.as_grams_per_hertz());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -68,7 +68,11 @@ impl DesignSpace {
             !technologies.is_empty() && !flavors.is_empty() && !clocks.is_empty(),
             "design space axes must be non-empty"
         );
-        Self { technologies, flavors, clocks }
+        Self {
+            technologies,
+            flavors,
+            clocks,
+        }
     }
 
     /// Number of candidate points.
@@ -332,7 +336,10 @@ mod tests {
         let space = DesignSpace::new(
             vec![Technology::AllSi],
             vec![SiVtFlavor::Hvt],
-            vec![Frequency::from_megahertz(500.0), Frequency::from_gigahertz(1.0)],
+            vec![
+                Frequency::from_megahertz(500.0),
+                Frequency::from_gigahertz(1.0),
+            ],
         );
         let ranked = Optimizer::new(space, Lifetime::months(24.0)).run(run());
         assert_eq!(ranked.len(), 1);

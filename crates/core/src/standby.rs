@@ -65,8 +65,13 @@ pub fn trajectory_with_standby(
 ) -> CarbonTrajectory {
     let idle_gap = Time::from_hours(24.0 - usage.hours_per_day());
     let p_standby = standby_power(design, policy, idle_gap);
-    CarbonTrajectory::new(embodied, evaluation.operational_power, usage, evaluation.execution_time)
-        .with_standby_power(p_standby)
+    CarbonTrajectory::new(
+        embodied,
+        evaluation.operational_power,
+        usage,
+        evaluation.execution_time,
+    )
+    .with_standby_power(p_standby)
 }
 
 #[cfg(test)]
@@ -91,7 +96,10 @@ mod tests {
         let p_si = standby_power(&si, StandbyPolicy::StateRetentive, gap);
         let p_m3d = standby_power(&m3d, StandbyPolicy::StateRetentive, gap);
         assert!(p_si.as_microwatts() > 100.0, "all-Si standby {p_si:?}");
-        assert!(approx_eq(p_m3d.as_watts(), 0.0, 1e-30), "M3D standby {p_m3d:?}");
+        assert!(
+            approx_eq(p_m3d.as_watts(), 0.0, 1e-30),
+            "M3D standby {p_m3d:?}"
+        );
     }
 
     #[test]
@@ -99,13 +107,18 @@ mod tests {
         let (si, m3d) = designs();
         let gap = Time::from_hours(22.0);
         for d in [&si, &m3d] {
-            assert_eq!(standby_power(d, StandbyPolicy::PowerOff, gap), Power::zero());
+            assert_eq!(
+                standby_power(d, StandbyPolicy::PowerOff, gap),
+                Power::zero()
+            );
         }
     }
 
     #[test]
     fn retentive_standby_widens_the_m3d_advantage() {
-        let run = Workload::matmul_int().execute_with_reps(4).expect("matmul runs");
+        let run = Workload::matmul_int()
+            .execute_with_reps(4)
+            .expect("matmul runs");
         let (si, m3d) = designs();
         let usage = UsagePattern::paper_default();
         let pipe = crate::EmbodiedPipeline::paper_default();
@@ -134,7 +147,11 @@ mod tests {
         assert!(retentive < off, "retentive {retentive:.3} vs off {off:.3}");
         // The all-Si design pays 22 h/day of refresh: the M3D benefit
         // should grow well beyond the paper's 1.02×.
-        assert!(1.0 / retentive > 1.05, "retentive benefit {:.3}", 1.0 / retentive);
+        assert!(
+            1.0 / retentive > 1.05,
+            "retentive benefit {:.3}",
+            1.0 / retentive
+        );
     }
 
     #[test]

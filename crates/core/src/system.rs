@@ -238,6 +238,7 @@ impl SystemDesign {
 
     /// Evaluates power/performance from raw cycle/access counts. Rejects a
     /// zero cycle count with a structured [`ValidationError`].
+    #[must_use = "this returns a Result that must be handled"]
     pub fn try_evaluate_counts(
         &self,
         cycles: u64,
@@ -250,16 +251,17 @@ impl SystemDesign {
         let period = f.period();
         let prog_accesses = stats.instruction_fetches + stats.program_reads;
         let data_accesses = stats.data_reads + stats.data_writes;
-        let mem_energy_per_cycle = self
-            .program_mem
-            .average_energy_per_cycle(prog_accesses, cycles, f)
-            + self.data_mem.average_energy_per_cycle(data_accesses, cycles, f);
+        let mem_energy_per_cycle =
+            self.program_mem
+                .average_energy_per_cycle(prog_accesses, cycles, f)
+                + self
+                    .data_mem
+                    .average_energy_per_cycle(data_accesses, cycles, f);
         let m0_dynamic = self.m0.dynamic_energy();
         let m0_static = self.m0.leakage_power();
         // Eq. 6: busy power while the application executes.
-        let operational_power = m0_static
-            + m0_dynamic.per_cycle_power(f)
-            + mem_energy_per_cycle.per_cycle_power(f);
+        let operational_power =
+            m0_static + m0_dynamic.per_cycle_power(f) + mem_energy_per_cycle.per_cycle_power(f);
         let required_retention = period * (stats.max_write_to_read_cycles as f64);
         let retention = self.data_mem.retention();
         let refreshed = self.data_mem.refresh_power().as_watts() > 0.0;
@@ -358,7 +360,9 @@ mod tests {
         // Use a short matmul run: per-cycle access *rates* converge within
         // a few repetitions, so the Table II averages appear without paying
         // for the full 2×10⁷-cycle simulation in a unit test.
-        let run = Workload::matmul_int().execute_with_reps(4).expect("matmul runs");
+        let run = Workload::matmul_int()
+            .execute_with_reps(4)
+            .expect("matmul runs");
         let (si, m3d) = designs();
         let e_si = si.evaluate(&run).mem_energy_per_cycle.as_picojoules();
         let e_m3d = m3d.evaluate(&run).mem_energy_per_cycle.as_picojoules();
@@ -374,15 +378,14 @@ mod tests {
             assert!(approx_eq(pj, 1.42, 0.08), "M0 dynamic {pj} pJ/cycle");
         }
         // The M0 is Si CMOS in both designs — identical energy.
-        assert_eq!(
-            si.m0().dynamic_energy(),
-            m3d.m0().dynamic_energy()
-        );
+        assert_eq!(si.m0().dynamic_energy(), m3d.m0().dynamic_energy());
     }
 
     #[test]
     fn operational_power_is_milliwatt_scale() {
-        let run = Workload::matmul_int().execute_with_reps(2).expect("matmul runs");
+        let run = Workload::matmul_int()
+            .execute_with_reps(2)
+            .expect("matmul runs");
         let (si, m3d) = designs();
         let p_si = si.evaluate(&run).operational_power.as_milliwatts();
         let p_m3d = m3d.evaluate(&run).operational_power.as_milliwatts();
@@ -392,7 +395,9 @@ mod tests {
 
     #[test]
     fn retention_check_matmul() {
-        let run = Workload::matmul_int().execute_with_reps(2).expect("matmul runs");
+        let run = Workload::matmul_int()
+            .execute_with_reps(2)
+            .expect("matmul runs");
         let (si, m3d) = designs();
         // The all-Si cell retains ~4 ms but refreshes, the IGZO cell holds
         // for ~10⁵ s outright; both satisfy the workload.

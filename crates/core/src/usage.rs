@@ -42,13 +42,14 @@ impl UsagePattern {
     ///
     /// Rejects `hours_per_day` outside `(0, 24]` and negative or non-finite
     /// carbon intensities with a structured [`ValidationError`].
-    pub fn try_new(
-        hours_per_day: f64,
-        ci_use: CarbonIntensity,
-    ) -> Result<Self, ValidationError> {
+    #[must_use = "this returns a Result that must be handled"]
+    pub fn try_new(hours_per_day: f64, ci_use: CarbonIntensity) -> Result<Self, ValidationError> {
         check::in_open_closed("hours_per_day", hours_per_day, 0.0, 24.0, "in (0, 24]")?;
         check::non_negative("ci_use", ci_use.value())?;
-        Ok(Self { hours_per_day, ci_use })
+        Ok(Self {
+            hours_per_day,
+            ci_use,
+        })
     }
 
     /// Panicking convenience wrapper around [`UsagePattern::try_new`].
@@ -77,6 +78,7 @@ impl UsagePattern {
     /// Returns a copy with the carbon intensity scaled by `factor` — the
     /// Fig. 6b CI_use uncertainty knob (×3 / ÷3). Rejects negative or
     /// non-finite factors.
+    #[must_use = "this returns a Result that must be handled"]
     pub fn try_with_ci_scaled(mut self, factor: f64) -> Result<Self, ValidationError> {
         check::non_negative("ci_scale_factor", factor)?;
         self.ci_use = CarbonIntensity::new(self.ci_use.value() * factor);
@@ -132,7 +134,11 @@ mod tests {
         let usage = UsagePattern::new(2.0, CarbonIntensity::from_g_per_kwh(500.0));
         let c = usage.operational_carbon(Power::from_milliwatts(10.0), Lifetime::months(12.0));
         let expected = 500.0 * (0.01e-3 * 730.5); // g/kWh × kWh
-        assert!(approx_eq(c.as_grams(), expected, 1e-9), "{} vs {expected}", c.as_grams());
+        assert!(
+            approx_eq(c.as_grams(), expected, 1e-9),
+            "{} vs {expected}",
+            c.as_grams()
+        );
     }
 
     #[test]
@@ -152,7 +158,11 @@ mod tests {
 
     #[test]
     fn duty_cycle() {
-        assert!(approx_eq(UsagePattern::paper_default().duty_cycle(), 1.0 / 12.0, 1e-12));
+        assert!(approx_eq(
+            UsagePattern::paper_default().duty_cycle(),
+            1.0 / 12.0,
+            1e-12
+        ));
     }
 
     #[test]

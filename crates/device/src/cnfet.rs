@@ -43,7 +43,7 @@ impl Default for CntPopulation {
             tubes_per_meter: 2.0e8, // 200 CNTs/µm
             metallic_fraction: 1.0 / 3.0,
             removal_efficiency: 0.999_999,
-            metallic_tube_conductance: 1.0 / 30.0e3,
+            metallic_tube_conductance: 1.0 / 30.0e3, // S (one metallic tube ~ 30 kOhm)
         }
     }
 }
@@ -81,11 +81,11 @@ fn cn_model(polarity: Polarity, population: CntPopulation) -> VirtualSourceModel
         v_t0: 0.30,
         dibl: 0.040,
         ss_mv_per_dec: 70.0,
-        c_inv: 2.4e-2,
+        c_inv: 2.4e-2, // F/m^2
         // Quasi-ballistic injection: ~3× the Si FinFET virtual-source
         // velocity (Lee et al., VS-CNFET part I). CNFETs are naturally
         // ambipolar, so N and P are symmetric.
-        v_x0: 3.2e5,
+        v_x0: 3.2e5, // m/s
         mobility: 0.15,
         l_gate: Length::from_nanometers(L_GATE_NM),
         beta: 1.6,

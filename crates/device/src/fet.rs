@@ -64,6 +64,7 @@ impl VirtualSourceModel {
     /// Creates a sized transistor instance of this model, rejecting invalid
     /// model parameters (see [`VirtualSourceModel::validate`]) and
     /// non-positive or non-finite widths with a structured [`DeviceError`].
+    #[must_use = "this returns a Result that must be handled"]
     pub fn try_sized(self, width: Length) -> Result<Fet, DeviceError> {
         self.validate()?;
         let w = width.as_meters();
@@ -124,7 +125,8 @@ impl Fet {
     /// Drain current at the given terminal voltages (signed, volts).
     pub fn drain_current(&self, v_gs: Voltage, v_ds: Voltage) -> Current {
         Current::from_amperes(
-            self.model.current_per_width(v_gs.as_volts(), v_ds.as_volts())
+            self.model
+                .current_per_width(v_gs.as_volts(), v_ds.as_volts())
                 * self.width.as_meters(),
         )
     }
@@ -184,7 +186,10 @@ impl Fet {
     /// Panics if the on-current is zero.
     pub fn on_resistance(&self, vdd: Voltage) -> ppatc_units::Resistance {
         let i_on = self.i_on(vdd);
-        assert!(i_on.as_amperes() > 0.0, "device has no on-current at this VDD");
+        assert!(
+            i_on.as_amperes() > 0.0,
+            "device has no on-current at this VDD"
+        );
         vdd / i_on
     }
 }

@@ -65,7 +65,7 @@ pub fn nfet() -> VirtualSourceModel {
         // Mobility-limited transport: the virtual-source velocity for the
         // effective scaled-device mobility at a 30 nm channel is in the
         // ~10 km/s range — two orders below Si injection velocities.
-        v_x0: 1.2e4,
+        v_x0: 1.2e4, // m/s
         mobility: EFFECTIVE_MOBILITY_CM2_PER_VS * 1e-4,
         l_gate: Length::from_nanometers(30.0),
         beta: 1.4,

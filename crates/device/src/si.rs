@@ -68,14 +68,14 @@ fn si_model(polarity: Polarity, flavor: SiVtFlavor) -> VirtualSourceModel {
     // velocity and mobility trail the electron values, giving the usual
     // ~1.2–1.5× N/P drive imbalance.
     let (v_x0, mobility) = match polarity {
-        Polarity::N => (1.10e5, 0.0200),
-        Polarity::P => (0.85e5, 0.0150),
+        Polarity::N => (1.10e5, 0.0200), // m/s, m^2/(V*s)
+        Polarity::P => (0.85e5, 0.0150), // m/s, m^2/(V*s)
     };
     // Junction/GIDL-limited leakage floor grows as threshold drops.
     let floor = match flavor {
-        SiVtFlavor::Hvt => 3.0e-6,
+        SiVtFlavor::Hvt => 3.0e-6, // A/m
         SiVtFlavor::Rvt => 1.0e-5,
-        SiVtFlavor::Lvt => 3.0e-5,
+        SiVtFlavor::Lvt => 3.0e-5, // A/m
         SiVtFlavor::Slvt => 1.0e-4,
     };
     VirtualSourceModel {
@@ -91,7 +91,7 @@ fn si_model(polarity: Polarity, flavor: SiVtFlavor) -> VirtualSourceModel {
         v_t0: flavor.v_t0(),
         dibl: 0.030,
         ss_mv_per_dec: 63.0,
-        c_inv: 2.2e-2,
+        c_inv: 2.2e-2, // F/m^2
         v_x0,
         mobility,
         l_gate: Length::from_nanometers(L_GATE_NM),

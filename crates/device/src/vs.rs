@@ -176,7 +176,10 @@ impl VirtualSourceModel {
             return err(self, "gate length must be positive");
         }
         if !(self.ss_mv_per_dec >= 59.5) {
-            return err(self, "sub-threshold slope cannot beat the thermionic limit (~60 mV/dec)");
+            return err(
+                self,
+                "sub-threshold slope cannot beat the thermionic limit (~60 mV/dec)",
+            );
         }
         if !(self.beta >= 1.0) {
             return err(self, "saturation exponent must be at least 1");
@@ -250,7 +253,11 @@ pub struct ModelParameterError {
 
 impl core::fmt::Display for ModelParameterError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "invalid parameter for model `{}`: {}", self.model, self.what)
+        write!(
+            f,
+            "invalid parameter for model `{}`: {}",
+            self.model, self.what
+        )
     }
 }
 
@@ -349,13 +356,20 @@ mod tests {
         let i2 = m.current_per_width(0.10, 0.7) - 1e-7;
         let decades = (i2 / i1).log10();
         let ss_measured = 100.0 / decades; // mV per decade
-        assert!(approx_eq(ss_measured, 70.0, 0.05), "measured SS {ss_measured}");
+        assert!(
+            approx_eq(ss_measured, 70.0, 0.05),
+            "measured SS {ss_measured}"
+        );
     }
 
     #[test]
     fn ideality_from_slope() {
         let m = test_model();
-        assert!(approx_eq(m.ideality(), 0.070 / (PHI_T * core::f64::consts::LN_10), 1e-12));
+        assert!(approx_eq(
+            m.ideality(),
+            0.070 / (PHI_T * core::f64::consts::LN_10),
+            1e-12
+        ));
     }
 
     #[test]
@@ -390,7 +404,10 @@ mod temperature_tests {
         let hot = cold.at_temperature(360.0);
         let ratio = hot.i_on(vdd) / cold.i_on(vdd);
         // Velocity degradation and V_T drop partially cancel: small change.
-        assert!((0.7..1.15).contains(&ratio), "hot/cold drive ratio {ratio:.2}");
+        assert!(
+            (0.7..1.15).contains(&ratio),
+            "hot/cold drive ratio {ratio:.2}"
+        );
     }
 
     #[test]

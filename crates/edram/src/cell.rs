@@ -161,7 +161,10 @@ impl BitCell {
     pub fn characterize_timing(&self, org: &Organization) -> Result<CellTiming, EdramError> {
         let write = self.simulate_write(org)?;
         let read = self.simulate_read(org)?;
-        Ok(CellTiming { write_latency: write, read_latency: read })
+        Ok(CellTiming {
+            write_latency: write,
+            read_latency: read,
+        })
     }
 
     /// Write transient: WBL at V_DD, WWL pulsed to `v_wwl`; measures the
@@ -184,7 +187,11 @@ impl BitCell {
             "VWWL",
             wwl,
             Circuit::GROUND,
-            Waveform::step_at(self.v_wwl, Time::from_picoseconds(50.0), Time::from_picoseconds(20.0)),
+            Waveform::step_at(
+                self.v_wwl,
+                Time::from_picoseconds(50.0),
+                Time::from_picoseconds(20.0),
+            ),
         );
         // WWL wire load is driven by the (ideal) wordline driver; its RC is
         // folded into the fixed periphery latency. Storage node starts at 0.
@@ -198,7 +205,9 @@ impl BitCell {
         let target = Voltage::from_volts(VDD.as_volts() * 0.9);
         let t = trace
             .crossing(sn, target, Edge::Rising, Time::from_picoseconds(50.0))
-            .ok_or(EdramError::MissingTransition { what: "storage-node write" })?;
+            .ok_or(EdramError::MissingTransition {
+                what: "storage-node write",
+            })?;
         Ok(t - Time::from_picoseconds(50.0))
     }
 
@@ -225,13 +234,28 @@ impl BitCell {
             "VRWL",
             rwl,
             Circuit::GROUND,
-            Waveform::step_at(VDD, Time::from_picoseconds(50.0), Time::from_picoseconds(20.0)),
+            Waveform::step_at(
+                VDD,
+                Time::from_picoseconds(50.0),
+                Time::from_picoseconds(20.0),
+            ),
         );
         // Stack: RBL → select FET → mid → gate FET (gated by SN) → GND.
         ckt.fet("MSEL", rbl, rwl, mid, self.read_select_fet.clone());
-        ckt.fet("MGATE", mid, sn, Circuit::GROUND, self.read_gate_fet.clone());
+        ckt.fet(
+            "MGATE",
+            mid,
+            sn,
+            Circuit::GROUND,
+            self.read_gate_fet.clone(),
+        );
         ckt.capacitor("CRBL", rbl, Circuit::GROUND, c_bl);
-        ckt.capacitor("CMID", mid, Circuit::GROUND, Capacitance::from_attofarads(100.0));
+        ckt.capacitor(
+            "CMID",
+            mid,
+            Circuit::GROUND,
+            Capacitance::from_attofarads(100.0),
+        );
 
         let cfg = TransientConfig::new(Time::from_nanoseconds(1.5), Time::from_picoseconds(2.0))
             .with_initial_voltage(rbl, VDD);
@@ -239,7 +263,9 @@ impl BitCell {
         let sense = Voltage::from_volts(VDD.as_volts() - 0.1);
         let t = trace
             .crossing(rbl, sense, Edge::Falling, Time::from_picoseconds(50.0))
-            .ok_or(EdramError::MissingTransition { what: "bitline sense-margin" })?;
+            .ok_or(EdramError::MissingTransition {
+                what: "bitline sense-margin",
+            })?;
         Ok(t - Time::from_picoseconds(50.0))
     }
 }
@@ -262,13 +288,19 @@ mod tests {
         let org = Organization::paper_default();
         for tech in Technology::ALL {
             let cell = BitCell::for_technology(tech);
-            let t = cell.characterize_timing(&org).expect("timing characterizes");
+            let t = cell
+                .characterize_timing(&org)
+                .expect("timing characterizes");
             assert!(
                 t.write_latency.as_nanoseconds() < 2.0,
                 "{tech}: write {:?}",
                 t.write_latency
             );
-            assert!(t.read_latency.as_nanoseconds() < 2.0, "{tech}: read {:?}", t.read_latency);
+            assert!(
+                t.read_latency.as_nanoseconds() < 2.0,
+                "{tech}: read {:?}",
+                t.read_latency
+            );
         }
     }
 

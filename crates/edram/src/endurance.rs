@@ -32,6 +32,7 @@ impl MemoryEndurance {
     }
 
     /// The writes-per-cell budget.
+    // ppatc-lint: allow(raw-unit-api) — write-endurance budget is a dimensionless count
     pub fn budget(&self) -> f64 {
         match *self {
             MemoryEndurance::ChargeBased => 1.0e16,
@@ -67,28 +68,36 @@ impl WriteStress {
         hours_per_day: f64,
     ) -> Self {
         assert!(cycles > 0 && words > 0, "cycles and words must be positive");
-        assert!(f_clk_hz > 0.0 && hours_per_day > 0.0, "rates must be positive");
+        assert!(
+            f_clk_hz > 0.0 && hours_per_day > 0.0,
+            "rates must be positive"
+        );
         let writes_per_second = data_writes as f64 / (cycles as f64 / f_clk_hz);
         let active_seconds = lifetime.as_seconds() * hours_per_day / 24.0;
-        Self { writes_per_second, words, active_seconds }
+        Self {
+            writes_per_second,
+            words,
+            active_seconds,
+        }
     }
 
     /// Mean writes per cell over the lifetime (uniform wear assumption —
     /// multiply by a hot-spot factor for worst-case cells).
+    // ppatc-lint: allow(raw-unit-api) — lifetime write count is dimensionless
     pub fn writes_per_cell(&self) -> f64 {
         self.writes_per_second * self.active_seconds / f64::from(self.words)
     }
 
     /// Whether a device with the given endurance survives, with a wear
-    /// hot-spot factor (worst cell sees `hotspot ×` the mean).
-    pub fn survives(&self, endurance: MemoryEndurance, hotspot: f64) -> bool {
-        self.writes_per_cell() * hotspot <= endurance.budget()
+    /// hot-spot factor (worst cell sees `hotspot_factor ×` the mean).
+    pub fn survives(&self, endurance: MemoryEndurance, hotspot_factor: f64) -> bool {
+        self.writes_per_cell() * hotspot_factor <= endurance.budget()
     }
 
     /// Lifetime margin: endurance budget over worst-cell writes
     /// (> 1 means it survives).
-    pub fn margin(&self, endurance: MemoryEndurance, hotspot: f64) -> f64 {
-        endurance.budget() / (self.writes_per_cell() * hotspot)
+    pub fn margin(&self, endurance: MemoryEndurance, hotspot_factor: f64) -> f64 {
+        endurance.budget() / (self.writes_per_cell() * hotspot_factor)
     }
 }
 

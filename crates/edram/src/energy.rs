@@ -68,17 +68,13 @@ pub(crate) fn access_energy(
 
     let bl = wire.segment(org.bitline_length(technology));
     let c_bl = bl.capacitance.as_farads()
-        + f64::from(org.subarray_rows())
-            * cell.write_fet().drain_capacitance().as_farads();
+        + f64::from(org.subarray_rows()) * cell.write_fet().drain_capacitance().as_farads();
     let e_bl = f64::from(org.word_bits()) * c_bl * vdd * vdd * 0.5;
 
     // Routing: √area H-tree with a calibrated wire-equivalent count.
     let route_len_um = macro_area.as_square_micrometers().sqrt();
-    let e_route = ROUTING_WIRE_EQUIVALENTS
-        * route_len_um
-        * wire.capacitance_per_um().as_farads()
-        * vdd
-        * vdd;
+    let e_route =
+        ROUTING_WIRE_EQUIVALENTS * route_len_um * wire.capacitance_per_um().as_farads() * vdd * vdd;
 
     AccessEnergyBreakdown {
         periphery: Energy::from_picojoules(PERIPHERY_ACCESS_PJ),
@@ -122,7 +118,9 @@ mod tests {
     #[test]
     fn total_access_energy_is_tens_of_picojoules() {
         let si = breakdown(Technology::AllSi).total().as_picojoules();
-        let m3d = breakdown(Technology::M3dIgzoCnfetSi).total().as_picojoules();
+        let m3d = breakdown(Technology::M3dIgzoCnfetSi)
+            .total()
+            .as_picojoules();
         assert!((18.0..22.0).contains(&si), "all-Si access {si} pJ");
         assert!((16.0..19.5).contains(&m3d), "M3D access {m3d} pJ");
     }

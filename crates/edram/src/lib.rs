@@ -138,7 +138,9 @@ impl EdramMacro {
         Ok(Self {
             technology,
             organization,
-            write_latency: timing.write_latency + periphery.decode + periphery.wordline
+            write_latency: timing.write_latency
+                + periphery.decode
+                + periphery.wordline
                 + periphery.margin,
             read_latency: timing.read_latency + periphery.total(),
             retention,
@@ -221,12 +223,7 @@ impl EdramMacro {
     /// # Panics
     ///
     /// Panics if `cycles` is zero.
-    pub fn average_energy_per_cycle(
-        &self,
-        accesses: u64,
-        cycles: u64,
-        f_clk: Frequency,
-    ) -> Energy {
+    pub fn average_energy_per_cycle(&self, accesses: u64, cycles: u64, f_clk: Frequency) -> Energy {
         assert!(cycles > 0, "cycle count must be positive");
         let period = f_clk.period();
         let access = self.access_energy.total() * (accesses as f64 / cycles as f64);
@@ -277,15 +274,33 @@ mod tests {
     fn both_meet_500mhz_timing() {
         let (si, m3d) = both();
         let f = Frequency::from_megahertz(500.0);
-        assert!(si.meets_timing(f), "all-Si read {:?} write {:?}", si.read_latency(), si.write_latency());
-        assert!(m3d.meets_timing(f), "M3D read {:?} write {:?}", m3d.read_latency(), m3d.write_latency());
+        assert!(
+            si.meets_timing(f),
+            "all-Si read {:?} write {:?}",
+            si.read_latency(),
+            si.write_latency()
+        );
+        assert!(
+            m3d.meets_timing(f),
+            "M3D read {:?} write {:?}",
+            m3d.read_latency(),
+            m3d.write_latency()
+        );
     }
 
     #[test]
     fn igzo_retention_exceeds_1000s() {
         let (si, m3d) = both();
-        assert!(m3d.retention().as_seconds() > 1000.0, "M3D retention {:?}", m3d.retention());
-        assert!(si.retention().as_seconds() < 1.0, "all-Si retention {:?}", si.retention());
+        assert!(
+            m3d.retention().as_seconds() > 1000.0,
+            "M3D retention {:?}",
+            m3d.retention()
+        );
+        assert!(
+            si.retention().as_seconds() < 1.0,
+            "all-Si retention {:?}",
+            si.retention()
+        );
     }
 
     #[test]

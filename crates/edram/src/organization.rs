@@ -60,12 +60,19 @@ impl Organization {
             capacity_bytes.is_multiple_of(subarray_bytes),
             "sub-array size must divide capacity"
         );
-        assert!(word_bits.is_multiple_of(8), "word width must be whole bytes");
+        assert!(
+            word_bits.is_multiple_of(8),
+            "word width must be whole bytes"
+        );
         assert!(
             subarray_bytes.is_multiple_of(word_bits / 8),
             "word width must divide the sub-array"
         );
-        Self { capacity_bytes, subarray_bytes, word_bits }
+        Self {
+            capacity_bytes,
+            subarray_bytes,
+            word_bits,
+        }
     }
 
     /// Total capacity in bytes.
@@ -180,7 +187,8 @@ mod tests {
             0.02
         ));
         assert!(approx_eq(
-            org.macro_area(Technology::M3dIgzoCnfetSi).as_square_millimeters(),
+            org.macro_area(Technology::M3dIgzoCnfetSi)
+                .as_square_millimeters(),
             0.025,
             0.02
         ));
@@ -190,8 +198,7 @@ mod tests {
     fn m3d_wires_are_shorter() {
         let org = Organization::paper_default();
         assert!(
-            org.bitline_length(Technology::M3dIgzoCnfetSi)
-                < org.bitline_length(Technology::AllSi)
+            org.bitline_length(Technology::M3dIgzoCnfetSi) < org.bitline_length(Technology::AllSi)
         );
     }
 

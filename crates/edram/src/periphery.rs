@@ -111,8 +111,8 @@ fn simulate_sense_amp(technology: Technology, org: &Organization) -> Result<Time
     let pfet = si::pfet(SiVtFlavor::Lvt).sized(w);
 
     // Bitline load on each side of the amplifier.
-    let bl_wire = WireModel::for_pitch(Length::from_nanometers(36.0))
-        .segment(org.bitline_length(technology));
+    let bl_wire =
+        WireModel::for_pitch(Length::from_nanometers(36.0)).segment(org.bitline_length(technology));
     let cell = crate::cell::BitCell::for_technology(technology);
     let c_bl = Capacitance::from_farads(
         bl_wire.capacitance.as_farads()
@@ -130,7 +130,11 @@ fn simulate_sense_amp(technology: Technology, org: &Organization) -> Result<Time
         "VSEN",
         sen,
         Circuit::GROUND,
-        Waveform::fall_at(vdd, Time::from_picoseconds(50.0), Time::from_picoseconds(10.0)),
+        Waveform::fall_at(
+            vdd,
+            Time::from_picoseconds(50.0),
+            Time::from_picoseconds(10.0),
+        ),
     );
     // Cross-coupled NMOS pair into the tail.
     ckt.fet("MN1", blt, blc, sen, nfet.clone());
@@ -154,7 +158,9 @@ fn simulate_sense_amp(technology: Technology, org: &Organization) -> Result<Time
             Edge::Falling,
             Time::from_picoseconds(50.0),
         )
-        .ok_or(EdramError::MissingTransition { what: "sense-amplifier regeneration" })?;
+        .ok_or(EdramError::MissingTransition {
+            what: "sense-amplifier regeneration",
+        })?;
     Ok(t - Time::from_picoseconds(50.0))
 }
 
@@ -173,7 +179,10 @@ mod tests {
         assert!(t.wordline.as_picoseconds() > 1.0 && t.wordline.as_picoseconds() < 200.0);
         assert!(t.sense.as_picoseconds() > 10.0 && t.sense.as_picoseconds() < 1000.0);
         let total = t.total().as_picoseconds();
-        assert!(total > 100.0 && total < 1200.0, "periphery total {total} ps");
+        assert!(
+            total > 100.0 && total < 1200.0,
+            "periphery total {total} ps"
+        );
     }
 
     #[test]
@@ -192,8 +201,8 @@ mod tests {
             &Organization::new(8 * 1024, 2 * 1024, 32),
         )
         .expect("characterizes");
-        let large = characterize(Technology::AllSi, &Organization::paper_default())
-            .expect("characterizes");
+        let large =
+            characterize(Technology::AllSi, &Organization::paper_default()).expect("characterizes");
         assert!(small.decode < large.decode);
     }
 

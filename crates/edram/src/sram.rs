@@ -52,9 +52,8 @@ impl SramMacro {
         let leak_per_cell = vdd * (nfet.i_off(vdd) + pfet.i_off(vdd));
         let cells = organization.bits() as f64;
         let cell_leakage = Power::from_watts(leak_per_cell.as_watts() * cells);
-        let area = Area::from_square_micrometers(
-            CELL_SRAM_UM2 * cells * (1.0 + PERIPHERY_OVERHEAD),
-        );
+        let area =
+            Area::from_square_micrometers(CELL_SRAM_UM2 * cells * (1.0 + PERIPHERY_OVERHEAD));
         // Same periphery models as the eDRAM: decoder/SA/driver energy and
         // leakage, with the routing term scaled by this macro's footprint.
         let cell = crate::cell::BitCell::for_technology(Technology::AllSi);
@@ -114,12 +113,7 @@ impl SramMacro {
     /// # Panics
     ///
     /// Panics if `cycles` is zero.
-    pub fn average_energy_per_cycle(
-        &self,
-        accesses: u64,
-        cycles: u64,
-        f_clk: Frequency,
-    ) -> Energy {
+    pub fn average_energy_per_cycle(&self, accesses: u64, cycles: u64, f_clk: Frequency) -> Energy {
         assert!(cycles > 0, "cycle count must be positive");
         let access = self.access_energy.total() * (accesses as f64 / cycles as f64);
         access + self.leakage_power() * f_clk.period()
@@ -180,7 +174,11 @@ mod tests {
         let f = Frequency::from_megahertz(500.0);
         let idle = sram.average_energy_per_cycle(0, 1000, f);
         let expected_idle = sram.leakage_power() * f.period();
-        assert!(approx_eq(idle.as_joules(), expected_idle.as_joules(), 1e-12));
+        assert!(approx_eq(
+            idle.as_joules(),
+            expected_idle.as_joules(),
+            1e-12
+        ));
         let busy = sram.average_energy_per_cycle(800, 1000, f);
         assert!(busy > idle);
     }

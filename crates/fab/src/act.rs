@@ -51,8 +51,7 @@ impl ActNode {
     /// `CI_fab · EPA + GPA + MPA` per area.
     pub fn embodied(&self, area: Area, grid: Grid) -> CarbonMass {
         let cm2 = area.as_square_centimeters();
-        let electricity =
-            grid.ci() * Energy::from_kilowatt_hours(self.epa_kwh_per_cm2 * cm2);
+        let electricity = grid.ci() * Energy::from_kilowatt_hours(self.epa_kwh_per_cm2 * cm2);
         let gases = CarbonMass::from_kilograms(self.gpa_kg_per_cm2 * cm2);
         let materials = CarbonMass::from_kilograms(self.mpa_kg_per_cm2 * cm2);
         electricity + gases + materials

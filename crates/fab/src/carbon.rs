@@ -220,7 +220,9 @@ mod tests {
             .iter()
             .map(|&g| {
                 let si = model.embodied_per_wafer(Technology::AllSi, g).total();
-                let m3d = model.embodied_per_wafer(Technology::M3dIgzoCnfetSi, g).total();
+                let m3d = model
+                    .embodied_per_wafer(Technology::M3dIgzoCnfetSi, g)
+                    .total();
                 m3d / si
             })
             .sum::<f64>()
@@ -235,8 +237,14 @@ mod tests {
         let m3d = ProcessFlow::for_technology(Technology::M3dIgzoCnfetSi);
         let si_ratio = model.epa(&si) / Energy::from_kilowatt_hours(EPA_IN7_KWH);
         let m3d_ratio = model.epa(&m3d) / Energy::from_kilowatt_hours(EPA_IN7_KWH);
-        assert!(approx_eq(si_ratio, 0.79, 0.005), "all-Si ratio {si_ratio:.4}");
-        assert!(approx_eq(m3d_ratio, 1.22, 0.005), "M3D ratio {m3d_ratio:.4}");
+        assert!(
+            approx_eq(si_ratio, 0.79, 0.005),
+            "all-Si ratio {si_ratio:.4}"
+        );
+        assert!(
+            approx_eq(m3d_ratio, 1.22, 0.005),
+            "M3D ratio {m3d_ratio:.4}"
+        );
     }
 
     #[test]
@@ -247,11 +255,15 @@ mod tests {
         let ratio_solar = model
             .embodied_per_wafer(Technology::M3dIgzoCnfetSi, grid::SOLAR)
             .total()
-            / model.embodied_per_wafer(Technology::AllSi, grid::SOLAR).total();
+            / model
+                .embodied_per_wafer(Technology::AllSi, grid::SOLAR)
+                .total();
         let ratio_coal = model
             .embodied_per_wafer(Technology::M3dIgzoCnfetSi, grid::COAL)
             .total()
-            / model.embodied_per_wafer(Technology::AllSi, grid::COAL).total();
+            / model
+                .embodied_per_wafer(Technology::AllSi, grid::COAL)
+                .total();
         assert!(ratio_solar < ratio_coal);
         assert!(ratio_solar > 1.0, "M3D always costs more to fabricate");
     }
@@ -276,7 +288,11 @@ mod tests {
             1.4 * b2.fab_electricity().as_grams(),
             1e-12
         ));
-        assert!(approx_eq(b1.gases().as_grams(), b2.gases().as_grams(), 1e-12));
+        assert!(approx_eq(
+            b1.gases().as_grams(),
+            b2.gases().as_grams(),
+            1e-12
+        ));
     }
 
     #[test]

@@ -62,6 +62,7 @@ impl CostModel {
     }
 
     /// Total wafer cost for a flow: materials + FEOL + per-step BEOL.
+    // ppatc-lint: allow(raw-unit-api) — USD has no physical-quantity type
     pub fn cost_per_wafer(&self, flow: &ProcessFlow) -> f64 {
         self.materials_usd
             + self.feol_usd
@@ -85,6 +86,7 @@ impl CostModel {
     /// # Panics
     ///
     /// Panics unless `good_dies_per_wafer` is positive.
+    // ppatc-lint: allow(raw-unit-api) — USD has no physical-quantity type
     pub fn cost_per_good_die(&self, flow: &ProcessFlow, good_dies_per_wafer: f64) -> f64 {
         assert!(good_dies_per_wafer > 0.0, "need at least one good die");
         self.cost_per_wafer(flow) / good_dies_per_wafer
@@ -128,7 +130,10 @@ mod tests {
         let si_die = model.cost_per_good_die(&si, 299_127.0 * 0.9);
         let m3d_die = model.cost_per_good_die(&m3d, 606_238.0 * 0.5);
         let die_ratio = m3d_die / si_die;
-        assert!(die_ratio < wafer_ratio, "die ratio {die_ratio:.2} vs wafer {wafer_ratio:.2}");
+        assert!(
+            die_ratio < wafer_ratio,
+            "die ratio {die_ratio:.2} vs wafer {wafer_ratio:.2}"
+        );
         // Cents-per-die magnitudes.
         assert!(si_die > 0.01 && si_die < 0.10, "all-Si ${si_die:.3}/die");
     }
@@ -156,6 +161,9 @@ mod tests {
             .embodied_per_wafer(Technology::M3dIgzoCnfetSi, crate::grid::US)
             .total();
         let carbon_ratio = c_m3d / c_si;
-        assert!((cost_ratio - carbon_ratio).abs() < 0.35, "{cost_ratio:.2} vs {carbon_ratio:.2}");
+        assert!(
+            (cost_ratio - carbon_ratio).abs() < 0.35,
+            "{cost_ratio:.2} vs {carbon_ratio:.2}"
+        );
     }
 }

@@ -139,10 +139,16 @@ pub fn metal_via_pair_steps(layer: &str, litho: Lithography) -> Vec<ProcessStep>
         Lithography::EuvSingle => {
             // Single EUV print each for via and trench.
             s.push(dep(format!("{layer} ILD deposition")));
-            s.push(ProcessStep::litho(LithoTool::Euv, format!("{layer} via EUV exposure")));
+            s.push(ProcessStep::litho(
+                LithoTool::Euv,
+                format!("{layer} via EUV exposure"),
+            ));
             s.push(dry(format!("{layer} via etch")));
             s.push(dep(format!("{layer} trench hard mask")));
-            s.push(ProcessStep::litho(LithoTool::Euv, format!("{layer} trench EUV exposure")));
+            s.push(ProcessStep::litho(
+                LithoTool::Euv,
+                format!("{layer} trench EUV exposure"),
+            ));
             s.push(dry(format!("{layer} trench etch")));
             s.push(dry(format!("{layer} hard-mask strip")));
             s.push(wet(format!("{layer} post-etch clean")));
@@ -162,13 +168,22 @@ pub fn metal_via_pair_steps(layer: &str, litho: Lithography) -> Vec<ProcessStep>
         Lithography::ImmersionLele => {
             // Litho-etch-litho-etch trench + single-print via.
             s.push(dep(format!("{layer} ILD deposition")));
-            s.push(ProcessStep::litho(LithoTool::Immersion, format!("{layer} via exposure")));
+            s.push(ProcessStep::litho(
+                LithoTool::Immersion,
+                format!("{layer} via exposure"),
+            ));
             s.push(dry(format!("{layer} via etch")));
             s.push(dep(format!("{layer} trench hard mask A")));
-            s.push(ProcessStep::litho(LithoTool::Immersion, format!("{layer} trench exposure A")));
+            s.push(ProcessStep::litho(
+                LithoTool::Immersion,
+                format!("{layer} trench exposure A"),
+            ));
             s.push(dry(format!("{layer} trench etch A")));
             s.push(dep(format!("{layer} trench hard mask B")));
-            s.push(ProcessStep::litho(LithoTool::Immersion, format!("{layer} trench exposure B")));
+            s.push(ProcessStep::litho(
+                LithoTool::Immersion,
+                format!("{layer} trench exposure B"),
+            ));
             s.push(dry(format!("{layer} trench etch B")));
             s.push(dry(format!("{layer} hard-mask strip")));
             s.push(dry(format!("{layer} final trench transfer")));
@@ -187,9 +202,15 @@ pub fn metal_via_pair_steps(layer: &str, litho: Lithography) -> Vec<ProcessStep>
         }
         Lithography::ImmersionSingle => {
             s.push(dep(format!("{layer} ILD deposition")));
-            s.push(ProcessStep::litho(LithoTool::Immersion, format!("{layer} via exposure")));
+            s.push(ProcessStep::litho(
+                LithoTool::Immersion,
+                format!("{layer} via exposure"),
+            ));
             s.push(dry(format!("{layer} via etch")));
-            s.push(ProcessStep::litho(LithoTool::Immersion, format!("{layer} trench exposure")));
+            s.push(ProcessStep::litho(
+                LithoTool::Immersion,
+                format!("{layer} trench exposure"),
+            ));
             s.push(dry(format!("{layer} trench etch")));
             s.push(dry(format!("{layer} hard-mask strip")));
             s.push(dry(format!("{layer} descum")));
@@ -230,13 +251,22 @@ pub fn cnfet_tier_steps() -> Vec<ProcessStep> {
     s.push(dep("CNFET gate metal deposition (30 nm)"));
     s.push(dry("CNFET gate etch"));
     s.push(wet("CNFET S/D expose wet etch"));
-    s.push(ProcessStep::litho(LithoTool::Euv, "CNFET tier-via exposure"));
+    s.push(ProcessStep::litho(
+        LithoTool::Euv,
+        "CNFET tier-via exposure",
+    ));
     s.push(dry("CNFET tier-via etch"));
     s.push(dep("CNFET tier-via fill"));
-    s.push(ProcessStep::new(ProcessArea::Metallization, "CNFET tier-via CMP"));
+    s.push(ProcessStep::new(
+        ProcessArea::Metallization,
+        "CNFET tier-via CMP",
+    ));
     s.push(wet("CNFET post-CMP clean"));
     for i in 1..=6 {
-        s.push(ProcessStep::new(ProcessArea::Metrology, format!("CNFET tier metrology {i}")));
+        s.push(ProcessStep::new(
+            ProcessArea::Metrology,
+            format!("CNFET tier metrology {i}"),
+        ));
     }
     s
 }
@@ -261,10 +291,16 @@ pub fn igzo_tier_steps() -> Vec<ProcessStep> {
     s.push(ProcessStep::litho(LithoTool::Euv, "IGZO tier-via exposure"));
     s.push(dry("IGZO tier-via etch"));
     s.push(dep("IGZO tier-via fill"));
-    s.push(ProcessStep::new(ProcessArea::Metallization, "IGZO tier-via CMP"));
+    s.push(ProcessStep::new(
+        ProcessArea::Metallization,
+        "IGZO tier-via CMP",
+    ));
     s.push(wet("IGZO post-CMP clean"));
     for i in 1..=6 {
-        s.push(ProcessStep::new(ProcessArea::Metrology, format!("IGZO tier metrology {i}")));
+        s.push(ProcessStep::new(
+            ProcessArea::Metrology,
+            format!("IGZO tier metrology {i}"),
+        ));
     }
     s
 }
@@ -279,15 +315,24 @@ mod tests {
     }
 
     fn seq_energy(steps: &[ProcessStep]) -> f64 {
-        steps.iter().map(|s| db().energy(s).as_kilowatt_hours()).sum()
+        steps
+            .iter()
+            .map(|s| db().energy(s).as_kilowatt_hours())
+            .sum()
     }
 
     #[test]
     fn euv_pair_counts_match_design() {
         let steps = metal_via_pair_steps("M1", Lithography::EuvSingle);
-        let euv = steps.iter().filter(|s| s.tool == Some(LithoTool::Euv)).count();
+        let euv = steps
+            .iter()
+            .filter(|s| s.tool == Some(LithoTool::Euv))
+            .count();
         assert_eq!(euv, 2);
-        let dep = steps.iter().filter(|s| s.area == ProcessArea::Deposition).count();
+        let dep = steps
+            .iter()
+            .filter(|s| s.area == ProcessArea::Deposition)
+            .count();
         assert_eq!(dep, 5);
     }
 

@@ -20,16 +20,28 @@ pub struct Grid {
 }
 
 /// U.S. average grid (380 gCO₂e/kWh).
-pub const US: Grid = Grid { name: "U.S.", g_per_kwh: 380.0 };
+pub const US: Grid = Grid {
+    name: "U.S.",
+    g_per_kwh: 380.0,
+};
 
 /// Coal-dominated grid (820 gCO₂e/kWh).
-pub const COAL: Grid = Grid { name: "coal", g_per_kwh: 820.0 };
+pub const COAL: Grid = Grid {
+    name: "coal",
+    g_per_kwh: 820.0,
+};
 
 /// Solar generation (48 gCO₂e/kWh life-cycle).
-pub const SOLAR: Grid = Grid { name: "solar", g_per_kwh: 48.0 };
+pub const SOLAR: Grid = Grid {
+    name: "solar",
+    g_per_kwh: 48.0,
+};
 
 /// Taiwanese grid (563 gCO₂e/kWh) — where most leading-edge fabs operate.
-pub const TAIWAN: Grid = Grid { name: "Taiwan", g_per_kwh: 563.0 };
+pub const TAIWAN: Grid = Grid {
+    name: "Taiwan",
+    g_per_kwh: 563.0,
+};
 
 /// The four grids of Fig. 2c, in the paper's order.
 pub const FIG2C_GRIDS: [Grid; 4] = [US, COAL, SOLAR, TAIWAN];

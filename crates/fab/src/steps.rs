@@ -100,7 +100,11 @@ impl ProcessStep {
             area != ProcessArea::Lithography,
             "use ProcessStep::litho for lithography steps"
         );
-        Self { area, tool: None, label: label.into() }
+        Self {
+            area,
+            tool: None,
+            label: label.into(),
+        }
     }
 
     /// A lithography exposure with the given tool.

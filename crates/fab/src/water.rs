@@ -60,11 +60,13 @@ impl WaterModel {
     }
 
     /// UPW consumed to fabricate one wafer with the given flow, litres.
+    // ppatc-lint: allow(raw-unit-api) — litres; no volume quantity in ppatc-units yet
     pub fn upw_per_wafer(&self, flow: &ProcessFlow) -> f64 {
         self.feol_litres + flow.steps().iter().map(|s| self.litres_for(s)).sum::<f64>()
     }
 
     /// Raw (municipal) water per wafer, litres — UPW × production overhead.
+    // ppatc-lint: allow(raw-unit-api) — litres; no volume quantity in ppatc-units yet
     pub fn raw_water_per_wafer(&self, flow: &ProcessFlow) -> f64 {
         self.upw_per_wafer(flow) * self.upw_overhead
     }
@@ -74,6 +76,7 @@ impl WaterModel {
     /// # Panics
     ///
     /// Panics unless `good_dies_per_wafer` is positive.
+    // ppatc-lint: allow(raw-unit-api) — litres; no volume quantity in ppatc-units yet
     pub fn raw_water_per_good_die(&self, flow: &ProcessFlow, good_dies_per_wafer: f64) -> f64 {
         assert!(good_dies_per_wafer > 0.0, "need at least one good die");
         self.raw_water_per_wafer(flow) / good_dies_per_wafer
@@ -145,9 +148,7 @@ mod tests {
         let wet: f64 = m3d
             .steps()
             .iter()
-            .filter(|s| {
-                matches!(s.area, ProcessArea::WetEtch | ProcessArea::Metallization)
-            })
+            .filter(|s| matches!(s.area, ProcessArea::WetEtch | ProcessArea::Metallization))
             .map(|s| model.litres_for(s))
             .sum();
         let total_beol: f64 = m3d.steps().iter().map(|s| model.litres_for(s)).sum();

@@ -59,7 +59,11 @@ fn beol_energy_is_linear_in_step_energies() {
         let flow = ProcessFlow::from_stack("s", &stack);
         let e1 = flow.beol_epa(&base_db).as_joules();
         let e2 = flow.beol_epa(&base_db.scaled(k)).as_joules();
-        assert!(approx_eq(e2, k * e1, 1e-9), "case {case}: k={k}, {e2} vs {}", k * e1);
+        assert!(
+            approx_eq(e2, k * e1, 1e-9),
+            "case {case}: k={k}, {e2} vs {}",
+            k * e1
+        );
     }
 }
 
@@ -82,7 +86,11 @@ fn embodied_affine_in_grid_ci() {
             ),
             "case {case}: g1={g1}, k={k}"
         );
-        assert!(approx_eq(a.materials().as_grams(), b.materials().as_grams(), 1e-12));
+        assert!(approx_eq(
+            a.materials().as_grams(),
+            b.materials().as_grams(),
+            1e-12
+        ));
         assert!(approx_eq(a.gases().as_grams(), b.gases().as_grams(), 1e-12));
     }
 }
@@ -96,7 +104,9 @@ fn m3d_premium_holds_on_any_grid() {
         let model = EmbodiedModel::paper_default();
         let g = Grid::new("x", gi);
         let si = model.embodied_per_wafer(Technology::AllSi, g).total();
-        let m3d = model.embodied_per_wafer(Technology::M3dIgzoCnfetSi, g).total();
+        let m3d = model
+            .embodied_per_wafer(Technology::M3dIgzoCnfetSi, g)
+            .total();
         assert!(m3d > si, "case {case}: gi={gi}");
     }
 }
@@ -145,6 +155,8 @@ fn fig2c_reference_is_stable_under_property_runs() {
     // Anchor retained here so the property file fails loudly if a future
     // database change silently moves the calibration.
     let model = EmbodiedModel::paper_default();
-    let si = model.embodied_per_wafer(Technology::AllSi, grid::US).total();
+    let si = model
+        .embodied_per_wafer(Technology::AllSi, grid::US)
+        .total();
     assert!(approx_eq(si.as_kilograms(), 837.0, 0.005));
 }

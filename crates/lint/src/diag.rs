@@ -1,0 +1,84 @@
+//! Diagnostics: stable codes, severities, and human/JSON rendering.
+
+use core::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Advisory: reported, but exits 0 unless `--deny-warnings` is set.
+    Warn,
+    /// Violation of a workspace invariant: always a non-zero exit.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// One finding from a rule.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (`PL001`...).
+    pub code: &'static str,
+    /// The rule's kebab-case name (used in suppression comments).
+    pub rule: &'static str,
+    /// Effective severity.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in the compact human format used by the CLI:
+    /// `path:line:col: deny[PL002/panic-in-lib]: message`.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}:{}: {}[{}/{}]: {}",
+            self.path, self.line, self.col, self.severity, self.code, self.rule, self.message
+        )
+    }
+
+    /// Renders the diagnostic as a JSON object.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"code\":\"{}\",\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            self.code,
+            self.rule,
+            self.severity,
+            json_escape(&self.path),
+            self.line,
+            self.col,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,303 @@
+//! A hand-rolled, dependency-free Rust lexer.
+//!
+//! The lexer produces a flat token stream that is faithful enough for
+//! line-oriented static analysis: comments (line, doc, and *nested* block
+//! comments) are kept as tokens so suppression directives and "same-line
+//! comment" checks can see them, while string/char/raw-string literals are
+//! consumed atomically so that source text such as `r#"call .unwrap()"#`
+//! can never be mistaken for code.
+//!
+//! The lexer is intentionally lossless about position (1-based line and
+//! column per token) and intentionally lossy about things the rules never
+//! need (no keyword table, no operator joining — every punctuation byte is
+//! its own token).
+
+/// The coarse classification of a lexed token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `pub`, `f64`, `try_new`, ...).
+    Ident,
+    /// Numeric literal, including float exponents (`1_000`, `3.6e6`, `0xFF`).
+    Number,
+    /// String literal: `"..."`, `b"..."`, `r"..."`, `r#"..."#`, ...
+    Str,
+    /// Character literal: `'x'`, `'\''`.
+    Char,
+    /// Lifetime: `'a` (disambiguated from char literals).
+    Lifetime,
+    /// Line comment, including doc comments (`//`, `///`, `//!`).
+    LineComment,
+    /// Block comment, including nested ones (`/* /* */ */`, `/** */`).
+    BlockComment,
+    /// A single punctuation byte (`{`, `-`, `>`, `#`, ...).
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Coarse kind.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: &str, line: u32, col: u32) -> Self {
+        Self {
+            kind,
+            text: text.to_string(),
+            line,
+            col,
+        }
+    }
+}
+
+/// Lexes `src` into a token stream. Never panics: malformed input (an
+/// unterminated string, a stray byte) degrades into best-effort tokens so
+/// the linter can still report on the rest of the file.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        text: src,
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, tracking line/column.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn emit_from(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        let text = self.text.get(start..self.pos).unwrap_or("");
+        self.out.push(Token::new(kind, text, line, col));
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.emit_from(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment();
+                    self.emit_from(TokenKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.string_literal();
+                    self.emit_from(TokenKind::Str, start, line, col);
+                }
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump();
+                    self.string_literal();
+                    self.emit_from(TokenKind::Str, start, line, col);
+                }
+                b'r' | b'b' if self.is_raw_string_start() => {
+                    self.raw_string_literal();
+                    self.emit_from(TokenKind::Str, start, line, col);
+                }
+                b'\'' => {
+                    if self.is_lifetime_start() {
+                        self.bump(); // '
+                        while is_ident_continue(self.peek(0)) {
+                            self.bump();
+                        }
+                        self.emit_from(TokenKind::Lifetime, start, line, col);
+                    } else {
+                        self.char_literal();
+                        self.emit_from(TokenKind::Char, start, line, col);
+                    }
+                }
+                c if is_ident_start(c) => {
+                    // Raw identifiers (`r#match`) fold into plain idents.
+                    if c == b'r' && self.peek(1) == b'#' && is_ident_start(self.peek(2)) {
+                        self.bump_n(2);
+                    }
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.emit_from(TokenKind::Ident, start, line, col);
+                }
+                c if c.is_ascii_digit() => {
+                    self.number_literal();
+                    self.emit_from(TokenKind::Number, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.emit_from(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `r"`, `r#"`, `br"`, `br##"` ... ?
+    fn is_raw_string_start(&self) -> bool {
+        let mut i = 1;
+        if self.peek(0) == b'b' {
+            if self.peek(1) != b'r' {
+                return false;
+            }
+            i = 2;
+        }
+        while self.peek(i) == b'#' {
+            i += 1;
+        }
+        self.peek(i) == b'"'
+    }
+
+    /// `'a` / `'static` (but not `'a'` or `'\n'`).
+    fn is_lifetime_start(&self) -> bool {
+        is_ident_start(self.peek(1)) && self.peek(2) != b'\''
+    }
+
+    fn block_comment(&mut self) {
+        self.bump_n(2); // /*
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a `"..."` literal starting at the opening quote.
+    fn string_literal(&mut self) {
+        self.bump(); // opening "
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes `r##"..."##` starting at the `r`/`b`.
+    fn raw_string_literal(&mut self) {
+        if self.peek(0) == b'b' {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening "
+        while self.pos < self.src.len() {
+            if self.peek(0) == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(1 + matched) == b'#' {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    fn char_literal(&mut self) {
+        self.bump(); // opening '
+        match self.peek(0) {
+            b'\\' => self.bump_n(2),
+            0 => return,
+            _ => self.bump(),
+        }
+        // Consume up to the closing quote (handles multi-byte chars).
+        while self.pos < self.src.len() && self.peek(0) != b'\'' && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+    }
+
+    fn number_literal(&mut self) {
+        let hex = self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'X' | b'o' | b'b');
+        self.bump();
+        loop {
+            let c = self.peek(0);
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                // `3.6e6`, `1e-9`: a sign directly after an exponent `e`/`E`
+                // belongs to the literal (decimal floats only).
+                if !hex
+                    && (c == b'e' || c == b'E')
+                    && matches!(self.peek(1), b'+' | b'-')
+                    && self.peek(2).is_ascii_digit()
+                {
+                    self.bump_n(2);
+                    continue;
+                }
+                self.bump();
+            } else if c == b'.' && !hex && self.peek(1) != b'.' && !is_ident_start(self.peek(1)) {
+                // A float's decimal point — but neither a range (`0..n`) nor
+                // a method call on a literal (`1.max(2)`).
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}

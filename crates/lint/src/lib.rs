@@ -1,0 +1,200 @@
+//! `ppatc-lint` — a dependency-free static-analysis pass for the PPAtC
+//! workspace.
+//!
+//! The model stack's correctness hinges on dimensional discipline: Eq. 2's
+//! `C_embodied = (MPA + GPA + CI_fab·EPA)·Area` silently produces garbage
+//! when a gCO₂e/kWh value meets a pJ value as bare `f64`s. The `ppatc-units`
+//! newtypes prevent that at the arithmetic layer; this linter enforces it at
+//! the *API* layer, alongside the workspace's panic-free invariants that
+//! clippy alone cannot see (doc-test bodies, undocumented panic contracts,
+//! missing `#[must_use]`, non-`#[non_exhaustive]` error enums).
+//!
+//! Pipeline: [`lexer`] (tokens, comment/raw-string aware) → [`source`]
+//! (per-file model: items, test regions, suppressions) → [`rules`] (the
+//! PL001–PL005 catalog) → [`diag`] (stable codes, human/JSON rendering).
+//!
+//! Run it over the workspace with `cargo run -p ppatc-lint`; suppress a
+//! finding locally with a `// ppatc-lint: allow(rule-name)` comment on the
+//! offending line or the line above it.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use diag::{Diagnostic, Severity};
+
+use source::SourceFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A fatal linter error (I/O, bad workspace root). Rule findings are
+/// [`Diagnostic`]s, never errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LintError {
+    /// The workspace root does not look like a Cargo workspace.
+    NotAWorkspace(PathBuf),
+    /// Reading a file or directory failed.
+    Io(PathBuf, std::io::Error),
+}
+
+impl core::fmt::Display for LintError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LintError::NotAWorkspace(p) => {
+                write!(
+                    f,
+                    "{} does not contain a [workspace] Cargo.toml",
+                    p.display()
+                )
+            }
+            LintError::Io(p, e) => write!(f, "failed to read {}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// The outcome of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All unsuppressed findings, in path/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files: usize,
+    /// Findings silenced by `ppatc-lint: allow(...)` comments.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Number of deny-severity findings.
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// True when the lint run should fail the build: any deny finding, or
+    /// any finding at all under `deny_warnings`.
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.deny_count() > 0 || (deny_warnings && !self.diagnostics.is_empty())
+    }
+}
+
+/// Lints one in-memory source file. `path` should be workspace-relative
+/// (it selects per-crate rule scoping and labels diagnostics).
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let mut report = Report::default();
+    lint_into(path, src, &mut report);
+    report.diagnostics
+}
+
+fn lint_into(path: &str, src: &str, report: &mut Report) {
+    let file = SourceFile::parse(path, src);
+    let mut found = Vec::new();
+    for rule in rules::all() {
+        rule.check(&file, &mut found);
+    }
+    report.files += 1;
+    for d in found {
+        if file.is_suppressed(d.rule, d.line) {
+            report.suppressed += 1;
+        } else {
+            report.diagnostics.push(d);
+        }
+    }
+}
+
+/// Lints every library source file in the workspace rooted at `root`:
+/// `crates/*/src/**/*.rs` plus the root `src/`. Integration tests,
+/// benches, and examples are out of scope — the rules govern library code.
+pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
+    let manifest = root.join("Cargo.toml");
+    let is_workspace = fs::read_to_string(&manifest)
+        .map(|s| s.contains("[workspace]"))
+        .unwrap_or(false);
+    if !is_workspace {
+        return Err(LintError::NotAWorkspace(root.to_path_buf()));
+    }
+
+    let mut sources: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries =
+            fs::read_dir(&crates_dir).map_err(|e| LintError::Io(crates_dir.clone(), e))?;
+        let mut crate_dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs(&dir.join("src"), &mut sources)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut sources)?;
+
+    let mut report = Report::default();
+    for path in &sources {
+        let src = fs::read_to_string(path).map_err(|e| LintError::Io(path.clone(), e))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        lint_into(&rel, &src, &mut report);
+    }
+    report.diagnostics.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.col.cmp(&b.col))
+    });
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir` (no-op when absent).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(s) = fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,110 @@
+//! CLI for `ppatc-lint`.
+//!
+//! ```text
+//! cargo run -p ppatc-lint                      # lint the workspace
+//! cargo run -p ppatc-lint -- --deny-warnings   # CI gate: warnings fail too
+//! cargo run -p ppatc-lint -- --json            # machine-readable output
+//! cargo run -p ppatc-lint -- --list-rules      # print the rule catalog
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings failed the run, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    deny_warnings: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        deny_warnings: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => match it.next() {
+                Some(p) => opts.root = Some(PathBuf::from(p)),
+                None => return Err("--root requires a path".to_string()),
+            },
+            "--help" | "-h" => {
+                return Err(
+                    "usage: ppatc-lint [--root <dir>] [--json] [--deny-warnings] \
+                            [--list-rules]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("ppatc-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in ppatc_lint::rules::all() {
+            println!(
+                "{} {:<22} {:<5} {}",
+                rule.code, rule.name, rule.severity, rule.describes
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = opts
+        .root
+        .or_else(|| {
+            let cwd = std::env::current_dir().ok()?;
+            ppatc_lint::find_workspace_root(&cwd)
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let report = match ppatc_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ppatc-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        let body: Vec<String> = report.diagnostics.iter().map(|d| d.json()).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.human());
+        }
+        println!(
+            "ppatc-lint: {} files, {} diagnostics ({} deny, {} warn), {} suppressed",
+            report.files,
+            report.diagnostics.len(),
+            report.deny_count(),
+            report.warn_count(),
+            report.suppressed
+        );
+    }
+
+    if report.failed(opts.deny_warnings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,514 @@
+//! The rule catalog.
+//!
+//! | Code  | Name                   | Severity | Scope |
+//! |-------|------------------------|----------|-------|
+//! | PL001 | `raw-unit-api`         | deny     | `core`, `fab`, `wafer`, `edram` |
+//! | PL002 | `panic-in-lib`         | deny     | all model crates (not `bench`/`suite`) |
+//! | PL003 | `must-use-try`         | deny     | whole workspace |
+//! | PL004 | `magic-constant`       | warn     | model crates, outside const tables |
+//! | PL005 | `non-exhaustive-error` | deny     | whole workspace |
+//!
+//! Every rule can be silenced locally with a
+//! `// ppatc-lint: allow(rule-name)` comment on the offending line or the
+//! line above it.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::source::{FnItem, SourceFile};
+
+/// A single lint rule: identity plus a check pass over one file.
+pub struct Rule {
+    /// Stable diagnostic code.
+    pub code: &'static str,
+    /// Kebab-case name (used in suppression comments and `--list-rules`).
+    pub name: &'static str,
+    /// Severity of this rule's findings.
+    pub severity: Severity,
+    /// One-line description for `--list-rules`.
+    pub describes: &'static str,
+    check: fn(&Rule, &SourceFile, &mut Vec<Diagnostic>),
+}
+
+impl Rule {
+    /// Runs the rule over one file, appending findings to `out`.
+    pub fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        (self.check)(self, file, out);
+    }
+
+    fn diag(&self, file: &SourceFile, line: u32, col: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            code: self.code,
+            rule: self.name,
+            severity: self.severity,
+            path: file.path.clone(),
+            line,
+            col,
+            message,
+        }
+    }
+}
+
+/// The full rule set, in diagnostic-code order.
+pub fn all() -> Vec<Rule> {
+    vec![
+        Rule {
+            code: "PL001",
+            name: "raw-unit-api",
+            severity: Severity::Deny,
+            describes: "pub fn signatures in unit-bearing crates must use ppatc-units \
+                        quantities instead of bare f64 (dimensionless ratios exempt)",
+            check: raw_unit_api,
+        },
+        Rule {
+            code: "PL002",
+            name: "panic-in-lib",
+            severity: Severity::Deny,
+            describes: "no panic!/unwrap/expect/assert! in non-test library code unless the \
+                        enclosing fn documents a `# Panics` contract; no unwrap/expect in \
+                        doc examples",
+            check: panic_in_lib,
+        },
+        Rule {
+            code: "PL003",
+            name: "must-use-try",
+            severity: Severity::Deny,
+            describes: "every try_* fn must return Result and carry #[must_use]",
+            check: must_use_try,
+        },
+        Rule {
+            code: "PL004",
+            name: "magic-constant",
+            severity: Severity::Warn,
+            describes: "scientific-notation float literals outside const tables must name \
+                        their unit in a same-line comment",
+            check: magic_constant,
+        },
+        Rule {
+            code: "PL005",
+            name: "non-exhaustive-error",
+            severity: Severity::Deny,
+            describes: "public *Error enums must be #[non_exhaustive]",
+            check: non_exhaustive_error,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// PL001: raw-unit-api
+// ---------------------------------------------------------------------------
+
+/// Crates whose public API must speak in `ppatc-units` quantities.
+const UNIT_CRATES: &[&str] = &["core", "fab", "wafer", "edram"];
+
+/// Name segments that mark a value as genuinely dimensionless.
+const DIMENSIONLESS: &[&str] = &[
+    "activity",
+    "alpha",
+    "beta",
+    "cycles",
+    "dies",
+    "duty",
+    "exponent",
+    "factor",
+    "factors",
+    "frac",
+    "fraction",
+    "gamma",
+    "margin",
+    "overhead",
+    "percent",
+    "prob",
+    "probability",
+    "quantile",
+    "quantiles",
+    "ratio",
+    "ratios",
+    "reps",
+    "scale",
+    "scales",
+    "sensitivity",
+    "share",
+    "tol",
+    "tolerance",
+    "util",
+    "utilization",
+    "weight",
+    "weights",
+    "yield",
+];
+
+/// Name segments that spell the unit out, making a bare `f64` explicit
+/// (`from_grams`, `as_months`, `g_per_kwh`, `cell_side_nm`, ...).
+const UNIT_NAMED: &[&str] = &[
+    "amperes",
+    "celsius",
+    "cm",
+    "cm2",
+    "coulombs",
+    "day",
+    "days",
+    "dollars",
+    "ev",
+    "farads",
+    "fc",
+    "ff",
+    "fj",
+    "ghz",
+    "gram",
+    "grams",
+    "hour",
+    "hours",
+    "hz",
+    "joule",
+    "joules",
+    "kelvin",
+    "kg",
+    "khz",
+    "kilograms",
+    "kwh",
+    "liter",
+    "liters",
+    "litre",
+    "litres",
+    "m2",
+    "mhz",
+    "minutes",
+    "mj",
+    "mm",
+    "mm2",
+    "month",
+    "months",
+    "mv",
+    "mw",
+    "nj",
+    "nm",
+    "ns",
+    "nw",
+    "ohm",
+    "ohms",
+    "pf",
+    "pj",
+    "ps",
+    "sec",
+    "second",
+    "seconds",
+    "secs",
+    "tonnes",
+    "ua",
+    "um",
+    "um2",
+    "us",
+    "usd",
+    "uw",
+    "volt",
+    "volts",
+    "watt",
+    "watts",
+];
+
+fn name_is_unit_explicit(name: &str) -> bool {
+    name.split('_').any(|seg| {
+        let seg = seg.to_ascii_lowercase();
+        DIMENSIONLESS.contains(&seg.as_str()) || UNIT_NAMED.contains(&seg.as_str())
+    })
+}
+
+fn raw_unit_api(rule: &Rule, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !UNIT_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    for f in &file.fns {
+        if !f.is_pub || f.in_test || file.in_test(f.line) {
+            continue;
+        }
+        for p in &f.params {
+            if p.ty.iter().any(|t| t == "f64") && !name_is_unit_explicit(&p.name) {
+                // Anchor at the fn line so one allow-comment above the
+                // signature covers every parameter.
+                out.push(rule.diag(
+                    file,
+                    f.line,
+                    f.col,
+                    format!(
+                        "parameter `{}: f64` of `pub fn {}` should be a ppatc-units \
+                         quantity (or carry a unit/dimensionless name)",
+                        p.name, f.name
+                    ),
+                ));
+            }
+        }
+        if f.ret.iter().any(|t| t == "f64") && !name_is_unit_explicit(&f.name) {
+            out.push(rule.diag(
+                file,
+                f.line,
+                f.col,
+                format!(
+                    "`pub fn {}` returns bare f64; return a ppatc-units quantity or \
+                     give the fn a unit/dimensionless name",
+                    f.name
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PL002: panic-in-lib
+// ---------------------------------------------------------------------------
+
+/// Macro names that abort at runtime.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Crates where panicking on broken fixtures is acceptable (analysis
+/// harness and the integration-test shell).
+const PANIC_EXEMPT_CRATES: &[&str] = &["bench", "suite", "lint"];
+
+fn panic_in_lib(rule: &Rule, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if PANIC_EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    // Sort fn bodies innermost-first so enclosing-fn lookup picks the
+    // tightest span.
+    let mut bodied: Vec<&FnItem> = file.fns.iter().filter(|f| f.body.is_some()).collect();
+    bodied.sort_by_key(|f| f.body.map_or(0, |(a, b)| b - a));
+
+    for (ci, &ti) in file.code.iter().enumerate() {
+        let tok = &file.tokens[ti];
+        if tok.kind != TokenKind::Ident || file.in_test(tok.line) {
+            continue;
+        }
+        let next = file.code_token(ci + 1).map_or("", |t| t.text.as_str());
+        let prev = if ci > 0 {
+            file.code_token(ci - 1).map_or("", |t| t.text.as_str())
+        } else {
+            ""
+        };
+        let is_panic_macro = PANIC_MACROS.contains(&tok.text.as_str()) && next == "!";
+        let is_unwrap_call =
+            matches!(tok.text.as_str(), "unwrap" | "expect") && prev == "." && next == "(";
+        if !is_panic_macro && !is_unwrap_call {
+            continue;
+        }
+        // Exempt when the enclosing fn documents its panic contract.
+        let enclosing = bodied
+            .iter()
+            .find(|f| f.body.is_some_and(|(a, b)| (a..=b).contains(&ci)));
+        if enclosing.is_some_and(|f| f.doc.contains("# Panics")) {
+            continue;
+        }
+        let what = if is_panic_macro {
+            format!("`{}!`", tok.text)
+        } else {
+            format!("`.{}()`", tok.text)
+        };
+        let hint = match enclosing {
+            Some(f) => format!(
+                "document a `# Panics` contract on `fn {}` or return a Result",
+                f.name
+            ),
+            None => "move it into test code or return a Result".to_string(),
+        };
+        out.push(rule.diag(
+            file,
+            tok.line,
+            tok.col,
+            format!("{what} in non-test library code; {hint}"),
+        ));
+    }
+
+    // Doc-test bodies: fenced code in `///` / `//!` comments is compiled
+    // and run by rustdoc, but the clippy unwrap/expect gate never sees it.
+    let mut in_fence = false;
+    for tok in &file.tokens {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = tok
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start();
+        if !tok.text.starts_with("///") && !tok.text.starts_with("//!") {
+            continue;
+        }
+        if body.starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence && (body.contains(".unwrap(") || body.contains(".expect(")) {
+            out.push(
+                rule.diag(
+                    file,
+                    tok.line,
+                    tok.col,
+                    "unwrap/expect in a doc example; use `?` with a hidden \
+                 `# Ok::<(), _>(())` tail instead"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PL003: must-use-try
+// ---------------------------------------------------------------------------
+
+fn must_use_try(rule: &Rule, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for f in &file.fns {
+        if !f.name.starts_with("try_") || f.in_test || file.in_test(f.line) {
+            continue;
+        }
+        if !f.ret.iter().any(|t| t == "Result") {
+            out.push(rule.diag(
+                file,
+                f.line,
+                f.col,
+                format!("`fn {}` is named try_* but does not return Result", f.name),
+            ));
+        }
+        if !f.attrs.iter().any(|a| a.starts_with("must_use")) {
+            out.push(rule.diag(
+                file,
+                f.line,
+                f.col,
+                format!(
+                    "`fn {}` must carry #[must_use = \"...\"] so dropped Results are \
+                     caught at the call site",
+                    f.name
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PL004: magic-constant
+// ---------------------------------------------------------------------------
+
+/// Crates exempt from the magic-constant rule: the units crate *defines*
+/// the conversion factors, and the harness crates are exploratory.
+const MAGIC_EXEMPT_CRATES: &[&str] = &["units", "bench", "suite", "lint"];
+
+/// File-stem fragments that mark calibrated-parameter tables, where the
+/// surrounding doc comments carry the units.
+const TABLE_FILE_MARKERS: &[&str] = &["consts", "grid", "materials", "steps", "table"];
+
+fn magic_constant(rule: &Rule, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if MAGIC_EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    let norm = file.path.replace('\\', "/");
+    let stem = norm.rsplit('/').next().unwrap_or("");
+    if TABLE_FILE_MARKERS.iter().any(|m| stem.contains(m)) {
+        return;
+    }
+    let const_lines = const_item_lines(file);
+    for &ti in &file.code {
+        let tok = &file.tokens[ti];
+        if tok.kind != TokenKind::Number
+            || file.in_test(tok.line)
+            || !is_physical_constant_literal(&tok.text)
+        {
+            continue;
+        }
+        if const_lines.contains(&tok.line) || file.line_has_comment(tok.line) {
+            continue;
+        }
+        out.push(rule.diag(
+            file,
+            tok.line,
+            tok.col,
+            format!(
+                "physical-constant literal `{}` needs a same-line `// unit` comment \
+                 or a move into a named const",
+                tok.text
+            ),
+        ));
+    }
+}
+
+/// Lines covered by `const`/`static` items (through the terminating `;`).
+fn const_item_lines(file: &SourceFile) -> Vec<u32> {
+    let mut lines = Vec::new();
+    let mut ci = 0usize;
+    while ci < file.code.len() {
+        let tok = &file.tokens[file.code[ci]];
+        if tok.kind == TokenKind::Ident && (tok.text == "const" || tok.text == "static") {
+            let start = tok.line;
+            let mut depth = 0i32;
+            let mut k = ci;
+            let mut end = start;
+            while let Some(t) = file.code_token(k) {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth <= 0 => {
+                        end = t.line;
+                        break;
+                    }
+                    _ => {}
+                }
+                end = t.line;
+                k += 1;
+            }
+            lines.extend(start..=end);
+            ci = k;
+        }
+        ci += 1;
+    }
+    lines
+}
+
+/// A scientific-notation literal whose mantissa is not a plain power of
+/// ten (`3.6e6`, `8.617e-5` — but not `1e-9` or `1.0e6`).
+fn is_physical_constant_literal(text: &str) -> bool {
+    let lower = text.to_ascii_lowercase().replace('_', "");
+    if lower.starts_with("0x") || lower.starts_with("0o") || lower.starts_with("0b") {
+        return false;
+    }
+    let Some(e_at) = lower.find('e') else {
+        return false;
+    };
+    let mantissa: f64 = match lower[..e_at].parse() {
+        Ok(m) => m,
+        Err(_) => return false,
+    };
+    if mantissa <= 0.0 {
+        return false;
+    }
+    let log = mantissa.log10();
+    (log - log.round()).abs() > 1e-9
+}
+
+// ---------------------------------------------------------------------------
+// PL005: non-exhaustive-error
+// ---------------------------------------------------------------------------
+
+fn non_exhaustive_error(rule: &Rule, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for e in &file.enums {
+        if !e.is_pub || !e.name.ends_with("Error") || e.in_test || file.in_test(e.line) {
+            continue;
+        }
+        if !e.attrs.iter().any(|a| a == "non_exhaustive") {
+            out.push(rule.diag(
+                file,
+                e.line,
+                e.col,
+                format!(
+                    "public error enum `{}` must be #[non_exhaustive] so adding \
+                     variants stays non-breaking",
+                    e.name
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Seeded-fixture tests: every rule in the catalog must fire on a minimal
+//! violating source, stay quiet on the corrected form, and honour the
+//! `ppatc-lint: allow(...)` suppression syntax.
+
+use ppatc_lint::lexer::{self, TokenKind};
+use ppatc_lint::lint_source;
+
+fn codes(path: &str, src: &str) -> Vec<&'static str> {
+    let mut codes: Vec<&'static str> = lint_source(path, src).into_iter().map(|d| d.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+// -----------------------------------------------------------------------
+// PL001: raw-unit-api
+// -----------------------------------------------------------------------
+
+#[test]
+fn pl001_fires_on_bare_f64_in_unit_crate() {
+    let src = "pub fn embodied_carbon(area: f64) -> f64 { area * 2.0 }\n";
+    assert_eq!(codes("crates/core/src/x.rs", src), vec!["PL001"]);
+}
+
+#[test]
+fn pl001_ignores_non_unit_crates() {
+    let src = "pub fn embodied_carbon(area: f64) -> f64 { area * 2.0 }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl001_accepts_unit_named_and_dimensionless_signatures() {
+    let src = "pub fn carbon_grams(area_mm2: f64, yield_fraction: f64) -> f64 { area_mm2 * yield_fraction }\n";
+    assert!(codes("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl001_ignores_private_fns() {
+    let src = "fn helper(x: f64) -> f64 { x }\n";
+    assert!(codes("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl001_reports_params_at_the_signature_line() {
+    // One allow-comment above a multi-line signature must cover every
+    // parameter, so all findings anchor at the `pub fn` line.
+    let src = "pub fn blend(\n    a: f64,\n    b: f64,\n) -> f64 {\n    a + b\n}\n";
+    let diags = lint_source("crates/core/src/x.rs", src);
+    assert!(!diags.is_empty());
+    assert!(diags.iter().all(|d| d.line == 1), "diags: {diags:?}");
+}
+
+// -----------------------------------------------------------------------
+// PL002: panic-in-lib
+// -----------------------------------------------------------------------
+
+#[test]
+fn pl002_fires_on_unwrap_in_lib_code() {
+    let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL002"]);
+}
+
+#[test]
+fn pl002_fires_on_panic_macro() {
+    let src = "pub fn f() { panic!(\"boom\"); }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL002"]);
+}
+
+#[test]
+fn pl002_exempts_documented_panics_contract() {
+    let src = "/// Grabs the value.\n///\n/// # Panics\n///\n/// If `v` is `None`.\npub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl002_ignores_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert_eq!(1, 1); Some(1).unwrap(); }\n}\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl002_fires_on_unwrap_in_doc_example() {
+    let src = "/// ```\n/// let x = compute().unwrap();\n/// ```\npub fn compute() -> Option<u32> { None }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL002"]);
+}
+
+#[test]
+fn pl002_ignores_unwrap_mentioned_in_prose_docs() {
+    // Outside a code fence, ".unwrap(" is prose, not a doc-test body.
+    let src = "/// Never calls `.unwrap()` internally.\npub fn f() {}\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl002_exempts_harness_crates() {
+    let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert!(codes("crates/bench/src/x.rs", src).is_empty());
+    assert!(codes("src/suite.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------------
+// PL003: must-use-try
+// -----------------------------------------------------------------------
+
+#[test]
+fn pl003_fires_on_try_fn_without_must_use() {
+    let src = "pub fn try_build() -> Result<u32, String> { Ok(1) }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL003"]);
+}
+
+#[test]
+fn pl003_fires_on_try_fn_not_returning_result() {
+    let src = "#[must_use = \"handle it\"]\npub fn try_build() -> u32 { 1 }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL003"]);
+}
+
+#[test]
+fn pl003_accepts_must_use_result_try_fn() {
+    let src = "#[must_use = \"handle it\"]\npub fn try_build() -> Result<u32, String> { Ok(1) }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------------
+// PL004: magic-constant
+// -----------------------------------------------------------------------
+
+#[test]
+fn pl004_fires_on_uncommented_scientific_literal() {
+    let src = "pub fn f() -> f64 { 8.617e-5 }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL004"]);
+}
+
+#[test]
+fn pl004_accepts_same_line_unit_comment() {
+    let src = "pub fn f() -> f64 { 8.617e-5 } // eV/K (Boltzmann)\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl004_accepts_named_const() {
+    let src = "const K_B_EV_PER_K: f64 = 8.617e-5;\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl004_ignores_power_of_ten_conversions() {
+    // 1e-9, 1.0e6 are unit-prefix conversions, not calibrated constants.
+    let src = "pub fn f(x: f64) -> f64 { x * 1e-9 + 1.0e6 }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl004_ignores_table_files_and_units_crate() {
+    let src = "pub fn f() -> f64 { 8.617e-5 }\n";
+    assert!(codes("crates/device/src/steps.rs", src).is_empty());
+    assert!(codes("crates/units/src/x.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------------
+// PL005: non-exhaustive-error
+// -----------------------------------------------------------------------
+
+#[test]
+fn pl005_fires_on_exhaustive_pub_error_enum() {
+    let src = "pub enum ParseError { Bad }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL005"]);
+}
+
+#[test]
+fn pl005_accepts_non_exhaustive_error_enum() {
+    let src = "#[non_exhaustive]\npub enum ParseError { Bad }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl005_ignores_private_and_non_error_enums() {
+    let src = "enum ParseError { Bad }\npub enum Mode { Fast }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------------
+// Suppression
+// -----------------------------------------------------------------------
+
+#[test]
+fn allow_comment_on_line_above_suppresses() {
+    let src = "// ppatc-lint: allow(panic-in-lib) — fixture\npub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn allow_comment_on_same_line_suppresses() {
+    let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() } // ppatc-lint: allow(panic-in-lib)\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn allow_all_suppresses_every_rule() {
+    let src = "// ppatc-lint: allow(all)\npub enum ParseError { Bad }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn allow_for_a_different_rule_does_not_suppress() {
+    let src =
+        "// ppatc-lint: allow(magic-constant)\npub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL002"]);
+}
+
+#[test]
+fn allow_comment_does_not_leak_past_the_next_code_line() {
+    let src = "// ppatc-lint: allow(panic-in-lib)\npub fn ok() {}\npub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL002"]);
+}
+
+// -----------------------------------------------------------------------
+// Lexer edge cases
+// -----------------------------------------------------------------------
+
+#[test]
+fn lexer_handles_nested_block_comments() {
+    let toks = lexer::lex("/* outer /* inner */ still comment */ fn f() {}");
+    assert_eq!(toks[0].kind, TokenKind::BlockComment);
+    assert!(toks[0].text.contains("inner"));
+    assert_eq!(toks[1].text, "fn");
+}
+
+#[test]
+fn lexer_keeps_unwrap_inside_raw_string_as_a_string() {
+    // A raw string containing `unwrap(` must not look like a call.
+    let src = r####"pub fn f() -> &'static str { r#"x.unwrap()"# }"####;
+    let toks = lexer::lex(src);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Str && t.text.contains("unwrap")));
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn lexer_separates_lifetimes_from_char_literals() {
+    let toks = lexer::lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Char && t.text == "'x'"));
+}
+
+#[test]
+fn lexer_reads_float_exponents_as_one_number() {
+    let toks = lexer::lex("let x = 3.6e-6;");
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Number && t.text == "3.6e-6"));
+}
+
+#[test]
+fn lexer_does_not_eat_method_calls_on_integers() {
+    let toks = lexer::lex("let x = 1.max(2);");
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Number && t.text == "1"));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text == "max"));
+}
+
+#[test]
+fn lexer_tracks_line_and_column() {
+    let toks = lexer::lex("fn a() {}\nfn b() {}");
+    let b = toks.iter().find(|t| t.text == "b").expect("ident b");
+    assert_eq!((b.line, b.col), (2, 4));
+}
+
+#[test]
+fn cfg_test_region_spans_the_whole_module() {
+    let src = "pub fn lib_code() {}\n#[cfg(test)]\nmod tests {\n    fn helper(v: Option<u32>) -> u32 {\n        v.unwrap()\n    }\n}\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}

@@ -1,0 +1,41 @@
+//! Tier-1 gate: the workspace must lint clean under its own rules.
+//!
+//! This is the test-suite twin of the CI `cargo run -p ppatc-lint --
+//! --deny-warnings` job: any deny- or warn-severity finding introduced
+//! anywhere in the workspace fails this test with the full diagnostic list.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = ppatc_lint::lint_workspace(&root).expect("workspace should be lintable");
+    assert!(
+        report.files > 50,
+        "expected to scan the whole workspace, saw only {} files",
+        report.files
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.human()).collect();
+    assert!(
+        report.diagnostics.is_empty(),
+        "ppatc-lint found {} issue(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn rule_catalog_is_stable() {
+    let rules = ppatc_lint::rules::all();
+    let listed: Vec<(&str, &str)> = rules.iter().map(|r| (r.code, r.name)).collect();
+    assert_eq!(
+        listed,
+        vec![
+            ("PL001", "raw-unit-api"),
+            ("PL002", "panic-in-lib"),
+            ("PL003", "must-use-try"),
+            ("PL004", "magic-constant"),
+            ("PL005", "non-exhaustive-error"),
+        ]
+    );
+}

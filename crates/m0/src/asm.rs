@@ -35,7 +35,10 @@ pub struct AsmError {
 
 impl AsmError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        Self { line, message: message.into() }
+        Self {
+            line,
+            message: message.into(),
+        }
     }
 
     /// 1-based source line of the error.
@@ -84,7 +87,10 @@ enum ParsedInst {
     /// Fully resolved at parse time.
     Ready(Instruction),
     /// Conditional or unconditional branch to a label.
-    Branch { cond: Option<Condition>, target: String },
+    Branch {
+        cond: Option<Condition>,
+        target: String,
+    },
     /// `bl label`.
     BranchLink { target: String },
     /// `ldr rX, =value` — literal-pool load.
@@ -100,7 +106,10 @@ struct Assembler {
 
 impl Assembler {
     fn new() -> Self {
-        Self { items: Vec::new(), labels: HashMap::new() }
+        Self {
+            items: Vec::new(),
+            labels: HashMap::new(),
+        }
     }
 
     fn assemble(mut self, source: &str) -> Result<Vec<u8>, AsmError> {
@@ -132,7 +141,11 @@ impl Assembler {
         // Collect literal-pool values (deduplicated, in first-use order).
         let mut pool: Vec<ValueRef> = Vec::new();
         for item in &self.items {
-            if let Item::Inst { parsed: ParsedInst::LdrPool { value, .. }, .. } = item {
+            if let Item::Inst {
+                parsed: ParsedInst::LdrPool { value, .. },
+                ..
+            } = item
+            {
                 if !pool.iter().any(|v| value_key(v) == value_key(value)) {
                     pool.push(value.clone());
                 }
@@ -147,7 +160,9 @@ impl Assembler {
             match item {
                 Item::Align => {
                     while !addr.is_multiple_of(4) {
-                        out.extend_from_slice(&Instruction::Nop.encode().halfwords()[0].to_le_bytes());
+                        out.extend_from_slice(
+                            &Instruction::Nop.encode().halfwords()[0].to_le_bytes(),
+                        );
                         addr += 2;
                     }
                 }
@@ -216,7 +231,10 @@ impl Assembler {
                                 format!("conditional branch to `{target}` out of range ({offset} bytes)"),
                             ));
                         }
-                        Ok(Instruction::BCond { cond: *c, imm8: (units as i8) as u8 })
+                        Ok(Instruction::BCond {
+                            cond: *c,
+                            imm8: (units as i8) as u8,
+                        })
                     }
                     None => {
                         let units = offset / 2;
@@ -226,7 +244,9 @@ impl Assembler {
                                 format!("branch to `{target}` out of range ({offset} bytes)"),
                             ));
                         }
-                        Ok(Instruction::B { imm11: (units as i16 as u16) & 0x7FF })
+                        Ok(Instruction::B {
+                            imm11: (units as i16 as u16) & 0x7FF,
+                        })
                     }
                 }
             }
@@ -234,9 +254,14 @@ impl Assembler {
                 let dest = self.resolve(line, &ValueRef::Symbol(target.clone()))?;
                 let offset = dest - (addr as i64 + 4);
                 if !(-(1 << 24)..(1 << 24)).contains(&offset) {
-                    return Err(AsmError::new(line, format!("bl to `{target}` out of range")));
+                    return Err(AsmError::new(
+                        line,
+                        format!("bl to `{target}` out of range"),
+                    ));
                 }
-                Ok(Instruction::Bl { offset: offset as i32 })
+                Ok(Instruction::Bl {
+                    offset: offset as i32,
+                })
             }
             ParsedInst::LdrPool { rt, value } => {
                 let slot = pool
@@ -252,16 +277,25 @@ impl Assembler {
                 if imm > 255 {
                     return Err(AsmError::new(line, "literal pool out of ldr range"));
                 }
-                Ok(Instruction::LdrLit { rt: *rt, imm8: imm as u8 })
+                Ok(Instruction::LdrLit {
+                    rt: *rt,
+                    imm8: imm as u8,
+                })
             }
             ParsedInst::Adr { rd, target } => {
                 let dest = self.resolve(line, &ValueRef::Symbol(target.clone()))?;
                 let base = ((addr + 4) & !3) as i64;
                 let offset = dest - base;
                 if offset < 0 || offset % 4 != 0 || offset / 4 > 255 {
-                    return Err(AsmError::new(line, format!("adr to `{target}` out of range")));
+                    return Err(AsmError::new(
+                        line,
+                        format!("adr to `{target}` out of range"),
+                    ));
                 }
-                Ok(Instruction::Adr { rd: *rd, imm8: (offset / 4) as u8 })
+                Ok(Instruction::Adr {
+                    rd: *rd,
+                    imm8: (offset / 4) as u8,
+                })
             }
         }
     }
@@ -322,8 +356,11 @@ fn find_label_colon(line: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 /// Splits operands on top-level commas (not inside `[...]` or `{...}`).
@@ -463,7 +500,10 @@ fn parse_statement(line: usize, text: &str) -> Result<Item, AsmError> {
     // Directives.
     match mnemonic.as_str() {
         ".word" => {
-            return Ok(Item::Word { line, value: parse_value_ref(rest) });
+            return Ok(Item::Word {
+                line,
+                value: parse_value_ref(rest),
+            });
         }
         ".align" => return Ok(Item::Align),
         ".space" => {
@@ -484,19 +524,29 @@ fn parse_statement(line: usize, text: &str) -> Result<Item, AsmError> {
 fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<ParsedInst, AsmError> {
     use Instruction as I;
     let err = |msg: String| AsmError::new(line, msg);
-    let bad_operands =
-        || err(format!("invalid operands for `{mnemonic}`: {}", ops.join(", ")));
+    let bad_operands = || {
+        err(format!(
+            "invalid operands for `{mnemonic}`: {}",
+            ops.join(", ")
+        ))
+    };
     let reg = |i: usize| -> Result<Reg, AsmError> {
-        ops.get(i)
-            .and_then(|s| parse_reg(s))
-            .ok_or_else(|| err(format!("operand {} of `{mnemonic}` must be a register", i + 1)))
+        ops.get(i).and_then(|s| parse_reg(s)).ok_or_else(|| {
+            err(format!(
+                "operand {} of `{mnemonic}` must be a register",
+                i + 1
+            ))
+        })
     };
     let low = |i: usize| -> Result<Reg, AsmError> {
         let r = reg(i)?;
         if r.is_low() {
             Ok(r)
         } else {
-            Err(err(format!("operand {} of `{mnemonic}` must be r0-r7", i + 1)))
+            Err(err(format!(
+                "operand {} of `{mnemonic}` must be r0-r7",
+                i + 1
+            )))
         }
     };
     let imm = |i: usize| -> Result<i64, AsmError> {
@@ -526,8 +576,13 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
             _ => None,
         };
         if let Some(cond) = cond {
-            let target = ops.first().ok_or_else(|| err("missing branch target".into()))?;
-            return Ok(ParsedInst::Branch { cond: Some(cond), target: target.clone() });
+            let target = ops
+                .first()
+                .ok_or_else(|| err("missing branch target".into()))?;
+            return Ok(ParsedInst::Branch {
+                cond: Some(cond),
+                target: target.clone(),
+            });
         }
     }
 
@@ -538,12 +593,21 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
             ready(I::Bkpt { imm8: v as u8 })
         }
         "b" => {
-            let target = ops.first().ok_or_else(|| err("missing branch target".into()))?;
-            Ok(ParsedInst::Branch { cond: None, target: target.clone() })
+            let target = ops
+                .first()
+                .ok_or_else(|| err("missing branch target".into()))?;
+            Ok(ParsedInst::Branch {
+                cond: None,
+                target: target.clone(),
+            })
         }
         "bl" => {
-            let target = ops.first().ok_or_else(|| err("missing call target".into()))?;
-            Ok(ParsedInst::BranchLink { target: target.clone() })
+            let target = ops
+                .first()
+                .ok_or_else(|| err("missing call target".into()))?;
+            Ok(ParsedInst::BranchLink {
+                target: target.clone(),
+            })
         }
         "bx" => ready(I::Bx { rm: reg(0)? }),
         "blx" => ready(I::Blx { rm: reg(0)? }),
@@ -559,7 +623,10 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
                 ready(I::LslImm { rd, rm, imm5: 0 })
             }
         }
-        "mov" => ready(I::MovHi { rd: reg(0)?, rm: reg(1)? }),
+        "mov" => ready(I::MovHi {
+            rd: reg(0)?,
+            rm: reg(1)?,
+        }),
         "adds" | "subs" => {
             let sub = mnemonic == "subs";
             let rd = low(0)?;
@@ -571,9 +638,15 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
                             return Err(err(format!("immediate {v} out of range 0-255")));
                         }
                         if sub {
-                            ready(I::SubImm8 { rdn: rd, imm8: v as u8 })
+                            ready(I::SubImm8 {
+                                rdn: rd,
+                                imm8: v as u8,
+                            })
                         } else {
-                            ready(I::AddImm8 { rdn: rd, imm8: v as u8 })
+                            ready(I::AddImm8 {
+                                rdn: rd,
+                                imm8: v as u8,
+                            })
                         }
                     } else {
                         let rm = low(1)?;
@@ -589,15 +662,29 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
                     if let Some(v) = ops.get(2).and_then(|s| parse_imm(s)) {
                         if (0..=7).contains(&v) {
                             if sub {
-                                ready(I::SubImm3 { rd, rn, imm3: v as u8 })
+                                ready(I::SubImm3 {
+                                    rd,
+                                    rn,
+                                    imm3: v as u8,
+                                })
                             } else {
-                                ready(I::AddImm3 { rd, rn, imm3: v as u8 })
+                                ready(I::AddImm3 {
+                                    rd,
+                                    rn,
+                                    imm3: v as u8,
+                                })
                             }
                         } else if rd == rn && (0..=255).contains(&v) {
                             if sub {
-                                ready(I::SubImm8 { rdn: rd, imm8: v as u8 })
+                                ready(I::SubImm8 {
+                                    rdn: rd,
+                                    imm8: v as u8,
+                                })
                             } else {
-                                ready(I::AddImm8 { rdn: rd, imm8: v as u8 })
+                                ready(I::AddImm8 {
+                                    rdn: rd,
+                                    imm8: v as u8,
+                                })
                             }
                         } else {
                             Err(err(format!("immediate {v} not encodable")))
@@ -622,15 +709,23 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
                 if v % 4 != 0 || !(0..=508).contains(&v) {
                     return Err(err(format!("add sp immediate {v} must be 0-508, ×4")));
                 }
-                ready(I::AddSp { imm7: (v / 4) as u8 })
+                ready(I::AddSp {
+                    imm7: (v / 4) as u8,
+                })
             } else if ops.len() == 3 && reg(1)? == Reg::SP {
                 let v = imm(2)?;
                 if v % 4 != 0 || !(0..=1020).contains(&v) {
                     return Err(err(format!("add rd, sp immediate {v} must be 0-1020, ×4")));
                 }
-                ready(I::AddRdSp { rd: low(0)?, imm8: (v / 4) as u8 })
+                ready(I::AddRdSp {
+                    rd: low(0)?,
+                    imm8: (v / 4) as u8,
+                })
             } else if ops.len() == 2 {
-                ready(I::AddHi { rdn: r0, rm: reg(1)? })
+                ready(I::AddHi {
+                    rdn: r0,
+                    rm: reg(1)?,
+                })
             } else {
                 Err(bad_operands())
             }
@@ -641,7 +736,9 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
                 if v % 4 != 0 || !(0..=508).contains(&v) {
                     return Err(err(format!("sub sp immediate {v} must be 0-508, ×4")));
                 }
-                ready(I::SubSp { imm7: (v / 4) as u8 })
+                ready(I::SubSp {
+                    imm7: (v / 4) as u8,
+                })
             } else {
                 Err(bad_operands())
             }
@@ -656,7 +753,11 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
             } else {
                 let rm = reg(1)?;
                 if rn.is_low() && rm.is_low() {
-                    ready(I::DataProc { op: DpOp::Cmp, rdn: rn, rm })
+                    ready(I::DataProc {
+                        op: DpOp::Cmp,
+                        rdn: rn,
+                        rm,
+                    })
                 } else {
                     ready(I::CmpHi { rn, rm })
                 }
@@ -684,9 +785,21 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
             };
             ready(I::DataProc { op, rdn, rm })
         }
-        "tst" => ready(I::DataProc { op: DpOp::Tst, rdn: low(0)?, rm: low(1)? }),
-        "cmn" => ready(I::DataProc { op: DpOp::Cmn, rdn: low(0)?, rm: low(1)? }),
-        "mvns" => ready(I::DataProc { op: DpOp::Mvn, rdn: low(0)?, rm: low(1)? }),
+        "tst" => ready(I::DataProc {
+            op: DpOp::Tst,
+            rdn: low(0)?,
+            rm: low(1)?,
+        }),
+        "cmn" => ready(I::DataProc {
+            op: DpOp::Cmn,
+            rdn: low(0)?,
+            rm: low(1)?,
+        }),
+        "mvns" => ready(I::DataProc {
+            op: DpOp::Mvn,
+            rdn: low(0)?,
+            rm: low(1)?,
+        }),
         "rsbs" | "negs" => {
             // rsbs rd, rn, #0  |  negs rd, rn
             let rd = low(0)?;
@@ -694,7 +807,11 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
             if mnemonic == "rsbs" && ops.len() == 3 && imm(2)? != 0 {
                 return Err(err("rsbs only supports #0".into()));
             }
-            ready(I::DataProc { op: DpOp::Rsb, rdn: rd, rm: rn })
+            ready(I::DataProc {
+                op: DpOp::Rsb,
+                rdn: rd,
+                rm: rn,
+            })
         }
         "muls" => {
             // muls rd, rn, rm with rd == rm (UAL) or 2-operand form.
@@ -705,11 +822,19 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
                 // muls rd, rn, rd is the canonical encodable form; accept
                 // rd, rn, rm by swapping when possible.
                 if rn == rd {
-                    return ready(I::DataProc { op: DpOp::Mul, rdn: rd, rm });
+                    return ready(I::DataProc {
+                        op: DpOp::Mul,
+                        rdn: rd,
+                        rm,
+                    });
                 }
                 return Err(err("muls requires rd to equal one source".into()));
             }
-            ready(I::DataProc { op: DpOp::Mul, rdn: rd, rm: rn })
+            ready(I::DataProc {
+                op: DpOp::Mul,
+                rdn: rd,
+                rm: rn,
+            })
         }
         "lsls" | "lsrs" | "asrs" => {
             let rd = low(0)?;
@@ -719,9 +844,21 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
                     return Err(err(format!("shift amount {v} out of range")));
                 }
                 match mnemonic {
-                    "lsls" => ready(I::LslImm { rd, rm, imm5: v as u8 }),
-                    "lsrs" => ready(I::LsrImm { rd, rm, imm5: v as u8 }),
-                    _ => ready(I::AsrImm { rd, rm, imm5: v as u8 }),
+                    "lsls" => ready(I::LslImm {
+                        rd,
+                        rm,
+                        imm5: v as u8,
+                    }),
+                    "lsrs" => ready(I::LsrImm {
+                        rd,
+                        rm,
+                        imm5: v as u8,
+                    }),
+                    _ => ready(I::AsrImm {
+                        rd,
+                        rm,
+                        imm5: v as u8,
+                    }),
                 }
             } else {
                 // Register shift: rd must equal first source.
@@ -738,34 +875,68 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
                 } else {
                     rm
                 };
-                ready(I::DataProc { op, rdn: rd, rm: rs })
+                ready(I::DataProc {
+                    op,
+                    rdn: rd,
+                    rm: rs,
+                })
             }
         }
-        "uxtb" => ready(I::Uxtb { rd: low(0)?, rm: low(1)? }),
-        "uxth" => ready(I::Uxth { rd: low(0)?, rm: low(1)? }),
-        "sxtb" => ready(I::Sxtb { rd: low(0)?, rm: low(1)? }),
-        "sxth" => ready(I::Sxth { rd: low(0)?, rm: low(1)? }),
-        "rev" => ready(I::Rev { rd: low(0)?, rm: low(1)? }),
-        "rev16" => ready(I::Rev16 { rd: low(0)?, rm: low(1)? }),
-        "revsh" => ready(I::Revsh { rd: low(0)?, rm: low(1)? }),
+        "uxtb" => ready(I::Uxtb {
+            rd: low(0)?,
+            rm: low(1)?,
+        }),
+        "uxth" => ready(I::Uxth {
+            rd: low(0)?,
+            rm: low(1)?,
+        }),
+        "sxtb" => ready(I::Sxtb {
+            rd: low(0)?,
+            rm: low(1)?,
+        }),
+        "sxth" => ready(I::Sxth {
+            rd: low(0)?,
+            rm: low(1)?,
+        }),
+        "rev" => ready(I::Rev {
+            rd: low(0)?,
+            rm: low(1)?,
+        }),
+        "rev16" => ready(I::Rev16 {
+            rd: low(0)?,
+            rm: low(1)?,
+        }),
+        "revsh" => ready(I::Revsh {
+            rd: low(0)?,
+            rm: low(1)?,
+        }),
         "adr" => {
             let rd = low(0)?;
             let target = ops.get(1).ok_or_else(|| err("missing adr target".into()))?;
-            Ok(ParsedInst::Adr { rd, target: target.clone() })
+            Ok(ParsedInst::Adr {
+                rd,
+                target: target.clone(),
+            })
         }
         "push" => {
             let (mask, lr) = ops
                 .first()
                 .and_then(|s| parse_reglist(s, Reg::LR))
                 .ok_or_else(|| err("invalid push register list".into()))?;
-            ready(I::Push { registers: mask, lr })
+            ready(I::Push {
+                registers: mask,
+                lr,
+            })
         }
         "pop" => {
             let (mask, pc) = ops
                 .first()
                 .and_then(|s| parse_reglist(s, Reg::PC))
                 .ok_or_else(|| err("invalid pop register list".into()))?;
-            ready(I::Pop { registers: mask, pc })
+            ready(I::Pop {
+                registers: mask,
+                pc,
+            })
         }
         "ldmia" | "ldm" | "stmia" | "stm" => {
             let base = ops
@@ -782,9 +953,15 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
                 return Err(err(format!("`{mnemonic}` register list is empty")));
             }
             if mnemonic.starts_with("ld") {
-                ready(I::Ldmia { rn: base, registers: mask })
+                ready(I::Ldmia {
+                    rn: base,
+                    registers: mask,
+                })
             } else {
-                ready(I::Stmia { rn: base, registers: mask })
+                ready(I::Stmia {
+                    rn: base,
+                    registers: mask,
+                })
             }
         }
         "ldr" | "str" | "ldrb" | "strb" | "ldrh" | "strh" | "ldrsb" | "ldrsh" => {
@@ -793,42 +970,75 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
             // ldr rX, =value pseudo-instruction.
             if mnemonic == "ldr" {
                 if let Some(val) = second.strip_prefix('=') {
-                    return Ok(ParsedInst::LdrPool { rt, value: parse_value_ref(val) });
+                    return Ok(ParsedInst::LdrPool {
+                        rt,
+                        value: parse_value_ref(val),
+                    });
                 }
             }
             let mem = parse_mem(second).ok_or_else(&bad_operands)?;
             match (mnemonic, mem) {
                 ("ldr", MemOperand::Imm(rn, v)) if rn == Reg::SP => {
                     check_scaled(line, v, 4, 255)?;
-                    ready(I::LdrSp { rt, imm8: (v / 4) as u8 })
+                    ready(I::LdrSp {
+                        rt,
+                        imm8: (v / 4) as u8,
+                    })
                 }
                 ("str", MemOperand::Imm(rn, v)) if rn == Reg::SP => {
                     check_scaled(line, v, 4, 255)?;
-                    ready(I::StrSp { rt, imm8: (v / 4) as u8 })
+                    ready(I::StrSp {
+                        rt,
+                        imm8: (v / 4) as u8,
+                    })
                 }
                 ("ldr", MemOperand::Imm(rn, v)) => {
                     check_scaled(line, v, 4, 31)?;
-                    ready(I::LdrImm { rt, rn: require_low(line, rn)?, imm5: (v / 4) as u8 })
+                    ready(I::LdrImm {
+                        rt,
+                        rn: require_low(line, rn)?,
+                        imm5: (v / 4) as u8,
+                    })
                 }
                 ("str", MemOperand::Imm(rn, v)) => {
                     check_scaled(line, v, 4, 31)?;
-                    ready(I::StrImm { rt, rn: require_low(line, rn)?, imm5: (v / 4) as u8 })
+                    ready(I::StrImm {
+                        rt,
+                        rn: require_low(line, rn)?,
+                        imm5: (v / 4) as u8,
+                    })
                 }
                 ("ldrb", MemOperand::Imm(rn, v)) => {
                     check_scaled(line, v, 1, 31)?;
-                    ready(I::LdrbImm { rt, rn: require_low(line, rn)?, imm5: v as u8 })
+                    ready(I::LdrbImm {
+                        rt,
+                        rn: require_low(line, rn)?,
+                        imm5: v as u8,
+                    })
                 }
                 ("strb", MemOperand::Imm(rn, v)) => {
                     check_scaled(line, v, 1, 31)?;
-                    ready(I::StrbImm { rt, rn: require_low(line, rn)?, imm5: v as u8 })
+                    ready(I::StrbImm {
+                        rt,
+                        rn: require_low(line, rn)?,
+                        imm5: v as u8,
+                    })
                 }
                 ("ldrh", MemOperand::Imm(rn, v)) => {
                     check_scaled(line, v, 2, 31)?;
-                    ready(I::LdrhImm { rt, rn: require_low(line, rn)?, imm5: (v / 2) as u8 })
+                    ready(I::LdrhImm {
+                        rt,
+                        rn: require_low(line, rn)?,
+                        imm5: (v / 2) as u8,
+                    })
                 }
                 ("strh", MemOperand::Imm(rn, v)) => {
                     check_scaled(line, v, 2, 31)?;
-                    ready(I::StrhImm { rt, rn: require_low(line, rn)?, imm5: (v / 2) as u8 })
+                    ready(I::StrhImm {
+                        rt,
+                        rn: require_low(line, rn)?,
+                        imm5: (v / 2) as u8,
+                    })
                 }
                 ("ldr", MemOperand::Reg(rn, rm)) => ready(I::LdrReg {
                     rt,
@@ -881,7 +1091,10 @@ fn require_low(line: usize, r: Reg) -> Result<Reg, AsmError> {
     if r.is_low() {
         Ok(r)
     } else {
-        Err(AsmError::new(line, format!("register {r} must be r0-r7 here")))
+        Err(AsmError::new(
+            line,
+            format!("register {r} must be r0-r7 here"),
+        ))
     }
 }
 
@@ -889,7 +1102,10 @@ fn check_scaled(line: usize, v: i64, scale: i64, max_units: i64) -> Result<(), A
     if v < 0 || v % scale != 0 || v / scale > max_units {
         return Err(AsmError::new(
             line,
-            format!("offset {v} must be a multiple of {scale} in 0..={}", max_units * scale),
+            format!(
+                "offset {v} must be a multiple of {scale} in 0..={}",
+                max_units * scale
+            ),
         ));
     }
     Ok(())
@@ -913,14 +1129,16 @@ mod tests {
 
     #[test]
     fn labels_and_branches() {
-        let img = assemble("
+        let img = assemble(
+            "
             movs r0, #0
         loop:
             adds r0, r0, #1
             cmp r0, #3
             bne loop
             bkpt #0
-        ")
+        ",
+        )
         .expect("assembles");
         // bne back from 0x6 to 0x2: offset = 2 - (6+4) = -8 → imm8 = -4.
         let bne = u16::from_le_bytes([img[6], img[7]]);
@@ -929,12 +1147,14 @@ mod tests {
 
     #[test]
     fn literal_pool_is_deduplicated() {
-        let img = assemble("
+        let img = assemble(
+            "
             ldr r0, =0x20000000
             ldr r1, =0x20000000
             ldr r2, =0x12345678
             bkpt #0
-        ")
+        ",
+        )
         .expect("assembles");
         // 4 halfwords of code (8 bytes) + 2 pool words = 16 bytes.
         assert_eq!(img.len(), 16);
@@ -944,14 +1164,16 @@ mod tests {
 
     #[test]
     fn word_directive_and_label_value() {
-        let img = assemble("
+        let img = assemble(
+            "
             b start
         table:
             .word 0xCAFEBABE
             .word table
         start:
             bkpt #0
-        ")
+        ",
+        )
         .expect("assembles");
         // b(2) + align? table at offset 2? .word is not auto-aligned; b is
         // 2 bytes so table = 2.

@@ -5,6 +5,7 @@ use crate::memory::{MemoryError, MemorySystem, DATA_BASE, DATA_SIZE};
 
 /// Execution fault.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum ExecError {
     /// Undecodable instruction.
     Decode {
@@ -160,8 +161,8 @@ impl Cpu {
         } else {
             None
         };
-        let inst = Instruction::decode(first, next)
-            .map_err(|source| ExecError::Decode { pc, source })?;
+        let inst =
+            Instruction::decode(first, next).map_err(|source| ExecError::Decode { pc, source })?;
         let size = inst.size();
         self.instructions += 1;
         self.exec(inst, pc, size).map_err(mem)
@@ -406,7 +407,8 @@ impl Cpu {
             }
             StrbImm { rt, rn, imm5 } => {
                 let addr = self.regs[rn.index()].wrapping_add(imm5 as u32);
-                self.memory.write_u8(addr, self.regs[rt.index()] as u8, cycle)?;
+                self.memory
+                    .write_u8(addr, self.regs[rt.index()] as u8, cycle)?;
                 cost = 2;
             }
             LdrhImm { rt, rn, imm5 } => {
@@ -416,7 +418,8 @@ impl Cpu {
             }
             StrhImm { rt, rn, imm5 } => {
                 let addr = self.regs[rn.index()].wrapping_add((imm5 as u32) * 2);
-                self.memory.write_u16(addr, self.regs[rt.index()] as u16, cycle)?;
+                self.memory
+                    .write_u16(addr, self.regs[rt.index()] as u16, cycle)?;
                 cost = 2;
             }
             LdrReg { rt, rn, rm } => {
@@ -436,7 +439,8 @@ impl Cpu {
             }
             StrbReg { rt, rn, rm } => {
                 let addr = self.regs[rn.index()].wrapping_add(self.regs[rm.index()]);
-                self.memory.write_u8(addr, self.regs[rt.index()] as u8, cycle)?;
+                self.memory
+                    .write_u8(addr, self.regs[rt.index()] as u8, cycle)?;
                 cost = 2;
             }
             LdrhReg { rt, rn, rm } => {
@@ -446,7 +450,8 @@ impl Cpu {
             }
             StrhReg { rt, rn, rm } => {
                 let addr = self.regs[rn.index()].wrapping_add(self.regs[rm.index()]);
-                self.memory.write_u16(addr, self.regs[rt.index()] as u16, cycle)?;
+                self.memory
+                    .write_u16(addr, self.regs[rt.index()] as u16, cycle)?;
                 cost = 2;
             }
             LdrsbReg { rt, rn, rm } => {
@@ -470,8 +475,7 @@ impl Cpu {
                 cost = 2;
             }
             AddRdSp { rd, imm8 } => {
-                self.regs[rd.index()] =
-                    self.regs[Reg::SP.index()].wrapping_add((imm8 as u32) * 4);
+                self.regs[rd.index()] = self.regs[Reg::SP.index()].wrapping_add((imm8 as u32) * 4);
             }
             Adr { rd, imm8 } => {
                 self.regs[rd.index()] = (self.pc_operand(pc) & !3) + (imm8 as u32) * 4;
@@ -509,7 +513,8 @@ impl Cpu {
                 self.regs[Reg::SP.index()] = sp;
                 for r in 0..8u8 {
                     if registers & (1 << r) != 0 {
-                        self.memory.write_u32(sp + 4 * count, self.regs[r as usize], cycle)?;
+                        self.memory
+                            .write_u32(sp + 4 * count, self.regs[r as usize], cycle)?;
                         count += 1;
                     }
                 }
@@ -519,7 +524,10 @@ impl Cpu {
                 }
                 cost = 1 + total as u64;
             }
-            Pop { registers, pc: load_pc } => {
+            Pop {
+                registers,
+                pc: load_pc,
+            } => {
                 let mut sp = self.regs[Reg::SP.index()];
                 let total = registers.count_ones() + load_pc as u32;
                 for r in 0..8u8 {

@@ -84,14 +84,15 @@ impl fmt::Display for Instruction {
             Revsh { rd, rm } => write!(f, "revsh {rd}, {rm}"),
             Push { registers, lr } => write_reglist(f, "push", registers, lr.then_some(Reg::LR)),
             Pop { registers, pc } => write_reglist(f, "pop", registers, pc.then_some(Reg::PC)),
-            Ldmia { rn, registers } => {
-                write_reglist(f, &format!("ldmia {rn}!,"), registers, None)
-            }
-            Stmia { rn, registers } => {
-                write_reglist(f, &format!("stmia {rn}!,"), registers, None)
-            }
+            Ldmia { rn, registers } => write_reglist(f, &format!("ldmia {rn}!,"), registers, None),
+            Stmia { rn, registers } => write_reglist(f, &format!("stmia {rn}!,"), registers, None),
             BCond { cond, imm8 } => {
-                write!(f, "b{} pc{:+}", cond.mnemonic(), 4 + 2 * i32::from(imm8 as i8))
+                write!(
+                    f,
+                    "b{} pc{:+}",
+                    cond.mnemonic(),
+                    4 + 2 * i32::from(imm8 as i8)
+                )
             }
             B { imm11 } => {
                 let offset = (((imm11 << 5) as i16) as i32) >> 4;
@@ -191,8 +192,8 @@ mod tests {
             if text.starts_with('b') && !text.starts_with("bkpt") && !text.starts_with("bics") {
                 continue;
             }
-            let re = assemble(&text)
-                .unwrap_or_else(|e| panic!("`{text}` did not re-assemble: {e}"));
+            let re =
+                assemble(&text).unwrap_or_else(|e| panic!("`{text}` did not re-assemble: {e}"));
             let original: Vec<u8> = inst
                 .encode()
                 .halfwords()
@@ -206,7 +207,11 @@ mod tests {
     #[test]
     fn branch_text_is_informative() {
         assert_eq!(
-            Instruction::BCond { cond: crate::Condition::Ne, imm8: 0xFC }.to_string(),
+            Instruction::BCond {
+                cond: crate::Condition::Ne,
+                imm8: 0xFC
+            }
+            .to_string(),
             "bne pc-4"
         );
         assert_eq!(Instruction::Bl { offset: 100 }.to_string(), "bl pc+104");
@@ -224,9 +229,15 @@ mod tests {
 
     #[test]
     fn reglist_rendering() {
-        let p = Instruction::Push { registers: 0b1001_0110, lr: true };
+        let p = Instruction::Push {
+            registers: 0b1001_0110,
+            lr: true,
+        };
         assert_eq!(p.to_string(), "push {r1, r2, r4, r7, lr}");
-        let q = Instruction::Pop { registers: 0, pc: true };
+        let q = Instruction::Pop {
+            registers: 0,
+            pc: true,
+        };
         assert_eq!(q.to_string(), "pop {pc}");
     }
 }

@@ -169,73 +169,248 @@ impl DpOp {
 #[allow(missing_docs)]
 pub enum Instruction {
     // Shift (immediate), add, subtract, move, compare.
-    LslImm { rd: Reg, rm: Reg, imm5: u8 },
-    LsrImm { rd: Reg, rm: Reg, imm5: u8 },
-    AsrImm { rd: Reg, rm: Reg, imm5: u8 },
-    AddReg { rd: Reg, rn: Reg, rm: Reg },
-    SubReg { rd: Reg, rn: Reg, rm: Reg },
-    AddImm3 { rd: Reg, rn: Reg, imm3: u8 },
-    SubImm3 { rd: Reg, rn: Reg, imm3: u8 },
-    MovImm { rd: Reg, imm8: u8 },
-    CmpImm { rn: Reg, imm8: u8 },
-    AddImm8 { rdn: Reg, imm8: u8 },
-    SubImm8 { rdn: Reg, imm8: u8 },
+    LslImm {
+        rd: Reg,
+        rm: Reg,
+        imm5: u8,
+    },
+    LsrImm {
+        rd: Reg,
+        rm: Reg,
+        imm5: u8,
+    },
+    AsrImm {
+        rd: Reg,
+        rm: Reg,
+        imm5: u8,
+    },
+    AddReg {
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    SubReg {
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    AddImm3 {
+        rd: Reg,
+        rn: Reg,
+        imm3: u8,
+    },
+    SubImm3 {
+        rd: Reg,
+        rn: Reg,
+        imm3: u8,
+    },
+    MovImm {
+        rd: Reg,
+        imm8: u8,
+    },
+    CmpImm {
+        rn: Reg,
+        imm8: u8,
+    },
+    AddImm8 {
+        rdn: Reg,
+        imm8: u8,
+    },
+    SubImm8 {
+        rdn: Reg,
+        imm8: u8,
+    },
     // Register data processing.
-    DataProc { op: DpOp, rdn: Reg, rm: Reg },
+    DataProc {
+        op: DpOp,
+        rdn: Reg,
+        rm: Reg,
+    },
     // High-register operations and BX/BLX.
-    AddHi { rdn: Reg, rm: Reg },
-    CmpHi { rn: Reg, rm: Reg },
-    MovHi { rd: Reg, rm: Reg },
-    Bx { rm: Reg },
-    Blx { rm: Reg },
+    AddHi {
+        rdn: Reg,
+        rm: Reg,
+    },
+    CmpHi {
+        rn: Reg,
+        rm: Reg,
+    },
+    MovHi {
+        rd: Reg,
+        rm: Reg,
+    },
+    Bx {
+        rm: Reg,
+    },
+    Blx {
+        rm: Reg,
+    },
     // Load/store.
-    LdrLit { rt: Reg, imm8: u8 },
-    LdrImm { rt: Reg, rn: Reg, imm5: u8 },
-    StrImm { rt: Reg, rn: Reg, imm5: u8 },
-    LdrbImm { rt: Reg, rn: Reg, imm5: u8 },
-    StrbImm { rt: Reg, rn: Reg, imm5: u8 },
-    LdrhImm { rt: Reg, rn: Reg, imm5: u8 },
-    StrhImm { rt: Reg, rn: Reg, imm5: u8 },
-    LdrReg { rt: Reg, rn: Reg, rm: Reg },
-    StrReg { rt: Reg, rn: Reg, rm: Reg },
-    LdrbReg { rt: Reg, rn: Reg, rm: Reg },
-    StrbReg { rt: Reg, rn: Reg, rm: Reg },
-    LdrhReg { rt: Reg, rn: Reg, rm: Reg },
-    StrhReg { rt: Reg, rn: Reg, rm: Reg },
-    LdrsbReg { rt: Reg, rn: Reg, rm: Reg },
-    LdrshReg { rt: Reg, rn: Reg, rm: Reg },
-    LdrSp { rt: Reg, imm8: u8 },
-    StrSp { rt: Reg, imm8: u8 },
+    LdrLit {
+        rt: Reg,
+        imm8: u8,
+    },
+    LdrImm {
+        rt: Reg,
+        rn: Reg,
+        imm5: u8,
+    },
+    StrImm {
+        rt: Reg,
+        rn: Reg,
+        imm5: u8,
+    },
+    LdrbImm {
+        rt: Reg,
+        rn: Reg,
+        imm5: u8,
+    },
+    StrbImm {
+        rt: Reg,
+        rn: Reg,
+        imm5: u8,
+    },
+    LdrhImm {
+        rt: Reg,
+        rn: Reg,
+        imm5: u8,
+    },
+    StrhImm {
+        rt: Reg,
+        rn: Reg,
+        imm5: u8,
+    },
+    LdrReg {
+        rt: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    StrReg {
+        rt: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    LdrbReg {
+        rt: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    StrbReg {
+        rt: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    LdrhReg {
+        rt: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    StrhReg {
+        rt: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    LdrsbReg {
+        rt: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    LdrshReg {
+        rt: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    LdrSp {
+        rt: Reg,
+        imm8: u8,
+    },
+    StrSp {
+        rt: Reg,
+        imm8: u8,
+    },
     // SP/address arithmetic.
-    AddRdSp { rd: Reg, imm8: u8 },
-    Adr { rd: Reg, imm8: u8 },
-    AddSp { imm7: u8 },
-    SubSp { imm7: u8 },
+    AddRdSp {
+        rd: Reg,
+        imm8: u8,
+    },
+    Adr {
+        rd: Reg,
+        imm8: u8,
+    },
+    AddSp {
+        imm7: u8,
+    },
+    SubSp {
+        imm7: u8,
+    },
     // Extend/reverse.
-    Uxtb { rd: Reg, rm: Reg },
-    Uxth { rd: Reg, rm: Reg },
-    Sxtb { rd: Reg, rm: Reg },
-    Sxth { rd: Reg, rm: Reg },
-    Rev { rd: Reg, rm: Reg },
-    Rev16 { rd: Reg, rm: Reg },
-    Revsh { rd: Reg, rm: Reg },
+    Uxtb {
+        rd: Reg,
+        rm: Reg,
+    },
+    Uxth {
+        rd: Reg,
+        rm: Reg,
+    },
+    Sxtb {
+        rd: Reg,
+        rm: Reg,
+    },
+    Sxth {
+        rd: Reg,
+        rm: Reg,
+    },
+    Rev {
+        rd: Reg,
+        rm: Reg,
+    },
+    Rev16 {
+        rd: Reg,
+        rm: Reg,
+    },
+    Revsh {
+        rd: Reg,
+        rm: Reg,
+    },
     // Stack.
-    Push { registers: u8, lr: bool },
-    Pop { registers: u8, pc: bool },
+    Push {
+        registers: u8,
+        lr: bool,
+    },
+    Pop {
+        registers: u8,
+        pc: bool,
+    },
     // Load/store multiple (increment-after with writeback).
-    Ldmia { rn: Reg, registers: u8 },
-    Stmia { rn: Reg, registers: u8 },
+    Ldmia {
+        rn: Reg,
+        registers: u8,
+    },
+    Stmia {
+        rn: Reg,
+        registers: u8,
+    },
     // Control flow.
-    BCond { cond: Condition, imm8: u8 },
-    B { imm11: u16 },
+    BCond {
+        cond: Condition,
+        imm8: u8,
+    },
+    B {
+        imm11: u16,
+    },
     /// 32-bit BL with a signed byte offset from the aligned PC.
-    Bl { offset: i32 },
-    Bkpt { imm8: u8 },
+    Bl {
+        offset: i32,
+    },
+    Bkpt {
+        imm8: u8,
+    },
     Nop,
 }
 
 /// Error produced when decoding an unknown or unsupported halfword.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DecodeError {
     /// The halfword pattern is not in the implemented subset.
     Unsupported {
@@ -300,23 +475,55 @@ impl Instruction {
                         let imm5 = ((half >> 6) & 0x1F) as u8;
                         if imm5 == 0 && (half >> 11) == 0 {
                             // LSL #0 is MOVS Rd, Rm.
-                            Ok(LslImm { rd: r(half), rm: r(half >> 3), imm5: 0 })
+                            Ok(LslImm {
+                                rd: r(half),
+                                rm: r(half >> 3),
+                                imm5: 0,
+                            })
                         } else {
-                            Ok(LslImm { rd: r(half), rm: r(half >> 3), imm5 })
+                            Ok(LslImm {
+                                rd: r(half),
+                                rm: r(half >> 3),
+                                imm5,
+                            })
                         }
                     }
-                    0b01 => Ok(LsrImm { rd: r(half), rm: r(half >> 3), imm5: ((half >> 6) & 0x1F) as u8 }),
-                    0b10 => Ok(AsrImm { rd: r(half), rm: r(half >> 3), imm5: ((half >> 6) & 0x1F) as u8 }),
+                    0b01 => Ok(LsrImm {
+                        rd: r(half),
+                        rm: r(half >> 3),
+                        imm5: ((half >> 6) & 0x1F) as u8,
+                    }),
+                    0b10 => Ok(AsrImm {
+                        rd: r(half),
+                        rm: r(half >> 3),
+                        imm5: ((half >> 6) & 0x1F) as u8,
+                    }),
                     _ => {
                         let sub = (half >> 9) & 1 == 1;
                         let imm = (half >> 10) & 1 == 1;
                         let (rd, rn) = (r(half), r(half >> 3));
                         let third = ((half >> 6) & 7) as u8;
                         Ok(match (imm, sub) {
-                            (false, false) => AddReg { rd, rn, rm: Reg(third) },
-                            (false, true) => SubReg { rd, rn, rm: Reg(third) },
-                            (true, false) => AddImm3 { rd, rn, imm3: third },
-                            (true, true) => SubImm3 { rd, rn, imm3: third },
+                            (false, false) => AddReg {
+                                rd,
+                                rn,
+                                rm: Reg(third),
+                            },
+                            (false, true) => SubReg {
+                                rd,
+                                rn,
+                                rm: Reg(third),
+                            },
+                            (true, false) => AddImm3 {
+                                rd,
+                                rn,
+                                imm3: third,
+                            },
+                            (true, true) => SubImm3 {
+                                rd,
+                                rn,
+                                imm3: third,
+                            },
                         })
                     }
                 }
@@ -453,7 +660,9 @@ impl Instruction {
                         registers: (half & 0xFF) as u8,
                         pc: (half >> 8) & 1 == 1,
                     }),
-                    0b1110 => Ok(Bkpt { imm8: (half & 0xFF) as u8 }),
+                    0b1110 => Ok(Bkpt {
+                        imm8: (half & 0xFF) as u8,
+                    }),
                     _ => unsupported,
                 }
             }
@@ -469,13 +678,18 @@ impl Instruction {
             0b1101 => {
                 let cond_bits = (half >> 8) & 0xF;
                 match Condition::from_bits(cond_bits) {
-                    Some(cond) => Ok(BCond { cond, imm8: (half & 0xFF) as u8 }),
+                    Some(cond) => Ok(BCond {
+                        cond,
+                        imm8: (half & 0xFF) as u8,
+                    }),
                     None => unsupported,
                 }
             }
             0b1110 => {
                 if (half >> 11) == 0b11100 {
-                    Ok(B { imm11: half & 0x7FF })
+                    Ok(B {
+                        imm11: half & 0x7FF,
+                    })
                 } else {
                     unsupported
                 }
@@ -512,27 +726,17 @@ impl Instruction {
         };
         match *self {
             LslImm { rd, rm, imm5 } => one(((imm5 as u16) << 6) | (lo(rm) << 3) | lo(rd)),
-            LsrImm { rd, rm, imm5 } => {
-                one(0x0800 | ((imm5 as u16) << 6) | (lo(rm) << 3) | lo(rd))
-            }
-            AsrImm { rd, rm, imm5 } => {
-                one(0x1000 | ((imm5 as u16) << 6) | (lo(rm) << 3) | lo(rd))
-            }
+            LsrImm { rd, rm, imm5 } => one(0x0800 | ((imm5 as u16) << 6) | (lo(rm) << 3) | lo(rd)),
+            AsrImm { rd, rm, imm5 } => one(0x1000 | ((imm5 as u16) << 6) | (lo(rm) << 3) | lo(rd)),
             AddReg { rd, rn, rm } => one(0x1800 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rd)),
             SubReg { rd, rn, rm } => one(0x1A00 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rd)),
-            AddImm3 { rd, rn, imm3 } => {
-                one(0x1C00 | ((imm3 as u16) << 6) | (lo(rn) << 3) | lo(rd))
-            }
-            SubImm3 { rd, rn, imm3 } => {
-                one(0x1E00 | ((imm3 as u16) << 6) | (lo(rn) << 3) | lo(rd))
-            }
+            AddImm3 { rd, rn, imm3 } => one(0x1C00 | ((imm3 as u16) << 6) | (lo(rn) << 3) | lo(rd)),
+            SubImm3 { rd, rn, imm3 } => one(0x1E00 | ((imm3 as u16) << 6) | (lo(rn) << 3) | lo(rd)),
             MovImm { rd, imm8 } => one(0x2000 | (lo(rd) << 8) | imm8 as u16),
             CmpImm { rn, imm8 } => one(0x2800 | (lo(rn) << 8) | imm8 as u16),
             AddImm8 { rdn, imm8 } => one(0x3000 | (lo(rdn) << 8) | imm8 as u16),
             SubImm8 { rdn, imm8 } => one(0x3800 | (lo(rdn) << 8) | imm8 as u16),
-            DataProc { op, rdn, rm } => {
-                one(0x4000 | (op.bits() << 6) | (lo(rm) << 3) | lo(rdn))
-            }
+            DataProc { op, rdn, rm } => one(0x4000 | (op.bits() << 6) | (lo(rm) << 3) | lo(rdn)),
             AddHi { rdn, rm } => {
                 let dn = rdn.0 as u16;
                 one(0x4400 | ((dn >> 3) << 7) | ((rm.0 as u16) << 3) | (dn & 7))
@@ -556,24 +760,12 @@ impl Instruction {
             LdrhReg { rt, rn, rm } => one(0x5A00 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rt)),
             LdrbReg { rt, rn, rm } => one(0x5C00 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rt)),
             LdrshReg { rt, rn, rm } => one(0x5E00 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rt)),
-            StrImm { rt, rn, imm5 } => {
-                one(0x6000 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt))
-            }
-            LdrImm { rt, rn, imm5 } => {
-                one(0x6800 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt))
-            }
-            StrbImm { rt, rn, imm5 } => {
-                one(0x7000 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt))
-            }
-            LdrbImm { rt, rn, imm5 } => {
-                one(0x7800 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt))
-            }
-            StrhImm { rt, rn, imm5 } => {
-                one(0x8000 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt))
-            }
-            LdrhImm { rt, rn, imm5 } => {
-                one(0x8800 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt))
-            }
+            StrImm { rt, rn, imm5 } => one(0x6000 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt)),
+            LdrImm { rt, rn, imm5 } => one(0x6800 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt)),
+            StrbImm { rt, rn, imm5 } => one(0x7000 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt)),
+            LdrbImm { rt, rn, imm5 } => one(0x7800 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt)),
+            StrhImm { rt, rn, imm5 } => one(0x8000 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt)),
+            LdrhImm { rt, rn, imm5 } => one(0x8800 | ((imm5 as u16) << 6) | (lo(rn) << 3) | lo(rt)),
             StrSp { rt, imm8 } => one(0x9000 | (lo(rt) << 8) | imm8 as u16),
             LdrSp { rt, imm8 } => one(0x9800 | (lo(rt) << 8) | imm8 as u16),
             Adr { rd, imm8 } => one(0xA000 | (lo(rd) << 8) | imm8 as u16),
@@ -621,11 +813,17 @@ pub struct EncodedInstruction {
 
 impl EncodedInstruction {
     fn narrow(half: u16) -> Self {
-        Self { halves: [half, 0], len: 1 }
+        Self {
+            halves: [half, 0],
+            len: 1,
+        }
     }
 
     fn wide(first: u16, second: u16) -> Self {
-        Self { halves: [first, second], len: 2 }
+        Self {
+            halves: [first, second],
+            len: 2,
+        }
     }
 
     /// The encoded halfwords.
@@ -649,20 +847,52 @@ mod tests {
     #[test]
     fn roundtrip_alu_immediates() {
         for rd in 0..8u8 {
-            roundtrip(Instruction::MovImm { rd: Reg(rd), imm8: 0xAB });
-            roundtrip(Instruction::CmpImm { rn: Reg(rd), imm8: 1 });
-            roundtrip(Instruction::AddImm8 { rdn: Reg(rd), imm8: 255 });
-            roundtrip(Instruction::SubImm8 { rdn: Reg(rd), imm8: 7 });
+            roundtrip(Instruction::MovImm {
+                rd: Reg(rd),
+                imm8: 0xAB,
+            });
+            roundtrip(Instruction::CmpImm {
+                rn: Reg(rd),
+                imm8: 1,
+            });
+            roundtrip(Instruction::AddImm8 {
+                rdn: Reg(rd),
+                imm8: 255,
+            });
+            roundtrip(Instruction::SubImm8 {
+                rdn: Reg(rd),
+                imm8: 7,
+            });
         }
-        roundtrip(Instruction::AddImm3 { rd: Reg(1), rn: Reg(2), imm3: 7 });
-        roundtrip(Instruction::SubImm3 { rd: Reg(7), rn: Reg(0), imm3: 1 });
+        roundtrip(Instruction::AddImm3 {
+            rd: Reg(1),
+            rn: Reg(2),
+            imm3: 7,
+        });
+        roundtrip(Instruction::SubImm3 {
+            rd: Reg(7),
+            rn: Reg(0),
+            imm3: 1,
+        });
     }
 
     #[test]
     fn roundtrip_shifts_and_dp() {
-        roundtrip(Instruction::LslImm { rd: Reg(0), rm: Reg(1), imm5: 31 });
-        roundtrip(Instruction::LsrImm { rd: Reg(2), rm: Reg(3), imm5: 1 });
-        roundtrip(Instruction::AsrImm { rd: Reg(4), rm: Reg(5), imm5: 16 });
+        roundtrip(Instruction::LslImm {
+            rd: Reg(0),
+            rm: Reg(1),
+            imm5: 31,
+        });
+        roundtrip(Instruction::LsrImm {
+            rd: Reg(2),
+            rm: Reg(3),
+            imm5: 1,
+        });
+        roundtrip(Instruction::AsrImm {
+            rd: Reg(4),
+            rm: Reg(5),
+            imm5: 16,
+        });
         for op_bits in 0..16 {
             roundtrip(Instruction::DataProc {
                 op: DpOp::from_bits(op_bits),
@@ -674,40 +904,128 @@ mod tests {
 
     #[test]
     fn roundtrip_loads_stores() {
-        roundtrip(Instruction::LdrImm { rt: Reg(0), rn: Reg(1), imm5: 31 });
-        roundtrip(Instruction::StrImm { rt: Reg(2), rn: Reg(3), imm5: 0 });
-        roundtrip(Instruction::LdrbImm { rt: Reg(4), rn: Reg(5), imm5: 9 });
-        roundtrip(Instruction::StrbImm { rt: Reg(6), rn: Reg(7), imm5: 3 });
-        roundtrip(Instruction::LdrhImm { rt: Reg(1), rn: Reg(2), imm5: 12 });
-        roundtrip(Instruction::StrhImm { rt: Reg(3), rn: Reg(4), imm5: 30 });
-        roundtrip(Instruction::LdrReg { rt: Reg(0), rn: Reg(1), rm: Reg(2) });
-        roundtrip(Instruction::StrReg { rt: Reg(3), rn: Reg(4), rm: Reg(5) });
-        roundtrip(Instruction::LdrshReg { rt: Reg(6), rn: Reg(7), rm: Reg(0) });
-        roundtrip(Instruction::LdrsbReg { rt: Reg(1), rn: Reg(2), rm: Reg(3) });
-        roundtrip(Instruction::LdrLit { rt: Reg(5), imm8: 200 });
-        roundtrip(Instruction::LdrSp { rt: Reg(2), imm8: 9 });
-        roundtrip(Instruction::StrSp { rt: Reg(1), imm8: 255 });
+        roundtrip(Instruction::LdrImm {
+            rt: Reg(0),
+            rn: Reg(1),
+            imm5: 31,
+        });
+        roundtrip(Instruction::StrImm {
+            rt: Reg(2),
+            rn: Reg(3),
+            imm5: 0,
+        });
+        roundtrip(Instruction::LdrbImm {
+            rt: Reg(4),
+            rn: Reg(5),
+            imm5: 9,
+        });
+        roundtrip(Instruction::StrbImm {
+            rt: Reg(6),
+            rn: Reg(7),
+            imm5: 3,
+        });
+        roundtrip(Instruction::LdrhImm {
+            rt: Reg(1),
+            rn: Reg(2),
+            imm5: 12,
+        });
+        roundtrip(Instruction::StrhImm {
+            rt: Reg(3),
+            rn: Reg(4),
+            imm5: 30,
+        });
+        roundtrip(Instruction::LdrReg {
+            rt: Reg(0),
+            rn: Reg(1),
+            rm: Reg(2),
+        });
+        roundtrip(Instruction::StrReg {
+            rt: Reg(3),
+            rn: Reg(4),
+            rm: Reg(5),
+        });
+        roundtrip(Instruction::LdrshReg {
+            rt: Reg(6),
+            rn: Reg(7),
+            rm: Reg(0),
+        });
+        roundtrip(Instruction::LdrsbReg {
+            rt: Reg(1),
+            rn: Reg(2),
+            rm: Reg(3),
+        });
+        roundtrip(Instruction::LdrLit {
+            rt: Reg(5),
+            imm8: 200,
+        });
+        roundtrip(Instruction::LdrSp {
+            rt: Reg(2),
+            imm8: 9,
+        });
+        roundtrip(Instruction::StrSp {
+            rt: Reg(1),
+            imm8: 255,
+        });
     }
 
     #[test]
     fn roundtrip_hi_and_misc() {
-        roundtrip(Instruction::AddHi { rdn: Reg(10), rm: Reg(3) });
-        roundtrip(Instruction::CmpHi { rn: Reg(8), rm: Reg(9) });
-        roundtrip(Instruction::MovHi { rd: Reg(14), rm: Reg(2) });
+        roundtrip(Instruction::AddHi {
+            rdn: Reg(10),
+            rm: Reg(3),
+        });
+        roundtrip(Instruction::CmpHi {
+            rn: Reg(8),
+            rm: Reg(9),
+        });
+        roundtrip(Instruction::MovHi {
+            rd: Reg(14),
+            rm: Reg(2),
+        });
         roundtrip(Instruction::Bx { rm: Reg::LR });
         roundtrip(Instruction::Blx { rm: Reg(4) });
         roundtrip(Instruction::AddSp { imm7: 127 });
         roundtrip(Instruction::SubSp { imm7: 1 });
-        roundtrip(Instruction::AddRdSp { rd: Reg(3), imm8: 10 });
-        roundtrip(Instruction::Adr { rd: Reg(1), imm8: 4 });
-        roundtrip(Instruction::Uxtb { rd: Reg(0), rm: Reg(1) });
-        roundtrip(Instruction::Sxth { rd: Reg(2), rm: Reg(3) });
-        roundtrip(Instruction::Rev { rd: Reg(4), rm: Reg(5) });
-        roundtrip(Instruction::Revsh { rd: Reg(6), rm: Reg(7) });
-        roundtrip(Instruction::Push { registers: 0b1011, lr: true });
-        roundtrip(Instruction::Pop { registers: 0b0100, pc: true });
-        roundtrip(Instruction::Ldmia { rn: Reg(2), registers: 0b1110 });
-        roundtrip(Instruction::Stmia { rn: Reg(5), registers: 0b0011 });
+        roundtrip(Instruction::AddRdSp {
+            rd: Reg(3),
+            imm8: 10,
+        });
+        roundtrip(Instruction::Adr {
+            rd: Reg(1),
+            imm8: 4,
+        });
+        roundtrip(Instruction::Uxtb {
+            rd: Reg(0),
+            rm: Reg(1),
+        });
+        roundtrip(Instruction::Sxth {
+            rd: Reg(2),
+            rm: Reg(3),
+        });
+        roundtrip(Instruction::Rev {
+            rd: Reg(4),
+            rm: Reg(5),
+        });
+        roundtrip(Instruction::Revsh {
+            rd: Reg(6),
+            rm: Reg(7),
+        });
+        roundtrip(Instruction::Push {
+            registers: 0b1011,
+            lr: true,
+        });
+        roundtrip(Instruction::Pop {
+            registers: 0b0100,
+            pc: true,
+        });
+        roundtrip(Instruction::Ldmia {
+            rn: Reg(2),
+            registers: 0b1110,
+        });
+        roundtrip(Instruction::Stmia {
+            rn: Reg(5),
+            registers: 0b0011,
+        });
         roundtrip(Instruction::Bkpt { imm8: 0xAB });
         roundtrip(Instruction::Nop);
     }

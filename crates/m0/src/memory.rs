@@ -19,6 +19,7 @@ pub const DATA_SIZE: u32 = 64 * 1024;
 
 /// Memory-access fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MemoryError {
     /// Access outside both memory regions.
     OutOfBounds {
@@ -42,7 +43,9 @@ pub enum MemoryError {
 impl core::fmt::Display for MemoryError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            MemoryError::OutOfBounds { addr } => write!(f, "access at {addr:#010x} is out of bounds"),
+            MemoryError::OutOfBounds { addr } => {
+                write!(f, "access at {addr:#010x} is out of bounds")
+            }
             MemoryError::Misaligned { addr, size } => {
                 write!(f, "misaligned {size}-byte access at {addr:#010x}")
             }
@@ -155,7 +158,10 @@ impl MemorySystem {
         match self.locate(addr, 2)? {
             Region::Program(off) => {
                 self.stats.instruction_fetches += 1;
-                Ok(u16::from_le_bytes([self.program[off], self.program[off + 1]]))
+                Ok(u16::from_le_bytes([
+                    self.program[off],
+                    self.program[off + 1],
+                ]))
             }
             Region::Data(_) => Err(MemoryError::OutOfBounds { addr }),
         }
@@ -310,8 +316,12 @@ mod tests {
     #[test]
     fn data_round_trip_and_counting() {
         let mut m = MemorySystem::new(&[]);
-        m.write_u32(DATA_BASE + 8, 0xDEADBEEF, 10).expect("write should work");
-        assert_eq!(m.read_u32(DATA_BASE + 8, 20).expect("read should work"), 0xDEADBEEF);
+        m.write_u32(DATA_BASE + 8, 0xDEADBEEF, 10)
+            .expect("write should work");
+        assert_eq!(
+            m.read_u32(DATA_BASE + 8, 20).expect("read should work"),
+            0xDEADBEEF
+        );
         assert_eq!(m.stats().data_writes, 1);
         assert_eq!(m.stats().data_reads, 1);
         assert_eq!(m.stats().max_write_to_read_cycles, 10);
@@ -343,13 +353,19 @@ mod tests {
         let mut m = MemorySystem::new(&[0; 4]);
         assert_eq!(
             m.read_u32(DATA_BASE + 2, 0),
-            Err(MemoryError::Misaligned { addr: DATA_BASE + 2, size: 4 })
+            Err(MemoryError::Misaligned {
+                addr: DATA_BASE + 2,
+                size: 4
+            })
         );
         assert_eq!(
             m.read_u32(0x1000_0000, 0),
             Err(MemoryError::OutOfBounds { addr: 0x1000_0000 })
         );
-        assert_eq!(m.write_u32(0, 1, 0), Err(MemoryError::ReadOnlyProgram { addr: 0 }));
+        assert_eq!(
+            m.write_u32(0, 1, 0),
+            Err(MemoryError::ReadOnlyProgram { addr: 0 })
+        );
         // Reading program memory as data is allowed (literal pools).
         assert!(m.read_u32(0, 0).is_ok());
         assert_eq!(m.stats().program_reads, 1);

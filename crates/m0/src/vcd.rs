@@ -121,8 +121,16 @@ impl VcdRecorder {
             let _ = writeln!(out, "$var reg 32 {} {name} $end", Self::id(i));
         }
         let _ = writeln!(out, "$var wire 1 {} fetch_strobe $end", Self::id(REG_COUNT));
-        let _ = writeln!(out, "$var wire 1 {} data_read_strobe $end", Self::id(REG_COUNT + 1));
-        let _ = writeln!(out, "$var wire 1 {} data_write_strobe $end", Self::id(REG_COUNT + 2));
+        let _ = writeln!(
+            out,
+            "$var wire 1 {} data_read_strobe $end",
+            Self::id(REG_COUNT + 1)
+        );
+        let _ = writeln!(
+            out,
+            "$var wire 1 {} data_write_strobe $end",
+            Self::id(REG_COUNT + 2)
+        );
         let _ = writeln!(out, "$upscope $end");
         let _ = writeln!(out, "$enddefinitions $end");
         out.push_str(&self.body);
@@ -174,7 +182,15 @@ mod tests {
     fn header_declares_all_signals() {
         let vcd = record("movs r0, #1\nbkpt #0");
         assert!(vcd.contains("$timescale 1ps $end"));
-        for name in ["r0", "r7", "sp", "lr", "pc", "fetch_strobe", "data_write_strobe"] {
+        for name in [
+            "r0",
+            "r7",
+            "sp",
+            "lr",
+            "pc",
+            "fetch_strobe",
+            "data_write_strobe",
+        ] {
             assert!(vcd.contains(name), "missing signal {name}");
         }
     }
@@ -188,11 +204,12 @@ mod tests {
 
     #[test]
     fn store_pulses_the_write_strobe() {
-        let vcd = record(
-            "ldr r0, =0x20000000\nmovs r1, #9\nstr r1, [r0, #0]\nbkpt #0",
-        );
+        let vcd = record("ldr r0, =0x20000000\nmovs r1, #9\nstr r1, [r0, #0]\nbkpt #0");
         let write_id = VcdRecorder::id(REG_COUNT + 2);
-        assert!(vcd.contains(&format!("1{write_id}")), "no write strobe in:\n{vcd}");
+        assert!(
+            vcd.contains(&format!("1{write_id}")),
+            "no write strobe in:\n{vcd}"
+        );
     }
 
     #[test]

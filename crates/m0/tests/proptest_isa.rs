@@ -22,40 +22,101 @@ fn imm5(rng: &mut SplitMix64) -> u8 {
 /// encoding context), covering the same 22 shapes as the proptest version.
 fn any_narrow_instruction(rng: &mut SplitMix64) -> Instruction {
     match rng.next_below(22) {
-        0 => Instruction::MovImm { rd: low_reg(rng), imm8: imm8(rng) },
-        1 => Instruction::CmpImm { rn: low_reg(rng), imm8: imm8(rng) },
-        2 => Instruction::AddImm8 { rdn: low_reg(rng), imm8: imm8(rng) },
-        3 => Instruction::SubImm8 { rdn: low_reg(rng), imm8: imm8(rng) },
+        0 => Instruction::MovImm {
+            rd: low_reg(rng),
+            imm8: imm8(rng),
+        },
+        1 => Instruction::CmpImm {
+            rn: low_reg(rng),
+            imm8: imm8(rng),
+        },
+        2 => Instruction::AddImm8 {
+            rdn: low_reg(rng),
+            imm8: imm8(rng),
+        },
+        3 => Instruction::SubImm8 {
+            rdn: low_reg(rng),
+            imm8: imm8(rng),
+        },
         4 => Instruction::AddImm3 {
             rd: low_reg(rng),
             rn: low_reg(rng),
             imm3: rng.next_below(8) as u8,
         },
-        5 => Instruction::AddReg { rd: low_reg(rng), rn: low_reg(rng), rm: low_reg(rng) },
-        6 => Instruction::SubReg { rd: low_reg(rng), rn: low_reg(rng), rm: low_reg(rng) },
-        7 => Instruction::LslImm { rd: low_reg(rng), rm: low_reg(rng), imm5: imm5(rng) },
-        8 => Instruction::LsrImm { rd: low_reg(rng), rm: low_reg(rng), imm5: imm5(rng) },
-        9 => Instruction::AsrImm { rd: low_reg(rng), rm: low_reg(rng), imm5: imm5(rng) },
+        5 => Instruction::AddReg {
+            rd: low_reg(rng),
+            rn: low_reg(rng),
+            rm: low_reg(rng),
+        },
+        6 => Instruction::SubReg {
+            rd: low_reg(rng),
+            rn: low_reg(rng),
+            rm: low_reg(rng),
+        },
+        7 => Instruction::LslImm {
+            rd: low_reg(rng),
+            rm: low_reg(rng),
+            imm5: imm5(rng),
+        },
+        8 => Instruction::LsrImm {
+            rd: low_reg(rng),
+            rm: low_reg(rng),
+            imm5: imm5(rng),
+        },
+        9 => Instruction::AsrImm {
+            rd: low_reg(rng),
+            rm: low_reg(rng),
+            imm5: imm5(rng),
+        },
         10 => Instruction::DataProc {
             op: DpOp::from_bits(rng.next_below(16) as u16),
             rdn: low_reg(rng),
             rm: low_reg(rng),
         },
-        11 => Instruction::LdrImm { rt: low_reg(rng), rn: low_reg(rng), imm5: imm5(rng) },
-        12 => Instruction::StrbImm { rt: low_reg(rng), rn: low_reg(rng), imm5: imm5(rng) },
-        13 => Instruction::LdrshReg { rt: low_reg(rng), rn: low_reg(rng), rm: low_reg(rng) },
-        14 => Instruction::StrSp { rt: low_reg(rng), imm8: imm8(rng) },
-        15 => Instruction::Push { registers: imm8(rng), lr: rng.next_below(2) == 1 },
-        16 => Instruction::Pop { registers: imm8(rng), pc: rng.next_below(2) == 1 },
-        17 => Instruction::Uxtb { rd: low_reg(rng), rm: low_reg(rng) },
-        18 => Instruction::Rev { rd: low_reg(rng), rm: low_reg(rng) },
+        11 => Instruction::LdrImm {
+            rt: low_reg(rng),
+            rn: low_reg(rng),
+            imm5: imm5(rng),
+        },
+        12 => Instruction::StrbImm {
+            rt: low_reg(rng),
+            rn: low_reg(rng),
+            imm5: imm5(rng),
+        },
+        13 => Instruction::LdrshReg {
+            rt: low_reg(rng),
+            rn: low_reg(rng),
+            rm: low_reg(rng),
+        },
+        14 => Instruction::StrSp {
+            rt: low_reg(rng),
+            imm8: imm8(rng),
+        },
+        15 => Instruction::Push {
+            registers: imm8(rng),
+            lr: rng.next_below(2) == 1,
+        },
+        16 => Instruction::Pop {
+            registers: imm8(rng),
+            pc: rng.next_below(2) == 1,
+        },
+        17 => Instruction::Uxtb {
+            rd: low_reg(rng),
+            rm: low_reg(rng),
+        },
+        18 => Instruction::Rev {
+            rd: low_reg(rng),
+            rm: low_reg(rng),
+        },
         19 => Instruction::Bkpt { imm8: imm8(rng) },
         20 => Instruction::BCond {
             cond: Condition::from_bits(rng.next_below(14) as u16).expect("valid condition"),
             imm8: imm8(rng),
         },
         _ => match rng.next_below(2) {
-            0 => Instruction::B { imm11: rng.next_below(0x800) as u16 },
+            0 => Instruction::B {
+                imm11: rng.next_below(0x800) as u16,
+            },
             _ => Instruction::Nop,
         },
     }
@@ -78,8 +139,7 @@ fn encode_decode_round_trip() {
 fn bl_offsets_round_trip() {
     let mut rng = SplitMix64::new(0x15A2);
     for case in 0..512 {
-        let offset =
-            -0x0080_0000i32 + rng.next_below((0x007F_FFFEi64 + 0x0080_0000) as u64) as i32;
+        let offset = -0x0080_0000i32 + rng.next_below((0x007F_FFFEi64 + 0x0080_0000) as u64) as i32;
         let even = offset & !1;
         let inst = Instruction::Bl { offset: even };
         let enc = inst.encode();
@@ -140,7 +200,11 @@ fn alu_semantics_match_reference() {
         let mut cpu = Cpu::new(&image);
         cpu.run(1_000_000).expect("fuzz program halts");
         for (i, &expected) in regs.iter().enumerate() {
-            assert_eq!(cpu.reg(i as u8), expected, "case {case}, r{i} after:\n{asm_text}");
+            assert_eq!(
+                cpu.reg(i as u8),
+                expected,
+                "case {case}, r{i} after:\n{asm_text}"
+            );
         }
     }
 }
@@ -152,7 +216,11 @@ fn branch_predicates_match_rust() {
     let mut rng = SplitMix64::new(0x15A4);
     for _ in 0..64 {
         let a = rng.next_u32();
-        let b = if rng.next_below(8) == 0 { a } else { rng.next_u32() };
+        let b = if rng.next_below(8) == 0 {
+            a
+        } else {
+            rng.next_u32()
+        };
         let cases: [(&str, bool); 6] = [
             ("beq", a == b),
             ("bne", a != b),
@@ -187,12 +255,14 @@ fn random_word_traffic_is_exact() {
         let mut mem = MemorySystem::new(&[]);
         let mut model = std::collections::HashMap::new();
         for (k, &(word, value)) in writes.iter().enumerate() {
-            mem.write_u32(DATA_BASE + word * 4, value, k as u64).expect("in range");
+            mem.write_u32(DATA_BASE + word * 4, value, k as u64)
+                .expect("in range");
             model.insert(word, value);
         }
         for (&word, &value) in &model {
             assert_eq!(
-                mem.read_u32(DATA_BASE + word * 4, 1_000_000).expect("in range"),
+                mem.read_u32(DATA_BASE + word * 4, 1_000_000)
+                    .expect("in range"),
                 value
             );
         }

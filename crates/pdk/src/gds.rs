@@ -112,7 +112,10 @@ pub struct GdsStructure {
 impl GdsStructure {
     /// Creates an empty structure.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), elements: Vec::new() }
+        Self {
+            name: name.into(),
+            elements: Vec::new(),
+        }
     }
 
     /// Structure name.
@@ -145,6 +148,7 @@ pub struct GdsLibrary {
 
 /// Parse error for GDSII streams.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GdsError {
     /// Stream ended inside a record.
     Truncated,
@@ -179,7 +183,10 @@ impl std::error::Error for GdsError {}
 impl GdsLibrary {
     /// Creates an empty library.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), structures: Vec::new() }
+        Self {
+            name: name.into(),
+            structures: Vec::new(),
+        }
     }
 
     /// Library name.
@@ -236,43 +243,45 @@ impl GdsLibrary {
     /// [`GdsError`] on truncation or unsupported/malformed records.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, GdsError> {
         let mut r = Reader { bytes, pos: 0 };
-        r.expect(rec::HEADER)?;
-        r.expect(rec::BGNLIB)?;
-        let name_rec = r.expect(rec::LIBNAME)?;
+        r.expect_record(rec::HEADER)?;
+        r.expect_record(rec::BGNLIB)?;
+        let name_rec = r.expect_record(rec::LIBNAME)?;
         let name = ascii_payload(&name_rec)?;
-        r.expect(rec::UNITS)?;
+        r.expect_record(rec::UNITS)?;
         let mut lib = GdsLibrary::new(name);
         loop {
             let (rtype, payload) = r.next_record()?;
             match rtype {
                 rec::ENDLIB => break,
                 rec::BGNSTR => {
-                    let sname_rec = r.expect(rec::STRNAME)?;
+                    let sname_rec = r.expect_record(rec::STRNAME)?;
                     let mut structure = GdsStructure::new(ascii_payload(&sname_rec)?);
                     loop {
                         let (etype, _) = r.next_record()?;
                         match etype {
                             rec::ENDSTR => break,
                             rec::BOUNDARY => {
-                                let layer_rec = r.expect(rec::LAYER)?;
+                                let layer_rec = r.expect_record(rec::LAYER)?;
                                 let layer = i16_payload(&layer_rec, rec::LAYER)?;
-                                let dt_rec = r.expect(rec::DATATYPE)?;
+                                let dt_rec = r.expect_record(rec::DATATYPE)?;
                                 let datatype = i16_payload(&dt_rec, rec::DATATYPE)?;
-                                let xy_rec = r.expect(rec::XY)?;
+                                let xy_rec = r.expect_record(rec::XY)?;
                                 let coords = i32_payload(&xy_rec)?;
                                 if coords.len() < 8 || coords.len() % 2 != 0 {
                                     return Err(GdsError::MalformedRecord { record: rec::XY });
                                 }
-                                let mut points: Vec<(i32, i32)> = coords
-                                    .chunks(2)
-                                    .map(|c| (c[0], c[1]))
-                                    .collect();
+                                let mut points: Vec<(i32, i32)> =
+                                    coords.chunks(2).map(|c| (c[0], c[1])).collect();
                                 // Drop the explicit closing vertex.
                                 if points.last() == points.first() {
                                     points.pop();
                                 }
-                                r.expect(rec::ENDEL)?;
-                                structure.push(GdsBoundary { layer, datatype, points });
+                                r.expect_record(rec::ENDEL)?;
+                                structure.push(GdsBoundary {
+                                    layer,
+                                    datatype,
+                                    points,
+                                });
                             }
                             other => return Err(GdsError::UnexpectedRecord { found: other }),
                         }
@@ -300,6 +309,9 @@ struct Writer {
 }
 
 impl Writer {
+    /// # Panics
+    ///
+    /// If the record payload would overflow the GDSII 16-bit length field.
     fn header(&mut self, rtype: u8, dtype: u8, payload_len: usize) {
         let total = 4 + payload_len;
         assert!(total <= u16::MAX as usize, "record too long");
@@ -404,7 +416,7 @@ impl Reader<'_> {
         Ok((rtype, payload))
     }
 
-    fn expect(&mut self, rtype: u8) -> Result<Vec<u8>, GdsError> {
+    fn expect_record(&mut self, rtype: u8) -> Result<Vec<u8>, GdsError> {
         let (found, payload) = self.next_record()?;
         if found != rtype {
             return Err(GdsError::UnexpectedRecord { found });
@@ -415,7 +427,9 @@ impl Reader<'_> {
 
 fn ascii_payload(payload: &[u8]) -> Result<String, GdsError> {
     let trimmed: Vec<u8> = payload.iter().copied().filter(|&b| b != 0).collect();
-    String::from_utf8(trimmed).map_err(|_| GdsError::MalformedRecord { record: rec::LIBNAME })
+    String::from_utf8(trimmed).map_err(|_| GdsError::MalformedRecord {
+        record: rec::LIBNAME,
+    })
 }
 
 fn i16_payload(payload: &[u8], record: u8) -> Result<i16, GdsError> {
@@ -479,10 +493,7 @@ mod tests {
         for v in [1e-9, 1e-3, 0.25, 1.0, 123.456, -42.0, 0.0] {
             let enc = to_gds_real(v);
             let dec = from_gds_real(&enc);
-            assert!(
-                (dec - v).abs() <= v.abs() * 1e-12,
-                "{v} -> {dec}"
-            );
+            assert!((dec - v).abs() <= v.abs() * 1e-12, "{v} -> {dec}");
         }
     }
 
@@ -490,7 +501,10 @@ mod tests {
     fn truncated_stream_is_rejected() {
         let bytes = sample().to_bytes();
         let err = GdsLibrary::from_bytes(&bytes[..bytes.len() - 2]).expect_err("must fail");
-        assert!(matches!(err, GdsError::Truncated | GdsError::UnexpectedRecord { .. }));
+        assert!(matches!(
+            err,
+            GdsError::Truncated | GdsError::UnexpectedRecord { .. }
+        ));
     }
 
     #[test]

@@ -141,6 +141,9 @@ pub fn gds3d_process_file(technology: Technology) -> String {
 /// matches the eDRAM area model's cell size; polygons sit on the layers the
 /// cell actually uses (FEOL + M1/M2 for all-Si; the CNFET/IGZO tiers and
 /// their local metals for M3D).
+/// # Panics
+///
+/// If `cell_side_nm` is too small (≤ 40 nm) to draw a legal cell.
 pub fn bit_cell(technology: Technology, cell_side_nm: i32) -> GdsStructure {
     assert!(cell_side_nm > 40, "cell too small to draw");
     let mut cell = GdsStructure::new(match technology {
@@ -158,23 +161,53 @@ pub fn bit_cell(technology: Technology, cell_side_nm: i32) -> GdsStructure {
                 let x0 = 8 + k * third;
                 cell.push(GdsBoundary::rect(2, 0, (x0, 0), (x0 + third / 3, s)));
             }
-            cell.push(GdsBoundary::rect(metal_gds_layer(0), 0, (s / 2 - 18, 0), (s / 2 + 18, s)));
-            cell.push(GdsBoundary::rect(metal_gds_layer(1), 0, (0, s / 2 - 18), (s, s / 2 + 18)));
+            cell.push(GdsBoundary::rect(
+                metal_gds_layer(0),
+                0,
+                (s / 2 - 18, 0),
+                (s / 2 + 18, s),
+            ));
+            cell.push(GdsBoundary::rect(
+                metal_gds_layer(1),
+                0,
+                (0, s / 2 - 18),
+                (s, s / 2 + 18),
+            ));
         }
         Technology::M3dIgzoCnfetSi => {
             // Two CNFET read devices on tier 1, IGZO write device on the
             // IGZO tier, local routing on the tier metals (M5/M6 = metal
             // indices 4 and 5 in the M3D stack).
-            cell.push(GdsBoundary::rect(tier_gds_layer(TierKind::Cnfet, 0), 0, (4, 4), (s - 4, s / 2)));
+            cell.push(GdsBoundary::rect(
+                tier_gds_layer(TierKind::Cnfet, 0),
+                0,
+                (4, 4),
+                (s - 4, s / 2),
+            ));
             cell.push(GdsBoundary::rect(
                 tier_gds_layer(TierKind::Cnfet, 1),
                 0,
                 (4, s / 2),
                 (s - 4, s - 4),
             ));
-            cell.push(GdsBoundary::rect(tier_gds_layer(TierKind::Igzo, 0), 0, (third, third), (2 * third, 2 * third)));
-            cell.push(GdsBoundary::rect(metal_gds_layer(4), 0, (s / 2 - 18, 0), (s / 2 + 18, s)));
-            cell.push(GdsBoundary::rect(metal_gds_layer(5), 0, (0, s / 2 - 18), (s, s / 2 + 18)));
+            cell.push(GdsBoundary::rect(
+                tier_gds_layer(TierKind::Igzo, 0),
+                0,
+                (third, third),
+                (2 * third, 2 * third),
+            ));
+            cell.push(GdsBoundary::rect(
+                metal_gds_layer(4),
+                0,
+                (s / 2 - 18, 0),
+                (s / 2 + 18, s),
+            ));
+            cell.push(GdsBoundary::rect(
+                metal_gds_layer(5),
+                0,
+                (0, s / 2 - 18),
+                (s, s / 2 + 18),
+            ));
         }
     }
     cell

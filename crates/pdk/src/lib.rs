@@ -28,17 +28,18 @@
 //! use ppatc_units::Frequency;
 //!
 //! let m0 = LogicBlock::cortex_m0();
-//! let result = m0.synthesize(SiVtFlavor::Rvt, Frequency::from_megahertz(500.0));
-//! let r = result.expect("RVT closes timing at 500 MHz");
+//! // RVT closes timing at 500 MHz, so synthesis succeeds.
+//! let r = m0.synthesize(SiVtFlavor::Rvt, Frequency::from_megahertz(500.0))?;
 //! // Table II: M0 dynamic energy per cycle = 1.42 pJ.
 //! assert!((r.energy_per_cycle().as_picojoules() - 1.42).abs() < 0.15);
+//! # Ok::<(), ppatc_pdk::synthesis::TimingError>(())
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod gds;
-pub mod liberty;
 pub mod layout;
+pub mod liberty;
 pub mod stack;
 pub mod stdcell;
 pub mod synthesis;

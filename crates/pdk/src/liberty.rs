@@ -31,11 +31,7 @@ pub fn export(library: &StdCellLibrary) -> String {
     let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
     let _ = writeln!(out, "  leakage_power_unit : \"1nW\";");
     let _ = writeln!(out, "  voltage_unit : \"1V\";");
-    let _ = writeln!(
-        out,
-        "  nom_voltage : {:.2};",
-        library.vdd().as_volts()
-    );
+    let _ = writeln!(out, "  nom_voltage : {:.2};", library.vdd().as_volts());
     for cell in library.iter() {
         write_cell(&mut out, cell);
     }
@@ -45,7 +41,11 @@ pub fn export(library: &StdCellLibrary) -> String {
 
 fn write_cell(out: &mut String, cell: &StdCell) {
     let _ = writeln!(out, "  cell ({}) {{", cell.name());
-    let _ = writeln!(out, "    area : {:.4};", cell.area().as_square_micrometers());
+    let _ = writeln!(
+        out,
+        "    area : {:.4};",
+        cell.area().as_square_micrometers()
+    );
     let _ = writeln!(
         out,
         "    cell_leakage_power : {:.4};",
@@ -66,7 +66,11 @@ fn write_cell(out: &mut String, cell: &StdCell) {
         );
         let _ = writeln!(out, "    }}");
     }
-    let out_pin = if cell.kind() == CellKind::Dff { "Q" } else { "Y" };
+    let out_pin = if cell.kind() == CellKind::Dff {
+        "Q"
+    } else {
+        "Y"
+    };
     let _ = writeln!(out, "    pin ({out_pin}) {{");
     let _ = writeln!(out, "      direction : output;");
     let related = inputs[0];

@@ -87,7 +87,10 @@ impl MetalLayer {
     /// Panics if `pitch` is not positive.
     pub fn new(name: impl Into<String>, pitch: Length) -> Self {
         assert!(pitch.as_nanometers() > 0.0, "pitch must be positive");
-        Self { name: name.into(), pitch }
+        Self {
+            name: name.into(),
+            pitch,
+        }
     }
 
     /// Layer name, e.g. `"M1"`.
@@ -284,18 +287,38 @@ mod tests {
     fn m3d_shares_base_with_all_si() {
         let m3d = LayerStack::m3d();
         let si = LayerStack::all_si();
-        let m3d_first4: Vec<_> = m3d.metals().take(4).map(|m| m.pitch().as_nanometers()).collect();
-        let si_first4: Vec<_> = si.metals().take(4).map(|m| m.pitch().as_nanometers()).collect();
+        let m3d_first4: Vec<_> = m3d
+            .metals()
+            .take(4)
+            .map(|m| m.pitch().as_nanometers())
+            .collect();
+        let si_first4: Vec<_> = si
+            .metals()
+            .take(4)
+            .map(|m| m.pitch().as_nanometers())
+            .collect();
         assert_eq!(m3d_first4, si_first4);
     }
 
     #[test]
     fn lithography_by_pitch() {
         use Lithography::*;
-        assert_eq!(Lithography::for_pitch(Length::from_nanometers(36.0)), EuvSingle);
-        assert_eq!(Lithography::for_pitch(Length::from_nanometers(48.0)), ImmersionLele);
-        assert_eq!(Lithography::for_pitch(Length::from_nanometers(64.0)), ImmersionSingle);
-        assert_eq!(Lithography::for_pitch(Length::from_nanometers(80.0)), ImmersionSingle);
+        assert_eq!(
+            Lithography::for_pitch(Length::from_nanometers(36.0)),
+            EuvSingle
+        );
+        assert_eq!(
+            Lithography::for_pitch(Length::from_nanometers(48.0)),
+            ImmersionLele
+        );
+        assert_eq!(
+            Lithography::for_pitch(Length::from_nanometers(64.0)),
+            ImmersionSingle
+        );
+        assert_eq!(
+            Lithography::for_pitch(Length::from_nanometers(80.0)),
+            ImmersionSingle
+        );
     }
 
     #[test]

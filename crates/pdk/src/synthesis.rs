@@ -90,8 +90,14 @@ impl LogicBlock {
         utilization: f64,
     ) -> Self {
         assert!(gate_count > 0.0 && flop_count >= 0.0 && logic_depth > 0.0 && fanout > 0.0);
-        assert!(activity > 0.0 && activity <= 1.0, "activity must be in (0, 1]");
-        assert!(utilization > 0.0 && utilization <= 1.0, "utilization must be in (0, 1]");
+        assert!(
+            activity > 0.0 && activity <= 1.0,
+            "activity must be in (0, 1]"
+        );
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
         Self {
             name: name.into(),
             gate_count,
@@ -110,9 +116,15 @@ impl LogicBlock {
     }
 
     /// Returns a copy with a different switching activity (workloads differ).
+    /// # Panics
+    ///
+    /// If `activity` is outside `(0, 1]`.
     #[must_use]
     pub fn with_activity(mut self, activity: f64) -> Self {
-        assert!(activity > 0.0 && activity <= 1.0, "activity must be in (0, 1]");
+        assert!(
+            activity > 0.0 && activity <= 1.0,
+            "activity must be in (0, 1]"
+        );
         self.activity = activity;
         self
     }
@@ -196,6 +208,9 @@ impl LogicBlock {
     /// Sweeps the target frequency across `points` for one flavor,
     /// returning `(frequency, result)` pairs for the targets that close
     /// timing — the data behind one curve of Fig. 4.
+    /// # Panics
+    ///
+    /// If `points < 2` — a sweep needs both endpoints.
     pub fn frequency_sweep(
         &self,
         flavor: SiVtFlavor,
@@ -344,7 +359,10 @@ mod tests {
             Ok(_) => panic!("5 GHz should not close"),
         };
         let fast = m0
-            .synthesize(SiVtFlavor::Rvt, Frequency::from_hertz(f_max.as_hertz() * 0.98))
+            .synthesize(
+                SiVtFlavor::Rvt,
+                Frequency::from_hertz(f_max.as_hertz() * 0.98),
+            )
             .expect("just under f_max closes");
         assert!(fast.energy_per_cycle() > slow.energy_per_cycle());
         assert!(fast.sizing() > slow.sizing());
@@ -354,8 +372,12 @@ mod tests {
     fn slvt_leakage_dominates_at_low_frequency() {
         let m0 = LogicBlock::cortex_m0();
         let f = Frequency::from_megahertz(100.0);
-        let hvt = m0.synthesize(SiVtFlavor::Hvt, f).expect("HVT closes 100 MHz");
-        let slvt = m0.synthesize(SiVtFlavor::Slvt, f).expect("SLVT closes 100 MHz");
+        let hvt = m0
+            .synthesize(SiVtFlavor::Hvt, f)
+            .expect("HVT closes 100 MHz");
+        let slvt = m0
+            .synthesize(SiVtFlavor::Slvt, f)
+            .expect("SLVT closes 100 MHz");
         // Fig. 4: at 100 MHz the SLVT curve sits far above HVT.
         assert!(slvt.energy_per_cycle().as_joules() > 1.5 * hvt.energy_per_cycle().as_joules());
     }
@@ -402,8 +424,14 @@ mod tests {
         let m0 = LogicBlock::cortex_m0();
         let busy = m0.clone().with_activity(0.27);
         let f = Frequency::from_megahertz(500.0);
-        let base = m0.synthesize(SiVtFlavor::Rvt, f).expect("base closes").dynamic_energy();
-        let hot = busy.synthesize(SiVtFlavor::Rvt, f).expect("busy closes").dynamic_energy();
+        let base = m0
+            .synthesize(SiVtFlavor::Rvt, f)
+            .expect("base closes")
+            .dynamic_energy();
+        let hot = busy
+            .synthesize(SiVtFlavor::Rvt, f)
+            .expect("busy closes")
+            .dynamic_energy();
         assert!(hot.as_joules() > 1.5 * base.as_joules());
     }
 }

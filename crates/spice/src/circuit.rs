@@ -125,7 +125,14 @@ impl Circuit {
     /// Panics if the resistance is not positive.
     pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, r: Resistance) -> ElementId {
         assert!(r.as_ohms() > 0.0, "resistance must be positive");
-        self.push(name, Element::Resistor { a, b, ohms: r.as_ohms() })
+        self.push(
+            name,
+            Element::Resistor {
+                a,
+                b,
+                ohms: r.as_ohms(),
+            },
+        )
     }
 
     /// Adds a capacitor between `a` and `b`.
@@ -135,18 +142,37 @@ impl Circuit {
     /// Panics if the capacitance is negative.
     pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, c: Capacitance) -> ElementId {
         assert!(c.as_farads() >= 0.0, "capacitance must be non-negative");
-        self.push(name, Element::Capacitor { a, b, farads: c.as_farads() })
+        self.push(
+            name,
+            Element::Capacitor {
+                a,
+                b,
+                farads: c.as_farads(),
+            },
+        )
     }
 
     /// Adds an ideal voltage source; `p` is the positive terminal.
-    pub fn voltage_source(&mut self, name: &str, p: NodeId, n: NodeId, wave: Waveform) -> ElementId {
+    pub fn voltage_source(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        wave: Waveform,
+    ) -> ElementId {
         let branch = self.n_branches;
         self.n_branches += 1;
         self.push(name, Element::VSource { p, n, wave, branch })
     }
 
     /// Adds an independent current source driving current from `p` to `n`.
-    pub fn current_source(&mut self, name: &str, p: NodeId, n: NodeId, wave: Waveform) -> ElementId {
+    pub fn current_source(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        wave: Waveform,
+    ) -> ElementId {
         self.push(name, Element::ISource { p, n, wave })
     }
 
@@ -265,7 +291,11 @@ impl Circuit {
                     let gds = (model.current_per_width(vgs, vds + DERIV_DV) * w - id0) / DERIV_DV;
                     // Norton companion: i_eq = I(v) - gm·vgs - gds·vds, current d→s.
                     let i_eq = id0 - gm * vgs - gds * vds;
-                    let (di, gi, si) = (self.node_index(*d), self.node_index(*g), self.node_index(*s));
+                    let (di, gi, si) = (
+                        self.node_index(*d),
+                        self.node_index(*g),
+                        self.node_index(*s),
+                    );
                     if let Some(di) = di {
                         if let Some(gi) = gi {
                             sys.add(di, gi, gm);
@@ -351,7 +381,12 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         let b = c.node("b");
-        c.voltage_source("V1", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(1.0)));
+        c.voltage_source(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::dc(Voltage::from_volts(1.0)),
+        );
         c.resistor("R1", a, b, Resistance::from_ohms(1.0));
         assert_eq!(c.unknowns(), 3); // two nodes + one branch
         assert_eq!(c.node_index(Circuit::GROUND), None);

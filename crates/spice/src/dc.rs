@@ -410,7 +410,12 @@ mod tests {
         let mut c = Circuit::new();
         let top = c.node("top");
         let mid = c.node("mid");
-        c.voltage_source("V1", top, Circuit::GROUND, Waveform::dc(Voltage::from_volts(1.0)));
+        c.voltage_source(
+            "V1",
+            top,
+            Circuit::GROUND,
+            Waveform::dc(Voltage::from_volts(1.0)),
+        );
         c.resistor("R1", top, mid, Resistance::from_kilo_ohms(1.0));
         c.resistor("R2", mid, Circuit::GROUND, Resistance::from_kilo_ohms(3.0));
         let v = c.dc_voltage(mid).expect("divider should solve");
@@ -421,7 +426,12 @@ mod tests {
     fn branch_current_of_source() {
         let mut c = Circuit::new();
         let top = c.node("top");
-        c.voltage_source("V1", top, Circuit::GROUND, Waveform::dc(Voltage::from_volts(1.0)));
+        c.voltage_source(
+            "V1",
+            top,
+            Circuit::GROUND,
+            Waveform::dc(Voltage::from_volts(1.0)),
+        );
         c.resistor("R1", top, Circuit::GROUND, Resistance::from_kilo_ohms(1.0));
         let x = c.dc_operating_point().expect("should solve");
         // Branch current flows out of the + terminal through the circuit:
@@ -437,9 +447,20 @@ mod tests {
         let nin = c.node("in");
         let nout = c.node("out");
         c.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(vdd));
-        c.voltage_source("VIN", nin, Circuit::GROUND, Waveform::dc(Voltage::from_volts(vin)));
+        c.voltage_source(
+            "VIN",
+            nin,
+            Circuit::GROUND,
+            Waveform::dc(Voltage::from_volts(vin)),
+        );
         c.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
-        c.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+        c.fet(
+            "MN",
+            nout,
+            nin,
+            Circuit::GROUND,
+            si::nfet(SiVtFlavor::Rvt).sized(w),
+        );
         (c, nout)
     }
 
@@ -457,7 +478,10 @@ mod tests {
     #[test]
     fn inverter_gain_region_is_between_rails() {
         let (c, nout) = inverter(0.35);
-        let v = c.dc_voltage(nout).expect("inverter should solve").as_volts();
+        let v = c
+            .dc_voltage(nout)
+            .expect("inverter should solve")
+            .as_volts();
         assert!(v > 0.05 && v < 0.65, "midpoint output {v}");
     }
 
@@ -470,11 +494,20 @@ mod tests {
         let nout = c.node("out");
         c.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(vdd));
         c.resistor("RL", nvdd, nout, Resistance::from_kilo_ohms(100.0));
-        let mn = c.fet("MN", nout, nvdd, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+        let mn = c.fet(
+            "MN",
+            nout,
+            nvdd,
+            Circuit::GROUND,
+            si::nfet(SiVtFlavor::Rvt).sized(w),
+        );
         let rl = crate::ElementId(1);
         let x = c.dc_operating_point().expect("common-source stage solves");
         let i_fet = c.fet_current(mn, &x).expect("MN is a FET");
-        assert!(c.fet_current(rl, &x).is_none(), "resistors have no drain current");
+        assert!(
+            c.fet_current(rl, &x).is_none(),
+            "resistors have no drain current"
+        );
         // KCL: the FET sinks whatever the load resistor delivers.
         let v_out = x[c.node_index(nout).expect("out is not ground")];
         let i_res = (0.7 - v_out) / 100e3;
@@ -492,7 +525,9 @@ mod tests {
     fn recovered_solve_matches_plain_solve_when_plain_converges() {
         let (c, nout) = inverter(0.35);
         let plain = c.dc_operating_point().expect("plain converges");
-        let (recovered, log) = c.dc_operating_point_recovered().expect("recovered converges");
+        let (recovered, log) = c
+            .dc_operating_point_recovered()
+            .expect("recovered converges");
         let i = c.node_index(nout).expect("out is not ground");
         assert!(approx_eq(plain[i], recovered[i], 1e-9));
         assert_eq!(log.total_attempts(), 1, "no recovery needed: {log}");
@@ -534,7 +569,12 @@ mod tests {
         // The rescued answer matches the unconstrained solve.
         let reference = c.dc_operating_point().expect("reference converges");
         let i = c.node_index(nout).expect("out is not ground");
-        assert!(approx_eq(x[i], reference[i], 1e-6), "{} vs {}", x[i], reference[i]);
+        assert!(
+            approx_eq(x[i], reference[i], 1e-6),
+            "{} vs {}",
+            x[i],
+            reference[i]
+        );
 
         // The retry path is visible: the plain rung failed, recovery ran,
         // and the final rung converged at full source value / nominal GMIN.
@@ -559,8 +599,18 @@ mod tests {
         // structurally singular, so the ladder must not retry.
         let mut c = Circuit::new();
         let a = c.node("a");
-        c.voltage_source("V1", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(1.0)));
-        c.voltage_source("V2", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(2.0)));
+        c.voltage_source(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::dc(Voltage::from_volts(1.0)),
+        );
+        c.voltage_source(
+            "V2",
+            a,
+            Circuit::GROUND,
+            Waveform::dc(Voltage::from_volts(2.0)),
+        );
         let err = c.dc_operating_point_recovered().expect_err("singular");
         assert!(matches!(err, SpiceError::SingularMatrix { .. }), "{err}");
     }
@@ -575,4 +625,3 @@ mod tests {
         assert!(matches!(err, SpiceError::NoConvergence { .. }), "{err}");
     }
 }
-

@@ -138,7 +138,11 @@ impl Trace {
                 Edge::Either => rising || falling,
             };
             if hit {
-                let frac = if (v1 - v0).abs() > 0.0 { (lvl - v0) / (v1 - v0) } else { 0.0 };
+                let frac = if (v1 - v0).abs() > 0.0 {
+                    (lvl - v0) / (v1 - v0)
+                } else {
+                    0.0
+                };
                 let t_cross = t0 + (t1 - t0) * frac;
                 if t_cross >= start {
                     return Some(Time::from_seconds(t_cross));
@@ -197,6 +201,9 @@ impl Trace {
         Charge::from_coulombs(q)
     }
 
+    /// # Panics
+    ///
+    /// If `source` does not name a voltage source in this result.
     fn source_branch(&self, source: ElementId) -> (usize, &Waveform) {
         self.sources
             .iter()
@@ -223,7 +230,12 @@ mod tests {
             Waveform::step(Voltage::from_volts(1.0)),
         );
         c.resistor("R1", vin, vout, Resistance::from_kilo_ohms(1.0));
-        c.capacitor("C1", vout, Circuit::GROUND, Capacitance::from_femtofarads(100.0));
+        c.capacitor(
+            "C1",
+            vout,
+            Circuit::GROUND,
+            Capacitance::from_femtofarads(100.0),
+        );
         (c, vout, src)
     }
 
@@ -267,7 +279,11 @@ mod tests {
         assert!(hi.as_volts() <= 1.0 + 1e-9);
         // Interpolation clamps beyond the simulated window.
         let v_end = trace.voltage_at(out, Time::from_nanoseconds(99.0));
-        assert!(approx_eq(v_end.as_volts(), trace.last_voltage(out).as_volts(), 1e-12));
+        assert!(approx_eq(
+            v_end.as_volts(),
+            trace.last_voltage(out).as_volts(),
+            1e-12
+        ));
     }
 
     #[test]

@@ -139,7 +139,10 @@ mod tests {
         sys.add(1, 0, 2.0);
         sys.add(1, 1, 2.0);
         sys.add_rhs(0, 1.0);
-        assert!(matches!(sys.solve(), Err(SpiceError::SingularMatrix { .. })));
+        assert!(matches!(
+            sys.solve(),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
     }
 
     #[test]

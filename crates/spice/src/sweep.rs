@@ -106,7 +106,10 @@ impl Circuit {
             ckt.newton_solve(&mut x, 0.0, None, "dc")?;
             solutions.push(x[..n_nodes].to_vec());
         }
-        Ok(SweepResult { values: values.to_vec(), solutions })
+        Ok(SweepResult {
+            values: values.to_vec(),
+            solutions,
+        })
     }
 }
 
@@ -126,7 +129,13 @@ mod tests {
         c.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(vdd));
         let vin = c.voltage_source("VIN", nin, Circuit::GROUND, Waveform::dc(Voltage::zero()));
         c.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
-        c.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+        c.fet(
+            "MN",
+            nout,
+            nin,
+            Circuit::GROUND,
+            si::nfet(SiVtFlavor::Rvt).sized(w),
+        );
         (c, vin, nout)
     }
 
@@ -174,8 +183,18 @@ mod tests {
     fn sweeping_a_resistor_is_an_error() {
         let mut c = Circuit::new();
         let a = c.node("a");
-        c.voltage_source("V", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(1.0)));
-        let r = c.resistor("R", a, Circuit::GROUND, ppatc_units::Resistance::from_ohms(100.0));
+        c.voltage_source(
+            "V",
+            a,
+            Circuit::GROUND,
+            Waveform::dc(Voltage::from_volts(1.0)),
+        );
+        let r = c.resistor(
+            "R",
+            a,
+            Circuit::GROUND,
+            ppatc_units::Resistance::from_ohms(100.0),
+        );
         assert!(c.dc_sweep(r, &[0.0, 1.0]).is_err());
     }
 }

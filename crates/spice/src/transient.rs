@@ -153,9 +153,19 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let vout = c.node("out");
-        c.voltage_source("V1", vin, Circuit::GROUND, Waveform::step(Voltage::from_volts(1.0)));
+        c.voltage_source(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::step(Voltage::from_volts(1.0)),
+        );
         c.resistor("R1", vin, vout, Resistance::from_kilo_ohms(1.0));
-        c.capacitor("C1", vout, Circuit::GROUND, Capacitance::from_femtofarads(1000.0));
+        c.capacitor(
+            "C1",
+            vout,
+            Circuit::GROUND,
+            Capacitance::from_femtofarads(1000.0),
+        );
         (c, vout)
     }
 
@@ -183,7 +193,12 @@ mod tests {
         // A capacitor to ground with no DC path keeps its seeded voltage.
         let mut c = Circuit::new();
         let store = c.node("store");
-        c.capacitor("C1", store, Circuit::GROUND, Capacitance::from_femtofarads(10.0));
+        c.capacitor(
+            "C1",
+            store,
+            Circuit::GROUND,
+            Capacitance::from_femtofarads(10.0),
+        );
         let cfg = TransientConfig::new(Time::from_nanoseconds(1.0), Time::from_picoseconds(10.0))
             .with_initial_voltage(store, Voltage::from_volts(0.5));
         let trace = c.transient(&cfg).expect("floating cap should simulate");
@@ -204,15 +219,35 @@ mod tests {
             "VIN",
             nin,
             Circuit::GROUND,
-            Waveform::step_at(vdd, Time::from_picoseconds(50.0), Time::from_picoseconds(10.0)),
+            Waveform::step_at(
+                vdd,
+                Time::from_picoseconds(50.0),
+                Time::from_picoseconds(10.0),
+            ),
         );
         c.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
-        c.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
-        c.capacitor("CL", nout, Circuit::GROUND, Capacitance::from_femtofarads(1.0));
+        c.fet(
+            "MN",
+            nout,
+            nin,
+            Circuit::GROUND,
+            si::nfet(SiVtFlavor::Rvt).sized(w),
+        );
+        c.capacitor(
+            "CL",
+            nout,
+            Circuit::GROUND,
+            Capacitance::from_femtofarads(1.0),
+        );
         let cfg = TransientConfig::new(Time::from_picoseconds(500.0), Time::from_picoseconds(0.25));
         let trace = c.transient(&cfg).expect("inverter transient should run");
         // Starts high (input low), ends low.
-        assert!(trace.voltage_at(nout, Time::from_picoseconds(40.0)).as_volts() > 0.65);
+        assert!(
+            trace
+                .voltage_at(nout, Time::from_picoseconds(40.0))
+                .as_volts()
+                > 0.65
+        );
         assert!(trace.last_voltage(nout).as_volts() < 0.05);
     }
 

@@ -17,7 +17,12 @@ fn resistor_ladder_matches_divider_formula() {
 
         let mut ckt = Circuit::new();
         let top = ckt.node("n0");
-        ckt.voltage_source("V", top, Circuit::GROUND, Waveform::dc(Voltage::from_volts(v_in)));
+        ckt.voltage_source(
+            "V",
+            top,
+            Circuit::GROUND,
+            Waveform::dc(Voltage::from_volts(v_in)),
+        );
         let mut prev = top;
         let mut nodes = Vec::new();
         for (i, &r) in r_kohms.iter().enumerate() {
@@ -42,7 +47,10 @@ fn resistor_ladder_matches_divider_formula() {
             let v = ckt.dc_voltage(node).expect("solves").as_volts();
             // GMIN introduces a tiny systematic error; 0.1% is plenty.
             let _ = &x;
-            assert!(approx_eq(v, expected, 1e-3), "case {case}, node {i}: {v} vs {expected}");
+            assert!(
+                approx_eq(v, expected, 1e-3),
+                "case {case}, node {i}: {v} vs {expected}"
+            );
         }
     }
 }
@@ -60,18 +68,36 @@ fn rc_settling_matches_tau() {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let out = ckt.node("out");
-        ckt.voltage_source("V", vin, Circuit::GROUND, Waveform::step(Voltage::from_volts(v)));
+        ckt.voltage_source(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::step(Voltage::from_volts(v)),
+        );
         ckt.resistor("R", vin, out, Resistance::from_kilo_ohms(r_kohm));
-        ckt.capacitor("C", out, Circuit::GROUND, Capacitance::from_femtofarads(c_ff));
+        ckt.capacitor(
+            "C",
+            out,
+            Circuit::GROUND,
+            Capacitance::from_femtofarads(c_ff),
+        );
         let tau_s = r_kohm * 1e3 * c_ff * 1e-15;
         let cfg = TransientConfig::new(
             Time::from_seconds(8.0 * tau_s),
             Time::from_seconds(tau_s / 200.0),
         );
         let trace = ckt.transient(&cfg).expect("rc runs");
-        assert!(approx_eq(trace.last_voltage(out).as_volts(), v, 2e-3), "case {case}");
+        assert!(
+            approx_eq(trace.last_voltage(out).as_volts(), v, 2e-3),
+            "case {case}"
+        );
         let t63 = trace
-            .crossing(out, Voltage::from_volts(v * 0.632), ppatc_spice::Edge::Rising, Time::zero())
+            .crossing(
+                out,
+                Voltage::from_volts(v * 0.632),
+                ppatc_spice::Edge::Rising,
+                Time::zero(),
+            )
             .expect("63% crossing exists");
         assert!(
             approx_eq(t63.as_seconds(), tau_s, 0.03),
@@ -93,10 +119,19 @@ fn source_charge_equals_cv() {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let out = ckt.node("out");
-        let src =
-            ckt.voltage_source("V", vin, Circuit::GROUND, Waveform::step(Voltage::from_volts(v)));
+        let src = ckt.voltage_source(
+            "V",
+            vin,
+            Circuit::GROUND,
+            Waveform::step(Voltage::from_volts(v)),
+        );
         ckt.resistor("R", vin, out, Resistance::from_kilo_ohms(1.0));
-        ckt.capacitor("C", out, Circuit::GROUND, Capacitance::from_femtofarads(c_ff));
+        ckt.capacitor(
+            "C",
+            out,
+            Circuit::GROUND,
+            Capacitance::from_femtofarads(c_ff),
+        );
         let tau_s = 1e3 * c_ff * 1e-15;
         let cfg = TransientConfig::new(
             Time::from_seconds(10.0 * tau_s),
@@ -104,6 +139,10 @@ fn source_charge_equals_cv() {
         );
         let trace = ckt.transient(&cfg).expect("rc runs");
         let q = trace.source_charge(src).as_femtocoulombs();
-        assert!(approx_eq(q, c_ff * v, 0.02), "case {case}: Q {q} vs {}", c_ff * v);
+        assert!(
+            approx_eq(q, c_ff * v, 0.02),
+            "case {case}: Q {q} vs {}",
+            c_ff * v
+        );
     }
 }

@@ -1,0 +1,74 @@
+//! Conversion round-trip tests for the unit conversions the carbon model
+//! leans on hardest: Eq. 2 multiplies gCO₂e/kWh grid intensities by kWh
+//! fab energies and mm² die areas, and tCDP integrates over month-quoted
+//! lifetimes — a silent factor error in any one of these corrupts every
+//! figure downstream.
+
+use ppatc_units::{Area, CarbonIntensity, Energy, Time};
+
+const SECONDS_PER_MONTH: f64 = 365.25 / 12.0 * 86_400.0; // mean Julian-year month
+const JOULES_PER_KWH: f64 = 3.6e6;
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * b.abs().max(1.0)
+}
+
+#[test]
+fn kwh_joule_round_trip() {
+    // Fig. 2b: 699 kWh per wafer.
+    let e = Energy::from_kilowatt_hours(699.0);
+    assert!(rel_close(e.as_joules(), 699.0 * JOULES_PER_KWH));
+    assert!(rel_close(e.as_kilowatt_hours(), 699.0));
+    let back = Energy::from_joules(e.as_joules());
+    assert!(rel_close(back.as_kilowatt_hours(), 699.0));
+}
+
+#[test]
+fn square_millimeter_square_meter_round_trip() {
+    // A 300 mm wafer is ~70,686 mm².
+    let a = Area::from_square_millimeters(70_686.0);
+    assert!(rel_close(a.as_square_meters(), 70_686.0 * 1e-6));
+    let back = Area::from_square_meters(a.as_square_meters());
+    assert!(rel_close(back.as_square_millimeters(), 70_686.0));
+}
+
+#[test]
+fn carbon_intensity_g_per_kwh_g_per_joule_round_trip() {
+    // Fig. 2c: U.S. grid, 380 gCO₂e/kWh.
+    let us = CarbonIntensity::from_g_per_kwh(380.0);
+    // The base value is gCO₂e/J.
+    assert!(rel_close(us.value(), 380.0 / JOULES_PER_KWH));
+    let back = CarbonIntensity::new(us.value());
+    assert!(rel_close(back.as_g_per_kwh(), 380.0));
+}
+
+#[test]
+fn months_seconds_round_trip() {
+    // The paper's lifetime axis runs in months (tCDP at 24 months).
+    let life = Time::from_months(24.0);
+    assert!(rel_close(life.as_seconds(), 24.0 * SECONDS_PER_MONTH));
+    let back = Time::from_seconds(life.as_seconds());
+    assert!(rel_close(back.as_months(), 24.0));
+}
+
+#[test]
+fn intensity_times_energy_recovers_known_mass() {
+    // 380 gCO₂e/kWh × 699 kWh = 265.62 kgCO₂e — the per-wafer fab
+    // electricity carbon in the paper's baseline U.S. scenario.
+    let c = CarbonIntensity::from_g_per_kwh(380.0) * Energy::from_kilowatt_hours(699.0);
+    assert!(rel_close(c.as_kilograms(), 265.62));
+}
+
+#[test]
+fn conversions_compose_through_mixed_paths() {
+    // kWh → J → kWh survives scaling by an area ratio (dimensionless),
+    // mirroring how the embodied pipeline splits wafer energy across dies.
+    let wafer = Energy::from_kilowatt_hours(699.0);
+    let die_share = Area::from_square_millimeters(0.139).as_square_meters()
+        / Area::from_square_millimeters(70_686.0).as_square_meters();
+    let per_die = Energy::from_joules(wafer.as_joules() * die_share);
+    assert!(rel_close(
+        per_die.as_kilowatt_hours(),
+        699.0 * (0.139 / 70_686.0)
+    ));
+}

@@ -128,7 +128,11 @@ impl WaferSpec {
             edge_clearance.as_meters() < diameter.as_meters(),
             "edge clearance exceeds the wafer"
         );
-        Self { diameter, edge_clearance, scribe }
+        Self {
+            diameter,
+            edge_clearance,
+            scribe,
+        }
     }
 
     /// Wafer diameter.
@@ -255,11 +259,17 @@ mod tests {
     use ppatc_units::approx_eq;
 
     fn all_si_die() -> DieSpec {
-        DieSpec::new(Length::from_micrometers(515.0), Length::from_micrometers(270.0))
+        DieSpec::new(
+            Length::from_micrometers(515.0),
+            Length::from_micrometers(270.0),
+        )
     }
 
     fn m3d_die() -> DieSpec {
-        DieSpec::new(Length::from_micrometers(334.0), Length::from_micrometers(159.0))
+        DieSpec::new(
+            Length::from_micrometers(334.0),
+            Length::from_micrometers(159.0),
+        )
     }
 
     #[test]
@@ -292,8 +302,16 @@ mod tests {
             &YieldModel::Fixed(0.50),
             m3d_die().area(),
         );
-        assert!(approx_eq(si.as_grams(), 3.11, 0.005), "all-Si {} g", si.as_grams());
-        assert!(approx_eq(m3d.as_grams(), 3.63, 0.005), "M3D {} g", m3d.as_grams());
+        assert!(
+            approx_eq(si.as_grams(), 3.11, 0.005),
+            "all-Si {} g",
+            si.as_grams()
+        );
+        assert!(
+            approx_eq(m3d.as_grams(), 3.63, 0.005),
+            "M3D {} g",
+            m3d.as_grams()
+        );
         // Sec. III-C: a 1.17× per-good-die increase for M3D.
         assert!(approx_eq(m3d / si, 1.17, 0.01));
     }
@@ -307,10 +325,17 @@ mod tests {
         // layout data.
         let wafer = WaferSpec::paper_default();
         let area_ratio = all_si_die().area() / m3d_die().area();
-        assert!(approx_eq(area_ratio, 2.62, 0.02), "area ratio {area_ratio:.3}");
+        assert!(
+            approx_eq(area_ratio, 2.62, 0.02),
+            "area ratio {area_ratio:.3}"
+        );
         let good_si = wafer.dies_per_wafer(&all_si_die()) as f64 * 0.90;
         let good_m3d = wafer.dies_per_wafer(&m3d_die()) as f64 * 0.50;
-        assert!(approx_eq(good_m3d / good_si, 1.13, 0.02), "good-die ratio {:.3}", good_m3d / good_si);
+        assert!(
+            approx_eq(good_m3d / good_si, 1.13, 0.02),
+            "good-die ratio {:.3}",
+            good_m3d / good_si
+        );
     }
 
     #[test]
@@ -322,7 +347,10 @@ mod tests {
     #[test]
     fn oversized_die_gives_zero() {
         let wafer = WaferSpec::paper_default();
-        let huge = DieSpec::new(Length::from_millimeters(400.0), Length::from_millimeters(400.0));
+        let huge = DieSpec::new(
+            Length::from_millimeters(400.0),
+            Length::from_millimeters(400.0),
+        );
         assert_eq!(wafer.dies_per_wafer(&huge), 0);
     }
 
@@ -332,7 +360,11 @@ mod tests {
         let d0 = 0.1;
         let poisson = YieldModel::Poisson { d0_per_cm2: d0 }.die_yield(a);
         let murphy = YieldModel::Murphy { d0_per_cm2: d0 }.die_yield(a);
-        let nb = YieldModel::NegativeBinomial { d0_per_cm2: d0, alpha: 2.0 }.die_yield(a);
+        let nb = YieldModel::NegativeBinomial {
+            d0_per_cm2: d0,
+            alpha: 2.0,
+        }
+        .die_yield(a);
         assert!(approx_eq(poisson, murphy, 1e-4));
         assert!(approx_eq(poisson, nb, 1e-4));
         assert!(poisson < 1.0);
@@ -352,11 +384,18 @@ mod tests {
         let a = Area::from_square_centimeters(1.0);
         let d0 = 0.3;
         let poisson = YieldModel::Poisson { d0_per_cm2: d0 }.die_yield(a);
-        let nb_large_alpha =
-            YieldModel::NegativeBinomial { d0_per_cm2: d0, alpha: 1e6 }.die_yield(a);
+        let nb_large_alpha = YieldModel::NegativeBinomial {
+            d0_per_cm2: d0,
+            alpha: 1e6,
+        }
+        .die_yield(a);
         assert!(approx_eq(poisson, nb_large_alpha, 1e-4));
         // Small alpha (clustered defects) improves yield.
-        let nb_clustered = YieldModel::NegativeBinomial { d0_per_cm2: d0, alpha: 0.5 }.die_yield(a);
+        let nb_clustered = YieldModel::NegativeBinomial {
+            d0_per_cm2: d0,
+            alpha: 0.5,
+        }
+        .die_yield(a);
         assert!(nb_clustered > poisson);
     }
 

@@ -22,8 +22,15 @@ struct Options {
 
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
-    let kernel = args.next().ok_or("usage: embench <kernel|all> [--reps N] [--vcd FILE] [--disasm]")?;
-    let mut opts = Options { kernel, reps: None, vcd: None, disasm: false };
+    let kernel = args
+        .next()
+        .ok_or("usage: embench <kernel|all> [--reps N] [--vcd FILE] [--disasm]")?;
+    let mut opts = Options {
+        kernel,
+        reps: None,
+        vcd: None,
+        disasm: false,
+    };
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--reps" => {
@@ -91,7 +98,11 @@ fn main() -> ExitCode {
             Some(w) => vec![w],
             None => {
                 let names: Vec<_> = suite.iter().map(|w| w.name()).collect();
-                eprintln!("unknown kernel `{}`; available: {}", opts.kernel, names.join(", "));
+                eprintln!(
+                    "unknown kernel `{}`; available: {}",
+                    opts.kernel,
+                    names.join(", ")
+                );
                 return ExitCode::FAILURE;
             }
         }

@@ -19,6 +19,10 @@ pub fn matmul_int() -> Workload {
 pub(crate) const MATMUL_DEFAULT_REPS: u32 = 186;
 const N: usize = 20;
 
+/// # Panics
+///
+/// If `reps` is outside `1..=255` (it must fit the kernel's 8-bit
+/// loop counter); registered kernels always pass defaults in range.
 fn matmul_source(reps: u32) -> String {
     assert!((1..=255).contains(&reps), "matmul reps must be 1-255");
     format!(
@@ -128,6 +132,10 @@ pub fn crc32() -> Workload {
     )
 }
 
+/// # Panics
+///
+/// If `reps` is outside `1..=255` (it must fit the kernel's 8-bit
+/// loop counter); registered kernels always pass defaults in range.
 fn crc32_source(reps: u32) -> String {
     assert!((1..=255).contains(&reps), "crc32 reps must be 1-255");
     format!(
@@ -201,6 +209,10 @@ pub fn edn() -> Workload {
     )
 }
 
+/// # Panics
+///
+/// If `reps` is outside `1..=255` (it must fit the kernel's 8-bit
+/// loop counter); registered kernels always pass defaults in range.
 fn edn_source(reps: u32) -> String {
     assert!((1..=255).contains(&reps), "edn reps must be 1-255");
     format!(
@@ -268,6 +280,10 @@ pub fn bubblesort() -> Workload {
     )
 }
 
+/// # Panics
+///
+/// If `reps` is outside `1..=255` (it must fit the kernel's 8-bit
+/// loop counter); registered kernels always pass defaults in range.
 fn bubblesort_source(reps: u32) -> String {
     assert!((1..=255).contains(&reps), "bubblesort reps must be 1-255");
     format!(
@@ -328,7 +344,9 @@ fn bubblesort_source(reps: u32) -> String {
 }
 
 fn bubblesort_golden() -> u32 {
-    let mut arr: Vec<u32> = (0..128usize).map(|i| ((37 * i + 11) & 0xFF) as u32).collect();
+    let mut arr: Vec<u32> = (0..128usize)
+        .map(|i| ((37 * i + 11) & 0xFF) as u32)
+        .collect();
     arr.sort_unstable();
     arr[0]
         .wrapping_add(arr[64].wrapping_mul(2))
@@ -346,6 +364,10 @@ pub fn sieve() -> Workload {
     )
 }
 
+/// # Panics
+///
+/// If `reps` is outside `1..=255` (it must fit the kernel's 8-bit
+/// loop counter); registered kernels always pass defaults in range.
 fn sieve_source(reps: u32) -> String {
     assert!((1..=255).contains(&reps), "sieve reps must be 1-255");
     format!(
@@ -420,6 +442,10 @@ pub fn fir() -> Workload {
     )
 }
 
+/// # Panics
+///
+/// If `reps` is outside `1..=255` (it must fit the kernel's 8-bit
+/// loop counter); registered kernels always pass defaults in range.
 fn fir_source(reps: u32) -> String {
     assert!((1..=255).contains(&reps), "fir reps must be 1-255");
     format!(
@@ -546,7 +572,11 @@ mod tests {
         for b in data {
             crc ^= u32::from(b);
             for _ in 0..8 {
-                crc = if crc & 1 == 1 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
             }
         }
         assert_eq!(run.checksum, !crc);
@@ -583,8 +613,6 @@ mod tests {
         // the run, so its write→read intervals far exceed the dot product's.
         let fir_run = check(fir());
         let edn_run = check(edn());
-        assert!(
-            fir_run.stats.max_write_to_read_cycles > edn_run.stats.max_write_to_read_cycles
-        );
+        assert!(fir_run.stats.max_write_to_read_cycles > edn_run.stats.max_write_to_read_cycles);
     }
 }

@@ -19,6 +19,10 @@ pub fn mont64() -> Workload {
     )
 }
 
+/// # Panics
+///
+/// If `reps` is outside `1..=255` (it must fit the kernel's 8-bit
+/// loop counter); registered kernels always pass defaults in range.
 fn mont64_source(reps: u32) -> String {
     assert!((1..=255).contains(&reps), "mont64 reps must be 1-255");
     format!(
@@ -126,6 +130,10 @@ pub fn huffman() -> Workload {
     )
 }
 
+/// # Panics
+///
+/// If `reps` is outside `1..=255` (it must fit the kernel's 8-bit
+/// loop counter); registered kernels always pass defaults in range.
 fn huffman_source(reps: u32) -> String {
     assert!((1..=255).contains(&reps), "huffman reps must be 1-255");
     format!(
@@ -232,6 +240,10 @@ pub fn nbody_fx() -> Workload {
     )
 }
 
+/// # Panics
+///
+/// If `reps` is outside `1..=255` (it must fit the kernel's 8-bit
+/// loop counter); registered kernels always pass defaults in range.
 fn nbody_source(reps: u32) -> String {
     assert!((1..=255).contains(&reps), "nbody reps must be 1-255");
     format!(
@@ -314,13 +326,13 @@ fn nbody_source(reps: u32) -> String {
 }
 
 fn nbody_golden() -> u32 {
-    let mut x: Vec<i32> = (0..8i64)
-        .map(|i| ((i * i * 17) & 0x3FFF) as i32)
-        .collect();
+    let mut x: Vec<i32> = (0..8i64).map(|i| ((i * i * 17) & 0x3FFF) as i32).collect();
     let mut v = [0i32; 8];
     for _ in 0..32 {
         for i in 1..7usize {
-            let f = x[i - 1].wrapping_add(x[i + 1]).wrapping_sub(2i32.wrapping_mul(x[i]));
+            let f = x[i - 1]
+                .wrapping_add(x[i + 1])
+                .wrapping_sub(2i32.wrapping_mul(x[i]));
             v[i] = v[i].wrapping_add(f >> 4);
         }
         for i in 0..8usize {
@@ -355,6 +367,10 @@ fn fsm_table() -> Vec<u32> {
         .collect()
 }
 
+/// # Panics
+///
+/// If `reps` is outside `1..=255` (it must fit the kernel's 8-bit
+/// loop counter); registered kernels always pass defaults in range.
 fn fsm_source(reps: u32) -> String {
     assert!((1..=255).contains(&reps), "fsm reps must be 1-255");
     let table_words: String = fsm_table()

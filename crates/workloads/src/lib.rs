@@ -135,7 +135,13 @@ impl Workload {
         source: fn(u32) -> String,
         golden: fn() -> u32,
     ) -> Self {
-        Self { name, description, default_reps, source, golden }
+        Self {
+            name,
+            description,
+            default_reps,
+            source,
+            golden,
+        }
     }
 
     /// Kernel name (Embench-style).
@@ -251,7 +257,11 @@ impl core::fmt::Display for WorkloadError {
         match self {
             WorkloadError::Assemble(e) => write!(f, "kernel failed to assemble: {e}"),
             WorkloadError::Execute(e) => write!(f, "kernel failed to run: {e}"),
-            WorkloadError::ChecksumMismatch { workload, expected, actual } => write!(
+            WorkloadError::ChecksumMismatch {
+                workload,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "`{workload}` checksum {actual:#010x} does not match golden {expected:#010x}"
             ),
@@ -306,7 +316,9 @@ mod tests {
 
     #[test]
     fn memory_traffic_is_recorded() {
-        let run = Workload::bubblesort().execute_with_reps(1).expect("should run");
+        let run = Workload::bubblesort()
+            .execute_with_reps(1)
+            .expect("should run");
         assert!(run.stats.data_reads > 100);
         assert!(run.stats.data_writes > 100);
         assert!(run.stats.instruction_fetches > run.stats.data_reads);

@@ -42,15 +42,24 @@ fn main() {
     println!("== fabrication energy (EPA, kWh per 300 mm wafer) ==");
     for (label, flow) in [
         ("all-Si", ProcessFlow::for_technology(Technology::AllSi)),
-        ("M3D 2xCNFET+IGZO", ProcessFlow::for_technology(Technology::M3dIgzoCnfetSi)),
+        (
+            "M3D 2xCNFET+IGZO",
+            ProcessFlow::for_technology(Technology::M3dIgzoCnfetSi),
+        ),
         ("1-tier CNFET/Si", custom_flow.clone()),
     ] {
         let epa = model.epa(&flow).as_kilowatt_hours();
-        println!("{label:<18} {epa:>8.1} kWh  ({} BEOL steps)", flow.steps().len());
+        println!(
+            "{label:<18} {epa:>8.1} kWh  ({} BEOL steps)",
+            flow.steps().len()
+        );
     }
 
     println!("\n== embodied carbon per wafer across grids (kgCO2e) ==");
-    println!("{:<18}{:>10}{:>10}{:>10}{:>10}", "process", "U.S.", "coal", "solar", "Taiwan");
+    println!(
+        "{:<18}{:>10}{:>10}{:>10}{:>10}",
+        "process", "U.S.", "coal", "solar", "Taiwan"
+    );
     for (label, breakdown_of) in [
         ("all-Si", Technology::AllSi),
         ("M3D 2xCNFET+IGZO", Technology::M3dIgzoCnfetSi),

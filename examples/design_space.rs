@@ -5,7 +5,9 @@
 //! cargo run --release --example design_space
 //! ```
 
-use ppatc::{CaseStudy, EmbodiedPipeline, Lifetime, SystemDesign, Technology, UsagePattern, YieldModel};
+use ppatc::{
+    CaseStudy, EmbodiedPipeline, Lifetime, SystemDesign, Technology, UsagePattern, YieldModel,
+};
 use ppatc_pdk::synthesis::LogicBlock;
 use ppatc_pdk::SiVtFlavor;
 use ppatc_units::Frequency;
@@ -64,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ratio = study.tcdp_ratio(life);
         println!(
             "yield {yield_pct:>3}%: tCDP(M3D)/tCDP(all-Si) = {ratio:.3}  ({})",
-            if ratio < 1.0 { "M3D wins" } else { "all-Si wins" }
+            if ratio < 1.0 {
+                "M3D wins"
+            } else {
+                "all-Si wins"
+            }
         );
     }
     Ok(())

@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== standby power for state-retentive sleep (22 h gap) ==");
     for tech in Technology::ALL {
         let design = SystemDesign::new(tech, f)?;
-        let p = standby_power(&design, StandbyPolicy::StateRetentive, Time::from_hours(22.0));
+        let p = standby_power(
+            &design,
+            StandbyPolicy::StateRetentive,
+            Time::from_hours(22.0),
+        );
         println!(
             "{tech:<18} {:>8.1} µW  (retention {:.1e} s)",
             p.as_microwatts(),
@@ -52,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             c.power.as_milliwatts()
         );
     }
-    println!("Pareto front (time vs tCDP): {} designs", optimizer.pareto_front(&run).len());
+    println!(
+        "Pareto front (time vs tCDP): {} designs",
+        optimizer.pareto_front(&run).len()
+    );
 
     // ---- 3. water ----
     println!("\n== fabrication water footprint ==");

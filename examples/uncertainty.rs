@@ -21,8 +21,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let perturbations: [(&str, Option<Perturbation>); 7] = [
         ("nominal", None),
-        ("lifetime -6 mo", Some(Perturbation::LifetimeDeltaMonths(-6.0))),
-        ("lifetime +6 mo", Some(Perturbation::LifetimeDeltaMonths(6.0))),
+        (
+            "lifetime -6 mo",
+            Some(Perturbation::LifetimeDeltaMonths(-6.0)),
+        ),
+        (
+            "lifetime +6 mo",
+            Some(Perturbation::LifetimeDeltaMonths(6.0)),
+        ),
         ("CI_use / 3", Some(Perturbation::CiUseScale(1.0 / 3.0))),
         ("CI_use x 3", Some(Perturbation::CiUseScale(3.0))),
         ("M3D yield 10%", Some(Perturbation::M3dYield(0.10))),

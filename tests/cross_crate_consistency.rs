@@ -2,7 +2,7 @@
 //! compute (or imply) independently must agree.
 
 use ppatc::{Lifetime, SystemDesign, Technology};
-use ppatc_fab::{grid, EmbodiedModel, ProcessFlow, ProcessArea};
+use ppatc_fab::{grid, EmbodiedModel, ProcessArea, ProcessFlow};
 use ppatc_pdk::{LayerStack, Lithography, TierKind};
 use ppatc_units::{approx_eq, Frequency};
 use ppatc_workloads::Workload;
@@ -56,8 +56,8 @@ fn system_area_is_the_sum_of_its_parts() {
 #[test]
 fn evaluate_equals_evaluate_counts() {
     let run = Workload::edn().execute_with_reps(1).expect("edn runs");
-    let d = SystemDesign::new(Technology::AllSi, Frequency::from_megahertz(500.0))
-        .expect("designs");
+    let d =
+        SystemDesign::new(Technology::AllSi, Frequency::from_megahertz(500.0)).expect("designs");
     assert_eq!(d.evaluate(&run), d.evaluate_counts(run.cycles, &run.stats));
 }
 

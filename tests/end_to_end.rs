@@ -9,7 +9,11 @@ use std::sync::OnceLock;
 
 fn full_matmul() -> &'static WorkloadRun {
     static RUN: OnceLock<WorkloadRun> = OnceLock::new();
-    RUN.get_or_init(|| Workload::matmul_int().execute().expect("matmul-int executes"))
+    RUN.get_or_init(|| {
+        Workload::matmul_int()
+            .execute()
+            .expect("matmul-int executes")
+    })
 }
 
 fn study() -> &'static CaseStudy {
@@ -29,11 +33,7 @@ fn headline_claim_m3d_is_more_carbon_efficient_at_24_months() {
 
 #[test]
 fn workload_cycle_count_matches_table2() {
-    assert!(approx_eq(
-        full_matmul().cycles as f64,
-        20_047_348.0,
-        0.01
-    ));
+    assert!(approx_eq(full_matmul().cycles as f64, 20_047_348.0, 0.01));
 }
 
 #[test]
@@ -44,7 +44,9 @@ fn embodied_carbon_ranking_holds_on_every_grid() {
     let model = EmbodiedModel::paper_default();
     for g in grid::FIG2C_GRIDS {
         let si = model.embodied_per_wafer(Technology::AllSi, g).total();
-        let m3d = model.embodied_per_wafer(Technology::M3dIgzoCnfetSi, g).total();
+        let m3d = model
+            .embodied_per_wafer(Technology::M3dIgzoCnfetSi, g)
+            .total();
         assert!(m3d > si, "{}", g.name());
     }
 }
@@ -103,7 +105,10 @@ fn per_workload_memory_energy_tracks_access_rate() {
     }
     rates_and_energies.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
     for pair in rates_and_energies.windows(2) {
-        assert!(pair[1].1 >= pair[0].1, "energy must track access rate: {rates_and_energies:?}");
+        assert!(
+            pair[1].1 >= pair[0].1,
+            "energy must track access rate: {rates_and_energies:?}"
+        );
     }
 }
 

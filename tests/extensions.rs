@@ -19,13 +19,21 @@ fn the_three_footprints_tell_one_story() {
     let si = ProcessFlow::for_technology(Technology::AllSi);
     let m3d = ProcessFlow::for_technology(Technology::M3dIgzoCnfetSi);
     let carbon = EmbodiedModel::paper_default();
-    let carbon_ratio = carbon.embodied_per_wafer(Technology::M3dIgzoCnfetSi, grid::US).total()
-        / carbon.embodied_per_wafer(Technology::AllSi, grid::US).total();
-    let cost_ratio =
-        CostModel::typical_7nm().cost_per_wafer(&m3d) / CostModel::typical_7nm().cost_per_wafer(&si);
-    let water_ratio =
-        WaterModel::typical_7nm().upw_per_wafer(&m3d) / WaterModel::typical_7nm().upw_per_wafer(&si);
-    for (name, r) in [("carbon", carbon_ratio), ("cost", cost_ratio), ("water", water_ratio)] {
+    let carbon_ratio = carbon
+        .embodied_per_wafer(Technology::M3dIgzoCnfetSi, grid::US)
+        .total()
+        / carbon
+            .embodied_per_wafer(Technology::AllSi, grid::US)
+            .total();
+    let cost_ratio = CostModel::typical_7nm().cost_per_wafer(&m3d)
+        / CostModel::typical_7nm().cost_per_wafer(&si);
+    let water_ratio = WaterModel::typical_7nm().upw_per_wafer(&m3d)
+        / WaterModel::typical_7nm().upw_per_wafer(&si);
+    for (name, r) in [
+        ("carbon", carbon_ratio),
+        ("cost", cost_ratio),
+        ("water", water_ratio),
+    ] {
         assert!((1.15..1.7).contains(&r), "{name} ratio {r:.2}");
     }
 }
@@ -36,7 +44,9 @@ fn act_validates_the_baseline_but_not_the_m3d_gap() {
     let act = ActNode::n7().embodied(wafer, grid::US);
     let ours = EmbodiedModel::paper_default();
     let si = ours.embodied_per_wafer(Technology::AllSi, grid::US).total();
-    let m3d = ours.embodied_per_wafer(Technology::M3dIgzoCnfetSi, grid::US).total();
+    let m3d = ours
+        .embodied_per_wafer(Technology::M3dIgzoCnfetSi, grid::US)
+        .total();
     // Bottom-up all-Si agrees with the top-down ACT band…
     assert!((0.7..1.3).contains(&(si / act)));
     // …but ACT has no way to express the M3D flow, whose footprint sits
@@ -46,7 +56,9 @@ fn act_validates_the_baseline_but_not_the_m3d_gap() {
 
 #[test]
 fn standby_and_montecarlo_compose_with_the_case_study() {
-    let run = Workload::matmul_int().execute_with_reps(4).expect("matmul runs");
+    let run = Workload::matmul_int()
+        .execute_with_reps(4)
+        .expect("matmul runs");
     let study = ppatc::CaseStudy::paper(&run).expect("case study builds");
 
     // Monte Carlo at the nominal point is contested.
@@ -69,7 +81,9 @@ fn standby_and_montecarlo_compose_with_the_case_study() {
 
 #[test]
 fn optimizer_agrees_with_the_case_study_at_the_papers_point() {
-    let run = Workload::matmul_int().execute_with_reps(4).expect("matmul runs");
+    let run = Workload::matmul_int()
+        .execute_with_reps(4)
+        .expect("matmul runs");
     let study = ppatc::CaseStudy::paper(&run).expect("case study builds");
     let space = DesignSpace::new(
         Technology::ALL.to_vec(),
@@ -88,7 +102,11 @@ fn optimizer_agrees_with_the_case_study_at_the_papers_point() {
             .find(|c| c.technology == Technology::AllSi)
             .expect("all-Si candidate")
             .tcdp;
-    assert!(approx_eq(ratio, study.tcdp_ratio(Lifetime::months(24.0)), 1e-9));
+    assert!(approx_eq(
+        ratio,
+        study.tcdp_ratio(Lifetime::months(24.0)),
+        1e-9
+    ));
 }
 
 #[test]

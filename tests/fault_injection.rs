@@ -226,7 +226,9 @@ fn blown_failure_budget_is_an_error_not_a_panic() {
     })
     .expect_err("nothing survives");
     match err {
-        PpatcError::FailureBudgetExceeded { failed, samples, .. } => {
+        PpatcError::FailureBudgetExceeded {
+            failed, samples, ..
+        } => {
             assert_eq!(failed, 50);
             assert_eq!(samples, 50);
         }
@@ -246,9 +248,20 @@ fn inverter_at_midrail() -> (Circuit, ppatc_spice::NodeId) {
     let nin = c.node("in");
     let nout = c.node("out");
     c.voltage_source("VDD", nvdd, Circuit::GROUND, Waveform::dc(vdd));
-    c.voltage_source("VIN", nin, Circuit::GROUND, Waveform::dc(Voltage::from_volts(0.35)));
+    c.voltage_source(
+        "VIN",
+        nin,
+        Circuit::GROUND,
+        Waveform::dc(Voltage::from_volts(0.35)),
+    );
     c.fet("MP", nout, nin, nvdd, si::pfet(SiVtFlavor::Rvt).sized(w));
-    c.fet("MN", nout, nin, Circuit::GROUND, si::nfet(SiVtFlavor::Rvt).sized(w));
+    c.fet(
+        "MN",
+        nout,
+        nin,
+        Circuit::GROUND,
+        si::nfet(SiVtFlavor::Rvt).sized(w),
+    );
     (c, nout)
 }
 
@@ -293,8 +306,18 @@ fn recovery_ladder_rescues_a_starved_solve_and_logs_the_path() {
 fn singular_topologies_fail_fast_with_a_structured_error() {
     let mut c = Circuit::new();
     let a = c.node("a");
-    c.voltage_source("V1", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(1.0)));
-    c.voltage_source("V2", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(2.0)));
+    c.voltage_source(
+        "V1",
+        a,
+        Circuit::GROUND,
+        Waveform::dc(Voltage::from_volts(1.0)),
+    );
+    c.voltage_source(
+        "V2",
+        a,
+        Circuit::GROUND,
+        Waveform::dc(Voltage::from_volts(2.0)),
+    );
     let err = no_panic("singular circuit", || c.dc_operating_point_recovered())
         .expect_err("conflicting ideal sources are singular");
     assert!(matches!(err, SpiceError::SingularMatrix { .. }), "{err}");

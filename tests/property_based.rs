@@ -26,8 +26,14 @@ fn unit_arithmetic_is_consistent() {
         let p = Power::from_watts(a);
         let t = Time::from_seconds(b);
         let e = p * t;
-        assert!(approx_eq((e / t).as_watts(), a, 1e-12), "case {case}: a={a}, b={b}");
-        assert!(approx_eq((e / p).as_seconds(), b, 1e-12), "case {case}: a={a}, b={b}");
+        assert!(
+            approx_eq((e / t).as_watts(), a, 1e-12),
+            "case {case}: a={a}, b={b}"
+        );
+        assert!(
+            approx_eq((e / p).as_seconds(), b, 1e-12),
+            "case {case}: a={a}, b={b}"
+        );
     }
 }
 
@@ -39,7 +45,10 @@ fn carbon_intensity_round_trip() {
         let kwh = rng.uniform(0.0, 1e6);
         let ci = CarbonIntensity::from_g_per_kwh(g_per_kwh);
         let c = ci * Energy::from_kilowatt_hours(kwh);
-        assert!(approx_eq(c.as_grams(), g_per_kwh * kwh, 1e-9), "case {case}");
+        assert!(
+            approx_eq(c.as_grams(), g_per_kwh * kwh, 1e-9),
+            "case {case}"
+        );
     }
 }
 
@@ -82,7 +91,10 @@ fn drain_current_antisymmetric_under_terminal_swap() {
         let model = si::nfet(SiVtFlavor::Lvt);
         let fwd = model.current_per_width(vgs, vds);
         let rev = model.current_per_width(vgs - vds, -vds);
-        assert!(approx_eq(fwd, -rev, 1e-9), "case {case}: vgs={vgs}, vds={vds}");
+        assert!(
+            approx_eq(fwd, -rev, 1e-9),
+            "case {case}: vgs={vgs}, vds={vds}"
+        );
     }
 }
 
@@ -96,7 +108,10 @@ fn dies_per_wafer_decreases_with_die_size() {
         let h_um = rng.uniform(100.0, 2000.0);
         let grow = rng.uniform(1.01, 3.0);
         let wafer = WaferSpec::paper_default();
-        let small = DieSpec::new(Length::from_micrometers(w_um), Length::from_micrometers(h_um));
+        let small = DieSpec::new(
+            Length::from_micrometers(w_um),
+            Length::from_micrometers(h_um),
+        );
         let big = DieSpec::new(
             Length::from_micrometers(w_um * grow),
             Length::from_micrometers(h_um * grow),
@@ -119,9 +134,16 @@ fn yield_models_stay_in_unit_interval() {
         for y in [
             YieldModel::Poisson { d0_per_cm2: d0 }.die_yield(a),
             YieldModel::Murphy { d0_per_cm2: d0 }.die_yield(a),
-            YieldModel::NegativeBinomial { d0_per_cm2: d0, alpha }.die_yield(a),
+            YieldModel::NegativeBinomial {
+                d0_per_cm2: d0,
+                alpha,
+            }
+            .die_yield(a),
         ] {
-            assert!((0.0..=1.0).contains(&y), "case {case}: yield {y} out of range");
+            assert!(
+                (0.0..=1.0).contains(&y),
+                "case {case}: yield {y} out of range"
+            );
         }
     }
 }
@@ -135,7 +157,10 @@ fn murphy_bounds_poisson_from_above() {
         let a = Area::from_square_millimeters(area_mm2);
         let poisson = YieldModel::Poisson { d0_per_cm2: d0 }.die_yield(a);
         let murphy = YieldModel::Murphy { d0_per_cm2: d0 }.die_yield(a);
-        assert!(murphy >= poisson - 1e-12, "case {case}: d0={d0}, A={area_mm2}");
+        assert!(
+            murphy >= poisson - 1e-12,
+            "case {case}: d0={d0}, A={area_mm2}"
+        );
     }
 }
 
@@ -175,7 +200,11 @@ fn embodied_dominance_crossover_is_exact() {
         );
         let cross = t.embodied_dominance_crossover().expect("power > 0");
         assert!(
-            approx_eq(t.operational(cross).as_grams(), t.embodied().as_grams(), 1e-9),
+            approx_eq(
+                t.operational(cross).as_grams(),
+                t.embodied().as_grams(),
+                1e-9
+            ),
             "case {case}"
         );
     }
@@ -227,10 +256,16 @@ fn movs_adds_sequences_compute_correct_sums() {
         let mut push = |i: Instruction| {
             halves.extend_from_slice(i.encode().halfwords());
         };
-        push(Instruction::MovImm { rd: Reg(0), imm8: start });
+        push(Instruction::MovImm {
+            rd: Reg(0),
+            imm8: start,
+        });
         let mut expected = u32::from(start);
         for &a in &add {
-            push(Instruction::AddImm8 { rdn: Reg(0), imm8: a });
+            push(Instruction::AddImm8 {
+                rdn: Reg(0),
+                imm8: a,
+            });
             expected = expected.wrapping_add(u32::from(a));
         }
         push(Instruction::Bkpt { imm8: 0 });
@@ -252,10 +287,13 @@ fn memory_roundtrip_random_words() {
         let words: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
         let mut mem = MemorySystem::new(&[]);
         for (i, &w) in words.iter().enumerate() {
-            mem.write_u32(DATA_BASE + 4 * i as u32, w, i as u64).expect("in range");
+            mem.write_u32(DATA_BASE + 4 * i as u32, w, i as u64)
+                .expect("in range");
         }
         for (i, &w) in words.iter().enumerate() {
-            let got = mem.read_u32(DATA_BASE + 4 * i as u32, 1000).expect("in range");
+            let got = mem
+                .read_u32(DATA_BASE + 4 * i as u32, 1000)
+                .expect("in range");
             assert_eq!(got, w, "case {case}, word {i}");
         }
         assert_eq!(mem.stats().data_writes, words.len() as u64);
@@ -340,7 +378,10 @@ fn hostile_trajectory_inputs_never_panic() {
                 Time::from_seconds(c),
             );
         }));
-        assert!(outcome.is_ok(), "case {case}: trajectory panicked on ({a}, {b}, {c})");
+        assert!(
+            outcome.is_ok(),
+            "case {case}: trajectory panicked on ({a}, {b}, {c})"
+        );
     }
 }
 
@@ -365,9 +406,13 @@ fn hostile_map_scales_are_structured_errors_across_random_maps() {
         );
         // ...still rejects every hostile scale factor with a field name.
         let v = hostile_scalar(&mut rng);
-        let e = map.try_ratio_with(v, 1.0, None).expect_err("hostile x scale");
+        let e = map
+            .try_ratio_with(v, 1.0, None)
+            .expect_err("hostile x scale");
         assert_eq!(e.field, "embodied_scale", "case {case}");
-        let e = map.try_ratio_with(1.0, v, None).expect_err("hostile y scale");
+        let e = map
+            .try_ratio_with(1.0, v, None)
+            .expect_err("hostile y scale");
         assert_eq!(e.field, "eop_scale", "case {case}");
     }
 }
