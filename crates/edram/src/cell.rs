@@ -147,9 +147,9 @@ impl BitCell {
     /// so this is the standard charge-balance estimate `C·ΔV / I_leak` —
     /// the same first-order model behind the paper's >1000 s IGZO citation.
     pub fn retention(&self) -> Time {
-        let margin = 0.2; // volts
+        let margin = Voltage::from_volts(0.2);
         let leak = self.hold_leakage().as_amperes().max(1e-30);
-        Time::from_seconds(self.c_storage.as_farads() * margin / leak)
+        Time::from_seconds(self.c_storage.as_farads() * margin.as_volts() / leak)
     }
 
     /// Runs the write and read transient characterizations with the

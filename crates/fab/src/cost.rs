@@ -43,7 +43,7 @@ impl CostModel {
             usd_wet_etch: 5.0,
             usd_metallization: 14.0,
             usd_metrology: 4.0,
-            feol_usd: 4200.0,
+            feol_usd: 4200.0, // USD per wafer, FEOL aggregate
             materials_usd: 500.0,
         }
     }

@@ -42,7 +42,7 @@ impl WaterModel {
             litres_wet_etch: 30.0,
             litres_metallization: 24.0, // plating + CMP rinse
             litres_metrology: 1.0,
-            feol_litres: 2600.0,
+            feol_litres: 2600.0, // litres UPW per wafer, FEOL aggregate
             upw_overhead: 1.6,
         }
     }

@@ -1,0 +1,582 @@
+//! The expression/statement AST produced by [`crate::parser`] for fn
+//! bodies.
+//!
+//! The tree is deliberately coarser than rustc's: patterns are flattened to
+//! binding names, types to token strings, and control flow (`if`, `match`,
+//! loops) keeps only the sub-expressions and blocks that a dataflow pass
+//! can walk. Every node carries the line/column of its first token so rule
+//! findings anchor at real source positions.
+
+/// A source position: 1-based line and column of a node's first token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (bytes).
+    pub col: u32,
+}
+
+impl Span {
+    /// Builds a span.
+    #[must_use]
+    pub const fn at(line: u32, col: u32) -> Self {
+        Self { line, col }
+    }
+}
+
+/// A binary operator, including compound assignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `=`
+    Assign,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+    /// `*=`
+    MulAssign,
+    /// `/=`
+    DivAssign,
+    /// `%=`
+    RemAssign,
+    /// `&=`
+    BitAndAssign,
+    /// `|=`
+    BitOrAssign,
+    /// `^=`
+    BitXorAssign,
+    /// `<<=`
+    ShlAssign,
+    /// `>>=`
+    ShrAssign,
+}
+
+impl BinOp {
+    /// The operator's source spelling.
+    #[must_use]
+    pub const fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Assign => "=",
+            BinOp::AddAssign => "+=",
+            BinOp::SubAssign => "-=",
+            BinOp::MulAssign => "*=",
+            BinOp::DivAssign => "/=",
+            BinOp::RemAssign => "%=",
+            BinOp::BitAndAssign => "&=",
+            BinOp::BitOrAssign => "|=",
+            BinOp::BitXorAssign => "^=",
+            BinOp::ShlAssign => "<<=",
+            BinOp::ShrAssign => ">>=",
+        }
+    }
+
+    /// `true` for `+`/`-`/`+=`/`-=`: operands must share dimension *and*
+    /// scale.
+    #[must_use]
+    pub const fn is_additive(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::AddAssign | BinOp::SubAssign
+        )
+    }
+
+    /// `true` for ordering/equality comparisons.
+    #[must_use]
+    pub const fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// A prefix unary operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `*`
+    Deref,
+    /// `&` / `&mut`
+    Ref,
+}
+
+/// A literal's coarse kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LitKind {
+    /// Integer or float literal.
+    Number,
+    /// String or byte-string literal.
+    Str,
+    /// Char literal.
+    Char,
+    /// `true` / `false`.
+    Bool,
+}
+
+/// One expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// A literal (`3.6e6`, `"grid"`, `'x'`, `true`).
+    Lit {
+        /// Kind of literal.
+        kind: LitKind,
+        /// Exact source text.
+        text: String,
+        /// Position.
+        span: Span,
+    },
+    /// A (possibly qualified) path: `x`, `Energy::from_joules`,
+    /// `self.x` is *not* a path (it is [`Expr::Field`]).
+    Path {
+        /// Path segments (`["Energy", "from_joules"]`); turbofish segments
+        /// are dropped.
+        segs: Vec<String>,
+        /// Position.
+        span: Span,
+    },
+    /// A prefix unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// A binary operation (including assignment).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Position of the operator token.
+        span: Span,
+    },
+    /// A call `callee(args)`.
+    Call {
+        /// The callee expression (usually a path).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// A method call `recv.name(args)` (turbofish dropped).
+    MethodCall {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Position of the method name.
+        span: Span,
+    },
+    /// A field access `recv.name` / tuple field `recv.0`.
+    Field {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Field name or tuple index.
+        name: String,
+        /// Position.
+        span: Span,
+    },
+    /// An index `recv[index]`.
+    Index {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// A cast `expr as Ty`.
+    Cast {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Target type tokens.
+        ty: Vec<String>,
+        /// Position.
+        span: Span,
+    },
+    /// The `?` operator.
+    Try {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// A parenthesized expression or tuple. One element without a trailing
+    /// comma is a plain group; anything else is a tuple.
+    Tuple {
+        /// Elements.
+        items: Vec<Expr>,
+        /// `true` when this is a grouping `(e)` rather than a 1-tuple.
+        group: bool,
+        /// Position.
+        span: Span,
+    },
+    /// An array literal `[a, b]` or repeat `[x; n]`.
+    Array {
+        /// Elements (for repeats: the element then the length).
+        items: Vec<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// A block expression, including `unsafe {}` bodies.
+    Block {
+        /// The block.
+        block: Block,
+        /// Position.
+        span: Span,
+    },
+    /// `if cond { .. } else ..` (`if let` keeps only the scrutinee).
+    If {
+        /// Condition (or `let`-scrutinee).
+        cond: Box<Expr>,
+        /// Then-block.
+        then: Block,
+        /// Optional else-expression (block or nested if).
+        els: Option<Box<Expr>>,
+        /// Position.
+        span: Span,
+    },
+    /// `match scrutinee { arms }`; each arm keeps guard and value exprs.
+    Match {
+        /// Scrutinee.
+        scrutinee: Box<Expr>,
+        /// Arm value expressions (guards folded in as extra entries).
+        arms: Vec<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// A loop (`loop`/`while`/`for`); keeps the iterated/condition expr
+    /// and the body.
+    Loop {
+        /// `for`-iterator or `while`-condition, when present.
+        head: Option<Box<Expr>>,
+        /// Body block.
+        body: Block,
+        /// Position.
+        span: Span,
+    },
+    /// A closure; parameter patterns are flattened to names.
+    Closure {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body expression.
+        body: Box<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// A struct literal `Path { field: expr, .. }`.
+    Struct {
+        /// The struct path segments.
+        path: Vec<String>,
+        /// `(field name, value)` pairs; shorthand fields reference a path.
+        fields: Vec<(String, Expr)>,
+        /// Optional `..base` expression.
+        base: Option<Box<Expr>>,
+        /// Position.
+        span: Span,
+    },
+    /// A range `a..b` / `a..=b` / `..b` / `a..`.
+    Range {
+        /// Start, when present.
+        lo: Option<Box<Expr>>,
+        /// End, when present.
+        hi: Option<Box<Expr>>,
+        /// Position.
+        span: Span,
+    },
+    /// `return expr?` / `break expr?` / `continue`.
+    Jump {
+        /// `"return"`, `"break"`, or `"continue"`.
+        keyword: &'static str,
+        /// Carried value, when present.
+        expr: Option<Box<Expr>>,
+        /// Position.
+        span: Span,
+    },
+    /// A macro invocation `name!(..)`; the token soup inside is dropped.
+    Macro {
+        /// Macro path (`format`, `vec`, `ppatc_units :: x`).
+        name: String,
+        /// Position.
+        span: Span,
+    },
+    /// A construct the parser does not model; produced only alongside a
+    /// recorded [`crate::parser::ParseIssue`].
+    Unknown {
+        /// Position.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The node's source position.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Lit { span, .. }
+            | Expr::Path { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::MethodCall { span, .. }
+            | Expr::Field { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Cast { span, .. }
+            | Expr::Try { span, .. }
+            | Expr::Tuple { span, .. }
+            | Expr::Array { span, .. }
+            | Expr::Block { span, .. }
+            | Expr::If { span, .. }
+            | Expr::Match { span, .. }
+            | Expr::Loop { span, .. }
+            | Expr::Closure { span, .. }
+            | Expr::Struct { span, .. }
+            | Expr::Range { span, .. }
+            | Expr::Jump { span, .. }
+            | Expr::Macro { span, .. }
+            | Expr::Unknown { span } => *span,
+        }
+    }
+}
+
+/// One statement in a block.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `let pat(: ty)? = init (else block)?;` — the pattern is flattened to
+    /// the bound names.
+    Let {
+        /// Names bound by the pattern (one for plain bindings, several for
+        /// tuple/struct destructuring).
+        names: Vec<String>,
+        /// Type-annotation tokens, when present.
+        ty: Option<Vec<String>>,
+        /// Initializer, when present.
+        init: Option<Expr>,
+        /// Position of the `let`.
+        span: Span,
+    },
+    /// An expression statement (with or without trailing `;`).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `true` when a `;` follows (the value is dropped).
+        semi: bool,
+    },
+    /// A nested item (`fn`, `const`, `use`, ...) — skipped, not modelled
+    /// (nested fns get their own [`crate::source::FnItem`]).
+    Item {
+        /// Leading keyword of the skipped item.
+        keyword: String,
+        /// Position.
+        span: Span,
+    },
+}
+
+/// A `{ ... }` block.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// The statements, in order. The final statement being a non-`semi`
+    /// [`Stmt::Expr`] makes it the block's value.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// The block's tail expression (its value), when present.
+    #[must_use]
+    pub fn tail(&self) -> Option<&Expr> {
+        match self.stmts.last() {
+            Some(Stmt::Expr { expr, semi: false }) => Some(expr),
+            _ => None,
+        }
+    }
+}
+
+/// Renders the AST as a compact s-expression, used by the golden snapshot
+/// tests. Literals keep their text; spans are omitted so snapshots stay
+/// stable under reformatting.
+#[must_use]
+pub fn sexp(expr: &Expr) -> String {
+    match expr {
+        Expr::Lit { text, .. } => format!("(lit {text})"),
+        Expr::Path { segs, .. } => format!("(path {})", segs.join("::")),
+        Expr::Unary { op, expr, .. } => {
+            let op = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::Deref => "*",
+                UnOp::Ref => "&",
+            };
+            format!("(unary {op} {})", sexp(expr))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!("({} {} {})", op.symbol(), sexp(lhs), sexp(rhs))
+        }
+        Expr::Call { callee, args, .. } => format!("(call {}{})", sexp(callee), sexp_args(args)),
+        Expr::MethodCall {
+            recv, method, args, ..
+        } => format!("(method {} .{method}{})", sexp(recv), sexp_args(args)),
+        Expr::Field { recv, name, .. } => format!("(field {} .{name})", sexp(recv)),
+        Expr::Index { recv, index, .. } => format!("(index {} {})", sexp(recv), sexp(index)),
+        Expr::Cast { expr, ty, .. } => format!("(cast {} {})", sexp(expr), ty.join("")),
+        Expr::Try { expr, .. } => format!("(try {})", sexp(expr)),
+        Expr::Tuple { items, group, .. } => {
+            if *group && items.len() == 1 {
+                format!("(group {})", sexp(&items[0]))
+            } else {
+                format!("(tuple{})", sexp_args(items))
+            }
+        }
+        Expr::Array { items, .. } => format!("(array{})", sexp_args(items)),
+        Expr::Block { block, .. } => format!("(block{})", sexp_block(block)),
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            let els = els
+                .as_ref()
+                .map_or(String::new(), |e| format!(" else {}", sexp(e)));
+            format!("(if {} then{}{els})", sexp(cond), sexp_block(then))
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => format!("(match {}{})", sexp(scrutinee), sexp_args(arms)),
+        Expr::Loop { head, body, .. } => {
+            let head = head
+                .as_ref()
+                .map_or(String::new(), |h| format!(" {}", sexp(h)));
+            format!("(loop{head}{})", sexp_block(body))
+        }
+        Expr::Closure { params, body, .. } => {
+            format!("(closure |{}| {})", params.join(","), sexp(body))
+        }
+        Expr::Struct {
+            path, fields, base, ..
+        } => {
+            let mut s = format!("(struct {}", path.join("::"));
+            for (name, value) in fields {
+                s.push_str(&format!(" {name}:{}", sexp(value)));
+            }
+            if let Some(b) = base {
+                s.push_str(&format!(" ..{}", sexp(b)));
+            }
+            s.push(')');
+            s
+        }
+        Expr::Range { lo, hi, .. } => {
+            let lo = lo.as_ref().map_or(String::from("_"), |e| sexp(e));
+            let hi = hi.as_ref().map_or(String::from("_"), |e| sexp(e));
+            format!("(range {lo} {hi})")
+        }
+        Expr::Jump { keyword, expr, .. } => {
+            let e = expr
+                .as_ref()
+                .map_or(String::new(), |e| format!(" {}", sexp(e)));
+            format!("({keyword}{e})")
+        }
+        Expr::Macro { name, .. } => format!("(macro {name}!)"),
+        Expr::Unknown { .. } => "(unknown)".to_string(),
+    }
+}
+
+fn sexp_args(args: &[Expr]) -> String {
+    let mut s = String::new();
+    for a in args {
+        s.push(' ');
+        s.push_str(&sexp(a));
+    }
+    s
+}
+
+/// Renders a block's statements for snapshots.
+#[must_use]
+pub fn sexp_block(block: &Block) -> String {
+    let mut s = String::new();
+    for stmt in &block.stmts {
+        s.push(' ');
+        match stmt {
+            Stmt::Let {
+                names, ty, init, ..
+            } => {
+                s.push_str(&format!("(let {}", names.join(",")));
+                if let Some(ty) = ty {
+                    s.push_str(&format!(" :{}", ty.join("")));
+                }
+                if let Some(init) = init {
+                    s.push_str(&format!(" = {}", sexp(init)));
+                }
+                s.push(')');
+            }
+            Stmt::Expr { expr, semi } => {
+                s.push_str(&sexp(expr));
+                if *semi {
+                    s.push(';');
+                }
+            }
+            Stmt::Item { keyword, .. } => s.push_str(&format!("(item {keyword})")),
+        }
+    }
+    s
+}

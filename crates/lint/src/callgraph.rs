@@ -1,0 +1,357 @@
+//! Inter-procedural panic-reachability over a name-based call graph.
+//!
+//! Each non-test fn in the analyzed file set is summarized once: its
+//! direct panic sites (`panic!`-family macros, `.unwrap()`, `.expect()`)
+//! and the names it calls. Edges resolve a called name to a workspace fn
+//! only when exactly one non-test fn carries that name — ambiguous names
+//! (`new`, `value`) produce no edge, which keeps the pass conservative.
+//!
+//! **PL009 `panic-reachable-from-try`** then fires for every `try_*`
+//! function that can transitively reach a panic site while no function on
+//! the path (the `try_*` itself included) documents a `# Panics` contract.
+//! A documented fn absorbs the taint: callers delegating to it have an
+//! explicit, reviewable contract to cite. Crates where panics are policy
+//! ([`crate::rules`]' exemption list: `bench`, `suite`, `lint`) never
+//! *report*, but their fns still participate as path interior.
+
+use crate::ast::{Block, Expr, Stmt};
+use crate::parser::parse_body;
+use crate::rules::PANIC_MACROS;
+use crate::source::SourceFile;
+
+/// One direct panic site inside a fn body.
+#[derive(Clone, Debug)]
+pub struct PanicSite {
+    /// What panics (`panic!`, `.unwrap()`, …).
+    pub what: String,
+    /// 1-based line of the site.
+    pub line: u32,
+}
+
+/// The callgraph-relevant summary of one fn.
+#[derive(Clone, Debug)]
+pub struct FnSummary {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// Crate directory name (`core`, `fab`, …).
+    pub crate_name: String,
+    /// The fn name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Column of the `fn` keyword.
+    pub col: u32,
+    /// `true` when the doc comment carries a `# Panics` section.
+    pub has_panics_doc: bool,
+    /// `true` when the fn takes a `self` receiver.
+    pub has_self: bool,
+    /// Direct panic sites in the body.
+    pub panics: Vec<PanicSite>,
+    /// Names this body calls, deduplicated; the flag is `true` for
+    /// method-syntax calls (`x.f()`), which resolve only to fns with a
+    /// `self` receiver.
+    pub calls: Vec<(String, bool)>,
+}
+
+/// A PL009 finding, before it is bound to a `Rule`.
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    /// Path of the `try_*` fn.
+    pub path: String,
+    /// Line of the `try_*` fn.
+    pub line: u32,
+    /// Column of the `try_*` fn.
+    pub col: u32,
+    /// Human-readable description including a witness path.
+    pub message: String,
+}
+
+/// Summarizes every non-test fn in `file` for the call-graph pass.
+pub fn summarize(file: &SourceFile) -> Vec<FnSummary> {
+    let mut out = Vec::new();
+    for f in &file.fns {
+        if f.in_test || file.in_test(f.line) {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        let (block, _issues) = parse_body(file, body);
+        let mut collector = Collector {
+            panics: Vec::new(),
+            calls: Vec::new(),
+        };
+        collector.walk_block(&block);
+        collector.calls.sort();
+        collector.calls.dedup();
+        out.push(FnSummary {
+            path: file.path.clone(),
+            crate_name: file.crate_name.clone(),
+            name: f.name.clone(),
+            line: f.line,
+            col: f.col,
+            has_panics_doc: f.doc.contains("# Panics"),
+            has_self: f.params.first().is_some_and(|p| p.name == "self"),
+            panics: collector.panics,
+            calls: collector.calls,
+        });
+    }
+    out
+}
+
+struct Collector {
+    panics: Vec<PanicSite>,
+    calls: Vec<(String, bool)>,
+}
+
+impl Collector {
+    fn walk_block(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Let { init, .. } => {
+                    if let Some(e) = init {
+                        self.walk(e);
+                    }
+                }
+                Stmt::Expr { expr, .. } => self.walk(expr),
+                Stmt::Item { .. } => {}
+            }
+        }
+    }
+
+    fn walk(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Macro { name, span } => {
+                let bare = name.rsplit("::").next().unwrap_or(name);
+                if PANIC_MACROS.contains(&bare) {
+                    self.panics.push(PanicSite {
+                        what: format!("{bare}!"),
+                        line: span.line,
+                    });
+                }
+            }
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                span,
+            } => {
+                if method == "unwrap" || method == "expect" {
+                    self.panics.push(PanicSite {
+                        what: format!(".{method}()"),
+                        line: span.line,
+                    });
+                } else {
+                    self.calls.push((method.clone(), true));
+                }
+                self.walk(recv);
+                for a in args {
+                    self.walk(a);
+                }
+            }
+            Expr::Call {
+                callee,
+                args,
+                span: _,
+            } => {
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    if let Some(last) = segs.last() {
+                        self.calls.push((last.clone(), false));
+                    }
+                } else {
+                    self.walk(callee);
+                }
+                for a in args {
+                    self.walk(a);
+                }
+            }
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Try { expr, .. } => {
+                self.walk(expr)
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.walk(lhs);
+                self.walk(rhs);
+            }
+            Expr::Field { recv, .. } => self.walk(recv),
+            Expr::Index { recv, index, .. } => {
+                self.walk(recv);
+                self.walk(index);
+            }
+            Expr::Tuple { items, .. } | Expr::Array { items, .. } => {
+                for e in items {
+                    self.walk(e);
+                }
+            }
+            Expr::Block { block, .. } => self.walk_block(block),
+            Expr::If {
+                cond, then, els, ..
+            } => {
+                self.walk(cond);
+                self.walk_block(then);
+                if let Some(e) = els {
+                    self.walk(e);
+                }
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                self.walk(scrutinee);
+                for a in arms {
+                    self.walk(a);
+                }
+            }
+            Expr::Loop { head, body, .. } => {
+                if let Some(h) = head {
+                    self.walk(h);
+                }
+                self.walk_block(body);
+            }
+            Expr::Closure { body, .. } => self.walk(body),
+            Expr::Struct { fields, base, .. } => {
+                for (_, e) in fields {
+                    self.walk(e);
+                }
+                if let Some(b) = base {
+                    self.walk(b);
+                }
+            }
+            Expr::Range { lo, hi, .. } => {
+                if let Some(e) = lo {
+                    self.walk(e);
+                }
+                if let Some(e) = hi {
+                    self.walk(e);
+                }
+            }
+            Expr::Jump { expr, .. } => {
+                if let Some(e) = expr {
+                    self.walk(e);
+                }
+            }
+            Expr::Lit { .. } | Expr::Path { .. } | Expr::Unknown { .. } => {}
+        }
+    }
+}
+
+/// Crates whose `try_*` fns are not reported (panicking is policy there);
+/// mirrors [`crate::rules`]' PL002 exemption.
+const REPORT_EXEMPT_CRATES: &[&str] = &["bench", "suite", "lint"];
+
+/// Runs PL009 over a set of fn summaries (one file or the whole
+/// workspace). Returns one finding per tainted `try_*` fn.
+pub fn check(summaries: &[FnSummary]) -> Vec<Reachability> {
+    // Resolve a called name only when exactly one summarized fn bears it.
+    // Method-syntax calls (`x.f()`) additionally require a `self` receiver
+    // on the callee, so `.map(..)` never resolves to a free fn `map()`.
+    let resolve = |name: &str, is_method: bool| -> Option<usize> {
+        let mut found = None;
+        for (i, s) in summaries.iter().enumerate() {
+            if s.name == name && (!is_method || s.has_self) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(i);
+            }
+        }
+        found
+    };
+    let edges: Vec<Vec<usize>> = summaries
+        .iter()
+        .map(|s| {
+            s.calls
+                .iter()
+                .filter_map(|(name, is_method)| resolve(name, *is_method))
+                .collect()
+        })
+        .collect();
+
+    // Fixpoint: `tainted[i]` when fn i has a direct panic site or calls an
+    // *undocumented* tainted fn. A `# Panics` doc absorbs taint at that
+    // node — callers inherit a documented contract, not a silent panic.
+    let mut tainted: Vec<bool> = summaries.iter().map(|s| !s.panics.is_empty()).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..summaries.len() {
+            if tainted[i] {
+                continue;
+            }
+            if edges[i]
+                .iter()
+                .any(|&j| tainted[j] && !summaries[j].has_panics_doc)
+            {
+                tainted[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (i, s) in summaries.iter().enumerate() {
+        if !s.name.starts_with("try_")
+            || s.has_panics_doc
+            || !tainted[i]
+            || REPORT_EXEMPT_CRATES.contains(&s.crate_name.as_str())
+        {
+            continue;
+        }
+        let witness = witness_path(i, summaries, &edges, &tainted);
+        out.push(Reachability {
+            path: s.path.clone(),
+            line: s.line,
+            col: s.col,
+            message: format!(
+                "`{}` returns Result but can panic: {}; add a `# Panics` \
+                 section or handle the failure",
+                s.name, witness
+            ),
+        });
+    }
+    out
+}
+
+/// Builds a human-readable witness `a → b → .unwrap() (file:line)` chain
+/// from `start` to the nearest direct panic site.
+fn witness_path(
+    start: usize,
+    summaries: &[FnSummary],
+    edges: &[Vec<usize>],
+    tainted: &[bool],
+) -> String {
+    // BFS through undocumented tainted nodes to a node with a direct site.
+    let mut prev: Vec<Option<usize>> = vec![None; summaries.len()];
+    let mut visited = vec![false; summaries.len()];
+    let mut queue = std::collections::VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start);
+    let mut hit = None;
+    while let Some(i) = queue.pop_front() {
+        if let Some(site) = summaries[i].panics.first() {
+            hit = Some((i, site));
+            break;
+        }
+        for &j in &edges[i] {
+            if !visited[j] && tainted[j] && !summaries[j].has_panics_doc {
+                visited[j] = true;
+                prev[j] = Some(i);
+                queue.push_back(j);
+            }
+        }
+    }
+    let Some((end, site)) = hit else {
+        return "a transitive callee panics".to_string();
+    };
+    let mut chain = vec![end];
+    while let Some(p) = prev[*chain.last().unwrap_or(&end)] {
+        chain.push(p);
+    }
+    chain.reverse();
+    let names: Vec<&str> = chain.iter().map(|&i| summaries[i].name.as_str()).collect();
+    format!(
+        "{} → {} ({}:{})",
+        names.join(" → "),
+        site.what,
+        summaries[end].path,
+        site.line
+    )
+}

@@ -10,8 +10,13 @@
 //! missing `#[must_use]`, non-`#[non_exhaustive]` error enums).
 //!
 //! Pipeline: [`lexer`] (tokens, comment/raw-string aware) → [`source`]
-//! (per-file model: items, test regions, suppressions) → [`rules`] (the
-//! PL001–PL005 catalog) → [`diag`] (stable codes, human/JSON rendering).
+//! (per-file model: items, test regions, suppressions) → [`parser`] (an
+//! expression/statement AST for fn bodies) → [`dims`] (dimensional
+//! dataflow seeded from the `ppatc-units` registry: PL006/PL007) +
+//! [`callgraph`] (panic reachability: PL009) → [`rules`] (the PL001–PL009
+//! catalog) → [`diag`] (stable codes, human/JSON rendering). Files are
+//! analyzed in parallel (`--jobs`); the cross-file stage is serial and
+//! deterministic.
 //!
 //! Run it over the workspace with `cargo run -p ppatc-lint`; suppress a
 //! finding locally with a `// ppatc-lint: allow(rule-name)` comment on the
@@ -19,8 +24,12 @@
 
 #![warn(missing_docs)]
 
+pub mod ast;
+pub mod callgraph;
 pub mod diag;
+pub mod dims;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod source;
 
@@ -93,34 +102,137 @@ impl Report {
     }
 }
 
-/// Lints one in-memory source file. `path` should be workspace-relative
-/// (it selects per-crate rule scoping and labels diagnostics).
-pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
-    let mut report = Report::default();
-    lint_into(path, src, &mut report);
-    report.diagnostics
+/// The per-file stage of the pipeline: parse, per-file rules, call-graph
+/// summaries. Pure function of one file — this is the unit of parallelism.
+struct FileAnalysis {
+    file: SourceFile,
+    /// Per-file rule findings, pre-suppression.
+    found: Vec<Diagnostic>,
+    /// Call-graph summaries of this file's fns.
+    summaries: Vec<callgraph::FnSummary>,
 }
 
-fn lint_into(path: &str, src: &str, report: &mut Report) {
+fn analyze_file(path: &str, src: &str) -> FileAnalysis {
     let file = SourceFile::parse(path, src);
     let mut found = Vec::new();
     for rule in rules::all() {
         rule.check(&file, &mut found);
     }
-    report.files += 1;
-    for d in found {
-        if file.is_suppressed(d.rule, d.line) {
-            report.suppressed += 1;
-        } else {
-            report.diagnostics.push(d);
+    let summaries = callgraph::summarize(&file);
+    FileAnalysis {
+        file,
+        found,
+        summaries,
+    }
+}
+
+/// The cross-file stage: PL009 over the union call graph, then PL008 from
+/// the directives left unused by every other rule, then suppression
+/// filtering and the final deterministic sort.
+fn assemble(mut analyses: Vec<FileAnalysis>) -> Report {
+    let mut summaries = Vec::new();
+    for a in &mut analyses {
+        summaries.append(&mut a.summaries);
+    }
+    for r in callgraph::check(&summaries) {
+        if let Some(a) = analyses.iter_mut().find(|a| a.file.path == r.path) {
+            a.found.push(rules::panic_reachable_diag(
+                &r.path, r.line, r.col, r.message,
+            ));
         }
     }
+
+    let known_rules: Vec<&'static str> = rules::all().iter().map(|r| r.name).collect();
+    let mut report = Report::default();
+    for a in &mut analyses {
+        report.files += 1;
+        // A directive is "used" when any finding it names lands in its
+        // line window — including findings it will then suppress.
+        let mut used = vec![false; a.file.allow_directives.len()];
+        for d in &a.found {
+            for (i, dir) in a.file.allow_directives.iter().enumerate() {
+                if dir.rules.iter().any(|r| r == d.rule || r == "all")
+                    && (dir.first..=dir.last).contains(&d.line)
+                {
+                    used[i] = true;
+                }
+            }
+        }
+        for (i, dir) in a.file.allow_directives.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let unknown: Vec<&str> = dir
+                .rules
+                .iter()
+                .filter(|r| r.as_str() != "all" && !known_rules.contains(&r.as_str()))
+                .map(String::as_str)
+                .collect();
+            let message = if unknown.is_empty() {
+                format!(
+                    "allow({}) suppresses nothing here; remove the directive or \
+                     narrow it to the finding it was written for",
+                    dir.rules.join(", ")
+                )
+            } else {
+                format!(
+                    "allow({}) names unknown rule{} `{}`; see --list-rules",
+                    dir.rules.join(", "),
+                    if unknown.len() == 1 { "" } else { "s" },
+                    unknown.join("`, `")
+                )
+            };
+            a.found.push(rules::unused_allow_diag(
+                &a.file.path,
+                dir.line,
+                dir.col,
+                message,
+            ));
+        }
+        for d in a.found.drain(..) {
+            if a.file.is_suppressed(d.rule, d.line) {
+                report.suppressed += 1;
+            } else {
+                report.diagnostics.push(d);
+            }
+        }
+    }
+    report.diagnostics.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.col.cmp(&b.col))
+            .then(a.code.cmp(b.code))
+    });
+    report
+}
+
+/// Lints one in-memory source file. `path` should be workspace-relative
+/// (it selects per-crate rule scoping and labels diagnostics). The file is
+/// treated as a whole program: the PL009 call graph spans only its fns.
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    assemble(vec![analyze_file(path, src)]).diagnostics
 }
 
 /// Lints every library source file in the workspace rooted at `root`:
 /// `crates/*/src/**/*.rs` plus the root `src/`. Integration tests,
 /// benches, and examples are out of scope — the rules govern library code.
+///
+/// Runs with one worker per available core; see [`lint_workspace_jobs`].
 pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
+    lint_workspace_jobs(root, default_jobs())
+}
+
+/// The default worker count: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// [`lint_workspace`] with an explicit worker count. Files are analyzed
+/// in parallel with `std::thread::scope`; the cross-file stage (PL008,
+/// PL009, sorting) is serial, so the report — and its `--json` rendering —
+/// is byte-identical for every `jobs` value.
+pub fn lint_workspace_jobs(root: &Path, jobs: usize) -> Result<Report, LintError> {
     let manifest = root.join("Cargo.toml");
     let is_workspace = fs::read_to_string(&manifest)
         .map(|s| s.contains("[workspace]"))
@@ -146,7 +258,7 @@ pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
     }
     collect_rs(&root.join("src"), &mut sources)?;
 
-    let mut report = Report::default();
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(sources.len());
     for path in &sources {
         let src = fs::read_to_string(path).map_err(|e| LintError::Io(path.clone(), e))?;
         let rel = path
@@ -154,15 +266,38 @@ pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        lint_into(&rel, &src, &mut report);
+        inputs.push((rel, src));
     }
-    report.diagnostics.sort_by(|a, b| {
-        a.path
-            .cmp(&b.path)
-            .then(a.line.cmp(&b.line))
-            .then(a.col.cmp(&b.col))
-    });
-    Ok(report)
+
+    let jobs = jobs.max(1).min(inputs.len().max(1));
+    let analyses: Vec<FileAnalysis> = if jobs <= 1 {
+        inputs.iter().map(|(p, s)| analyze_file(p, s)).collect()
+    } else {
+        // Work-stealing over a shared index; each slot is written exactly
+        // once, so the merged order equals the serial order.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<FileAnalysis>>> =
+            inputs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((p, s)) = inputs.get(i) else { break };
+                    let analysis = analyze_file(p, s);
+                    if let Ok(mut slot) = slots[i].lock() {
+                        *slot = Some(analysis);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .filter_map(|m| m.into_inner().ok().flatten())
+            .collect()
+    };
+    Ok(assemble(analyses))
 }
 
 /// Recursively collects `.rs` files under `dir` (no-op when absent).

@@ -4,19 +4,24 @@
 //! cargo run -p ppatc-lint                      # lint the workspace
 //! cargo run -p ppatc-lint -- --deny-warnings   # CI gate: warnings fail too
 //! cargo run -p ppatc-lint -- --json            # machine-readable output
+//! cargo run -p ppatc-lint -- --jobs 4          # explicit worker count
 //! cargo run -p ppatc-lint -- --list-rules      # print the rule catalog
+//! cargo run -p ppatc-lint -- --explain PL006   # rationale for one rule
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings failed the run, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Options {
     root: Option<PathBuf>,
     json: bool,
     deny_warnings: bool,
     list_rules: bool,
+    jobs: Option<usize>,
+    explain: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -25,6 +30,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json: false,
         deny_warnings: false,
         list_rules: false,
+        jobs: None,
+        explain: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -36,10 +43,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 Some(p) => opts.root = Some(PathBuf::from(p)),
                 None => return Err("--root requires a path".to_string()),
             },
+            "--jobs" | "-j" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => opts.jobs = Some(n),
+                _ => return Err("--jobs requires a worker count >= 1".to_string()),
+            },
+            "--explain" => match it.next() {
+                Some(code) => opts.explain = Some(code.clone()),
+                None => return Err("--explain requires a rule code (e.g. PL006)".to_string()),
+            },
             "--help" | "-h" => {
                 return Err(
                     "usage: ppatc-lint [--root <dir>] [--json] [--deny-warnings] \
-                            [--list-rules]"
+                            [--jobs <n>] [--list-rules] [--explain <code>]"
                         .to_string(),
                 )
             }
@@ -47,6 +62,88 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// `--explain`: rationale, an example finding, and the suppression syntax
+/// for one rule, looked up by code (`PL006`) or name (`dimension-mismatch`).
+fn explain(query: &str) -> Option<String> {
+    let rule = ppatc_lint::rules::all()
+        .into_iter()
+        .find(|r| r.code.eq_ignore_ascii_case(query) || r.name == query)?;
+    let (why, example) = match rule.code {
+        "PL001" => (
+            "Bare f64 parameters and returns on public APIs in unit-bearing crates \
+             reintroduce the spreadsheet failure mode the ppatc-units newtypes exist \
+             to prevent: a gCO₂e/kWh number silently meeting a pJ number.",
+            "pub fn embodied(area: f64) -> f64  // what unit is `area`?",
+        ),
+        "PL002" => (
+            "Library code must never panic on model inputs: the evaluation pipeline \
+             promises per-sample fault isolation, and a stray unwrap converts a bad \
+             sample into a dead sweep. Documented `# Panics` contracts are the only \
+             sanctioned exception.",
+            "let v = table.get(key).unwrap();  // in a lib fn without `# Panics`",
+        ),
+        "PL003" => (
+            "try_* is this workspace's fallible-API naming convention; a try_ fn \
+             that does not return Result (or whose Result can be silently dropped) \
+             defeats the caller-side error handling the name advertises.",
+            "pub fn try_solve(&self) -> f64  // not a Result, no #[must_use]",
+        ),
+        "PL004" => (
+            "A physical constant with no unit comment is unreviewable: 3.6e6 could \
+             be J/kWh or a typo. Underscored plain decimals (1_000_000.0) are the \
+             same hazard at the same magnitude, so both spellings need a same-line \
+             `// unit` comment or a move into a named const.",
+            "let lifetime = 94_608_000.0;  // is that seconds? months? cycles?",
+        ),
+        "PL005" => (
+            "Public error enums grow variants as the model stack grows; without \
+             #[non_exhaustive], every new failure mode is a semver break for \
+             downstream matchers.",
+            "pub enum SolverError { Diverged }  // missing #[non_exhaustive]",
+        ),
+        "PL006" => (
+            "The dimensional dataflow pass tracks units through fn bodies, seeded \
+             from the ppatc-units registry (typed constructors/accessors) and \
+             unit-suffixed names (area_mm2, delay_ns). Adding or comparing values \
+             of different dimensions — or the same dimension at provably different \
+             scales — is exactly the class of bug Eq. 2's carbon accounting cannot \
+             tolerate.",
+            "if chip_area_mm2 > wafer_area_m2 { .. }  // mm² compared against m²",
+        ),
+        "PL007" => (
+            "Round-tripping a quantity through raw f64 at a different unit scale \
+             (as_picojoules into from_joules) is a silent 1e12× error the type \
+             system cannot see because both sides are f64 at the boundary. \
+             Multiplying by an explicit literal rescale is tracked and stays clean.",
+            "Energy::from_joules(e.as_picojoules())  // off by 1e12",
+        ),
+        "PL008" => (
+            "A suppression that no longer suppresses anything is a stale claim \
+             about the code; it hides future findings on its line window and \
+             misleads reviewers about which invariants are waived. Directives in \
+             doc comments are prose, never suppressions.",
+            "// ppatc-lint: allow(magic-constant) — above a line that is now clean",
+        ),
+        "PL009" => (
+            "A try_* fn advertises total, caller-handled failure; if its call \
+             graph can still reach panic!/unwrap/expect with no `# Panics` \
+             contract anywhere on the path, the Result is a false promise. The \
+             pass resolves calls to workspace fns by unique name and reports a \
+             witness path.",
+            "pub fn try_fit(..) -> Result<..> { grid.nearest(x) } // nearest() unwraps",
+        ),
+        _ => ("", ""),
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} {} ({})\n\n{}\n\nWhy it matters:\n  {}\n\nExample finding:\n  {}\n\n\
+         Suppression (own line or the line above the finding):\n  \
+         // ppatc-lint: allow({}) — <justification naming the reviewed invariant>\n",
+        rule.code, rule.name, rule.severity, rule.describes, why, example, rule.name
+    ));
+    Some(out)
 }
 
 fn main() -> ExitCode {
@@ -59,10 +156,23 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(query) = &opts.explain {
+        return match explain(query) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("ppatc-lint: no rule named `{query}`; see --list-rules");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     if opts.list_rules {
         for rule in ppatc_lint::rules::all() {
             println!(
-                "{} {:<22} {:<5} {}",
+                "{} {:<24} {:<5} {}",
                 rule.code, rule.name, rule.severity, rule.describes
             );
         }
@@ -77,15 +187,20 @@ fn main() -> ExitCode {
         })
         .unwrap_or_else(|| PathBuf::from("."));
 
-    let report = match ppatc_lint::lint_workspace(&root) {
+    let jobs = opts.jobs.unwrap_or_else(ppatc_lint::default_jobs);
+    let started = Instant::now();
+    let report = match ppatc_lint::lint_workspace_jobs(&root, jobs) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ppatc-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    let elapsed = started.elapsed();
 
     if opts.json {
+        // No timing line here: --json output is byte-identical across
+        // worker counts and runs.
         let body: Vec<String> = report.diagnostics.iter().map(|d| d.json()).collect();
         println!("[{}]", body.join(","));
     } else {
@@ -99,6 +214,10 @@ fn main() -> ExitCode {
             report.deny_count(),
             report.warn_count(),
             report.suppressed
+        );
+        println!(
+            "ppatc-lint: analyzed in {:.1} ms (jobs={jobs})",
+            elapsed.as_secs_f64() * 1e3
         );
     }
 

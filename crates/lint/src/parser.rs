@@ -1,0 +1,1213 @@
+//! A hand-rolled recursive-descent expression parser over the
+//! [`crate::lexer`] token stream.
+//!
+//! [`parse_body`] turns one fn body (a code-token range produced by the
+//! [`crate::source`] scanner) into an [`crate::ast`] tree. The parser
+//! follows Rust's expression grammar closely enough for dataflow analysis:
+//! full operator precedence, method chains with turbofish, `as` casts,
+//! closures, `if`/`match`/loops, struct literals (with the
+//! no-struct-literal restriction in condition position), ranges, and
+//! labelled blocks. Patterns are flattened to their binding names and
+//! macro bodies are treated as opaque.
+//!
+//! The parser never panics and always terminates: a construct it cannot
+//! model becomes an [`Expr::Unknown`] node plus a recorded [`ParseIssue`],
+//! and the workspace-parse property test keeps the issue count at zero for
+//! the real tree.
+
+use crate::ast::{BinOp, Block, Expr, LitKind, Span, Stmt, UnOp};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// A construct the parser had to skip or fold to [`Expr::Unknown`].
+#[derive(Clone, Debug)]
+pub struct ParseIssue {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// What the parser could not model.
+    pub message: String,
+}
+
+/// Parses the body of a fn item. `body` is the code-index range of the
+/// `{`..`}` pair as recorded in [`crate::source::FnItem::body`]. Returns
+/// the block plus any constructs the parser could not model.
+#[must_use]
+pub fn parse_body(file: &SourceFile, body: (usize, usize)) -> (Block, Vec<ParseIssue>) {
+    let (open, close) = body;
+    let mut parser = Parser {
+        file,
+        pos: open + 1,
+        end: close,
+        no_struct: false,
+        issues: Vec::new(),
+    };
+    let block = parser.block_stmts();
+    (block, parser.issues)
+}
+
+/// Keywords that begin a nested item when seen in statement position.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "impl",
+    "trait",
+    "mod",
+    "use",
+    "type",
+    "static",
+    "macro_rules",
+];
+
+/// Keywords that can never be a path segment in expression position.
+const EXPR_KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "let", "return", "break", "continue", "move",
+    "unsafe", "async", "as", "in", "where",
+];
+
+struct Parser<'a> {
+    file: &'a SourceFile,
+    /// Current position, in code-index space.
+    pos: usize,
+    /// One past the last code index of the region being parsed.
+    end: usize,
+    /// `true` in condition/scrutinee position, where `Path {` starts a
+    /// block, not a struct literal.
+    no_struct: bool,
+    issues: Vec<ParseIssue>,
+}
+
+impl<'a> Parser<'a> {
+    // -- token helpers ----------------------------------------------------
+
+    fn text(&self, ahead: usize) -> &str {
+        let i = self.pos + ahead;
+        if i >= self.end {
+            return "";
+        }
+        self.file.code_token(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn kind(&self, ahead: usize) -> Option<TokenKind> {
+        let i = self.pos + ahead;
+        if i >= self.end {
+            return None;
+        }
+        self.file.code_token(i).map(|t| t.kind)
+    }
+
+    fn span(&self, ahead: usize) -> Span {
+        self.file
+            .code_token(self.pos + ahead)
+            .map_or(Span::default(), |t| Span::at(t.line, t.col))
+    }
+
+    /// `true` when the tokens at `pos + a` and `pos + a + 1` touch in the
+    /// source (so `=` `=` is `==` but `= =` is not).
+    fn adjacent(&self, a: usize) -> bool {
+        let (Some(t1), Some(t2)) = (
+            self.file.code_token(self.pos + a),
+            self.file.code_token(self.pos + a + 1),
+        ) else {
+            return false;
+        };
+        self.pos + a + 1 < self.end
+            && t1.line == t2.line
+            && t2.col == t1.col + u32::try_from(t1.text.len()).unwrap_or(1)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.end
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn issue(&mut self, message: impl Into<String>) {
+        let span = self.span(0);
+        self.issues.push(ParseIssue {
+            line: span.line,
+            col: span.col,
+            message: message.into(),
+        });
+    }
+
+    /// Consumes the group opening at the current position (`(`/`[`/`{`),
+    /// leaving `pos` one past the closer.
+    fn skip_group(&mut self) {
+        let (opener, closer) = match self.text(0) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => {
+                self.bump();
+                return;
+            }
+        };
+        let mut depth = 0usize;
+        while !self.at_end() {
+            let t = self.text(0);
+            if t == opener {
+                depth += 1;
+            } else if t == closer {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    // -- blocks and statements -------------------------------------------
+
+    /// Parses statements up to (not past) `self.end`.
+    fn block_stmts(&mut self) -> Block {
+        let mut stmts = Vec::new();
+        while !self.at_end() {
+            let before = self.pos;
+            if self.text(0) == ";" {
+                self.bump();
+                continue;
+            }
+            if let Some(stmt) = self.stmt() {
+                stmts.push(stmt);
+            }
+            if self.pos == before {
+                // Defensive: never loop without progress.
+                self.issue(format!("cannot parse statement at `{}`", self.text(0)));
+                self.bump();
+            }
+        }
+        Block { stmts }
+    }
+
+    /// Parses a braced block whose `{` is at the current position.
+    fn block(&mut self) -> Block {
+        if self.text(0) != "{" {
+            self.issue(format!("expected `{{`, found `{}`", self.text(0)));
+            return Block::default();
+        }
+        let close = self.file.skip_group(self.pos, "{", "}");
+        let close = close.min(self.end).saturating_sub(1); // index of `}`
+        let mut inner = Parser {
+            file: self.file,
+            pos: self.pos + 1,
+            end: close.max(self.pos + 1),
+            no_struct: false,
+            issues: Vec::new(),
+        };
+        let block = inner.block_stmts();
+        self.issues.append(&mut inner.issues);
+        self.pos = close + 1;
+        block
+    }
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        // Leading outer attributes on statements.
+        while self.text(0) == "#" && self.text(1) == "[" {
+            self.bump();
+            self.skip_group();
+        }
+        if self.at_end() {
+            return None;
+        }
+        let span = self.span(0);
+        let head = self.text(0).to_string();
+
+        if head == "let" {
+            return Some(self.let_stmt(span));
+        }
+        if ITEM_KEYWORDS.contains(&head.as_str())
+            || (head == "const" && self.kind(1) == Some(TokenKind::Ident) && self.text(1) != "_")
+            || (head == "pub")
+        {
+            self.skip_item();
+            return Some(Stmt::Item {
+                keyword: head,
+                span,
+            });
+        }
+
+        // Block-like expressions in statement position terminate without
+        // `;` and never continue into a binary operator.
+        let expr = if is_block_like(&head) || head == "{" {
+            self.expr_block_like()
+        } else {
+            self.expr(0)
+        };
+        let semi = self.text(0) == ";";
+        if semi {
+            self.bump();
+        }
+        Some(Stmt::Expr { expr, semi })
+    }
+
+    fn let_stmt(&mut self, span: Span) -> Stmt {
+        self.bump(); // let
+        let names = self.pattern_names(&[":", "=", ";"]);
+        let ty = if self.text(0) == ":" {
+            self.bump();
+            Some(self.type_tokens(&["=", ";"]))
+        } else {
+            None
+        };
+        let init = if self.text(0) == "=" {
+            self.bump();
+            Some(self.expr(0))
+        } else {
+            None
+        };
+        // `let ... else { diverge }`.
+        if self.text(0) == "else" {
+            self.bump();
+            let _ = self.block();
+        }
+        if self.text(0) == ";" {
+            self.bump();
+        }
+        Stmt::Let {
+            names,
+            ty,
+            init,
+            span,
+        }
+    }
+
+    /// Consumes a nested item (already positioned at its keyword).
+    fn skip_item(&mut self) {
+        while !self.at_end() {
+            match self.text(0) {
+                "{" => {
+                    self.skip_group();
+                    return;
+                }
+                ";" => {
+                    self.bump();
+                    return;
+                }
+                "=" if self.text(1) != "=" => {
+                    // `const X: T = expr;` — skip to the `;` at depth 0.
+                    while !self.at_end() && self.text(0) != ";" {
+                        match self.text(0) {
+                            "(" | "[" | "{" => self.skip_group(),
+                            _ => self.bump(),
+                        }
+                    }
+                }
+                "(" | "[" => self.skip_group(),
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Flattens a pattern into its binding names, consuming tokens until a
+    /// top-level occurrence of one of `stops` (left unconsumed).
+    fn pattern_names(&mut self, stops: &[&str]) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut depth = 0usize;
+        while !self.at_end() {
+            let t = self.text(0);
+            if depth == 0 && stops.contains(&t) {
+                break;
+            }
+            // `in` ends a for-loop pattern; `=` `>` ends a match pattern.
+            if depth == 0 && (t == "in" || (t == "=" && self.text(1) == ">" && self.adjacent(0))) {
+                break;
+            }
+            match t {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                _ => {
+                    if self.kind(0) == Some(TokenKind::Ident)
+                        && !matches!(t, "mut" | "ref" | "box")
+                        && self.text(1) != "::"
+                        && !(self.text(1) == ":" && self.text(2) == ":")
+                        // An ident directly followed by `(`/`{`/`:` is a
+                        // path or field label, not a binding.
+                        && !matches!(self.text(1), "(" | "{")
+                        && !(depth > 0 && self.text(1) == ":")
+                    {
+                        names.push(t.to_string());
+                    }
+                }
+            }
+            self.bump();
+        }
+        names
+    }
+
+    /// Collects type tokens until a top-level occurrence of one of `stops`.
+    fn type_tokens(&mut self, stops: &[&str]) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut angle = 0i32;
+        let mut depth = 0usize;
+        while !self.at_end() {
+            let t = self.text(0);
+            if depth == 0 && angle <= 0 && stops.contains(&t) {
+                break;
+            }
+            match t {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                "<" => angle += 1,
+                ">" if out.last().map(String::as_str) != Some("-") => angle -= 1,
+                _ => {}
+            }
+            out.push(t.to_string());
+            self.bump();
+        }
+        out
+    }
+
+    // -- expressions ------------------------------------------------------
+
+    /// Parses an expression at the given minimum binding power.
+    fn expr(&mut self, min_bp: u8) -> Expr {
+        let mut lhs = self.unary();
+        while let Some((op, bp, width)) = self.peek_binop() {
+            if bp < min_bp {
+                break;
+            }
+            let span = self.span(0);
+            for _ in 0..width {
+                self.bump();
+            }
+            // Assignment is right-associative; everything else left.
+            let next_bp = if matches!(
+                op,
+                BinOp::Assign
+                    | BinOp::AddAssign
+                    | BinOp::SubAssign
+                    | BinOp::MulAssign
+                    | BinOp::DivAssign
+                    | BinOp::RemAssign
+                    | BinOp::BitAndAssign
+                    | BinOp::BitOrAssign
+                    | BinOp::BitXorAssign
+                    | BinOp::ShlAssign
+                    | BinOp::ShrAssign
+            ) {
+                bp
+            } else {
+                bp + 1
+            };
+            let rhs = self.expr(next_bp);
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        // Range operator: lowest precedence short of assignment.
+        if min_bp <= 2 && self.text(0) == "." && self.text(1) == "." && self.adjacent(0) {
+            let span = self.span(0);
+            self.bump();
+            self.bump();
+            if self.text(0) == "=" {
+                self.bump();
+            }
+            let hi = if self.starts_expr() {
+                Some(Box::new(self.expr(3)))
+            } else {
+                None
+            };
+            lhs = Expr::Range {
+                lo: Some(Box::new(lhs)),
+                hi,
+                span,
+            };
+        }
+        lhs
+    }
+
+    /// Binding powers: higher binds tighter. Returns (op, power, token count).
+    fn peek_binop(&mut self) -> Option<(BinOp, u8, usize)> {
+        let t0 = self.text(0);
+        let t1 = if self.adjacent(0) { self.text(1) } else { "" };
+        let t2 = if self.adjacent(0) && self.adjacent(1) {
+            self.text(2)
+        } else {
+            ""
+        };
+        Some(match (t0, t1, t2) {
+            ("=", ">", _) => return None, // match arm arrow
+            ("<", "<", "=") => (BinOp::ShlAssign, 1, 3),
+            (">", ">", "=") => (BinOp::ShrAssign, 1, 3),
+            ("&", "=", _) => (BinOp::BitAndAssign, 1, 2),
+            ("|", "=", _) => (BinOp::BitOrAssign, 1, 2),
+            ("^", "=", _) => (BinOp::BitXorAssign, 1, 2),
+            ("=", "=", _) => (BinOp::Eq, 5, 2),
+            ("!", "=", _) => (BinOp::Ne, 5, 2),
+            ("<", "=", _) => (BinOp::Le, 5, 2),
+            (">", "=", _) => (BinOp::Ge, 5, 2),
+            ("&", "&", _) => (BinOp::And, 4, 2),
+            ("|", "|", _) => (BinOp::Or, 3, 2),
+            ("<", "<", _) => (BinOp::Shl, 9, 2),
+            (">", ">", _) => (BinOp::Shr, 9, 2),
+            ("+", "=", _) => (BinOp::AddAssign, 1, 2),
+            ("-", "=", _) => (BinOp::SubAssign, 1, 2),
+            ("*", "=", _) => (BinOp::MulAssign, 1, 2),
+            ("/", "=", _) => (BinOp::DivAssign, 1, 2),
+            ("%", "=", _) => (BinOp::RemAssign, 1, 2),
+            ("=", _, _) => (BinOp::Assign, 1, 1),
+            ("+", _, _) => (BinOp::Add, 10, 1),
+            ("-", _, _) => (BinOp::Sub, 10, 1),
+            ("*", _, _) => (BinOp::Mul, 11, 1),
+            ("/", _, _) => (BinOp::Div, 11, 1),
+            ("%", _, _) => (BinOp::Rem, 11, 1),
+            ("<", _, _) => (BinOp::Lt, 5, 1),
+            (">", _, _) => (BinOp::Gt, 5, 1),
+            ("&", _, _) => (BinOp::BitAnd, 8, 1),
+            ("^", _, _) => (BinOp::BitXor, 7, 1),
+            ("|", _, _) => (BinOp::BitOr, 6, 1),
+            _ => return None,
+        })
+    }
+
+    /// `true` when the current token can begin an expression (used to
+    /// decide whether a range has an upper bound).
+    fn starts_expr(&self) -> bool {
+        if self.at_end() {
+            return false;
+        }
+        match self.kind(0) {
+            Some(TokenKind::Number | TokenKind::Str | TokenKind::Char) => true,
+            Some(TokenKind::Ident) => !matches!(self.text(0), "in" | "else" | "as" | "where"),
+            Some(TokenKind::Lifetime) => true,
+            _ => matches!(self.text(0), "(" | "[" | "{" | "-" | "!" | "*" | "&" | "|"),
+        }
+    }
+
+    fn unary(&mut self) -> Expr {
+        let span = self.span(0);
+        let op = match self.text(0) {
+            "-" => Some(UnOp::Neg),
+            "!" => Some(UnOp::Not),
+            "*" => Some(UnOp::Deref),
+            "&" => Some(UnOp::Ref),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            if op == UnOp::Ref && self.text(0) == "mut" {
+                self.bump();
+            }
+            let expr = self.unary();
+            return Expr::Unary {
+                op,
+                expr: Box::new(expr),
+                span,
+            };
+        }
+        // Leading `..`/`..=` range.
+        if self.text(0) == "." && self.text(1) == "." && self.adjacent(0) {
+            self.bump();
+            self.bump();
+            if self.text(0) == "=" {
+                self.bump();
+            }
+            let hi = if self.starts_expr() {
+                Some(Box::new(self.expr(3)))
+            } else {
+                None
+            };
+            return Expr::Range { lo: None, hi, span };
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Expr {
+        let mut expr = self.primary();
+        loop {
+            match self.text(0) {
+                "." => {
+                    // Not a range (`..`).
+                    if self.text(1) == "." && self.adjacent(0) {
+                        break;
+                    }
+                    let span = self.span(1);
+                    self.bump();
+                    expr = self.postfix_dot(expr, span);
+                }
+                "?" => {
+                    let span = self.span(0);
+                    self.bump();
+                    expr = Expr::Try {
+                        expr: Box::new(expr),
+                        span,
+                    };
+                }
+                "(" => {
+                    let span = self.span(0);
+                    let args = self.comma_exprs("(", ")");
+                    expr = Expr::Call {
+                        callee: Box::new(expr),
+                        args,
+                        span,
+                    };
+                }
+                "[" => {
+                    let span = self.span(0);
+                    let mut items = self.comma_exprs("[", "]");
+                    let index = items.pop().unwrap_or(Expr::Unknown { span });
+                    expr = Expr::Index {
+                        recv: Box::new(expr),
+                        index: Box::new(index),
+                        span,
+                    };
+                }
+                "as" => {
+                    let span = self.span(0);
+                    self.bump();
+                    let ty = self.cast_type();
+                    expr = Expr::Cast {
+                        expr: Box::new(expr),
+                        ty,
+                        span,
+                    };
+                }
+                _ => break,
+            }
+        }
+        expr
+    }
+
+    /// Everything after `recv.`: field, tuple index, method call, `await`.
+    fn postfix_dot(&mut self, recv: Expr, span: Span) -> Expr {
+        match self.kind(0) {
+            Some(TokenKind::Number) => {
+                // Tuple index; the lexer may fuse `0.1` into one number.
+                let text = self.text(0).to_string();
+                self.bump();
+                let mut e = recv;
+                for part in text.split('.') {
+                    e = Expr::Field {
+                        recv: Box::new(e),
+                        name: part.to_string(),
+                        span,
+                    };
+                }
+                e
+            }
+            Some(TokenKind::Ident) => {
+                let name = self.text(0).to_string();
+                self.bump();
+                // Optional turbofish between name and `(`.
+                if self.text(0) == ":" && self.text(1) == ":" && self.text(2) == "<" {
+                    self.bump();
+                    self.bump();
+                    self.skip_angles();
+                }
+                if self.text(0) == "(" {
+                    let args = self.comma_exprs("(", ")");
+                    Expr::MethodCall {
+                        recv: Box::new(recv),
+                        method: name,
+                        args,
+                        span,
+                    }
+                } else {
+                    Expr::Field {
+                        recv: Box::new(recv),
+                        name,
+                        span,
+                    }
+                }
+            }
+            _ => {
+                self.issue(format!(
+                    "expected field or method after `.`: `{}`",
+                    self.text(0)
+                ));
+                Expr::Unknown { span }
+            }
+        }
+    }
+
+    /// Consumes `<` .. `>` generic arguments starting at `<`.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        let mut prev_minus = false;
+        while !self.at_end() {
+            let t = self.text(0);
+            match t {
+                "<" => depth += 1,
+                ">" if !prev_minus => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                "(" | "[" => {
+                    self.skip_group();
+                    prev_minus = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_minus = t == "-";
+            self.bump();
+        }
+    }
+
+    /// Parses a comma-separated expression list inside `opener`..`closer`,
+    /// consuming both delimiters.
+    fn comma_exprs(&mut self, opener: &str, closer: &str) -> Vec<Expr> {
+        debug_assert_eq!(self.text(0), opener);
+        let close = self
+            .file
+            .skip_group(self.pos, opener, closer)
+            .min(self.end)
+            .saturating_sub(1);
+        self.bump(); // opener
+        let mut items = Vec::new();
+        let saved_no_struct = self.no_struct;
+        self.no_struct = false;
+        while self.pos < close {
+            let before = self.pos;
+            // Array repeats `[x; n]` show up as `;`-separated items.
+            items.push(self.expr(0));
+            if self.text(0) == "," || self.text(0) == ";" {
+                self.bump();
+            }
+            if self.pos == before {
+                self.issue(format!("cannot parse list element at `{}`", self.text(0)));
+                self.bump();
+            }
+        }
+        self.no_struct = saved_no_struct;
+        self.pos = close + 1;
+        items
+    }
+
+    /// Parses a block-like expression (`if`, `match`, loops, `unsafe`,
+    /// plain blocks) that, in statement position, ends at its brace.
+    fn expr_block_like(&mut self) -> Expr {
+        let span = self.span(0);
+        match self.text(0) {
+            "if" => self.if_expr(span),
+            "match" => self.match_expr(span),
+            "loop" => {
+                self.bump();
+                let body = self.block();
+                Expr::Loop {
+                    head: None,
+                    body,
+                    span,
+                }
+            }
+            "while" => {
+                self.bump();
+                let head = self.cond_expr();
+                let body = self.block();
+                Expr::Loop {
+                    head: Some(Box::new(head)),
+                    body,
+                    span,
+                }
+            }
+            "for" => {
+                self.bump();
+                let _bindings = self.pattern_names(&["in"]);
+                if self.text(0) == "in" {
+                    self.bump();
+                }
+                let head = self.cond_expr();
+                let body = self.block();
+                Expr::Loop {
+                    head: Some(Box::new(head)),
+                    body,
+                    span,
+                }
+            }
+            "unsafe" | "async" => {
+                self.bump();
+                if self.text(0) == "move" {
+                    self.bump();
+                }
+                self.expr_block_like()
+            }
+            "{" => {
+                let block = self.block();
+                Expr::Block { block, span }
+            }
+            other => {
+                self.issue(format!("expected block-like expression, found `{other}`"));
+                self.bump();
+                Expr::Unknown { span }
+            }
+        }
+    }
+
+    /// Parses a condition/scrutinee with struct literals disabled;
+    /// `if let` / `while let` keep only the scrutinee.
+    fn cond_expr(&mut self) -> Expr {
+        if self.text(0) == "let" {
+            self.bump();
+            let _bindings = self.pattern_names(&["="]);
+            if self.text(0) == "=" {
+                self.bump();
+            }
+        }
+        let saved = self.no_struct;
+        self.no_struct = true;
+        let e = self.expr(2);
+        self.no_struct = saved;
+        e
+    }
+
+    fn if_expr(&mut self, span: Span) -> Expr {
+        self.bump(); // if
+        let cond = self.cond_expr();
+        let then = self.block();
+        let els = if self.text(0) == "else" {
+            self.bump();
+            let espan = self.span(0);
+            Some(Box::new(if self.text(0) == "if" {
+                self.if_expr(espan)
+            } else {
+                let block = self.block();
+                Expr::Block { block, span: espan }
+            }))
+        } else {
+            None
+        };
+        Expr::If {
+            cond: Box::new(cond),
+            then,
+            els,
+            span,
+        }
+    }
+
+    fn match_expr(&mut self, span: Span) -> Expr {
+        self.bump(); // match
+        let scrutinee = self.cond_expr();
+        let mut arms = Vec::new();
+        if self.text(0) != "{" {
+            self.issue("expected `{` after match scrutinee");
+            return Expr::Match {
+                scrutinee: Box::new(scrutinee),
+                arms,
+                span,
+            };
+        }
+        let close = self
+            .file
+            .skip_group(self.pos, "{", "}")
+            .min(self.end)
+            .saturating_sub(1);
+        self.bump(); // {
+        while self.pos < close {
+            let before = self.pos;
+            // Pattern (and optional guard) up to `=>`.
+            let mut depth = 0usize;
+            let mut guard = None;
+            while self.pos < close {
+                let t = self.text(0);
+                if depth == 0 && t == "=" && self.text(1) == ">" && self.adjacent(0) {
+                    break;
+                }
+                if depth == 0 && t == "if" {
+                    self.bump();
+                    guard = Some(self.cond_expr());
+                    continue;
+                }
+                match t {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+                self.bump();
+            }
+            if self.text(0) == "=" && self.text(1) == ">" {
+                self.bump();
+                self.bump();
+            }
+            if let Some(g) = guard {
+                arms.push(g);
+            }
+            if self.pos < close {
+                let head = self.text(0).to_string();
+                let value = if is_block_like(&head) || head == "{" {
+                    self.expr_block_like()
+                } else {
+                    self.expr(0)
+                };
+                arms.push(value);
+            }
+            if self.text(0) == "," {
+                self.bump();
+            }
+            if self.pos == before {
+                self.issue(format!("cannot parse match arm at `{}`", self.text(0)));
+                self.bump();
+            }
+        }
+        self.pos = close + 1;
+        Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            span,
+        }
+    }
+
+    fn closure_expr(&mut self, span: Span) -> Expr {
+        if self.text(0) == "move" {
+            self.bump();
+        }
+        let mut params = Vec::new();
+        if self.text(0) == "|" && self.text(1) == "|" && self.adjacent(0) {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump(); // opening |
+            let mut depth = 0usize;
+            while !self.at_end() {
+                let t = self.text(0);
+                if depth == 0 && t == "|" {
+                    self.bump();
+                    break;
+                }
+                match t {
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" | ">" => depth = depth.saturating_sub(1),
+                    ":" if depth == 0 => {
+                        // Skip an explicit type annotation up to `,` or `|`.
+                        self.bump();
+                        let mut tdepth = 0usize;
+                        while !self.at_end() {
+                            let t = self.text(0);
+                            if tdepth == 0 && (t == "," || t == "|") {
+                                break;
+                            }
+                            match t {
+                                "(" | "[" | "{" | "<" => tdepth += 1,
+                                ")" | "]" | "}" | ">" => tdepth = tdepth.saturating_sub(1),
+                                _ => {}
+                            }
+                            self.bump();
+                        }
+                        continue;
+                    }
+                    _ => {
+                        if self.kind(0) == Some(TokenKind::Ident)
+                            && !matches!(t, "mut" | "ref")
+                            && depth == 0
+                        {
+                            params.push(t.to_string());
+                        }
+                    }
+                }
+                self.bump();
+            }
+        }
+        // Optional return type `-> Ty` before a braced body.
+        if self.text(0) == "-" && self.text(1) == ">" {
+            self.bump();
+            self.bump();
+            let _ty = self.type_tokens(&["{"]);
+        }
+        let body = self.expr(0);
+        Expr::Closure {
+            params,
+            body: Box::new(body),
+            span,
+        }
+    }
+
+    fn primary(&mut self) -> Expr {
+        let span = self.span(0);
+        if self.at_end() {
+            self.issues.push(ParseIssue {
+                line: span.line,
+                col: span.col,
+                message: "unexpected end of body".to_string(),
+            });
+            return Expr::Unknown { span };
+        }
+        match self.kind(0) {
+            Some(TokenKind::Number) => {
+                let text = self.text(0).to_string();
+                self.bump();
+                Expr::Lit {
+                    kind: LitKind::Number,
+                    text,
+                    span,
+                }
+            }
+            Some(TokenKind::Str) => {
+                let text = self.text(0).to_string();
+                self.bump();
+                Expr::Lit {
+                    kind: LitKind::Str,
+                    text,
+                    span,
+                }
+            }
+            Some(TokenKind::Char) => {
+                let text = self.text(0).to_string();
+                self.bump();
+                Expr::Lit {
+                    kind: LitKind::Char,
+                    text,
+                    span,
+                }
+            }
+            Some(TokenKind::Lifetime) => {
+                // A loop label `'outer: loop { .. }`.
+                self.bump();
+                if self.text(0) == ":" {
+                    self.bump();
+                }
+                if is_block_like(self.text(0)) || self.text(0) == "{" {
+                    self.expr_block_like()
+                } else {
+                    self.issue("label not followed by a loop or block");
+                    Expr::Unknown { span }
+                }
+            }
+            Some(TokenKind::Ident)
+                if self.text(0) == "b"
+                    && self.adjacent(0)
+                    && matches!(self.kind(1), Some(TokenKind::Char | TokenKind::Str)) =>
+            {
+                // Byte literal `b'\n'` / byte string `b"..."`: the lexer
+                // splits the prefix off; fuse it back into one literal.
+                let kind = if matches!(self.kind(1), Some(TokenKind::Char)) {
+                    LitKind::Char
+                } else {
+                    LitKind::Str
+                };
+                let text = format!("b{}", self.text(1));
+                self.bump();
+                self.bump();
+                Expr::Lit { kind, text, span }
+            }
+            Some(TokenKind::Ident) => self.primary_ident(span),
+            Some(TokenKind::Punct) => match self.text(0) {
+                "(" => {
+                    let before_trailing_comma = {
+                        // Distinguish `(e)` from `(e,)`: peek the token
+                        // before the closer.
+                        let close = self.file.skip_group(self.pos, "(", ")").min(self.end);
+                        self.file
+                            .code_token(close.saturating_sub(2))
+                            .is_some_and(|t| t.text == ",")
+                    };
+                    let items = self.comma_exprs("(", ")");
+                    let group = items.len() == 1 && !before_trailing_comma;
+                    Expr::Tuple { items, group, span }
+                }
+                "[" => {
+                    let items = self.comma_exprs("[", "]");
+                    Expr::Array { items, span }
+                }
+                "{" => {
+                    let block = self.block();
+                    Expr::Block { block, span }
+                }
+                "|" => self.closure_expr(span),
+                _ => {
+                    self.issue(format!("unexpected token `{}`", self.text(0)));
+                    self.bump();
+                    Expr::Unknown { span }
+                }
+            },
+            _ => {
+                self.issue(format!("unexpected token `{}`", self.text(0)));
+                self.bump();
+                Expr::Unknown { span }
+            }
+        }
+    }
+
+    /// A primary starting with an identifier: keyword expressions, paths,
+    /// macro calls, struct literals.
+    fn primary_ident(&mut self, span: Span) -> Expr {
+        let head = self.text(0).to_string();
+        match head.as_str() {
+            "true" | "false" => {
+                self.bump();
+                Expr::Lit {
+                    kind: LitKind::Bool,
+                    text: head,
+                    span,
+                }
+            }
+            "move" => self.closure_expr(span),
+            "return" | "break" | "continue" => {
+                self.bump();
+                let keyword = match head.as_str() {
+                    "return" => "return",
+                    "break" => "break",
+                    _ => "continue",
+                };
+                // `break 'label` labels.
+                if self.kind(0) == Some(TokenKind::Lifetime) {
+                    self.bump();
+                }
+                let expr = if keyword != "continue"
+                    && self.starts_expr()
+                    && !matches!(self.text(0), "{")
+                {
+                    Some(Box::new(self.expr(0)))
+                } else {
+                    None
+                };
+                Expr::Jump {
+                    keyword,
+                    expr,
+                    span,
+                }
+            }
+            _ if is_block_like(&head) => self.expr_block_like(),
+            _ if EXPR_KEYWORDS.contains(&head.as_str()) => {
+                self.issue(format!("keyword `{head}` in expression position"));
+                self.bump();
+                Expr::Unknown { span }
+            }
+            _ => {
+                // A path: segments joined by `::`, with optional turbofish.
+                let mut segs = vec![head];
+                self.bump();
+                loop {
+                    if self.text(0) == ":" && self.text(1) == ":" && self.adjacent(0) {
+                        if self.text(2) == "<" {
+                            self.bump();
+                            self.bump();
+                            self.skip_angles();
+                            continue;
+                        }
+                        if self.kind(2) == Some(TokenKind::Ident) {
+                            segs.push(self.text(2).to_string());
+                            self.bump();
+                            self.bump();
+                            self.bump();
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                // Macro invocation `path!(..)` / `path![..]` / `path!{..}`.
+                if self.text(0) == "!" && matches!(self.text(1), "(" | "[" | "{") {
+                    self.bump();
+                    self.skip_group();
+                    return Expr::Macro {
+                        name: segs.join("::"),
+                        span,
+                    };
+                }
+                // Struct literal `Path { .. }` (disabled in cond position).
+                if self.text(0) == "{" && !self.no_struct {
+                    return self.struct_literal(segs, span);
+                }
+                Expr::Path { segs, span }
+            }
+        }
+    }
+
+    fn struct_literal(&mut self, path: Vec<String>, span: Span) -> Expr {
+        let close = self
+            .file
+            .skip_group(self.pos, "{", "}")
+            .min(self.end)
+            .saturating_sub(1);
+        self.bump(); // {
+        let mut fields = Vec::new();
+        let mut base = None;
+        let saved = self.no_struct;
+        self.no_struct = false;
+        while self.pos < close {
+            let before = self.pos;
+            if self.text(0) == "." && self.text(1) == "." && self.adjacent(0) {
+                self.bump();
+                self.bump();
+                base = Some(Box::new(self.expr(0)));
+            } else if self.kind(0) == Some(TokenKind::Ident) {
+                let name = self.text(0).to_string();
+                let fspan = self.span(0);
+                self.bump();
+                if self.text(0) == ":" && !(self.text(1) == ":" && self.adjacent(0)) {
+                    self.bump();
+                    let value = self.expr(0);
+                    fields.push((name, value));
+                } else {
+                    // Shorthand `Point { x, y }`.
+                    fields.push((
+                        name.clone(),
+                        Expr::Path {
+                            segs: vec![name],
+                            span: fspan,
+                        },
+                    ));
+                }
+            }
+            if self.text(0) == "," {
+                self.bump();
+            }
+            if self.pos == before {
+                self.issue(format!("cannot parse struct field at `{}`", self.text(0)));
+                self.bump();
+            }
+        }
+        self.no_struct = saved;
+        self.pos = close + 1;
+        Expr::Struct {
+            path,
+            fields,
+            base,
+            span,
+        }
+    }
+
+    /// Collects the target type of an `as` cast (simple types only:
+    /// optionally `*const`/`*mut`/`&`, then a path with generics).
+    fn cast_type(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.text(0) == "*" || self.text(0) == "&" {
+            out.push(self.text(0).to_string());
+            self.bump();
+            if matches!(self.text(0), "const" | "mut") {
+                out.push(self.text(0).to_string());
+                self.bump();
+            }
+        }
+        while self.kind(0) == Some(TokenKind::Ident) {
+            out.push(self.text(0).to_string());
+            self.bump();
+            if self.text(0) == ":" && self.text(1) == ":" && self.adjacent(0) {
+                out.push("::".to_string());
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if self.text(0) == "<" {
+                let start = self.pos;
+                self.skip_angles();
+                for k in start..self.pos {
+                    if let Some(t) = self.file.code_token(k) {
+                        out.push(t.text.clone());
+                    }
+                }
+            }
+            break;
+        }
+        out
+    }
+}
+
+/// `true` for keywords that begin block-like expressions.
+fn is_block_like(word: &str) -> bool {
+    matches!(
+        word,
+        "if" | "match" | "loop" | "while" | "for" | "unsafe" | "async"
+    )
+}

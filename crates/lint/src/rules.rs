@@ -2,11 +2,15 @@
 //!
 //! | Code  | Name                   | Severity | Scope |
 //! |-------|------------------------|----------|-------|
-//! | PL001 | `raw-unit-api`         | deny     | `core`, `fab`, `wafer`, `edram` |
-//! | PL002 | `panic-in-lib`         | deny     | all model crates (not `bench`/`suite`) |
-//! | PL003 | `must-use-try`         | deny     | whole workspace |
-//! | PL004 | `magic-constant`       | warn     | model crates, outside const tables |
-//! | PL005 | `non-exhaustive-error` | deny     | whole workspace |
+//! | PL001 | `raw-unit-api`            | deny     | `core`, `fab`, `wafer`, `edram` |
+//! | PL002 | `panic-in-lib`            | deny     | all model crates (not `bench`/`suite`) |
+//! | PL003 | `must-use-try`            | deny     | whole workspace |
+//! | PL004 | `magic-constant`          | warn     | model crates, outside const tables |
+//! | PL005 | `non-exhaustive-error`    | deny     | whole workspace |
+//! | PL006 | `dimension-mismatch`      | deny     | whole workspace (dataflow, [`crate::dims`]) |
+//! | PL007 | `unit-cast-roundtrip`     | deny     | whole workspace (dataflow, [`crate::dims`]) |
+//! | PL008 | `unused-allow`            | warn     | whole workspace (report assembly) |
+//! | PL009 | `panic-reachable-from-try`| warn     | call graph ([`crate::callgraph`]) |
 //!
 //! Every rule can be silenced locally with a
 //! `// ppatc-lint: allow(rule-name)` comment on the offending line or the
@@ -90,7 +94,105 @@ pub fn all() -> Vec<Rule> {
             describes: "public *Error enums must be #[non_exhaustive]",
             check: non_exhaustive_error,
         },
+        Rule {
+            code: "PL006",
+            name: "dimension-mismatch",
+            severity: Severity::Deny,
+            describes: "additive/comparison operands and constructor arguments must agree \
+                        in dimension and unit scale (dataflow seeded from the \
+                        ppatc-units registry)",
+            check: dimensional_dataflow,
+        },
+        Rule {
+            code: "PL007",
+            name: "unit-cast-roundtrip",
+            severity: Severity::Deny,
+            describes: "quantity constructor fed a raw value of the right dimension at \
+                        the wrong scale, e.g. Energy::from_joules(x.as_picojoules())",
+            // Emitted by the PL006 dataflow pass; see dimensional_dataflow.
+            check: no_per_file_check,
+        },
+        Rule {
+            code: "PL008",
+            name: "unused-allow",
+            severity: Severity::Warn,
+            describes: "ppatc-lint: allow(...) directives that suppress nothing must be \
+                        removed or narrowed",
+            // Computed at report assembly, after every other rule has run.
+            check: no_per_file_check,
+        },
+        Rule {
+            code: "PL009",
+            name: "panic-reachable-from-try",
+            severity: Severity::Warn,
+            describes: "try_* fns must not transitively reach panic!/unwrap/expect \
+                        without a `# Panics` contract on the call path",
+            // Computed over the whole-workspace call graph.
+            check: no_per_file_check,
+        },
     ]
+}
+
+/// Placeholder for rules whose findings are produced outside the per-file
+/// rule loop (dataflow co-emission, report assembly, call graph).
+fn no_per_file_check(_rule: &Rule, _file: &SourceFile, _out: &mut Vec<Diagnostic>) {}
+
+// ---------------------------------------------------------------------------
+// PL006 + PL007: dimensional dataflow
+// ---------------------------------------------------------------------------
+
+/// Runs the [`crate::dims`] pass once per file; PL006 findings take this
+/// rule's identity, PL007 findings are co-emitted under their own code.
+fn dimensional_dataflow(rule: &Rule, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for f in crate::dims::check_file(file) {
+        match f.kind {
+            crate::dims::FindingKind::DimensionMismatch => {
+                out.push(rule.diag(file, f.line, f.col, f.message));
+            }
+            crate::dims::FindingKind::UnitCastRoundtrip => {
+                out.push(pl007_diag(&file.path, f.line, f.col, f.message));
+            }
+        }
+    }
+}
+
+/// Builds a PL007 diagnostic (co-emitted by the PL006 pass).
+fn pl007_diag(path: &str, line: u32, col: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        code: "PL007",
+        rule: "unit-cast-roundtrip",
+        severity: Severity::Deny,
+        path: path.to_string(),
+        line,
+        col,
+        message,
+    }
+}
+
+/// Builds a PL008 `unused-allow` diagnostic (report assembly).
+pub(crate) fn unused_allow_diag(path: &str, line: u32, col: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        code: "PL008",
+        rule: "unused-allow",
+        severity: Severity::Warn,
+        path: path.to_string(),
+        line,
+        col,
+        message,
+    }
+}
+
+/// Builds a PL009 `panic-reachable-from-try` diagnostic (call-graph pass).
+pub(crate) fn panic_reachable_diag(path: &str, line: u32, col: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        code: "PL009",
+        rule: "panic-reachable-from-try",
+        severity: Severity::Warn,
+        path: path.to_string(),
+        line,
+        col,
+        message,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -257,7 +359,7 @@ fn raw_unit_api(rule: &Rule, file: &SourceFile, out: &mut Vec<Diagnostic>) {
 // ---------------------------------------------------------------------------
 
 /// Macro names that abort at runtime.
-const PANIC_MACROS: &[&str] = &[
+pub(crate) const PANIC_MACROS: &[&str] = &[
     "panic",
     "unreachable",
     "todo",
@@ -416,7 +518,7 @@ fn magic_constant(rule: &Rule, file: &SourceFile, out: &mut Vec<Diagnostic>) {
         let tok = &file.tokens[ti];
         if tok.kind != TokenKind::Number
             || file.in_test(tok.line)
-            || !is_physical_constant_literal(&tok.text)
+            || !(is_physical_constant_literal(&tok.text) || is_large_plain_literal(&tok.text))
         {
             continue;
         }
@@ -468,8 +570,30 @@ fn const_item_lines(file: &SourceFile) -> Vec<u32> {
     lines
 }
 
-/// A scientific-notation literal whose mantissa is not a plain power of
-/// ten (`3.6e6`, `8.617e-5` — but not `1e-9` or `1.0e6`).
+/// A plain-decimal literal (no exponent) of magnitude ≥ 1e3:
+/// `1_000_000.0`, `86_400`, `44100.5`. Underscore separators do not hide
+/// the magnitude. Pure powers of ten stay exempt only in scientific
+/// notation (`1e6` reads as a scale factor; `1_000_000.0` reads as a
+/// physical magnitude that needs its unit named). Integer powers of two
+/// (`1024`, `65_536`) are structural sizes, not physical constants.
+fn is_large_plain_literal(text: &str) -> bool {
+    let lower = text.to_ascii_lowercase();
+    if lower.starts_with("0x") || lower.starts_with("0o") || lower.starts_with("0b") {
+        return false;
+    }
+    if lower.contains('e') {
+        // Scientific notation is the other branch's business entirely.
+        return false;
+    }
+    let Some(v) = crate::dims::literal_value(text) else {
+        return false;
+    };
+    if !lower.contains('.') && v.fract() == 0.0 && (v as u64).is_power_of_two() {
+        return false;
+    }
+    v >= 1e3
+}
+
 fn is_physical_constant_literal(text: &str) -> bool {
     let lower = text.to_ascii_lowercase().replace('_', "");
     if lower.starts_with("0x") || lower.starts_with("0o") || lower.starts_with("0b") {

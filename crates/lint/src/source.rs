@@ -64,6 +64,21 @@ pub struct EnumItem {
     pub in_test: bool,
 }
 
+/// One `// ppatc-lint: allow(...)` suppression directive, as written.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// The rule names listed in the directive (or `["all"]`).
+    pub rules: Vec<String>,
+    /// Line of the directive comment.
+    pub line: u32,
+    /// Column of the directive comment.
+    pub col: u32,
+    /// First line the directive covers (its own).
+    pub first: u32,
+    /// Last line the directive covers (the next code line).
+    pub last: u32,
+}
+
 /// A lexed and scanned source file.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -80,6 +95,8 @@ pub struct SourceFile {
     pub test_ranges: Vec<(u32, u32)>,
     /// Per-rule suppression line ranges: `(rule-name, first, last)`.
     pub suppressions: Vec<(String, u32, u32)>,
+    /// The suppression directives as written (one per comment).
+    pub allow_directives: Vec<AllowDirective>,
     /// Lines that carry at least one comment token.
     pub comment_lines: Vec<u32>,
     /// All `fn` items found (at any nesting depth).
@@ -105,6 +122,7 @@ impl SourceFile {
             code,
             test_ranges: Vec::new(),
             suppressions: Vec::new(),
+            allow_directives: Vec::new(),
             comment_lines: Vec::new(),
             fns: Vec::new(),
             enums: Vec::new(),
@@ -150,9 +168,12 @@ impl SourceFile {
     ///
     /// A directive `// ppatc-lint: allow(rule-a, rule-b)` suppresses the
     /// named rules (or every rule, for `allow(all)`) on the comment's own
-    /// line and on the next line that contains code.
+    /// line and on the next line that contains code. Doc comments never
+    /// carry directives — prose that *mentions* the syntax (as this very
+    /// paragraph does) must not suppress anything.
     fn scan_comments(&mut self) {
         let mut suppressions = Vec::new();
+        let mut directives = Vec::new();
         let mut comment_lines = Vec::new();
         for (i, tok) in self.tokens.iter().enumerate() {
             if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
@@ -161,6 +182,9 @@ impl SourceFile {
             let last_line = tok.line + newline_count(&tok.text);
             for l in tok.line..=last_line {
                 comment_lines.push(l);
+            }
+            if is_doc_comment(&tok.text) {
+                continue;
             }
             if let Some(rules) = parse_allow_directive(&tok.text) {
                 // Extend coverage to the next line holding a code token.
@@ -173,14 +197,22 @@ impl SourceFile {
                             && t.line > last_line
                     })
                     .map_or(last_line, |t| t.line);
-                for rule in rules {
-                    suppressions.push((rule, tok.line, until));
+                for rule in &rules {
+                    suppressions.push((rule.clone(), tok.line, until));
                 }
+                directives.push(AllowDirective {
+                    rules,
+                    line: tok.line,
+                    col: tok.col,
+                    first: tok.line,
+                    last: until,
+                });
             }
         }
         comment_lines.sort_unstable();
         comment_lines.dedup();
         self.suppressions = suppressions;
+        self.allow_directives = directives;
         self.comment_lines = comment_lines;
     }
 
@@ -240,6 +272,27 @@ impl SourceFile {
                     } else {
                         i += 1;
                     }
+                }
+                (TokenKind::Ident, "macro_rules") => {
+                    // A `macro_rules! name { ... }` body is template text:
+                    // `fn` items inside it carry `$`-variables no analysis
+                    // can type, so the whole definition is skipped.
+                    let mut j = i + 1;
+                    if matches!(self.code_token(j), Some(t) if t.text == "!") {
+                        j += 1;
+                    }
+                    if matches!(self.code_token(j), Some(t) if t.kind == TokenKind::Ident) {
+                        j += 1;
+                    }
+                    i = match self.code_token(j).map(|t| t.text.clone()).as_deref() {
+                        Some("{") => self.skip_group(j, "{", "}"),
+                        Some("(") => self.skip_group(j, "(", ")"),
+                        Some("[") => self.skip_group(j, "[", "]"),
+                        _ => j,
+                    };
+                    pending_attrs.clear();
+                    pending_doc.clear();
+                    pending_pub = false;
                 }
                 (TokenKind::Ident, "fn") => {
                     let is_test_item = attrs_mark_test(&pending_attrs);
@@ -337,7 +390,7 @@ impl SourceFile {
 
     /// Given code-index `open` pointing at `opener`, returns the code index
     /// one past its matching `closer`.
-    fn skip_group(&self, open: usize, opener: &str, closer: &str) -> usize {
+    pub(crate) fn skip_group(&self, open: usize, opener: &str, closer: &str) -> usize {
         let mut depth = 0usize;
         let mut k = open;
         while let Some(t) = self.code_token(k) {
@@ -564,6 +617,15 @@ fn newline_count(s: &str) -> u32 {
 }
 
 /// Parses `ppatc-lint: allow(rule-a, rule-b)` out of a comment's text.
+/// True for `///`, `//!`, `/** */`, `/*! */` comments. `////...` rulers
+/// are ordinary comments, not docs.
+fn is_doc_comment(text: &str) -> bool {
+    (text.starts_with("///") && !text.starts_with("////"))
+        || text.starts_with("//!")
+        || (text.starts_with("/**") && !text.starts_with("/***"))
+        || text.starts_with("/*!")
+}
+
 fn parse_allow_directive(comment: &str) -> Option<Vec<String>> {
     let at = comment.find("ppatc-lint:")?;
     let rest = comment[at + "ppatc-lint:".len()..].trim_start();

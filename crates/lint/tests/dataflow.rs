@@ -1,0 +1,182 @@
+//! Seeded-bug fixtures for the dataflow rules: PL006 dimension-mismatch,
+//! PL007 unit-cast-roundtrip, PL008 unused-allow, PL009
+//! panic-reachable-from-try. Each rule must catch its planted bugs and
+//! stay quiet on the corrected form — the false-positive half of the
+//! contract is what lets the workspace run `--deny-warnings` in CI.
+
+use ppatc_lint::lint_source;
+
+fn codes(path: &str, src: &str) -> Vec<&'static str> {
+    let mut codes: Vec<&'static str> = lint_source(path, src).into_iter().map(|d| d.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+// -----------------------------------------------------------------------
+// PL006: dimension-mismatch
+// -----------------------------------------------------------------------
+
+#[test]
+fn pl006_fires_on_ctor_fed_the_wrong_dimension() {
+    // Seeded bug 1: an Energy constructor fed seconds.
+    let src = "pub fn f(t: Time) -> Energy { Energy::from_joules(t.as_seconds()) }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL006"]);
+}
+
+#[test]
+fn pl006_fires_on_adding_energy_to_time() {
+    // Seeded bug 2: J + s in an accumulator.
+    let src = "pub fn g(e: Energy, t: Time) -> f64 { e.as_joules() + t.as_seconds() }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL006"]);
+}
+
+#[test]
+fn pl006_fires_on_comparing_mm2_against_m2() {
+    // Seeded bug 3: suffix-seeded same-dimension, different-scale compare.
+    let src = "pub fn h(chip_area_mm2: f64, wafer_area_m2: f64) -> bool { chip_area_mm2 > wafer_area_m2 }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL006"]);
+}
+
+#[test]
+fn pl006_accepts_matching_dimensions_through_locals() {
+    let src = "pub fn f(a: Energy, b: Energy) -> Energy {\n    let total = a.as_joules() + b.as_joules();\n    Energy::from_joules(total)\n}\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl006_accepts_dimensioned_product_feeding_the_right_ctor() {
+    // P·t = E: the registry's product table must make this clean.
+    let src = "pub fn f(p: Power, t: Time) -> Energy { Energy::from_joules(p.as_watts() * t.as_seconds()) }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl006_stays_quiet_on_engineering_scale_factors() {
+    // A 0.9 guardband is not a unit conversion; only *named* unit factors
+    // may turn a same-dimension scale difference into a finding.
+    let src = "pub fn f(v: Voltage) -> Voltage { Voltage::from_volts(v.as_volts() * 0.9) }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------------
+// PL007: unit-cast-roundtrip
+// -----------------------------------------------------------------------
+
+#[test]
+fn pl007_fires_on_picojoules_into_from_joules() {
+    // Seeded bug 1: a silent 1e12× error.
+    let src = "pub fn f(e: Energy) -> Energy { Energy::from_joules(e.as_picojoules()) }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL007"]);
+}
+
+#[test]
+fn pl007_fires_on_nanoseconds_into_from_seconds() {
+    // Seeded bug 2: 1e9× in the latency path.
+    let src = "pub fn f(t: Time) -> Time { Time::from_seconds(t.as_nanoseconds()) }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL007"]);
+}
+
+#[test]
+fn pl007_fires_on_microwatts_into_from_watts() {
+    // Seeded bug 3: 1e6× in the power path.
+    let src = "pub fn f(p: Power) -> Power { Power::from_watts(p.as_microwatts()) }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL007"]);
+}
+
+#[test]
+fn pl007_accepts_matching_accessor_and_ctor_scales() {
+    let src = "pub fn f(e: Energy) -> Energy { Energy::from_picojoules(e.as_picojoules()) }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl007_accepts_explicit_literal_rescale() {
+    // Multiplying by the conversion factor repairs the scale; the pass
+    // tracks it exactly, so the roundtrip is clean.
+    let src = "pub fn f(e: Energy) -> Energy { Energy::from_joules(e.as_picojoules() * 1e-12) }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------------
+// PL008: unused-allow
+// -----------------------------------------------------------------------
+
+#[test]
+fn pl008_fires_on_stale_allow_comment() {
+    let src = "// ppatc-lint: allow(magic-constant) — predates the refactor\npub fn ok() {}\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL008"]);
+}
+
+#[test]
+fn pl008_fires_on_unknown_rule_name() {
+    let src = "// ppatc-lint: allow(no-such-rule)\npub fn ok() {}\n";
+    let diags = lint_source("crates/device/src/x.rs", src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, "PL008");
+    assert!(
+        diags[0].message.contains("unknown rule") && diags[0].message.contains("no-such-rule"),
+        "message: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn pl008_stays_quiet_when_the_allow_suppresses_something() {
+    let src = "// ppatc-lint: allow(panic-in-lib) — reviewed: index is bounded\npub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl008_ignores_directive_syntax_inside_doc_comments() {
+    // Doc comments are prose *about* suppressions, never suppressions.
+    let src = "/// Suppress with `// ppatc-lint: allow(magic-constant)`.\npub fn ok() {}\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------------
+// PL009: panic-reachable-from-try
+// -----------------------------------------------------------------------
+
+#[test]
+fn pl009_fires_when_try_fn_reaches_an_unwrap_through_a_helper() {
+    let src = "#[must_use = \"handle the Result\"]\n\
+               pub fn try_fit(v: Option<u32>) -> Result<u32, String> { Ok(helper(v)) }\n\
+               fn helper(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    let found = codes("crates/device/src/x.rs", src);
+    // PL002 flags the helper's own unwrap; PL009 flags the try_ entry.
+    assert!(found.contains(&"PL009"), "codes: {found:?}");
+    let diags = lint_source("crates/device/src/x.rs", src);
+    let pl009 = diags
+        .iter()
+        .find(|d| d.code == "PL009")
+        .expect("PL009 diag");
+    assert!(
+        pl009.message.contains("try_fit") && pl009.message.contains("helper"),
+        "witness path missing from: {}",
+        pl009.message
+    );
+}
+
+#[test]
+fn pl009_absorbed_by_a_panics_contract_on_the_path() {
+    let src = "#[must_use = \"handle the Result\"]\n\
+               pub fn try_fit(v: Option<u32>) -> Result<u32, String> { Ok(helper(v)) }\n\
+               /// Helper.\n///\n/// # Panics\n///\n/// If `v` is `None`.\n\
+               fn helper(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl009_does_not_resolve_method_calls_to_free_fns() {
+    // `.map(..)` is an Option combinator; a free fn named `map` in the
+    // same file must not become a call edge.
+    let src = "#[must_use = \"handle the Result\"]\n\
+               pub fn try_scale(v: Option<u32>) -> Result<u32, String> { Ok(v.map(|x| x + 1).unwrap_or(0)) }\n\
+               pub fn map(v: Option<u32>) -> u32 { v.expect(\"mapped\") }\n";
+    let found = codes("crates/device/src/x.rs", src);
+    assert!(
+        !found.contains(&"PL009"),
+        "`.map()` wrongly resolved to the free fn: {found:?}"
+    );
+}

@@ -1,0 +1,159 @@
+//! Parser coverage: golden s-expression snapshots for the expression
+//! shapes the dimensional pass leans on (method chains, generics vs `<`,
+//! turbofish, closures, control flow), plus a property test that every
+//! fn body in the real workspace parses without a single `ParseIssue`.
+
+use ppatc_lint::ast::sexp_block;
+use ppatc_lint::parser::parse_body;
+use ppatc_lint::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Parses the first fn body in `src` and renders it as an s-expression,
+/// asserting the parse is issue-free.
+fn ast_of(src: &str) -> String {
+    let file = SourceFile::parse("crates/core/src/x.rs", src);
+    let f = file.fns.first().expect("fixture must contain a fn");
+    let (block, issues) = parse_body(&file, f.body.expect("fn must have a body"));
+    assert!(issues.is_empty(), "parse issues for {src:?}: {issues:?}");
+    sexp_block(&block).trim().to_string()
+}
+
+#[test]
+fn golden_method_chain() {
+    assert_eq!(
+        ast_of("fn a(e: f64) -> f64 { e.abs().max(1.0).sqrt() }"),
+        "(method (method (method (path e) .abs) .max (lit 1.0)) .sqrt)"
+    );
+}
+
+#[test]
+fn golden_nested_generics_vs_less_than() {
+    // `Vec<Option<u32>>` in the signature must not confuse the body
+    // parser, and both `<` uses below are comparisons, not generics.
+    assert_eq!(
+        ast_of("fn b(v: Vec<Option<u32>>) -> bool { v.len() < 3 && 1 < 2 }"),
+        "(&& (< (method (path v) .len) (lit 3)) (< (lit 1) (lit 2)))"
+    );
+}
+
+#[test]
+fn golden_turbofish() {
+    // Path turbofish (`Vec::<u32>::new`) and method turbofish
+    // (`.sum::<u32>()`) both parse as plain calls with the generics
+    // skipped — the dims pass keys on names, not type arguments.
+    assert_eq!(
+        ast_of("fn c() -> u32 { Vec::<u32>::new().iter().copied().sum::<u32>() }"),
+        "(method (method (method (call (path Vec::new)) .iter) .copied) .sum)"
+    );
+}
+
+#[test]
+fn golden_closures() {
+    assert_eq!(
+        ast_of("fn d(xs: &[f64]) -> f64 { xs.iter().map(|x| x * 2.0).fold(0.0, |a, b| a + b) }"),
+        "(method (method (method (path xs) .iter) .map (closure |x| \
+         (* (path x) (lit 2.0)))) .fold (lit 0.0) (closure |a,b| \
+         (+ (path a) (path b))))"
+    );
+}
+
+#[test]
+fn golden_if_let_match_with_guard() {
+    assert_eq!(
+        ast_of(
+            "fn e(x: u32) -> u32 { let y = if x > 2 { x } else { 0 }; \
+             match y { 0 => 1, n if n > 5 => n, _ => 2 } }"
+        ),
+        "(let y = (if (> (path x) (lit 2)) then (path x) else (block (lit 0)))) \
+         (match (path y) (lit 1) (> (path n) (lit 5)) (path n) (lit 2))"
+    );
+}
+
+#[test]
+fn golden_for_loop_with_range_and_jump() {
+    assert_eq!(
+        ast_of("fn g() { for i in 0..10 { if i == 3 { continue; } } }"),
+        "(loop (range (lit 0) (lit 10)) (if (== (path i) (lit 3)) then (continue);))"
+    );
+}
+
+#[test]
+fn operator_precedence_groups_mul_before_add() {
+    assert_eq!(
+        ast_of("fn h(a: f64, b: f64, c: f64) -> f64 { a + b * c }"),
+        "(+ (path a) (* (path b) (path c)))"
+    );
+}
+
+#[test]
+fn struct_literals_are_disabled_in_condition_position() {
+    // `x < limit` inside `if` must not start a struct literal at `limit {`.
+    assert_eq!(
+        ast_of("fn k(x: u32, limit: u32) -> u32 { if x < limit { x } else { limit } }"),
+        "(if (< (path x) (path limit)) then (path x) else (block (path limit)))"
+    );
+}
+
+/// Every fn body in the actual workspace must parse without issues. This
+/// is the property that keeps PL006–PL009 trustworthy: an unparsed body
+/// is an unanalyzed body.
+#[test]
+fn every_workspace_fn_body_parses_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates = root.join("crates");
+    let mut dirs = vec![crates, root.join("src")];
+    while let Some(dir) = dirs.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                dirs.push(path);
+            } else if path.extension().is_some_and(|x| x == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    assert!(
+        files.len() > 50,
+        "workspace walk found only {} files",
+        files.len()
+    );
+
+    let mut bodies = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .to_string();
+        let file = SourceFile::parse(&rel, &src);
+        for f in &file.fns {
+            let Some(body) = f.body else { continue };
+            let (_block, issues) = parse_body(&file, body);
+            bodies += 1;
+            for issue in issues {
+                failures.push(format!(
+                    "{rel}:{}:{} in fn {}: {}",
+                    issue.line, issue.col, f.name, issue.message
+                ));
+            }
+        }
+    }
+    assert!(
+        bodies > 300,
+        "expected to parse many fn bodies, saw {bodies}"
+    );
+    assert!(
+        failures.is_empty(),
+        "{} fn bodies failed to parse cleanly:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

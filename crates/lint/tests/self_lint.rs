@@ -36,6 +36,30 @@ fn rule_catalog_is_stable() {
             ("PL003", "must-use-try"),
             ("PL004", "magic-constant"),
             ("PL005", "non-exhaustive-error"),
+            ("PL006", "dimension-mismatch"),
+            ("PL007", "unit-cast-roundtrip"),
+            ("PL008", "unused-allow"),
+            ("PL009", "panic-reachable-from-try"),
         ]
     );
+}
+
+/// The parallel per-file stage must not change the report: serial and
+/// multi-worker runs over the real workspace produce byte-identical
+/// diagnostics (the cross-file stage is serial and the sort is total).
+#[test]
+fn parallel_lint_is_deterministic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let serial = ppatc_lint::lint_workspace_jobs(&root, 1).expect("serial run");
+    let parallel = ppatc_lint::lint_workspace_jobs(&root, 4).expect("parallel run");
+    assert_eq!(serial.files, parallel.files);
+    assert_eq!(serial.suppressed, parallel.suppressed);
+    let render = |r: &ppatc_lint::Report| {
+        r.diagnostics
+            .iter()
+            .map(ppatc_lint::Diagnostic::json)
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    assert_eq!(render(&serial), render(&parallel));
 }

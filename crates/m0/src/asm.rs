@@ -26,6 +26,12 @@
 use crate::inst::{Condition, DpOp, Instruction, Reg};
 use std::collections::HashMap;
 
+/// Reach of the unconditional `b` T2 encoding: a signed imm11, counted in
+/// halfwords.
+const B_IMM11_MAX_HALFWORDS: i64 = 1023;
+/// Largest `add rd, sp, #imm` offset: an imm8 scaled by 4, in bytes.
+const ADD_RD_SP_MAX_BYTES: i64 = 1020;
+
 /// Assembly error with its 1-based source line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AsmError {
@@ -238,7 +244,7 @@ impl Assembler {
                     }
                     None => {
                         let units = offset / 2;
-                        if !(-1024..=1023).contains(&units) {
+                        if !(-1024..=B_IMM11_MAX_HALFWORDS).contains(&units) {
                             return Err(AsmError::new(
                                 line,
                                 format!("branch to `{target}` out of range ({offset} bytes)"),
@@ -714,7 +720,7 @@ fn parse_instruction(line: usize, mnemonic: &str, ops: &[String]) -> Result<Pars
                 })
             } else if ops.len() == 3 && reg(1)? == Reg::SP {
                 let v = imm(2)?;
-                if v % 4 != 0 || !(0..=1020).contains(&v) {
+                if v % 4 != 0 || !(0..=ADD_RD_SP_MAX_BYTES).contains(&v) {
                     return Err(err(format!("add rd, sp immediate {v} must be 0-1020, ×4")));
                 }
                 ready(I::AddRdSp {

@@ -62,7 +62,7 @@ impl LogicBlock {
     pub fn cortex_m0() -> Self {
         Self {
             name: "cortex-m0".into(),
-            gate_count: 16_000.0,
+            gate_count: 16_000.0, // NAND2-equivalent gates
             flop_count: 850.0,
             logic_depth: 86.0,
             activity: 0.131,

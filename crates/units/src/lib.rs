@@ -35,6 +35,7 @@ mod carbon;
 mod electrical;
 mod energy;
 mod geometry;
+pub mod registry;
 pub mod rng;
 mod time;
 

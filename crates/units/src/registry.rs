@@ -1,0 +1,487 @@
+//! A machine-readable registry of every quantity type in this crate.
+//!
+//! Static-analysis tooling (notably `ppatc-lint`'s dimensional dataflow
+//! pass) needs to know, for each `ppatc-units` newtype, (a) its dimension
+//! as a vector of base-dimension exponents, and (b) which constructor and
+//! accessor methods cross the typed/`f64` boundary, in which unit spelling,
+//! and at what scale relative to the canonical base unit. This module is
+//! that table, kept next to the implementations it describes and pinned to
+//! them by `tests/registry.rs`, which round-trips every entry through the
+//! real constructors and accessors.
+//!
+//! The six base dimensions are the ones the PPAtC model stack actually
+//! uses: energy (J), time (s), length (m), CO₂-equivalent mass (gCO₂e),
+//! electric charge (C), and currency (USD). Everything else is a product
+//! of these — power is J·s⁻¹, carbon intensity is gCO₂e·J⁻¹, capacitance
+//! is C²·J⁻¹, and so on.
+
+/// Exponents over the six base dimensions of the PPAtC stack.
+///
+/// Two quantities may be added, subtracted, or compared only when their
+/// `DimVec`s are equal *and* their scales agree; multiplying or dividing
+/// composes `DimVec`s component-wise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DimVec {
+    /// Exponent of energy (base unit: joule).
+    pub energy: i8,
+    /// Exponent of time (base unit: second).
+    pub time: i8,
+    /// Exponent of length (base unit: metre).
+    pub length: i8,
+    /// Exponent of CO₂e mass (base unit: gram CO₂e).
+    pub carbon: i8,
+    /// Exponent of electric charge (base unit: coulomb).
+    pub charge: i8,
+    /// Exponent of currency (base unit: US dollar).
+    pub currency: i8,
+}
+
+impl DimVec {
+    /// The dimensionless vector (all exponents zero).
+    pub const NONE: Self = Self::of(0, 0, 0, 0, 0, 0);
+
+    /// Builds a dimension vector from its six exponents, in the order
+    /// energy, time, length, carbon, charge, currency.
+    #[must_use]
+    pub const fn of(
+        energy: i8,
+        time: i8,
+        length: i8,
+        carbon: i8,
+        charge: i8,
+        currency: i8,
+    ) -> Self {
+        Self {
+            energy,
+            time,
+            length,
+            carbon,
+            charge,
+            currency,
+        }
+    }
+
+    /// Component-wise sum: the dimension of a product `a · b`.
+    #[must_use]
+    pub const fn mul(self, rhs: Self) -> Self {
+        Self::of(
+            self.energy + rhs.energy,
+            self.time + rhs.time,
+            self.length + rhs.length,
+            self.carbon + rhs.carbon,
+            self.charge + rhs.charge,
+            self.currency + rhs.currency,
+        )
+    }
+
+    /// Component-wise difference: the dimension of a quotient `a / b`.
+    #[must_use]
+    pub const fn div(self, rhs: Self) -> Self {
+        Self::of(
+            self.energy - rhs.energy,
+            self.time - rhs.time,
+            self.length - rhs.length,
+            self.carbon - rhs.carbon,
+            self.charge - rhs.charge,
+            self.currency - rhs.currency,
+        )
+    }
+
+    /// `true` when every exponent is zero.
+    #[must_use]
+    pub const fn is_none(self) -> bool {
+        self.energy == 0
+            && self.time == 0
+            && self.length == 0
+            && self.carbon == 0
+            && self.charge == 0
+            && self.currency == 0
+    }
+}
+
+/// Whether a registered method crosses the typed boundary inward or outward.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MethodRole {
+    /// `Type::from_x(raw) -> Type`: raw `f64` in the method's unit goes in.
+    Constructor,
+    /// `value.as_x() -> f64`: raw `f64` in the method's unit comes out.
+    Accessor,
+}
+
+/// One constructor or accessor that converts between a quantity type and a
+/// raw `f64` in a specific unit spelling.
+#[derive(Clone, Copy, Debug)]
+pub struct UnitMethod {
+    /// The method name as spelled in source (`from_kilowatt_hours`).
+    pub name: &'static str,
+    /// Human spelling of the raw side's unit (`kWh`).
+    pub unit: &'static str,
+    /// Scale of the raw unit relative to the canonical base unit:
+    /// `canonical = raw · factor` for constructors, and the accessor
+    /// returns `canonical / factor`.
+    pub factor: f64,
+    /// Constructor or accessor.
+    pub role: MethodRole,
+}
+
+const fn ctor(name: &'static str, unit: &'static str, factor: f64) -> UnitMethod {
+    UnitMethod {
+        name,
+        unit,
+        factor,
+        role: MethodRole::Constructor,
+    }
+}
+
+const fn acc(name: &'static str, unit: &'static str, factor: f64) -> UnitMethod {
+    UnitMethod {
+        name,
+        unit,
+        factor,
+        role: MethodRole::Accessor,
+    }
+}
+
+/// One quantity newtype: its dimension, canonical symbol, and boundary
+/// methods. `new`/`value` (canonical, factor 1) exist on every type via the
+/// `quantity!` macro and are not repeated here.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantitySpec {
+    /// The Rust type name (`Energy`).
+    pub type_name: &'static str,
+    /// Canonical-unit symbol (`J`).
+    pub symbol: &'static str,
+    /// Dimension vector of the type.
+    pub dim: DimVec,
+    /// All unit-spelled constructors and accessors.
+    pub methods: &'static [UnitMethod],
+}
+
+/// Seconds in a mean Gregorian month (365.25 / 12 days), matching
+/// `Time::from_months`.
+const SECONDS_PER_MONTH: f64 = 365.25 / 12.0 * 86_400.0;
+
+/// kWh→J conversion, matching `Energy::from_kilowatt_hours`.
+const JOULES_PER_KWH: f64 = 3.6e6;
+
+/// Every quantity type exported by this crate, with its full boundary-method
+/// table. Order matches the public re-export list in `lib.rs`.
+pub const REGISTRY: &[QuantitySpec] = &[
+    QuantitySpec {
+        type_name: "Energy",
+        symbol: "J",
+        dim: DimVec::of(1, 0, 0, 0, 0, 0),
+        methods: &[
+            ctor("from_joules", "J", 1.0),
+            ctor("from_kilowatt_hours", "kWh", JOULES_PER_KWH),
+            ctor("from_picojoules", "pJ", 1e-12),
+            ctor("from_femtojoules", "fJ", 1e-15),
+            acc("as_joules", "J", 1.0),
+            acc("as_kilowatt_hours", "kWh", JOULES_PER_KWH),
+            acc("as_picojoules", "pJ", 1e-12),
+            acc("as_femtojoules", "fJ", 1e-15),
+        ],
+    },
+    QuantitySpec {
+        type_name: "Power",
+        symbol: "W",
+        dim: DimVec::of(1, -1, 0, 0, 0, 0),
+        methods: &[
+            ctor("from_watts", "W", 1.0),
+            ctor("from_milliwatts", "mW", 1e-3),
+            ctor("from_microwatts", "µW", 1e-6),
+            ctor("from_nanowatts", "nW", 1e-9),
+            acc("as_watts", "W", 1.0),
+            acc("as_milliwatts", "mW", 1e-3),
+            acc("as_microwatts", "µW", 1e-6),
+        ],
+    },
+    QuantitySpec {
+        type_name: "EnergyArea",
+        symbol: "J/m²",
+        dim: DimVec::of(1, 0, -2, 0, 0, 0),
+        methods: &[
+            ctor("from_kwh_per_cm2", "kWh/cm²", JOULES_PER_KWH / 1e-4),
+            acc("as_kwh_per_cm2", "kWh/cm²", JOULES_PER_KWH / 1e-4),
+        ],
+    },
+    QuantitySpec {
+        type_name: "Time",
+        symbol: "s",
+        dim: DimVec::of(0, 1, 0, 0, 0, 0),
+        methods: &[
+            ctor("from_seconds", "s", 1.0),
+            ctor("from_nanoseconds", "ns", 1e-9),
+            ctor("from_picoseconds", "ps", 1e-12),
+            ctor("from_microseconds", "µs", 1e-6),
+            ctor("from_hours", "h", 3600.0),
+            ctor("from_days", "d", 86_400.0),
+            ctor("from_months", "months", SECONDS_PER_MONTH),
+            acc("as_seconds", "s", 1.0),
+            acc("as_nanoseconds", "ns", 1e-9),
+            acc("as_picoseconds", "ps", 1e-12),
+            acc("as_hours", "h", 3600.0),
+            acc("as_days", "d", 86_400.0),
+            acc("as_months", "months", SECONDS_PER_MONTH),
+        ],
+    },
+    QuantitySpec {
+        type_name: "Frequency",
+        symbol: "Hz",
+        dim: DimVec::of(0, -1, 0, 0, 0, 0),
+        methods: &[
+            ctor("from_hertz", "Hz", 1.0),
+            ctor("from_megahertz", "MHz", 1e6),
+            ctor("from_gigahertz", "GHz", 1e9),
+            acc("as_hertz", "Hz", 1.0),
+            acc("as_megahertz", "MHz", 1e6),
+            acc("as_gigahertz", "GHz", 1e9),
+        ],
+    },
+    QuantitySpec {
+        type_name: "Length",
+        symbol: "m",
+        dim: DimVec::of(0, 0, 1, 0, 0, 0),
+        methods: &[
+            ctor("from_meters", "m", 1.0),
+            ctor("from_millimeters", "mm", 1e-3),
+            ctor("from_micrometers", "µm", 1e-6),
+            ctor("from_nanometers", "nm", 1e-9),
+            acc("as_meters", "m", 1.0),
+            acc("as_millimeters", "mm", 1e-3),
+            acc("as_micrometers", "µm", 1e-6),
+            acc("as_nanometers", "nm", 1e-9),
+        ],
+    },
+    QuantitySpec {
+        type_name: "Area",
+        symbol: "m²",
+        dim: DimVec::of(0, 0, 2, 0, 0, 0),
+        methods: &[
+            ctor("from_square_meters", "m²", 1.0),
+            ctor("from_square_centimeters", "cm²", 1e-4),
+            ctor("from_square_millimeters", "mm²", 1e-6),
+            ctor("from_square_micrometers", "µm²", 1e-12),
+            acc("as_square_meters", "m²", 1.0),
+            acc("as_square_centimeters", "cm²", 1e-4),
+            acc("as_square_millimeters", "mm²", 1e-6),
+            acc("as_square_micrometers", "µm²", 1e-12),
+        ],
+    },
+    QuantitySpec {
+        type_name: "CarbonMass",
+        symbol: "gCO₂e",
+        dim: DimVec::of(0, 0, 0, 1, 0, 0),
+        methods: &[
+            ctor("from_grams", "gCO₂e", 1.0),
+            ctor("from_kilograms", "kgCO₂e", 1e3),
+            ctor("from_tonnes", "tCO₂e", 1e6),
+            acc("as_grams", "gCO₂e", 1.0),
+            acc("as_kilograms", "kgCO₂e", 1e3),
+            acc("as_tonnes", "tCO₂e", 1e6),
+        ],
+    },
+    QuantitySpec {
+        type_name: "CarbonIntensity",
+        symbol: "gCO₂e/J",
+        dim: DimVec::of(-1, 0, 0, 1, 0, 0),
+        methods: &[
+            ctor("from_g_per_kwh", "gCO₂e/kWh", 1.0 / JOULES_PER_KWH),
+            acc("as_g_per_kwh", "gCO₂e/kWh", 1.0 / JOULES_PER_KWH),
+        ],
+    },
+    QuantitySpec {
+        type_name: "CarbonArea",
+        symbol: "gCO₂e/m²",
+        dim: DimVec::of(0, 0, -2, 1, 0, 0),
+        methods: &[
+            ctor("from_g_per_cm2", "gCO₂e/cm²", 1e4),
+            ctor("from_kg_per_cm2", "kgCO₂e/cm²", 1e7),
+            acc("as_g_per_cm2", "gCO₂e/cm²", 1e4),
+        ],
+    },
+    QuantitySpec {
+        type_name: "CarbonPerEnergyArea",
+        symbol: "gCO₂e/m²",
+        dim: DimVec::of(0, 0, -2, 1, 0, 0),
+        methods: &[],
+    },
+    QuantitySpec {
+        type_name: "CarbonDelay",
+        symbol: "gCO₂e·s",
+        dim: DimVec::of(0, 1, 0, 1, 0, 0),
+        methods: &[
+            ctor("from_gram_seconds", "gCO₂e·s", 1.0),
+            acc("as_grams_per_hertz", "gCO₂e/Hz", 1.0),
+        ],
+    },
+    QuantitySpec {
+        type_name: "Voltage",
+        symbol: "V",
+        dim: DimVec::of(1, 0, 0, 0, -1, 0),
+        methods: &[
+            ctor("from_volts", "V", 1.0),
+            ctor("from_millivolts", "mV", 1e-3),
+            acc("as_volts", "V", 1.0),
+            acc("as_millivolts", "mV", 1e-3),
+        ],
+    },
+    QuantitySpec {
+        type_name: "Current",
+        symbol: "A",
+        dim: DimVec::of(0, -1, 0, 0, 1, 0),
+        methods: &[
+            ctor("from_amperes", "A", 1.0),
+            ctor("from_microamperes", "µA", 1e-6),
+            ctor("from_nanoamperes", "nA", 1e-9),
+            acc("as_amperes", "A", 1.0),
+            acc("as_microamperes", "µA", 1e-6),
+            acc("as_nanoamperes", "nA", 1e-9),
+        ],
+    },
+    QuantitySpec {
+        type_name: "Charge",
+        symbol: "C",
+        dim: DimVec::of(0, 0, 0, 0, 1, 0),
+        methods: &[
+            ctor("from_coulombs", "C", 1.0),
+            ctor("from_femtocoulombs", "fC", 1e-15),
+            acc("as_coulombs", "C", 1.0),
+            acc("as_femtocoulombs", "fC", 1e-15),
+        ],
+    },
+    QuantitySpec {
+        type_name: "Capacitance",
+        symbol: "F",
+        dim: DimVec::of(-1, 0, 0, 0, 2, 0),
+        methods: &[
+            ctor("from_farads", "F", 1.0),
+            ctor("from_femtofarads", "fF", 1e-15),
+            ctor("from_attofarads", "aF", 1e-18),
+            acc("as_farads", "F", 1.0),
+            acc("as_femtofarads", "fF", 1e-15),
+            acc("as_attofarads", "aF", 1e-18),
+        ],
+    },
+    QuantitySpec {
+        type_name: "Resistance",
+        symbol: "Ω",
+        dim: DimVec::of(1, 1, 0, 0, -2, 0),
+        methods: &[
+            ctor("from_ohms", "Ω", 1.0),
+            ctor("from_kilo_ohms", "kΩ", 1e3),
+            acc("as_ohms", "Ω", 1.0),
+        ],
+    },
+];
+
+/// Dimensional products `A · B = C` implemented by this crate's `Mul`
+/// impls, by type name (the `Length · Length = Area` row covers the
+/// `square` form).
+pub const PRODUCTS: &[(&str, &str, &str)] = &[
+    ("Power", "Time", "Energy"),
+    ("EnergyArea", "Area", "Energy"),
+    ("CarbonIntensity", "Energy", "CarbonMass"),
+    ("CarbonArea", "Area", "CarbonMass"),
+    ("CarbonMass", "Time", "CarbonDelay"),
+    ("Capacitance", "Voltage", "Charge"),
+    ("Current", "Time", "Charge"),
+    ("Voltage", "Current", "Power"),
+    ("Resistance", "Capacitance", "Time"),
+    ("Length", "Length", "Area"),
+];
+
+/// Dimensional quotients `A / B = C` implemented by this crate's `Div`
+/// impls. `A / A = f64` (the macro-provided ratio) is implicit for every
+/// type and not listed.
+pub const QUOTIENTS: &[(&str, &str, &str)] = &[
+    ("Energy", "Time", "Power"),
+    ("Energy", "Power", "Time"),
+    ("Energy", "Area", "EnergyArea"),
+    ("CarbonMass", "Energy", "CarbonIntensity"),
+    ("CarbonMass", "Area", "CarbonArea"),
+    ("CarbonDelay", "Time", "CarbonMass"),
+    ("CarbonDelay", "CarbonMass", "Time"),
+    ("Charge", "Voltage", "Capacitance"),
+    ("Charge", "Capacitance", "Voltage"),
+    ("Charge", "Current", "Time"),
+    ("Charge", "Time", "Current"),
+    ("Power", "Voltage", "Current"),
+    ("Voltage", "Current", "Resistance"),
+    ("Voltage", "Resistance", "Current"),
+    ("Area", "Length", "Length"),
+];
+
+/// Methods that convert one quantity type into another without touching
+/// `f64`: `(receiver type, method name, result type)`.
+pub const TYPED_CONVERSIONS: &[(&str, &str, &str)] = &[
+    ("Time", "to_frequency", "Frequency"),
+    ("Frequency", "period", "Time"),
+    ("CarbonPerEnergyArea", "to_carbon_area", "CarbonArea"),
+    ("Energy", "average_power", "Power"),
+    ("Energy", "per_cycle_power", "Power"),
+    ("Power", "energy_per_cycle", "Energy"),
+    ("Area", "of_wafer", "Area"),
+];
+
+/// Looks up a quantity spec by type name.
+#[must_use]
+pub fn spec_of(type_name: &str) -> Option<&'static QuantitySpec> {
+    REGISTRY.iter().find(|s| s.type_name == type_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_compose() {
+        let energy = DimVec::of(1, 0, 0, 0, 0, 0);
+        let time = DimVec::of(0, 1, 0, 0, 0, 0);
+        let power = energy.div(time);
+        assert_eq!(power, DimVec::of(1, -1, 0, 0, 0, 0));
+        assert_eq!(power.mul(time), energy);
+        assert!(DimVec::NONE.is_none());
+        assert!(!power.is_none());
+    }
+
+    #[test]
+    fn product_and_quotient_tables_are_dimensionally_consistent() {
+        let dim = |name: &str| spec_of(name).map(|s| s.dim);
+        for &(a, b, c) in PRODUCTS {
+            let (da, db, dc) = (dim(a), dim(b), dim(c));
+            assert!(
+                da.is_some() && db.is_some() && dc.is_some(),
+                "unknown type in product {a}·{b}={c}"
+            );
+            assert_eq!(da.unwrap().mul(db.unwrap()), dc.unwrap(), "{a}·{b}≠{c}");
+        }
+        for &(a, b, c) in QUOTIENTS {
+            let (da, db, dc) = (dim(a), dim(b), dim(c));
+            assert!(
+                da.is_some() && db.is_some() && dc.is_some(),
+                "unknown type in quotient {a}/{b}={c}"
+            );
+            assert_eq!(da.unwrap().div(db.unwrap()), dc.unwrap(), "{a}/{b}≠{c}");
+        }
+    }
+
+    #[test]
+    fn method_names_are_unique_across_the_registry() {
+        // The lint seeding table resolves accessors/constructors by bare
+        // method name, so a name may appear on at most one type.
+        let mut seen: Vec<(&str, &str)> = Vec::new();
+        for spec in REGISTRY {
+            for m in spec.methods {
+                assert!(
+                    !seen
+                        .iter()
+                        .any(|&(n, t)| n == m.name && t != spec.type_name),
+                    "method {} appears on more than one type",
+                    m.name
+                );
+                seen.push((m.name, spec.type_name));
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Pins `ppatc_units::registry` to the real constructor/accessor
+//! implementations: every `UnitMethod` factor must round-trip through the
+//! method it names, and every registered method must be covered by the
+//! dispatch table below — so adding a boundary method without registering
+//! it (or registering a wrong factor) fails this suite, not a downstream
+//! lint run.
+
+use ppatc_units::registry::{MethodRole, REGISTRY};
+use ppatc_units::{
+    approx_eq, Area, Capacitance, CarbonArea, CarbonDelay, CarbonIntensity, CarbonMass, Charge,
+    Current, Energy, EnergyArea, Frequency, Length, Power, Resistance, Time, Voltage,
+};
+
+/// Calls `Type::method(raw)` for a registered constructor and returns the
+/// canonical value, or `None` when the (type, method) pair is not in the
+/// dispatch table.
+fn construct(type_name: &str, method: &str, raw: f64) -> Option<f64> {
+    Some(match (type_name, method) {
+        ("Energy", "from_joules") => Energy::from_joules(raw).value(),
+        ("Energy", "from_kilowatt_hours") => Energy::from_kilowatt_hours(raw).value(),
+        ("Energy", "from_picojoules") => Energy::from_picojoules(raw).value(),
+        ("Energy", "from_femtojoules") => Energy::from_femtojoules(raw).value(),
+        ("Power", "from_watts") => Power::from_watts(raw).value(),
+        ("Power", "from_milliwatts") => Power::from_milliwatts(raw).value(),
+        ("Power", "from_microwatts") => Power::from_microwatts(raw).value(),
+        ("Power", "from_nanowatts") => Power::from_nanowatts(raw).value(),
+        ("EnergyArea", "from_kwh_per_cm2") => EnergyArea::from_kwh_per_cm2(raw).value(),
+        ("Time", "from_seconds") => Time::from_seconds(raw).value(),
+        ("Time", "from_nanoseconds") => Time::from_nanoseconds(raw).value(),
+        ("Time", "from_picoseconds") => Time::from_picoseconds(raw).value(),
+        ("Time", "from_microseconds") => Time::from_microseconds(raw).value(),
+        ("Time", "from_hours") => Time::from_hours(raw).value(),
+        ("Time", "from_days") => Time::from_days(raw).value(),
+        ("Time", "from_months") => Time::from_months(raw).value(),
+        ("Frequency", "from_hertz") => Frequency::from_hertz(raw).value(),
+        ("Frequency", "from_megahertz") => Frequency::from_megahertz(raw).value(),
+        ("Frequency", "from_gigahertz") => Frequency::from_gigahertz(raw).value(),
+        ("Length", "from_meters") => Length::from_meters(raw).value(),
+        ("Length", "from_millimeters") => Length::from_millimeters(raw).value(),
+        ("Length", "from_micrometers") => Length::from_micrometers(raw).value(),
+        ("Length", "from_nanometers") => Length::from_nanometers(raw).value(),
+        ("Area", "from_square_meters") => Area::from_square_meters(raw).value(),
+        ("Area", "from_square_centimeters") => Area::from_square_centimeters(raw).value(),
+        ("Area", "from_square_millimeters") => Area::from_square_millimeters(raw).value(),
+        ("Area", "from_square_micrometers") => Area::from_square_micrometers(raw).value(),
+        ("CarbonMass", "from_grams") => CarbonMass::from_grams(raw).value(),
+        ("CarbonMass", "from_kilograms") => CarbonMass::from_kilograms(raw).value(),
+        ("CarbonMass", "from_tonnes") => CarbonMass::from_tonnes(raw).value(),
+        ("CarbonIntensity", "from_g_per_kwh") => CarbonIntensity::from_g_per_kwh(raw).value(),
+        ("CarbonArea", "from_g_per_cm2") => CarbonArea::from_g_per_cm2(raw).value(),
+        ("CarbonArea", "from_kg_per_cm2") => CarbonArea::from_kg_per_cm2(raw).value(),
+        ("CarbonDelay", "from_gram_seconds") => CarbonDelay::from_gram_seconds(raw).value(),
+        ("Voltage", "from_volts") => Voltage::from_volts(raw).value(),
+        ("Voltage", "from_millivolts") => Voltage::from_millivolts(raw).value(),
+        ("Current", "from_amperes") => Current::from_amperes(raw).value(),
+        ("Current", "from_microamperes") => Current::from_microamperes(raw).value(),
+        ("Current", "from_nanoamperes") => Current::from_nanoamperes(raw).value(),
+        ("Charge", "from_coulombs") => Charge::from_coulombs(raw).value(),
+        ("Charge", "from_femtocoulombs") => Charge::from_femtocoulombs(raw).value(),
+        ("Capacitance", "from_farads") => Capacitance::from_farads(raw).value(),
+        ("Capacitance", "from_femtofarads") => Capacitance::from_femtofarads(raw).value(),
+        ("Capacitance", "from_attofarads") => Capacitance::from_attofarads(raw).value(),
+        ("Resistance", "from_ohms") => Resistance::from_ohms(raw).value(),
+        ("Resistance", "from_kilo_ohms") => Resistance::from_kilo_ohms(raw).value(),
+        _ => return None,
+    })
+}
+
+/// Calls `Type::new(canonical).method()` for a registered accessor.
+fn access(type_name: &str, method: &str, canonical: f64) -> Option<f64> {
+    Some(match (type_name, method) {
+        ("Energy", "as_joules") => Energy::new(canonical).as_joules(),
+        ("Energy", "as_kilowatt_hours") => Energy::new(canonical).as_kilowatt_hours(),
+        ("Energy", "as_picojoules") => Energy::new(canonical).as_picojoules(),
+        ("Energy", "as_femtojoules") => Energy::new(canonical).as_femtojoules(),
+        ("Power", "as_watts") => Power::new(canonical).as_watts(),
+        ("Power", "as_milliwatts") => Power::new(canonical).as_milliwatts(),
+        ("Power", "as_microwatts") => Power::new(canonical).as_microwatts(),
+        ("EnergyArea", "as_kwh_per_cm2") => EnergyArea::new(canonical).as_kwh_per_cm2(),
+        ("Time", "as_seconds") => Time::new(canonical).as_seconds(),
+        ("Time", "as_nanoseconds") => Time::new(canonical).as_nanoseconds(),
+        ("Time", "as_picoseconds") => Time::new(canonical).as_picoseconds(),
+        ("Time", "as_hours") => Time::new(canonical).as_hours(),
+        ("Time", "as_days") => Time::new(canonical).as_days(),
+        ("Time", "as_months") => Time::new(canonical).as_months(),
+        ("Frequency", "as_hertz") => Frequency::new(canonical).as_hertz(),
+        ("Frequency", "as_megahertz") => Frequency::new(canonical).as_megahertz(),
+        ("Frequency", "as_gigahertz") => Frequency::new(canonical).as_gigahertz(),
+        ("Length", "as_meters") => Length::new(canonical).as_meters(),
+        ("Length", "as_millimeters") => Length::new(canonical).as_millimeters(),
+        ("Length", "as_micrometers") => Length::new(canonical).as_micrometers(),
+        ("Length", "as_nanometers") => Length::new(canonical).as_nanometers(),
+        ("Area", "as_square_meters") => Area::new(canonical).as_square_meters(),
+        ("Area", "as_square_centimeters") => Area::new(canonical).as_square_centimeters(),
+        ("Area", "as_square_millimeters") => Area::new(canonical).as_square_millimeters(),
+        ("Area", "as_square_micrometers") => Area::new(canonical).as_square_micrometers(),
+        ("CarbonMass", "as_grams") => CarbonMass::new(canonical).as_grams(),
+        ("CarbonMass", "as_kilograms") => CarbonMass::new(canonical).as_kilograms(),
+        ("CarbonMass", "as_tonnes") => CarbonMass::new(canonical).as_tonnes(),
+        ("CarbonIntensity", "as_g_per_kwh") => CarbonIntensity::new(canonical).as_g_per_kwh(),
+        ("CarbonArea", "as_g_per_cm2") => CarbonArea::new(canonical).as_g_per_cm2(),
+        ("CarbonDelay", "as_grams_per_hertz") => CarbonDelay::new(canonical).as_grams_per_hertz(),
+        ("Voltage", "as_volts") => Voltage::new(canonical).as_volts(),
+        ("Voltage", "as_millivolts") => Voltage::new(canonical).as_millivolts(),
+        ("Current", "as_amperes") => Current::new(canonical).as_amperes(),
+        ("Current", "as_microamperes") => Current::new(canonical).as_microamperes(),
+        ("Current", "as_nanoamperes") => Current::new(canonical).as_nanoamperes(),
+        ("Charge", "as_coulombs") => Charge::new(canonical).as_coulombs(),
+        ("Charge", "as_femtocoulombs") => Charge::new(canonical).as_femtocoulombs(),
+        ("Capacitance", "as_farads") => Capacitance::new(canonical).as_farads(),
+        ("Capacitance", "as_femtofarads") => Capacitance::new(canonical).as_femtofarads(),
+        ("Capacitance", "as_attofarads") => Capacitance::new(canonical).as_attofarads(),
+        ("Resistance", "as_ohms") => Resistance::new(canonical).as_ohms(),
+        _ => return None,
+    })
+}
+
+#[test]
+fn every_registered_factor_matches_its_implementation() {
+    // A deliberately awkward raw value so scale errors cannot cancel.
+    const RAW: f64 = 7.25;
+    for spec in REGISTRY {
+        for m in spec.methods {
+            match m.role {
+                MethodRole::Constructor => {
+                    let got = construct(spec.type_name, m.name, RAW).unwrap_or_else(|| {
+                        panic!("{}::{} missing from dispatch table", spec.type_name, m.name)
+                    });
+                    assert!(
+                        approx_eq(got, RAW * m.factor, 1e-12),
+                        "{}::{}({RAW}) = {got}, registry factor {} expects {}",
+                        spec.type_name,
+                        m.name,
+                        m.factor,
+                        RAW * m.factor
+                    );
+                }
+                MethodRole::Accessor => {
+                    let got = access(spec.type_name, m.name, RAW).unwrap_or_else(|| {
+                        panic!("{}::{} missing from dispatch table", spec.type_name, m.name)
+                    });
+                    assert!(
+                        approx_eq(got, RAW / m.factor, 1e-12),
+                        "{}.{}() on canonical {RAW} = {got}, registry factor {} expects {}",
+                        spec.type_name,
+                        m.name,
+                        m.factor,
+                        RAW / m.factor
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn registry_covers_every_exported_quantity_type() {
+    let names: Vec<&str> = REGISTRY.iter().map(|s| s.type_name).collect();
+    for expected in [
+        "Energy",
+        "Power",
+        "EnergyArea",
+        "Time",
+        "Frequency",
+        "Length",
+        "Area",
+        "CarbonMass",
+        "CarbonIntensity",
+        "CarbonArea",
+        "CarbonPerEnergyArea",
+        "CarbonDelay",
+        "Voltage",
+        "Current",
+        "Charge",
+        "Capacitance",
+        "Resistance",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "{expected} missing from REGISTRY"
+        );
+    }
+    assert_eq!(names.len(), 17, "unexpected registry size: {names:?}");
+}

@@ -58,7 +58,8 @@ fn run_kernel(w: &Workload, opts: &Options) -> Result<(), Box<dyn std::error::Er
     if let Some(path) = &opts.vcd {
         let image = asm::assemble(&w.source(reps))?;
         let mut cpu = Cpu::new(&image);
-        let vcd = VcdRecorder::new(w.name(), 2_000).record_run(&mut cpu, 2_000_000_000)?;
+        let vcd = VcdRecorder::new(w.name(), 2_000) // ps per cycle (500 MHz)
+            .record_run(&mut cpu, 2_000_000_000)?; // max_cycles safety stop
         std::fs::write(path, &vcd)?;
         println!("wrote {} ({} bytes of VCD)", path, vcd.len());
     }

@@ -5,6 +5,18 @@
 
 use crate::Workload;
 
+/// Knuth's 32-bit multiplicative-hash constant (⌊2³²/φ⌋); the asm init
+/// loops and their golden models below must agree on it.
+const KNUTH_MUL: u32 = 2_654_435_761;
+/// Multiplier of the second mont64 input stream (`y[i] = i*40503 + 77`).
+const MONT64_Y_MUL: u32 = 40_503;
+/// Numerical Recipes `ranqd1` LCG: multiplier, increment, seed.
+const LCG_MUL: u32 = 1_664_525;
+const LCG_INC: u32 = 1_013_904_223;
+const LCG_SEED: u32 = 12_345;
+/// Steps the fsm kernel and its golden model both execute.
+const FSM_STEPS: u32 = 2000;
+
 /// 64-bit multiply-accumulate (`aha-mont64` analogue): the Cortex-M0 has no
 /// `umull`, so 64-bit products are built from four 16×16 partial products
 /// and carried with `adcs` — exactly the code shape the Embench Montgomery
@@ -111,8 +123,8 @@ fn mont64_source(reps: u32) -> String {
 fn mont64_golden() -> u32 {
     let mut acc = 0u64;
     for i in 0..64u32 {
-        let a = i.wrapping_mul(2_654_435_761);
-        let b = i.wrapping_mul(40_503).wrapping_add(77);
+        let a = i.wrapping_mul(KNUTH_MUL);
+        let b = i.wrapping_mul(MONT64_Y_MUL).wrapping_add(77);
         acc = acc.wrapping_add(u64::from(a) * u64::from(b));
     }
     (acc as u32) ^ ((acc >> 32) as u32)
@@ -363,7 +375,7 @@ pub fn fsm() -> Workload {
 /// The transition table: `table[j] = (j * 2654435761 >> 8) & 63`.
 fn fsm_table() -> Vec<u32> {
     (0..64u32)
-        .map(|j| (j.wrapping_mul(2_654_435_761) >> 8) & 63)
+        .map(|j| (j.wrapping_mul(KNUTH_MUL) >> 8) & 63)
         .collect()
 }
 
@@ -424,9 +436,9 @@ fn fsm_golden() -> u32 {
     let table = fsm_table();
     let mut fold = 0u32;
     let mut state = 1u32;
-    let mut seed = 12_345u32;
-    for _ in 0..2000 {
-        seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+    let mut seed = LCG_SEED;
+    for _ in 0..FSM_STEPS {
+        seed = seed.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC);
         let input = seed >> 26;
         state = table[((state + input) & 63) as usize];
         fold = fold.rotate_left(1) ^ state;
