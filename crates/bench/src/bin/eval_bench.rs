@@ -1,0 +1,149 @@
+//! Measures the parallel evaluation engine and the characterization memo
+//! cache, writing `BENCH_eval.json`.
+//!
+//! ```text
+//! cargo run --release -p ppatc-bench --bin eval_bench
+//! cargo run --release -p ppatc-bench --bin eval_bench -- --samples 100000
+//! ```
+//!
+//! Three workloads are timed (median of 5 warm runs each):
+//!
+//! - the joint Monte-Carlo sweep at 10 000 samples, serial vs. 2/4 workers
+//!   (byte-identical results are asserted, not assumed);
+//! - a 512×512 tCDP-ratio raster, serial vs. 4 workers;
+//! - the capacity sweep cold (every eDRAM macro characterized from
+//!   scratch) vs. warm (every characterization served from the memo
+//!   cache).
+
+use ppatc::montecarlo::{self, MonteCarloConfig, UncertaintyRanges};
+use ppatc::Lifetime;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Timed repetitions per measurement (median reported).
+const RUNS: usize = 5;
+
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let mut samples = 10_000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--samples" => match args.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => samples = n,
+                _ => {
+                    eprintln!("--samples requires a count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cores = ppatc::eval::default_jobs();
+    eprintln!("eval_bench: {cores} core(s) available");
+
+    // --- Capacity sweep: cold (characterize everything) vs. warm (memo
+    // cache). Run this first so the cache is genuinely cold.
+    let (hits0, misses0) = ppatc_edram::characterization_cache_stats();
+    let t = Instant::now();
+    let cold_sweep = ppatc_bench::capacity::sweep_jobs(1);
+    let capacity_cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let (hits1, misses1) = ppatc_edram::characterization_cache_stats();
+    let capacity_warm_ms = median_ms(|| {
+        let warm = ppatc_bench::capacity::sweep_jobs(1);
+        assert_eq!(warm, cold_sweep, "cache must not change sweep results");
+    });
+    let (hits2, misses2) = ppatc_edram::characterization_cache_stats();
+
+    // --- Monte-Carlo sweep, serial vs. parallel (results asserted equal).
+    let map = ppatc_bench::case_study().tcdp_map(Lifetime::months(24.0));
+    let ranges = UncertaintyRanges::paper_default();
+    let config = MonteCarloConfig::new(samples, 2025).expect("sample count >= 1");
+    let reference =
+        montecarlo::try_run_jobs(&map, &ranges, &config, 1).expect("serial sweep evaluates");
+    let mc_ms = |jobs: usize| {
+        median_ms(|| {
+            let r =
+                montecarlo::try_run_jobs(&map, &ranges, &config, jobs).expect("sweep evaluates");
+            assert_eq!(r, reference, "jobs = {jobs} must be byte-identical");
+        })
+    };
+    let mc = [(1, mc_ms(1)), (2, mc_ms(2)), (4, mc_ms(4))];
+
+    // --- Raster, serial vs. parallel.
+    let raster_ref = map
+        .try_raster_jobs((0.5, 3.0), (0.25, 1.5), 512, 512, 1)
+        .expect("raster evaluates");
+    let raster_ms = |jobs: usize| {
+        median_ms(|| {
+            let g = map
+                .try_raster_jobs((0.5, 3.0), (0.25, 1.5), 512, 512, jobs)
+                .expect("raster evaluates");
+            assert_eq!(g, raster_ref, "jobs = {jobs} must be byte-identical");
+        })
+    };
+    let raster = [(1, raster_ms(1)), (4, raster_ms(4))];
+
+    let json = format!(
+        r#"{{
+  "benchmark": "ppatc-core parallel evaluation engine + eDRAM characterization memo cache",
+  "command": "cargo run --release -p ppatc-bench --bin eval_bench",
+  "methodology": "median of {RUNS} warm runs per row; serial-vs-parallel results asserted byte-identical before timing is reported",
+  "host": {{
+    "available_parallelism": {cores},
+    "note": "on a 1-core host the parallel rows measure engine overhead only; the Monte-Carlo and raster stages scale with cores because every sample/point is a pure function of its index. Regenerate on the target host with the command above."
+  }},
+  "monte_carlo_{samples}_samples_ms": {{
+    "jobs_1": {:.3},
+    "jobs_2": {:.3},
+    "jobs_4": {:.3}
+  }},
+  "raster_512x512_ms": {{
+    "jobs_1": {:.3},
+    "jobs_4": {:.3}
+  }},
+  "capacity_sweep_ms": {{
+    "cold_cache": {:.1},
+    "warm_cache": {:.3},
+    "speedup": {:.1},
+    "characterizations_cold": {},
+    "characterizations_warm": {},
+    "cache_hits_during_warm_runs": {}
+  }},
+  "determinism": "asserted in-process: MonteCarloResult and raster grid equal for jobs 1/2/4; also covered by tests/parallel_eval.rs"
+}}"#,
+        mc[0].1,
+        mc[1].1,
+        mc[2].1,
+        raster[0].1,
+        raster[1].1,
+        capacity_cold_ms,
+        capacity_warm_ms,
+        capacity_cold_ms / capacity_warm_ms.max(1e-9),
+        misses1 - misses0,
+        misses2 - misses1,
+        hits2 - hits1,
+    );
+    let _ = hits0;
+    if let Err(e) = std::fs::write("BENCH_eval.json", format!("{json}\n")) {
+        eprintln!("failed to write BENCH_eval.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    ExitCode::SUCCESS
+}

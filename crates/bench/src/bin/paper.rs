@@ -2,14 +2,39 @@
 //!
 //! ```text
 //! cargo run --release -p ppatc-bench --bin paper -- table2
+//! cargo run --release -p ppatc-bench --bin paper -- montecarlo --jobs 4
 //! cargo run --release -p ppatc-bench --bin paper -- all
 //! ```
+//!
+//! `--jobs N` shards the evaluation-heavy exhibits (`montecarlo`,
+//! `capacity`, and their appearances in `all`) across N workers; the
+//! output is byte-identical for every worker count. The default is one
+//! worker per available core.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let output = match arg.as_str() {
+    let mut exhibit: Option<String> = None;
+    let mut jobs = ppatc::eval::default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => match args.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("--jobs requires a worker count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if exhibit.is_none() => exhibit = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let exhibit = exhibit.unwrap_or_else(|| "all".to_string());
+    let output = match exhibit.as_str() {
         "table1" => ppatc_bench::table1::render(),
         "fig2ab" => ppatc_bench::fig2ab::render(),
         "fig2c" => ppatc_bench::fig2c::render(),
@@ -21,9 +46,9 @@ fn main() -> ExitCode {
         "fig6b" => ppatc_bench::fig6::render_uncertainty(),
         "ablations" => ppatc_bench::ablation::render(),
         "workloads" => ppatc_bench::extras::render_workloads(),
-        "montecarlo" => ppatc_bench::extras::render_monte_carlo(),
-        "capacity" => ppatc_bench::capacity::render(),
-        "all" => ppatc_bench::render_all(),
+        "montecarlo" => ppatc_bench::extras::render_monte_carlo_jobs(jobs),
+        "capacity" => ppatc_bench::capacity::render_jobs(jobs),
+        "all" => ppatc_bench::render_all_jobs(jobs),
         other => {
             eprintln!(
                 "unknown exhibit `{other}`; expected one of: table1 fig2ab fig2c fig2d fig4 table2 fig5 fig6a fig6b ablations workloads montecarlo capacity all"

@@ -26,61 +26,76 @@ pub struct CapacityPoint {
     pub m3d_benefit_24mo: f64,
 }
 
+/// The swept per-macro capacities, kB.
+const CAPACITIES_KB: [u32; 5] = [16, 32, 64, 128, 256];
+
 /// Sweeps per-macro capacity (program and data memories both sized to it).
 pub fn sweep() -> Vec<CapacityPoint> {
+    sweep_jobs(1)
+}
+
+/// [`sweep`] with capacity points evaluated across `jobs` workers. The
+/// result is byte-identical for any worker count; each point's two eDRAM
+/// characterizations are served from [`ppatc_edram::EdramMacro`]'s memo
+/// cache after the first request for that `(technology, organization)`.
+pub fn sweep_jobs(jobs: usize) -> Vec<CapacityPoint> {
     let run = matmul_run();
     let f = Frequency::from_megahertz(500.0);
     let life = Lifetime::months(24.0);
-    [16u32, 32, 64, 128, 256]
-        .iter()
-        .map(|&kb| {
-            let org = Organization::new(kb * 1024, 2 * 1024, 32);
-            let si = SystemDesign::with_flavor_and_memory(
-                Technology::AllSi,
-                f,
-                SiVtFlavor::Rvt,
-                org.clone(),
-            )
-            .expect("all-Si designs at this capacity");
-            let m3d = SystemDesign::with_flavor_and_memory(
-                Technology::M3dIgzoCnfetSi,
-                f,
-                SiVtFlavor::Rvt,
-                org,
-            )
-            .expect("M3D designs at this capacity");
-            let study = CaseStudy::from_designs(
-                si.clone(),
-                m3d.clone(),
-                run,
-                EmbodiedPipeline::paper_default(),
-                UsagePattern::paper_default(),
-            );
-            CapacityPoint {
-                kb_per_macro: kb,
-                area_mm2: [
-                    si.area().as_square_millimeters(),
-                    m3d.area().as_square_millimeters(),
-                ],
-                embodied_g: [
-                    study.embodied(Technology::AllSi).per_good_die().as_grams(),
-                    study
-                        .embodied(Technology::M3dIgzoCnfetSi)
-                        .per_good_die()
-                        .as_grams(),
-                ],
-                m3d_benefit_24mo: 1.0 / study.tcdp_ratio(life),
-            }
-        })
-        .collect()
+    ppatc::eval::par_map_indexed(CAPACITIES_KB.len(), jobs, |k| {
+        let kb = CAPACITIES_KB[k];
+        let org = Organization::new(kb * 1024, 2 * 1024, 32);
+        let si = SystemDesign::with_flavor_and_memory(
+            Technology::AllSi,
+            f,
+            SiVtFlavor::Rvt,
+            org.clone(),
+        )
+        .expect("all-Si designs at this capacity");
+        let m3d = SystemDesign::with_flavor_and_memory(
+            Technology::M3dIgzoCnfetSi,
+            f,
+            SiVtFlavor::Rvt,
+            org,
+        )
+        .expect("M3D designs at this capacity");
+        let study = CaseStudy::from_designs(
+            si.clone(),
+            m3d.clone(),
+            run,
+            EmbodiedPipeline::paper_default(),
+            UsagePattern::paper_default(),
+        );
+        CapacityPoint {
+            kb_per_macro: kb,
+            area_mm2: [
+                si.area().as_square_millimeters(),
+                m3d.area().as_square_millimeters(),
+            ],
+            embodied_g: [
+                study.embodied(Technology::AllSi).per_good_die().as_grams(),
+                study
+                    .embodied(Technology::M3dIgzoCnfetSi)
+                    .per_good_die()
+                    .as_grams(),
+            ],
+            m3d_benefit_24mo: 1.0 / study.tcdp_ratio(life),
+        }
+    })
 }
 
 /// Renders the sweep.
 pub fn render() -> String {
+    render_jobs(1)
+}
+
+/// [`render`] with the sweep evaluated across `jobs` workers (identical
+/// output for any worker count).
+pub fn render_jobs(jobs: usize) -> String {
     let mut out = String::from(
         "kB/macro   area Si (mm²)   area M3D   emb Si (g)   emb M3D   M3D benefit @24mo\n",
     );
-    for p in sweep() {
+    for p in sweep_jobs(jobs) {
         out.push_str(&format!(
             "{:>8}{:>16.3}{:>11.3}{:>13.2}{:>10.2}{:>15.3}x\n",
             p.kb_per_macro,
@@ -130,6 +145,15 @@ mod tests {
                 pair[1].kb_per_macro
             );
         }
+    }
+
+    #[test]
+    fn parallel_sweep_is_identical_to_serial() {
+        let serial = sweep_jobs(1);
+        for jobs in [2, 8] {
+            assert_eq!(serial, sweep_jobs(jobs), "jobs = {jobs}");
+        }
+        assert_eq!(render_jobs(1), render_jobs(4));
     }
 
     #[test]

@@ -2,22 +2,46 @@
 //! uncertainty summary and the workload-suite characterization table.
 
 use crate::case_study;
-use ppatc::montecarlo::{self, MonteCarloResult, UncertaintyRanges};
+use ppatc::montecarlo::{self, MonteCarloConfig, MonteCarloResult, UncertaintyRanges};
 use ppatc::Lifetime;
 use ppatc_workloads::Workload;
+
+/// The deterministic seed of the Monte-Carlo exhibit.
+const MC_SEED: u64 = 2025;
 
 /// Joint Monte-Carlo run over all Fig. 6b uncertainty sources at the
 /// nominal design point (deterministic seed).
 pub fn monte_carlo(samples: usize) -> MonteCarloResult {
+    monte_carlo_jobs(samples, 1)
+}
+
+/// [`monte_carlo`] sharded across `jobs` workers; byte-identical to the
+/// serial run for any worker count.
+pub fn monte_carlo_jobs(samples: usize, jobs: usize) -> MonteCarloResult {
     let map = case_study().tcdp_map(Lifetime::months(24.0));
-    montecarlo::run(&map, &UncertaintyRanges::paper_default(), samples, 2025)
+    let config = MonteCarloConfig::new(samples, MC_SEED).expect("sample count >= 1");
+    montecarlo::try_run_jobs(&map, &UncertaintyRanges::paper_default(), &config, jobs)
+        .expect("paper-default sweep evaluates")
 }
 
 /// Renders the Monte-Carlo summary with the per-source sensitivity ranking.
 pub fn render_monte_carlo() -> String {
-    let r = monte_carlo(20_000);
+    render_monte_carlo_jobs(1)
+}
+
+/// [`render_monte_carlo`] with sampling and sensitivity sharded across
+/// `jobs` workers (identical output for any worker count).
+pub fn render_monte_carlo_jobs(jobs: usize) -> String {
+    let r = monte_carlo_jobs(20_000, jobs);
     let map = case_study().tcdp_map(Lifetime::months(24.0));
-    let shares = montecarlo::sensitivity(&map, &UncertaintyRanges::paper_default(), 10_000, 2025);
+    let shares = montecarlo::try_sensitivity_jobs(
+        &map,
+        &UncertaintyRanges::paper_default(),
+        10_000,
+        MC_SEED,
+        jobs,
+    )
+    .expect("paper-default sensitivity evaluates");
     let mut out = format!(
         "joint uncertainty (lifetime 18-30 mo, CI /3..x3, yield 10-90%, model error ~±25%):\n{r}\n\nvariance shares by source:\n"
     );
@@ -88,6 +112,14 @@ mod tests {
         let b = monte_carlo(4000);
         assert_eq!(a, b);
         assert!((0.05..0.95).contains(&a.p_m3d_wins), "P = {}", a.p_m3d_wins);
+    }
+
+    #[test]
+    fn parallel_monte_carlo_matches_serial() {
+        let serial = monte_carlo_jobs(4000, 1);
+        for jobs in [2, 8] {
+            assert_eq!(serial, monte_carlo_jobs(4000, jobs), "jobs = {jobs}");
+        }
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub fn case_study() -> &'static CaseStudy {
 
 /// Renders every exhibit in paper order.
 pub fn render_all() -> String {
+    render_all_jobs(1)
+}
+
+/// [`render_all`] with the evaluation-heavy exhibits (Monte Carlo,
+/// capacity sweep) sharded across `jobs` workers; identical output for any
+/// worker count.
+pub fn render_all_jobs(jobs: usize) -> String {
     let mut out = String::new();
     for (name, body) in [
         ("Table I", table1::render()),
@@ -67,8 +74,8 @@ pub fn render_all() -> String {
         ("Fig. 6b", fig6::render_uncertainty()),
         ("Ablations", ablation::render()),
         ("Workload suite", extras::render_workloads()),
-        ("Monte Carlo", extras::render_monte_carlo()),
-        ("Capacity sweep", capacity::render()),
+        ("Monte Carlo", extras::render_monte_carlo_jobs(jobs)),
+        ("Capacity sweep", capacity::render_jobs(jobs)),
     ] {
         out.push_str(&format!("==== {name} ====\n{body}\n\n"));
     }

@@ -146,6 +146,15 @@ pub enum PpatcError {
         /// The configured maximum tolerated failed fraction.
         budget: f64,
     },
+    /// Every sample of a Monte-Carlo sweep failed to evaluate, leaving no
+    /// survivors to compute statistics over. Distinct from
+    /// [`PpatcError::FailureBudgetExceeded`]: this is reported when the
+    /// configured budget *tolerates* the failures (e.g. `failure_budget =
+    /// 1.0`) but the statistics are still undefined.
+    NoSurvivingSamples {
+        /// Total number of samples drawn (all of which failed).
+        samples: usize,
+    },
 }
 
 impl core::fmt::Display for PpatcError {
@@ -167,6 +176,11 @@ impl core::fmt::Display for PpatcError {
                  failure budget of {:.1}%",
                 budget * 100.0
             ),
+            Self::NoSurvivingSamples { samples } => write!(
+                f,
+                "all {samples} Monte-Carlo samples failed to evaluate; no \
+                 survivors to compute statistics over"
+            ),
         }
     }
 }
@@ -180,7 +194,7 @@ impl std::error::Error for PpatcError {
             Self::Workload(e) => Some(e),
             Self::Timing(e) => Some(e),
             Self::Validation(e) => Some(e),
-            Self::FailureBudgetExceeded { .. } => None,
+            Self::FailureBudgetExceeded { .. } | Self::NoSurvivingSamples { .. } => None,
         }
     }
 }
@@ -279,5 +293,14 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("7 of 100"), "{text}");
         assert!(text.contains("5.0%"), "{text}");
+    }
+
+    #[test]
+    fn display_covers_no_survivors_variant() {
+        let e = PpatcError::NoSurvivingSamples { samples: 42 };
+        let text = e.to_string();
+        assert!(text.contains("all 42"), "{text}");
+        assert!(text.contains("no"), "{text}");
+        assert!(e.source().is_none());
     }
 }

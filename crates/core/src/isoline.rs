@@ -221,6 +221,22 @@ impl TcdpMap {
         nx: usize,
         ny: usize,
     ) -> Result<Vec<(f64, f64, f64)>, ValidationError> {
+        self.try_raster_jobs((x0, x1), (y0, y1), nx, ny, 1)
+    }
+
+    /// [`TcdpMap::try_raster`] sharded across `jobs` workers; the grid is
+    /// byte-identical to the serial raster for any worker count (every
+    /// point is a pure function of its grid index).
+    #[must_use = "this returns a Result that must be handled"]
+    // ppatc-lint: allow(raw-unit-api) — raster axes are dimensionless scale factors
+    pub fn try_raster_jobs(
+        &self,
+        (x0, x1): (f64, f64),
+        (y0, y1): (f64, f64),
+        nx: usize,
+        ny: usize,
+        jobs: usize,
+    ) -> Result<Vec<(f64, f64, f64)>, ValidationError> {
         if nx < 2 {
             return Err(ValidationError::new("nx", nx as f64, ">= 2"));
         }
@@ -235,15 +251,13 @@ impl TcdpMap {
         if !(y1.is_finite() && y1 > y0) {
             return Err(ValidationError::new("y1", y1, "finite and > y0"));
         }
-        let mut out = Vec::with_capacity(nx * ny);
-        for j in 0..ny {
+        Ok(crate::eval::par_map_indexed(nx * ny, jobs, |k| {
+            let j = k / nx;
+            let i = k % nx;
             let y = y0 + (y1 - y0) * (j as f64) / ((ny - 1) as f64);
-            for i in 0..nx {
-                let x = x0 + (x1 - x0) * (i as f64) / ((nx - 1) as f64);
-                out.push((x, y, self.ratio(x, y)));
-            }
-        }
-        Ok(out)
+            let x = x0 + (x1 - x0) * (i as f64) / ((nx - 1) as f64);
+            (x, y, self.ratio(x, y))
+        }))
     }
 
     /// Panicking convenience wrapper around [`TcdpMap::try_raster`].
@@ -444,6 +458,25 @@ mod tests {
             .try_raster((3.0, 0.5), (0.25, 1.5), 6, 5)
             .expect_err("empty range rejected");
         assert_eq!(e.field, "x1");
+    }
+
+    #[test]
+    fn parallel_raster_is_byte_identical_to_serial() {
+        let m = map();
+        let serial = m
+            .try_raster_jobs((0.5, 3.0), (0.25, 1.5), 40, 30, 1)
+            .expect("serial raster");
+        for jobs in [2, 8] {
+            let parallel = m
+                .try_raster_jobs((0.5, 3.0), (0.25, 1.5), 40, 30, jobs)
+                .expect("parallel raster");
+            let bits = |grid: &[(f64, f64, f64)]| {
+                grid.iter()
+                    .map(|(x, y, r)| (x.to_bits(), y.to_bits(), r.to_bits()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(bits(&serial), bits(&parallel), "jobs = {jobs}");
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 mod embodied;
 pub mod error;
+pub mod eval;
 mod isoline;
 mod lifetime;
 pub mod mix;

@@ -9,7 +9,21 @@
 //! decision-grade summary ("M3D wins in 74% of futures") instead of a
 //! family of isolines.
 //!
-//! Sampling is deterministic given a seed, so results are reproducible.
+//! # Sampling discipline
+//!
+//! Sample *i* is a **pure function of `(seed, i)`**: each sample draws from
+//! its own counter-indexed [`SplitMix64::stream`], and each of the five
+//! uncertainty sources always consumes exactly one draw (even when its
+//! range is degenerate). Consequences:
+//!
+//! - results are reproducible from a seed, and sample *i* is identical
+//!   whether the sweep draws 100 or 10 000 samples;
+//! - the freeze-one-at-a-time sensitivity in [`try_sensitivity`] is
+//!   properly *paired*: pinning one source leaves every other source's
+//!   draws untouched, so the variance reduction it measures is exactly the
+//!   pinned source's share;
+//! - sweeps can be sharded across workers ([`try_run_jobs`]) with results
+//!   byte-identical to the serial run for any worker count.
 //!
 //! # Fault isolation
 //!
@@ -281,6 +295,19 @@ pub fn try_run(
     try_run_with(map, ranges, config)
 }
 
+/// [`try_run`] sharded across `jobs` workers; byte-identical to the serial
+/// run for any worker count (each sample is a pure function of
+/// `(seed, index)` and the reduction sees ratios in index order).
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_run_jobs(
+    map: &TcdpMap,
+    ranges: &UncertaintyRanges,
+    config: &MonteCarloConfig,
+    jobs: usize,
+) -> Result<MonteCarloResult, PpatcError> {
+    try_run_with_jobs(map, ranges, config, jobs)
+}
+
 /// Runs a Monte-Carlo sweep over any [`RatioSource`], isolating per-sample
 /// failures.
 ///
@@ -289,7 +316,9 @@ pub fn try_run(
 /// [`FailureBreakdown`] instead of aborting the sweep. Statistics are
 /// computed over the survivors. Returns
 /// [`PpatcError::FailureBudgetExceeded`] when the failed fraction exceeds
-/// [`MonteCarloConfig::failure_budget`], or when no sample survives at all.
+/// [`MonteCarloConfig::failure_budget`], or
+/// [`PpatcError::NoSurvivingSamples`] when the budget tolerates the
+/// failures but every sample failed.
 #[must_use = "this returns a Result that must be handled"]
 pub fn try_run_with(
     source: &dyn RatioSource,
@@ -298,13 +327,41 @@ pub fn try_run_with(
 ) -> Result<MonteCarloResult, PpatcError> {
     ranges.validate()?;
     let n = config.samples;
-    let mut rng = SplitMix64::new(config.seed);
-    let mut ratios = Vec::with_capacity(n);
+    let ratios: Vec<f64> = (0..n)
+        .map(|i| source.tcdp_ratio(&draw_sample(config.seed, i as u64, ranges)))
+        .collect();
+    summarize(ratios, config)
+}
+
+/// [`try_run_with`] sharded across `jobs` workers. Requires a thread-safe
+/// source; results are byte-identical to [`try_run_with`] for any worker
+/// count *provided the source is a pure function of the sample* (sources
+/// whose output depends on call order — e.g. call-counting fault
+/// injectors — should use the serial entry point).
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_run_with_jobs(
+    source: &(dyn RatioSource + Sync),
+    ranges: &UncertaintyRanges,
+    config: &MonteCarloConfig,
+    jobs: usize,
+) -> Result<MonteCarloResult, PpatcError> {
+    ranges.validate()?;
+    let n = config.samples;
+    let ratios = crate::eval::par_map_indexed(n, jobs, |i| {
+        source.tcdp_ratio(&draw_sample(config.seed, i as u64, ranges))
+    });
+    summarize(ratios, config)
+}
+
+/// The serial reduction shared by every sweep entry point: classifies the
+/// index-ordered ratios, applies the failure budget, and computes survivor
+/// statistics with linearly interpolated quantiles.
+fn summarize(ratios: Vec<f64>, config: &MonteCarloConfig) -> Result<MonteCarloResult, PpatcError> {
+    let n = ratios.len();
+    let mut survivors = Vec::with_capacity(n);
     let mut failures = FailureBreakdown::default();
     let mut wins = 0usize;
-    for _ in 0..n {
-        let sample = draw(&mut rng, ranges);
-        let r = source.tcdp_ratio(&sample);
+    for r in ratios {
         if !r.is_finite() || r <= 0.0 {
             failures.record(r);
             continue;
@@ -312,26 +369,42 @@ pub fn try_run_with(
         if r < 1.0 {
             wins += 1;
         }
-        ratios.push(r);
+        survivors.push(r);
     }
     let failed = failures.total();
-    if ratios.is_empty() || failed as f64 / n as f64 > config.failure_budget {
+    if failed as f64 / n as f64 > config.failure_budget {
         return Err(PpatcError::FailureBudgetExceeded {
             failed,
             samples: n,
             budget: config.failure_budget,
         });
     }
-    ratios.sort_by(f64::total_cmp);
-    let survivors = ratios.len();
-    let q = |p: f64| ratios[(p * (survivors - 1) as f64).round() as usize];
+    if survivors.is_empty() {
+        return Err(PpatcError::NoSurvivingSamples { samples: n });
+    }
+    survivors.sort_by(f64::total_cmp);
+    let m = survivors.len();
+    let q = |p: f64| interpolated_quantile(&survivors, p);
     Ok(MonteCarloResult {
         samples: n,
-        evaluated: survivors,
+        evaluated: m,
         failures,
-        p_m3d_wins: wins as f64 / survivors as f64,
+        p_m3d_wins: wins as f64 / m as f64,
         ratio_quantiles: (q(0.05), q(0.50), q(0.95)),
     })
+}
+
+/// Linearly interpolated quantile of an ascending-sorted non-empty slice
+/// (the "type 7" estimator): rank `p·(m−1)` split into its integer floor
+/// and fractional part. Unlike nearest-rank rounding, p05/p95 do not
+/// collapse onto min/max for small survivor sets, and the estimate varies
+/// continuously with `p`.
+fn interpolated_quantile(sorted: &[f64], p: f64) -> f64 {
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 /// Variance-based sensitivity: for each uncertainty source, the fraction of
@@ -367,16 +440,35 @@ pub fn try_sensitivity(
     n: usize,
     seed: u64,
 ) -> Result<Vec<(&'static str, f64)>, PpatcError> {
+    try_sensitivity_jobs(map, ranges, n, seed, 1)
+}
+
+/// [`try_sensitivity`] sharded across `jobs` workers; byte-identical to the
+/// serial run for any worker count.
+///
+/// Because every sample is a pure function of `(seed, index)` and every
+/// source always consumes exactly one draw, the frozen variants are
+/// *paired* with the base sweep: sample *i* of a frozen variant differs
+/// from base sample *i* only in the pinned source.
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_sensitivity_jobs(
+    map: &TcdpMap,
+    ranges: &UncertaintyRanges,
+    n: usize,
+    seed: u64,
+    jobs: usize,
+) -> Result<Vec<(&'static str, f64)>, PpatcError> {
     if n == 0 {
         return Err(ValidationError::new("samples", 0.0, ">= 1").into());
     }
     ranges.validate()?;
     let variance_of = |ranges: &UncertaintyRanges, seed: u64| {
-        let mut rng = SplitMix64::new(seed);
-        let ratios: Vec<f64> = (0..n)
-            .map(|_| map.ratio_sampled(&draw(&mut rng, ranges)))
-            .filter(|r| r.is_finite())
-            .collect();
+        let ratios: Vec<f64> = crate::eval::par_map_indexed(n, jobs, |i| {
+            map.ratio_sampled(&draw_sample(seed, i as u64, ranges))
+        })
+        .into_iter()
+        .filter(|r| r.is_finite())
+        .collect();
         if ratios.is_empty() {
             return 0.0;
         }
@@ -447,13 +539,41 @@ pub fn try_sensitivity(
     Ok(out)
 }
 
-fn draw(rng: &mut SplitMix64, r: &UncertaintyRanges) -> UncertaintySample {
+/// Draws sample `index` of the sweep seeded with `seed` — a pure function
+/// of `(seed, index)`, independent of the total sample count and of any
+/// other sample.
+///
+/// Each of the five sources consumes exactly one draw from the sample's
+/// counter-indexed stream, even when its range is degenerate (`hi == lo`),
+/// so pinning one source never shifts another source's draw — the property
+/// the paired sensitivity freezes in [`try_sensitivity`] rely on.
+///
+/// `ranges` are used as given; sweep entry points validate them first.
+pub fn draw_sample(seed: u64, index: u64, r: &UncertaintyRanges) -> UncertaintySample {
+    let rng = &mut SplitMix64::stream(seed, index);
     UncertaintySample {
-        lifetime: Lifetime::months(rng.uniform(r.lifetime_months.0, r.lifetime_months.1)),
-        ci_scale: rng.log_uniform(r.ci_use_scale.0, r.ci_use_scale.1),
-        m3d_yield: rng.uniform(r.m3d_yield.0, r.m3d_yield.1),
-        embodied_scale: rng.log_uniform(r.m3d_embodied_scale.0, r.m3d_embodied_scale.1),
-        eop_scale: rng.log_uniform(r.m3d_eop_scale.0, r.m3d_eop_scale.1),
+        lifetime: Lifetime::months(lerp(rng, r.lifetime_months)),
+        ci_scale: lerp_log(rng, r.ci_use_scale),
+        m3d_yield: lerp(rng, r.m3d_yield),
+        embodied_scale: lerp_log(rng, r.m3d_embodied_scale),
+        eop_scale: lerp_log(rng, r.m3d_eop_scale),
+    }
+}
+
+/// Uniform draw over `[lo, hi)` that always consumes exactly one variate
+/// (returns `lo` exactly when the range is degenerate).
+fn lerp(rng: &mut SplitMix64, (lo, hi): (f64, f64)) -> f64 {
+    lo + (hi - lo) * rng.next_f64()
+}
+
+/// Log-uniform draw over `[lo, hi)` that always consumes exactly one
+/// variate (returns `lo` exactly when the range is degenerate).
+fn lerp_log(rng: &mut SplitMix64, (lo, hi): (f64, f64)) -> f64 {
+    let u = rng.next_f64();
+    if hi > lo {
+        (lo.ln() + (hi.ln() - lo.ln()) * u).exp()
+    } else {
+        lo
     }
 }
 
@@ -601,6 +721,151 @@ mod tests {
     fn zero_samples_is_a_structured_error() {
         let e = MonteCarloConfig::new(0, 1).expect_err("zero samples rejected");
         assert_eq!(e.field, "samples");
+    }
+
+    /// A source that records every sample it is asked to evaluate.
+    struct RecordingSource {
+        inner: TcdpMap,
+        seen: core::cell::RefCell<Vec<UncertaintySample>>,
+    }
+
+    impl RatioSource for RecordingSource {
+        fn tcdp_ratio(&self, sample: &UncertaintySample) -> f64 {
+            self.seen.borrow_mut().push(*sample);
+            self.inner.ratio_sampled(sample)
+        }
+    }
+
+    #[test]
+    fn sample_i_is_identical_for_100_and_10_000_samples() {
+        // Regression: samples used to share one sequential stream, so
+        // sample i depended on the draw history of samples 0..i and (via
+        // buffer reuse bugs elsewhere) on the configured total. Each sample
+        // is now a pure function of (seed, i).
+        let ranges = UncertaintyRanges::paper_default();
+        let record = |n: usize| {
+            let source = RecordingSource {
+                inner: map(),
+                seen: core::cell::RefCell::new(Vec::new()),
+            };
+            let config = MonteCarloConfig::new(n, 12345).expect("valid config");
+            let _ = try_run_with(&source, &ranges, &config).expect("sweep runs");
+            source.seen.into_inner()
+        };
+        let small = record(100);
+        let large = record(10_000);
+        assert_eq!(small.len(), 100);
+        assert_eq!(large.len(), 10_000);
+        for (i, (a, b)) in small.iter().zip(&large).enumerate() {
+            assert_eq!(a, b, "sample {i} depends on the sample count");
+        }
+        // And directly: the public draw is pure in (seed, index).
+        assert_eq!(
+            draw_sample(12345, 77, &ranges),
+            draw_sample(12345, 77, &ranges)
+        );
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_shift_other_sources_draws() {
+        // Pinning one source must leave every other source's draw at
+        // sample i untouched (the paired-freeze property).
+        let ranges = UncertaintyRanges::paper_default();
+        let frozen = UncertaintyRanges {
+            ci_use_scale: (1.0, 1.0),
+            ..ranges
+        };
+        for i in 0..50 {
+            let a = draw_sample(9, i, &ranges);
+            let b = draw_sample(9, i, &frozen);
+            assert_eq!(a.lifetime, b.lifetime);
+            assert_eq!(b.ci_scale, 1.0);
+            assert_eq!(a.m3d_yield, b.m3d_yield);
+            assert_eq!(a.embodied_scale, b.embodied_scale);
+            assert_eq!(a.eop_scale, b.eop_scale);
+        }
+    }
+
+    /// A source that replays a fixed ratio sequence in call order.
+    struct SequenceSource {
+        values: Vec<f64>,
+        calls: core::cell::Cell<usize>,
+    }
+
+    impl RatioSource for SequenceSource {
+        fn tcdp_ratio(&self, _: &UncertaintySample) -> f64 {
+            let i = self.calls.get();
+            self.calls.set(i + 1);
+            self.values[i % self.values.len()]
+        }
+    }
+
+    #[test]
+    fn quantiles_are_linearly_interpolated() {
+        // Regression: nearest-rank rounding collapsed p05/p95 onto min/max
+        // for small survivor sets. For the 10-sample set {1..10} the type-7
+        // estimator gives rank p·9: p05 → 1.45, p50 → 5.5, p95 → 9.55.
+        let source = SequenceSource {
+            values: vec![10.0, 1.0, 9.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0, 5.0],
+            calls: core::cell::Cell::new(0),
+        };
+        let config = MonteCarloConfig::new(10, 1).expect("valid config");
+        let r = try_run_with(&source, &UncertaintyRanges::paper_default(), &config)
+            .expect("all samples survive");
+        let (q05, q50, q95) = r.ratio_quantiles;
+        assert!((q05 - 1.45).abs() < 1e-12, "q05 = {q05}");
+        assert!((q50 - 5.5).abs() < 1e-12, "q50 = {q50}");
+        assert!((q95 - 9.55).abs() < 1e-12, "q95 = {q95}");
+    }
+
+    #[test]
+    fn all_samples_failing_is_distinguished_from_a_blown_budget() {
+        struct AlwaysNan;
+        impl RatioSource for AlwaysNan {
+            fn tcdp_ratio(&self, _: &UncertaintySample) -> f64 {
+                f64::NAN
+            }
+        }
+        let ranges = UncertaintyRanges::paper_default();
+        // With a budget that tolerates every failure, the honest report is
+        // "no survivors", not "budget exceeded".
+        let tolerant = MonteCarloConfig::new(40, 1)
+            .expect("valid")
+            .with_failure_budget(1.0)
+            .expect("valid budget");
+        match try_run_with(&AlwaysNan, &ranges, &tolerant) {
+            Err(PpatcError::NoSurvivingSamples { samples }) => assert_eq!(samples, 40),
+            other => panic!("expected NoSurvivingSamples, got {other:?}"),
+        }
+        // With a zero budget, the budget violation is the primary cause.
+        let strict = MonteCarloConfig::new(40, 1).expect("valid");
+        match try_run_with(&AlwaysNan, &ranges, &strict) {
+            Err(PpatcError::FailureBudgetExceeded {
+                failed, samples, ..
+            }) => {
+                assert_eq!(failed, 40);
+                assert_eq!(samples, 40);
+            }
+            other => panic!("expected FailureBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let m = map();
+        let ranges = UncertaintyRanges::paper_default();
+        let config = MonteCarloConfig::new(3000, 2024).expect("valid config");
+        let serial = try_run_jobs(&m, &ranges, &config, 1).expect("serial");
+        for jobs in [2, 5, 8] {
+            let parallel = try_run_jobs(&m, &ranges, &config, jobs).expect("parallel");
+            assert_eq!(serial, parallel, "jobs = {jobs}");
+            let bits = |q: (f64, f64, f64)| (q.0.to_bits(), q.1.to_bits(), q.2.to_bits());
+            assert_eq!(
+                bits(serial.ratio_quantiles),
+                bits(parallel.ratio_quantiles),
+                "jobs = {jobs}"
+            );
+        }
     }
 
     /// A source that fails (returns NaN) on every k-th sample.

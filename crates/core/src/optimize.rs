@@ -191,43 +191,30 @@ impl Optimizer {
     /// memory close timing), ranking feasible candidates first, each group
     /// by ascending tCDP.
     pub fn run(&self, workload: &WorkloadRun) -> Vec<Candidate> {
-        let mut out = Vec::new();
+        self.run_jobs(workload, 1)
+    }
+
+    /// [`Optimizer::run`] with candidate evaluation sharded across `jobs`
+    /// workers. The ranking is byte-identical to the serial run for any
+    /// worker count: candidates are evaluated at fixed enumeration indices
+    /// and merged back into enumeration order before the (stable) sort.
+    /// Repeated eDRAM characterizations across candidates sharing a
+    /// `(technology, organization)` pair are served from
+    /// [`ppatc_edram::EdramMacro`]'s memo cache.
+    pub fn run_jobs(&self, workload: &WorkloadRun, jobs: usize) -> Vec<Candidate> {
+        let mut points = Vec::with_capacity(self.space.len());
         for &tech in &self.space.technologies {
             for &flavor in &self.space.flavors {
                 for &f_clk in &self.space.clocks {
-                    let Ok(design) = SystemDesign::with_flavor(tech, f_clk, flavor) else {
-                        continue; // cannot close timing: not a design
-                    };
-                    let eval = design.evaluate(workload);
-                    let embodied = self.embodied.per_good_die(&design);
-                    let trajectory = crate::lifetime::CarbonTrajectory::new(
-                        embodied.per_good_die(),
-                        eval.operational_power,
-                        self.usage,
-                        eval.execution_time,
-                    );
-                    let feasible = self
-                        .constraints
-                        .max_execution_time
-                        .is_none_or(|t| eval.execution_time <= t)
-                        && self.constraints.max_area.is_none_or(|a| design.area() <= a)
-                        && self
-                            .constraints
-                            .max_power
-                            .is_none_or(|p| eval.operational_power <= p);
-                    out.push(Candidate {
-                        technology: tech,
-                        flavor,
-                        f_clk,
-                        tcdp: trajectory.tcdp(self.lifetime),
-                        execution_time: eval.execution_time,
-                        area: design.area(),
-                        power: eval.operational_power,
-                        feasible,
-                    });
+                    points.push((tech, flavor, f_clk));
                 }
             }
         }
+        let evaluated = crate::eval::par_map_indexed(points.len(), jobs, |k| {
+            let (tech, flavor, f_clk) = points[k];
+            self.evaluate_candidate(tech, flavor, f_clk, workload)
+        });
+        let mut out: Vec<Candidate> = evaluated.into_iter().flatten().collect();
         out.sort_by(|a, b| {
             b.feasible.cmp(&a.feasible).then(f64::total_cmp(
                 &a.tcdp.as_grams_per_hertz(),
@@ -237,10 +224,56 @@ impl Optimizer {
         out
     }
 
+    /// Evaluates one design point; `None` when it cannot close timing (not
+    /// a design at all).
+    fn evaluate_candidate(
+        &self,
+        tech: Technology,
+        flavor: SiVtFlavor,
+        f_clk: Frequency,
+        workload: &WorkloadRun,
+    ) -> Option<Candidate> {
+        let design = SystemDesign::with_flavor(tech, f_clk, flavor).ok()?;
+        let eval = design.evaluate(workload);
+        let embodied = self.embodied.per_good_die(&design);
+        let trajectory = crate::lifetime::CarbonTrajectory::new(
+            embodied.per_good_die(),
+            eval.operational_power,
+            self.usage,
+            eval.execution_time,
+        );
+        let feasible = self
+            .constraints
+            .max_execution_time
+            .is_none_or(|t| eval.execution_time <= t)
+            && self.constraints.max_area.is_none_or(|a| design.area() <= a)
+            && self
+                .constraints
+                .max_power
+                .is_none_or(|p| eval.operational_power <= p);
+        Some(Candidate {
+            technology: tech,
+            flavor,
+            f_clk,
+            tcdp: trajectory.tcdp(self.lifetime),
+            execution_time: eval.execution_time,
+            area: design.area(),
+            power: eval.operational_power,
+            feasible,
+        })
+    }
+
     /// The Pareto front over (execution time, tCDP) among feasible
     /// candidates: no returned design is beaten on both axes by another.
     pub fn pareto_front(&self, workload: &WorkloadRun) -> Vec<Candidate> {
-        let all = self.run(workload);
+        self.pareto_front_jobs(workload, 1)
+    }
+
+    /// [`Optimizer::pareto_front`] with candidate evaluation sharded across
+    /// `jobs` workers; byte-identical to the serial front for any worker
+    /// count.
+    pub fn pareto_front_jobs(&self, workload: &WorkloadRun, jobs: usize) -> Vec<Candidate> {
+        let all = self.run_jobs(workload, jobs);
         let feasible: Vec<&Candidate> = all.iter().filter(|c| c.feasible).collect();
         let mut front: Vec<Candidate> = Vec::new();
         for c in &feasible {

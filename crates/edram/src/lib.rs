@@ -54,6 +54,8 @@ pub use sram::SramMacro;
 
 use ppatc_pdk::Technology;
 use ppatc_units::{Area, Energy, Frequency, Power, Time, Voltage};
+use std::sync::atomic::AtomicUsize;
+use std::sync::{Mutex, OnceLock};
 
 /// Error from eDRAM characterization.
 #[derive(Clone, Debug, PartialEq)]
@@ -121,10 +123,57 @@ impl EdramMacro {
 
     /// Characterizes a macro with a custom organization.
     ///
+    /// Results are memoized per `(technology, organization)` in a
+    /// process-wide, thread-safe cache: capacity sweeps and design-space
+    /// rankings re-request the same handful of macros hundreds of times,
+    /// and the SPICE-backed transient characterization is by far the most
+    /// expensive step of the evaluation pipeline. Characterization is
+    /// deterministic, so a cached clone is indistinguishable from a fresh
+    /// run. Failures are not cached. Use
+    /// [`EdramMacro::characterize_uncached`] to bypass the cache (e.g. to
+    /// benchmark the characterization itself).
+    ///
     /// # Errors
     ///
     /// See [`EdramMacro::characterize`].
     pub fn characterize_with(
+        technology: Technology,
+        organization: Organization,
+    ) -> Result<Self, EdramError> {
+        use std::sync::atomic::Ordering;
+        if let Ok(cache) = characterization_cache().lock() {
+            if let Some((_, _, cached)) = cache
+                .iter()
+                .find(|(t, o, _)| *t == technology && *o == organization)
+            {
+                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                return Ok(cached.clone());
+            }
+        }
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let characterized = Self::characterize_uncached(technology, organization)?;
+        if let Ok(mut cache) = characterization_cache().lock() {
+            if !cache
+                .iter()
+                .any(|(t, o, _)| *t == technology && *o == *characterized.organization())
+            {
+                cache.push((
+                    technology,
+                    characterized.organization().clone(),
+                    characterized.clone(),
+                ));
+            }
+        }
+        Ok(characterized)
+    }
+
+    /// Characterizes a macro without consulting or populating the memo
+    /// cache (see [`EdramMacro::characterize_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`EdramMacro::characterize`].
+    pub fn characterize_uncached(
         technology: Technology,
         organization: Organization,
     ) -> Result<Self, EdramError> {
@@ -243,6 +292,37 @@ impl EdramMacro {
     }
 }
 
+/// The process-wide characterization memo cache. A linear-scan `Vec` keyed
+/// by `(technology, organization)`: real sweeps touch at most a few dozen
+/// distinct macros, so a scan beats hashing and keeps `Organization` free
+/// of `Hash` obligations.
+type CharacterizationCache = Mutex<Vec<(Technology, Organization, EdramMacro)>>;
+
+static CHARACTERIZATION_CACHE: OnceLock<CharacterizationCache> = OnceLock::new();
+static CACHE_HITS: AtomicUsize = AtomicUsize::new(0);
+static CACHE_MISSES: AtomicUsize = AtomicUsize::new(0);
+
+fn characterization_cache() -> &'static CharacterizationCache {
+    CHARACTERIZATION_CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Cumulative `(hits, misses)` of the characterization memo cache for this
+/// process. A sweep that re-requests identical macros shows up here as a
+/// hit count with no matching characterizations.
+pub fn characterization_cache_stats() -> (usize, usize) {
+    use std::sync::atomic::Ordering;
+    (
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Number of distinct `(technology, organization)` macros currently
+/// memoized.
+pub fn characterization_cache_len() -> usize {
+    characterization_cache().lock().map_or(0, |c| c.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +405,43 @@ mod tests {
         let busy = si.average_energy_per_cycle(900, 1_000, f);
         assert!(busy.as_picojoules() > idle.as_picojoules() + 1.0);
         assert!(idle.as_picojoules() > 0.0);
+    }
+
+    #[test]
+    fn characterization_is_memoized_per_technology_and_organization() {
+        let org = Organization::new(8 * 1024, 2 * 1024, 32);
+        let first =
+            EdramMacro::characterize_with(Technology::AllSi, org.clone()).expect("characterizes");
+        let (hits_before, _) = characterization_cache_stats();
+        let second =
+            EdramMacro::characterize_with(Technology::AllSi, org.clone()).expect("characterizes");
+        let (hits_after, _) = characterization_cache_stats();
+        assert_eq!(first, second);
+        assert!(
+            hits_after > hits_before,
+            "repeat request must hit the cache"
+        );
+        // A cached clone is indistinguishable from a fresh characterization.
+        let fresh =
+            EdramMacro::characterize_uncached(Technology::AllSi, org).expect("characterizes");
+        assert_eq!(first, fresh);
+        assert!(characterization_cache_len() >= 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_technologies_and_organizations() {
+        let org = Organization::new(4 * 1024, 2 * 1024, 32);
+        let si = EdramMacro::characterize_with(Technology::AllSi, org.clone())
+            .expect("all-Si characterizes");
+        let m3d = EdramMacro::characterize_with(Technology::M3dIgzoCnfetSi, org)
+            .expect("M3D characterizes");
+        assert_ne!(si, m3d);
+        let bigger = EdramMacro::characterize_with(
+            Technology::AllSi,
+            Organization::new(16 * 1024, 2 * 1024, 32),
+        )
+        .expect("characterizes");
+        assert!(bigger.area() > si.area());
     }
 
     #[test]
