@@ -3,25 +3,37 @@
 //!
 //! ```text
 //! cargo run --release -p ppatc-bench --bin eval_bench
-//! cargo run --release -p ppatc-bench --bin eval_bench -- --samples 100000
+//! cargo run --release -p ppatc-bench --bin eval_bench -- --samples 100000 --jobs 8
 //! ```
 //!
-//! Three workloads are timed (median of 5 warm runs each):
+//! Four workloads are timed (median of 5 warm runs each):
 //!
-//! - the joint Monte-Carlo sweep at 10 000 samples, serial vs. 2/4 workers
-//!   (byte-identical results are asserted, not assumed);
-//! - a 512×512 tCDP-ratio raster, serial vs. 4 workers;
+//! - the joint Monte-Carlo sweep at 10 000 samples, serial vs. parallel
+//!   worker counts up to `--jobs` (byte-identical results are asserted,
+//!   not assumed);
+//! - the same sweep under a supervisor (cancellation/deadline polling and
+//!   panic isolation active), measuring the supervision overhead;
+//! - a 512×512 tCDP-ratio raster, serial vs. `--jobs` workers;
 //! - the capacity sweep cold (every eDRAM macro characterized from
 //!   scratch) vs. warm (every characterization served from the memo
 //!   cache).
+//!
+//! `--jobs 0` is rejected, not clamped. `--deadline SECS`, `--checkpoint
+//! PATH`, and `--resume` supervise the Monte-Carlo stage: a deadline that
+//! expires stops the benchmark with exit code 2, and a checkpoint journals
+//! the reference sweep so a rerun with `--resume` replays finished chunks
+//! from disk.
 
 use ppatc::montecarlo::{self, MonteCarloConfig, UncertaintyRanges};
-use ppatc::Lifetime;
+use ppatc::{Lifetime, PpatcError, RunBudget, Supervisor};
 use std::process::ExitCode;
 use std::time::Instant;
 
 /// Timed repetitions per measurement (median reported).
 const RUNS: usize = 5;
+
+/// Exit code of a run stopped by its deadline.
+const EXIT_INTERRUPTED: u8 = 2;
 
 fn median_ms(mut f: impl FnMut()) -> f64 {
     let mut times: Vec<f64> = (0..RUNS)
@@ -37,6 +49,10 @@ fn median_ms(mut f: impl FnMut()) -> f64 {
 
 fn main() -> ExitCode {
     let mut samples = 10_000usize;
+    let mut jobs = 4usize;
+    let mut deadline = None;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -47,15 +63,52 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" | "-j" => match ppatc_bench::cli::try_parse_jobs(args.next().as_deref()) {
+                Ok(n) => jobs = n,
+                Err(e) => {
+                    eprintln!("--jobs: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--deadline" => match ppatc_bench::cli::try_parse_deadline(args.next().as_deref()) {
+                Ok(d) => deadline = Some(d),
+                Err(e) => {
+                    eprintln!("--deadline: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint" => match args.next() {
+                Some(path) => checkpoint = Some(path),
+                None => {
+                    eprintln!("--checkpoint requires a journal path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => resume = true,
             other => {
                 eprintln!("unknown argument `{other}`");
                 return ExitCode::FAILURE;
             }
         }
     }
+    if resume && checkpoint.is_none() {
+        eprintln!("--resume requires --checkpoint PATH");
+        return ExitCode::FAILURE;
+    }
 
     let cores = ppatc::eval::default_jobs();
-    eprintln!("eval_bench: {cores} core(s) available");
+    eprintln!("eval_bench: {cores} core(s) available, timing up to {jobs} worker(s)");
+
+    let mut budget = RunBudget::unlimited();
+    if let Some(d) = deadline {
+        budget = budget.with_deadline_in(d);
+    }
+    let mut supervisor = Supervisor::new()
+        .with_budget(budget.clone())
+        .resuming(resume);
+    if let Some(path) = &checkpoint {
+        supervisor = supervisor.with_checkpoint(path);
+    }
 
     // --- Capacity sweep: cold (characterize everything) vs. warm (memo
     // cache). Run this first so the cache is genuinely cold.
@@ -71,34 +124,80 @@ fn main() -> ExitCode {
     let (hits2, misses2) = ppatc_edram::characterization_cache_stats();
 
     // --- Monte-Carlo sweep, serial vs. parallel (results asserted equal).
+    // The supervised pass runs first so a configured deadline or journal
+    // applies to a full-size sweep rather than an already-warm rerun.
     let map = ppatc_bench::case_study().tcdp_map(Lifetime::months(24.0));
     let ranges = UncertaintyRanges::paper_default();
     let config = MonteCarloConfig::new(samples, 2025).expect("sample count >= 1");
-    let reference =
-        montecarlo::try_run_jobs(&map, &ranges, &config, 1).expect("serial sweep evaluates");
-    let mc_ms = |jobs: usize| {
-        median_ms(|| {
-            let r =
-                montecarlo::try_run_jobs(&map, &ranges, &config, jobs).expect("sweep evaluates");
-            assert_eq!(r, reference, "jobs = {jobs} must be byte-identical");
-        })
+    let reference = match montecarlo::try_run_supervised(&map, &ranges, &config, jobs, &supervisor)
+    {
+        Ok(r) => r,
+        Err(e @ PpatcError::Interrupted { .. }) => {
+            eprintln!("{e}");
+            if let Some(path) = &checkpoint {
+                eprintln!(
+                    "partial results are journaled; rerun with `--checkpoint {path} --resume`"
+                );
+            }
+            return ExitCode::from(EXIT_INTERRUPTED);
+        }
+        Err(e) => {
+            eprintln!("supervised sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    let mc = [(1, mc_ms(1)), (2, mc_ms(2)), (4, mc_ms(4))];
+    let plain =
+        montecarlo::try_run_jobs(&map, &ranges, &config, 1).expect("serial sweep evaluates");
+    assert_eq!(
+        reference, plain,
+        "supervised sweep must match the unsupervised serial sweep"
+    );
+
+    let mut workers = vec![1, 2, jobs];
+    workers.sort_unstable();
+    workers.dedup();
+    let mc: Vec<(usize, f64)> = workers
+        .iter()
+        .map(|&j| {
+            let ms = median_ms(|| {
+                let r =
+                    montecarlo::try_run_jobs(&map, &ranges, &config, j).expect("sweep evaluates");
+                assert_eq!(r, reference, "jobs = {j} must be byte-identical");
+            });
+            (j, ms)
+        })
+        .collect();
+    let supervised_ms = median_ms(|| {
+        let r = montecarlo::try_run_supervised(&map, &ranges, &config, jobs, &Supervisor::new())
+            .expect("supervised sweep evaluates");
+        assert_eq!(r, reference, "supervised rerun must be byte-identical");
+    });
 
     // --- Raster, serial vs. parallel.
     let raster_ref = map
         .try_raster_jobs((0.5, 3.0), (0.25, 1.5), 512, 512, 1)
         .expect("raster evaluates");
-    let raster_ms = |jobs: usize| {
+    let raster_ms = |j: usize| {
         median_ms(|| {
             let g = map
-                .try_raster_jobs((0.5, 3.0), (0.25, 1.5), 512, 512, jobs)
+                .try_raster_jobs((0.5, 3.0), (0.25, 1.5), 512, 512, j)
                 .expect("raster evaluates");
-            assert_eq!(g, raster_ref, "jobs = {jobs} must be byte-identical");
+            assert_eq!(g, raster_ref, "jobs = {j} must be byte-identical");
         })
     };
-    let raster = [(1, raster_ms(1)), (4, raster_ms(4))];
+    let mut raster_workers = vec![1, jobs];
+    raster_workers.dedup();
+    let raster: Vec<(usize, f64)> = raster_workers.iter().map(|&j| (j, raster_ms(j))).collect();
 
+    let rows = |pairs: &[(usize, f64)]| {
+        pairs
+            .iter()
+            .map(|(j, ms)| format!("    \"jobs_{j}\": {ms:.3}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let mc_rows = rows(&mc);
+    let raster_rows = rows(&raster);
     let json = format!(
         r#"{{
   "benchmark": "ppatc-core parallel evaluation engine + eDRAM characterization memo cache",
@@ -109,13 +208,11 @@ fn main() -> ExitCode {
     "note": "on a 1-core host the parallel rows measure engine overhead only; the Monte-Carlo and raster stages scale with cores because every sample/point is a pure function of its index. Regenerate on the target host with the command above."
   }},
   "monte_carlo_{samples}_samples_ms": {{
-    "jobs_1": {:.3},
-    "jobs_2": {:.3},
-    "jobs_4": {:.3}
+{mc_rows},
+    "jobs_{jobs}_supervised": {supervised_ms:.3}
   }},
   "raster_512x512_ms": {{
-    "jobs_1": {:.3},
-    "jobs_4": {:.3}
+{raster_rows}
   }},
   "capacity_sweep_ms": {{
     "cold_cache": {:.1},
@@ -125,13 +222,8 @@ fn main() -> ExitCode {
     "characterizations_warm": {},
     "cache_hits_during_warm_runs": {}
   }},
-  "determinism": "asserted in-process: MonteCarloResult and raster grid equal for jobs 1/2/4; also covered by tests/parallel_eval.rs"
+  "determinism": "asserted in-process: MonteCarloResult (supervised and not) and raster grid equal across worker counts; also covered by tests/parallel_eval.rs and tests/fault_injection.rs"
 }}"#,
-        mc[0].1,
-        mc[1].1,
-        mc[2].1,
-        raster[0].1,
-        raster[1].1,
         capacity_cold_ms,
         capacity_warm_ms,
         capacity_cold_ms / capacity_warm_ms.max(1e-9),
@@ -139,7 +231,7 @@ fn main() -> ExitCode {
         misses2 - misses1,
         hits2 - hits1,
     );
-    let _ = hits0;
+    let _ = (hits0, budget);
     if let Err(e) = std::fs::write("BENCH_eval.json", format!("{json}\n")) {
         eprintln!("failed to write BENCH_eval.json: {e}");
         return ExitCode::FAILURE;

@@ -8,7 +8,11 @@
 //! throughout) and tracks the 24-month tCDP comparison.
 
 use crate::matmul_run;
-use ppatc::{CaseStudy, EmbodiedPipeline, Lifetime, SystemDesign, Technology, UsagePattern};
+use ppatc::checkpoint::Checkpointable;
+use ppatc::{
+    CaseStudy, EmbodiedPipeline, JournalSpec, Lifetime, PpatcError, Supervisor, SystemDesign,
+    Technology, UsagePattern,
+};
 use ppatc_edram::Organization;
 use ppatc_pdk::SiVtFlavor;
 use ppatc_units::Frequency;
@@ -26,8 +30,41 @@ pub struct CapacityPoint {
     pub m3d_benefit_24mo: f64,
 }
 
+impl Checkpointable for CapacityPoint {
+    const WIDTH: usize = 6;
+
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(u64::from(self.kb_per_macro));
+        out.extend([
+            self.area_mm2[0].to_bits(),
+            self.area_mm2[1].to_bits(),
+            self.embodied_g[0].to_bits(),
+            self.embodied_g[1].to_bits(),
+            self.m3d_benefit_24mo.to_bits(),
+        ]);
+    }
+
+    fn decode(words: &[u64]) -> Option<Self> {
+        match words {
+            [kb, a0, a1, e0, e1, b] => Some(Self {
+                kb_per_macro: u32::try_from(*kb).ok()?,
+                area_mm2: [f64::from_bits(*a0), f64::from_bits(*a1)],
+                embodied_g: [f64::from_bits(*e0), f64::from_bits(*e1)],
+                m3d_benefit_24mo: f64::from_bits(*b),
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// The swept per-macro capacities, kB.
 const CAPACITIES_KB: [u32; 5] = [16, 32, 64, 128, 256];
+
+/// The fixed evaluation clock of the sweep.
+const SWEEP_CLOCK_MHZ: f64 = 500.0;
+
+/// The fixed evaluation lifetime of the sweep, months.
+const SWEEP_LIFETIME_MONTHS: f64 = 24.0;
 
 /// Sweeps per-macro capacity (program and data memories both sized to it).
 pub fn sweep() -> Vec<CapacityPoint> {
@@ -39,49 +76,85 @@ pub fn sweep() -> Vec<CapacityPoint> {
 /// characterizations are served from [`ppatc_edram::EdramMacro`]'s memo
 /// cache after the first request for that `(technology, organization)`.
 pub fn sweep_jobs(jobs: usize) -> Vec<CapacityPoint> {
+    ppatc::eval::par_map_indexed(CAPACITIES_KB.len(), jobs, capacity_point)
+}
+
+/// [`sweep_jobs`] under a [`Supervisor`]: honors the supervisor's
+/// cancellation token and deadline, isolates worker panics, and — when a
+/// checkpoint path is configured — journals every finished point so an
+/// interrupted sweep resumes byte-identically (each point is a pure
+/// function of its capacity index, and the journal stores exact `f64` bit
+/// patterns).
+///
+/// # Errors
+///
+/// [`PpatcError::Interrupted`] when the budget stops the sweep,
+/// [`PpatcError::WorkerPanic`] if a capacity point panics, and
+/// [`PpatcError::Checkpoint`] on journal I/O failure or a journal recorded
+/// for a different sweep.
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_sweep_supervised(
+    jobs: usize,
+    supervisor: &Supervisor,
+) -> Result<Vec<CapacityPoint>, PpatcError> {
+    let spec = JournalSpec::for_run::<CapacityPoint>(
+        "capacity",
+        CAPACITIES_KB.len(),
+        &[
+            SWEEP_CLOCK_MHZ.to_bits(),
+            SWEEP_LIFETIME_MONTHS.to_bits(),
+            u64::from(CAPACITIES_KB[0]),
+            u64::from(CAPACITIES_KB[CAPACITIES_KB.len() - 1]),
+        ],
+    );
+    let journal = supervisor.try_open_journal(&spec)?;
+    let outcomes = ppatc::eval::try_par_map_journaled(
+        CAPACITIES_KB.len(),
+        jobs,
+        supervisor.budget(),
+        journal.as_ref(),
+        capacity_point,
+    )?;
+    outcomes.into_iter().collect()
+}
+
+/// Evaluates the `k`-th capacity point — a pure function of `k` (the
+/// workload run and both pipelines are fixed), which is what makes
+/// journaled resumes byte-identical.
+fn capacity_point(k: usize) -> CapacityPoint {
     let run = matmul_run();
-    let f = Frequency::from_megahertz(500.0);
-    let life = Lifetime::months(24.0);
-    ppatc::eval::par_map_indexed(CAPACITIES_KB.len(), jobs, |k| {
-        let kb = CAPACITIES_KB[k];
-        let org = Organization::new(kb * 1024, 2 * 1024, 32);
-        let si = SystemDesign::with_flavor_and_memory(
-            Technology::AllSi,
-            f,
-            SiVtFlavor::Rvt,
-            org.clone(),
-        )
-        .expect("all-Si designs at this capacity");
-        let m3d = SystemDesign::with_flavor_and_memory(
-            Technology::M3dIgzoCnfetSi,
-            f,
-            SiVtFlavor::Rvt,
-            org,
-        )
-        .expect("M3D designs at this capacity");
-        let study = CaseStudy::from_designs(
-            si.clone(),
-            m3d.clone(),
-            run,
-            EmbodiedPipeline::paper_default(),
-            UsagePattern::paper_default(),
-        );
-        CapacityPoint {
-            kb_per_macro: kb,
-            area_mm2: [
-                si.area().as_square_millimeters(),
-                m3d.area().as_square_millimeters(),
-            ],
-            embodied_g: [
-                study.embodied(Technology::AllSi).per_good_die().as_grams(),
-                study
-                    .embodied(Technology::M3dIgzoCnfetSi)
-                    .per_good_die()
-                    .as_grams(),
-            ],
-            m3d_benefit_24mo: 1.0 / study.tcdp_ratio(life),
-        }
-    })
+    let f = Frequency::from_megahertz(SWEEP_CLOCK_MHZ);
+    let life = Lifetime::months(SWEEP_LIFETIME_MONTHS);
+    let kb = CAPACITIES_KB[k];
+    let org = Organization::new(kb * 1024, 2 * 1024, 32);
+    let si =
+        SystemDesign::with_flavor_and_memory(Technology::AllSi, f, SiVtFlavor::Rvt, org.clone())
+            .expect("all-Si designs at this capacity");
+    let m3d =
+        SystemDesign::with_flavor_and_memory(Technology::M3dIgzoCnfetSi, f, SiVtFlavor::Rvt, org)
+            .expect("M3D designs at this capacity");
+    let study = CaseStudy::from_designs(
+        si.clone(),
+        m3d.clone(),
+        run,
+        EmbodiedPipeline::paper_default(),
+        UsagePattern::paper_default(),
+    );
+    CapacityPoint {
+        kb_per_macro: kb,
+        area_mm2: [
+            si.area().as_square_millimeters(),
+            m3d.area().as_square_millimeters(),
+        ],
+        embodied_g: [
+            study.embodied(Technology::AllSi).per_good_die().as_grams(),
+            study
+                .embodied(Technology::M3dIgzoCnfetSi)
+                .per_good_die()
+                .as_grams(),
+        ],
+        m3d_benefit_24mo: 1.0 / study.tcdp_ratio(life),
+    }
 }
 
 /// Renders the sweep.
@@ -92,10 +165,26 @@ pub fn render() -> String {
 /// [`render`] with the sweep evaluated across `jobs` workers (identical
 /// output for any worker count).
 pub fn render_jobs(jobs: usize) -> String {
+    format_points(&sweep_jobs(jobs))
+}
+
+/// [`render_jobs`] under a [`Supervisor`]; identical output to
+/// [`render_jobs`] when the run completes.
+///
+/// # Errors
+///
+/// Propagates every [`try_sweep_supervised`] error.
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_render_supervised(jobs: usize, supervisor: &Supervisor) -> Result<String, PpatcError> {
+    Ok(format_points(&try_sweep_supervised(jobs, supervisor)?))
+}
+
+/// Formats swept points as the exhibit table.
+fn format_points(points: &[CapacityPoint]) -> String {
     let mut out = String::from(
         "kB/macro   area Si (mm²)   area M3D   emb Si (g)   emb M3D   M3D benefit @24mo\n",
     );
-    for p in sweep_jobs(jobs) {
+    for p in points {
         out.push_str(&format!(
             "{:>8}{:>16.3}{:>11.3}{:>13.2}{:>10.2}{:>15.3}x\n",
             p.kb_per_macro,
@@ -154,6 +243,37 @@ mod tests {
             assert_eq!(serial, sweep_jobs(jobs), "jobs = {jobs}");
         }
         assert_eq!(render_jobs(1), render_jobs(4));
+    }
+
+    #[test]
+    fn supervised_sweep_matches_unsupervised() {
+        let plain = sweep_jobs(2);
+        let supervised =
+            try_sweep_supervised(2, &Supervisor::new()).expect("default supervisor completes");
+        assert_eq!(plain, supervised);
+        assert_eq!(
+            render_jobs(1),
+            try_render_supervised(1, &Supervisor::new()).expect("render completes")
+        );
+    }
+
+    #[test]
+    fn capacity_points_round_trip_through_the_journal_encoding() {
+        let p = CapacityPoint {
+            kb_per_macro: 64,
+            area_mm2: [0.137, 0.062],
+            embodied_g: [-0.0, f64::NAN],
+            m3d_benefit_24mo: 1.03,
+        };
+        let mut words = Vec::new();
+        p.encode(&mut words);
+        assert_eq!(words.len(), CapacityPoint::WIDTH);
+        let back = CapacityPoint::decode(&words).expect("decodes");
+        assert_eq!(back.kb_per_macro, p.kb_per_macro);
+        assert_eq!(back.area_mm2[0].to_bits(), p.area_mm2[0].to_bits());
+        assert_eq!(back.embodied_g[0].to_bits(), p.embodied_g[0].to_bits());
+        assert_eq!(back.embodied_g[1].to_bits(), p.embodied_g[1].to_bits());
+        assert!(CapacityPoint::decode(&words[..5]).is_none());
     }
 
     #[test]

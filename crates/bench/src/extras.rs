@@ -3,11 +3,17 @@
 
 use crate::case_study;
 use ppatc::montecarlo::{self, MonteCarloConfig, MonteCarloResult, UncertaintyRanges};
-use ppatc::Lifetime;
+use ppatc::{Lifetime, PpatcError, Supervisor};
 use ppatc_workloads::Workload;
 
 /// The deterministic seed of the Monte-Carlo exhibit.
 const MC_SEED: u64 = 2025;
+
+/// Sample count of the headline Monte-Carlo exhibit.
+const MC_EXHIBIT_SAMPLES: usize = 20_000;
+
+/// Sample count of the per-source sensitivity ranking.
+const MC_SENSITIVITY_SAMPLES: usize = 10_000;
 
 /// Joint Monte-Carlo run over all Fig. 6b uncertainty sources at the
 /// nominal design point (deterministic seed).
@@ -32,23 +38,54 @@ pub fn render_monte_carlo() -> String {
 /// [`render_monte_carlo`] with sampling and sensitivity sharded across
 /// `jobs` workers (identical output for any worker count).
 pub fn render_monte_carlo_jobs(jobs: usize) -> String {
-    let r = monte_carlo_jobs(20_000, jobs);
+    match try_render_monte_carlo_supervised(jobs, &Supervisor::new()) {
+        Ok(out) => out,
+        // An unlimited, journal-free supervisor cannot be interrupted and
+        // the paper-default sweep evaluates; surface anything else loudly.
+        Err(e) => panic!("paper-default Monte-Carlo exhibit failed: {e}"),
+    }
+}
+
+/// [`render_monte_carlo_jobs`] under a [`Supervisor`]: the 20 000-sample
+/// headline sweep honors cancellation/deadline and — when a checkpoint
+/// path is configured — journals finished chunks for byte-identical
+/// resume. The sensitivity ranking that follows is budget-bounded but not
+/// checkpointed (it is an order of magnitude cheaper than the sweep and
+/// re-deriving it keeps the journal single-run).
+///
+/// # Errors
+///
+/// Propagates every [`montecarlo::try_run_supervised`] and
+/// [`montecarlo::try_sensitivity_supervised`] error.
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_render_monte_carlo_supervised(
+    jobs: usize,
+    supervisor: &Supervisor,
+) -> Result<String, PpatcError> {
     let map = case_study().tcdp_map(Lifetime::months(24.0));
-    let shares = montecarlo::try_sensitivity_jobs(
+    let config = MonteCarloConfig::new(MC_EXHIBIT_SAMPLES, MC_SEED).expect("sample count >= 1");
+    let r = montecarlo::try_run_supervised(
         &map,
         &UncertaintyRanges::paper_default(),
-        10_000,
+        &config,
+        jobs,
+        supervisor,
+    )?;
+    let shares = montecarlo::try_sensitivity_supervised(
+        &map,
+        &UncertaintyRanges::paper_default(),
+        MC_SENSITIVITY_SAMPLES,
         MC_SEED,
         jobs,
-    )
-    .expect("paper-default sensitivity evaluates");
+        supervisor.budget(),
+    )?;
     let mut out = format!(
         "joint uncertainty (lifetime 18-30 mo, CI /3..x3, yield 10-90%, model error ~±25%):\n{r}\n\nvariance shares by source:\n"
     );
     for (name, share) in shares {
         out.push_str(&format!("  {name:<18} {:>5.1}%\n", share * 100.0));
     }
-    out
+    Ok(out)
 }
 
 /// One row of the workload characterization.
@@ -120,6 +157,17 @@ mod tests {
         for jobs in [2, 8] {
             assert_eq!(serial, monte_carlo_jobs(4000, jobs), "jobs = {jobs}");
         }
+    }
+
+    #[test]
+    fn cancelled_exhibit_is_interrupted_not_rendered() {
+        let token = ppatc::CancelToken::new();
+        token.cancel();
+        let supervisor =
+            Supervisor::new().with_budget(ppatc::RunBudget::unlimited().with_cancel(&token));
+        let e = try_render_monte_carlo_supervised(1, &supervisor)
+            .expect_err("pre-cancelled exhibit stops");
+        assert!(matches!(e, PpatcError::Interrupted { .. }));
     }
 
     #[test]

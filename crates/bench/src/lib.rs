@@ -21,6 +21,7 @@
 
 pub mod ablation;
 pub mod capacity;
+pub mod cli;
 pub mod extras;
 pub mod fig2ab;
 pub mod fig2c;

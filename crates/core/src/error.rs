@@ -155,6 +155,54 @@ pub enum PpatcError {
         /// Total number of samples drawn (all of which failed).
         samples: usize,
     },
+    /// A supervised run was stopped before finishing — by a
+    /// [`CancelToken`](crate::eval::CancelToken) or an expired
+    /// [`RunBudget`](crate::eval::RunBudget) deadline — and carries the
+    /// partial work completed so far instead of discarding it.
+    Interrupted {
+        /// What stopped the run.
+        reason: InterruptReason,
+        /// Completed item indices as sorted, disjoint half-open `[start,
+        /// end)` runs. Items journaled to a checkpoint are included, so a
+        /// resume skips exactly this set.
+        completed: Vec<(usize, usize)>,
+        /// Total number of items the run was asked to evaluate.
+        total: usize,
+    },
+    /// One work item's closure panicked inside a supervised parallel run.
+    /// The panic was caught at the item boundary; sibling items are
+    /// unaffected. In Monte-Carlo sweeps this counts against the failure
+    /// budget like any other discarded sample.
+    WorkerPanic {
+        /// Index of the item whose evaluation panicked.
+        index: usize,
+    },
+    /// The checkpoint journal could not be created, read, or appended to.
+    /// Carries a rendered description because `std::io::Error` is neither
+    /// `Clone` nor `PartialEq`.
+    Checkpoint {
+        /// Human-readable description of the journal failure.
+        detail: String,
+    },
+}
+
+/// Why a supervised run stopped early (see [`PpatcError::Interrupted`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InterruptReason {
+    /// A [`CancelToken`](crate::eval::CancelToken) was cancelled.
+    Cancelled,
+    /// The [`RunBudget`](crate::eval::RunBudget) deadline expired.
+    DeadlineExpired,
+}
+
+impl core::fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Cancelled => write!(f, "cancelled"),
+            Self::DeadlineExpired => write!(f, "deadline expired"),
+        }
+    }
 }
 
 impl core::fmt::Display for PpatcError {
@@ -181,6 +229,21 @@ impl core::fmt::Display for PpatcError {
                 "all {samples} Monte-Carlo samples failed to evaluate; no \
                  survivors to compute statistics over"
             ),
+            Self::Interrupted {
+                reason,
+                completed,
+                total,
+            } => {
+                let done: usize = completed.iter().map(|&(s, e)| e.saturating_sub(s)).sum();
+                write!(
+                    f,
+                    "run interrupted ({reason}): {done} of {total} items completed"
+                )
+            }
+            Self::WorkerPanic { index } => {
+                write!(f, "worker panicked while evaluating item {index}")
+            }
+            Self::Checkpoint { detail } => write!(f, "checkpoint journal error: {detail}"),
         }
     }
 }
@@ -194,7 +257,11 @@ impl std::error::Error for PpatcError {
             Self::Workload(e) => Some(e),
             Self::Timing(e) => Some(e),
             Self::Validation(e) => Some(e),
-            Self::FailureBudgetExceeded { .. } | Self::NoSurvivingSamples { .. } => None,
+            Self::FailureBudgetExceeded { .. }
+            | Self::NoSurvivingSamples { .. }
+            | Self::Interrupted { .. }
+            | Self::WorkerPanic { .. }
+            | Self::Checkpoint { .. } => None,
         }
     }
 }
@@ -301,6 +368,39 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("all 42"), "{text}");
         assert!(text.contains("no"), "{text}");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn display_covers_supervision_variants() {
+        let e = PpatcError::Interrupted {
+            reason: InterruptReason::Cancelled,
+            completed: vec![(0, 10), (20, 25)],
+            total: 100,
+        };
+        let text = e.to_string();
+        assert!(text.contains("cancelled"), "{text}");
+        assert!(text.contains("15 of 100"), "{text}");
+        assert!(e.source().is_none());
+
+        let e = PpatcError::Interrupted {
+            reason: InterruptReason::DeadlineExpired,
+            completed: Vec::new(),
+            total: 7,
+        };
+        let text = e.to_string();
+        assert!(text.contains("deadline expired"), "{text}");
+        assert!(text.contains("0 of 7"), "{text}");
+
+        let e = PpatcError::WorkerPanic { index: 37 };
+        let text = e.to_string();
+        assert!(text.contains("37"), "{text}");
+        assert!(e.source().is_none());
+
+        let e = PpatcError::Checkpoint {
+            detail: "short read".to_owned(),
+        };
+        assert!(e.to_string().contains("short read"));
         assert!(e.source().is_none());
     }
 }

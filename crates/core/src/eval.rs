@@ -18,10 +18,27 @@
 //! The engine is dependency-free: work stealing is one `AtomicUsize`, the
 //! merge is a sort by chunk start.
 //!
+//! # Supervision
+//!
+//! [`try_par_map_indexed`] is the supervised variant: a [`RunBudget`]
+//! (cooperative [`CancelToken`] + polled wall-clock deadline) is checked at
+//! every chunk boundary, a panicking item is caught at the item boundary
+//! and returned as [`PpatcError::WorkerPanic`] instead of unwinding the
+//! scope, and an interrupted run returns
+//! [`PpatcError::Interrupted`] carrying the completed-index set instead of
+//! discarding partial work. [`try_par_map_journaled`] additionally streams
+//! completed chunks to a crash-safe [`Journal`](crate::checkpoint::Journal)
+//! and replays journaled items on resume — byte-identical to an
+//! uninterrupted run because every item is a pure function of its index.
+//!
 //! [`SplitMix64::stream`]: ppatc_units::rng::SplitMix64::stream
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::checkpoint::{Checkpointable, Journal, JournalSpec};
+use crate::error::{InterruptReason, PpatcError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Smallest number of items a worker claims at once. Large enough that the
 /// fetch-add and the per-run allocation amortize over real work; small
@@ -85,6 +102,405 @@ where
     all.into_iter().flat_map(|(_, run)| run).collect()
 }
 
+/// A cooperative cancellation handle: clone it, hand one clone to a
+/// [`RunBudget`], and call [`CancelToken::cancel`] from any thread (a
+/// signal handler, a UI, a watchdog) to stop supervised runs at their next
+/// chunk boundary.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Bounds one supervised run: an optional [`CancelToken`] and an optional
+/// wall-clock deadline, both polled at chunk boundaries (cheap: one atomic
+/// load and one `Instant::now`). The default budget is unlimited.
+#[derive(Clone, Debug, Default)]
+pub struct RunBudget {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl RunBudget {
+    /// A budget with no bounds (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a cancellation token (stored as a clone; cancelling the
+    /// caller's token stops the run).
+    #[must_use]
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Bounds the run by an absolute wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds the run by a wall-clock timeout from now.
+    #[must_use]
+    pub fn with_deadline_in(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Whether this budget imposes no bounds at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.cancel.is_none() && self.deadline.is_none()
+    }
+
+    /// Polls the budget: `Err` with the reason once cancelled or past the
+    /// deadline. Called by the engine at every chunk boundary.
+    pub fn check(&self) -> Result<(), InterruptReason> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(InterruptReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(InterruptReason::DeadlineExpired);
+            }
+        }
+        Ok(())
+    }
+
+    /// The matching per-solve [`ppatc_spice::SolverBudget`], sharing this
+    /// budget's deadline — so a run-level deadline also stops a SPICE
+    /// recovery ladder or transient loop stuck inside one work item.
+    pub fn solver_budget(&self) -> ppatc_spice::SolverBudget {
+        match self.deadline {
+            Some(d) => ppatc_spice::SolverBudget::unlimited().with_deadline(d),
+            None => ppatc_spice::SolverBudget::unlimited(),
+        }
+    }
+}
+
+/// Everything a supervised entry point needs beyond its inputs: the
+/// [`RunBudget`], and optionally a checkpoint journal path plus whether to
+/// resume from it. The default supervisor is unlimited and journal-free,
+/// making supervised entry points drop-in equivalents of their unsupervised
+/// counterparts.
+#[derive(Clone, Debug, Default)]
+pub struct Supervisor {
+    budget: RunBudget,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+}
+
+impl Supervisor {
+    /// An unlimited supervisor with no checkpoint journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the run budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Journals completed chunks to `path` (created fresh unless
+    /// [`Supervisor::resuming`] is set).
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Whether to reload completed items from an existing checkpoint
+    /// journal instead of truncating it.
+    #[must_use]
+    pub fn resuming(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// The run budget.
+    pub fn budget(&self) -> &RunBudget {
+        &self.budget
+    }
+
+    /// Opens this supervisor's journal for a run described by `spec`:
+    /// `None` when no checkpoint path is configured, a fresh journal when
+    /// not resuming, a reloaded one otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`PpatcError::Checkpoint`] on I/O failure or a spec mismatch with an
+    /// existing journal.
+    #[must_use = "this returns a Result that must be handled"]
+    pub fn try_open_journal(&self, spec: &JournalSpec) -> Result<Option<Journal>, PpatcError> {
+        match &self.checkpoint {
+            None => Ok(None),
+            Some(path) if self.resume => Journal::try_resume(path, spec).map(Some),
+            Some(path) => Journal::try_create(path, spec).map(Some),
+        }
+    }
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock (a worker that
+/// panicked between the item boundary and the push cannot corrupt a
+/// `Vec`/`Option` in a way we care about — partial chunks are re-run).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Whether a shared `Option` slot has been set.
+fn slot_is_set<T>(slot: &Mutex<Option<T>>) -> bool {
+    lock_unpoisoned(slot).is_some()
+}
+
+/// First-writer-wins store into a shared `Option` slot.
+fn set_slot_once<T>(slot: &Mutex<Option<T>>, value: T) {
+    let mut guard = lock_unpoisoned(slot);
+    if guard.is_none() {
+        *guard = Some(value);
+    }
+}
+
+/// Coalesces index-sorted disjoint `(start, run)` chunks into sorted,
+/// disjoint half-open `[start, end)` runs for
+/// [`PpatcError::Interrupted::completed`].
+fn coalesce_completed<T>(runs: &[(usize, Vec<T>)]) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for (start, run) in runs {
+        let end = start + run.len();
+        match spans.last_mut() {
+            Some(last) if last.1 == *start => last.1 = end,
+            _ => spans.push((*start, end)),
+        }
+    }
+    spans
+}
+
+/// How journaled items enter and leave one supervised run. `NoJournal` is
+/// the zero-cost stub for unjournaled runs.
+trait JournalHooks<T>: Sync {
+    /// A previously journaled value for item `i`, if any.
+    fn preloaded(&self, i: usize) -> Option<Result<T, PpatcError>>;
+    /// Persists one completed chunk.
+    fn append(&self, start: usize, run: &[Result<T, PpatcError>]) -> Result<(), PpatcError>;
+}
+
+struct NoJournal;
+
+impl<T> JournalHooks<T> for NoJournal {
+    fn preloaded(&self, _i: usize) -> Option<Result<T, PpatcError>> {
+        None
+    }
+
+    fn append(&self, _start: usize, _run: &[Result<T, PpatcError>]) -> Result<(), PpatcError> {
+        Ok(())
+    }
+}
+
+struct WithJournal<'a>(&'a Journal);
+
+impl<T: Checkpointable> JournalHooks<T> for WithJournal<'_> {
+    fn preloaded(&self, i: usize) -> Option<Result<T, PpatcError>> {
+        self.0.preloaded_item(i)
+    }
+
+    fn append(&self, start: usize, run: &[Result<T, PpatcError>]) -> Result<(), PpatcError> {
+        self.0.append_chunk(start, run)
+    }
+}
+
+/// The shared supervised engine: chunked work stealing exactly like
+/// [`par_map_indexed`], plus budget polls at chunk boundaries, per-item
+/// `catch_unwind`, and journal preload/append hooks.
+fn supervised_map<T, F, J>(
+    n: usize,
+    jobs: usize,
+    budget: &RunBudget,
+    journal: &J,
+    f: F,
+) -> Result<Vec<Result<T, PpatcError>>, PpatcError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    J: JournalHooks<T>,
+{
+    type ChunkRuns<T> = Vec<(usize, Vec<Result<T, PpatcError>>)>;
+    let jobs = jobs.max(1).min(n.max(1));
+    let chunk = (n / (jobs * 8).max(1)).clamp(MIN_CHUNK, MAX_CHUNK);
+    let next = AtomicUsize::new(0);
+    let runs: Mutex<ChunkRuns<T>> = Mutex::new(Vec::new());
+    let interrupted: Mutex<Option<InterruptReason>> = Mutex::new(None);
+    let fault: Mutex<Option<PpatcError>> = Mutex::new(None);
+
+    let worker = || {
+        let mut local: ChunkRuns<T> = Vec::new();
+        loop {
+            if slot_is_set(&interrupted) || slot_is_set(&fault) {
+                break;
+            }
+            if let Err(reason) = budget.check() {
+                set_slot_once(&interrupted, reason);
+                break;
+            }
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            let mut run: Vec<Result<T, PpatcError>> = Vec::with_capacity(end - start);
+            let mut any_fresh = false;
+            for i in start..end {
+                match journal.preloaded(i) {
+                    Some(item) => run.push(item),
+                    None => {
+                        any_fresh = true;
+                        // Each item is a pure function of its index over
+                        // read-only inputs, so no broken invariant can leak
+                        // across the unwind boundary: AssertUnwindSafe is
+                        // sound here.
+                        run.push(
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
+                                .map_err(|_| PpatcError::WorkerPanic { index: i }),
+                        );
+                    }
+                }
+            }
+            if any_fresh {
+                if let Err(e) = journal.append(start, &run) {
+                    // The chunk is still good in memory; fail the run (the
+                    // user asked for a checkpoint they are not getting) but
+                    // let siblings wind down cooperatively.
+                    set_slot_once(&fault, e);
+                }
+            }
+            local.push((start, run));
+        }
+        let mut all = lock_unpoisoned(&runs);
+        all.append(&mut local);
+    };
+
+    if jobs <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(worker);
+            }
+        });
+    }
+
+    let mut all = match runs.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    all.sort_by_key(|(start, _)| *start);
+    if let Some(e) = lock_unpoisoned(&fault).take() {
+        return Err(e);
+    }
+    if let Some(reason) = lock_unpoisoned(&interrupted).take() {
+        return Err(PpatcError::Interrupted {
+            reason,
+            completed: coalesce_completed(&all),
+            total: n,
+        });
+    }
+    Ok(all.into_iter().flat_map(|(_, run)| run).collect())
+}
+
+/// Supervised [`par_map_indexed`]: evaluates `f(i)` for every `i in 0..n`
+/// across `jobs` workers under `budget`, returning per-item results in
+/// index order.
+///
+/// Differences from the unsupervised engine:
+/// - `budget` is polled at every chunk boundary; a cancelled or expired run
+///   returns [`PpatcError::Interrupted`] carrying the completed-index set.
+/// - A panicking item is caught at the item boundary and surfaces as
+///   `Err(PpatcError::WorkerPanic { index })` in its slot; sibling items
+///   and workers are unaffected.
+///
+/// For any worker count, the `Ok` items are byte-identical to a serial
+/// `(0..n).map(f)` run.
+///
+/// # Errors
+///
+/// [`PpatcError::Interrupted`] when the budget stops the run.
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_par_map_indexed<T, F>(
+    n: usize,
+    jobs: usize,
+    budget: &RunBudget,
+    f: F,
+) -> Result<Vec<Result<T, PpatcError>>, PpatcError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    supervised_map(n, jobs, budget, &NoJournal, f)
+}
+
+/// [`try_par_map_indexed`] with crash-safe checkpointing: completed chunks
+/// stream to `journal` (when given), and items already journaled are
+/// replayed instead of recomputed — including items journaled as
+/// deterministic panics. Pass `None` to run unjournaled.
+///
+/// # Errors
+///
+/// [`PpatcError::Interrupted`] when the budget stops the run (items
+/// completed before the interrupt *are* journaled, so a resumed run skips
+/// them), [`PpatcError::Checkpoint`] when the journal cannot be written or
+/// does not match the run.
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_par_map_journaled<T, F>(
+    n: usize,
+    jobs: usize,
+    budget: &RunBudget,
+    journal: Option<&Journal>,
+    f: F,
+) -> Result<Vec<Result<T, PpatcError>>, PpatcError>
+where
+    T: Send + Checkpointable,
+    F: Fn(usize) -> T + Sync,
+{
+    match journal {
+        None => supervised_map(n, jobs, budget, &NoJournal, f),
+        Some(j) => {
+            j.require_width::<T>()?;
+            if j.spec().items != n {
+                return Err(PpatcError::Checkpoint {
+                    detail: format!(
+                        "journal {} spans {} items, but the run has {n}",
+                        j.path().display(),
+                        j.spec().items
+                    ),
+                });
+            }
+            supervised_map(n, jobs, budget, &WithJournal(j), f)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +538,232 @@ mod tests {
     #[test]
     fn default_jobs_is_at_least_one() {
         assert!(default_jobs() >= 1);
+    }
+
+    /// A collision-free scratch path for one test.
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ppatc-eval-{}-{name}.txt", std::process::id()))
+    }
+
+    fn unwrap_items<T>(items: Vec<Result<T, PpatcError>>) -> Vec<T> {
+        items
+            .into_iter()
+            .map(|r| r.expect("no item failed"))
+            .collect()
+    }
+
+    #[test]
+    fn supervised_run_matches_unsupervised_for_any_worker_count() {
+        let f = |i: usize| (i as f64).sqrt().sin() / (i as f64 + 0.5);
+        let reference: Vec<u64> = par_map_indexed(3000, 1, f)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        for jobs in [1, 2, 8] {
+            let supervised = try_par_map_indexed(3000, jobs, &RunBudget::unlimited(), f)
+                .expect("unlimited budget never interrupts");
+            let bits: Vec<u64> = unwrap_items(supervised)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(bits, reference, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn a_panicking_item_is_isolated_not_fatal() {
+        let results = try_par_map_indexed(100, 8, &RunBudget::unlimited(), |i| {
+            assert!(i != 37, "deterministic injected panic");
+            i * 2
+        })
+        .expect("a panicking item does not interrupt the run");
+        assert_eq!(results.len(), 100);
+        for (i, r) in results.iter().enumerate() {
+            if i == 37 {
+                assert_eq!(r, &Err(PpatcError::WorkerPanic { index: 37 }));
+            } else {
+                assert_eq!(r, &Ok(i * 2), "sibling items are unaffected");
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_work() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        let budget = RunBudget::unlimited().with_cancel(&token);
+        let calls = AtomicUsize::new(0);
+        let err = try_par_map_indexed(1000, 4, &budget, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        })
+        .expect_err("cancelled before the first chunk");
+        match err {
+            PpatcError::Interrupted {
+                reason,
+                completed,
+                total,
+            } => {
+                assert_eq!(reason, InterruptReason::Cancelled);
+                assert!(completed.is_empty(), "{completed:?}");
+                assert_eq!(total, 1000);
+            }
+            other => panic!("expected Interrupted, got {other}"),
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "no item was evaluated");
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_with_a_typed_reason() {
+        let budget = RunBudget::unlimited().with_deadline(Instant::now());
+        let err = try_par_map_indexed(100, 2, &budget, |i| i)
+            .expect_err("an already-expired deadline stops the run");
+        assert!(
+            matches!(
+                err,
+                PpatcError::Interrupted {
+                    reason: InterruptReason::DeadlineExpired,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn mid_run_cancellation_keeps_partial_work() {
+        // The closure itself trips the token after 96 calls; jobs = 1 makes
+        // the call count deterministic. Cancellation is observed at the
+        // next chunk boundary, so the in-flight chunk still completes.
+        let token = CancelToken::new();
+        let budget = RunBudget::unlimited().with_cancel(&token);
+        let calls = AtomicUsize::new(0);
+        let err = try_par_map_indexed(1000, 1, &budget, |i| {
+            if calls.fetch_add(1, Ordering::Relaxed) + 1 == 96 {
+                token.cancel();
+            }
+            i
+        })
+        .expect_err("cancelled mid-run");
+        match err {
+            PpatcError::Interrupted {
+                reason, completed, ..
+            } => {
+                assert_eq!(reason, InterruptReason::Cancelled);
+                let done: usize = completed.iter().map(|&(s, e)| e - s).sum();
+                assert!(done >= 96 && done < 1000, "partial work kept: {done}");
+            }
+            other => panic!("expected Interrupted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_chunks() {
+        let runs = vec![(0, vec![0, 1]), (2, vec![2]), (5, vec![5, 6])];
+        assert_eq!(coalesce_completed(&runs), vec![(0, 3), (5, 7)]);
+        assert_eq!(coalesce_completed::<u8>(&[]), Vec::<(usize, usize)>::new());
+    }
+
+    #[test]
+    fn journaled_run_resumes_entirely_from_disk() {
+        let path = scratch("replay");
+        let spec = JournalSpec::for_run::<f64>("evaltest", 500, &[7]);
+        let f = |i: usize| (i as f64) * 1.5;
+        let first = {
+            let journal = Journal::try_create(&path, &spec).expect("create journal");
+            unwrap_items(
+                try_par_map_journaled(500, 4, &RunBudget::unlimited(), Some(&journal), f)
+                    .expect("journaled run completes"),
+            )
+        };
+        // Resume with a closure that would panic if any item were
+        // recomputed: every value must come from the journal.
+        let journal = Journal::try_resume(&path, &spec).expect("resume journal");
+        assert_eq!(journal.completed_items(), 500);
+        let replayed = unwrap_items(
+            try_par_map_journaled(500, 4, &RunBudget::unlimited(), Some(&journal), |i| {
+                panic!("item {i} must be replayed, not recomputed")
+            })
+            .expect("replay completes"),
+        );
+        let first_bits: Vec<u64> = first.into_iter().map(f64::to_bits).collect();
+        let replayed_bits: Vec<u64> = replayed.into_iter().map(f64::to_bits).collect();
+        assert_eq!(first_bits, replayed_bits);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupt_then_resume_is_identical_to_uninterrupted() {
+        let path = scratch("resume");
+        let n = 800;
+        let spec = JournalSpec::for_run::<f64>("evaltest", n, &[11]);
+        let f = |i: usize| (i as f64).cos() * 3.0;
+        let reference: Vec<u64> = (0..n).map(|i| f(i).to_bits()).collect();
+
+        // Interrupted first leg: cancel after ~a third of the items.
+        let token = CancelToken::new();
+        let budget = RunBudget::unlimited().with_cancel(&token);
+        let calls = AtomicUsize::new(0);
+        {
+            let journal = Journal::try_create(&path, &spec).expect("create journal");
+            let err = try_par_map_journaled(n, 1, &budget, Some(&journal), |i| {
+                if calls.fetch_add(1, Ordering::Relaxed) + 1 == n / 3 {
+                    token.cancel();
+                }
+                f(i)
+            })
+            .expect_err("first leg is cancelled");
+            match err {
+                PpatcError::Interrupted { completed, .. } => {
+                    let done: usize = completed.iter().map(|&(s, e)| e - s).sum();
+                    assert!(done > 0 && done < n, "partial first leg: {done}");
+                }
+                other => panic!("expected Interrupted, got {other}"),
+            }
+        }
+
+        // Resumed second leg: unlimited budget, journaled items replayed.
+        let journal = Journal::try_resume(&path, &spec).expect("resume journal");
+        let replayed_before = journal.completed_items();
+        assert!(replayed_before > 0, "the first leg journaled its chunks");
+        let resumed = unwrap_items(
+            try_par_map_journaled(n, 4, &RunBudget::unlimited(), Some(&journal), f)
+                .expect("second leg completes"),
+        );
+        let resumed_bits: Vec<u64> = resumed.into_iter().map(f64::to_bits).collect();
+        assert_eq!(resumed_bits, reference, "resume is byte-identical");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_item_count_mismatch_is_rejected() {
+        let path = scratch("mismatch");
+        let spec = JournalSpec::for_run::<f64>("evaltest", 10, &[]);
+        let journal = Journal::try_create(&path, &spec).expect("create journal");
+        let err =
+            try_par_map_journaled(11, 1, &RunBudget::unlimited(), Some(&journal), |i| i as f64)
+                .expect_err("item count differs from the spec");
+        assert!(matches!(err, PpatcError::Checkpoint { .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_budget_reports_reasons_in_priority_order() {
+        assert!(RunBudget::unlimited().is_unlimited());
+        assert_eq!(RunBudget::unlimited().check(), Ok(()));
+        let token = CancelToken::new();
+        let both = RunBudget::unlimited()
+            .with_cancel(&token)
+            .with_deadline_in(Duration::ZERO);
+        assert!(!both.is_unlimited());
+        // Deadline already expired, token not yet cancelled.
+        assert_eq!(both.check(), Err(InterruptReason::DeadlineExpired));
+        token.cancel();
+        // Cancellation is checked first.
+        assert_eq!(both.check(), Err(InterruptReason::Cancelled));
+        // The derived solver budget shares the deadline.
+        assert!(both.solver_budget().exhausted(0));
+        assert!(RunBudget::unlimited().solver_budget().is_unlimited());
     }
 }

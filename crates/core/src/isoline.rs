@@ -15,7 +15,9 @@
 //! Uncertainty in lifetime, CI_use, or M3D yield (Fig. 6b) moves the
 //! isoline; [`TcdpMap::isoline_with`] evaluates those perturbed variants.
 
-use crate::error::{check, ValidationError};
+use crate::checkpoint::JournalSpec;
+use crate::error::{check, PpatcError, ValidationError};
+use crate::eval::Supervisor;
 use crate::lifetime::{CarbonTrajectory, Lifetime};
 
 /// Uncertainty knobs of Fig. 6b.
@@ -237,27 +239,92 @@ impl TcdpMap {
         ny: usize,
         jobs: usize,
     ) -> Result<Vec<(f64, f64, f64)>, ValidationError> {
-        if nx < 2 {
-            return Err(ValidationError::new("nx", nx as f64, ">= 2"));
-        }
-        if ny < 2 {
-            return Err(ValidationError::new("ny", ny as f64, ">= 2"));
-        }
-        check::positive("x0", x0)?;
-        check::positive("y0", y0)?;
-        if !(x1.is_finite() && x1 > x0) {
-            return Err(ValidationError::new("x1", x1, "finite and > x0"));
-        }
-        if !(y1.is_finite() && y1 > y0) {
-            return Err(ValidationError::new("y1", y1, "finite and > y0"));
-        }
+        check_raster_window((x0, x1), (y0, y1), nx, ny)?;
         Ok(crate::eval::par_map_indexed(nx * ny, jobs, |k| {
-            let j = k / nx;
-            let i = k % nx;
-            let y = y0 + (y1 - y0) * (j as f64) / ((ny - 1) as f64);
-            let x = x0 + (x1 - x0) * (i as f64) / ((nx - 1) as f64);
-            (x, y, self.ratio(x, y))
+            self.raster_point((x0, x1), (y0, y1), nx, ny, k)
         }))
+    }
+
+    /// [`TcdpMap::try_raster_jobs`] under a [`Supervisor`]: honors the
+    /// supervisor's cancellation token and deadline, isolates worker panics,
+    /// and — when a checkpoint path is configured — journals every finished
+    /// chunk so an interrupted raster resumes byte-identically (each grid
+    /// point is a pure function of its index, and the journal stores exact
+    /// `f64` bit patterns).
+    ///
+    /// # Errors
+    ///
+    /// [`PpatcError::Validation`] for a bad window or resolution,
+    /// [`PpatcError::Interrupted`] when the budget stops the run,
+    /// [`PpatcError::WorkerPanic`] if a grid point panics, and
+    /// [`PpatcError::Checkpoint`] on journal I/O failure or a journal that
+    /// was recorded for a different raster.
+    #[must_use = "this returns a Result that must be handled"]
+    // ppatc-lint: allow(raw-unit-api) — raster axes are dimensionless scale factors
+    pub fn try_raster_supervised(
+        &self,
+        (x0, x1): (f64, f64),
+        (y0, y1): (f64, f64),
+        nx: usize,
+        ny: usize,
+        jobs: usize,
+        supervisor: &Supervisor,
+    ) -> Result<Vec<(f64, f64, f64)>, PpatcError> {
+        check_raster_window((x0, x1), (y0, y1), nx, ny)?;
+        let spec = self.raster_spec((x0, x1), (y0, y1), nx, ny);
+        let journal = supervisor.try_open_journal(&spec)?;
+        let outcomes = crate::eval::try_par_map_journaled(
+            nx * ny,
+            jobs,
+            supervisor.budget(),
+            journal.as_ref(),
+            |k| self.raster_point((x0, x1), (y0, y1), nx, ny, k),
+        )?;
+        outcomes.into_iter().collect()
+    }
+
+    /// Journal identity of a raster run: the window, the resolution, and
+    /// two corner-probe ratios that capture the map itself (two different
+    /// maps rasterized over the same window get different fingerprints).
+    fn raster_spec(
+        &self,
+        (x0, x1): (f64, f64),
+        (y0, y1): (f64, f64),
+        nx: usize,
+        ny: usize,
+    ) -> JournalSpec {
+        JournalSpec::for_run::<(f64, f64, f64)>(
+            "raster",
+            nx * ny,
+            &[
+                nx as u64,
+                ny as u64,
+                x0.to_bits(),
+                x1.to_bits(),
+                y0.to_bits(),
+                y1.to_bits(),
+                self.ratio(x0, y0).to_bits(),
+                self.ratio(x1, y1).to_bits(),
+            ],
+        )
+    }
+
+    /// The `k`-th point of the row-major raster grid — a pure function of
+    /// the window, the resolution, and `k`, which is what makes journaled
+    /// resumes byte-identical.
+    fn raster_point(
+        &self,
+        (x0, x1): (f64, f64),
+        (y0, y1): (f64, f64),
+        nx: usize,
+        ny: usize,
+        k: usize,
+    ) -> (f64, f64, f64) {
+        let j = k / nx;
+        let i = k % nx;
+        let y = y0 + (y1 - y0) * (j as f64) / ((ny - 1) as f64);
+        let x = x0 + (x1 - x0) * (i as f64) / ((nx - 1) as f64);
+        (x, y, self.ratio(x, y))
     }
 
     /// Panicking convenience wrapper around [`TcdpMap::try_raster`].
@@ -315,6 +382,31 @@ impl TcdpMap {
             }
         })
     }
+}
+
+/// Shared raster-window validation: resolutions of at least 2×2 and
+/// positive, finite, ordered axis ranges.
+fn check_raster_window(
+    (x0, x1): (f64, f64),
+    (y0, y1): (f64, f64),
+    nx: usize,
+    ny: usize,
+) -> Result<(), ValidationError> {
+    if nx < 2 {
+        return Err(ValidationError::new("nx", nx as f64, ">= 2"));
+    }
+    if ny < 2 {
+        return Err(ValidationError::new("ny", ny as f64, ">= 2"));
+    }
+    check::positive("x0", x0)?;
+    check::positive("y0", y0)?;
+    if !(x1.is_finite() && x1 > x0) {
+        return Err(ValidationError::new("x1", x1, "finite and > x0"));
+    }
+    if !(y1.is_finite() && y1 > y0) {
+        return Err(ValidationError::new("y1", y1, "finite and > y0"));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -477,6 +569,62 @@ mod tests {
             };
             assert_eq!(bits(&serial), bits(&parallel), "jobs = {jobs}");
         }
+    }
+
+    #[test]
+    fn supervised_raster_matches_unsupervised() {
+        let m = map();
+        let plain = m
+            .try_raster_jobs((0.5, 3.0), (0.25, 1.5), 24, 18, 3)
+            .expect("plain raster");
+        let supervised = m
+            .try_raster_supervised((0.5, 3.0), (0.25, 1.5), 24, 18, 3, &Supervisor::new())
+            .expect("supervised raster");
+        let bits = |grid: &[(f64, f64, f64)]| {
+            grid.iter()
+                .map(|(x, y, r)| (x.to_bits(), y.to_bits(), r.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&plain), bits(&supervised));
+    }
+
+    #[test]
+    fn supervised_raster_still_validates_the_window() {
+        let m = map();
+        let e = m
+            .try_raster_supervised((3.0, 0.5), (0.25, 1.5), 6, 5, 1, &Supervisor::new())
+            .expect_err("empty range rejected");
+        assert!(matches!(e, PpatcError::Validation(v) if v.field == "x1"));
+    }
+
+    #[test]
+    fn raster_spec_distinguishes_windows_and_maps() {
+        let m = map();
+        let base = m.raster_spec((0.5, 3.0), (0.25, 1.5), 6, 5);
+        let other_window = m.raster_spec((0.5, 2.0), (0.25, 1.5), 6, 5);
+        let other_res = m.raster_spec((0.5, 3.0), (0.25, 1.5), 5, 6);
+        assert_ne!(base.fingerprint, other_window.fingerprint);
+        assert_ne!(base.fingerprint, other_res.fingerprint);
+
+        // A different trajectory pair over the same window must not be able
+        // to consume this map's journal: the corner probes differ.
+        let exec = Time::from_seconds(0.04);
+        let usage = UsagePattern::paper_default();
+        let si = CarbonTrajectory::new(
+            CarbonMass::from_grams(4.0),
+            Power::from_milliwatts(11.0),
+            usage,
+            exec,
+        );
+        let m3d = CarbonTrajectory::new(
+            CarbonMass::from_grams(4.4),
+            Power::from_milliwatts(9.0),
+            usage,
+            exec,
+        );
+        let other_map = TcdpMap::new(si, m3d, Lifetime::months(24.0), 0.50);
+        let other = other_map.raster_spec((0.5, 3.0), (0.25, 1.5), 6, 5);
+        assert_ne!(base.fingerprint, other.fingerprint);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod embodied;
 pub mod error;
 pub mod eval;
@@ -53,8 +54,10 @@ pub mod standby;
 mod system;
 mod usage;
 
+pub use checkpoint::{Journal, JournalSpec};
 pub use embodied::{EmbodiedPerDie, EmbodiedPipeline};
-pub use error::{PpatcError, ValidationError};
+pub use error::{InterruptReason, PpatcError, ValidationError};
+pub use eval::{CancelToken, RunBudget, Supervisor};
 pub use isoline::{IsolinePoint, Perturbation, TcdpMap};
 pub use lifetime::{CarbonTrajectory, Lifetime, TrajectoryPoint};
 pub use scenario::{CaseStudy, PpatcSummary};

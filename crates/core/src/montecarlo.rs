@@ -36,7 +36,9 @@
 //! [`PpatcError::FailureBudgetExceeded`] instead of silently reporting
 //! statistics from a crippled sweep.
 
+use crate::checkpoint::JournalSpec;
 use crate::error::{check, PpatcError, ValidationError};
+use crate::eval::{RunBudget, Supervisor};
 use crate::isoline::TcdpMap;
 use crate::lifetime::Lifetime;
 use ppatc_units::rng::SplitMix64;
@@ -198,12 +200,16 @@ pub struct FailureBreakdown {
     /// Samples whose tCDP ratio was zero or negative (a physically
     /// meaningless carbon ratio).
     pub non_positive_ratio: usize,
+    /// Samples whose evaluation panicked (caught at the item boundary by
+    /// the supervised engine and converted to
+    /// [`PpatcError::WorkerPanic`]).
+    pub worker_panic: usize,
 }
 
 impl FailureBreakdown {
     /// Total number of discarded samples.
     pub fn total(&self) -> usize {
-        self.non_finite_ratio + self.non_positive_ratio
+        self.non_finite_ratio + self.non_positive_ratio + self.worker_panic
     }
 
     fn record(&mut self, ratio: f64) {
@@ -219,11 +225,49 @@ impl core::fmt::Display for FailureBreakdown {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "{} failed ({} non-finite, {} non-positive)",
+            "{} failed ({} non-finite, {} non-positive, {} panicked)",
             self.total(),
             self.non_finite_ratio,
-            self.non_positive_ratio
+            self.non_positive_ratio,
+            self.worker_panic
         )
+    }
+}
+
+/// SPICE recovery pressure observed during one sweep: how many DC solves
+/// needed the GMIN/source-stepping ladder and how many gave up, differenced
+/// from the process-wide [`ppatc_spice::recovery_counters`] around the run.
+///
+/// The nominal exhibits evaluate pure arithmetic (no SPICE per sample), so
+/// both counts are normally zero; nonzero counts flag a sweep whose
+/// characterization work is straining the solver. The counters are
+/// process-global, so concurrent solves elsewhere in the process (e.g.
+/// parallel test threads) can inflate a run's attribution — treat the
+/// counts as an upper bound, not an exact per-run tally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SolverRecoveryPressure {
+    /// Solves rescued by a recovery rung during the sweep.
+    pub recovered_solves: u64,
+    /// Solves that exhausted the ladder or a solver budget.
+    pub exhausted_solves: u64,
+}
+
+impl SolverRecoveryPressure {
+    /// Whether any solve needed recovery or gave up.
+    pub fn any(&self) -> bool {
+        self.recovered_solves > 0 || self.exhausted_solves > 0
+    }
+}
+
+/// The pressure accumulated since a [`ppatc_spice::recovery_counters`]
+/// snapshot taken before the run.
+fn pressure_since(before: (u64, u64)) -> SolverRecoveryPressure {
+    let (recovered_0, exhausted_0) = before;
+    let (recovered_1, exhausted_1) = ppatc_spice::recovery_counters();
+    SolverRecoveryPressure {
+        recovered_solves: recovered_1.saturating_sub(recovered_0),
+        exhausted_solves: exhausted_1.saturating_sub(exhausted_0),
     }
 }
 
@@ -243,6 +287,9 @@ pub struct MonteCarloResult {
     /// 5th / 50th / 95th percentiles of the tCDP ratio (M3D / all-Si) over
     /// the survivors.
     pub ratio_quantiles: (f64, f64, f64),
+    /// SPICE recovery pressure observed while the sweep ran (zero for the
+    /// pure-arithmetic nominal exhibits).
+    pub recovery: SolverRecoveryPressure,
 }
 
 impl core::fmt::Display for MonteCarloResult {
@@ -258,6 +305,13 @@ impl core::fmt::Display for MonteCarloResult {
         )?;
         if self.failures.total() > 0 {
             write!(f, " ({} over survivors)", self.failures)?;
+        }
+        if self.recovery.any() {
+            write!(
+                f,
+                " [solver recovery: {} rescued, {} exhausted]",
+                self.recovery.recovered_solves, self.recovery.exhausted_solves
+            )?;
         }
         Ok(())
     }
@@ -327,10 +381,11 @@ pub fn try_run_with(
 ) -> Result<MonteCarloResult, PpatcError> {
     ranges.validate()?;
     let n = config.samples;
+    let before = ppatc_spice::recovery_counters();
     let ratios: Vec<f64> = (0..n)
         .map(|i| source.tcdp_ratio(&draw_sample(config.seed, i as u64, ranges)))
         .collect();
-    summarize(ratios, config)
+    summarize(ratios, config, pressure_since(before))
 }
 
 /// [`try_run_with`] sharded across `jobs` workers. Requires a thread-safe
@@ -347,21 +402,102 @@ pub fn try_run_with_jobs(
 ) -> Result<MonteCarloResult, PpatcError> {
     ranges.validate()?;
     let n = config.samples;
+    let before = ppatc_spice::recovery_counters();
     let ratios = crate::eval::par_map_indexed(n, jobs, |i| {
         source.tcdp_ratio(&draw_sample(config.seed, i as u64, ranges))
     });
-    summarize(ratios, config)
+    summarize(ratios, config, pressure_since(before))
+}
+
+/// The checkpoint-journal identity of one sweep: seed and every range bound
+/// (as exact bit patterns) fingerprinted, so a journal from a different
+/// seed or different ranges is rejected on resume. The failure budget is
+/// deliberately excluded — it only gates the final summary, never the
+/// per-sample values a journal stores.
+fn journal_spec(config: &MonteCarloConfig, r: &UncertaintyRanges) -> JournalSpec {
+    let params = [
+        config.seed,
+        r.lifetime_months.0.to_bits(),
+        r.lifetime_months.1.to_bits(),
+        r.ci_use_scale.0.to_bits(),
+        r.ci_use_scale.1.to_bits(),
+        r.m3d_yield.0.to_bits(),
+        r.m3d_yield.1.to_bits(),
+        r.m3d_embodied_scale.0.to_bits(),
+        r.m3d_embodied_scale.1.to_bits(),
+        r.m3d_eop_scale.0.to_bits(),
+        r.m3d_eop_scale.1.to_bits(),
+    ];
+    JournalSpec::for_run::<f64>("montecarlo", config.samples, &params)
+}
+
+/// Supervised [`try_run_with_jobs`]: the sweep honors `supervisor`'s
+/// [`RunBudget`] at chunk boundaries, journals completed chunks when a
+/// checkpoint path is configured, isolates panicking samples as
+/// [`FailureBreakdown::worker_panic`] entries that count against the
+/// failure budget, and — when resuming — replays journaled samples instead
+/// of recomputing them.
+///
+/// With a default [`Supervisor`] this is byte-identical to
+/// [`try_run_with_jobs`] for any worker count (modulo the engine's
+/// panic-isolation wrapper, which is unobservable for panic-free sources).
+///
+/// # Errors
+///
+/// Everything [`try_run_with_jobs`] can return, plus
+/// [`PpatcError::Interrupted`] (cancelled or past deadline; completed
+/// samples are journaled first, so `--resume` continues where it stopped)
+/// and [`PpatcError::Checkpoint`] for journal I/O or identity mismatches.
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_run_supervised(
+    source: &(dyn RatioSource + Sync),
+    ranges: &UncertaintyRanges,
+    config: &MonteCarloConfig,
+    jobs: usize,
+    supervisor: &Supervisor,
+) -> Result<MonteCarloResult, PpatcError> {
+    ranges.validate()?;
+    let n = config.samples;
+    let spec = journal_spec(config, ranges);
+    let journal = supervisor.try_open_journal(&spec)?;
+    let before = ppatc_spice::recovery_counters();
+    let outcomes =
+        crate::eval::try_par_map_journaled(n, jobs, supervisor.budget(), journal.as_ref(), |i| {
+            source.tcdp_ratio(&draw_sample(config.seed, i as u64, ranges))
+        })?;
+    summarize_outcomes(outcomes, config, pressure_since(before))
+}
+
+/// The serial reduction shared by the unsupervised sweep entry points.
+fn summarize(
+    ratios: Vec<f64>,
+    config: &MonteCarloConfig,
+    recovery: SolverRecoveryPressure,
+) -> Result<MonteCarloResult, PpatcError> {
+    summarize_outcomes(ratios.into_iter().map(Ok).collect(), config, recovery)
 }
 
 /// The serial reduction shared by every sweep entry point: classifies the
-/// index-ordered ratios, applies the failure budget, and computes survivor
+/// index-ordered per-sample outcomes (a panicked sample counts as one more
+/// discarded sample), applies the failure budget, and computes survivor
 /// statistics with linearly interpolated quantiles.
-fn summarize(ratios: Vec<f64>, config: &MonteCarloConfig) -> Result<MonteCarloResult, PpatcError> {
-    let n = ratios.len();
+fn summarize_outcomes(
+    outcomes: Vec<Result<f64, PpatcError>>,
+    config: &MonteCarloConfig,
+    recovery: SolverRecoveryPressure,
+) -> Result<MonteCarloResult, PpatcError> {
+    let n = outcomes.len();
     let mut survivors = Vec::with_capacity(n);
     let mut failures = FailureBreakdown::default();
     let mut wins = 0usize;
-    for r in ratios {
+    for outcome in outcomes {
+        let r = match outcome {
+            Ok(r) => r,
+            Err(_) => {
+                failures.worker_panic += 1;
+                continue;
+            }
+        };
         if !r.is_finite() || r <= 0.0 {
             failures.record(r);
             continue;
@@ -391,6 +527,7 @@ fn summarize(ratios: Vec<f64>, config: &MonteCarloConfig) -> Result<MonteCarloRe
         failures,
         p_m3d_wins: wins as f64 / m as f64,
         ratio_quantiles: (q(0.05), q(0.50), q(0.95)),
+        recovery,
     })
 }
 
@@ -458,25 +595,52 @@ pub fn try_sensitivity_jobs(
     seed: u64,
     jobs: usize,
 ) -> Result<Vec<(&'static str, f64)>, PpatcError> {
+    try_sensitivity_supervised(map, ranges, n, seed, jobs, &RunBudget::unlimited())
+}
+
+/// [`try_sensitivity_jobs`] under a [`RunBudget`]: the base sweep and every
+/// frozen variant poll `budget` at chunk boundaries, so a cancellation or
+/// deadline stops the whole analysis with [`PpatcError::Interrupted`].
+///
+/// Sensitivity sweeps are not checkpointed: the six constituent sweeps are
+/// an order of magnitude cheaper than the headline Monte-Carlo run, and a
+/// variance share is not a per-index value a journal could resume.
+/// Panicking samples are skipped in the variance estimates exactly like
+/// non-finite ratios.
+///
+/// # Errors
+///
+/// Everything [`try_sensitivity_jobs`] can return, plus
+/// [`PpatcError::Interrupted`] when the budget stops a constituent sweep.
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_sensitivity_supervised(
+    map: &TcdpMap,
+    ranges: &UncertaintyRanges,
+    n: usize,
+    seed: u64,
+    jobs: usize,
+    budget: &RunBudget,
+) -> Result<Vec<(&'static str, f64)>, PpatcError> {
     if n == 0 {
         return Err(ValidationError::new("samples", 0.0, ">= 1").into());
     }
     ranges.validate()?;
-    let variance_of = |ranges: &UncertaintyRanges, seed: u64| {
-        let ratios: Vec<f64> = crate::eval::par_map_indexed(n, jobs, |i| {
+    let variance_of = |ranges: &UncertaintyRanges, seed: u64| -> Result<f64, PpatcError> {
+        let ratios: Vec<f64> = crate::eval::try_par_map_indexed(n, jobs, budget, |i| {
             map.ratio_sampled(&draw_sample(seed, i as u64, ranges))
-        })
+        })?
         .into_iter()
+        .filter_map(Result::ok)
         .filter(|r| r.is_finite())
         .collect();
         if ratios.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
         let m = ratios.len() as f64;
         let mean = ratios.iter().sum::<f64>() / m;
-        ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / m
+        Ok(ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / m)
     };
-    let base = variance_of(ranges, seed);
+    let base = variance_of(ranges, seed)?;
     if base <= 0.0 {
         return Ok(vec![
             ("lifetime", 0.0),
@@ -528,13 +692,11 @@ pub fn try_sensitivity_jobs(
             },
         ),
     ];
-    let mut out: Vec<(&'static str, f64)> = variants
-        .iter()
-        .map(|(name, v)| {
-            let reduced = variance_of(v, seed);
-            (*name, ((base - reduced) / base).max(0.0))
-        })
-        .collect();
+    let mut out: Vec<(&'static str, f64)> = Vec::with_capacity(variants.len());
+    for (name, v) in &variants {
+        let reduced = variance_of(v, seed)?;
+        out.push((*name, ((base - reduced) / base).max(0.0)));
+    }
     out.sort_by(|a, b| f64::total_cmp(&b.1, &a.1));
     Ok(out)
 }
@@ -931,6 +1093,160 @@ mod tests {
             }
             other => panic!("expected budget error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn quantiles_interpolate_with_a_single_survivor() {
+        // m = 1: rank p·0 = 0 for every p, so all three quantiles are the
+        // lone survivor.
+        let source = SequenceSource {
+            values: vec![f64::NAN, 5.0, f64::NAN],
+            calls: core::cell::Cell::new(0),
+        };
+        let config = MonteCarloConfig::new(3, 1)
+            .expect("valid")
+            .with_failure_budget(1.0)
+            .expect("valid budget");
+        let r = try_run_with(&source, &UncertaintyRanges::paper_default(), &config)
+            .expect("one survivor is enough for statistics");
+        assert_eq!(r.evaluated, 1);
+        assert_eq!(r.failures.non_finite_ratio, 2);
+        assert_eq!(r.ratio_quantiles, (5.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate_with_two_survivors() {
+        // m = 2: rank p·1 = p, so p05/p50/p95 interpolate between the two
+        // survivors (sorted [1, 2]) at 1.05 / 1.5 / 1.95.
+        let source = SequenceSource {
+            values: vec![2.0, f64::NAN, 1.0],
+            calls: core::cell::Cell::new(0),
+        };
+        let config = MonteCarloConfig::new(3, 1)
+            .expect("valid")
+            .with_failure_budget(1.0)
+            .expect("valid budget");
+        let r = try_run_with(&source, &UncertaintyRanges::paper_default(), &config)
+            .expect("two survivors");
+        assert_eq!(r.evaluated, 2);
+        let (q05, q50, q95) = r.ratio_quantiles;
+        assert!((q05 - 1.05).abs() < 1e-12, "q05 = {q05}");
+        assert!((q50 - 1.5).abs() < 1e-12, "q50 = {q50}");
+        assert!((q95 - 1.95).abs() < 1e-12, "q95 = {q95}");
+    }
+
+    #[test]
+    fn no_surviving_samples_surfaces_identically_for_any_worker_count() {
+        struct AlwaysNan;
+        impl RatioSource for AlwaysNan {
+            fn tcdp_ratio(&self, _: &UncertaintySample) -> f64 {
+                f64::NAN
+            }
+        }
+        let ranges = UncertaintyRanges::paper_default();
+        let config = MonteCarloConfig::new(64, 5)
+            .expect("valid")
+            .with_failure_budget(1.0)
+            .expect("valid budget");
+        let reference =
+            try_run_with_jobs(&AlwaysNan, &ranges, &config, 1).expect_err("nothing survives");
+        assert_eq!(reference, PpatcError::NoSurvivingSamples { samples: 64 });
+        for jobs in [2, 8] {
+            let err = try_run_with_jobs(&AlwaysNan, &ranges, &config, jobs)
+                .expect_err("nothing survives");
+            assert_eq!(err, reference, "jobs = {jobs}");
+        }
+    }
+
+    /// A thread-safe source that panics deterministically on low-yield
+    /// futures (a pure function of the sample, so parallel runs agree).
+    struct PanickyBelowYield {
+        inner: TcdpMap,
+        threshold: f64,
+    }
+
+    impl RatioSource for PanickyBelowYield {
+        fn tcdp_ratio(&self, sample: &UncertaintySample) -> f64 {
+            assert!(
+                sample.m3d_yield >= self.threshold,
+                "injected panic at yield {}",
+                sample.m3d_yield
+            );
+            self.inner.ratio_sampled(sample)
+        }
+    }
+
+    #[test]
+    fn panicking_samples_count_against_the_failure_budget() {
+        let source = PanickyBelowYield {
+            inner: map(),
+            threshold: 0.14,
+        };
+        let ranges = UncertaintyRanges::paper_default();
+        let config = MonteCarloConfig::new(1000, 17)
+            .expect("valid")
+            .with_failure_budget(0.25)
+            .expect("valid budget");
+        let r = try_run_supervised(&source, &ranges, &config, 8, &Supervisor::new())
+            .expect("panics stay within the budget");
+        assert!(
+            r.failures.worker_panic > 0,
+            "some futures draw yield < 0.14"
+        );
+        assert_eq!(r.failures.worker_panic, r.failures.total());
+        assert_eq!(r.evaluated + r.failures.total(), r.samples);
+        assert!(r.to_string().contains("panicked"), "{r}");
+        // The same sweep with jobs = 1 classifies the same samples.
+        let serial = try_run_supervised(&source, &ranges, &config, 1, &Supervisor::new())
+            .expect("serial run agrees");
+        assert_eq!(serial, r);
+    }
+
+    #[test]
+    fn panicking_samples_over_a_zero_budget_are_an_error() {
+        let source = PanickyBelowYield {
+            inner: map(),
+            threshold: 0.14,
+        };
+        let ranges = UncertaintyRanges::paper_default();
+        let config = MonteCarloConfig::new(1000, 17).expect("valid");
+        match try_run_supervised(&source, &ranges, &config, 4, &Supervisor::new()) {
+            Err(PpatcError::FailureBudgetExceeded {
+                failed, samples, ..
+            }) => {
+                assert!(failed > 0);
+                assert_eq!(samples, 1000);
+            }
+            other => panic!("expected FailureBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervised_with_default_supervisor_matches_unsupervised() {
+        let m = map();
+        let ranges = UncertaintyRanges::paper_default();
+        let config = MonteCarloConfig::new(2000, 99).expect("valid");
+        let unsupervised = try_run_jobs(&m, &ranges, &config, 4).expect("unsupervised");
+        let supervised =
+            try_run_supervised(&m, &ranges, &config, 4, &Supervisor::new()).expect("supervised");
+        assert_eq!(unsupervised, supervised);
+    }
+
+    #[test]
+    fn journal_spec_excludes_the_failure_budget() {
+        let ranges = UncertaintyRanges::paper_default();
+        let strict = MonteCarloConfig::new(100, 1).expect("valid");
+        let tolerant = strict.with_failure_budget(0.5).expect("valid budget");
+        assert_eq!(
+            journal_spec(&strict, &ranges),
+            journal_spec(&tolerant, &ranges),
+            "the budget gates the summary, not per-sample values"
+        );
+        let other_seed = MonteCarloConfig::new(100, 2).expect("valid");
+        assert_ne!(
+            journal_spec(&strict, &ranges).fingerprint,
+            journal_spec(&other_seed, &ranges).fingerprint
+        );
     }
 
     #[test]

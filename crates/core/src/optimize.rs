@@ -26,6 +26,7 @@
 //! ```
 
 use crate::embodied::EmbodiedPipeline;
+use crate::error::PpatcError;
 use crate::lifetime::Lifetime;
 use crate::system::SystemDesign;
 use crate::usage::UsagePattern;
@@ -202,6 +203,49 @@ impl Optimizer {
     /// `(technology, organization)` pair are served from
     /// [`ppatc_edram::EdramMacro`]'s memo cache.
     pub fn run_jobs(&self, workload: &WorkloadRun, jobs: usize) -> Vec<Candidate> {
+        let points = self.enumerate_points();
+        let evaluated = crate::eval::par_map_indexed(points.len(), jobs, |k| {
+            let (tech, flavor, f_clk) = points[k];
+            self.evaluate_candidate(tech, flavor, f_clk, workload)
+        });
+        Self::rank(evaluated.into_iter().flatten().collect())
+    }
+
+    /// [`Optimizer::run_jobs`] under a [`crate::eval::RunBudget`]: the sweep
+    /// honors a cancellation token and deadline (checked at chunk
+    /// boundaries) and isolates worker panics. A completed run is
+    /// byte-identical to [`Optimizer::run_jobs`] for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`PpatcError::Interrupted`] when the budget stops the sweep and
+    /// [`PpatcError::WorkerPanic`] if a candidate evaluation panics — a
+    /// partial design-space ranking would silently misreport the optimum,
+    /// so unlike Monte-Carlo sampling no failure budget applies here.
+    #[must_use = "this returns a Result that must be handled"]
+    pub fn try_run_supervised(
+        &self,
+        workload: &WorkloadRun,
+        jobs: usize,
+        budget: &crate::eval::RunBudget,
+    ) -> Result<Vec<Candidate>, PpatcError> {
+        let points = self.enumerate_points();
+        let evaluated = crate::eval::try_par_map_indexed(points.len(), jobs, budget, |k| {
+            let (tech, flavor, f_clk) = points[k];
+            self.evaluate_candidate(tech, flavor, f_clk, workload)
+        })?;
+        let mut out = Vec::with_capacity(evaluated.len());
+        for candidate in evaluated {
+            if let Some(c) = candidate? {
+                out.push(c);
+            }
+        }
+        Ok(Self::rank(out))
+    }
+
+    /// Enumerates the candidate grid in the fixed
+    /// technology-major/clock-minor order that pins parallel determinism.
+    fn enumerate_points(&self) -> Vec<(Technology, SiVtFlavor, Frequency)> {
         let mut points = Vec::with_capacity(self.space.len());
         for &tech in &self.space.technologies {
             for &flavor in &self.space.flavors {
@@ -210,11 +254,12 @@ impl Optimizer {
                 }
             }
         }
-        let evaluated = crate::eval::par_map_indexed(points.len(), jobs, |k| {
-            let (tech, flavor, f_clk) = points[k];
-            self.evaluate_candidate(tech, flavor, f_clk, workload)
-        });
-        let mut out: Vec<Candidate> = evaluated.into_iter().flatten().collect();
+        points
+    }
+
+    /// Stable-sorts candidates feasible-first, each group by ascending
+    /// tCDP.
+    fn rank(mut out: Vec<Candidate>) -> Vec<Candidate> {
         out.sort_by(|a, b| {
             b.feasible.cmp(&a.feasible).then(f64::total_cmp(
                 &a.tcdp.as_grams_per_hertz(),
@@ -389,6 +434,34 @@ mod tests {
             // Along the front, slower designs must be strictly better in tCDP.
             assert!(pair[0].tcdp > pair[1].tcdp);
         }
+    }
+
+    #[test]
+    fn supervised_run_matches_unsupervised() {
+        let opt = Optimizer::new(small_space(), Lifetime::months(24.0));
+        let plain = opt.run_jobs(run(), 2);
+        let supervised = opt
+            .try_run_supervised(run(), 2, &crate::eval::RunBudget::unlimited())
+            .expect("unlimited budget completes");
+        assert_eq!(plain, supervised);
+    }
+
+    #[test]
+    fn cancelled_sweep_reports_an_interrupt() {
+        let token = crate::eval::CancelToken::new();
+        token.cancel();
+        let budget = crate::eval::RunBudget::unlimited().with_cancel(&token);
+        let opt = Optimizer::new(small_space(), Lifetime::months(24.0));
+        let e = opt
+            .try_run_supervised(run(), 2, &budget)
+            .expect_err("pre-cancelled sweep stops");
+        assert!(matches!(
+            e,
+            crate::error::PpatcError::Interrupted {
+                reason: crate::error::InterruptReason::Cancelled,
+                ..
+            }
+        ));
     }
 
     #[test]

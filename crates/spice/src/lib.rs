@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+mod budget;
 mod circuit;
 mod dc;
 mod error;
@@ -51,8 +52,9 @@ mod sweep;
 mod transient;
 mod waveform;
 
+pub use budget::SolverBudget;
 pub use circuit::{Circuit, ElementId, NodeId};
-pub use dc::{DcOptions, RecoveryAttempt, RecoveryLog, RecoveryStage};
+pub use dc::{recovery_counters, DcOptions, RecoveryAttempt, RecoveryLog, RecoveryStage};
 pub use error::SpiceError;
 pub use measure::{Edge, Trace};
 pub use sweep::SweepResult;

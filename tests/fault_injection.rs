@@ -324,6 +324,278 @@ fn singular_topologies_fail_fast_with_a_structured_error() {
 }
 
 // ---------------------------------------------------------------------------
+// Chaos: injected worker panics, cancellation at random chunk boundaries,
+// deadline exhaustion, and crash-safe resume.
+// ---------------------------------------------------------------------------
+
+/// A scratch journal path unique to this process and test.
+fn scratch_journal(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ppatc-chaos-{}-{name}.journal", std::process::id()))
+}
+
+/// Asserts two Monte-Carlo results agree on everything the samples
+/// determine. The `recovery` field is deliberately excluded: it snapshots
+/// process-wide SPICE ladder counters, which other tests in this binary
+/// bump concurrently.
+fn assert_same_samples(a: &montecarlo::MonteCarloResult, b: &montecarlo::MonteCarloResult) {
+    assert_eq!(a.samples, b.samples);
+    assert_eq!(a.evaluated, b.evaluated);
+    assert_eq!(a.failures, b.failures);
+    assert_eq!(a.p_m3d_wins.to_bits(), b.p_m3d_wins.to_bits());
+    let (a05, a50, a95) = a.ratio_quantiles;
+    let (b05, b50, b95) = b.ratio_quantiles;
+    assert_eq!(a05.to_bits(), b05.to_bits());
+    assert_eq!(a50.to_bits(), b50.to_bits());
+    assert_eq!(a95.to_bits(), b95.to_bits());
+}
+
+/// A ratio source that panics on one specific sample index sequence: every
+/// call whose drawn lifetime falls below a cut. Deterministic in the
+/// sample, so serial and parallel runs fail identically.
+struct PanickyBelowLifetime {
+    inner: TcdpMap,
+    cut_months: f64,
+}
+
+impl RatioSource for PanickyBelowLifetime {
+    fn tcdp_ratio(&self, sample: &UncertaintySample) -> f64 {
+        assert!(
+            sample.lifetime.as_time().as_months() >= self.cut_months,
+            "injected panic: lifetime below {} months",
+            self.cut_months
+        );
+        self.inner.tcdp_ratio(sample)
+    }
+}
+
+#[test]
+fn injected_worker_panics_stay_within_the_failure_budget_at_eight_workers() {
+    // ~8% of paper-default lifetimes (18–30 mo) fall below 19 months.
+    let source = PanickyBelowLifetime {
+        inner: paper_map(),
+        cut_months: 19.0,
+    };
+    let config = MonteCarloConfig::new(2_000, 11)
+        .expect("valid config")
+        .with_failure_budget(0.25)
+        .expect("valid budget");
+    let ranges = UncertaintyRanges::paper_default();
+    let supervisor = ppatc::Supervisor::new();
+    let parallel = no_panic("Monte Carlo with panicking samples at 8 workers", || {
+        montecarlo::try_run_supervised(&source, &ranges, &config, 8, &supervisor)
+    })
+    .expect("panics are isolated, not fatal");
+    assert!(
+        parallel.failures.worker_panic > 0,
+        "the lifetime cut must actually fire"
+    );
+    assert_eq!(
+        parallel.evaluated + parallel.failures.total(),
+        parallel.samples
+    );
+    // Panic isolation must not disturb determinism: the serial sweep sees
+    // the same panics on the same indices and the same survivors.
+    let serial = montecarlo::try_run_supervised(&source, &ranges, &config, 1, &supervisor)
+        .expect("serial sweep completes");
+    assert_same_samples(&serial, &parallel);
+}
+
+#[test]
+fn cancellation_at_random_chunk_boundaries_reports_coalesced_progress() {
+    use ppatc_units::rng::SplitMix64;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let mut rng = SplitMix64::new(0xC4A0_5);
+    let n = 5_000usize;
+    for round in 0..4 {
+        let jobs = [1, 2, 4, 8][round];
+        // Cancel after a pseudo-random number of item evaluations, so the
+        // interrupt lands at a different chunk boundary every round.
+        let cancel_after = 1 + (rng.next_u64() as usize) % (n / 2);
+        let token = ppatc::CancelToken::new();
+        let budget = ppatc::RunBudget::unlimited().with_cancel(&token);
+        let calls = AtomicUsize::new(0);
+        let result = ppatc::eval::try_par_map_indexed(n, jobs, &budget, |i| {
+            if calls.fetch_add(1, Ordering::Relaxed) + 1 == cancel_after {
+                token.cancel();
+            }
+            (i as f64).sqrt()
+        });
+        let Err(PpatcError::Interrupted {
+            reason,
+            completed,
+            total,
+        }) = result
+        else {
+            panic!("jobs = {jobs}: expected an interrupt");
+        };
+        assert_eq!(reason, ppatc::InterruptReason::Cancelled);
+        assert_eq!(total, n);
+        // Progress is reported as sorted, disjoint, in-range index runs.
+        let mut done = 0;
+        let mut prev_end = 0;
+        for &(start, end) in &completed {
+            assert!(start >= prev_end, "jobs = {jobs}: overlapping runs");
+            assert!(
+                end > start && end <= n,
+                "jobs = {jobs}: bad run ({start}, {end})"
+            );
+            done += end - start;
+            prev_end = end;
+        }
+        assert!(
+            done < n,
+            "jobs = {jobs}: a cancelled run cannot be complete"
+        );
+    }
+}
+
+#[test]
+fn deadline_exhaustion_interrupts_a_raster_with_a_typed_reason() {
+    let map = paper_map();
+    let supervisor = ppatc::Supervisor::new()
+        .with_budget(ppatc::RunBudget::unlimited().with_deadline(std::time::Instant::now()));
+    let err = no_panic("raster under an expired deadline", || {
+        map.try_raster_supervised((0.5, 3.0), (0.25, 1.5), 120, 100, 4, &supervisor)
+    })
+    .expect_err("an expired deadline stops the raster");
+    assert!(
+        matches!(
+            err,
+            PpatcError::Interrupted {
+                reason: ppatc::InterruptReason::DeadlineExpired,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn interrupted_monte_carlo_resumes_byte_identically_from_its_journal() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let path = scratch_journal("montecarlo-resume");
+    let _ = std::fs::remove_file(&path);
+    let config = MonteCarloConfig::new(3_000, 2025).expect("valid config");
+    let ranges = UncertaintyRanges::paper_default();
+    let map = paper_map();
+
+    // Reference: the uninterrupted, unjournaled sweep.
+    let reference =
+        montecarlo::try_run_jobs(&map, &ranges, &config, 1).expect("reference sweep completes");
+
+    // A source that cancels its own run partway through.
+    struct SelfCancelling<'a> {
+        inner: &'a TcdpMap,
+        token: ppatc::CancelToken,
+        calls: AtomicUsize,
+        cancel_after: usize,
+    }
+    impl RatioSource for SelfCancelling<'_> {
+        fn tcdp_ratio(&self, sample: &UncertaintySample) -> f64 {
+            if self.calls.fetch_add(1, Ordering::Relaxed) + 1 == self.cancel_after {
+                self.token.cancel();
+            }
+            self.inner.tcdp_ratio(sample)
+        }
+    }
+    let token = ppatc::CancelToken::new();
+    let source = SelfCancelling {
+        inner: &map,
+        token: token.clone(),
+        calls: AtomicUsize::new(0),
+        cancel_after: 1_000,
+    };
+    let supervisor = ppatc::Supervisor::new()
+        .with_budget(ppatc::RunBudget::unlimited().with_cancel(&token))
+        .with_checkpoint(&path);
+    let err = montecarlo::try_run_supervised(&source, &ranges, &config, 4, &supervisor)
+        .expect_err("the run cancels itself");
+    let PpatcError::Interrupted { completed, .. } = err else {
+        panic!("expected an interrupt, got {err}");
+    };
+    assert!(!completed.is_empty(), "partial progress must be journaled");
+
+    // Resume from the journal with a fresh supervisor: finished chunks
+    // replay from disk, the rest is recomputed, and the merged result is
+    // exactly the uninterrupted sweep.
+    let resumed_supervisor = ppatc::Supervisor::new()
+        .with_checkpoint(&path)
+        .resuming(true);
+    let resumed = montecarlo::try_run_supervised(&map, &ranges, &config, 4, &resumed_supervisor)
+        .expect("resume completes");
+    assert_same_samples(&reference, &resumed);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn interrupted_raster_resumes_byte_identically_from_its_journal() {
+    let path = scratch_journal("raster-resume");
+    let _ = std::fs::remove_file(&path);
+    let map = paper_map();
+    let window = ((0.5, 3.0), (0.25, 1.5));
+    let (nx, ny) = (96, 80);
+
+    let reference = map
+        .try_raster_jobs(window.0, window.1, nx, ny, 1)
+        .expect("reference raster completes");
+
+    // First pass: journal under an already-expired deadline. The run stops
+    // before computing anything new, but the journal (header only) is
+    // valid. Then a second pass with a live budget journals real chunks
+    // but is cancelled partway; the third pass resumes to completion.
+    let expired = ppatc::Supervisor::new()
+        .with_budget(ppatc::RunBudget::unlimited().with_deadline(std::time::Instant::now()))
+        .with_checkpoint(&path);
+    let err = map
+        .try_raster_supervised(window.0, window.1, nx, ny, 4, &expired)
+        .expect_err("expired deadline interrupts");
+    assert!(matches!(err, PpatcError::Interrupted { .. }));
+
+    let resumed = ppatc::Supervisor::new()
+        .with_checkpoint(&path)
+        .resuming(true);
+    let grid = map
+        .try_raster_supervised(window.0, window.1, nx, ny, 4, &resumed)
+        .expect("resume completes the raster");
+    let bits = |g: &[(f64, f64, f64)]| {
+        g.iter()
+            .map(|(x, y, r)| (x.to_bits(), y.to_bits(), r.to_bits()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(bits(&reference), bits(&grid));
+
+    // A second resume replays everything from disk and still matches.
+    let replayed = map
+        .try_raster_supervised(window.0, window.1, nx, ny, 2, &resumed)
+        .expect("full replay completes");
+    assert_eq!(bits(&reference), bits(&replayed));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn solver_budget_exhaustion_surfaces_through_the_unified_taxonomy() {
+    let (c, _) = inverter_at_midrail();
+    // A zero-iteration budget exhausts before the first ladder rung.
+    let opts = DcOptions::new()
+        .with_max_iter(5)
+        .with_budget(ppatc_spice::SolverBudget::unlimited().with_max_newton_iterations(1));
+    let err = no_panic("ladder under an exhausted budget", || {
+        c.dc_operating_point_recovered_with(opts)
+    })
+    .expect_err("budget stops the ladder");
+    assert!(
+        matches!(err, SpiceError::SolverBudgetExceeded { .. }),
+        "{err}"
+    );
+    let unified: PpatcError = err.into();
+    assert!(matches!(unified, PpatcError::Spice(_)));
+    let msg = unified.to_string();
+    assert!(msg.contains("solver budget"), "{msg}");
+}
+
+// ---------------------------------------------------------------------------
 // Cross-layer: errors compose into the unified taxonomy.
 // ---------------------------------------------------------------------------
 
