@@ -1,0 +1,654 @@
+//! Load and chaos harness for `ppatc-serve`, writing `BENCH_serve.json`.
+//!
+//! Replays a deterministic mix of synthetic traffic against an in-process
+//! server: well-formed evaluation queries (mostly cache-friendly, some
+//! cold), malformed frames, slow-loris partial writes, mid-request
+//! disconnects, and poison queries that panic inside the evaluator. A
+//! second phase drains the server mid-load (the in-process equivalent of
+//! SIGTERM) and verifies the shutdown stays graceful.
+//!
+//! ```text
+//! cargo run --release -p ppatc-bench --bin serve_bench            # full load
+//! cargo run --release -p ppatc-bench --bin serve_bench -- --smoke # CI-sized
+//! ```
+//!
+//! Flags: `--smoke`, `--requests N` (total), `--clients N`,
+//! `--workers N`/`--jobs N`, `--queue N`, `--deadline SECS`.
+//!
+//! Exit codes: 0 on a clean run, 1 if any panic escaped a request
+//! boundary, a repeated query was not byte-identical, or the drain phase
+//! failed to shut down gracefully.
+
+use ppatc_bench::cli;
+use ppatc_serve::client::ServeClient;
+use ppatc_serve::protocol::MAGIC;
+use ppatc_serve::server::{try_spawn, ServerConfig};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Connect/read/write timeout for harness clients. Generous: the harness
+/// must never wedge even when the server sheds or drains under it.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Slow-loris window configured on the load-phase server. Short so the
+/// handful of deliberate loris events cost milliseconds, not seconds.
+const FRAME_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Deliberate slow-loris events per client (each costs ~`FRAME_TIMEOUT`
+/// of wall clock, so they are a fixed count rather than a traffic share).
+const LORIS_PER_CLIENT: usize = 3;
+
+/// The cache-friendly query pool. Every client replays these; responses
+/// must be byte-identical across all clients and repetitions.
+const POOL: &[&str] = &[
+    "ping",
+    "eval",
+    "eval capacity_kb=16",
+    "eval capacity_kb=16 f_clk_mhz=700",
+    "eval capacity_kb=32 ci_g_per_kwh=50",
+    "mc samples=64 seed=7",
+    "mc samples=64 seed=7 capacity_kb=16",
+];
+
+/// Deterministic per-client PRNG (64-bit LCG, Knuth constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Per-client outcome tally, merged across clients at the end.
+#[derive(Debug, Default)]
+struct Tally {
+    ok: u64,
+    shed: u64,
+    deadline_exceeded: u64,
+    panic: u64,
+    malformed: u64,
+    invalid: u64,
+    draining: u64,
+    eval_failed: u64,
+    other_err: u64,
+    reconnects: u64,
+    mismatches: u64,
+    loris_events: u64,
+    disconnect_events: u64,
+    malformed_frames: u64,
+    poison_queries: u64,
+    latencies_micros: Vec<u64>,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.panic += other.panic;
+        self.malformed += other.malformed;
+        self.invalid += other.invalid;
+        self.draining += other.draining;
+        self.eval_failed += other.eval_failed;
+        self.other_err += other.other_err;
+        self.reconnects += other.reconnects;
+        self.mismatches += other.mismatches;
+        self.loris_events += other.loris_events;
+        self.disconnect_events += other.disconnect_events;
+        self.malformed_frames += other.malformed_frames;
+        self.poison_queries += other.poison_queries;
+        self.latencies_micros.extend(other.latencies_micros);
+    }
+
+    fn classify(&mut self, kind: &str, ok: bool) {
+        if ok {
+            self.ok += 1;
+            return;
+        }
+        match kind {
+            "overloaded" => self.shed += 1,
+            "deadline_exceeded" => self.deadline_exceeded += 1,
+            "panic" => self.panic += 1,
+            "malformed" => self.malformed += 1,
+            "invalid" => self.invalid += 1,
+            "draining" => self.draining += 1,
+            "eval_failed" => self.eval_failed += 1,
+            _ => self.other_err += 1,
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn reconnect(addr: std::net::SocketAddr) -> Option<ServeClient> {
+    ServeClient::try_connect(addr, CLIENT_TIMEOUT).ok()
+}
+
+/// One load-phase client: replays its request share, injecting chaos at
+/// deterministic points, comparing pool responses against the shared
+/// reference for byte-identity.
+#[allow(clippy::too_many_lines)]
+fn client_loop(
+    id: usize,
+    requests: usize,
+    addr: std::net::SocketAddr,
+    reference: &Mutex<HashMap<String, String>>,
+) -> Tally {
+    let mut tally = Tally::default();
+    let mut rng = Lcg(0x9e37_79b9_7f4a_7c15 ^ (id as u64).wrapping_mul(0xdead_beef));
+    let mut client = match reconnect(addr) {
+        Some(c) => c,
+        None => return tally,
+    };
+    // Loris events spread across the run at fixed indices.
+    let loris_stride = (requests / (LORIS_PER_CLIENT + 1)).max(1);
+    for i in 0..requests {
+        // -- chaos: slow-loris partial write, then stall past the window.
+        if LORIS_PER_CLIENT > 0
+            && i > 0
+            && i % loris_stride == 0
+            && i / loris_stride <= LORIS_PER_CLIENT
+        {
+            tally.loris_events += 1;
+            let _ = client.stream().write_all(&MAGIC[..2]);
+            std::thread::sleep(FRAME_TIMEOUT + Duration::from_millis(50));
+            // The server answers `err malformed msg=...timeout...` and
+            // closes; drain the answer best-effort, then reconnect.
+            let _ = client.try_request_raw("");
+            tally.reconnects += 1;
+            match reconnect(addr) {
+                Some(c) => client = c,
+                None => break,
+            }
+            continue;
+        }
+        let draw = rng.below(100);
+        // -- chaos: mid-request disconnect (half a header, then vanish).
+        if draw < 2 {
+            tally.disconnect_events += 1;
+            let _ = client.stream().write_all(&MAGIC[..3]);
+            tally.reconnects += 1;
+            match reconnect(addr) {
+                Some(c) => client = c,
+                None => break,
+            }
+            continue;
+        }
+        // -- chaos: malformed frame (wrong magic).
+        if draw < 5 {
+            tally.malformed_frames += 1;
+            let _ = client.stream().write_all(b"XXXX\x00\x00\x00\x04junk");
+            match client.try_request_raw("") {
+                Ok(payload) if payload.starts_with("err malformed") => tally.malformed += 1,
+                _ => tally.other_err += 1,
+            }
+            tally.reconnects += 1;
+            match reconnect(addr) {
+                Some(c) => client = c,
+                None => break,
+            }
+            continue;
+        }
+        // -- the request mix proper.
+        let owned: String;
+        let line: &str = if draw < 9 {
+            tally.poison_queries += 1;
+            "poison"
+        } else if draw < 15 {
+            // Cold Monte-Carlo points: rotate seeds through a small space
+            // so some repeat (cache hits) and some are first-seen (real
+            // work that can back the queue up into shedding).
+            owned = format!("mc samples=256 seed={}", rng.below(64));
+            &owned
+        } else if draw < 17 {
+            "eval capacity_kb=63" // odd capacity: structured invalid
+        } else {
+            POOL[(i + id) % POOL.len()]
+        };
+        let started = Instant::now();
+        match client.try_request_raw(line) {
+            Ok(payload) => {
+                let micros = started.elapsed().as_micros() as u64;
+                tally.latencies_micros.push(micros);
+                let ok = payload.starts_with("ok");
+                let kind = if ok {
+                    ""
+                } else {
+                    payload
+                        .strip_prefix("err ")
+                        .unwrap_or("")
+                        .split_whitespace()
+                        .next()
+                        .unwrap_or("")
+                };
+                tally.classify(kind, ok);
+                // Byte-identity across every client and repetition for
+                // pool queries (they are pure and cacheable).
+                if ok && POOL.contains(&line) {
+                    let mut seen = reference.lock().expect("reference lock");
+                    match seen.get(line) {
+                        Some(first) if *first != payload => tally.mismatches += 1,
+                        Some(_) => {}
+                        None => {
+                            seen.insert(line.to_string(), payload);
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                tally.reconnects += 1;
+                match reconnect(addr) {
+                    Some(c) => client = c,
+                    None => break,
+                }
+            }
+        }
+    }
+    tally
+}
+
+/// Overload burst: a deliberately undersized server (one worker, tiny
+/// queue) hit by many concurrent clients with cold Monte-Carlo points.
+/// Admission control must shed with `overloaded` + a retry hint instead
+/// of queueing without bound; nothing may crash or hang.
+fn burst_phase(clients: usize, per_client: usize) -> (u64, u64, u64, bool) {
+    let mut config = ServerConfig::default();
+    config.workers = 1;
+    config.queue_capacity = 2;
+    let handle = match try_spawn(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve_bench: burst-phase server failed to start: {e}");
+            return (0, 0, 0, false);
+        }
+    };
+    let addr = handle.addr();
+    let mut answered = 0u64;
+    let mut shed = 0u64;
+    let mut hinted = 0u64;
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for id in 0..clients {
+            joins.push(scope.spawn(move || {
+                let mut answered = 0u64;
+                let mut shed = 0u64;
+                let mut hinted = 0u64;
+                let Some(mut client) = reconnect(addr) else {
+                    return (answered, shed, hinted);
+                };
+                for i in 0..per_client {
+                    // Unique cold point per (client, i): always a cache
+                    // miss, so the single worker is the bottleneck.
+                    let q = format!("mc samples=8192 seed={}", id * per_client + i + 1_000);
+                    match client.try_request(&q) {
+                        Ok(resp) => {
+                            answered += 1;
+                            if !resp.ok && resp.kind == "overloaded" {
+                                shed += 1;
+                                if resp
+                                    .field("retry_after_ms")
+                                    .and_then(|v| v.parse::<u64>().ok())
+                                    .is_some_and(|ms| ms >= 1)
+                                {
+                                    hinted += 1;
+                                }
+                            }
+                        }
+                        Err(_) => match reconnect(addr) {
+                            Some(c) => client = c,
+                            None => break,
+                        },
+                    }
+                }
+                (answered, shed, hinted)
+            }));
+        }
+        for join in joins {
+            if let Ok((a, s, h)) = join.join() {
+                answered += a;
+                shed += s;
+                hinted += h;
+            }
+        }
+    });
+    let report = handle.drain();
+    (answered, shed, hinted, report.connections_panicked == 0)
+}
+
+/// Phase 2: drain mid-load. Clients hammer the pool; the main thread
+/// cancels the server (the in-process stand-in for SIGTERM) and every
+/// client must wind down with a typed `draining` response or a clean
+/// close — never a hang, never an escaped panic.
+fn drain_phase(
+    workers: usize,
+    queue: usize,
+    clients: usize,
+) -> (Tally, ppatc_serve::HealthSnapshot, bool) {
+    /// Safety cap so a drain that never lands cannot spin forever.
+    const MAX_REQUESTS_PER_CLIENT: usize = 1_000_000;
+    let mut config = ServerConfig::default();
+    config.workers = workers;
+    config.queue_capacity = queue;
+    let handle = match try_spawn(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve_bench: drain-phase server failed to start: {e}");
+            return (
+                Tally::default(),
+                ppatc_serve::HealthSnapshot::parse(""),
+                false,
+            );
+        }
+    };
+    let addr = handle.addr();
+    let token = handle.cancel_token();
+    let drained = AtomicBool::new(false);
+    let mut merged = Tally::default();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for id in 0..clients {
+            let drained = &drained;
+            joins.push(scope.spawn(move || {
+                let mut tally = Tally::default();
+                let Some(mut client) = reconnect(addr) else {
+                    return tally;
+                };
+                for i in 0..MAX_REQUESTS_PER_CLIENT {
+                    match client.try_request(POOL[(i + id) % POOL.len()]) {
+                        Ok(resp) if resp.ok => tally.ok += 1,
+                        Ok(resp) => {
+                            tally.classify(&resp.kind, false);
+                            if resp.kind == "draining" {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            // Connection torn down. Expected once the
+                            // drain started; a fresh connect must fail
+                            // or at least never be served.
+                            if drained.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            tally.reconnects += 1;
+                            match reconnect(addr) {
+                                Some(c) => client = c,
+                                None => break,
+                            }
+                        }
+                    }
+                }
+                tally
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        drained.store(true, Ordering::Relaxed);
+        token.cancel();
+        for join in joins {
+            if let Ok(tally) = join.join() {
+                merged.merge(tally);
+            }
+        }
+    });
+    let started = Instant::now();
+    let report = handle.join();
+    let graceful = started.elapsed() < Duration::from_secs(30) && report.connections_panicked == 0;
+    (merged, report, graceful)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let mut requests: usize = 200_000;
+    let mut clients: usize = 8;
+    let mut workers: usize = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
+    let mut queue: usize = 64;
+    let mut deadline = Duration::from_secs(10);
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let parsed = match arg.as_str() {
+            "--smoke" => {
+                smoke = true;
+                Ok(())
+            }
+            "--requests" => {
+                cli::try_parse_count("requests", args.next().as_deref()).map(|n| requests = n)
+            }
+            "--clients" => {
+                cli::try_parse_count("clients", args.next().as_deref()).map(|n| clients = n)
+            }
+            "--workers" | "--jobs" | "-j" => {
+                cli::try_parse_jobs(args.next().as_deref()).map(|n| workers = n)
+            }
+            "--queue" => cli::try_parse_count("queue", args.next().as_deref()).map(|n| queue = n),
+            "--deadline" => cli::try_parse_deadline(args.next().as_deref()).map(|d| deadline = d),
+            other => {
+                eprintln!("serve_bench: unknown argument `{other}`");
+                eprintln!(
+                    "usage: serve_bench [--smoke] [--requests N] [--clients N] \
+                     [--workers N] [--queue N] [--deadline SECS]"
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = parsed {
+            eprintln!("serve_bench: {arg}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if smoke {
+        requests = requests.min(3_000);
+        clients = clients.min(4);
+    }
+
+    // Poison queries panic by design; keep stderr readable. Escaped
+    // panics are still caught by the health counters and the exit code.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut config = ServerConfig::default();
+    config.workers = workers;
+    config.queue_capacity = queue;
+    config.request_deadline = deadline;
+    config.frame_timeout = FRAME_TIMEOUT;
+    config.enable_poison = true;
+    let handle = match try_spawn(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve_bench: server failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.addr();
+    let per_client = requests.div_ceil(clients.max(1));
+    eprintln!(
+        "serve_bench: load phase — {clients} clients x {per_client} requests, \
+         {workers} workers, queue {queue}, on {addr}"
+    );
+
+    let reference = Mutex::new(HashMap::new());
+    let started = Instant::now();
+    let mut tally = Tally::default();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for id in 0..clients {
+            let reference = &reference;
+            joins.push(scope.spawn(move || client_loop(id, per_client, addr, reference)));
+        }
+        for join in joins {
+            if let Ok(t) = join.join() {
+                tally.merge(t);
+            }
+        }
+    });
+    let load_secs = started.elapsed().as_secs_f64();
+    let report = handle.drain();
+
+    tally.latencies_micros.sort_unstable();
+    let p50 = percentile(&tally.latencies_micros, 0.50);
+    let p99 = percentile(&tally.latencies_micros, 0.99);
+    let max = tally.latencies_micros.last().copied().unwrap_or(0);
+    let answered = tally.latencies_micros.len() as u64;
+    let shed_rate = if answered == 0 {
+        0.0
+    } else {
+        tally.shed as f64 / answered as f64
+    };
+    let throughput = if load_secs > 0.0 {
+        answered as f64 / load_secs
+    } else {
+        0.0
+    };
+
+    eprintln!("serve_bench: burst phase — 1 worker, queue 2, expect load shedding");
+    let burst_clients = 16;
+    let burst_per_client = if smoke { 8 } else { 40 };
+    let (burst_answered, burst_shed, burst_hinted, burst_clean) =
+        burst_phase(burst_clients, burst_per_client);
+    let burst_shed_rate = if burst_answered == 0 {
+        0.0
+    } else {
+        burst_shed as f64 / burst_answered as f64
+    };
+
+    eprintln!("serve_bench: drain phase — cancel mid-load, expect graceful wind-down");
+    let drain_clients = clients.min(4);
+    let (drain_tally, drain_report, graceful) = drain_phase(workers, queue, drain_clients);
+
+    let escaped = report.connections_panicked + drain_report.connections_panicked;
+    let clean = escaped == 0 && tally.mismatches == 0 && graceful && burst_clean && burst_shed > 0;
+    let json = format!(
+        r#"{{
+  "benchmark": "ppatc-serve load + chaos harness",
+  "command": "cargo run --release -p ppatc-bench --bin serve_bench{}",
+  "methodology": "deterministic per-client LCG traffic mix against an in-process server; latencies cover every answered frame (ok or typed error); chaos events (malformed frames, slow-loris stalls, mid-request disconnects, poison panics) ride inline with the load",
+  "config": {{
+    "clients": {clients},
+    "requests_per_client": {per_client},
+    "workers": {workers},
+    "queue_capacity": {queue},
+    "request_deadline_secs": {:.3},
+    "frame_timeout_ms": {}
+  }},
+  "latency_micros": {{
+    "answered_frames": {answered},
+    "p50": {p50},
+    "p99": {p99},
+    "max": {max},
+    "throughput_per_sec": {throughput:.0},
+    "load_wall_secs": {load_secs:.2}
+  }},
+  "outcomes": {{
+    "ok": {},
+    "shed": {},
+    "shed_rate": {shed_rate:.4},
+    "deadline_exceeded": {},
+    "panic_isolated": {},
+    "malformed": {},
+    "invalid": {},
+    "eval_failed": {},
+    "other_err": {},
+    "reconnects": {}
+  }},
+  "chaos_events": {{
+    "slow_loris_stalls": {},
+    "mid_request_disconnects": {},
+    "malformed_frames": {},
+    "poison_queries": {}
+  }},
+  "server_health_final": {{
+    "served": {},
+    "shed": {},
+    "panicked": {},
+    "deadline_expired": {},
+    "malformed": {},
+    "invalid": {},
+    "connections_opened": {},
+    "connections_panicked": {},
+    "cache_hit_rate": {:.4}
+  }},
+  "burst_phase": {{
+    "clients": {burst_clients},
+    "requests_per_client": {burst_per_client},
+    "server": "1 worker, queue capacity 2",
+    "answered": {burst_answered},
+    "shed": {burst_shed},
+    "shed_rate": {burst_shed_rate:.4},
+    "retry_hints_present": {burst_hinted},
+    "graceful": {burst_clean}
+  }},
+  "drain_phase": {{
+    "clients": {drain_clients},
+    "served_before_drain": {},
+    "draining_responses": {},
+    "graceful": {graceful},
+    "connections_panicked": {}
+  }},
+  "determinism": {{
+    "pool_queries_compared": {},
+    "byte_mismatches": {}
+  }},
+  "clean": {clean}
+}}"#,
+        if smoke { " -- --smoke" } else { "" },
+        deadline.as_secs_f64(),
+        FRAME_TIMEOUT.as_millis(),
+        tally.ok,
+        tally.shed,
+        tally.deadline_exceeded,
+        tally.panic,
+        tally.malformed,
+        tally.invalid,
+        tally.eval_failed,
+        tally.other_err,
+        tally.reconnects,
+        tally.loris_events,
+        tally.disconnect_events,
+        tally.malformed_frames,
+        tally.poison_queries,
+        report.served,
+        report.shed,
+        report.panicked,
+        report.deadline_expired,
+        report.malformed,
+        report.invalid,
+        report.connections_opened,
+        report.connections_panicked,
+        report.cache_hit_rate(),
+        drain_tally.ok,
+        drain_tally.draining,
+        drain_report.connections_panicked,
+        reference.lock().map(|m| m.len()).unwrap_or(0),
+        tally.mismatches,
+    );
+    if let Err(e) = std::fs::write("BENCH_serve.json", format!("{json}\n")) {
+        eprintln!("failed to write BENCH_serve.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    if !clean {
+        eprintln!(
+            "serve_bench: FAILED — escaped_panics={escaped} mismatches={} graceful={graceful} \
+             burst_shed={burst_shed}",
+            tally.mismatches
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

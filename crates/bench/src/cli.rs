@@ -1,117 +1,54 @@
-//! Shared flag parsing for the exhibit binaries (`paper`, `eval_bench`).
+//! Shared flag parsing for the exhibit binaries (`paper`, `eval_bench`,
+//! `serve_bench`).
 //!
-//! Both binaries take the same supervision flags (`--jobs`, `--deadline`,
-//! `--checkpoint`, `--resume`); parsing them here keeps the two front ends
-//! in agreement on validation — in particular, `--jobs 0` is a structured
-//! [`ValidationError`], never a silent clamp to one worker.
+//! The actual parsers live in [`ppatc_serve::cli`] so that the benchmark
+//! front ends and the long-running server agree on validation — `--jobs 0`
+//! is a structured `ValidationError` everywhere, never a silent clamp to
+//! one worker, and operands are normalized identically (whitespace
+//! trimmed, one leading `+` accepted, empty operands reported as *empty*
+//! rather than as a baffling `NaN`). This module re-exports them under the
+//! historical `ppatc_bench::cli` paths.
 
-use ppatc::ValidationError;
-use std::time::Duration;
-
-/// Parses a `--jobs` operand. `None` (a dangling flag) and non-numeric or
-/// zero values are structured errors: a worker count must be an integer of
-/// at least 1, and `--jobs 0` is rejected rather than silently clamped.
-///
-/// # Errors
-///
-/// [`ValidationError`] on a missing, malformed, or zero operand.
-#[must_use = "this returns a Result that must be handled"]
-pub fn try_parse_jobs(raw: Option<&str>) -> Result<usize, ValidationError> {
-    let Some(raw) = raw else {
-        return Err(ValidationError::new(
-            "jobs",
-            f64::NAN,
-            "a worker count >= 1",
-        ));
-    };
-    match raw.parse::<usize>() {
-        Ok(0) => Err(ValidationError::new("jobs", 0.0, "a worker count >= 1")),
-        Ok(n) => Ok(n),
-        Err(_) => Err(ValidationError::new(
-            "jobs",
-            f64::NAN,
-            "a worker count >= 1",
-        )),
-    }
-}
-
-/// Parses a `--deadline` operand as seconds into a [`Duration`]. The value
-/// must be a finite, positive number of seconds.
-///
-/// # Errors
-///
-/// [`ValidationError`] on a missing, malformed, non-finite, or
-/// non-positive operand.
-#[must_use = "this returns a Result that must be handled"]
-pub fn try_parse_deadline(raw: Option<&str>) -> Result<Duration, ValidationError> {
-    let Some(raw) = raw else {
-        return Err(ValidationError::new(
-            "deadline",
-            f64::NAN,
-            "a positive number of seconds",
-        ));
-    };
-    let secs = raw.parse::<f64>().unwrap_or(f64::NAN);
-    if !(secs.is_finite() && secs > 0.0) {
-        return Err(ValidationError::new(
-            "deadline",
-            secs,
-            "a positive number of seconds",
-        ));
-    }
-    Ok(Duration::from_secs_f64(secs))
-}
+pub use ppatc_serve::cli::{try_parse_count, try_parse_deadline, try_parse_jobs};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
+    // The full parser test matrix lives next to the shared implementation
+    // in `ppatc_serve::cli`; these pin the re-exported surface the bench
+    // binaries compile against.
 
     #[test]
-    fn jobs_accepts_positive_integers() {
-        assert_eq!(try_parse_jobs(Some("1")), Ok(1));
-        assert_eq!(try_parse_jobs(Some("8")), Ok(8));
+    fn jobs_parser_is_the_shared_one() {
+        assert_eq!(try_parse_jobs(Some("+8")), Ok(8));
+        let e = try_parse_jobs(Some(" ")).expect_err("empty rejected");
+        assert!(e.requirement.contains("non-empty"), "{}", e.requirement);
     }
 
     #[test]
-    fn jobs_zero_is_a_structured_error_not_a_clamp() {
-        let e = try_parse_jobs(Some("0")).expect_err("zero workers rejected");
-        assert_eq!(e.field, "jobs");
-        assert_eq!(e.value, 0.0);
-    }
-
-    #[test]
-    fn jobs_rejects_garbage_and_missing_operands() {
+    fn deadline_parser_is_the_shared_one() {
         assert_eq!(
-            try_parse_jobs(Some("two"))
-                .expect_err("garbage rejected")
-                .field,
-            "jobs"
+            try_parse_deadline(Some("+1.5")).expect("parses"),
+            Duration::from_millis(1_500)
         );
         assert_eq!(
-            try_parse_jobs(Some("-3"))
-                .expect_err("negative rejected")
+            try_parse_deadline(Some("0"))
+                .expect_err("zero rejected")
                 .field,
-            "jobs"
-        );
-        assert_eq!(
-            try_parse_jobs(None)
-                .expect_err("dangling flag rejected")
-                .field,
-            "jobs"
+            "deadline"
         );
     }
 
     #[test]
-    fn deadline_parses_fractional_seconds() {
-        let d = try_parse_deadline(Some("1.5")).expect("1.5 s parses");
-        assert_eq!(d, Duration::from_millis(1_500));
-    }
-
-    #[test]
-    fn deadline_rejects_bad_operands() {
-        for raw in [Some("0"), Some("-2"), Some("inf"), Some("soon"), None] {
-            let e = try_parse_deadline(raw).expect_err("bad deadline rejected");
-            assert_eq!(e.field, "deadline");
-        }
+    fn count_parser_is_the_shared_one() {
+        assert_eq!(try_parse_count("requests", Some("1000")), Ok(1_000));
+        assert_eq!(
+            try_parse_count("requests", Some("0"))
+                .expect_err("zero rejected")
+                .field,
+            "requests"
+        );
     }
 }

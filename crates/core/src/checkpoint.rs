@@ -221,8 +221,11 @@ impl Journal {
     /// # Errors
     ///
     /// [`PpatcError::Checkpoint`] if the file cannot be read or reopened,
-    /// or if its header does not match `spec` (resuming a different run
-    /// would silently splice unrelated results).
+    /// if its header does not match `spec` (resuming a different run would
+    /// silently splice unrelated results), or if a *complete* chunk line
+    /// indexes past the end of the run — that cannot result from a torn
+    /// write, so the journal belongs to some other run and skipping the
+    /// line would silently discard evidence of corruption.
     #[must_use = "this returns a Result that must be handled"]
     pub fn try_resume(path: impl Into<PathBuf>, spec: &JournalSpec) -> Result<Self, PpatcError> {
         let path = path.into();
@@ -253,10 +256,25 @@ impl Journal {
         }
         for line in lines {
             let line = line.map_err(|e| journal_error(&path, "read", &e))?;
-            if let Some((start, items)) = parse_chunk_line(&line, spec) {
-                for (offset, words) in items.into_iter().enumerate() {
-                    preloaded.insert(start + offset, words);
+            match parse_chunk_line(&line, spec) {
+                ChunkLine::Chunk(start, items) => {
+                    for (offset, words) in items.into_iter().enumerate() {
+                        preloaded.insert(start + offset, words);
+                    }
                 }
+                ChunkLine::OutOfRange { start, count } => {
+                    return Err(PpatcError::Checkpoint {
+                        detail: format!(
+                            "journal {} is corrupt: a complete chunk line claims items \
+                             {start}..{} but the run spans only {} items — refusing to \
+                             resume from a journal that does not belong to this run",
+                            path.display(),
+                            start.saturating_add(count),
+                            spec.items
+                        ),
+                    });
+                }
+                ChunkLine::Malformed => {}
             }
         }
 
@@ -365,32 +383,61 @@ impl Journal {
     }
 }
 
-/// Parses one `c <start> <count> <words...>` chunk line. `None` for
-/// anything malformed (including torn trailing lines), which the resume
-/// path treats as "not completed".
-fn parse_chunk_line(line: &str, spec: &JournalSpec) -> Option<(usize, Vec<Vec<u64>>)> {
+/// Classification of one journal body line on resume.
+#[derive(Debug, PartialEq)]
+enum ChunkLine {
+    /// A well-formed, in-range chunk: items `start..start + values.len()`.
+    Chunk(usize, Vec<Vec<u64>>),
+    /// A *complete, well-formed* chunk line whose index range does not fit
+    /// the run (`start + count > items`). A torn write cannot produce
+    /// this — every word is present and parses — so it means the journal
+    /// does not belong to this run (hand-edited, spliced, or a fingerprint
+    /// collision) and resume must refuse rather than silently drop it.
+    OutOfRange { start: usize, count: usize },
+    /// Torn or garbage line (truncated words, bad hex, trailing junk);
+    /// skipped on resume at the cost of recomputing that chunk.
+    Malformed,
+}
+
+/// Parses one `c <start> <count> <words...>` chunk line; see [`ChunkLine`]
+/// for how damage is distinguished from corruption.
+fn parse_chunk_line(line: &str, spec: &JournalSpec) -> ChunkLine {
     let mut toks = line.split_ascii_whitespace();
-    if toks.next()? != "c" {
-        return None;
+    if toks.next() != Some("c") {
+        return ChunkLine::Malformed;
     }
-    let start: usize = toks.next()?.parse().ok()?;
-    let count: usize = toks.next()?.parse().ok()?;
-    if count == 0 || start.checked_add(count)? > spec.items {
-        return None;
+    let Some(start) = toks.next().and_then(|t| t.parse::<usize>().ok()) else {
+        return ChunkLine::Malformed;
+    };
+    let Some(count) = toks.next().and_then(|t| t.parse::<usize>().ok()) else {
+        return ChunkLine::Malformed;
+    };
+    if count == 0 {
+        return ChunkLine::Malformed;
     }
-    let stride = spec.item_width.checked_add(1)?;
-    let mut items = Vec::with_capacity(count);
+    let Some(stride) = spec.item_width.checked_add(1) else {
+        return ChunkLine::Malformed;
+    };
+    let mut items = Vec::with_capacity(count.min(spec.items));
     for _ in 0..count {
         let mut words = Vec::with_capacity(stride);
         for _ in 0..stride {
-            words.push(u64::from_str_radix(toks.next()?, 16).ok()?);
+            match toks.next().map(|t| u64::from_str_radix(t, 16)) {
+                Some(Ok(w)) => words.push(w),
+                _ => return ChunkLine::Malformed,
+            }
         }
         items.push(words);
     }
     if toks.next().is_some() {
-        return None;
+        return ChunkLine::Malformed;
     }
-    Some((start, items))
+    // Only now that the whole line is known to be complete does an index
+    // range past the end of the run mean corruption rather than a tear.
+    if start.checked_add(count).is_none_or(|end| end > spec.items) {
+        return ChunkLine::OutOfRange { start, count };
+    }
+    ChunkLine::Chunk(start, items)
 }
 
 #[cfg(test)]
@@ -500,23 +547,73 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_and_garbage_lines_are_skipped() {
+    fn garbage_lines_are_skipped_but_complete_out_of_range_lines_are_corruption() {
         let spec = JournalSpec::for_run::<f64>("test", 4, &[]);
-        assert!(parse_chunk_line("", &spec).is_none());
-        assert!(parse_chunk_line("x 0 1 0000000000000000 0000000000000000", &spec).is_none());
-        // start + count beyond the index space.
-        assert!(parse_chunk_line(
-            "c 3 2 0000000000000000 0000000000000000 0000000000000000 0000000000000000",
-            &spec
-        )
-        .is_none());
+        assert_eq!(parse_chunk_line("", &spec), ChunkLine::Malformed);
+        assert_eq!(
+            parse_chunk_line("x 0 1 0000000000000000 0000000000000000", &spec),
+            ChunkLine::Malformed
+        );
         // Trailing garbage.
-        assert!(parse_chunk_line("c 0 1 0000000000000000 0000000000000000 junk", &spec).is_none());
+        assert_eq!(
+            parse_chunk_line("c 0 1 0000000000000000 0000000000000000 junk", &spec),
+            ChunkLine::Malformed
+        );
+        // A *complete* line indexing past the end of the run is not tear
+        // damage — it is evidence the journal belongs to another run.
+        assert_eq!(
+            parse_chunk_line(
+                "c 3 2 0000000000000000 0000000000000000 0000000000000000 0000000000000000",
+                &spec
+            ),
+            ChunkLine::OutOfRange { start: 3, count: 2 }
+        );
+        // ... but the same range *truncated* is an ordinary torn line.
+        assert_eq!(
+            parse_chunk_line("c 3 2 0000000000000000 0000000000000000 00000000", &spec),
+            ChunkLine::Malformed
+        );
         // A well-formed line parses.
-        let (start, items) = parse_chunk_line("c 1 1 0000000000000000 3ff8000000000000", &spec)
-            .expect("well-formed");
-        assert_eq!(start, 1);
-        assert_eq!(items, vec![vec![0, 1.5_f64.to_bits()]]);
+        match parse_chunk_line("c 1 1 0000000000000000 3ff8000000000000", &spec) {
+            ChunkLine::Chunk(start, items) => {
+                assert_eq!(start, 1);
+                assert_eq!(items, vec![vec![0, 1.5_f64.to_bits()]]);
+            }
+            other => panic!("expected a chunk, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_refuses_a_journal_with_out_of_range_chunks() {
+        let path = scratch("out-of-range");
+        let spec = JournalSpec::for_run::<f64>("test", 4, &[]);
+        {
+            let j = Journal::try_create(&path, &spec).expect("create");
+            j.append_chunk::<f64>(0, &[Ok(2.0)]).expect("append");
+        }
+        // Splice in a complete chunk line from a longer run: same header
+        // shape, indices past the end of this run's 4-item space.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("reopen");
+            writeln!(
+                f,
+                "c 6 2 0000000000000000 3ff0000000000000 0000000000000000 4000000000000000"
+            )
+            .expect("splice");
+        }
+        let err = Journal::try_resume(&path, &spec).expect_err("corruption is fatal");
+        assert!(matches!(err, PpatcError::Checkpoint { .. }), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("corrupt"), "{msg}");
+        assert!(
+            msg.contains("6..8") && msg.contains("only 4 items"),
+            "the error names the offending counts: {msg}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

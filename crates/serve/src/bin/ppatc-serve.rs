@@ -1,0 +1,108 @@
+//! The `ppatc-serve` binary: a long-running carbon query service.
+//!
+//! ```text
+//! cargo run --release -p ppatc-serve -- --port 7878 --workers 4
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! - `--addr HOST` — bind host (default `127.0.0.1`)
+//! - `--port N` — bind port; 0 asks the OS (default `7878`)
+//! - `--workers N` — evaluation worker threads (default 2)
+//! - `--queue N` — admission-queue capacity (default 64)
+//! - `--deadline SECS` — per-request wall-clock deadline (default 10)
+//! - `--frame-timeout SECS` — slow-loris frame window (default 2)
+//! - `--enable-poison` — honor `poison` chaos queries (panic isolation
+//!   demo; also installs a quiet panic hook so deliberate panics don't
+//!   spam stderr)
+//!
+//! On SIGTERM/SIGINT (or a `drain` query) the server stops accepting,
+//! finishes or deadlines-out in-flight work, prints the final health
+//! report to stdout, and exits 0.
+
+use ppatc_serve::cli;
+use ppatc_serve::server::{try_spawn, ServerConfig};
+use ppatc_serve::signal;
+use std::process::ExitCode;
+
+/// Default bind port when `--port` is not given.
+const DEFAULT_PORT: u16 = 7878;
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut host = "127.0.0.1".to_string();
+    let mut port: u16 = DEFAULT_PORT;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(h) if !h.trim().is_empty() => host = h.trim().to_string(),
+                _ => return usage("--addr requires a host"),
+            },
+            "--port" => match cli::try_parse_port(args.next().as_deref()) {
+                Ok(p) => port = p,
+                Err(e) => return usage(&format!("--port: {e}")),
+            },
+            "--workers" | "--jobs" | "-j" => {
+                match cli::try_parse_count("workers", args.next().as_deref()) {
+                    Ok(n) => config.workers = n,
+                    Err(e) => return usage(&format!("--workers: {e}")),
+                }
+            }
+            "--queue" => match cli::try_parse_count("queue", args.next().as_deref()) {
+                Ok(n) => config.queue_capacity = n,
+                Err(e) => return usage(&format!("--queue: {e}")),
+            },
+            "--deadline" => match cli::try_parse_deadline(args.next().as_deref()) {
+                Ok(d) => config.request_deadline = d,
+                Err(e) => return usage(&format!("--deadline: {e}")),
+            },
+            "--frame-timeout" => match cli::try_parse_deadline(args.next().as_deref()) {
+                Ok(d) => config.frame_timeout = d,
+                Err(e) => return usage(&format!("--frame-timeout: {e}")),
+            },
+            "--enable-poison" => config.enable_poison = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    config.addr = format!("{host}:{port}");
+
+    if config.enable_poison {
+        // Poison queries panic by design; keep stderr readable. The
+        // panics are still counted in the health block.
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+
+    let handle = match try_spawn(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("ppatc-serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !signal::install_drain_handler(&handle.cancel_token()) {
+        eprintln!("ppatc-serve: warning: drain handler already owned by another token");
+    }
+    println!("ppatc-serve: listening on {}", handle.addr());
+
+    let report = handle.join();
+    println!("ppatc-serve: drained; final health report:");
+    print!("{}", report.render());
+    if report.connections_panicked > 0 {
+        // Connection-handler panics mean a server bug escaped a request
+        // boundary (request panics are expected under poison and stay
+        // exit-0); surface it in the exit code for CI.
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints a usage error and returns the failure exit code.
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ppatc-serve: {msg}");
+    eprintln!(
+        "usage: ppatc-serve [--addr HOST] [--port N] [--workers N] [--queue N] \
+         [--deadline SECS] [--frame-timeout SECS] [--enable-poison]"
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,196 @@
+//! A sharded, bounded response cache.
+//!
+//! Generalizes the eDRAM characterization memo cache (one global mutex
+//! around a `HashMap`) to the server's concurrency profile: the key space
+//! is hashed across independently locked shards so request threads rarely
+//! contend, and every shard is bounded with FIFO eviction so a hostile
+//! client cycling through distinct queries cannot grow the process without
+//! bound. Hits are byte-identical stored responses, which is what makes
+//! repeated queries byte-identical at any concurrency *for free* — the
+//! first evaluation's rendering is the only rendering.
+
+use crate::health::ServerHealth;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Deterministic FNV-1a hash — stable across runs and platforms, unlike
+/// `std`'s randomized `DefaultHasher`, so shard assignment (and therefore
+/// eviction order) is reproducible under replay.
+fn fnv1a(key: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One shard: an insertion-ordered bounded map.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<String, String>,
+    order: VecDeque<String>,
+}
+
+/// The sharded cache. Keys are canonical query strings (see
+/// [`crate::query::canonical_key`]); values are complete response
+/// payloads.
+#[derive(Debug)]
+pub struct ResponseCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+/// Locks a shard, recovering from poisoning: a panicking cache user cannot
+/// leave the map half-updated (inserts are single statements), so the data
+/// is still coherent.
+fn lock_shard(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl ResponseCache {
+    /// A cache with `shards` independently locked shards of
+    /// `per_shard_capacity` entries each. Both are clamped to at least 1.
+    pub fn new(shards: usize, per_shard_capacity: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: per_shard_capacity.max(1),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        let idx = (fnv1a(key) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Looks up `key`, recording the hit or miss in `health`.
+    pub fn get(&self, key: &str, health: &ServerHealth) -> Option<String> {
+        let found = lock_shard(self.shard(key)).map.get(key).cloned();
+        if found.is_some() {
+            health.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            health.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores `response` under `key`, evicting the shard's oldest entry
+    /// when full. Re-inserting an existing key overwrites in place (the
+    /// value is identical by construction — evaluation is deterministic).
+    pub fn insert(&self, key: &str, response: &str) {
+        let mut shard = lock_shard(self.shard(key));
+        if shard
+            .map
+            .insert(key.to_string(), response.to_string())
+            .is_none()
+        {
+            shard.order.push_back(key.to_string());
+            while shard.order.len() > self.per_shard_capacity {
+                if let Some(oldest) = shard.order.pop_front() {
+                    shard.map.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Total live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_return_the_stored_bytes_and_count() {
+        let cache = ResponseCache::new(4, 8);
+        let health = ServerHealth::new();
+        assert_eq!(cache.get("eval a", &health), None);
+        cache.insert("eval a", "ok\nanswer");
+        assert_eq!(cache.get("eval a", &health).as_deref(), Some("ok\nanswer"));
+        let snap = health.snapshot();
+        assert_eq!((snap.cache_hits, snap.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded_per_shard() {
+        // One shard makes eviction order fully observable.
+        let cache = ResponseCache::new(1, 2);
+        let health = ServerHealth::new();
+        cache.insert("a", "1");
+        cache.insert("b", "2");
+        cache.insert("c", "3");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a", &health), None, "oldest entry evicted");
+        assert_eq!(cache.get("b", &health).as_deref(), Some("2"));
+        assert_eq!(cache.get("c", &health).as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_order_entries() {
+        let cache = ResponseCache::new(1, 2);
+        let health = ServerHealth::new();
+        cache.insert("a", "1");
+        cache.insert("a", "1");
+        cache.insert("b", "2");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a", &health).as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn zero_shards_or_capacity_clamp_to_one() {
+        let cache = ResponseCache::new(0, 0);
+        let health = ServerHealth::new();
+        cache.insert("a", "1");
+        cache.insert("b", "2");
+        assert_eq!(cache.len(), 1, "capacity clamps to 1");
+        assert!(cache.get("b", &health).is_some());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn shard_hash_is_deterministic() {
+        assert_eq!(fnv1a("eval f=500"), fnv1a("eval f=500"));
+        assert_ne!(fnv1a("eval f=500"), fnv1a("eval f=501"));
+    }
+
+    #[test]
+    fn concurrent_mixed_use_stays_coherent() {
+        let cache = std::sync::Arc::new(ResponseCache::new(8, 64));
+        let health = std::sync::Arc::new(ServerHealth::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                let health = std::sync::Arc::clone(&health);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("q{}", (t * 31 + i) % 50);
+                        let value = format!("v{}", (t * 31 + i) % 50);
+                        cache.insert(&key, &value);
+                        if let Some(got) = cache.get(&key, &health) {
+                            assert_eq!(got, value, "a key never maps to foreign bytes");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 50);
+    }
+}

@@ -616,3 +616,139 @@ fn every_layer_error_converts_into_ppatc_error() {
     let msg = unified.to_string();
     assert!(msg.contains("lifetime_months"), "{msg}");
 }
+
+// ---------------------------------------------------------------------------
+// Supervision edge cases: degenerate deadlines, racing cancellation, and
+// chunks that panic wholesale.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn an_already_expired_deadline_interrupts_before_the_first_item() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let past = std::time::Instant::now();
+    for (label, budget) in [
+        (
+            "deadline pinned to now",
+            ppatc::RunBudget::unlimited().with_deadline(past),
+        ),
+        (
+            "zero-duration deadline",
+            ppatc::RunBudget::unlimited().with_deadline_in(std::time::Duration::ZERO),
+        ),
+    ] {
+        let calls = AtomicUsize::new(0);
+        let result = ppatc::eval::try_par_map_indexed(512, 4, &budget, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i as f64
+        });
+        let Err(PpatcError::Interrupted {
+            reason,
+            completed,
+            total,
+        }) = result
+        else {
+            panic!("{label}: an expired deadline must interrupt, got Ok");
+        };
+        assert_eq!(reason, ppatc::InterruptReason::DeadlineExpired, "{label}");
+        assert_eq!(total, 512, "{label}");
+        assert!(
+            completed.is_empty(),
+            "{label}: nothing ran, so no progress spans: {completed:?}"
+        );
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            0,
+            "{label}: the budget is polled before the first chunk is claimed"
+        );
+    }
+}
+
+#[test]
+fn cancellation_raced_from_a_second_thread_interrupts_cooperatively() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let n = 4_000usize;
+    let token = ppatc::CancelToken::new();
+    let budget = ppatc::RunBudget::unlimited().with_cancel(&token);
+    let first_item_seen = AtomicBool::new(false);
+    let result = std::thread::scope(|scope| {
+        // The canceller lives on a different thread than every worker and
+        // fires as soon as the sweep is demonstrably in flight.
+        let canceller_token = token.clone();
+        let first_item_seen = &first_item_seen;
+        scope.spawn(move || {
+            while !first_item_seen.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            canceller_token.cancel();
+        });
+        ppatc::eval::try_par_map_indexed(n, 4, &budget, |i| {
+            first_item_seen.store(true, Ordering::Release);
+            // Keep items slow enough that the run outlives the canceller.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            (i as f64).ln_1p()
+        })
+    });
+    let Err(PpatcError::Interrupted {
+        reason,
+        completed,
+        total,
+    }) = result
+    else {
+        panic!("a cancellation raced mid-run must interrupt");
+    };
+    assert_eq!(reason, ppatc::InterruptReason::Cancelled);
+    assert_eq!(total, n);
+    let done: usize = completed.iter().map(|&(s, e)| e - s).sum();
+    assert!(done < n, "a cancelled run cannot be complete ({done}/{n})");
+    let mut prev_end = 0;
+    for &(start, end) in &completed {
+        assert!(
+            start >= prev_end && end > start && end <= n,
+            "bad spans: {completed:?}"
+        );
+        prev_end = end;
+    }
+}
+
+#[test]
+fn a_chunk_whose_every_item_panics_is_fully_accounted() {
+    // Direct engine level: all 64 items of the run panic; the run still
+    // completes Ok with one typed WorkerPanic per slot, in index order.
+    let budget = ppatc::RunBudget::unlimited();
+    let slots = no_panic("all-panic sweep at 4 workers", || {
+        ppatc::eval::try_par_map_indexed::<f64, _>(64, 4, &budget, |i| {
+            panic!("injected: item {i} always panics")
+        })
+    })
+    .expect("wholesale panics are isolated, not fatal");
+    assert_eq!(slots.len(), 64);
+    for (i, slot) in slots.iter().enumerate() {
+        assert_eq!(slot, &Err(PpatcError::WorkerPanic { index: i }));
+    }
+
+    // Monte-Carlo level: a source that panics on every sample wipes out
+    // the whole run. Even with a saturated failure budget of 1.0 the
+    // result is a *typed* NoSurvivingSamples error (quantiles of an empty
+    // set are meaningless), never an escaped panic — and the serial and
+    // parallel sweeps agree on it.
+    let source = PanickyBelowLifetime {
+        inner: paper_map(),
+        cut_months: f64::INFINITY,
+    };
+    let config = MonteCarloConfig::new(400, 23)
+        .expect("valid config")
+        .with_failure_budget(1.0)
+        .expect("valid budget");
+    let ranges = UncertaintyRanges::paper_default();
+    let supervisor = ppatc::Supervisor::new();
+    for jobs in [1, 8] {
+        let err = no_panic("all-panic Monte Carlo", || {
+            montecarlo::try_run_supervised(&source, &ranges, &config, jobs, &supervisor)
+        })
+        .expect_err("a total wipeout is a structured error");
+        assert!(
+            matches!(err, PpatcError::NoSurvivingSamples { samples: 400 }),
+            "jobs = {jobs}: every panic is accounted before the error: {err}"
+        );
+    }
+}
