@@ -12,6 +12,7 @@
 
 use crate::flow::ProcessFlow;
 use crate::steps::{ProcessArea, ProcessStep};
+use ppatc_units::Volume;
 
 /// UPW demand per step, litres per wafer pass, by process area.
 ///
@@ -48,36 +49,38 @@ impl WaterModel {
     }
 
     /// UPW demand of one step.
-    pub fn litres_for(&self, step: &ProcessStep) -> f64 {
-        match step.area {
+    pub fn litres_for(&self, step: &ProcessStep) -> Volume {
+        Volume::from_litres(match step.area {
             ProcessArea::Lithography => self.litres_lithography,
             ProcessArea::Deposition => self.litres_deposition,
             ProcessArea::DryEtch => self.litres_dry_etch,
             ProcessArea::WetEtch => self.litres_wet_etch,
             ProcessArea::Metallization => self.litres_metallization,
             ProcessArea::Metrology => self.litres_metrology,
-        }
+        })
     }
 
-    /// UPW consumed to fabricate one wafer with the given flow, litres.
-    // ppatc-lint: allow(raw-unit-api) — litres; no volume quantity in ppatc-units yet
-    pub fn upw_per_wafer(&self, flow: &ProcessFlow) -> f64 {
-        self.feol_litres + flow.steps().iter().map(|s| self.litres_for(s)).sum::<f64>()
+    /// UPW consumed to fabricate one wafer with the given flow.
+    pub fn upw_per_wafer(&self, flow: &ProcessFlow) -> Volume {
+        Volume::from_litres(self.feol_litres)
+            + flow
+                .steps()
+                .iter()
+                .map(|s| self.litres_for(s))
+                .sum::<Volume>()
     }
 
-    /// Raw (municipal) water per wafer, litres — UPW × production overhead.
-    // ppatc-lint: allow(raw-unit-api) — litres; no volume quantity in ppatc-units yet
-    pub fn raw_water_per_wafer(&self, flow: &ProcessFlow) -> f64 {
+    /// Raw (municipal) water per wafer — UPW × production overhead.
+    pub fn raw_water_per_wafer(&self, flow: &ProcessFlow) -> Volume {
         self.upw_per_wafer(flow) * self.upw_overhead
     }
 
-    /// Raw water per *good die*, litres, mirroring Eq. 5.
+    /// Raw water per *good die*, mirroring Eq. 5.
     ///
     /// # Panics
     ///
     /// Panics unless `good_dies_per_wafer` is positive.
-    // ppatc-lint: allow(raw-unit-api) — litres; no volume quantity in ppatc-units yet
-    pub fn raw_water_per_good_die(&self, flow: &ProcessFlow, good_dies_per_wafer: f64) -> f64 {
+    pub fn raw_water_per_good_die(&self, flow: &ProcessFlow, good_dies_per_wafer: f64) -> Volume {
         assert!(good_dies_per_wafer > 0.0, "need at least one good die");
         self.raw_water_per_wafer(flow) / good_dies_per_wafer
     }
@@ -106,7 +109,7 @@ mod tests {
         let model = WaterModel::typical_7nm();
         let (si, m3d) = flows();
         for f in [&si, &m3d] {
-            let m3 = model.upw_per_wafer(f) / 1000.0;
+            let m3 = model.upw_per_wafer(f).as_cubic_meters();
             assert!((3.0..10.0).contains(&m3), "{}: {m3:.1} m³", f.name());
         }
     }
@@ -138,20 +141,21 @@ mod tests {
         let at_45 = model.raw_water_per_good_die(&si, 299_127.0 * 0.45);
         assert!((at_45 / at_90 - 2.0).abs() < 1e-9);
         // Tens of millilitres per good embedded die.
-        assert!(at_90 > 0.01 && at_90 < 0.1, "{at_90:.3} L/die");
+        let litres = at_90.as_litres();
+        assert!(litres > 0.01 && litres < 0.1, "{litres:.3} L/die");
     }
 
     #[test]
     fn wet_steps_dominate_the_beol_water() {
         let model = WaterModel::typical_7nm();
         let (_, m3d) = flows();
-        let wet: f64 = m3d
+        let wet: Volume = m3d
             .steps()
             .iter()
             .filter(|s| matches!(s.area, ProcessArea::WetEtch | ProcessArea::Metallization))
             .map(|s| model.litres_for(s))
             .sum();
-        let total_beol: f64 = m3d.steps().iter().map(|s| model.litres_for(s)).sum();
+        let total_beol: Volume = m3d.steps().iter().map(|s| model.litres_for(s)).sum();
         assert!(wet / total_beol > 0.5, "wet share {:.2}", wet / total_beol);
     }
 }

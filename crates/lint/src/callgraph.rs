@@ -1,10 +1,14 @@
-//! Inter-procedural panic-reachability over a name-based call graph.
+//! Inter-procedural panic-reachability over the workspace call graph.
 //!
 //! Each non-test fn in the analyzed file set is summarized once: its
 //! direct panic sites (`panic!`-family macros, `.unwrap()`, `.expect()`)
-//! and the names it calls. Edges resolve a called name to a workspace fn
-//! only when exactly one non-test fn carries that name — ambiguous names
-//! (`new`, `value`) produce no edge, which keeps the pass conservative.
+//! and the calls its body makes, with full path segments preserved
+//! (`checkpoint::write_journal`, `Energy::from_joules`, `try_eval`). Call
+//! edges are resolved by the workspace symbol table
+//! ([`crate::symbols::SymbolTable`]), which understands free fns,
+//! `Type::method` paths, `use`-aliased imports, and module-qualified
+//! paths — ambiguous names (`new`, `value`) produce no edge, which keeps
+//! the pass conservative.
 //!
 //! **PL009 `panic-reachable-from-try`** then fires for every `try_*`
 //! function that can transitively reach a panic site while no function on
@@ -12,12 +16,24 @@
 //! A documented fn absorbs the taint: callers delegating to it have an
 //! explicit, reviewable contract to cite. Crates where panics are policy
 //! ([`crate::rules`]' exemption list: `bench`, `suite`, `lint`) never
-//! *report*, but their fns still participate as path interior.
+//! *report*, but their fns still participate as path interior — a witness
+//! path may cross crate boundaries.
 
 use crate::ast::{Block, Expr, Stmt};
-use crate::parser::parse_body;
 use crate::rules::PANIC_MACROS;
-use crate::source::SourceFile;
+use crate::source::{SourceFile, UseItem};
+
+/// One call site recorded by the body walk: the path segments as written
+/// (`["Energy", "from_joules"]`, `["try_eval"]`) and whether it used
+/// method syntax (`x.f()`), which restricts resolution to `self`-receiver
+/// fns.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CallRef {
+    /// Path segments of the callee, as written at the call site.
+    pub segs: Vec<String>,
+    /// `true` for method-syntax calls (`x.f()`).
+    pub is_method: bool,
+}
 
 /// One direct panic site inside a fn body.
 #[derive(Clone, Debug)]
@@ -37,6 +53,8 @@ pub struct FnSummary {
     pub crate_name: String,
     /// The fn name.
     pub name: String,
+    /// `Self` type of the enclosing `impl` block, `None` for free fns.
+    pub owner: Option<String>,
     /// Line of the `fn` keyword.
     pub line: u32,
     /// Column of the `fn` keyword.
@@ -47,10 +65,11 @@ pub struct FnSummary {
     pub has_self: bool,
     /// Direct panic sites in the body.
     pub panics: Vec<PanicSite>,
-    /// Names this body calls, deduplicated; the flag is `true` for
-    /// method-syntax calls (`x.f()`), which resolve only to fns with a
-    /// `self` receiver.
-    pub calls: Vec<(String, bool)>,
+    /// Calls this body makes, deduplicated.
+    pub calls: Vec<CallRef>,
+    /// The defining file's `use` imports (resolution context; identical
+    /// for every fn of one file).
+    pub uses: Vec<UseItem>,
 }
 
 /// A PL009 finding, before it is bound to a `Rule`.
@@ -66,40 +85,53 @@ pub struct Reachability {
     pub message: String,
 }
 
-/// Summarizes every non-test fn in `file` for the call-graph pass.
-pub fn summarize(file: &SourceFile) -> Vec<FnSummary> {
+/// Summarizes the analyzable fns of `file` for the call-graph pass.
+/// `bodies` holds the pre-parsed body of each non-test bodied fn as
+/// `(index into file.fns, block)`; summaries come out aligned 1:1 with
+/// it (bodiless fns — trait signatures — have no summary).
+pub fn summarize(file: &SourceFile, bodies: &[(usize, Block)]) -> Vec<FnSummary> {
     let mut out = Vec::new();
-    for f in &file.fns {
-        if f.in_test || file.in_test(f.line) {
-            continue;
-        }
-        let Some(body) = f.body else { continue };
-        let (block, _issues) = parse_body(file, body);
+    for &(fi, ref block) in bodies {
+        let f = &file.fns[fi];
         let mut collector = Collector {
             panics: Vec::new(),
             calls: Vec::new(),
         };
-        collector.walk_block(&block);
+        collector.walk_block(block);
         collector.calls.sort();
         collector.calls.dedup();
         out.push(FnSummary {
             path: file.path.clone(),
             crate_name: file.crate_name.clone(),
             name: f.name.clone(),
+            owner: f.owner.clone(),
             line: f.line,
             col: f.col,
             has_panics_doc: f.doc.contains("# Panics"),
             has_self: f.params.first().is_some_and(|p| p.name == "self"),
             panics: collector.panics,
             calls: collector.calls,
+            uses: file.uses.clone(),
         });
     }
     out
 }
 
+/// Selects the non-test bodied fns of `file`, in declaration order, as
+/// `(index into file.fns)` — the shared filter behind [`summarize`] and
+/// the dimensional engine's body list.
+pub fn analyzable_fns(file: &SourceFile) -> Vec<usize> {
+    file.fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.in_test && !file.in_test(f.line) && f.body.is_some())
+        .map(|(i, _)| i)
+        .collect()
+}
+
 struct Collector {
     panics: Vec<PanicSite>,
-    calls: Vec<(String, bool)>,
+    calls: Vec<CallRef>,
 }
 
 impl Collector {
@@ -140,7 +172,10 @@ impl Collector {
                         line: span.line,
                     });
                 } else {
-                    self.calls.push((method.clone(), true));
+                    self.calls.push(CallRef {
+                        segs: vec![method.clone()],
+                        is_method: true,
+                    });
                 }
                 self.walk(recv);
                 for a in args {
@@ -153,8 +188,11 @@ impl Collector {
                 span: _,
             } => {
                 if let Expr::Path { segs, .. } = callee.as_ref() {
-                    if let Some(last) = segs.last() {
-                        self.calls.push((last.clone(), false));
+                    if !segs.is_empty() {
+                        self.calls.push(CallRef {
+                            segs: segs.clone(),
+                            is_method: false,
+                        });
                     }
                 } else {
                     self.walk(callee);
@@ -235,34 +273,10 @@ impl Collector {
 /// mirrors [`crate::rules`]' PL002 exemption.
 const REPORT_EXEMPT_CRATES: &[&str] = &["bench", "suite", "lint"];
 
-/// Runs PL009 over a set of fn summaries (one file or the whole
-/// workspace). Returns one finding per tainted `try_*` fn.
-pub fn check(summaries: &[FnSummary]) -> Vec<Reachability> {
-    // Resolve a called name only when exactly one summarized fn bears it.
-    // Method-syntax calls (`x.f()`) additionally require a `self` receiver
-    // on the callee, so `.map(..)` never resolves to a free fn `map()`.
-    let resolve = |name: &str, is_method: bool| -> Option<usize> {
-        let mut found = None;
-        for (i, s) in summaries.iter().enumerate() {
-            if s.name == name && (!is_method || s.has_self) {
-                if found.is_some() {
-                    return None;
-                }
-                found = Some(i);
-            }
-        }
-        found
-    };
-    let edges: Vec<Vec<usize>> = summaries
-        .iter()
-        .map(|s| {
-            s.calls
-                .iter()
-                .filter_map(|(name, is_method)| resolve(name, *is_method))
-                .collect()
-        })
-        .collect();
-
+/// Runs PL009 over the workspace call graph: `edges[i]` lists the summary
+/// indices fn `i` calls, as resolved by the symbol table. Returns one
+/// finding per tainted `try_*` fn.
+pub fn check(summaries: &[FnSummary], edges: &[Vec<usize>]) -> Vec<Reachability> {
     // Fixpoint: `tainted[i]` when fn i has a direct panic site or calls an
     // *undocumented* tainted fn. A `# Panics` doc absorbs taint at that
     // node — callers inherit a documented contract, not a silent panic.
@@ -295,7 +309,7 @@ pub fn check(summaries: &[FnSummary]) -> Vec<Reachability> {
         {
             continue;
         }
-        let witness = witness_path(i, summaries, &edges, &tainted);
+        let witness = witness_path(i, summaries, edges, &tainted);
         out.push(Reachability {
             path: s.path.clone(),
             line: s.line,
@@ -311,7 +325,8 @@ pub fn check(summaries: &[FnSummary]) -> Vec<Reachability> {
 }
 
 /// Builds a human-readable witness `a → b → .unwrap() (file:line)` chain
-/// from `start` to the nearest direct panic site.
+/// from `start` to the nearest direct panic site. When the chain crosses a
+/// crate boundary the hop is annotated with the callee's crate.
 fn witness_path(
     start: usize,
     summaries: &[FnSummary],
@@ -346,7 +361,18 @@ fn witness_path(
         chain.push(p);
     }
     chain.reverse();
-    let names: Vec<&str> = chain.iter().map(|&i| summaries[i].name.as_str()).collect();
+    let mut names = Vec::with_capacity(chain.len());
+    for (k, &i) in chain.iter().enumerate() {
+        let s = &summaries[i];
+        // Annotate hops that land in a different crate than the previous
+        // node — the cross-crate part of the witness is the novel evidence.
+        let crosses = k > 0 && summaries[chain[k - 1]].crate_name != s.crate_name;
+        if crosses {
+            names.push(format!("{} [{}]", s.name, s.crate_name));
+        } else {
+            names.push(s.name.clone());
+        }
+    }
     format!(
         "{} → {} ({}:{})",
         names.join(" → "),

@@ -1,4 +1,4 @@
-//! Intra-procedural dimensional dataflow over fn bodies.
+//! Dimensional dataflow over fn bodies.
 //!
 //! The pass evaluates each non-test fn body on an abstract value lattice:
 //!
@@ -7,7 +7,16 @@
 //!   dimension, with `scale` the factor to the canonical base unit when it
 //!   can still be tracked exactly (`canonical = raw · scale`),
 //! * `Number` — a dimensionless numeric, with its literal value when known,
+//! * `Wall` — a value derived from the wall clock (`Instant::now()`,
+//!   `SystemTime::now()`, and arithmetic over their readings),
 //! * `Unknown` — everything else.
+//!
+//! Evaluation is no longer purely intra-procedural: an optional [`Inter`]
+//! oracle (implemented by [`crate::summaries`]' fixed-point engine)
+//! resolves workspace calls to inferred per-fn summaries, so a unit fault
+//! that crosses a `fn` signature — or a crate boundary — is checked at
+//! the call site and the callee's inferred return unit flows back into
+//! the caller's body.
 //!
 //! Values are seeded from three sources, all derived from
 //! [`ppatc_units::registry`] so no unit factor is ever duplicated here:
@@ -15,7 +24,7 @@
 //! `.as_square_millimeters()`), quantity-typed parameters, and
 //! unit-suffixed identifiers (`area_mm2`, `delay_ns`, `grid_g_per_kwh`).
 //!
-//! Two findings come out:
+//! Three findings come out:
 //!
 //! * **PL006 `dimension-mismatch`** — `+`, `-`, or a comparison whose
 //!   operands have different dimensions (J vs s), or the same dimension at
@@ -24,6 +33,11 @@
 //! * **PL007 `unit-cast-roundtrip`** — a registry constructor fed a raw
 //!   value of the *right* dimension but a provably different scale, e.g.
 //!   `Energy::from_joules(e.as_picojoules())`.
+//! * **PL011 `wall-clock-in-result`** — a registry constructor fed a
+//!   wall-clock-derived value: computed results must be a pure function
+//!   of inputs (the workspace's byte-identical-replay invariant), so
+//!   `Instant`/`SystemTime` readings may gate deadlines and telemetry but
+//!   never become part of a quantity.
 //!
 //! Multiplying or dividing by a literal rescales the tracked factor
 //! exactly, so `Energy::from_joules(e.as_picojoules() * 1e-12)` is clean;
@@ -32,8 +46,7 @@
 //! keep zero false positives on the real workspace.
 
 use crate::ast::{BinOp, Block, Expr, LitKind, Stmt};
-use crate::parser::parse_body;
-use crate::source::{FnItem, SourceFile};
+use crate::source::FnItem;
 use ppatc_units::registry::{spec_of, DimVec, MethodRole, REGISTRY, TYPED_CONVERSIONS};
 use std::collections::HashMap;
 
@@ -53,7 +66,7 @@ pub struct Finding {
     pub message: String,
 }
 
-/// The two dimensional-dataflow rules.
+/// The dimensional-dataflow rules.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FindingKind {
     /// PL006: operands of different dimension (or provably different scale)
@@ -61,11 +74,13 @@ pub enum FindingKind {
     DimensionMismatch,
     /// PL007: a constructor gets the right dimension at the wrong scale.
     UnitCastRoundtrip,
+    /// PL011: a constructor gets a wall-clock-derived value.
+    WallClockInResult,
 }
 
 /// An abstract value.
 #[derive(Clone, Copy, Debug, PartialEq)]
-enum Val {
+pub(crate) enum Val {
     /// Nothing is known.
     Unknown,
     /// A dimensionless numeric; the payload is its value when it is a
@@ -81,10 +96,12 @@ enum Val {
     },
     /// A `ppatc-units` newtype, by type name.
     Typed(&'static str),
+    /// A wall-clock reading or arithmetic derived from one.
+    Wall,
 }
 
 impl Val {
-    fn raw(dim: DimVec, scale: Option<f64>) -> Self {
+    pub(crate) fn raw(dim: DimVec, scale: Option<f64>) -> Self {
         if dim.is_none() {
             // A dimensionless ratio is just a number; dropping the scale
             // avoids nonsense findings on `(a_mm2 / b_m2) < 0.5`.
@@ -95,37 +112,79 @@ impl Val {
     }
 
     /// The value's dimension, when known.
-    fn dim(&self) -> Option<DimVec> {
+    pub(crate) fn dim(&self) -> Option<DimVec> {
         match self {
             Val::Raw { dim, .. } => Some(*dim),
             Val::Typed(name) => spec_of(name).map(|s| s.dim),
             Val::Number(_) => Some(DimVec::NONE),
-            Val::Unknown => None,
+            Val::Unknown | Val::Wall => None,
         }
     }
 }
 
-/// Checks every non-test fn body in `file`, returning PL006/PL007 findings.
-pub fn check_file(file: &SourceFile) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for f in &file.fns {
-        if f.in_test || file.in_test(f.line) {
-            continue;
-        }
-        let Some(body) = f.body else { continue };
-        let (block, _issues) = parse_body(file, body);
-        let mut cx = Checker {
-            env: seed_params(f),
-            out: &mut out,
-        };
-        cx.eval_block(&block);
+/// The summary join: the most specific value both sides agree on;
+/// `Unknown` absorbs, so a summary never claims more than every path
+/// proves.
+pub(crate) fn join(a: Val, b: Val) -> Val {
+    if a == b {
+        return a;
     }
-    out
+    match (a, b) {
+        (Val::Number(_), Val::Number(_)) => Val::Number(None),
+        (Val::Raw { dim: d1, scale: s1 }, Val::Raw { dim: d2, scale: s2 }) if d1 == d2 => {
+            Val::Raw {
+                dim: d1,
+                scale: s1.zip(s2).filter(|&(x, y)| close(x, y)).map(|(x, _)| x),
+            }
+        }
+        _ => Val::Unknown,
+    }
+}
+
+/// The interprocedural oracle: resolves a call made inside a fn body to
+/// an inferred callee summary, checks the arguments against the callee's
+/// inferred parameter units (emitting call-site findings into `out`), and
+/// returns the callee's inferred return value. Implemented by
+/// [`crate::summaries`]' fixed-point engine; `None` keeps the evaluation
+/// purely intra-procedural (tests, fixtures).
+pub(crate) trait Inter {
+    /// `segs(args)` for path calls, `recv.segs[0](args)` when `is_method`.
+    fn call(
+        &self,
+        segs: &[String],
+        is_method: bool,
+        args: &[Val],
+        line: u32,
+        col: u32,
+        out: &mut Vec<Finding>,
+    ) -> Val;
+}
+
+/// Evaluates one fn body, appending findings to `out` and returning the
+/// fn's abstract return value (the join of the tail expression and every
+/// `return` expression). `seed` is the parameter environment — see
+/// [`seed_params`] — possibly widened with call-site evidence by the
+/// fixed-point engine.
+pub(crate) fn eval_fn(
+    seed: HashMap<String, Val>,
+    block: &Block,
+    inter: Option<&dyn Inter>,
+    out: &mut Vec<Finding>,
+) -> Val {
+    let mut cx = Checker {
+        env: seed,
+        rets: Vec::new(),
+        inter,
+        out,
+    };
+    let tail = cx.eval_block(block);
+    cx.rets.into_iter().fold(tail, join)
 }
 
 /// Seeds the environment from fn parameters: quantity-typed params become
-/// `Typed`, `f64` params with a unit-suffixed name become `Raw`.
-fn seed_params(f: &FnItem) -> HashMap<String, Val> {
+/// `Typed`, `f64` params with a unit-suffixed name become `Raw`, and
+/// `Instant`/`SystemTime` params become `Wall`.
+pub(crate) fn seed_params(f: &FnItem) -> HashMap<String, Val> {
     let mut env = HashMap::new();
     for p in &f.params {
         if p.name == "self" || p.name == "_" {
@@ -140,6 +199,10 @@ fn seed_params(f: &FnItem) -> HashMap<String, Val> {
                 env.insert(p.name.clone(), Val::Typed(spec.type_name));
                 continue;
             }
+        }
+        if p.ty.iter().any(|t| t == "Instant" || t == "SystemTime") {
+            env.insert(p.name.clone(), Val::Wall);
+            continue;
         }
         if p.ty.iter().any(|t| t == "f64" || t == "f32") {
             if let Some(val) = suffix_val(&p.name) {
@@ -230,7 +293,7 @@ const ABBREVIATIONS: &[(&str, DimVec, f64)] = &[
 
 /// Renders a dimension for diagnostics: a registry symbol when one type
 /// has exactly this dimension, else a composed `J·s^-1` form.
-fn dim_name(dim: DimVec) -> String {
+pub(crate) fn dim_name(dim: DimVec) -> String {
     if dim.is_none() {
         return "dimensionless".to_string();
     }
@@ -270,7 +333,7 @@ fn dim_name(dim: DimVec) -> String {
 /// Elmore's `0.5`) all the time, and those products are *new* quantities,
 /// not unit conversions. Only a scale that lands exactly on a named unit
 /// (pJ, mm², ns, …) is evidence of a forgotten conversion.
-fn known_factor(dim: DimVec, scale: f64) -> Option<String> {
+pub(crate) fn known_factor(dim: DimVec, scale: f64) -> Option<String> {
     for spec in REGISTRY {
         if spec.dim != dim {
             continue;
@@ -289,7 +352,7 @@ fn known_factor(dim: DimVec, scale: f64) -> Option<String> {
     None
 }
 
-fn close(a: f64, b: f64) -> bool {
+pub(crate) fn close(a: f64, b: f64) -> bool {
     let scale = a.abs().max(b.abs());
     scale > 0.0 && (a - b).abs() <= SCALE_TOL * scale
 }
@@ -328,6 +391,10 @@ pub(crate) fn literal_value(text: &str) -> Option<f64> {
 
 struct Checker<'a> {
     env: HashMap<String, Val>,
+    /// Values of `return` expressions seen so far.
+    rets: Vec<Val>,
+    /// The interprocedural oracle, when running under the summary engine.
+    inter: Option<&'a dyn Inter>,
     out: &'a mut Vec<Finding>,
 }
 
@@ -418,19 +485,41 @@ impl Checker<'_> {
                 if let Expr::Path { segs, .. } = callee.as_ref() {
                     if segs.len() >= 2 {
                         let (ty, method) = (&segs[segs.len() - 2], &segs[segs.len() - 1]);
-                        return self.typed_call(ty, method, &arg_vals, span.line, span.col);
+                        if (ty == "Instant" || ty == "SystemTime") && method == "now" {
+                            return Val::Wall;
+                        }
+                        if spec_of(ty).is_some() {
+                            return self.typed_call(ty, method, &arg_vals, span.line, span.col);
+                        }
+                    }
+                    if let Some(inter) = self.inter {
+                        return inter.call(segs, false, &arg_vals, span.line, span.col, self.out);
                     }
                 }
                 Val::Unknown
             }
             Expr::MethodCall {
-                recv, method, args, ..
+                recv,
+                method,
+                args,
+                span,
             } => {
                 let rval = self.eval(recv);
-                for a in args {
-                    self.eval(a);
+                let arg_vals: Vec<Val> = args.iter().map(|a| self.eval(a)).collect();
+                let direct = self.method_call(rval, method);
+                if direct == Val::Unknown {
+                    if let Some(inter) = self.inter {
+                        return inter.call(
+                            std::slice::from_ref(method),
+                            true,
+                            &arg_vals,
+                            span.line,
+                            span.col,
+                            self.out,
+                        );
+                    }
                 }
-                self.method_call(rval, method)
+                direct
             }
             Expr::Field { recv, name, .. } => {
                 self.eval(recv);
@@ -513,9 +602,10 @@ impl Checker<'_> {
                 }
                 Val::Unknown
             }
-            Expr::Jump { expr, .. } => {
-                if let Some(e) = expr {
-                    self.eval(e);
+            Expr::Jump { keyword, expr, .. } => {
+                let v = expr.as_ref().map_or(Val::Unknown, |e| self.eval(e));
+                if *keyword == "return" {
+                    self.rets.push(v);
                 }
                 Val::Unknown
             }
@@ -529,6 +619,22 @@ impl Checker<'_> {
         let Some(spec) = spec_of(ty) else {
             return Val::Unknown;
         };
+        // PL011: a wall-clock-derived value becoming part of a quantity
+        // breaks the pure-function-of-inputs replay invariant.
+        if args.contains(&Val::Wall) {
+            self.finding(
+                FindingKind::WallClockInResult,
+                line,
+                col,
+                format!(
+                    "{ty}::{method} is fed a wall-clock-derived value; computed \
+                     results must be a pure function of inputs — keep \
+                     Instant/SystemTime readings in deadlines and telemetry, \
+                     not in quantities"
+                ),
+            );
+            return Val::Typed(spec.type_name);
+        }
         let ctor = spec
             .methods
             .iter()
@@ -615,6 +721,41 @@ impl Checker<'_> {
                     Val::Unknown
                 }
             }
+            Val::Wall => {
+                // Clock readings stay tainted through the Instant/Duration
+                // API surface and value-preserving f64 helpers.
+                if matches!(
+                    method,
+                    "elapsed"
+                        | "duration_since"
+                        | "saturating_duration_since"
+                        | "checked_duration_since"
+                        | "as_secs"
+                        | "as_secs_f64"
+                        | "as_secs_f32"
+                        | "as_millis"
+                        | "as_micros"
+                        | "as_nanos"
+                        | "subsec_nanos"
+                        | "subsec_micros"
+                        | "subsec_millis"
+                        | "unwrap"
+                        | "expect"
+                        | "unwrap_or"
+                        | "unwrap_or_default"
+                        | "abs"
+                        | "floor"
+                        | "ceil"
+                        | "round"
+                        | "clamp"
+                        | "min"
+                        | "max"
+                ) {
+                    Val::Wall
+                } else {
+                    Val::Unknown
+                }
+            }
             Val::Number(_) | Val::Unknown => {
                 // The receiver type is unknown, but accessor names are
                 // unique across the registry, so a bare `.as_picojoules()`
@@ -667,6 +808,10 @@ impl Checker<'_> {
 
     fn mul(&mut self, lv: Val, rv: Val) -> Val {
         match (lv, rv) {
+            // Wall-clock taint survives scaling by numbers and raws; a
+            // typed quantity in the product widens (conservative).
+            (Val::Wall, Val::Typed(_)) | (Val::Typed(_), Val::Wall) => Val::Unknown,
+            (Val::Wall, _) | (_, Val::Wall) => Val::Wall,
             (Val::Number(a), Val::Number(b)) => Val::Number(a.zip(b).map(|(a, b)| a * b)),
             (Val::Raw { dim, scale }, Val::Number(k))
             | (Val::Number(k), Val::Raw { dim, scale }) => {
@@ -690,6 +835,8 @@ impl Checker<'_> {
 
     fn div(&mut self, lv: Val, rv: Val) -> Val {
         match (lv, rv) {
+            (Val::Wall, Val::Typed(_)) | (Val::Typed(_), Val::Wall) => Val::Unknown,
+            (Val::Wall, _) | (_, Val::Wall) => Val::Wall,
             (Val::Number(a), Val::Number(b)) => Val::Number(a.zip(b).map(|(a, b)| a / b)),
             (Val::Raw { dim, scale }, Val::Number(k)) => {
                 // r2 = r/k ⇒ canonical = r2 · (s·k).

@@ -5,6 +5,7 @@
 //! cargo run -p ppatc-lint -- --deny-warnings   # CI gate: warnings fail too
 //! cargo run -p ppatc-lint -- --json            # machine-readable output
 //! cargo run -p ppatc-lint -- --jobs 4          # explicit worker count
+//! cargo run -p ppatc-lint -- --no-cache        # skip the incremental cache
 //! cargo run -p ppatc-lint -- --list-rules      # print the rule catalog
 //! cargo run -p ppatc-lint -- --explain PL006   # rationale for one rule
 //! ```
@@ -22,6 +23,7 @@ struct Options {
     list_rules: bool,
     jobs: Option<usize>,
     explain: Option<String>,
+    no_cache: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -32,6 +34,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         list_rules: false,
         jobs: None,
         explain: None,
+        no_cache: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -39,6 +42,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--list-rules" => opts.list_rules = true,
+            "--no-cache" => opts.no_cache = true,
             "--root" => match it.next() {
                 Some(p) => opts.root = Some(PathBuf::from(p)),
                 None => return Err("--root requires a path".to_string()),
@@ -54,7 +58,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: ppatc-lint [--root <dir>] [--json] [--deny-warnings] \
-                            [--jobs <n>] [--list-rules] [--explain <code>]"
+                            [--jobs <n>] [--no-cache] [--list-rules] [--explain <code>]"
                         .to_string(),
                 )
             }
@@ -134,6 +138,31 @@ fn explain(query: &str) -> Option<String> {
              witness path.",
             "pub fn try_fit(..) -> Result<..> { grid.nearest(x) } // nearest() unwraps",
         ),
+        "PL010" => (
+            "std's HashMap/HashSet iterate in a per-process randomized order. \
+             Letting that order reach a Vec, String, accumulator, or output \
+             stream bakes scheduler noise into results the workspace promises \
+             are byte-identical across runs, worker counts, and cache hits. \
+             Sort before the sink, or collect into a BTree container.",
+            "for (k, v) in &totals { out.push_str(k); }  // totals is a HashMap",
+        ),
+        "PL011" => (
+            "Model outputs must be a pure function of model inputs. An Instant \
+             or SystemTime reading that flows into a ppatc-units quantity makes \
+             a carbon or energy figure depend on when the run happened — \
+             deadlines and telemetry are fine, but never inside a result. The \
+             interprocedural dataflow tracks wall-clock taint through helper \
+             fns and across crates.",
+            "Energy::from_joules(t0.elapsed().as_secs_f64() * p)  // wall clock in a result",
+        ),
+        "PL012" => (
+            "Float addition is not associative: accumulating partial sums in \
+             thread or channel arrival order makes the low-order bits a \
+             function of the scheduler. The blessed idiom is par_map_indexed — \
+             reduce per-chunk, send (index, partial), merge in index order — \
+             which this rule exempts by name.",
+            "while let Ok(x) = rx.recv() { sum += x; }  // arrival-order reduction",
+        ),
         _ => ("", ""),
     };
     let mut out = String::new();
@@ -189,7 +218,7 @@ fn main() -> ExitCode {
 
     let jobs = opts.jobs.unwrap_or_else(ppatc_lint::default_jobs);
     let started = Instant::now();
-    let report = match ppatc_lint::lint_workspace_jobs(&root, jobs) {
+    let report = match ppatc_lint::lint_workspace_cached(&root, jobs, !opts.no_cache) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ppatc-lint: {e}");
@@ -199,10 +228,10 @@ fn main() -> ExitCode {
     let elapsed = started.elapsed();
 
     if opts.json {
-        // No timing line here: --json output is byte-identical across
-        // worker counts and runs.
+        // No timing or cache-hit counters here: --json output is
+        // byte-identical across worker counts, runs, and cache states.
         let body: Vec<String> = report.diagnostics.iter().map(|d| d.json()).collect();
-        println!("[{}]", body.join(","));
+        println!("{{\"schema\":2,\"findings\":[{}]}}", body.join(","));
     } else {
         for d in &report.diagnostics {
             println!("{}", d.human());
@@ -216,8 +245,9 @@ fn main() -> ExitCode {
             report.suppressed
         );
         println!(
-            "ppatc-lint: analyzed in {:.1} ms (jobs={jobs})",
-            elapsed.as_secs_f64() * 1e3
+            "ppatc-lint: analyzed in {:.1} ms (jobs={jobs}, {} cached)",
+            elapsed.as_secs_f64() * 1e3,
+            report.cache_hits
         );
     }
 

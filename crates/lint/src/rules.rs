@@ -7,10 +7,13 @@
 //! | PL003 | `must-use-try`            | deny     | whole workspace |
 //! | PL004 | `magic-constant`          | warn     | model crates, outside const tables |
 //! | PL005 | `non-exhaustive-error`    | deny     | whole workspace |
-//! | PL006 | `dimension-mismatch`      | deny     | whole workspace (dataflow, [`crate::dims`]) |
+//! | PL006 | `dimension-mismatch`      | deny     | whole workspace (interprocedural dataflow, [`crate::dims`] + [`crate::summaries`]) |
 //! | PL007 | `unit-cast-roundtrip`     | deny     | whole workspace (dataflow, [`crate::dims`]) |
 //! | PL008 | `unused-allow`            | warn     | whole workspace (report assembly) |
-//! | PL009 | `panic-reachable-from-try`| warn     | call graph ([`crate::callgraph`]) |
+//! | PL009 | `panic-reachable-from-try`| warn     | workspace call graph ([`crate::callgraph`]) |
+//! | PL010 | `hash-order-escape`       | deny     | whole workspace ([`crate::determinism`]) |
+//! | PL011 | `wall-clock-in-result`    | warn     | whole workspace (dataflow, [`crate::dims`]) |
+//! | PL012 | `float-reduction-order`   | deny     | whole workspace ([`crate::determinism`]) |
 //!
 //! Every rule can be silenced locally with a
 //! `// ppatc-lint: allow(rule-name)` comment on the offending line or the
@@ -99,9 +102,10 @@ pub fn all() -> Vec<Rule> {
             name: "dimension-mismatch",
             severity: Severity::Deny,
             describes: "additive/comparison operands and constructor arguments must agree \
-                        in dimension and unit scale (dataflow seeded from the \
-                        ppatc-units registry)",
-            check: dimensional_dataflow,
+                        in dimension and unit scale (interprocedural dataflow seeded \
+                        from the ppatc-units registry and fn summaries)",
+            // Emitted by the interprocedural engine at report assembly.
+            check: no_per_file_check,
         },
         Rule {
             code: "PL007",
@@ -130,6 +134,33 @@ pub fn all() -> Vec<Rule> {
             // Computed over the whole-workspace call graph.
             check: no_per_file_check,
         },
+        Rule {
+            code: "PL010",
+            name: "hash-order-escape",
+            severity: Severity::Deny,
+            describes: "HashMap/HashSet iteration order must not reach an ordered sink \
+                        (Vec/String/accumulator/output) without an intervening sort",
+            // Computed by the determinism pass over parsed fn bodies.
+            check: no_per_file_check,
+        },
+        Rule {
+            code: "PL011",
+            name: "wall-clock-in-result",
+            severity: Severity::Warn,
+            describes: "Instant/SystemTime readings must not flow into ppatc-units \
+                        quantities; model results must be a pure function of inputs",
+            // Co-emitted by the PL006 interprocedural dataflow.
+            check: no_per_file_check,
+        },
+        Rule {
+            code: "PL012",
+            name: "float-reduction-order",
+            severity: Severity::Deny,
+            describes: "float accumulation across thread or channel boundaries must \
+                        merge in index order, not arrival order (par_map_indexed idiom)",
+            // Computed by the determinism pass over parsed fn bodies.
+            check: no_per_file_check,
+        },
     ]
 }
 
@@ -138,34 +169,50 @@ pub fn all() -> Vec<Rule> {
 fn no_per_file_check(_rule: &Rule, _file: &SourceFile, _out: &mut Vec<Diagnostic>) {}
 
 // ---------------------------------------------------------------------------
-// PL006 + PL007: dimensional dataflow
+// Diagnostic builders for assembly-emitted rules
 // ---------------------------------------------------------------------------
 
-/// Runs the [`crate::dims`] pass once per file; PL006 findings take this
-/// rule's identity, PL007 findings are co-emitted under their own code.
-fn dimensional_dataflow(rule: &Rule, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    for f in crate::dims::check_file(file) {
-        match f.kind {
-            crate::dims::FindingKind::DimensionMismatch => {
-                out.push(rule.diag(file, f.line, f.col, f.message));
-            }
-            crate::dims::FindingKind::UnitCastRoundtrip => {
-                out.push(pl007_diag(&file.path, f.line, f.col, f.message));
-            }
+/// Builds a diagnostic for a [`crate::dims::Finding`] from the
+/// interprocedural engine: PL006 for dimension mismatches, PL007 for
+/// scale roundtrips, PL011 for wall-clock taint.
+pub(crate) fn dims_finding_diag(path: &str, f: crate::dims::Finding) -> Diagnostic {
+    let (code, rule, severity) = match f.kind {
+        crate::dims::FindingKind::DimensionMismatch => {
+            ("PL006", "dimension-mismatch", Severity::Deny)
         }
+        crate::dims::FindingKind::UnitCastRoundtrip => {
+            ("PL007", "unit-cast-roundtrip", Severity::Deny)
+        }
+        crate::dims::FindingKind::WallClockInResult => {
+            ("PL011", "wall-clock-in-result", Severity::Warn)
+        }
+    };
+    Diagnostic {
+        code,
+        rule,
+        severity,
+        path: path.to_string(),
+        line: f.line,
+        col: f.col,
+        message: f.message,
     }
 }
 
-/// Builds a PL007 diagnostic (co-emitted by the PL006 pass).
-fn pl007_diag(path: &str, line: u32, col: u32, message: String) -> Diagnostic {
+/// Builds a diagnostic for a [`crate::determinism::DetFinding`] (PL010 or
+/// PL012, both deny).
+pub(crate) fn det_finding_diag(path: &str, f: crate::determinism::DetFinding) -> Diagnostic {
+    let (rule, severity) = match f.code {
+        "PL010" => ("hash-order-escape", Severity::Deny),
+        _ => ("float-reduction-order", Severity::Deny),
+    };
     Diagnostic {
-        code: "PL007",
-        rule: "unit-cast-roundtrip",
-        severity: Severity::Deny,
+        code: f.code,
+        rule,
+        severity,
         path: path.to_string(),
-        line,
-        col,
-        message,
+        line: f.line,
+        col: f.col,
+        message: f.message,
     }
 }
 

@@ -25,6 +25,10 @@ pub struct Param {
 pub struct FnItem {
     /// The function name.
     pub name: String,
+    /// The `Self` type of the enclosing `impl` block, when the fn is an
+    /// inherent or trait method (`impl Energy { fn scaled.. }` → `Energy`,
+    /// `impl Display for Power { .. }` → `Power`). `None` for free fns.
+    pub owner: Option<String>,
     /// `true` for `pub` (including `pub(crate)` etc.) functions.
     pub is_pub: bool,
     /// Line of the `fn` keyword.
@@ -62,6 +66,20 @@ pub struct EnumItem {
     pub attrs: Vec<String>,
     /// `true` when the item lies inside a test region.
     pub in_test: bool,
+}
+
+/// One name introduced by a `use` declaration, flattened from use-trees.
+///
+/// `use ppatc_units::Energy;` yields `alias: "Energy", segs: ["ppatc_units",
+/// "Energy"]`; `use x::y as z;` yields `alias: "z", segs: ["x", "y"]`. Glob
+/// imports produce no entry. The workspace symbol table uses these to
+/// resolve aliased cross-crate calls.
+#[derive(Clone, Debug)]
+pub struct UseItem {
+    /// The name the import binds in this file.
+    pub alias: String,
+    /// The full imported path, as written (aliases keep the target path).
+    pub segs: Vec<String>,
 }
 
 /// One `// ppatc-lint: allow(...)` suppression directive, as written.
@@ -103,6 +121,8 @@ pub struct SourceFile {
     pub fns: Vec<FnItem>,
     /// All `enum` items found.
     pub enums: Vec<EnumItem>,
+    /// Names introduced by `use` declarations, flattened.
+    pub uses: Vec<UseItem>,
 }
 
 impl SourceFile {
@@ -126,6 +146,7 @@ impl SourceFile {
             comment_lines: Vec::new(),
             fns: Vec::new(),
             enums: Vec::new(),
+            uses: Vec::new(),
         };
         file.scan_comments();
         file.scan_items();
@@ -216,11 +237,16 @@ impl SourceFile {
         self.comment_lines = comment_lines;
     }
 
-    /// Walks the code tokens collecting `fn`/`enum` items and test regions.
+    /// Walks the code tokens collecting `fn`/`enum`/`use` items, `impl`
+    /// spans, and test regions.
     fn scan_items(&mut self) {
-        let mut fns = Vec::new();
+        let mut fns: Vec<FnItem> = Vec::new();
+        let mut fn_cis: Vec<usize> = Vec::new();
         let mut enums = Vec::new();
+        let mut uses = Vec::new();
         let mut test_ranges: Vec<(u32, u32)> = Vec::new();
+        // `(self type, code-index range)` of every `impl` block body.
+        let mut impl_ranges: Vec<(String, usize, usize)> = Vec::new();
 
         let mut pending_attrs: Vec<String> = Vec::new();
         let mut pending_doc = String::new();
@@ -296,6 +322,7 @@ impl SourceFile {
                 }
                 (TokenKind::Ident, "fn") => {
                     let is_test_item = attrs_mark_test(&pending_attrs);
+                    fn_cis.push(i);
                     let item = self.parse_fn(&mut i, pending_pub, &pending_attrs, &pending_doc);
                     if is_test_item {
                         if let Some((a, b)) = self.fn_line_span(&item) {
@@ -329,7 +356,29 @@ impl SourceFile {
                     pending_pub = false;
                     i += 1;
                 }
-                (TokenKind::Ident, "mod" | "impl" | "struct" | "trait") => {
+                (TokenKind::Ident, "impl") => {
+                    if attrs_mark_test(&pending_attrs) {
+                        if let Some((a, b)) = self.brace_line_span(i) {
+                            test_ranges.push((a, b));
+                        }
+                    }
+                    if let Some(range) = self.impl_self_type(i) {
+                        impl_ranges.push(range);
+                    }
+                    pending_attrs.clear();
+                    pending_doc.clear();
+                    pending_pub = false;
+                    // Fns inside the block are found by the ongoing walk.
+                    i += 1;
+                }
+                (TokenKind::Ident, "use") => {
+                    let end = self.parse_use(i + 1, &mut uses);
+                    pending_attrs.clear();
+                    pending_doc.clear();
+                    pending_pub = false;
+                    i = end;
+                }
+                (TokenKind::Ident, "mod" | "struct" | "trait") => {
                     if attrs_mark_test(&pending_attrs) {
                         if let Some((a, b)) = self.brace_line_span(i) {
                             test_ranges.push((a, b));
@@ -346,7 +395,7 @@ impl SourceFile {
                 {
                     i += 1;
                 }
-                (TokenKind::Ident, "use" | "const" | "static" | "type" | "let") => {
+                (TokenKind::Ident, "const" | "static" | "type" | "let") => {
                     // Statement-ish starters clear pending item context.
                     pending_attrs.clear();
                     pending_doc.clear();
@@ -360,16 +409,103 @@ impl SourceFile {
             }
         }
 
-        // Resolve `in_test` now that every region is known.
-        for f in &mut fns {
+        // Resolve `in_test` now that every region is known, and bind each
+        // fn to the innermost `impl` block containing its `fn` keyword.
+        for (f, &ci) in fns.iter_mut().zip(&fn_cis) {
             f.in_test = test_ranges.iter().any(|&(a, b)| (a..=b).contains(&f.line));
+            f.owner = impl_ranges
+                .iter()
+                .filter(|&&(_, a, b)| (a..=b).contains(&ci))
+                .min_by_key(|&&(_, a, b)| b - a)
+                .map(|(ty, _, _)| ty.clone());
         }
         for e in &mut enums {
             e.in_test = test_ranges.iter().any(|&(a, b)| (a..=b).contains(&e.line));
         }
         self.fns = fns;
         self.enums = enums;
+        self.uses = uses;
         self.test_ranges = test_ranges;
+    }
+
+    /// From the code-index of an `impl` keyword, the `Self` type name and
+    /// the code-index range of the block body. For `impl Trait for Type`
+    /// the type after `for` wins; generic arguments are skipped.
+    fn impl_self_type(&self, at: usize) -> Option<(String, usize, usize)> {
+        let mut k = at + 1;
+        // Skip the generic-parameter list `impl<T: ..>`.
+        if matches!(self.code_token(k), Some(t) if t.text == "<") {
+            let mut depth = 0i32;
+            while let Some(t) = self.code_token(k) {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" if !self.is_arrow_gt(k) => {
+                        depth -= 1;
+                        if depth <= 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // Scan the type position(s) up to the body: the last ident seen at
+        // angle-depth 0 before `{`/`where` names the type; a `for` resets
+        // it so `impl Display for Power` yields `Power`.
+        let mut name: Option<String> = None;
+        let mut depth = 0i32;
+        while let Some(t) = self.code_token(k) {
+            match t.text.as_str() {
+                "{" if depth == 0 => {
+                    let end = self.skip_group(k, "{", "}");
+                    return name.map(|n| (n, k, end.saturating_sub(1)));
+                }
+                ";" if depth == 0 => return None,
+                "where" if depth == 0 => {
+                    // Skip ahead to the body.
+                    while let Some(t) = self.code_token(k) {
+                        if t.text == "{" {
+                            break;
+                        }
+                        if t.text == ";" {
+                            return None;
+                        }
+                        k += 1;
+                    }
+                    continue;
+                }
+                "for" if depth == 0 => name = None,
+                "<" => depth += 1,
+                ">" if !self.is_arrow_gt(k) => depth -= 1,
+                _ if t.kind == TokenKind::Ident && depth == 0 => {
+                    name = Some(t.text.clone());
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        None
+    }
+
+    /// Parses the use-tree starting after a `use` keyword at code-index
+    /// `after`; appends flattened [`UseItem`]s and returns the code index
+    /// one past the terminating `;`.
+    fn parse_use(&self, after: usize, out: &mut Vec<UseItem>) -> usize {
+        // Collect the statement's token texts up to the `;`.
+        let mut texts: Vec<String> = Vec::new();
+        let mut k = after;
+        while let Some(t) = self.code_token(k) {
+            if t.text == ";" {
+                k += 1;
+                break;
+            }
+            texts.push(t.text.clone());
+            k += 1;
+        }
+        flatten_use_tree(&texts, &[], out);
+        k
     }
 
     /// Flattens the attribute starting at the `[` code-index `open`;
@@ -506,6 +642,7 @@ impl SourceFile {
         *i = k + 1;
         FnItem {
             name,
+            owner: None, // bound after the walk from the impl spans
             is_pub,
             line: fn_tok_line,
             col: fn_tok_col,
@@ -602,8 +739,82 @@ impl SourceFile {
     }
 }
 
+/// Flattens one use-tree (the token texts between `use` and `;`, with `:`
+/// separators still present) into [`UseItem`]s. `prefix` carries the path
+/// accumulated by enclosing groups.
+fn flatten_use_tree(tokens: &[String], prefix: &[String], out: &mut Vec<UseItem>) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match tokens[i].as_str() {
+            ":" => i += 1,
+            "{" => {
+                // Group: recurse into each top-level comma-separated item.
+                let mut depth = 1usize;
+                let mut item_start = i + 1;
+                let mut j = i + 1;
+                while j < tokens.len() {
+                    match tokens[j].as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "," if depth == 1 => {
+                            let mut p: Vec<String> = prefix.to_vec();
+                            p.extend(segs.iter().cloned());
+                            flatten_use_tree(&tokens[item_start..j], &p, out);
+                            item_start = j + 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if item_start < j {
+                    let mut p: Vec<String> = prefix.to_vec();
+                    p.extend(segs.iter().cloned());
+                    flatten_use_tree(&tokens[item_start..j], &p, out);
+                }
+                return;
+            }
+            "as" => {
+                if let Some(alias) = tokens.get(i + 1) {
+                    let mut full = prefix.to_vec();
+                    full.extend(segs.iter().cloned());
+                    if !full.is_empty() && alias != "_" {
+                        out.push(UseItem {
+                            alias: alias.clone(),
+                            segs: full,
+                        });
+                    }
+                }
+                return;
+            }
+            "*" => return, // glob imports bind no single name
+            t => {
+                segs.push(t.to_string());
+                i += 1;
+            }
+        }
+    }
+    let mut full = prefix.to_vec();
+    full.extend(segs);
+    // `use a::b::{self, c}`: the `self` leaf binds the parent module `b`.
+    if full.last().is_some_and(|s| s == "self") {
+        full.pop();
+    }
+    if let Some(last) = full.last().cloned() {
+        out.push(UseItem {
+            alias: last,
+            segs: full,
+        });
+    }
+}
+
 /// The crate directory name for a workspace-relative path.
-fn crate_name_of(path: &str) -> String {
+pub(crate) fn crate_name_of(path: &str) -> String {
     let norm = path.replace('\\', "/");
     let parts: Vec<&str> = norm.split('/').collect();
     match parts.as_slice() {

@@ -217,6 +217,126 @@ fn allow_comment_does_not_leak_past_the_next_code_line() {
     assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL002", "PL008"]);
 }
 
+#[test]
+fn unused_allow_all_is_itself_flagged() {
+    // A blanket allow(all) over clean code suppresses nothing. Before the
+    // self-suppression fix the directive swallowed its own PL008 report
+    // (allow(all) matched the unused-allow rule too); now only a *different*
+    // directive can waive it.
+    let src = "// ppatc-lint: allow(all)\npub fn ok() {}\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL008"]);
+}
+
+#[test]
+fn unused_allow_of_unused_allow_is_itself_flagged() {
+    // Same self-suppression hazard, spelled directly.
+    let src = "// ppatc-lint: allow(unused-allow)\npub fn ok() {}\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL008"]);
+}
+
+#[test]
+fn used_allow_all_stays_exempt_from_pl008() {
+    // allow(all) that genuinely suppresses a finding is used, not stale.
+    let src = "// ppatc-lint: allow(all)\npub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------------
+// PL010: hash-order-escape
+// -----------------------------------------------------------------------
+
+#[test]
+fn pl010_fires_on_hashmap_iteration_into_a_string() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn render(totals: &HashMap<String, f64>) -> String {\n\
+                   let mut out = String::new();\n\
+                   for (k, _v) in totals.iter() {\n\
+                       out.push_str(k);\n\
+                   }\n\
+                   out\n\
+               }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL010"]);
+}
+
+#[test]
+fn pl010_fires_on_unsorted_collect_returned_from_a_hashed_source() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn keys_of(m: &HashMap<String, u32>) -> Vec<String> {\n\
+                   m.keys().cloned().collect()\n\
+               }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL010"]);
+}
+
+#[test]
+fn pl010_accepts_sorted_collect() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn keys_of(m: &HashMap<String, u32>) -> Vec<String> {\n\
+                   let mut keys: Vec<String> = m.keys().cloned().collect();\n\
+                   keys.sort();\n\
+                   keys\n\
+               }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pl010_accepts_btreemap_iteration() {
+    let src = "use std::collections::BTreeMap;\n\
+               pub fn render(totals: &BTreeMap<String, f64>) -> String {\n\
+                   let mut out = String::new();\n\
+                   for (k, _v) in totals.iter() {\n\
+                       out.push_str(k);\n\
+                   }\n\
+                   out\n\
+               }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------------
+// PL012: float-reduction-order
+// -----------------------------------------------------------------------
+
+#[test]
+fn pl012_fires_on_arrival_order_float_reduction() {
+    let src = "pub fn total(rx: &std::sync::mpsc::Receiver<f64>) -> f64 {\n\
+                   let mut sum = 0.0;\n\
+                   while let Ok(x) = rx.recv() {\n\
+                       sum += x;\n\
+                   }\n\
+                   sum\n\
+               }\n";
+    assert_eq!(codes("crates/device/src/x.rs", src), vec!["PL012"]);
+}
+
+#[test]
+fn pl012_exempts_the_par_map_indexed_idiom() {
+    let src = "pub fn par_map_indexed_total(rx: &std::sync::mpsc::Receiver<f64>) -> f64 {\n\
+                   let mut sum = 0.0;\n\
+                   while let Ok(x) = rx.recv() {\n\
+                       sum += x;\n\
+                   }\n\
+                   sum\n\
+               }\n";
+    assert!(codes("crates/device/src/x.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------------
+// Golden finding shape: the --json schema is pinned byte-for-byte.
+// -----------------------------------------------------------------------
+
+#[test]
+fn json_finding_shape_is_stable() {
+    let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    let diags = lint_source("crates/device/src/x.rs", src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].json(),
+        "{\"code\":\"PL002\",\"rule\":\"panic-in-lib\",\"severity\":\"deny\",\
+         \"path\":\"crates/device/src/x.rs\",\"line\":1,\"col\":37,\
+         \"message\":\"`.unwrap()` in non-test library code; document a `# Panics` \
+         contract on `fn f` or return a Result\"}"
+    );
+}
+
 // -----------------------------------------------------------------------
 // Lexer edge cases
 // -----------------------------------------------------------------------

@@ -1,0 +1,294 @@
+//! Whole-workspace integration tests: cross-crate dimension propagation,
+//! panic-reachability witness paths, wall-clock taint through helpers, and
+//! the incremental summary cache — all exercised against scratch
+//! workspaces built on disk, exactly the way the CLI sees the real one.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ppatc_lint::{lint_workspace_cached, Report};
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// A scratch workspace under the system temp dir, removed on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(files: &[(&str, &str)]) -> Self {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let root =
+            std::env::temp_dir().join(format!("ppatc-lint-itest-{}-{id}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create scratch root");
+        fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n")
+            .expect("write workspace manifest");
+        let scratch = Self { root };
+        for (rel, src) in files {
+            scratch.write(rel, src);
+        }
+        scratch
+    }
+
+    fn write(&self, rel: &str, src: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("file path has a parent"))
+            .expect("create source dir");
+        fs::write(path, src).expect("write source file");
+    }
+
+    fn lint(&self, use_cache: bool) -> Report {
+        lint_workspace_cached(&self.root, 1, use_cache).expect("scratch workspace lints")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn render(report: &Report) -> String {
+    report
+        .diagnostics
+        .iter()
+        .map(ppatc_lint::Diagnostic::json)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+const FAB_ENERGY: &str = "pub fn per_wafer_energy_joules(energy_joules: f64) -> f64 {\n\
+                          \x20   energy_joules * 1.05\n\
+                          }\n";
+
+const CORE_CALLS_FAB_WITH_TIME: &str = "pub fn embodied_joules(delay_ns: f64) -> f64 {\n\
+     \x20   ppatc_fab::per_wafer_energy_joules(delay_ns)\n\
+     }\n";
+
+#[test]
+fn dimension_mismatch_crosses_crate_boundaries() {
+    let ws = Scratch::new(&[
+        ("crates/fab/src/lib.rs", FAB_ENERGY),
+        ("crates/core/src/lib.rs", CORE_CALLS_FAB_WITH_TIME),
+    ]);
+    let report = ws.lint(false);
+    let pl006: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "PL006")
+        .collect();
+    assert_eq!(pl006.len(), 1, "diagnostics: {}", render(&report));
+    assert!(
+        pl006[0].path.contains("core"),
+        "finding should anchor at the call site: {}",
+        pl006[0].path
+    );
+    assert!(
+        pl006[0].message.contains("defined in crates/fab"),
+        "message should cite the callee's crate: {}",
+        pl006[0].message
+    );
+}
+
+#[test]
+fn panic_reachability_reports_a_cross_crate_witness_path() {
+    let ws = Scratch::new(&[
+        (
+            "crates/fab/src/lib.rs",
+            "pub fn nearest(x: f64) -> f64 {\n\
+             \x20   let v: Option<f64> = Some(x);\n\
+             \x20   v.unwrap()\n\
+             }\n",
+        ),
+        (
+            "crates/core/src/lib.rs",
+            "#[must_use = \"handle the fit result\"]\n\
+             pub fn try_fit(x: f64) -> Result<f64, ()> {\n\
+             \x20   Ok(ppatc_fab::nearest(x))\n\
+             }\n",
+        ),
+    ]);
+    let report = ws.lint(false);
+    let pl009: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "PL009")
+        .collect();
+    assert_eq!(pl009.len(), 1, "diagnostics: {}", render(&report));
+    assert!(
+        pl009[0].message.contains("nearest [fab]"),
+        "witness path should annotate the crate hop: {}",
+        pl009[0].message
+    );
+}
+
+#[test]
+fn wall_clock_taint_flows_through_helper_fns() {
+    let ws = Scratch::new(&[(
+        "crates/core/src/lib.rs",
+        "pub fn elapsed_portion(t0: std::time::Instant) -> f64 {\n\
+         \x20   t0.elapsed().as_secs_f64()\n\
+         }\n\
+         \n\
+         pub fn leaked(t0: std::time::Instant, power_watts: f64) -> ppatc_units::Energy {\n\
+         \x20   ppatc_units::Energy::from_joules(elapsed_portion(t0) * power_watts)\n\
+         }\n",
+    )]);
+    let report = ws.lint(false);
+    assert!(
+        report.diagnostics.iter().any(|d| d.code == "PL011"),
+        "expected PL011 through the helper: {}",
+        render(&report)
+    );
+}
+
+#[test]
+fn warm_cache_run_is_byte_identical_to_cold() {
+    let ws = Scratch::new(&[
+        ("crates/fab/src/lib.rs", FAB_ENERGY),
+        ("crates/core/src/lib.rs", CORE_CALLS_FAB_WITH_TIME),
+    ]);
+    let cold = ws.lint(true);
+    assert_eq!(cold.cache_hits, 0, "first run must analyze everything");
+    let warm = ws.lint(true);
+    assert_eq!(
+        warm.cache_hits, warm.files,
+        "unchanged rerun should hit on every file"
+    );
+    assert_eq!(render(&cold), render(&warm));
+    assert_eq!(cold.suppressed, warm.suppressed);
+    assert!(
+        ws.root.join("target/ppatc-lint.cache").is_file(),
+        "cache file should persist under target/"
+    );
+}
+
+#[test]
+fn editing_a_caller_invalidates_the_cached_cross_crate_finding() {
+    let ws = Scratch::new(&[
+        ("crates/fab/src/lib.rs", FAB_ENERGY),
+        ("crates/core/src/lib.rs", CORE_CALLS_FAB_WITH_TIME),
+    ]);
+    let cold = ws.lint(true);
+    assert!(
+        cold.diagnostics.iter().any(|d| d.code == "PL006"),
+        "seed workspace must carry the mismatch: {}",
+        render(&cold)
+    );
+
+    // Fix the call site: pass an energy where an energy is expected. A
+    // stale cache would keep reporting the old mismatch.
+    ws.write(
+        "crates/core/src/lib.rs",
+        "pub fn embodied_joules(heat_joules: f64) -> f64 {\n\
+         \x20   ppatc_fab::per_wafer_energy_joules(heat_joules)\n\
+         }\n",
+    );
+    let after = ws.lint(true);
+    assert!(
+        !after.diagnostics.iter().any(|d| d.code == "PL006"),
+        "edited workspace must be clean: {}",
+        render(&after)
+    );
+}
+
+#[test]
+fn editing_a_callee_signature_propagates_to_cached_callers() {
+    let ws = Scratch::new(&[
+        (
+            "crates/fab/src/lib.rs",
+            "pub fn scale(raw: f64) -> f64 {\n\x20   raw * 1.05\n}\n",
+        ),
+        (
+            "crates/core/src/lib.rs",
+            "pub fn embodied_joules(delay_ns: f64) -> f64 {\n\
+             \x20   ppatc_fab::scale(delay_ns)\n\
+             }\n",
+        ),
+    ]);
+    let cold = ws.lint(true);
+    assert!(
+        !cold.diagnostics.iter().any(|d| d.code == "PL006"),
+        "undimensioned callee cannot mismatch: {}",
+        render(&cold)
+    );
+
+    // Give the callee a dimensioned parameter. Only fab's file changes on
+    // disk, but the caller's cached verdict must be re-derived: the
+    // neighborhood invalidation has to reach core via the call edge.
+    ws.write(
+        "crates/fab/src/lib.rs",
+        "pub fn scale(energy_joules: f64) -> f64 {\n\x20   energy_joules * 1.05\n}\n",
+    );
+    let after = ws.lint(true);
+    assert!(
+        after.diagnostics.iter().any(|d| d.code == "PL006"),
+        "caller must now mismatch against the new signature: {}",
+        render(&after)
+    );
+}
+
+/// The CLI end of the same invariants: `--json` output carries the schema
+/// version, pins the finding shape byte-for-byte, and a warm cached run
+/// prints exactly what the cold run printed.
+#[test]
+fn cli_json_output_is_schema_versioned_and_cache_stable() {
+    let ws = Scratch::new(&[(
+        "crates/device/src/lib.rs",
+        "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    )]);
+    let run = |extra: &[&str]| {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_ppatc-lint"));
+        cmd.arg("--root").arg(&ws.root).arg("--json");
+        for a in extra {
+            cmd.arg(a);
+        }
+        let out = cmd.output().expect("run ppatc-lint");
+        (
+            out.status.code(),
+            String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        )
+    };
+
+    let (code, uncached) = run(&["--no-cache"]);
+    assert_eq!(code, Some(1), "a deny finding must fail the run");
+    assert_eq!(
+        uncached,
+        "{\"schema\":2,\"findings\":[{\"code\":\"PL002\",\"rule\":\"panic-in-lib\",\
+         \"severity\":\"deny\",\"path\":\"crates/device/src/lib.rs\",\"line\":1,\"col\":37,\
+         \"message\":\"`.unwrap()` in non-test library code; document a `# Panics` \
+         contract on `fn f` or return a Result\"}]}\n"
+    );
+
+    let (_, cold) = run(&[]);
+    let (_, warm) = run(&[]);
+    assert_eq!(cold, uncached, "cache must not change the report");
+    assert_eq!(warm, cold, "warm output must be byte-identical to cold");
+}
+
+/// Scratch-workspace determinism rules fire exactly like the real run:
+/// jobs=1 vs jobs=4 and cold vs warm all render identically.
+#[test]
+fn scratch_workspace_report_is_worker_count_invariant() {
+    let ws = Scratch::new(&[
+        ("crates/fab/src/lib.rs", FAB_ENERGY),
+        ("crates/core/src/lib.rs", CORE_CALLS_FAB_WITH_TIME),
+        (
+            "crates/device/src/lib.rs",
+            "use std::collections::HashMap;\n\
+             pub fn keys_of(m: &HashMap<String, u32>) -> Vec<String> {\n\
+             \x20   m.keys().cloned().collect()\n\
+             }\n",
+        ),
+    ]);
+    let serial = lint_workspace_cached(&ws.root, 1, false).expect("serial");
+    let parallel = lint_workspace_cached(&ws.root, 4, false).expect("parallel");
+    assert!(
+        serial.diagnostics.iter().any(|d| d.code == "PL010"),
+        "hash-order escape must fire: {}",
+        render(&serial)
+    );
+    assert_eq!(render(&serial), render(&parallel));
+}

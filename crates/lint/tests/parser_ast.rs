@@ -94,6 +94,46 @@ fn struct_literals_are_disabled_in_condition_position() {
     );
 }
 
+#[test]
+fn golden_nested_closures_capturing_mut() {
+    // A closure stored in a `let mut` binding whose body contains a second
+    // closure over the same captured `&mut` environment — the shape the
+    // determinism pass walks when classifying sink writes inside closures.
+    assert_eq!(
+        ast_of(
+            "fn a(xs: &mut Vec<f64>, xs2: &mut Vec<f64>) { \
+             let mut push = |v: f64| xs.iter().for_each(|x| xs2.push(x + v)); \
+             push(1.0); }"
+        ),
+        "(let push = (closure |v| (method (method (path xs) .iter) .for_each \
+         (closure |x| (method (path xs2) .push (+ (path x) (path v))))))) \
+         (call (path push) (lit 1.0));"
+    );
+}
+
+#[test]
+fn golden_loop_with_break_value() {
+    // `break` carrying a value out of a bare `loop` used as a `let` init.
+    assert_eq!(
+        ast_of("fn b(n: u32) -> u32 { let v = loop { if n > 3 { break n * 2; } }; v }"),
+        "(let v = (loop (if (> (path n) (lit 3)) then (break (* (path n) (lit 2)));))) (path v)"
+    );
+}
+
+#[test]
+fn golden_match_guard_on_binding_pattern() {
+    // A guard over a pattern binding: the guard expression and every arm
+    // body must all survive as walkable expressions.
+    assert_eq!(
+        ast_of(
+            "fn c(o: Option<u32>) -> u32 { \
+             match o { Some(n) if n % 2 == 0 => n, Some(n) => n + 1, None => 0 } }"
+        ),
+        "(match (path o) (== (% (path n) (lit 2)) (lit 0)) (path n) \
+         (+ (path n) (lit 1)) (lit 0))"
+    );
+}
+
 /// Every fn body in the actual workspace must parse without issues. This
 /// is the property that keeps PL006–PL009 trustworthy: an unparsed body
 /// is an unanalyzed body.

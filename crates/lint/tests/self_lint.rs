@@ -40,6 +40,9 @@ fn rule_catalog_is_stable() {
             ("PL007", "unit-cast-roundtrip"),
             ("PL008", "unused-allow"),
             ("PL009", "panic-reachable-from-try"),
+            ("PL010", "hash-order-escape"),
+            ("PL011", "wall-clock-in-result"),
+            ("PL012", "float-reduction-order"),
         ]
     );
 }

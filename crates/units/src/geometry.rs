@@ -139,8 +139,63 @@ impl Area {
     }
 }
 
+quantity! {
+    /// A volume. Canonical unit: cubic metres.
+    ///
+    /// Used for the fab water-footprint extension: ultra-pure-water demand
+    /// is a few cubic metres per wafer, tracked per step in litres.
+    ///
+    /// ```
+    /// use ppatc_units::Volume;
+    /// let upw = Volume::from_litres(4200.0);
+    /// assert!((upw.as_cubic_meters() - 4.2).abs() < 1e-12);
+    /// ```
+    Volume, base = "m³", symbol = "m³"
+}
+
+impl Volume {
+    /// Creates a volume from cubic metres.
+    #[inline]
+    pub const fn from_cubic_meters(m3: f64) -> Self {
+        Self::new(m3)
+    }
+
+    /// Creates a volume from litres.
+    #[inline]
+    pub fn from_litres(l: f64) -> Self {
+        Self::new(l * 1e-3)
+    }
+
+    /// Creates a volume from millilitres.
+    #[inline]
+    pub fn from_millilitres(ml: f64) -> Self {
+        Self::new(ml * 1e-6)
+    }
+
+    /// Returns the volume in cubic metres.
+    #[inline]
+    pub const fn as_cubic_meters(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the volume in litres.
+    #[inline]
+    pub fn as_litres(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Returns the volume in millilitres.
+    #[inline]
+    pub fn as_millilitres(self) -> f64 {
+        self.value() * 1e6
+    }
+}
+
 quantity_product!(square Length => Area);
 quantity_quotient!(Area, Length => Length);
+quantity_product!(Area, Length => Volume);
+quantity_quotient!(Volume, Area => Length);
+quantity_quotient!(Volume, Length => Area);
 
 #[cfg(test)]
 mod tests {
@@ -172,5 +227,27 @@ mod tests {
         let a = Area::from_square_millimeters(6.0);
         let l = a / Length::from_millimeters(2.0);
         assert!(approx_eq(l.as_millimeters(), 3.0, 1e-12));
+    }
+
+    #[test]
+    fn volume_conversions_round_trip() {
+        let v = Volume::from_litres(2.5);
+        assert!(approx_eq(v.as_millilitres(), 2500.0, 1e-9));
+        assert!(approx_eq(v.as_cubic_meters(), 2.5e-3, 1e-15));
+        assert!(approx_eq(
+            Volume::from_millilitres(750.0).as_litres(),
+            0.75,
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn area_times_length_is_volume() {
+        let v = Area::from_square_meters(2.0) * Length::from_millimeters(500.0);
+        assert!(approx_eq(v.as_litres(), 1000.0, 1e-9));
+        let a = v / Length::from_millimeters(500.0);
+        assert!(approx_eq(a.as_square_meters(), 2.0, 1e-12));
+        let l = v / Area::from_square_meters(2.0);
+        assert!(approx_eq(l.as_millimeters(), 500.0, 1e-9));
     }
 }

@@ -42,7 +42,7 @@ mod time;
 pub use carbon::{CarbonArea, CarbonDelay, CarbonIntensity, CarbonMass, CarbonPerEnergyArea};
 pub use electrical::{Capacitance, Charge, Current, Resistance, Voltage};
 pub use energy::{Energy, EnergyArea, Power};
-pub use geometry::{Area, Length};
+pub use geometry::{Area, Length, Volume};
 pub use time::{Frequency, Time};
 
 /// Returns `true` when `a` and `b` agree to within relative tolerance `tol`

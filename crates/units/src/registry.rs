@@ -269,6 +269,19 @@ pub const REGISTRY: &[QuantitySpec] = &[
         ],
     },
     QuantitySpec {
+        type_name: "Volume",
+        symbol: "m³",
+        dim: DimVec::of(0, 0, 3, 0, 0, 0),
+        methods: &[
+            ctor("from_cubic_meters", "m³", 1.0),
+            ctor("from_litres", "L", 1e-3),
+            ctor("from_millilitres", "mL", 1e-6),
+            acc("as_cubic_meters", "m³", 1.0),
+            acc("as_litres", "L", 1e-3),
+            acc("as_millilitres", "mL", 1e-6),
+        ],
+    },
+    QuantitySpec {
         type_name: "CarbonMass",
         symbol: "gCO₂e",
         dim: DimVec::of(0, 0, 0, 1, 0, 0),
@@ -389,6 +402,7 @@ pub const PRODUCTS: &[(&str, &str, &str)] = &[
     ("Voltage", "Current", "Power"),
     ("Resistance", "Capacitance", "Time"),
     ("Length", "Length", "Area"),
+    ("Area", "Length", "Volume"),
 ];
 
 /// Dimensional quotients `A / B = C` implemented by this crate's `Div`
@@ -410,6 +424,8 @@ pub const QUOTIENTS: &[(&str, &str, &str)] = &[
     ("Voltage", "Current", "Resistance"),
     ("Voltage", "Resistance", "Current"),
     ("Area", "Length", "Length"),
+    ("Volume", "Area", "Length"),
+    ("Volume", "Length", "Area"),
 ];
 
 /// Methods that convert one quantity type into another without touching

@@ -8,7 +8,7 @@
 use ppatc_units::registry::{MethodRole, REGISTRY};
 use ppatc_units::{
     approx_eq, Area, Capacitance, CarbonArea, CarbonDelay, CarbonIntensity, CarbonMass, Charge,
-    Current, Energy, EnergyArea, Frequency, Length, Power, Resistance, Time, Voltage,
+    Current, Energy, EnergyArea, Frequency, Length, Power, Resistance, Time, Voltage, Volume,
 };
 
 /// Calls `Type::method(raw)` for a registered constructor and returns the
@@ -43,6 +43,9 @@ fn construct(type_name: &str, method: &str, raw: f64) -> Option<f64> {
         ("Area", "from_square_centimeters") => Area::from_square_centimeters(raw).value(),
         ("Area", "from_square_millimeters") => Area::from_square_millimeters(raw).value(),
         ("Area", "from_square_micrometers") => Area::from_square_micrometers(raw).value(),
+        ("Volume", "from_cubic_meters") => Volume::from_cubic_meters(raw).value(),
+        ("Volume", "from_litres") => Volume::from_litres(raw).value(),
+        ("Volume", "from_millilitres") => Volume::from_millilitres(raw).value(),
         ("CarbonMass", "from_grams") => CarbonMass::from_grams(raw).value(),
         ("CarbonMass", "from_kilograms") => CarbonMass::from_kilograms(raw).value(),
         ("CarbonMass", "from_tonnes") => CarbonMass::from_tonnes(raw).value(),
@@ -94,6 +97,9 @@ fn access(type_name: &str, method: &str, canonical: f64) -> Option<f64> {
         ("Area", "as_square_centimeters") => Area::new(canonical).as_square_centimeters(),
         ("Area", "as_square_millimeters") => Area::new(canonical).as_square_millimeters(),
         ("Area", "as_square_micrometers") => Area::new(canonical).as_square_micrometers(),
+        ("Volume", "as_cubic_meters") => Volume::new(canonical).as_cubic_meters(),
+        ("Volume", "as_litres") => Volume::new(canonical).as_litres(),
+        ("Volume", "as_millilitres") => Volume::new(canonical).as_millilitres(),
         ("CarbonMass", "as_grams") => CarbonMass::new(canonical).as_grams(),
         ("CarbonMass", "as_kilograms") => CarbonMass::new(canonical).as_kilograms(),
         ("CarbonMass", "as_tonnes") => CarbonMass::new(canonical).as_tonnes(),
@@ -164,6 +170,7 @@ fn registry_covers_every_exported_quantity_type() {
         "Frequency",
         "Length",
         "Area",
+        "Volume",
         "CarbonMass",
         "CarbonIntensity",
         "CarbonArea",
@@ -180,5 +187,5 @@ fn registry_covers_every_exported_quantity_type() {
             "{expected} missing from REGISTRY"
         );
     }
-    assert_eq!(names.len(), 17, "unexpected registry size: {names:?}");
+    assert_eq!(names.len(), 18, "unexpected registry size: {names:?}");
 }
