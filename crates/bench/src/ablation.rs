@@ -33,7 +33,12 @@ pub fn facility_overhead() -> Vec<(Technology, f64, f64, f64)> {
                 .embodied_per_wafer(tech, grid::US)
                 .total()
                 .as_kilograms();
-            (tech, without, with, (with - without) / with)
+            let share = if with > 0.0 {
+                (with - without) / with
+            } else {
+                0.0
+            };
+            (tech, without, with, share)
         })
         .collect()
 }
@@ -105,7 +110,8 @@ pub fn euv_sensitivity() -> Vec<(f64, f64, f64, f64)> {
                 .embodied_per_wafer(Technology::M3dIgzoCnfetSi, grid::US)
                 .total()
                 .as_kilograms();
-            (scale, si, m3d, m3d / si)
+            let ratio = if si > 0.0 { m3d / si } else { 0.0 };
+            (scale, si, m3d, ratio)
         })
         .collect()
 }

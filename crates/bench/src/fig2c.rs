@@ -49,7 +49,11 @@ pub fn average_overhead() -> f64 {
         sum += pair[1].total_kg / pair[0].total_kg;
         n += 1.0;
     }
-    sum / n
+    if n > 0.0 {
+        sum / n
+    } else {
+        0.0
+    }
 }
 
 /// Renders the figure's data.

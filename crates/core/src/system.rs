@@ -224,6 +224,14 @@ impl SystemDesign {
     pub fn die(&self) -> DieSpec {
         let a = self.area().as_square_meters();
         let w = (a / DIE_ASPECT).sqrt();
+        if w <= 0.0 {
+            // Degenerate zero-area floorplan: a zero die outline, not a
+            // 0/0 NaN that would poison every downstream wafer count.
+            return DieSpec::new(
+                ppatc_units::Length::from_meters(0.0),
+                ppatc_units::Length::from_meters(0.0),
+            );
+        }
         let h = a / w;
         DieSpec::new(
             ppatc_units::Length::from_meters(w),

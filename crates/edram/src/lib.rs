@@ -255,8 +255,15 @@ impl EdramMacro {
             return Power::zero();
         }
         let period = self.retention * 0.5;
+        let secs = period.as_seconds();
+        if secs <= 0.0 {
+            // Characterization never yields a non-positive retention; if
+            // one is constructed anyway, report no refresh rather than an
+            // infinite power that poisons every downstream total.
+            return Power::zero();
+        }
         let words = self.organization.words() as f64;
-        let refreshes_per_second = words / period.as_seconds();
+        let refreshes_per_second = words / secs;
         Power::from_watts(self.access_energy.total().as_joules() * refreshes_per_second)
     }
 

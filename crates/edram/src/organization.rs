@@ -105,10 +105,11 @@ impl Organization {
         self.subarray_bytes / (self.word_bits / 8)
     }
 
-    /// Rows per (square-ish) sub-array mat.
+    /// Rows per (square-ish) sub-array mat. A mat always has at least one
+    /// row, so [`Self::subarray_cols`] never divides by zero.
     pub fn subarray_rows(&self) -> u32 {
         let bits = self.subarray_bytes * 8;
-        (f64::from(bits)).sqrt().round() as u32
+        ((f64::from(bits)).sqrt().round() as u32).max(1)
     }
 
     /// Bit columns per sub-array mat.

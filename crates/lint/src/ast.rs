@@ -357,10 +357,14 @@ pub enum Expr {
         /// Position.
         span: Span,
     },
-    /// A macro invocation `name!(..)`; the token soup inside is dropped.
+    /// A macro invocation `name!(..)`; the token soup inside is dropped,
+    /// except for `assert!`/`debug_assert!`, whose condition argument is
+    /// kept for guard refinement in the interval pass.
     Macro {
         /// Macro path (`format`, `vec`, `ppatc_units :: x`).
         name: String,
+        /// The parsed condition of an `assert!`-family invocation.
+        cond: Option<Box<Expr>>,
         /// Position.
         span: Span,
     },

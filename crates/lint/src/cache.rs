@@ -7,11 +7,13 @@
 //! file:
 //!
 //! * the FNV-1a hash of the source text,
-//! * the pre-suppression per-file findings (everything except PL008 and
-//!   PL009, which are recomputed at every assembly),
-//! * the call-graph [`FnSummary`]s (panic sites, calls, imports — enough
-//!   to rerun PL009 and name resolution without re-parsing),
-//! * the converged dimensional summaries ([`FnDim`]),
+//! * the pre-suppression per-file findings (everything except PL008,
+//!   PL009, and PL016, which are recomputed at every assembly),
+//! * the call-graph [`FnSummary`]s (panic sites, calls, imports, and the
+//!   concurrency facts behind PL016 — enough to rerun PL009/PL016 and
+//!   name resolution without re-parsing),
+//! * the converged dimensional summaries ([`FnDim`]), including each
+//!   fn's return-value interval from the range fixed point,
 //! * the suppression directives and windows,
 //! * the file-level dependency neighborhood (callees *and* callers).
 //!
@@ -31,9 +33,11 @@
 //! patterns, so a warm report is byte-identical to a cold one.
 
 use crate::callgraph::{CallRef, FnSummary, PanicSite};
+use crate::concurrency::{ConcFacts, SharedSite, WorkerCall};
 use crate::diag::Diagnostic;
 use crate::source::{AllowDirective, UseItem};
 use crate::summaries::{AbsVal, FnDim};
+use crate::vals::Range;
 use crate::FileAnalysis;
 use ppatc_units::registry::DimVec;
 use std::fs;
@@ -41,7 +45,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Format version; bump on any schema change.
-const VERSION: &str = "ppatc-lint-cache v1";
+const VERSION: &str = "ppatc-lint-cache v2";
 
 /// FNV-1a offset basis (64-bit).
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -223,6 +227,38 @@ fn dec_absval(s: &str) -> Option<AbsVal> {
     })
 }
 
+/// Encodes a [`Range`] as `lo:hi:nan:float:nonzero` with bit-exact hex
+/// bounds, so warm reports stay byte-identical to cold ones.
+fn enc_range(r: &Range) -> String {
+    format!(
+        "{:016x}:{:016x}:{}:{}:{}",
+        r.lo.to_bits(),
+        r.hi.to_bits(),
+        u8::from(r.nan),
+        u8::from(r.float),
+        u8::from(r.nonzero),
+    )
+}
+
+fn dec_range(s: &str) -> Option<Range> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 5 {
+        return None;
+    }
+    let flag = |f: &str| match f {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    };
+    Some(Range {
+        lo: f64::from_bits(u64::from_str_radix(parts[0], 16).ok()?),
+        hi: f64::from_bits(u64::from_str_radix(parts[1], 16).ok()?),
+        nan: flag(parts[2])?,
+        float: flag(parts[3])?,
+        nonzero: flag(parts[4])?,
+    })
+}
+
 // --- writing ----------------------------------------------------------------
 
 /// Serializes and atomically writes the cache. Best-effort: callers
@@ -294,7 +330,33 @@ pub(crate) fn store(root: &Path, shape: u64, entries: &[Entry]) -> std::io::Resu
                 }
                 out.push('\n');
             }
-            out.push_str(&format!("dim\t{}", enc_absval(&fd.ret)));
+            for (kind, sites) in [("s", &s.conc.shared), ("w", &s.conc.worker_shared)] {
+                for site in sites {
+                    out.push_str(&format!(
+                        "shr\t{kind}\t{}\t{}\t{}\n",
+                        esc(&site.name),
+                        site.line,
+                        site.col
+                    ));
+                }
+            }
+            for c in &s.conc.worker_calls {
+                out.push_str(&format!(
+                    "wcal\t{}\t{}\t{}",
+                    c.line,
+                    c.col,
+                    u8::from(c.call.is_method)
+                ));
+                for seg in &c.call.segs {
+                    out.push_str(&format!("\t{}", esc(seg)));
+                }
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "dim\t{}\t{}",
+                enc_absval(&fd.ret),
+                enc_range(&fd.ret_range)
+            ));
             for p in &fd.params {
                 out.push_str(&format!("\t{}", enc_absval(p)));
             }
@@ -434,6 +496,7 @@ fn parse(text: &str) -> Option<CacheFile> {
                     has_self: fields[6] == "1",
                     panics: Vec::new(),
                     calls: Vec::new(),
+                    conc: ConcFacts::default(),
                     uses: uses.clone(),
                 });
             }
@@ -469,17 +532,61 @@ fn parse(text: &str) -> Option<CacheFile> {
                         is_method: fields[1] == "1",
                     });
             }
+            "shr" => {
+                if fields.len() != 5 {
+                    return None;
+                }
+                let site = SharedSite {
+                    name: unesc(fields[2])?,
+                    line: fields[3].parse().ok()?,
+                    col: fields[4].parse().ok()?,
+                };
+                let conc = &mut entries.last_mut()?.summaries.last_mut()?.conc;
+                match fields[1] {
+                    "s" => conc.shared.push(site),
+                    "w" => conc.worker_shared.push(site),
+                    _ => return None,
+                }
+            }
+            "wcal" => {
+                if fields.len() < 5 {
+                    return None;
+                }
+                let mut segs = Vec::with_capacity(fields.len() - 4);
+                for f in &fields[4..] {
+                    segs.push(unesc(f)?);
+                }
+                entries
+                    .last_mut()?
+                    .summaries
+                    .last_mut()?
+                    .conc
+                    .worker_calls
+                    .push(WorkerCall {
+                        call: CallRef {
+                            segs,
+                            is_method: fields[3] == "1",
+                        },
+                        line: fields[1].parse().ok()?,
+                        col: fields[2].parse().ok()?,
+                    });
+            }
             "dim" => {
-                if fields.len() < 2 {
+                if fields.len() < 3 {
                     return None;
                 }
                 let ret = dec_absval(fields[1])?;
-                let mut params = Vec::with_capacity(fields.len() - 2);
-                for f in &fields[2..] {
+                let ret_range = dec_range(fields[2])?;
+                let mut params = Vec::with_capacity(fields.len() - 3);
+                for f in &fields[3..] {
                     params.push(dec_absval(f)?);
                 }
                 let entry = entries.last_mut()?;
-                entry.dims.push(FnDim { params, ret });
+                entry.dims.push(FnDim {
+                    params,
+                    ret,
+                    ret_range,
+                });
                 if entry.dims.len() > entry.summaries.len() {
                     return None;
                 }
@@ -524,6 +631,40 @@ mod tests {
         for v in &vals {
             assert_eq!(dec_absval(&enc_absval(v)).as_ref(), Some(v));
         }
+    }
+
+    #[test]
+    fn range_roundtrip_is_bit_exact() {
+        let vals = [
+            Range::TOP,
+            Range::point(0.0),
+            Range::point(-0.0),
+            Range {
+                lo: 1e-300,
+                hi: f64::INFINITY,
+                nan: false,
+                float: true,
+                nonzero: true,
+            },
+            Range {
+                lo: f64::NEG_INFINITY,
+                hi: -3.5,
+                nan: true,
+                float: true,
+                nonzero: false,
+            },
+        ];
+        for v in &vals {
+            let back = dec_range(&enc_range(v)).expect("roundtrip");
+            assert_eq!(back.lo.to_bits(), v.lo.to_bits());
+            assert_eq!(back.hi.to_bits(), v.hi.to_bits());
+            assert_eq!(
+                (back.nan, back.float, back.nonzero),
+                (v.nan, v.float, v.nonzero)
+            );
+        }
+        assert!(dec_range("0:0:0:0").is_none());
+        assert!(dec_range("zz:0:0:0:0").is_none());
     }
 
     #[test]

@@ -338,7 +338,7 @@ impl Walker<'_> {
                     self.walk(a, inner);
                 }
             }
-            Expr::Macro { name, span } => {
+            Expr::Macro { name, span, .. } => {
                 let bare = name.rsplit("::").next().unwrap_or(name);
                 if ctx.in_unordered_loop
                     && matches!(

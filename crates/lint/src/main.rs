@@ -163,6 +163,52 @@ fn explain(query: &str) -> Option<String> {
              which this rule exempts by name.",
             "while let Ok(x) = rx.recv() { sum += x; }  // arrival-order reduction",
         ),
+        "PL013" => (
+            "The interval pass tracks per-variable [lo, hi] ranges, seeded from \
+             literals, typed-unit accessors, and guard conditions, widened at \
+             loop back-edges, and propagated across fn boundaries through \
+             return-range summaries. A division whose divisor's interval \
+             provably admits zero yields ±inf or NaN that then flows into \
+             carbon totals unnoticed — guard with an ordered comparison \
+             (`if d > 0.0`) and return a typed error on the other branch.",
+            "let yield_frac = good as f64 / dies as f64;  // dies may be 0",
+        ),
+        "PL014" => (
+            "sqrt, ln, log10, and non-integer powf return NaN for negative \
+             arguments, and NaN propagates through every downstream sum \
+             without a panic — the worst failure mode for a model that \
+             promises reproducible totals. Clamp or guard the argument's \
+             range first; the pass exempts arguments it can prove \
+             non-negative (accessor results, squared values, abs).",
+            "let sigma = variance.sqrt();  // variance's interval reaches below 0",
+        ),
+        "PL015" => (
+            "`x == y` on floats is false for NaN even when both are NaN, and \
+             partial_cmp().unwrap() panics on it; both are latent landmines \
+             unless the operands are provably NaN-free. The interval pass \
+             proves NaN-freeness through guards (is_nan, is_finite, ordered \
+             comparisons) and accessor summaries; where it cannot, prefer \
+             f64::total_cmp or guard explicitly.",
+            "vals.sort_by(|a, b| a.partial_cmp(b).unwrap());  // NaN panics here",
+        ),
+        "PL016" => (
+            "A `static mut` touched from a thread::scope or par_map_indexed \
+             worker closure is a data race the borrow checker cannot see \
+             across unsafe blocks — and the race reaches across crates when \
+             the worker calls a helper that touches it transitively. The \
+             pass follows the whole-workspace call graph from every worker \
+             closure and reports a witness path to the shared state.",
+            "scope.spawn(|| unsafe { HITS += 1 });  // HITS is a static mut",
+        ),
+        "PL017" => (
+            "catch_unwind returning Err leaves everything the closure was \
+             mutating in a half-written state; silently reusing that state \
+             afterwards is how one poisoned sample corrupts a whole sweep. \
+             Wrapping the closure in AssertUnwindSafe is the workspace's \
+             explicit acknowledgment that the captured state is reset or \
+             discarded on unwind.",
+            "catch_unwind(|| { acc.push(run()?); })  // acc is half-written on panic",
+        ),
         _ => ("", ""),
     };
     let mut out = String::new();
@@ -231,7 +277,7 @@ fn main() -> ExitCode {
         // No timing or cache-hit counters here: --json output is
         // byte-identical across worker counts, runs, and cache states.
         let body: Vec<String> = report.diagnostics.iter().map(|d| d.json()).collect();
-        println!("{{\"schema\":2,\"findings\":[{}]}}", body.join(","));
+        println!("{{\"schema\":3,\"findings\":[{}]}}", body.join(","));
     } else {
         for d in &report.diagnostics {
             println!("{}", d.human());

@@ -1099,9 +1099,35 @@ impl<'a> Parser<'a> {
                 // Macro invocation `path!(..)` / `path![..]` / `path!{..}`.
                 if self.text(0) == "!" && matches!(self.text(1), "(" | "[" | "{") {
                     self.bump();
-                    self.skip_group();
+                    // `assert!`/`debug_assert!` guarantee their condition
+                    // holds downstream, so keep it as a parsed expression
+                    // for guard refinement; everything else stays soup.
+                    let last = segs.last().map_or("", String::as_str);
+                    let cond = if matches!(last, "assert" | "debug_assert") && self.text(0) == "("
+                    {
+                        let saved_no_struct = self.no_struct;
+                        self.no_struct = false;
+                        self.bump(); // `(`
+                        let c = self.expr(0);
+                        self.no_struct = saved_no_struct;
+                        // Skip the message arguments up to the matching `)`.
+                        let mut depth = 1usize;
+                        while !self.at_end() && depth > 0 {
+                            match self.text(0) {
+                                "(" | "[" | "{" => depth += 1,
+                                ")" | "]" | "}" => depth -= 1,
+                                _ => {}
+                            }
+                            self.bump();
+                        }
+                        Some(Box::new(c))
+                    } else {
+                        self.skip_group();
+                        None
+                    };
                     return Expr::Macro {
                         name: segs.join("::"),
+                        cond,
                         span,
                     };
                 }

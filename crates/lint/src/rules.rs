@@ -161,6 +161,53 @@ pub fn all() -> Vec<Rule> {
             // Computed by the determinism pass over parsed fn bodies.
             check: no_per_file_check,
         },
+        Rule {
+            code: "PL013",
+            name: "possible-div-by-zero",
+            severity: Severity::Deny,
+            describes: "division or remainder whose divisor's inferred interval \
+                        provably admits zero (flow-sensitive ranges seeded from \
+                        literals, guards, unit accessors, and return summaries)",
+            // Emitted by the interval pass at report assembly.
+            check: no_per_file_check,
+        },
+        Rule {
+            code: "PL014",
+            name: "float-domain-error",
+            severity: Severity::Deny,
+            describes: "sqrt/ln/log10/powf applied to an interval that provably \
+                        admits a negative argument, which evaluates to NaN",
+            // Emitted by the interval pass at report assembly.
+            check: no_per_file_check,
+        },
+        Rule {
+            code: "PL015",
+            name: "nan-unsafe-comparison",
+            severity: Severity::Warn,
+            describes: "float ==/!= or partial_cmp().unwrap() on values not provably \
+                        NaN-free; use f64::total_cmp or guard with is_nan/is_finite",
+            // Emitted by the interval pass at report assembly.
+            check: no_per_file_check,
+        },
+        Rule {
+            code: "PL016",
+            name: "shared-state-escape",
+            severity: Severity::Deny,
+            describes: "static mut (non-atomic shared mutable state) reachable from \
+                        thread::scope/par_map_indexed worker closures, directly or \
+                        through the cross-crate call graph",
+            // Computed over the whole-workspace call graph at assembly.
+            check: no_per_file_check,
+        },
+        Rule {
+            code: "PL017",
+            name: "unwind-boundary",
+            severity: Severity::Warn,
+            describes: "catch_unwind closures mutating captured state without an \
+                        AssertUnwindSafe acknowledgment (panic leaves it half-written)",
+            // Computed by the concurrency pass over parsed fn bodies.
+            check: no_per_file_check,
+        },
     ]
 }
 
@@ -239,6 +286,50 @@ pub(crate) fn panic_reachable_diag(path: &str, line: u32, col: u32, message: Str
         line,
         col,
         message,
+    }
+}
+
+/// Builds a diagnostic for a [`crate::vals::RangeFinding`] from the
+/// interval pass: PL013 for zero-admitting divisors, PL014 for float
+/// domain errors, PL015 for NaN-unsafe comparisons.
+pub(crate) fn range_finding_diag(path: &str, f: crate::vals::RangeFinding) -> Diagnostic {
+    let (code, rule, severity) = match f.kind {
+        crate::vals::RangeKind::DivByZero => ("PL013", "possible-div-by-zero", Severity::Deny),
+        crate::vals::RangeKind::DomainError => ("PL014", "float-domain-error", Severity::Deny),
+        crate::vals::RangeKind::NanComparison => {
+            ("PL015", "nan-unsafe-comparison", Severity::Warn)
+        }
+    };
+    Diagnostic {
+        code,
+        rule,
+        severity,
+        path: path.to_string(),
+        line: f.line,
+        col: f.col,
+        message: f.message,
+    }
+}
+
+/// Builds a diagnostic for a [`crate::concurrency::ConcFinding`]: PL016
+/// for shared-state escapes, PL017 for unwind boundaries.
+pub(crate) fn conc_finding_diag(path: &str, f: crate::concurrency::ConcFinding) -> Diagnostic {
+    let (code, rule, severity) = match f.kind {
+        crate::concurrency::ConcKind::SharedStateEscape => {
+            ("PL016", "shared-state-escape", Severity::Deny)
+        }
+        crate::concurrency::ConcKind::UnwindBoundary => {
+            ("PL017", "unwind-boundary", Severity::Warn)
+        }
+    };
+    Diagnostic {
+        code,
+        rule,
+        severity,
+        path: path.to_string(),
+        line: f.line,
+        col: f.col,
+        message: f.message,
     }
 }
 

@@ -26,12 +26,17 @@ use crate::ast::Block;
 use crate::callgraph::{CallRef, FnSummary};
 use crate::dims::{self, Finding, FindingKind, Val};
 use crate::source::FnItem;
+use crate::vals::{self, Range, RangeFinding};
 use ppatc_units::registry::{spec_of, DimVec};
 use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Maximum Jacobi rounds before the engine settles for the current state.
 const MAX_ROUNDS: usize = 8;
+
+/// Maximum rounds for the interval pass (return ranges propagate along
+/// call chains one level per round; workspace chains are shallow).
+const RANGE_ROUNDS: usize = 4;
 
 /// A serializable abstract value (the owned mirror of [`dims`]' `Val`,
 /// without literal payloads — summaries describe units, not magnitudes).
@@ -92,6 +97,9 @@ pub struct FnDim {
     pub params: Vec<AbsVal>,
     /// The abstract return value.
     pub ret: AbsVal,
+    /// The inferred numeric range of the return value (the interval
+    /// pass's interprocedural summary; [`Range::TOP`] when unknown).
+    pub ret_range: Range,
 }
 
 /// The body of one analyzable fn, borrowed from the per-file stage.
@@ -168,6 +176,7 @@ impl<'a> Engine<'a> {
             dims.push(FnDim {
                 params,
                 ret: AbsVal::Unknown,
+                ret_range: Range::TOP,
             });
         }
         let evidence = dims.iter().map(|d| vec![None; d.params.len()]).collect();
@@ -254,6 +263,56 @@ impl<'a> Engine<'a> {
                 break;
             }
         }
+        // Interval rounds: propagate return ranges along resolved call
+        // chains (findings discarded; the final check pass reports
+        // against the converged ranges).
+        let mut scratch = Vec::new();
+        for _ in 0..RANGE_ROUNDS {
+            let mut changed = false;
+            for i in 0..self.summaries.len() {
+                let Some(body) = &self.bodies[i] else {
+                    continue;
+                };
+                scratch.clear();
+                let oracle = RangeOracle {
+                    engine: self,
+                    caller: i,
+                };
+                let ret = vals::eval_fn(
+                    vals::seed_params(body.item),
+                    body.block,
+                    Some(&oracle),
+                    &mut scratch,
+                );
+                let mut dims = self.dims.borrow_mut();
+                if dims[i].ret_range != ret {
+                    dims[i].ret_range = ret;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// The final interval pass over one fn: evaluates its body with the
+    /// converged range summaries, emitting PL013/PL014/PL015 findings.
+    pub fn check_ranges(&self, i: usize) -> Vec<RangeFinding> {
+        let mut out = Vec::new();
+        if let Some(body) = &self.bodies[i] {
+            let oracle = RangeOracle {
+                engine: self,
+                caller: i,
+            };
+            vals::eval_fn(
+                vals::seed_params(body.item),
+                body.block,
+                Some(&oracle),
+                &mut out,
+            );
+        }
+        out
     }
 
     /// The final pass over one fn: evaluates its body with the converged
@@ -343,6 +402,28 @@ impl dims::Inter for Oracle<'_, '_> {
 impl Oracle<'_, '_> {
     fn caller_crate(&self) -> &str {
         &self.engine.summaries[self.caller].crate_name
+    }
+}
+
+/// The per-caller [`vals::Inter`] adapter: resolves a call to the
+/// callee's current return-range iterate. Registry constructor paths are
+/// left to [`vals`]' own transfer functions; everything unresolved stays
+/// top.
+struct RangeOracle<'e, 'a> {
+    engine: &'e Engine<'a>,
+    caller: usize,
+}
+
+impl vals::Inter for RangeOracle<'_, '_> {
+    fn ret_range(&self, segs: &[String], is_method: bool) -> Range {
+        let call = CallRef {
+            segs: segs.to_vec(),
+            is_method,
+        };
+        let Some(j) = self.engine.table.resolve(self.caller, &call) else {
+            return Range::TOP;
+        };
+        self.engine.dims.borrow()[j].ret_range
     }
 }
 

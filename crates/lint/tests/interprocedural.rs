@@ -256,7 +256,7 @@ fn cli_json_output_is_schema_versioned_and_cache_stable() {
     assert_eq!(code, Some(1), "a deny finding must fail the run");
     assert_eq!(
         uncached,
-        "{\"schema\":2,\"findings\":[{\"code\":\"PL002\",\"rule\":\"panic-in-lib\",\
+        "{\"schema\":3,\"findings\":[{\"code\":\"PL002\",\"rule\":\"panic-in-lib\",\
          \"severity\":\"deny\",\"path\":\"crates/device/src/lib.rs\",\"line\":1,\"col\":37,\
          \"message\":\"`.unwrap()` in non-test library code; document a `# Panics` \
          contract on `fn f` or return a Result\"}]}\n"

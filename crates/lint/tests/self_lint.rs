@@ -43,6 +43,11 @@ fn rule_catalog_is_stable() {
             ("PL010", "hash-order-escape"),
             ("PL011", "wall-clock-in-result"),
             ("PL012", "float-reduction-order"),
+            ("PL013", "possible-div-by-zero"),
+            ("PL014", "float-domain-error"),
+            ("PL015", "nan-unsafe-comparison"),
+            ("PL016", "shared-state-escape"),
+            ("PL017", "unwind-boundary"),
         ]
     );
 }

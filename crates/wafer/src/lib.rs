@@ -153,6 +153,10 @@ impl WaferSpec {
         let d_eff = self.diameter.as_millimeters() - self.edge_clearance.as_millimeters();
         let s = self.scribe.as_millimeters();
         let site = (die.width.as_millimeters() + s) * (die.height.as_millimeters() + s);
+        if site <= 0.0 {
+            // A zero-area die site fits nowhere (and would divide by zero).
+            return 0;
+        }
         let gross = core::f64::consts::PI * d_eff * d_eff / (4.0 * site)
             - core::f64::consts::PI * d_eff / (2.0 * site).sqrt();
         if gross.is_finite() && gross > 0.0 {
