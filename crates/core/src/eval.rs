@@ -102,6 +102,70 @@ where
     all.into_iter().flat_map(|(_, run)| run).collect()
 }
 
+/// Batched [`par_map_indexed`]: instead of one call per index, `f(start,
+/// end)` evaluates the half-open index range `[start, end)` in one pass and
+/// returns exactly `end - start` results.
+///
+/// **Contract:** `f(start, end)` must be bit-identical to
+/// `(start..end).map(per_index).collect()` for the per-index function it
+/// batches — chunk boundaries differ between worker counts, so any
+/// cross-item coupling inside a batch would break the engine's
+/// byte-identical-for-any-worker-count guarantee. Batch implementations
+/// may hoist work that is constant across items (the hoisted values are
+/// the same ones a per-index evaluation would recompute), but must not
+/// reassociate per-item arithmetic.
+///
+/// `jobs <= 1` runs inline, feeding `f` ranges of at most [`MAX_CHUNK`]
+/// items so batch buffers stay cache-sized.
+pub fn par_map_indexed_batched<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> Vec<T> + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        let mut start = 0;
+        while start < n {
+            let end = (start + MAX_CHUNK).min(n);
+            let run = f(start, end);
+            debug_assert_eq!(run.len(), end - start, "batch returned a wrong-size run");
+            out.extend(run);
+            start = end;
+        }
+        return out;
+    }
+    let chunk = (n / (jobs * 8)).clamp(MIN_CHUNK, MAX_CHUNK);
+    let next = AtomicUsize::new(0);
+    let runs: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, Vec<T>)> = Vec::new();
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    let run = f(start, end);
+                    debug_assert_eq!(run.len(), end - start, "batch returned a wrong-size run");
+                    local.push((start, run));
+                }
+                if let Ok(mut all) = runs.lock() {
+                    all.append(&mut local);
+                }
+            });
+        }
+    });
+    let mut all = match runs.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    all.sort_by_key(|(start, _)| *start);
+    all.into_iter().flat_map(|(_, run)| run).collect()
+}
+
 /// A cooperative cancellation handle: clone it, hand one clone to a
 /// [`RunBudget`], and call [`CancelToken::cancel`] from any thread (a
 /// signal handler, a UI, a watchdog) to stop supervised runs at their next
@@ -429,6 +493,130 @@ where
     Ok(all.into_iter().flat_map(|(_, run)| run).collect())
 }
 
+/// The batched supervised engine: like [`supervised_map`], but a chunk
+/// whose items are all fresh (nothing preloaded from the journal) is
+/// evaluated in one `f_batch(start, end)` call. Chunks that mix preloaded
+/// and fresh items — and batches that panic or return a wrong-size run —
+/// fall back to the per-item `f_item` path, so failure classification
+/// (which index panicked) is identical to the scalar engine.
+///
+/// `f_batch(start, end)` must be bit-identical to
+/// `(start..end).map(f_item).collect()`; see [`par_map_indexed_batched`].
+fn supervised_map_batched<T, FI, FB, J>(
+    n: usize,
+    jobs: usize,
+    budget: &RunBudget,
+    journal: &J,
+    f_item: FI,
+    f_batch: FB,
+) -> Result<Vec<Result<T, PpatcError>>, PpatcError>
+where
+    T: Send,
+    FI: Fn(usize) -> T + Sync,
+    FB: Fn(usize, usize) -> Vec<T> + Sync,
+    J: JournalHooks<T>,
+{
+    type ChunkRuns<T> = Vec<(usize, Vec<Result<T, PpatcError>>)>;
+    let jobs = jobs.max(1).min(n.max(1));
+    let chunk = (n / (jobs * 8).max(1)).clamp(MIN_CHUNK, MAX_CHUNK);
+    let next = AtomicUsize::new(0);
+    let runs: Mutex<ChunkRuns<T>> = Mutex::new(Vec::new());
+    let interrupted: Mutex<Option<InterruptReason>> = Mutex::new(None);
+    let fault: Mutex<Option<PpatcError>> = Mutex::new(None);
+
+    // Per-item evaluation with the same unwind boundary as the scalar
+    // engine; used for mixed chunks and as the fallback when a batch
+    // misbehaves. Soundness of AssertUnwindSafe: each item is a pure
+    // function of its index over read-only inputs.
+    let eval_item = |i: usize| -> Result<T, PpatcError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f_item(i)))
+            .map_err(|_| PpatcError::WorkerPanic { index: i })
+    };
+
+    let worker = || {
+        let mut local: ChunkRuns<T> = Vec::new();
+        loop {
+            if slot_is_set(&interrupted) || slot_is_set(&fault) {
+                break;
+            }
+            if let Err(reason) = budget.check() {
+                set_slot_once(&interrupted, reason);
+                break;
+            }
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            let mut pre: Vec<Option<Result<T, PpatcError>>> =
+                (start..end).map(|i| journal.preloaded(i)).collect();
+            let all_fresh = pre.iter().all(Option::is_none);
+            let mut run: Vec<Result<T, PpatcError>> = Vec::with_capacity(end - start);
+            let mut any_fresh = false;
+            if all_fresh {
+                any_fresh = end > start;
+                let batch =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f_batch(start, end)));
+                match batch {
+                    Ok(vals) if vals.len() == end - start => {
+                        run.extend(vals.into_iter().map(Ok));
+                    }
+                    // A panicking (or wrong-size) batch cannot tell us which
+                    // item is at fault; re-run the chunk item by item so the
+                    // guilty index is pinned exactly as the scalar engine
+                    // would pin it.
+                    _ => run.extend((start..end).map(&eval_item)),
+                }
+            } else {
+                for (offset, slot) in pre.iter_mut().enumerate() {
+                    match slot.take() {
+                        Some(item) => run.push(item),
+                        None => {
+                            any_fresh = true;
+                            run.push(eval_item(start + offset));
+                        }
+                    }
+                }
+            }
+            if any_fresh {
+                if let Err(e) = journal.append(start, &run) {
+                    set_slot_once(&fault, e);
+                }
+            }
+            local.push((start, run));
+        }
+        let mut all = lock_unpoisoned(&runs);
+        all.append(&mut local);
+    };
+
+    if jobs <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(worker);
+            }
+        });
+    }
+
+    let mut all = match runs.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    all.sort_by_key(|(start, _)| *start);
+    if let Some(e) = lock_unpoisoned(&fault).take() {
+        return Err(e);
+    }
+    if let Some(reason) = lock_unpoisoned(&interrupted).take() {
+        return Err(PpatcError::Interrupted {
+            reason,
+            completed: coalesce_completed(&all),
+            total: n,
+        });
+    }
+    Ok(all.into_iter().flat_map(|(_, run)| run).collect())
+}
+
 /// Supervised [`par_map_indexed`]: evaluates `f(i)` for every `i in 0..n`
 /// across `jobs` workers under `budget`, returning per-item results in
 /// index order.
@@ -497,6 +685,51 @@ where
                 });
             }
             supervised_map(n, jobs, budget, &WithJournal(j), f)
+        }
+    }
+}
+
+/// [`try_par_map_journaled`] with a batched fast path: chunks with no
+/// journaled items run through `f_batch(start, end)` in one call, while
+/// resume replay, mixed chunks, and misbehaving batches fall back to the
+/// per-item `f_item`. Both closures must agree bitwise (`f_batch(s, e)` ≡
+/// `(s..e).map(f_item).collect()`), so results — including which index a
+/// deterministic panic is pinned to — are byte-identical to
+/// [`try_par_map_journaled`] for any worker count.
+///
+/// # Errors
+///
+/// [`PpatcError::Interrupted`] when the budget stops the run,
+/// [`PpatcError::Checkpoint`] when the journal cannot be written or does
+/// not match the run.
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_par_map_journaled_batched<T, FI, FB>(
+    n: usize,
+    jobs: usize,
+    budget: &RunBudget,
+    journal: Option<&Journal>,
+    f_item: FI,
+    f_batch: FB,
+) -> Result<Vec<Result<T, PpatcError>>, PpatcError>
+where
+    T: Send + Checkpointable,
+    FI: Fn(usize) -> T + Sync,
+    FB: Fn(usize, usize) -> Vec<T> + Sync,
+{
+    match journal {
+        None => supervised_map_batched(n, jobs, budget, &NoJournal, f_item, f_batch),
+        Some(j) => {
+            j.require_width::<T>()?;
+            if j.spec().items != n {
+                return Err(PpatcError::Checkpoint {
+                    detail: format!(
+                        "journal {} spans {} items, but the run has {n}",
+                        j.path().display(),
+                        j.spec().items
+                    ),
+                });
+            }
+            supervised_map_batched(n, jobs, budget, &WithJournal(j), f_item, f_batch)
         }
     }
 }
@@ -745,6 +978,126 @@ mod tests {
             try_par_map_journaled(11, 1, &RunBudget::unlimited(), Some(&journal), |i| i as f64)
                 .expect_err("item count differs from the spec");
         assert!(matches!(err, PpatcError::Checkpoint { .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batched_map_is_bit_identical_to_per_index_for_any_worker_count() {
+        let f = |i: usize| (i as f64).sqrt().sin() / (i as f64 + 0.5);
+        let serial: Vec<u64> = (0..5000).map(|i| f(i).to_bits()).collect();
+        for jobs in [1, 2, 4, 16] {
+            let batched: Vec<u64> =
+                par_map_indexed_batched(5000, jobs, |s, e| (s..e).map(f).collect())
+                    .into_iter()
+                    .map(f64::to_bits)
+                    .collect();
+            assert_eq!(batched, serial, "jobs = {jobs}");
+        }
+        assert_eq!(
+            par_map_indexed_batched(0, 4, |s, e| (s..e).collect::<Vec<_>>()),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn supervised_batched_matches_the_scalar_engine() {
+        let f = |i: usize| (i as f64).cos() * 3.0;
+        let reference: Vec<u64> = (0..3000).map(|i| f(i).to_bits()).collect();
+        for jobs in [1, 2, 8] {
+            let batched = try_par_map_journaled_batched(
+                3000,
+                jobs,
+                &RunBudget::unlimited(),
+                None,
+                f,
+                |s, e| (s..e).map(f).collect(),
+            )
+            .expect("unlimited budget never interrupts");
+            let bits: Vec<u64> = unwrap_items(batched)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(bits, reference, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn a_panicking_batch_falls_back_and_pins_the_guilty_index() {
+        let f_item = |i: usize| {
+            if i == 137 {
+                panic!("item 137 is bad");
+            }
+            i as f64
+        };
+        let results =
+            try_par_map_journaled_batched(300, 4, &RunBudget::unlimited(), None, f_item, |s, e| {
+                (s..e).map(f_item).collect()
+            })
+            .expect("a panicking item is isolated, not fatal");
+        assert_eq!(results.len(), 300);
+        for (i, r) in results.iter().enumerate() {
+            if i == 137 {
+                assert!(
+                    matches!(r, Err(PpatcError::WorkerPanic { index: 137 })),
+                    "index 137 carries the panic, got {r:?}"
+                );
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy item"), i as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn a_wrong_size_batch_falls_back_to_per_item_results() {
+        let f_item = |i: usize| i as f64 + 0.25;
+        let results = try_par_map_journaled_batched(
+            100,
+            1,
+            &RunBudget::unlimited(),
+            None,
+            f_item,
+            |s, e| (s..e).map(f_item).skip(1).collect(), // one short: must be discarded
+        )
+        .expect("fallback completes the run");
+        let got = unwrap_items(results);
+        let want: Vec<f64> = (0..100).map(f_item).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn batched_resume_replays_journaled_items_without_recomputing() {
+        let path = scratch("batched-resume");
+        let n = 600;
+        let spec = JournalSpec::for_run::<f64>("evaltest", n, &[3]);
+        let f = |i: usize| (i as f64) * 1.25;
+        {
+            let journal = Journal::try_create(&path, &spec).expect("create journal");
+            try_par_map_journaled_batched(
+                n,
+                4,
+                &RunBudget::unlimited(),
+                Some(&journal),
+                f,
+                |s, e| (s..e).map(f).collect(),
+            )
+            .expect("first leg completes");
+        }
+        let journal = Journal::try_resume(&path, &spec).expect("resume journal");
+        assert_eq!(journal.completed_items(), n);
+        let replayed = unwrap_items(
+            try_par_map_journaled_batched(
+                n,
+                4,
+                &RunBudget::unlimited(),
+                Some(&journal),
+                |i: usize| -> f64 { panic!("item {i} must be replayed, not recomputed") },
+                |s, _e| -> Vec<f64> { panic!("batch at {s} must be replayed, not recomputed") },
+            )
+            .expect("replay completes"),
+        );
+        let want: Vec<u64> = (0..n).map(|i| f(i).to_bits()).collect();
+        let got: Vec<u64> = replayed.into_iter().map(f64::to_bits).collect();
+        assert_eq!(got, want);
         let _ = std::fs::remove_file(&path);
     }
 

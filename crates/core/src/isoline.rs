@@ -359,6 +359,34 @@ impl TcdpMap {
         (e_m3d + o_m3d) / (e_si + o_si)
     }
 
+    /// Batched [`TcdpMap::ratio_sampled`] over a structure-of-arrays run of
+    /// samples, appending one ratio per sample to `out` in index order.
+    ///
+    /// The embodied masses are constant across a sweep and are hoisted out
+    /// of the per-sample loop; everything else evaluates the exact
+    /// expression tree of [`TcdpMap::ratio_sampled`] (the operational terms
+    /// depend on the sampled lifetime and cannot be hoisted without
+    /// reassociating), so the appended ratios are bit-identical to the
+    /// scalar path.
+    pub(crate) fn ratio_batch(
+        &self,
+        batch: &crate::montecarlo::SampleBatch,
+        ratios: &mut Vec<f64>,
+    ) {
+        let e_si = self.si.embodied().as_grams();
+        let e_m3d_grams = self.m3d.embodied().as_grams();
+        ratios.reserve(batch.len());
+        for i in 0..batch.len() {
+            let life = batch.lifetime[i];
+            let yield_scale = self.m3d_nominal_yield / batch.m3d_yield[i];
+            let o_si = self.si.operational(life).as_grams() * batch.ci_scale[i];
+            let e_m3d = e_m3d_grams * yield_scale * batch.embodied_scale[i];
+            let o_m3d =
+                self.m3d.operational(life).as_grams() * batch.ci_scale[i] * batch.eop_scale[i];
+            ratios.push((e_m3d + o_m3d) / (e_si + o_si));
+        }
+    }
+
     /// Resolves a perturbation into (lifetime, CI scale, embodied-yield
     /// scale), rejecting non-finite or out-of-range knob values.
     fn apply(

@@ -43,6 +43,12 @@ use crate::isoline::TcdpMap;
 use crate::lifetime::Lifetime;
 use ppatc_units::rng::SplitMix64;
 
+/// Samples per [`SampleBatch`] on the serial path — matches the parallel
+/// engine's largest chunk so batch buffers stay cache-sized. Chunk
+/// boundaries are unobservable: batches are bit-identical to per-sample
+/// evaluation regardless of where they split.
+const MC_BATCH: usize = 1024;
+
 /// Joint uncertainty ranges. Scales are sampled log-uniformly (a factor of
 /// 2 up is as likely as a factor of 2 down); lifetimes and yields
 /// uniformly.
@@ -120,6 +126,168 @@ pub struct UncertaintySample {
     pub eop_scale: f64,
 }
 
+/// A structure-of-arrays run of consecutive samples: column `i` across the
+/// five vectors is exactly [`draw_sample`]`(seed, start + i, ranges)`.
+///
+/// Batches exist so the hot Monte-Carlo loop can hoist per-sweep constants
+/// (range spans, log endpoints, embodied masses) out of the per-sample
+/// path while staying bit-identical to the scalar engine: every column is
+/// filled with the same expression trees [`draw_sample`] evaluates.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SampleBatch {
+    /// Sampled lifetimes.
+    pub lifetime: Vec<Lifetime>,
+    /// Sampled CI_use scales.
+    pub ci_scale: Vec<f64>,
+    /// Sampled M3D yields.
+    pub m3d_yield: Vec<f64>,
+    /// Sampled M3D embodied scales.
+    pub embodied_scale: Vec<f64>,
+    /// Sampled M3D operational scales.
+    pub eop_scale: Vec<f64>,
+}
+
+impl SampleBatch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.lifetime.len()
+    }
+
+    /// Whether the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.lifetime.is_empty()
+    }
+
+    /// Row `i` reassembled as an [`UncertaintySample`] — bit-identical to
+    /// the [`draw_sample`] call the column fill mirrors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sample(&self, i: usize) -> UncertaintySample {
+        UncertaintySample {
+            lifetime: self.lifetime[i],
+            ci_scale: self.ci_scale[i],
+            m3d_yield: self.m3d_yield[i],
+            embodied_scale: self.embodied_scale[i],
+            eop_scale: self.eop_scale[i],
+        }
+    }
+
+    fn clear_and_reserve(&mut self, len: usize) {
+        self.lifetime.clear();
+        self.ci_scale.clear();
+        self.m3d_yield.clear();
+        self.embodied_scale.clear();
+        self.eop_scale.clear();
+        self.lifetime.reserve(len);
+        self.ci_scale.reserve(len);
+        self.m3d_yield.reserve(len);
+        self.embodied_scale.reserve(len);
+        self.eop_scale.reserve(len);
+    }
+}
+
+/// A uniform draw with its span precomputed: `lo + span * u` is the same
+/// expression tree as [`lerp`]'s `lo + (hi - lo) * u`, so precomputing
+/// `hi - lo` once per sweep changes no bits.
+#[derive(Clone, Copy, Debug)]
+struct UniDraw {
+    lo: f64,
+    span: f64,
+}
+
+impl UniDraw {
+    fn new((lo, hi): (f64, f64)) -> Self {
+        Self { lo, span: hi - lo }
+    }
+
+    fn draw(&self, u: f64) -> f64 {
+        self.lo + self.span * u
+    }
+}
+
+/// A log-uniform draw with its log endpoints precomputed; mirrors
+/// [`lerp_log`] exactly, including the degenerate-range branch (which
+/// still consumes the variate but returns `lo`).
+#[derive(Clone, Copy, Debug)]
+struct LogDraw {
+    a: f64,
+    span: f64,
+    lo: f64,
+    degenerate: bool,
+}
+
+impl LogDraw {
+    fn new((lo, hi): (f64, f64)) -> Self {
+        if hi > lo {
+            Self {
+                a: lo.ln(),
+                span: hi.ln() - lo.ln(),
+                lo,
+                degenerate: false,
+            }
+        } else {
+            Self {
+                a: 0.0,
+                span: 0.0,
+                lo,
+                degenerate: true,
+            }
+        }
+    }
+
+    fn draw(&self, u: f64) -> f64 {
+        if self.degenerate {
+            self.lo
+        } else {
+            (self.a + self.span * u).exp()
+        }
+    }
+}
+
+/// Per-sweep sampling constants hoisted out of the per-sample loop: one
+/// [`SamplePlan`] per `(seed, ranges)` pair fills any run of consecutive
+/// sample indices, in the exact draw order of [`draw_sample`]
+/// (lifetime, CI, yield, embodied, operational — one variate each).
+#[derive(Clone, Copy, Debug)]
+struct SamplePlan {
+    seed: u64,
+    lifetime: UniDraw,
+    ci: LogDraw,
+    m3d_yield: UniDraw,
+    embodied: LogDraw,
+    eop: LogDraw,
+}
+
+impl SamplePlan {
+    fn new(seed: u64, r: &UncertaintyRanges) -> Self {
+        Self {
+            seed,
+            lifetime: UniDraw::new(r.lifetime_months),
+            ci: LogDraw::new(r.ci_use_scale),
+            m3d_yield: UniDraw::new(r.m3d_yield),
+            embodied: LogDraw::new(r.m3d_embodied_scale),
+            eop: LogDraw::new(r.m3d_eop_scale),
+        }
+    }
+
+    /// Fills `out` with samples `start .. start + len`, each drawn from its
+    /// own counter-indexed stream exactly like [`draw_sample`].
+    fn fill(&self, start: u64, len: usize, out: &mut SampleBatch) {
+        out.clear_and_reserve(len);
+        for k in 0..len {
+            let rng = &mut SplitMix64::stream(self.seed, start + k as u64);
+            out.lifetime
+                .push(Lifetime::months(self.lifetime.draw(rng.next_f64())));
+            out.ci_scale.push(self.ci.draw(rng.next_f64()));
+            out.m3d_yield.push(self.m3d_yield.draw(rng.next_f64()));
+            out.embodied_scale.push(self.embodied.draw(rng.next_f64()));
+            out.eop_scale.push(self.eop.draw(rng.next_f64()));
+        }
+    }
+}
+
 /// Anything that maps an [`UncertaintySample`] to a tCDP ratio
 /// (M3D / all-Si).
 ///
@@ -129,11 +297,30 @@ pub struct UncertaintySample {
 pub trait RatioSource {
     /// The tCDP ratio of the two designs under this sampled future.
     fn tcdp_ratio(&self, sample: &UncertaintySample) -> f64;
+
+    /// Evaluates a whole batch, appending one ratio per sample to `ratios`
+    /// in index order.
+    ///
+    /// The default forwards to [`RatioSource::tcdp_ratio`] one sample at a
+    /// time in ascending order, so sources whose output depends on call
+    /// order behave exactly as under the scalar engine. Overrides may hoist
+    /// per-batch constants but must stay bit-identical to the default —
+    /// the sweep entry points batch at internal chunk boundaries and
+    /// guarantee results byte-identical to the scalar path.
+    fn tcdp_ratio_batch(&self, batch: &SampleBatch, ratios: &mut Vec<f64>) {
+        for i in 0..batch.len() {
+            ratios.push(self.tcdp_ratio(&batch.sample(i)));
+        }
+    }
 }
 
 impl RatioSource for TcdpMap {
     fn tcdp_ratio(&self, sample: &UncertaintySample) -> f64 {
         self.ratio_sampled(sample)
+    }
+
+    fn tcdp_ratio_batch(&self, batch: &SampleBatch, ratios: &mut Vec<f64>) {
+        self.ratio_batch(batch, ratios);
     }
 }
 
@@ -382,9 +569,36 @@ pub fn try_run_with(
     ranges.validate()?;
     let n = config.samples;
     let before = ppatc_spice::recovery_counters();
-    let ratios: Vec<f64> = (0..n)
-        .map(|i| source.tcdp_ratio(&draw_sample(config.seed, i as u64, ranges)))
-        .collect();
+    let plan = SamplePlan::new(config.seed, ranges);
+    let mut ratios: Vec<f64> = Vec::with_capacity(n);
+    let mut batch = SampleBatch::default();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + MC_BATCH).min(n);
+        plan.fill(start as u64, end - start, &mut batch);
+        source.tcdp_ratio_batch(&batch, &mut ratios);
+        start = end;
+    }
+    summarize(ratios, config, pressure_since(before))
+}
+
+/// The exact scalar per-sample path — [`draw_sample`] plus one
+/// [`RatioSource::tcdp_ratio`] call per index — kept as the bit-identity
+/// oracle for the batched engine: every batched entry point must agree
+/// with this byte-for-byte for any worker count.
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_run_scalar(
+    source: &(dyn RatioSource + Sync),
+    ranges: &UncertaintyRanges,
+    config: &MonteCarloConfig,
+    jobs: usize,
+) -> Result<MonteCarloResult, PpatcError> {
+    ranges.validate()?;
+    let n = config.samples;
+    let before = ppatc_spice::recovery_counters();
+    let ratios = crate::eval::par_map_indexed(n, jobs, |i| {
+        source.tcdp_ratio(&draw_sample(config.seed, i as u64, ranges))
+    });
     summarize(ratios, config, pressure_since(before))
 }
 
@@ -403,8 +617,13 @@ pub fn try_run_with_jobs(
     ranges.validate()?;
     let n = config.samples;
     let before = ppatc_spice::recovery_counters();
-    let ratios = crate::eval::par_map_indexed(n, jobs, |i| {
-        source.tcdp_ratio(&draw_sample(config.seed, i as u64, ranges))
+    let plan = SamplePlan::new(config.seed, ranges);
+    let ratios = crate::eval::par_map_indexed_batched(n, jobs, |start, end| {
+        let mut batch = SampleBatch::default();
+        plan.fill(start as u64, end - start, &mut batch);
+        let mut out = Vec::with_capacity(end - start);
+        source.tcdp_ratio_batch(&batch, &mut out);
+        out
     });
     summarize(ratios, config, pressure_since(before))
 }
@@ -461,10 +680,23 @@ pub fn try_run_supervised(
     let spec = journal_spec(config, ranges);
     let journal = supervisor.try_open_journal(&spec)?;
     let before = ppatc_spice::recovery_counters();
-    let outcomes =
-        crate::eval::try_par_map_journaled(n, jobs, supervisor.budget(), journal.as_ref(), |i| {
-            source.tcdp_ratio(&draw_sample(config.seed, i as u64, ranges))
-        })?;
+    let plan = SamplePlan::new(config.seed, ranges);
+    let outcomes = crate::eval::try_par_map_journaled_batched(
+        n,
+        jobs,
+        supervisor.budget(),
+        journal.as_ref(),
+        // The per-item path: resume replay chunks and batches that panic
+        // fall back to this, pinning a panicking sample to its exact index.
+        |i| source.tcdp_ratio(&draw_sample(config.seed, i as u64, ranges)),
+        |start, end| {
+            let mut batch = SampleBatch::default();
+            plan.fill(start as u64, end - start, &mut batch);
+            let mut out = Vec::with_capacity(end - start);
+            source.tcdp_ratio_batch(&batch, &mut out);
+            out
+        },
+    )?;
     summarize_outcomes(outcomes, config, pressure_since(before))
 }
 
@@ -518,8 +750,9 @@ fn summarize_outcomes(
     if survivors.is_empty() {
         return Err(PpatcError::NoSurvivingSamples { samples: n });
     }
-    survivors.sort_by(f64::total_cmp);
     let m = survivors.len();
+    let ps = [0.05, 0.50, 0.95];
+    select_ranks(&mut survivors, &quantile_ranks(m, &ps));
     let q = |p: f64| interpolated_quantile(&survivors, p);
     Ok(MonteCarloResult {
         samples: n,
@@ -531,11 +764,44 @@ fn summarize_outcomes(
     })
 }
 
-/// Linearly interpolated quantile of an ascending-sorted non-empty slice
-/// (the "type 7" estimator): rank `p·(m−1)` split into its integer floor
-/// and fractional part. Unlike nearest-rank rounding, p05/p95 do not
-/// collapse onto min/max for small survivor sets, and the estimate varies
-/// continuously with `p`.
+/// The ranks [`interpolated_quantile`] will read for quantiles `ps` over
+/// `m` survivors: floor and ceiling of each rank `p·(m−1)`, ascending and
+/// deduplicated.
+fn quantile_ranks(m: usize, ps: &[f64]) -> Vec<usize> {
+    let mut ranks: Vec<usize> = Vec::with_capacity(2 * ps.len());
+    for &p in ps {
+        let rank = p * (m - 1) as f64;
+        ranks.push(rank.floor() as usize);
+        ranks.push(rank.ceil() as usize);
+    }
+    ranks.sort_unstable();
+    ranks.dedup();
+    ranks
+}
+
+/// Partially orders `values` so every rank in `ranks` (ascending,
+/// deduplicated, in range) holds the value a full ascending sort would
+/// put there. Under [`f64::total_cmp`] the k-th order statistic is a
+/// unique bit pattern, so this replaces the former full sort with an
+/// O(n · ranks) selection while leaving the reported quantiles
+/// bit-identical. Each selection narrows to the tail above the previous
+/// rank, which by then contains exactly the elements belonging at the
+/// remaining positions.
+fn select_ranks(values: &mut [f64], ranks: &[usize]) {
+    let mut offset = 0;
+    for &rank in ranks {
+        let tail = &mut values[offset..];
+        tail.select_nth_unstable_by(rank - offset, f64::total_cmp);
+        offset = rank;
+    }
+}
+
+/// Linearly interpolated quantile over a non-empty slice partially ordered
+/// by [`select_ranks`] at the floor/ceiling ranks this reads (the "type 7"
+/// estimator): rank `p·(m−1)` split into its integer floor and fractional
+/// part. Unlike nearest-rank rounding, p05/p95 do not collapse onto
+/// min/max for small survivor sets, and the estimate varies continuously
+/// with `p`.
 fn interpolated_quantile(sorted: &[f64], p: f64) -> f64 {
     let rank = p * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -1010,6 +1276,64 @@ mod tests {
             }
             other => panic!("expected FailureBudgetExceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn batch_fill_matches_draw_sample_exactly() {
+        let ranges = UncertaintyRanges::paper_default();
+        let plan = SamplePlan::new(2025, &ranges);
+        let mut batch = SampleBatch::default();
+        plan.fill(300, 64, &mut batch);
+        assert_eq!(batch.len(), 64);
+        for k in 0..64 {
+            let scalar = draw_sample(2025, 300 + k as u64, &ranges);
+            assert_eq!(batch.sample(k), scalar, "sample {k}");
+            assert_eq!(
+                batch.lifetime[k].as_time().as_months().to_bits(),
+                scalar.lifetime.as_time().as_months().to_bits()
+            );
+            assert_eq!(batch.ci_scale[k].to_bits(), scalar.ci_scale.to_bits());
+            assert_eq!(batch.m3d_yield[k].to_bits(), scalar.m3d_yield.to_bits());
+            assert_eq!(
+                batch.embodied_scale[k].to_bits(),
+                scalar.embodied_scale.to_bits()
+            );
+            assert_eq!(batch.eop_scale[k].to_bits(), scalar.eop_scale.to_bits());
+        }
+        // Degenerate ranges take the same branch as lerp/lerp_log.
+        let tight = UncertaintyRanges {
+            lifetime_months: (24.0, 24.0),
+            ci_use_scale: (1.0, 1.0),
+            ..ranges
+        };
+        let plan = SamplePlan::new(7, &tight);
+        plan.fill(0, 8, &mut batch);
+        for k in 0..8 {
+            assert_eq!(batch.sample(k), draw_sample(7, k as u64, &tight));
+        }
+    }
+
+    #[test]
+    fn batched_sweep_is_bit_identical_to_the_scalar_oracle() {
+        let m = map();
+        let ranges = UncertaintyRanges::paper_default();
+        let config = MonteCarloConfig::new(5000, 2025).expect("valid config");
+        let oracle = try_run_scalar(&m, &ranges, &config, 1).expect("scalar oracle");
+        let bits = |q: (f64, f64, f64)| (q.0.to_bits(), q.1.to_bits(), q.2.to_bits());
+        for jobs in [1, 2, 4, 8] {
+            let batched = try_run_jobs(&m, &ranges, &config, jobs).expect("batched sweep");
+            assert_eq!(batched, oracle, "jobs = {jobs}");
+            assert_eq!(
+                bits(batched.ratio_quantiles),
+                bits(oracle.ratio_quantiles),
+                "jobs = {jobs}"
+            );
+            let supervised = try_run_supervised(&m, &ranges, &config, jobs, &Supervisor::new())
+                .expect("supervised sweep");
+            assert_eq!(supervised, oracle, "supervised, jobs = {jobs}");
+        }
+        let serial = try_run(&m, &ranges, &config).expect("serial batched sweep");
+        assert_eq!(serial, oracle);
     }
 
     #[test]

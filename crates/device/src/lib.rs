@@ -50,4 +50,4 @@ mod vs;
 
 pub use fet::{DeviceError, Fet};
 pub use si::SiVtFlavor;
-pub use vs::{ModelParameterError, Polarity, VirtualSourceModel};
+pub use vs::{ModelParameterError, Polarity, VirtualSourceModel, VsDerived};

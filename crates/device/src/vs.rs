@@ -95,11 +95,53 @@ pub struct VirtualSourceModel {
     pub temperature_k: f64,
 }
 
+/// Bias-independent intermediates of the virtual-source model — thermal
+/// voltage, ideality-scaled thermal voltage, and saturation voltage — which
+/// depend only on the parameter record, never on the terminal voltages.
+///
+/// Computing them once via [`VirtualSourceModel::derive`] and passing them
+/// to [`VirtualSourceModel::current_per_width_with`] /
+/// [`VirtualSourceModel::current_triplet_per_width`] gives bit-identical
+/// currents to the plain [`VirtualSourceModel::current_per_width`] while
+/// skipping the per-call re-derivation; a SPICE stamp plan caches one
+/// `VsDerived` per FET for the life of a topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VsDerived {
+    /// Thermal voltage k·T/q at the operating temperature, volts.
+    pub phi_t: f64,
+    /// Ideality-scaled thermal voltage `n·φ_t`, volts.
+    pub n_phi_t: f64,
+    /// Saturation voltage `V_dsat`, volts.
+    pub v_dsat: f64,
+}
+
+/// Drain-bias-dependent intermediates shared by every current evaluation at
+/// a common `v_ds` (the operating point and the gate-derivative probe see
+/// the same drain bias, so these are computed once per pair).
+struct NParts {
+    v_t: f64,
+    f_sat: f64,
+    floor: f64,
+}
+
 impl VirtualSourceModel {
     /// Thermal voltage k·T/q at the model's operating temperature, volts.
     #[inline]
     pub fn phi_t(&self) -> f64 {
         K_OVER_Q * self.temperature_k
+    }
+
+    /// Precomputes the bias-independent intermediates ([`VsDerived`]) used
+    /// by the `*_with` current evaluators. The values are exactly the ones
+    /// [`VirtualSourceModel::current_per_width`] recomputes internally, so
+    /// results are bit-identical either way.
+    #[inline]
+    pub fn derive(&self) -> VsDerived {
+        VsDerived {
+            phi_t: self.phi_t(),
+            n_phi_t: self.ideality() * self.phi_t(),
+            v_dsat: self.v_dsat(),
+        }
     }
 
     /// Sub-threshold ideality factor `n = SS / (φ_t(300 K) · ln 10)` —
@@ -213,33 +255,83 @@ impl VirtualSourceModel {
     /// drain-source bias (for the device polarity) swaps the roles of source
     /// and drain, which matters for pass-transistor write paths.
     pub fn current_per_width(&self, v_gs: f64, v_ds: f64) -> f64 {
+        self.current_per_width_with(&self.derive(), v_gs, v_ds)
+    }
+
+    /// Like [`VirtualSourceModel::current_per_width`], but reusing a cached
+    /// [`VsDerived`] (obtained from [`VirtualSourceModel::derive`] on this
+    /// same model) instead of re-deriving it per call. Bit-identical.
+    pub fn current_per_width_with(&self, d: &VsDerived, v_gs: f64, v_ds: f64) -> f64 {
         let s = self.polarity.sign();
         // Work in n-equivalent coordinates.
         let (vgs_n, vds_n) = (s * v_gs, s * v_ds);
         if vds_n >= 0.0 {
-            s * self.current_per_width_n(vgs_n, vds_n)
+            let p = self.n_parts(d, vds_n);
+            s * self.n_current(d, vgs_n, &p)
         } else {
             // Source/drain swap: gate-to-(true source) voltage is vgs - vds.
-            -s * self.current_per_width_n(vgs_n - vds_n, -vds_n)
+            let p = self.n_parts(d, -vds_n);
+            -s * self.n_current(d, vgs_n - vds_n, &p)
         }
     }
 
-    /// N-equivalent current per width for `vds >= 0`.
-    fn current_per_width_n(&self, v_gs: f64, v_ds: f64) -> f64 {
+    /// Evaluates the operating point and both finite-difference probes a
+    /// Newton linearisation needs in one call, sharing the drain-bias
+    /// intermediates between the operating point and the gate probe (both
+    /// see the same `v_ds`). Returns `(I(v_gs, v_ds), I(v_gs + dv, v_ds),
+    /// I(v_gs, v_ds + dv))`, each bit-identical to a separate
+    /// [`VirtualSourceModel::current_per_width`] call.
+    pub fn current_triplet_per_width(
+        &self,
+        d: &VsDerived,
+        v_gs: f64,
+        v_ds: f64,
+        dv: f64,
+    ) -> (f64, f64, f64) {
+        let s = self.polarity.sign();
+        let (vgs_n, vds_n) = (s * v_gs, s * v_ds);
+        let vgp_n = s * (v_gs + dv);
+        // The gate probe shifts only v_gs, so it takes the same
+        // polarity/swap branch as the operating point and can share its
+        // NParts (functions of vds_n alone).
+        let (i0, i_gate) = if vds_n >= 0.0 {
+            let p = self.n_parts(d, vds_n);
+            (
+                s * self.n_current(d, vgs_n, &p),
+                s * self.n_current(d, vgp_n, &p),
+            )
+        } else {
+            let p = self.n_parts(d, -vds_n);
+            (
+                -s * self.n_current(d, vgs_n - vds_n, &p),
+                -s * self.n_current(d, vgp_n - vds_n, &p),
+            )
+        };
+        // The drain probe changes v_ds (and possibly the swap branch), so
+        // it is a full evaluation.
+        let i_drain = self.current_per_width_with(d, v_gs, v_ds + dv);
+        (i0, i_gate, i_drain)
+    }
+
+    /// Drain-bias intermediates for the n-equivalent model at `v_ds >= 0`.
+    fn n_parts(&self, d: &VsDerived, v_ds: f64) -> NParts {
         debug_assert!(v_ds >= 0.0);
-        let n_phi_t = self.ideality() * self.phi_t();
         let v_t = self.v_t0 - self.dibl * v_ds;
-        let x = (v_gs - v_t) / n_phi_t;
-        // softplus(x) without overflow for large x
-        let softplus = if x > 40.0 { x } else { x.exp().ln_1p() };
-        let q_ix0 = self.c_inv * n_phi_t * softplus;
-        let v_dsat = self.v_dsat();
-        let ratio = v_ds / v_dsat;
+        let ratio = v_ds / d.v_dsat;
         let f_sat = ratio / (1.0 + ratio.powf(self.beta)).powf(1.0 / self.beta);
         // Leakage floor switches smoothly with V_DS so the device truly has
         // no current at V_DS = 0.
-        let floor = self.i_floor_per_width * (v_ds / (v_ds + self.phi_t()));
-        q_ix0 * self.v_x0 * f_sat + floor
+        let floor = self.i_floor_per_width * (v_ds / (v_ds + d.phi_t));
+        NParts { v_t, f_sat, floor }
+    }
+
+    /// N-equivalent current per width given precomputed drain-bias parts.
+    fn n_current(&self, d: &VsDerived, v_gs: f64, p: &NParts) -> f64 {
+        let x = (v_gs - p.v_t) / d.n_phi_t;
+        // softplus(x) without overflow for large x
+        let softplus = if x > 40.0 { x } else { x.exp().ln_1p() };
+        let q_ix0 = self.c_inv * d.n_phi_t * softplus;
+        q_ix0 * self.v_x0 * p.f_sat + p.floor
     }
 }
 
@@ -345,6 +437,42 @@ mod tests {
         let i_p = p.current_per_width(-0.7, -0.7);
         assert!(approx_eq(i_n, -i_p, 1e-12));
         assert!(i_p < 0.0);
+    }
+
+    #[test]
+    fn triplet_is_bit_identical_to_three_scalar_calls() {
+        const DV: f64 = 1e-6;
+        let n = test_model();
+        let mut p = test_model();
+        p.polarity = Polarity::P;
+        for m in [&n, &p] {
+            let d = m.derive();
+            for gi in -4..=4_i32 {
+                for di in -4..=4_i32 {
+                    let v_gs = 0.2 * f64::from(gi);
+                    let v_ds = 0.2 * f64::from(di);
+                    let (i0, ig, id) = m.current_triplet_per_width(&d, v_gs, v_ds, DV);
+                    assert_eq!(
+                        i0.to_bits(),
+                        m.current_per_width(v_gs, v_ds).to_bits(),
+                        "{} i0 at ({v_gs}, {v_ds})",
+                        m.name
+                    );
+                    assert_eq!(
+                        ig.to_bits(),
+                        m.current_per_width(v_gs + DV, v_ds).to_bits(),
+                        "{} gate probe at ({v_gs}, {v_ds})",
+                        m.name
+                    );
+                    assert_eq!(
+                        id.to_bits(),
+                        m.current_per_width(v_gs, v_ds + DV).to_bits(),
+                        "{} drain probe at ({v_gs}, {v_ds})",
+                        m.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -146,9 +146,9 @@ pub(crate) fn collect_facts(statics: &[String], block: &Block) -> ConcFacts {
         facts: ConcFacts::default(),
     };
     cx.walk_block(block);
-    cx.facts.worker_calls.sort_by(|a, b| {
-        (a.line, a.col, &a.call.segs).cmp(&(b.line, b.col, &b.call.segs))
-    });
+    cx.facts
+        .worker_calls
+        .sort_by(|a, b| (a.line, a.col, &a.call.segs).cmp(&(b.line, b.col, &b.call.segs)));
     cx.facts.worker_calls.dedup();
     cx.facts
 }
@@ -337,7 +337,10 @@ pub(crate) fn check(
     table: &SymbolTable<'_>,
     edges: &[Vec<usize>],
 ) -> Vec<(usize, ConcFinding)> {
-    let mut tainted: Vec<bool> = summaries.iter().map(|s| !s.conc.shared.is_empty()).collect();
+    let mut tainted: Vec<bool> = summaries
+        .iter()
+        .map(|s| !s.conc.shared.is_empty())
+        .collect();
     loop {
         let mut changed = false;
         for i in 0..summaries.len() {
@@ -424,7 +427,11 @@ fn nearest_shared<'s>(
     // first site or a synthetic one.
     (
         start,
-        summaries[start].conc.shared.first().unwrap_or(&FALLBACK_SITE),
+        summaries[start]
+            .conc
+            .shared
+            .first()
+            .unwrap_or(&FALLBACK_SITE),
     )
 }
 
@@ -604,10 +611,7 @@ fn captured_mutations(expr: &Expr, locals: &mut Vec<String>, muts: &mut Vec<Stri
             captured_mutations(rhs, locals, muts);
         }
         Expr::MethodCall {
-            recv,
-            method,
-            args,
-            ..
+            recv, method, args, ..
         } => {
             if MUTATING_METHODS.contains(&method.as_str()) {
                 if let Some(name) = root_var(recv) {

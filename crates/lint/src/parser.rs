@@ -1103,8 +1103,7 @@ impl<'a> Parser<'a> {
                     // holds downstream, so keep it as a parsed expression
                     // for guard refinement; everything else stays soup.
                     let last = segs.last().map_or("", String::as_str);
-                    let cond = if matches!(last, "assert" | "debug_assert") && self.text(0) == "("
-                    {
+                    let cond = if matches!(last, "assert" | "debug_assert") && self.text(0) == "(" {
                         let saved_no_struct = self.no_struct;
                         self.no_struct = false;
                         self.bump(); // `(`

@@ -296,9 +296,7 @@ pub(crate) fn range_finding_diag(path: &str, f: crate::vals::RangeFinding) -> Di
     let (code, rule, severity) = match f.kind {
         crate::vals::RangeKind::DivByZero => ("PL013", "possible-div-by-zero", Severity::Deny),
         crate::vals::RangeKind::DomainError => ("PL014", "float-domain-error", Severity::Deny),
-        crate::vals::RangeKind::NanComparison => {
-            ("PL015", "nan-unsafe-comparison", Severity::Warn)
-        }
+        crate::vals::RangeKind::NanComparison => ("PL015", "nan-unsafe-comparison", Severity::Warn),
     };
     Diagnostic {
         code,

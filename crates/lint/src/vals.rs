@@ -396,8 +396,9 @@ impl Checker<'_> {
     fn eval(&mut self, expr: &Expr) -> Range {
         match expr {
             Expr::Lit { kind, text, .. } => match kind {
-                LitKind::Number => crate::dims::literal_value(text)
-                    .map_or(Range::TOP, Range::point),
+                LitKind::Number => {
+                    crate::dims::literal_value(text).map_or(Range::TOP, Range::point)
+                }
                 _ => Range::TOP,
             },
             Expr::Path { segs, .. } => {
@@ -418,14 +419,13 @@ impl Checker<'_> {
             Expr::Binary { op, lhs, rhs, span } => self.binary(*op, lhs, rhs, span.line, span.col),
             Expr::Call { callee, args, .. } => {
                 if let Expr::Path { segs, .. } = callee.as_ref() {
-                    if segs.len() >= 2 && (segs[segs.len() - 2] == "f64" || segs[segs.len() - 2] == "f32") {
+                    if segs.len() >= 2
+                        && (segs[segs.len() - 2] == "f64" || segs[segs.len() - 2] == "f32")
+                    {
                         // `f64::from(x)` is an exact widening conversion.
                         if segs[segs.len() - 1] == "from" && args.len() == 1 {
                             let v = self.eval(&args[0]);
-                            return Range {
-                                float: true,
-                                ..v
-                            };
+                            return Range { float: true, ..v };
                         }
                     }
                     // Wrappers that pass their single operand through.
@@ -497,10 +497,7 @@ impl Checker<'_> {
             Expr::Cast { expr, ty, .. } => {
                 let v = self.eval(expr);
                 if ty.iter().any(|t| t == "f64" || t == "f32") {
-                    Range {
-                        float: true,
-                        ..v
-                    }
+                    Range { float: true, ..v }
                 } else {
                     // Casting to an integer truncates (NaN becomes 0).
                     Range {
@@ -770,7 +767,9 @@ impl Checker<'_> {
                 })
             }
             "powf" => {
-                if recv.neg_possible() && recv.known() && !args.first().is_some_and(is_integer_point)
+                if recv.neg_possible()
+                    && recv.known()
+                    && !args.first().is_some_and(is_integer_point)
                 {
                     self.finding(
                         RangeKind::DomainError,
@@ -1077,8 +1076,7 @@ fn refine(env: &mut HashMap<String, Range>, cond: &Expr, assume: bool) {
                 refine_cmp(env, &name, *op, bound, assume);
             } else if let (Some(name), Some(bound)) = (var_name(rhs), simple_bound(env, lhs)) {
                 refine_cmp(env, &name, flip(*op), bound, assume);
-            } else if let (Some(name), Some(bound)) = (accessor_var(lhs), simple_bound(env, rhs))
-            {
+            } else if let (Some(name), Some(bound)) = (accessor_var(lhs), simple_bound(env, rhs)) {
                 // `x.as_watts() > 0.0` — unit-accessor scales are positive
                 // and finite, so comparisons against zero transfer to the
                 // receiver (sign and zero-ness are scale-invariant; other
@@ -1086,8 +1084,7 @@ fn refine(env: &mut HashMap<String, Range>, cond: &Expr, assume: bool) {
                 if zero_point(&bound) {
                     refine_cmp(env, &name, *op, bound, assume);
                 }
-            } else if let (Some(name), Some(bound)) = (accessor_var(rhs), simple_bound(env, lhs))
-            {
+            } else if let (Some(name), Some(bound)) = (accessor_var(rhs), simple_bound(env, lhs)) {
                 if zero_point(&bound) {
                     refine_cmp(env, &name, flip(*op), bound, assume);
                 }

@@ -89,7 +89,9 @@ fn div_by_zero_catches_seeded_bugs() {
         "both seeded divisions must fire and the guarded one must not: {:?}",
         report.diagnostics
     );
-    assert!(hits.iter().all(|d| d.severity == ppatc_lint::Severity::Deny));
+    assert!(hits
+        .iter()
+        .all(|d| d.severity == ppatc_lint::Severity::Deny));
 }
 
 #[test]
@@ -201,7 +203,9 @@ fn nan_comparison_catches_seeded_bugs() {
          and total_cmp forms must not: {:?}",
         report.diagnostics
     );
-    assert!(hits.iter().all(|d| d.severity == ppatc_lint::Severity::Warn));
+    assert!(hits
+        .iter()
+        .all(|d| d.severity == ppatc_lint::Severity::Warn));
 }
 
 // --- PL016: shared state reachable from workers ------------------------------
@@ -322,7 +326,9 @@ fn unwind_boundary_catches_seeded_bugs() {
          closure-local state must not: {:?}",
         report.diagnostics
     );
-    assert!(hits.iter().all(|d| d.severity == ppatc_lint::Severity::Warn));
+    assert!(hits
+        .iter()
+        .all(|d| d.severity == ppatc_lint::Severity::Warn));
 }
 
 // --- widening, caching, and total-workspace robustness ------------------------

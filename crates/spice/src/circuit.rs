@@ -2,7 +2,7 @@
 
 use crate::solver::LinearSystem;
 use crate::waveform::Waveform;
-use ppatc_device::Fet;
+use ppatc_device::{Fet, VsDerived};
 use ppatc_units::{Capacitance, Resistance};
 
 /// Identifies a node in a [`Circuit`]. Obtain via [`Circuit::node`].
@@ -55,6 +55,132 @@ pub(crate) enum Element {
         s: NodeId,
         fet: Fet,
     },
+}
+
+/// One pre-resolved stamp instruction. Node lookups, conductances, and the
+/// FET's bias-independent model intermediates are resolved at
+/// [`StampPlan::compile`] time; only terminal voltages (and, for sources,
+/// the waveform value refreshed by [`StampPlan::set_sources`]) vary at
+/// replay time.
+#[derive(Clone, Debug)]
+pub(crate) enum PlanOp {
+    /// A two-terminal conductance (resistor).
+    Conductance {
+        ia: Option<usize>,
+        ib: Option<usize>,
+        g: f64,
+    },
+    /// A capacitor slot: stamped only when a transient companion model is
+    /// supplied, indexed by the capacitor's position among capacitors.
+    Cap {
+        ia: Option<usize>,
+        ib: Option<usize>,
+        cap_idx: usize,
+    },
+    /// An ideal voltage source; `value` holds `wave.at(t) · source_scale`.
+    VSource {
+        ip: Option<usize>,
+        in_: Option<usize>,
+        bi: usize,
+        value: f64,
+    },
+    /// An independent current source; `value` as for `VSource`.
+    ISource {
+        ip: Option<usize>,
+        in_: Option<usize>,
+        value: f64,
+    },
+    /// A FET: terminal rows, width, and the model's cached bias-independent
+    /// intermediates ([`VsDerived`]).
+    Fet {
+        di: Option<usize>,
+        gi: Option<usize>,
+        si: Option<usize>,
+        w: f64,
+        derived: VsDerived,
+    },
+}
+
+/// A compiled stamp program for one circuit topology: one [`PlanOp`] per
+/// element, replayed in element-insertion order so every `+=` into the MNA
+/// system happens in exactly the order the interpretive
+/// element-by-element walk used to perform it — f64 accumulation is not
+/// associative, and the paper exhibits are pinned byte-for-byte.
+///
+/// The plan is valid for the lifetime of a topology (element list, node
+/// set, and element parameters); any circuit edit requires recompiling.
+/// Per-call quantities stay out of the cache: source values are refreshed
+/// by [`StampPlan::set_sources`] per (time, source-scale) pair, and `gmin`
+/// and the capacitor companion models are replay arguments.
+#[derive(Clone, Debug)]
+pub(crate) struct StampPlan {
+    ops: Vec<PlanOp>,
+    /// Non-ground node count (rows receiving the GMIN diagonal).
+    n_nodes: usize,
+}
+
+impl StampPlan {
+    /// Compiles the circuit's current topology into a stamp program.
+    pub fn compile(circuit: &Circuit) -> Self {
+        let mut cap_idx = 0usize;
+        let ops = circuit
+            .elements
+            .iter()
+            .map(|e| match e {
+                Element::Resistor { a, b, ohms } => PlanOp::Conductance {
+                    ia: circuit.node_index(*a),
+                    ib: circuit.node_index(*b),
+                    g: 1.0 / ohms,
+                },
+                Element::Capacitor { a, b, .. } => {
+                    let op = PlanOp::Cap {
+                        ia: circuit.node_index(*a),
+                        ib: circuit.node_index(*b),
+                        cap_idx,
+                    };
+                    cap_idx += 1;
+                    op
+                }
+                Element::VSource { p, n, branch, .. } => PlanOp::VSource {
+                    ip: circuit.node_index(*p),
+                    in_: circuit.node_index(*n),
+                    bi: circuit.branch_index(*branch),
+                    value: 0.0,
+                },
+                Element::ISource { p, n, .. } => PlanOp::ISource {
+                    ip: circuit.node_index(*p),
+                    in_: circuit.node_index(*n),
+                    value: 0.0,
+                },
+                Element::Fet { d, g, s, fet } => PlanOp::Fet {
+                    di: circuit.node_index(*d),
+                    gi: circuit.node_index(*g),
+                    si: circuit.node_index(*s),
+                    w: fet.width().as_meters(),
+                    derived: fet.model().derive(),
+                },
+            })
+            .collect();
+        Self {
+            ops,
+            n_nodes: circuit.node_count() - 1,
+        }
+    }
+
+    /// Refreshes the cached source values for time `t` and `source_scale`.
+    /// Newton iterates at a fixed (t, scale), so this runs once per solve
+    /// rather than once per iteration.
+    pub fn set_sources(&mut self, circuit: &Circuit, t: f64, source_scale: f64) {
+        for (op, e) in self.ops.iter_mut().zip(&circuit.elements) {
+            match (op, e) {
+                (PlanOp::VSource { value, .. }, Element::VSource { wave, .. })
+                | (PlanOp::ISource { value, .. }, Element::ISource { wave, .. }) => {
+                    *value = wave.at(t) * source_scale;
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 /// A flat transistor-level netlist.
@@ -213,128 +339,126 @@ impl Circuit {
         }
     }
 
-    /// Stamps the linearised MNA system around the candidate solution `x` at
-    /// time `t`. `cap_companion` provides (g_eq, i_eq) per capacitor for
-    /// transient analysis; `None` treats capacitors as open (DC).
+    /// Replays a compiled [`StampPlan`] to stamp the linearised MNA system
+    /// around the candidate solution `x`. `cap_companion` provides
+    /// (g_eq, i_eq) per capacitor for transient analysis; `None` treats
+    /// capacitors as open (DC).
     ///
     /// `gmin` is the shunt conductance to ground on every node (the
-    /// convergence-recovery ladder raises it temporarily); `source_scale`
-    /// multiplies every independent source value (source stepping ramps it
-    /// from near zero back to 1).
-    pub(crate) fn stamp(
+    /// convergence-recovery ladder raises it temporarily, so it stays a
+    /// replay-time argument). Source values must have been refreshed with
+    /// [`StampPlan::set_sources`] for the solve's time and source scale.
+    ///
+    /// Every `+=` lands in the same order the pre-plan interpretive walk
+    /// used: op replay follows element-insertion order, and the per-element
+    /// add sequences are identical — keeping accumulated matrix entries
+    /// bit-for-bit equal to the historical path.
+    pub(crate) fn stamp_planned(
         &self,
         sys: &mut LinearSystem,
+        plan: &StampPlan,
         x: &[f64],
-        t: f64,
         cap_companion: Option<&[(f64, f64)]>,
         gmin: f64,
-        source_scale: f64,
     ) {
         sys.clear();
-        let n_nodes = self.node_names.len() - 1;
         // GMIN to ground on every non-ground node.
-        for i in 0..n_nodes {
+        for i in 0..plan.n_nodes {
             sys.add(i, i, gmin);
         }
 
-        let mut cap_idx = 0usize;
-        for e in &self.elements {
-            match e {
-                Element::Resistor { a, b, ohms } => {
-                    let g = 1.0 / ohms;
-                    self.stamp_conductance(sys, *a, *b, g);
+        for (op, e) in plan.ops.iter().zip(&self.elements) {
+            match op {
+                PlanOp::Conductance { ia, ib, g } => {
+                    stamp_conductance_idx(sys, *ia, *ib, *g);
                 }
-                Element::Capacitor { a, b, .. } => {
+                PlanOp::Cap { ia, ib, cap_idx } => {
                     if let Some(companion) = cap_companion {
-                        let (g_eq, i_eq) = companion[cap_idx];
-                        self.stamp_conductance(sys, *a, *b, g_eq);
+                        let (g_eq, i_eq) = companion[*cap_idx];
+                        stamp_conductance_idx(sys, *ia, *ib, g_eq);
                         // i_eq flows from a to b inside the companion source.
-                        if let Some(ia) = self.node_index(*a) {
-                            sys.add_rhs(ia, -i_eq);
+                        if let Some(ia) = ia {
+                            sys.add_rhs(*ia, -i_eq);
                         }
-                        if let Some(ib) = self.node_index(*b) {
-                            sys.add_rhs(ib, i_eq);
+                        if let Some(ib) = ib {
+                            sys.add_rhs(*ib, i_eq);
                         }
                     }
-                    cap_idx += 1;
                 }
-                Element::VSource { p, n, wave, branch } => {
-                    let bi = self.branch_index(*branch);
-                    if let Some(ip) = self.node_index(*p) {
-                        sys.add(ip, bi, 1.0);
-                        sys.add(bi, ip, 1.0);
+                PlanOp::VSource { ip, in_, bi, value } => {
+                    if let Some(ip) = ip {
+                        sys.add(*ip, *bi, 1.0);
+                        sys.add(*bi, *ip, 1.0);
                     }
-                    if let Some(in_) = self.node_index(*n) {
-                        sys.add(in_, bi, -1.0);
-                        sys.add(bi, in_, -1.0);
+                    if let Some(in_) = in_ {
+                        sys.add(*in_, *bi, -1.0);
+                        sys.add(*bi, *in_, -1.0);
                     }
-                    sys.add_rhs(bi, wave.at(t) * source_scale);
+                    sys.add_rhs(*bi, *value);
                 }
-                Element::ISource { p, n, wave } => {
-                    let j = wave.at(t) * source_scale;
-                    if let Some(ip) = self.node_index(*p) {
-                        sys.add_rhs(ip, -j);
+                PlanOp::ISource { ip, in_, value } => {
+                    if let Some(ip) = ip {
+                        sys.add_rhs(*ip, -value);
                     }
-                    if let Some(in_) = self.node_index(*n) {
-                        sys.add_rhs(in_, j);
+                    if let Some(in_) = in_ {
+                        sys.add_rhs(*in_, *value);
                     }
                 }
-                Element::Fet { d, g, s, fet } => {
-                    let vd = self.voltage_of(x, *d);
-                    let vg = self.voltage_of(x, *g);
-                    let vs = self.voltage_of(x, *s);
+                PlanOp::Fet {
+                    di,
+                    gi,
+                    si,
+                    w,
+                    derived,
+                } => {
+                    let Element::Fet { fet, .. } = e else {
+                        debug_assert!(false, "plan op out of sync with element list");
+                        continue;
+                    };
+                    let vd = di.map_or(0.0, |i| x[i]);
+                    let vg = gi.map_or(0.0, |i| x[i]);
+                    let vs = si.map_or(0.0, |i| x[i]);
                     let (vgs, vds) = (vg - vs, vd - vs);
-                    let model = fet.model();
-                    let w = fet.width().as_meters();
-                    let id0 = model.current_per_width(vgs, vds) * w;
-                    let gm = (model.current_per_width(vgs + DERIV_DV, vds) * w - id0) / DERIV_DV;
-                    let gds = (model.current_per_width(vgs, vds + DERIV_DV) * w - id0) / DERIV_DV;
+                    // One fused evaluation shares the bias-independent and
+                    // drain-bias intermediates across the operating point
+                    // and both derivative probes (bit-identical to three
+                    // scalar model calls).
+                    let (i0, ig_probe, id_probe) = fet
+                        .model()
+                        .current_triplet_per_width(derived, vgs, vds, DERIV_DV);
+                    let id0 = i0 * w;
+                    let gm = (ig_probe * w - id0) / DERIV_DV;
+                    let gds = (id_probe * w - id0) / DERIV_DV;
                     // Norton companion: i_eq = I(v) - gm·vgs - gds·vds, current d→s.
                     let i_eq = id0 - gm * vgs - gds * vds;
-                    let (di, gi, si) = (
-                        self.node_index(*d),
-                        self.node_index(*g),
-                        self.node_index(*s),
-                    );
                     if let Some(di) = di {
                         if let Some(gi) = gi {
-                            sys.add(di, gi, gm);
+                            sys.add(*di, *gi, gm);
                         }
-                        sys.add(di, di, gds);
+                        sys.add(*di, *di, gds);
                         if let Some(si) = si {
-                            sys.add(di, si, -(gm + gds));
+                            sys.add(*di, *si, -(gm + gds));
                         }
-                        sys.add_rhs(di, -i_eq);
+                        sys.add_rhs(*di, -i_eq);
                     }
                     if let Some(si) = si {
                         if let Some(gi) = gi {
-                            sys.add(si, gi, -gm);
+                            sys.add(*si, *gi, -gm);
                         }
                         if let Some(di) = di {
-                            sys.add(si, di, -gds);
+                            sys.add(*si, *di, -gds);
                         }
-                        sys.add(si, si, gm + gds);
-                        sys.add_rhs(si, i_eq);
+                        sys.add(*si, *si, gm + gds);
+                        sys.add_rhs(*si, i_eq);
                     }
                 }
             }
         }
     }
 
-    fn stamp_conductance(&self, sys: &mut LinearSystem, a: NodeId, b: NodeId, g: f64) {
-        let (ia, ib) = (self.node_index(a), self.node_index(b));
-        if let Some(ia) = ia {
-            sys.add(ia, ia, g);
-            if let Some(ib) = ib {
-                sys.add(ia, ib, -g);
-            }
-        }
-        if let Some(ib) = ib {
-            sys.add(ib, ib, g);
-            if let Some(ia) = ia {
-                sys.add(ib, ia, -g);
-            }
-        }
+    /// Compiles this circuit's topology into a reusable [`StampPlan`].
+    pub(crate) fn stamp_plan(&self) -> StampPlan {
+        StampPlan::compile(self)
     }
 
     /// Drain current of FET element `element` evaluated at a solved unknown
@@ -349,6 +473,24 @@ impl Circuit {
             ))
         } else {
             None
+        }
+    }
+}
+
+/// Stamps a two-terminal conductance between pre-resolved rows (in the
+/// same four-add order the original `stamp_conductance` used).
+#[inline]
+fn stamp_conductance_idx(sys: &mut LinearSystem, ia: Option<usize>, ib: Option<usize>, g: f64) {
+    if let Some(ia) = ia {
+        sys.add(ia, ia, g);
+        if let Some(ib) = ib {
+            sys.add(ia, ib, -g);
+        }
+    }
+    if let Some(ib) = ib {
+        sys.add(ib, ib, g);
+        if let Some(ia) = ia {
+            sys.add(ib, ia, -g);
         }
     }
 }

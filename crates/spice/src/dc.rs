@@ -17,10 +17,23 @@
 //! which rung rescued the solve (or audit why everything failed).
 
 use crate::budget::SolverBudget;
-use crate::circuit::{Circuit, GMIN};
+use crate::circuit::{Circuit, StampPlan, GMIN};
 use crate::error::SpiceError;
 use crate::solver::LinearSystem;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Reusable per-topology solve state: the assembled MNA system (with its
+/// factorization workspace) and the compiled [`StampPlan`]. Built once per
+/// circuit topology by [`Circuit::newton_scratch`] and threaded through
+/// every Newton solve — across iterations, transient timesteps, DC-sweep
+/// points, and recovery-ladder rungs — so the hot path allocates nothing.
+///
+/// The scratch is only valid for the topology it was compiled from; any
+/// circuit edit (new element, node, or parameter) requires a fresh one.
+pub(crate) struct NewtonScratch {
+    sys: LinearSystem,
+    plan: StampPlan,
+}
 
 /// Maximum Newton iterations for the operating point.
 const MAX_ITER: usize = 400;
@@ -273,8 +286,9 @@ impl Circuit {
     /// retries through GMIN and source stepping, use
     /// [`Circuit::dc_operating_point_recovered`].
     pub fn dc_operating_point(&self) -> Result<Vec<f64>, SpiceError> {
+        let mut scratch = self.newton_scratch();
         let mut x = vec![0.0; self.unknowns()];
-        self.newton_solve(&mut x, 0.0, None, "dc")?;
+        self.newton_solve(&mut scratch, &mut x, 0.0, None, "dc")?;
         Ok(x)
     }
 
@@ -337,10 +351,15 @@ impl Circuit {
         // burned its whole per-attempt budget.
         let mut spent = 0_usize;
 
+        // One scratch (compiled stamp plan + linear-system workspace) is
+        // reused across every rung: the topology never changes mid-ladder.
+        let mut scratch = self.newton_scratch();
+
         // Rung 1: plain solve.
         check_ladder_budget(&budget, spent, &log)?;
         let mut x = vec![0.0; n];
         let plain = self.newton_solve_with(
+            &mut scratch,
             &mut x,
             0.0,
             None,
@@ -367,6 +386,7 @@ impl Circuit {
         for &gmin in &GMIN_LADDER {
             check_ladder_budget(&budget, spent, &log)?;
             let step = self.newton_solve_with(
+                &mut scratch,
                 &mut x,
                 0.0,
                 None,
@@ -380,7 +400,11 @@ impl Circuit {
             log.record(RecoveryStage::GminStepping { gmin }, &step);
             match step {
                 Ok(iters) => spent += iters,
-                Err(e @ SpiceError::SingularMatrix { .. }) => return Err(e),
+                // Structural singularity and numerical ill-conditioning are
+                // both beyond what stepping can repair. Fail fast.
+                Err(
+                    e @ (SpiceError::SingularMatrix { .. } | SpiceError::IllConditioned { .. }),
+                ) => return Err(e),
                 Err(_) => {
                     spent += opts.max_iter;
                     gmin_ok = false;
@@ -400,6 +424,7 @@ impl Circuit {
         for &scale in &SOURCE_LADDER {
             check_ladder_budget(&budget, spent, &log)?;
             let step = self.newton_solve_with(
+                &mut scratch,
                 &mut x,
                 0.0,
                 None,
@@ -413,7 +438,9 @@ impl Circuit {
             log.record(RecoveryStage::SourceStepping { scale }, &step);
             match step {
                 Ok(iters) => spent += iters,
-                Err(e @ SpiceError::SingularMatrix { .. }) => return Err(e),
+                Err(
+                    e @ (SpiceError::SingularMatrix { .. } | SpiceError::IllConditioned { .. }),
+                ) => return Err(e),
                 Err(e) => {
                     // No further rungs read `spent`; the ladder is done.
                     last_err = Some(e);
@@ -433,22 +460,44 @@ impl Circuit {
         }))
     }
 
+    /// Creates the reusable solve state ([`NewtonScratch`]) for this
+    /// circuit's current topology: compiles the stamp plan and sizes the
+    /// linear system once, so repeated solves allocate nothing.
+    pub(crate) fn newton_scratch(&self) -> NewtonScratch {
+        NewtonScratch {
+            sys: LinearSystem::new(self.unknowns()),
+            plan: self.stamp_plan(),
+        }
+    }
+
     /// Damped Newton–Raphson around an initial guess `x` (updated in place)
     /// with default options. Returns the iteration count on success.
     pub(crate) fn newton_solve(
         &self,
+        scratch: &mut NewtonScratch,
         x: &mut [f64],
         t: f64,
         cap_companion: Option<&[(f64, f64)]>,
         analysis: &'static str,
     ) -> Result<usize, SpiceError> {
-        self.newton_solve_with(x, t, cap_companion, analysis, &NewtonOptions::default())
+        self.newton_solve_with(
+            scratch,
+            x,
+            t,
+            cap_companion,
+            analysis,
+            &NewtonOptions::default(),
+        )
     }
 
     /// Damped Newton–Raphson with explicit iteration/GMIN/source-scale
     /// options. Returns the number of iterations used on success.
+    ///
+    /// `scratch` must come from [`Circuit::newton_scratch`] on this same
+    /// (unmodified) circuit.
     pub(crate) fn newton_solve_with(
         &self,
+        scratch: &mut NewtonScratch,
         x: &mut [f64],
         t: f64,
         cap_companion: Option<&[(f64, f64)]>,
@@ -461,10 +510,13 @@ impl Circuit {
             return Ok(0);
         }
         let n_node_unknowns = self.node_count() - 1;
-        let mut sys = LinearSystem::new(n);
+        let NewtonScratch { sys, plan } = scratch;
+        // Sources depend only on (t, source_scale), both fixed for the
+        // whole solve: refresh them once, not once per iteration.
+        plan.set_sources(self, t, opts.source_scale);
         let mut worst = f64::INFINITY;
         for iter in 0..opts.max_iter {
-            self.stamp(&mut sys, x, t, cap_companion, opts.gmin, opts.source_scale);
+            self.stamp_planned(sys, plan, x, cap_companion, opts.gmin);
             let x_new = sys.solve()?;
             worst = 0.0;
             for i in 0..n {
@@ -637,8 +689,10 @@ mod tests {
         let (c, nout) = inverter(0.35);
         let plain_err = {
             let (c2, _) = inverter(0.35);
+            let mut scratch = c2.newton_scratch();
             let mut x = vec![0.0; 5];
             c2.newton_solve_with(
+                &mut scratch,
                 &mut x,
                 0.0,
                 None,
@@ -704,6 +758,30 @@ mod tests {
         );
         let err = c.dc_operating_point_recovered().expect_err("singular");
         assert!(matches!(err, SpiceError::SingularMatrix { .. }), "{err}");
+    }
+
+    #[test]
+    fn nearly_singular_topologies_surface_ill_conditioning() {
+        // A pico-ohm "wire" feeding a kilo-ohm load from a current source:
+        // the load conductance survives stamping only as the low-order bits
+        // of a diagonal dominated by g_wire = 1e12 S, so elimination
+        // recovers the load pivot as cancellation noise (relative pivot
+        // ~1e-15, tens of percent of error in the load voltage). The old
+        // absolute 1e-300 pivot floor accepted that garbage silently; it
+        // must now be a typed error, on the plain path and on the ladder
+        // (fail-fast: no rung can repair lost matrix bits).
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.current_source("I1", Circuit::GROUND, a, Waveform::Dc(1.0));
+        c.resistor("Rwire", a, b, Resistance::from_ohms(1e-12));
+        c.resistor("Rload", b, Circuit::GROUND, Resistance::from_kilo_ohms(1.0));
+        let err = c.dc_operating_point().expect_err("ill-conditioned");
+        assert!(matches!(err, SpiceError::IllConditioned { .. }), "{err}");
+        let err = c
+            .dc_operating_point_recovered()
+            .expect_err("ill-conditioned");
+        assert!(matches!(err, SpiceError::IllConditioned { .. }), "{err}");
     }
 
     #[test]

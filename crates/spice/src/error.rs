@@ -19,6 +19,19 @@ pub enum SpiceError {
         /// Worst node-voltage update in the final iteration, in volts.
         residual: f64,
     },
+    /// The MNA matrix was numerically ill-conditioned: elimination met a
+    /// pivot vanishingly small relative to the matrix's magnitude, or the
+    /// computed solution failed the post-solve residual check. The
+    /// "solution" would be finite garbage, so it is rejected instead.
+    IllConditioned {
+        /// Pivot row where conditioning collapsed (or the worst-residual
+        /// row when the post-solve check tripped).
+        row: usize,
+        /// Offending ratio: pivot magnitude over the matrix max-magnitude,
+        /// or residual over the solution scale. Dimensionless; smaller is
+        /// worse for pivots, larger is worse for residuals.
+        ratio: f64,
+    },
     /// A transient was requested with a non-positive step or stop time.
     InvalidTimeAxis,
     /// The analysis exceeded its [`SolverBudget`](crate::SolverBudget)
@@ -49,6 +62,13 @@ impl core::fmt::Display for SpiceError {
                 f,
                 "{analysis} analysis failed to converge at t = {time:.3e} s (residual {residual:.3e} V)"
             ),
+            SpiceError::IllConditioned { row, ratio } => {
+                write!(
+                    f,
+                    "ill-conditioned MNA matrix at row {row} (ratio {ratio:.3e}); \
+                     the computed voltages would be numerically meaningless"
+                )
+            }
             SpiceError::InvalidTimeAxis => {
                 write!(f, "transient stop time and step must both be positive")
             }
@@ -85,6 +105,19 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("dc") && msg.contains("converge"));
+    }
+
+    #[test]
+    fn ill_conditioned_display_reports_row_and_ratio() {
+        let e = SpiceError::IllConditioned {
+            row: 3,
+            ratio: 1e-17,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("ill-conditioned") && msg.contains('3'),
+            "{msg}"
+        );
     }
 
     #[test]

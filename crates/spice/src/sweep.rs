@@ -97,13 +97,17 @@ impl Circuit {
             };
         }
         let n_nodes = self.node_count() - 1;
+        // Editing a source's waveform changes values, not topology, so one
+        // compiled scratch serves every sweep point (sources are refreshed
+        // from the circuit at the start of each solve).
+        let mut scratch = ckt.newton_scratch();
         let mut x = vec![0.0; self.unknowns()];
         let mut solutions = Vec::with_capacity(values.len());
         for &v in values {
             if let Element::VSource { wave, .. } = &mut ckt.elements[source.0] {
                 *wave = Waveform::Dc(v);
             }
-            ckt.newton_solve(&mut x, 0.0, None, "dc")?;
+            ckt.newton_solve(&mut scratch, &mut x, 0.0, None, "dc")?;
             solutions.push(x[..n_nodes].to_vec());
         }
         Ok(SweepResult {

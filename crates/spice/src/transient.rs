@@ -97,14 +97,27 @@ impl Circuit {
         if !h.is_finite() || h <= 0.0 || !stop.is_finite() || stop <= 0.0 {
             return Err(SpiceError::InvalidTimeAxis);
         }
-        let n_steps = (stop / h).ceil() as usize;
+        // Snap `stop / h` to the nearest integer when it lands within a
+        // relative epsilon of one: an exact-multiple stop time whose
+        // division comes out at `k + 1e-16` must run k steps, not k + 1.
+        let steps_exact = stop / h;
+        let rounded = steps_exact.round();
+        let n_steps = if rounded >= 1.0 && (steps_exact - rounded).abs() <= rounded * 1e-9 {
+            rounded as usize
+        } else {
+            steps_exact.ceil() as usize
+        };
         // Newton iterations spent so far (initial DC solve + all steps).
         let mut spent = 0_usize;
+
+        // One compiled stamp plan + linear-system workspace serves the
+        // initial DC solve and every time step.
+        let mut scratch = self.newton_scratch();
 
         // Initial state.
         let mut x = vec![0.0; self.unknowns()];
         if cfg.from_dc {
-            spent += self.newton_solve(&mut x, 0.0, None, "dc")?;
+            spent += self.newton_solve(&mut scratch, &mut x, 0.0, None, "dc")?;
         }
         for &(node, v) in &cfg.initial_voltages {
             if let Some(i) = self.node_index(node) {
@@ -154,7 +167,7 @@ impl Circuit {
                     companion[ci] = (g_eq, -g_eq * v_prev[ci]);
                 }
             }
-            spent += self.newton_solve(&mut x, t, Some(&companion), "transient")?;
+            spent += self.newton_solve(&mut scratch, &mut x, t, Some(&companion), "transient")?;
             for (ci, &(a, b, _)) in caps.iter().enumerate() {
                 let v_now = self.voltage_of(&x, a) - self.voltage_of(&x, b);
                 let (g_eq, i_eq) = companion[ci];
@@ -274,6 +287,25 @@ mod tests {
                 > 0.65
         );
         assert!(trace.last_voltage(nout).as_volts() < 0.05);
+    }
+
+    #[test]
+    fn exact_multiple_stop_does_not_overshoot_a_step() {
+        // 3 ns / 2 ps = 1500 exactly, but the f64 division can land at
+        // 1500.0000000000002; the step count must still be 1500 (so the
+        // trace holds 1501 points, t = 0 included).
+        let (c, _) = rc_circuit();
+        let cfg = TransientConfig::new(Time::from_nanoseconds(3.0), Time::from_picoseconds(2.0));
+        let trace = c.transient(&cfg).expect("RC transient should run");
+        assert_eq!(
+            trace.len(),
+            1501,
+            "stop/h = 1500 exactly must run 1500 steps"
+        );
+        // A non-multiple stop still rounds up: 3.001 ns / 2 ps = 1500.5.
+        let cfg = TransientConfig::new(Time::from_picoseconds(3001.0), Time::from_picoseconds(2.0));
+        let trace = c.transient(&cfg).expect("RC transient should run");
+        assert_eq!(trace.len(), 1502, "fractional stop/h still ceils");
     }
 
     #[test]
