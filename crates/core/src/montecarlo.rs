@@ -784,15 +784,21 @@ fn quantile_ranks(m: usize, ps: &[f64]) -> Vec<usize> {
 /// put there. Under [`f64::total_cmp`] the k-th order statistic is a
 /// unique bit pattern, so this replaces the former full sort with an
 /// O(n · ranks) selection while leaving the reported quantiles
-/// bit-identical. Each selection narrows to the tail above the previous
-/// rank, which by then contains exactly the elements belonging at the
-/// remaining positions.
+/// bit-identical. Each selection narrows to the tail strictly above the
+/// previously selected position — `select_nth_unstable_by` only pins the
+/// selected index, so a later pass over a tail that still contained it
+/// would be free to move it. Excluding it keeps every settled rank in
+/// place, and the remaining tail holds exactly the elements belonging at
+/// the remaining positions (an adjacent rank selects index 0 of it).
 fn select_ranks(values: &mut [f64], ranks: &[usize]) {
     let mut offset = 0;
     for &rank in ranks {
         let tail = &mut values[offset..];
         tail.select_nth_unstable_by(rank - offset, f64::total_cmp);
-        offset = rank;
+        offset = rank + 1;
+        if offset >= values.len() {
+            break;
+        }
     }
 }
 
@@ -1028,6 +1034,42 @@ mod tests {
             exec,
         );
         TcdpMap::new(si, m3d, Lifetime::months(24.0), 0.50)
+    }
+
+    #[test]
+    fn select_ranks_matches_a_full_sort_on_random_data() {
+        // Every rank the quantile estimator reads must hold exactly the
+        // value a full ascending sort would put there, across many random
+        // slices — including the small sizes where floor/ceil ranks are
+        // adjacent or coincide. This pins the regression where each
+        // selection's tail still contained the previously selected
+        // position, letting `select_nth_unstable_by` move it.
+        let ps = [0.05, 0.50, 0.95];
+        for trial in 0..200_u64 {
+            let rng = &mut SplitMix64::stream(0xC0FFEE, trial);
+            let m = 1 + (rng.next_f64() * 400.0) as usize;
+            let values: Vec<f64> = (0..m).map(|_| rng.next_f64() * 10.0 - 5.0).collect();
+            let mut sorted = values.clone();
+            sorted.sort_unstable_by(f64::total_cmp);
+            let mut selected = values;
+            let ranks = quantile_ranks(m, &ps);
+            select_ranks(&mut selected, &ranks);
+            for &r in &ranks {
+                assert_eq!(
+                    selected[r].to_bits(),
+                    sorted[r].to_bits(),
+                    "rank {r} of {m} diverged from the full sort (trial {trial})"
+                );
+            }
+            for &p in &ps {
+                assert_eq!(
+                    interpolated_quantile(&selected, p).to_bits(),
+                    interpolated_quantile(&sorted, p).to_bits(),
+                    "p{:02} diverged from the full-sort reference (m = {m}, trial {trial})",
+                    (p * 100.0) as u32
+                );
+            }
+        }
     }
 
     #[test]

@@ -97,12 +97,15 @@ impl Circuit {
         if !h.is_finite() || h <= 0.0 || !stop.is_finite() || stop <= 0.0 {
             return Err(SpiceError::InvalidTimeAxis);
         }
-        // Snap `stop / h` to the nearest integer when it lands within a
-        // relative epsilon of one: an exact-multiple stop time whose
-        // division comes out at `k + 1e-16` must run k steps, not k + 1.
+        // Snap `stop / h` to the nearest integer when it lands within a few
+        // ULPs of one: an exact-multiple stop time whose division comes out
+        // at `k + 1e-16` must run k steps, not k + 1. The tolerance sits at
+        // f64 rounding scale (~1e-12 relative) so an intentionally tiny
+        // fractional final step (e.g. stop/h = 1500.000001) still ceils
+        // instead of being silently dropped.
         let steps_exact = stop / h;
         let rounded = steps_exact.round();
-        let n_steps = if rounded >= 1.0 && (steps_exact - rounded).abs() <= rounded * 1e-9 {
+        let n_steps = if rounded >= 1.0 && (steps_exact - rounded).abs() <= rounded * 1e-12 {
             rounded as usize
         } else {
             steps_exact.ceil() as usize
@@ -306,6 +309,24 @@ mod tests {
         let cfg = TransientConfig::new(Time::from_picoseconds(3001.0), Time::from_picoseconds(2.0));
         let trace = c.transient(&cfg).expect("RC transient should run");
         assert_eq!(trace.len(), 1502, "fractional stop/h still ceils");
+    }
+
+    #[test]
+    fn tiny_fractional_final_step_still_ceils() {
+        // stop/h = 1500.000001 is an intentional hair past 1500 steps —
+        // far outside f64 division round-off — so it must ceil to 1501
+        // steps, not get snapped down to 1500 by the exact-multiple snap.
+        let (c, _) = rc_circuit();
+        let cfg = TransientConfig::new(
+            Time::from_picoseconds(3000.000002),
+            Time::from_picoseconds(2.0),
+        );
+        let trace = c.transient(&cfg).expect("RC transient should run");
+        assert_eq!(
+            trace.len(),
+            1502,
+            "stop/h = 1500.000001 must run 1501 steps, not snap to 1500"
+        );
     }
 
     #[test]
