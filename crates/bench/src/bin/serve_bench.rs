@@ -5,7 +5,12 @@
 //! cold), malformed frames, slow-loris partial writes, mid-request
 //! disconnects, and poison queries that panic inside the evaluator. A
 //! second phase drains the server mid-load (the in-process equivalent of
-//! SIGTERM) and verifies the shutdown stays graceful.
+//! SIGTERM) and verifies the shutdown stays graceful. A final resilience
+//! phase drives retry/backoff clients through a deterministic transport
+//! fault plan while `kill_worker` queries assassinate worker threads,
+//! then kills the server and restarts it on its cache journal, requiring
+//! zero unanswered requests, at least one supervised worker respawn, and
+//! byte-identical recovered responses.
 //!
 //! ```text
 //! cargo run --release -p ppatc-bench --bin serve_bench            # full load
@@ -16,12 +21,15 @@
 //! `--workers N`/`--jobs N`, `--queue N`, `--deadline SECS`.
 //!
 //! Exit codes: 0 on a clean run, 1 if any panic escaped a request
-//! boundary, a repeated query was not byte-identical, or the drain phase
-//! failed to shut down gracefully.
+//! boundary, a repeated query was not byte-identical, the drain phase
+//! failed to shut down gracefully, or the resilience phase left a
+//! request unanswered / failed to recover the cache byte-identically.
 
 use ppatc_bench::cli;
 use ppatc_serve::client::ServeClient;
+use ppatc_serve::fault::{FaultPlan, FaultSpec};
 use ppatc_serve::protocol::MAGIC;
+use ppatc_serve::resilient::{ResilientClient, RetryPolicy};
 use ppatc_serve::server::{try_spawn, ServerConfig};
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -413,6 +421,296 @@ fn drain_phase(
     (merged, report, graceful)
 }
 
+/// Cacheable query pool for the resilience phase: warmed fault-free
+/// before the chaos starts, and required to come back byte-identical
+/// from the recovered cache after the kill/restart.
+const RESILIENCE_POOL: &[&str] = &[
+    "eval capacity_kb=16",
+    "eval capacity_kb=16 f_clk_mhz=700",
+    "eval capacity_kb=32 ci_g_per_kwh=50",
+    "mc samples=64 seed=11",
+    "mc samples=64 seed=12 capacity_kb=16",
+];
+
+/// Root seed for the resilience phase. Every fault plan and every retry
+/// jitter stream derives from it, so the injected schedule is a pure
+/// function of this constant.
+const RESILIENCE_SEED: u64 = 0xc0ff_ee11;
+
+/// Per-client retry budget for the resilience phase: effectively
+/// unlimited, so the only way a request ends unanswered is a genuine
+/// loss of service rather than an artificial accounting cap.
+const RESILIENCE_RETRY_BUDGET: u64 = 1_000_000;
+
+/// Fault-injection intensity, per mille of frames, for each of the
+/// disconnect, corrupt-magic, and truncate faults (delays run at half).
+const RESILIENCE_FAULT_PER_MILLE: u64 = 100;
+
+/// Deterministic (client, request-index) points where a `kill_worker`
+/// chaos query rides the stream, forcing supervised worker respawns.
+const KILL_POINTS: &[(usize, usize)] = &[(0, 5), (1, 11)];
+
+/// Outcome tally for the resilience phase, merged across its clients.
+#[derive(Debug, Default)]
+struct ResilienceTally {
+    requests: u64,
+    ok: u64,
+    typed_err: u64,
+    unanswered: u64,
+    attempts: u64,
+    wire_replays: u64,
+    overload_retries: u64,
+    connects: u64,
+    backoff_ms_total: u64,
+    injected_disconnects: u64,
+    injected_corrupted: u64,
+    injected_truncated: u64,
+    injected_delays: u64,
+    kills_sent: u64,
+}
+
+impl ResilienceTally {
+    fn merge(&mut self, other: &ResilienceTally) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.typed_err += other.typed_err;
+        self.unanswered += other.unanswered;
+        self.attempts += other.attempts;
+        self.wire_replays += other.wire_replays;
+        self.overload_retries += other.overload_retries;
+        self.connects += other.connects;
+        self.backoff_ms_total += other.backoff_ms_total;
+        self.injected_disconnects += other.injected_disconnects;
+        self.injected_corrupted += other.injected_corrupted;
+        self.injected_truncated += other.injected_truncated;
+        self.injected_delays += other.injected_delays;
+        self.kills_sent += other.kills_sent;
+    }
+}
+
+/// Phase 4: resilience. Fault-injected retry clients hammer a
+/// journal-backed server while `kill_worker` queries assassinate worker
+/// threads mid-stream; afterwards the server is stopped, the journal's
+/// final line is deliberately torn (as a kill mid-append would), and a
+/// fresh server recovers the cache and must answer the warmed pool
+/// byte-identically. Returns the phase's JSON object and its clean flag.
+#[allow(clippy::too_many_lines)]
+fn resilience_phase(smoke: bool) -> (String, bool) {
+    let journal = std::env::temp_dir().join(format!(
+        "ppatc-serve-bench-journal-{}.txt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal);
+    let mut config = ServerConfig::default();
+    config.workers = 2;
+    config.enable_poison = true;
+    config.cache_journal = Some(journal.clone());
+    let handle = match try_spawn(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve_bench: resilience-phase server failed to start: {e}");
+            return ("null".to_string(), false);
+        }
+    };
+    let addr = handle.addr();
+
+    // Warm the cache fault-free and capture the reference bytes.
+    let mut reference: Vec<String> = Vec::new();
+    if let Some(mut client) = reconnect(addr) {
+        for q in RESILIENCE_POOL {
+            match client.try_request_raw(q) {
+                Ok(payload) => reference.push(payload),
+                Err(e) => {
+                    eprintln!("serve_bench: resilience warm-up failed on {q}: {e}");
+                    break;
+                }
+            }
+        }
+    }
+    if reference.len() != RESILIENCE_POOL.len() {
+        handle.drain();
+        return ("null".to_string(), false);
+    }
+
+    let clients = 3usize;
+    let per_client = if smoke { 30 } else { 90 };
+    let mut tally = ResilienceTally::default();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for id in 0..clients {
+            joins.push(scope.spawn(move || {
+                let mut part = ResilienceTally::default();
+                let spec = FaultSpec {
+                    seed: RESILIENCE_SEED ^ (id as u64 + 1),
+                    disconnect_per_mille: RESILIENCE_FAULT_PER_MILLE,
+                    corrupt_per_mille: RESILIENCE_FAULT_PER_MILLE,
+                    truncate_per_mille: RESILIENCE_FAULT_PER_MILLE,
+                    delay_per_mille: RESILIENCE_FAULT_PER_MILLE / 2,
+                    max_delay_ms: 3,
+                };
+                let policy = RetryPolicy {
+                    max_attempts: 16,
+                    base_backoff: Duration::from_millis(2),
+                    max_backoff: Duration::from_millis(50),
+                    retry_budget: RESILIENCE_RETRY_BUDGET,
+                    circuit_failure_threshold: 50,
+                    circuit_cooldown: Duration::from_millis(100),
+                    connect_timeout: Duration::from_secs(5),
+                    request_timeout: Some(CLIENT_TIMEOUT),
+                    seed: RESILIENCE_SEED.wrapping_add(id as u64),
+                };
+                let mut client = ResilientClient::new(addr.to_string(), policy)
+                    .with_fault_plan(FaultPlan::new(spec));
+                for i in 0..per_client {
+                    let line = if KILL_POINTS.contains(&(id, i)) {
+                        part.kills_sent += 1;
+                        "kill_worker"
+                    } else if i % 7 == 0 {
+                        "ping"
+                    } else {
+                        RESILIENCE_POOL[(i + id) % RESILIENCE_POOL.len()]
+                    };
+                    part.requests += 1;
+                    match client.try_request(line) {
+                        Ok(resp) if resp.ok => part.ok += 1,
+                        Ok(_) => part.typed_err += 1,
+                        Err(e) => {
+                            part.unanswered += 1;
+                            eprintln!(
+                                "serve_bench: resilience client {id} request {i} \
+                                 ({line}) unanswered: {e}"
+                            );
+                        }
+                    }
+                }
+                let stats = client.stats();
+                part.attempts = stats.attempts;
+                part.wire_replays = stats.wire_replays;
+                part.overload_retries = stats.overload_retries;
+                part.connects = stats.connects;
+                part.backoff_ms_total = stats.backoff_ms_total;
+                let counts = client.fault_counts();
+                part.injected_disconnects = counts.disconnects;
+                part.injected_corrupted = counts.corrupted;
+                part.injected_truncated = counts.truncated;
+                part.injected_delays = counts.delays;
+                part
+            }));
+        }
+        for join in joins {
+            if let Ok(part) = join.join() {
+                tally.merge(&part);
+            }
+        }
+    });
+
+    // Every kill point must have produced a supervised respawn before we
+    // read the final health block (the supervisor polls every 50 ms, so
+    // the last death can land just after the last client finishes).
+    let kill_total = KILL_POINTS.len() as u64;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.health().worker_restarts < kill_total && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let report_a = handle.drain();
+
+    // Tear the journal's final line, as a kill mid-append would: the
+    // recovery path must skip exactly this tail and nothing else.
+    if let Ok(mut file) = std::fs::OpenOptions::new().append(true).open(&journal) {
+        let _ = write!(file, "e 5 7 68656");
+    }
+
+    // Restart on the same journal (same default cache geometry) and
+    // require byte-identical answers for the warmed pool.
+    let mut restart_config = ServerConfig::default();
+    restart_config.cache_journal = Some(journal.clone());
+    let (recovered, recovery_mismatches, restart_hits, restarted) = match try_spawn(restart_config)
+    {
+        Ok(handle) => {
+            let recovered = handle.health().cache_recovered;
+            let mut mismatches = 0u64;
+            match reconnect(handle.addr()) {
+                Some(mut client) => {
+                    for (q, want) in RESILIENCE_POOL.iter().zip(&reference) {
+                        match client.try_request_raw(q) {
+                            Ok(got) if got == *want => {}
+                            _ => mismatches += 1,
+                        }
+                    }
+                }
+                None => mismatches = RESILIENCE_POOL.len() as u64,
+            }
+            let report_b = handle.drain();
+            (recovered, mismatches, report_b.cache_hits, true)
+        }
+        Err(e) => {
+            eprintln!("serve_bench: restart on the recovered journal failed: {e}");
+            (0, RESILIENCE_POOL.len() as u64, 0, false)
+        }
+    };
+    let _ = std::fs::remove_file(&journal);
+
+    let pool_len = RESILIENCE_POOL.len() as u64;
+    let clean = restarted
+        && tally.unanswered == 0
+        && report_a.worker_restarts >= 1
+        && !report_a.supervisor_gave_up
+        && report_a.connections_panicked == 0
+        && report_a.cache_journal_failures == 0
+        && recovered >= pool_len
+        && recovery_mismatches == 0
+        && restart_hits >= pool_len;
+    let json = format!(
+        r#"{{
+    "clients": {clients},
+    "requests_per_client": {per_client},
+    "fault_seed": {RESILIENCE_SEED},
+    "fault_per_mille": {{ "disconnect": {RESILIENCE_FAULT_PER_MILLE}, "corrupt_magic": {RESILIENCE_FAULT_PER_MILLE}, "truncate": {RESILIENCE_FAULT_PER_MILLE}, "delay": {} }},
+    "requests": {},
+    "answered_ok": {},
+    "typed_errors": {},
+    "unanswered": {},
+    "attempts": {},
+    "wire_replays": {},
+    "overload_retries": {},
+    "reconnects": {},
+    "backoff_ms_total": {},
+    "injected": {{ "disconnects": {}, "corrupt_magic": {}, "truncated": {}, "delays": {} }},
+    "worker_kills_sent": {},
+    "worker_restarts": {},
+    "supervisor_gave_up": {},
+    "cache_journal_failures": {},
+    "kill_restart_recovery": {{
+      "journal_recovered_entries": {recovered},
+      "torn_tail_injected": true,
+      "pool_queries_compared": {pool_len},
+      "byte_mismatches": {recovery_mismatches},
+      "post_restart_cache_hits": {restart_hits}
+    }},
+    "clean": {clean}
+  }}"#,
+        RESILIENCE_FAULT_PER_MILLE / 2,
+        tally.requests,
+        tally.ok,
+        tally.typed_err,
+        tally.unanswered,
+        tally.attempts,
+        tally.wire_replays,
+        tally.overload_retries,
+        tally.connects,
+        tally.backoff_ms_total,
+        tally.injected_disconnects,
+        tally.injected_corrupted,
+        tally.injected_truncated,
+        tally.injected_delays,
+        tally.kills_sent,
+        report_a.worker_restarts,
+        report_a.supervisor_gave_up,
+        report_a.cache_journal_failures,
+    );
+    (json, clean)
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let mut requests: usize = 200_000;
@@ -531,8 +829,19 @@ fn main() -> ExitCode {
     let drain_clients = clients.min(4);
     let (drain_tally, drain_report, graceful) = drain_phase(workers, queue, drain_clients);
 
+    eprintln!(
+        "serve_bench: resilience phase — fault-injected transport, worker kills, \
+         kill/restart cache recovery"
+    );
+    let (resilience_json, resilience_clean) = resilience_phase(smoke);
+
     let escaped = report.connections_panicked + drain_report.connections_panicked;
-    let clean = escaped == 0 && tally.mismatches == 0 && graceful && burst_clean && burst_shed > 0;
+    let clean = escaped == 0
+        && tally.mismatches == 0
+        && graceful
+        && burst_clean
+        && burst_shed > 0
+        && resilience_clean;
     let json = format!(
         r#"{{
   "benchmark": "ppatc-serve load + chaos harness",
@@ -600,6 +909,7 @@ fn main() -> ExitCode {
     "graceful": {graceful},
     "connections_panicked": {}
   }},
+  "resilience_phase": {resilience_json},
   "determinism": {{
     "pool_queries_compared": {},
     "byte_mismatches": {}
@@ -645,7 +955,7 @@ fn main() -> ExitCode {
     if !clean {
         eprintln!(
             "serve_bench: FAILED — escaped_panics={escaped} mismatches={} graceful={graceful} \
-             burst_shed={burst_shed}",
+             burst_shed={burst_shed} resilience_clean={resilience_clean}",
             tally.mismatches
         );
         return ExitCode::FAILURE;

@@ -12,9 +12,13 @@
 //! - `--queue N` — admission-queue capacity (default 64)
 //! - `--deadline SECS` — per-request wall-clock deadline (default 10)
 //! - `--frame-timeout SECS` — slow-loris frame window (default 2)
-//! - `--enable-poison` — honor `poison` chaos queries (panic isolation
-//!   demo; also installs a quiet panic hook so deliberate panics don't
-//!   spam stderr)
+//! - `--enable-poison` — honor `poison` and `kill_worker` chaos queries
+//!   (panic-isolation and supervision demos; also installs a quiet panic
+//!   hook so deliberate panics don't spam stderr)
+//! - `--cache-journal PATH` — append every cached response to a
+//!   crash-safe journal at `PATH`, recovering it (warm cache) on start
+//! - `--restart-budget N` — how many dead workers the supervisor will
+//!   respawn before giving up on a seat (default 8; 0 disables respawn)
 //!
 //! On SIGTERM/SIGINT (or a `drain` query) the server stops accepting,
 //! finishes or deadlines-out in-flight work, prints the final health
@@ -62,6 +66,18 @@ fn main() -> ExitCode {
                 Err(e) => return usage(&format!("--frame-timeout: {e}")),
             },
             "--enable-poison" => config.enable_poison = true,
+            "--cache-journal" => {
+                match cli::try_parse_path("cache-journal", args.next().as_deref()) {
+                    Ok(path) => config.cache_journal = Some(path),
+                    Err(e) => return usage(&format!("--cache-journal: {e}")),
+                }
+            }
+            "--restart-budget" => {
+                match cli::try_parse_count_or_zero("restart-budget", args.next().as_deref()) {
+                    Ok(n) => config.worker_restart_budget = n,
+                    Err(e) => return usage(&format!("--restart-budget: {e}")),
+                }
+            }
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -84,6 +100,10 @@ fn main() -> ExitCode {
         eprintln!("ppatc-serve: warning: drain handler already owned by another token");
     }
     println!("ppatc-serve: listening on {}", handle.addr());
+    let recovered = handle.health().cache_recovered;
+    if recovered > 0 {
+        println!("ppatc-serve: recovered {recovered} cached responses from the journal");
+    }
 
     let report = handle.join();
     println!("ppatc-serve: drained; final health report:");
@@ -102,7 +122,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("ppatc-serve: {msg}");
     eprintln!(
         "usage: ppatc-serve [--addr HOST] [--port N] [--workers N] [--queue N] \
-         [--deadline SECS] [--frame-timeout SECS] [--enable-poison]"
+         [--deadline SECS] [--frame-timeout SECS] [--enable-poison] \
+         [--cache-journal PATH] [--restart-budget N]"
     );
     ExitCode::FAILURE
 }

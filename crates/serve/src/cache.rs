@@ -1,4 +1,4 @@
-//! A sharded, bounded response cache.
+//! A sharded, bounded response cache, with an optional crash-safe journal.
 //!
 //! Generalizes the eDRAM characterization memo cache (one global mutex
 //! around a `HashMap`) to the server's concurrency profile: the key space
@@ -8,11 +8,33 @@
 //! bound. Hits are byte-identical stored responses, which is what makes
 //! repeated queries byte-identical at any concurrency *for free* — the
 //! first evaluation's rendering is the only rendering.
+//!
+//! # Crash-safe warm-cache recovery
+//!
+//! A [`CacheJournal`] persists every insert as one appended-and-flushed
+//! line in the PR 5 checkpoint idiom (`ppatc::checkpoint`): a fingerprinted
+//! header naming the cache geometry, then hex bit-exact `(key, response)`
+//! entries. Because the file is append-only and flushed per entry, the only
+//! damage a `kill -9` can cause is a torn final line — recovery skips it at
+//! the cost of that one entry. A malformed line *before* the tail cannot be
+//! produced by a tear, so it is typed corruption and recovery refuses
+//! rather than silently serving a spliced cache. On recovery the journal is
+//! compacted: entries are replayed through the same FIFO eviction the live
+//! cache uses, then the file is rewritten with only the survivors, so the
+//! journal stays proportional to the cache bound across any number of
+//! restarts. A restarted server answers previously cached queries from the
+//! recovered warm path byte-identically — the journal stores the exact
+//! response bytes the first evaluation rendered.
 
 use crate::health::ServerHealth;
+use ppatc::PpatcError;
+use ppatc_units::rng::SplitMix64;
 use std::collections::{HashMap, VecDeque};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// FNV-1a offset basis (64-bit).
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -45,6 +67,9 @@ struct Shard {
 pub struct ResponseCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
+    /// Write-through journal, attached once after recovery (or never, for
+    /// a memory-only cache).
+    journal: OnceLock<CacheJournal>,
 }
 
 /// Locks a shard, recovering from poisoning: a panicking cache user cannot
@@ -65,6 +90,7 @@ impl ResponseCache {
         Self {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_capacity: per_shard_capacity.max(1),
+            journal: OnceLock::new(),
         }
     }
 
@@ -87,7 +113,25 @@ impl ResponseCache {
     /// Stores `response` under `key`, evicting the shard's oldest entry
     /// when full. Re-inserting an existing key overwrites in place (the
     /// value is identical by construction — evaluation is deterministic).
-    pub fn insert(&self, key: &str, response: &str) {
+    ///
+    /// Returns `false` when an attached [`CacheJournal`] failed to persist
+    /// the entry — the cache itself is still updated and serving, the
+    /// entry just will not survive a restart; callers surface the failure
+    /// in [`ServerHealth::cache_journal_failures`].
+    pub fn insert(&self, key: &str, response: &str) -> bool {
+        let fresh = self.insert_in_memory(key, response);
+        if !fresh {
+            return true; // already present: journaled by its first insert
+        }
+        match self.journal.get() {
+            Some(journal) => journal.append(key, response).is_ok(),
+            None => true,
+        }
+    }
+
+    /// The in-memory half of [`ResponseCache::insert`]: updates the shard
+    /// and its FIFO order, returning whether `key` was new.
+    fn insert_in_memory(&self, key: &str, response: &str) -> bool {
         let mut shard = lock_shard(self.shard(key));
         if shard
             .map
@@ -100,7 +144,27 @@ impl ResponseCache {
                     shard.map.remove(&oldest);
                 }
             }
+            true
+        } else {
+            false
         }
+    }
+
+    /// Every live entry in deterministic order: shards in index order,
+    /// entries in insertion (FIFO) order within each shard. This is the
+    /// compaction order of the journal, so a compacted journal is a pure
+    /// function of the cache contents.
+    pub fn entries_in_order(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = lock_shard(shard);
+            for key in &shard.order {
+                if let Some(value) = shard.map.get(key) {
+                    out.push((key.clone(), value.clone()));
+                }
+            }
+        }
+        out
     }
 
     /// Total live entries across all shards.
@@ -112,6 +176,291 @@ impl ResponseCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe cache journal
+// ---------------------------------------------------------------------------
+
+/// Upper bound on a journaled key or response, bytes. Responses are bounded
+/// by the frame size on the wire, so anything larger in a journal line is
+/// corruption, not data.
+const MAX_ENTRY_BYTES: usize = crate::protocol::MAX_FRAME_BYTES;
+
+/// Seed for the journal-header fingerprint (the SplitMix64 golden-gamma
+/// constant, same idiom as `ppatc::checkpoint`).
+const FINGERPRINT_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One fold step of the header fingerprint.
+fn fold(acc: u64, word: u64) -> u64 {
+    let mut s = SplitMix64::new(acc ^ word);
+    s.next_u64()
+}
+
+/// Fingerprint of the cache geometry: a journal written by a cache with a
+/// different shard count or capacity replays into a different eviction
+/// state, so recovery refuses it.
+fn geometry_fingerprint(shards: usize, per_shard_capacity: usize) -> u64 {
+    let mut acc = FINGERPRINT_SEED;
+    for b in "ppatc-cache".bytes() {
+        acc = fold(acc, u64::from(b));
+    }
+    acc = fold(acc, shards as u64);
+    acc = fold(acc, per_shard_capacity as u64);
+    acc
+}
+
+/// The exact header line a journal with this geometry writes and expects.
+fn header_line(shards: usize, per_shard_capacity: usize) -> String {
+    format!(
+        "ppatc-cache-journal v1 shards={shards} capacity={per_shard_capacity} fingerprint={:016x}",
+        geometry_fingerprint(shards, per_shard_capacity)
+    )
+}
+
+/// Lowercase hex of `bytes` (two digits per byte).
+fn hex_encode(bytes: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        // Writing into a String cannot fail.
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or a non-hex digit.
+fn hex_decode(hex: &str) -> Option<Vec<u8>> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = hex.as_bytes();
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+/// Wraps an I/O failure on the journal file as a [`PpatcError::Checkpoint`]
+/// (the cache journal reuses the checkpoint error taxonomy — it *is* a
+/// checkpoint of the warm path).
+fn journal_error(path: &Path, action: &str, e: &std::io::Error) -> PpatcError {
+    PpatcError::Checkpoint {
+        detail: format!("could not {action} cache journal {}: {e}", path.display()),
+    }
+}
+
+/// What parsing one journal body line produced.
+enum EntryLine {
+    /// A complete, well-formed `(key, response)` entry.
+    Entry(String, String),
+    /// The line does not parse. At the tail this is a torn write (skipped);
+    /// anywhere else it is corruption (recovery refuses).
+    Malformed,
+}
+
+/// Parses one `e <klen> <vlen> <hexkey> <hexval>` entry line. Both length
+/// words are byte counts and must match their hex runs exactly — a tear at
+/// any point (including exactly between tokens) leaves a line that fails
+/// this parse.
+fn parse_entry_line(line: &str) -> EntryLine {
+    let mut toks = line.split_ascii_whitespace();
+    if toks.next() != Some("e") {
+        return EntryLine::Malformed;
+    }
+    let Some(klen) = toks.next().and_then(|t| t.parse::<usize>().ok()) else {
+        return EntryLine::Malformed;
+    };
+    let Some(vlen) = toks.next().and_then(|t| t.parse::<usize>().ok()) else {
+        return EntryLine::Malformed;
+    };
+    if klen > MAX_ENTRY_BYTES || vlen > MAX_ENTRY_BYTES {
+        return EntryLine::Malformed;
+    }
+    let (Some(hexkey), Some(hexval)) = (toks.next(), toks.next()) else {
+        return EntryLine::Malformed;
+    };
+    if toks.next().is_some() || hexkey.len() != klen * 2 || hexval.len() != vlen * 2 {
+        return EntryLine::Malformed;
+    }
+    let (Some(key), Some(value)) = (hex_decode(hexkey), hex_decode(hexval)) else {
+        return EntryLine::Malformed;
+    };
+    match (String::from_utf8(key), String::from_utf8(value)) {
+        (Ok(k), Ok(v)) => EntryLine::Entry(k, v),
+        _ => EntryLine::Malformed,
+    }
+}
+
+/// An append-only, crash-safe journal of cache inserts. Construct through
+/// [`try_recover_cache`]; the server writes through it on every fresh
+/// insert.
+pub struct CacheJournal {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl core::fmt::Debug for CacheJournal {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CacheJournal")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CacheJournal {
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one entry as a single flushed line.
+    ///
+    /// # Errors
+    ///
+    /// [`PpatcError::Checkpoint`] when the append or flush fails; the
+    /// caller keeps serving and counts the failure in health.
+    #[must_use = "this returns a Result that must be handled"]
+    pub fn append(&self, key: &str, response: &str) -> Result<(), PpatcError> {
+        let line = format!(
+            "e {} {} {} {}\n",
+            key.len(),
+            response.len(),
+            hex_encode(key.as_bytes()),
+            hex_encode(response.as_bytes())
+        );
+        let mut writer = match self.writer.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| journal_error(&self.path, "append to", &e))
+    }
+}
+
+/// Reads every entry out of an existing journal file. Returns the entries
+/// in file order. Only the *final* line may fail to parse (a torn write
+/// from a crash mid-append) — it is skipped; a malformed line anywhere
+/// before the tail is typed corruption.
+#[must_use = "this returns a Result that must be handled"]
+fn try_load_entries(
+    path: &Path,
+    shards: usize,
+    per_shard_capacity: usize,
+) -> Result<Option<Vec<(String, String)>>, PpatcError> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(journal_error(path, "open", &e)),
+    };
+    let mut lines = BufReader::new(file).lines();
+    let header = match lines.next() {
+        Some(Ok(line)) => line,
+        Some(Err(e)) => return Err(journal_error(path, "read the header of", &e)),
+        None => String::new(),
+    };
+    let expected = header_line(shards, per_shard_capacity);
+    if header != expected {
+        return Err(PpatcError::Checkpoint {
+            detail: format!(
+                "cache journal {} belongs to a different cache geometry: found header \
+                 '{header}', expected '{expected}'",
+                path.display()
+            ),
+        });
+    }
+    let mut entries = Vec::new();
+    let mut pending_malformed: Option<usize> = None;
+    for (number, line) in lines.enumerate() {
+        let line = line.map_err(|e| journal_error(path, "read", &e))?;
+        if let Some(bad) = pending_malformed {
+            // A malformed line followed by more lines cannot be a torn
+            // tail — append-and-flush tears only the last line.
+            return Err(PpatcError::Checkpoint {
+                detail: format!(
+                    "cache journal {} is corrupt: body line {} is malformed but is not \
+                     the final line — refusing to recover from a spliced or damaged \
+                     journal",
+                    path.display(),
+                    bad + 1
+                ),
+            });
+        }
+        match parse_entry_line(&line) {
+            EntryLine::Entry(k, v) => entries.push((k, v)),
+            EntryLine::Malformed => pending_malformed = Some(number),
+        }
+    }
+    Ok(Some(entries))
+}
+
+/// Rewrites the journal at `path` from scratch: header, then `entries` in
+/// order, flushed; returns the journal left open for appending.
+#[must_use = "this returns a Result that must be handled"]
+fn try_rewrite(
+    path: &Path,
+    shards: usize,
+    per_shard_capacity: usize,
+    entries: &[(String, String)],
+) -> Result<CacheJournal, PpatcError> {
+    let file = File::create(path).map_err(|e| journal_error(path, "create", &e))?;
+    let mut writer = BufWriter::new(file);
+    writer
+        .write_all(header_line(shards, per_shard_capacity).as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| journal_error(path, "write the header of", &e))?;
+    let journal = CacheJournal {
+        path: path.to_path_buf(),
+        writer: Mutex::new(writer),
+    };
+    for (key, value) in entries {
+        journal.append(key, value)?;
+    }
+    Ok(journal)
+}
+
+/// Builds a [`ResponseCache`] backed by the journal at `path`: recovers
+/// every entry a previous server persisted (skipping a torn tail), replays
+/// them through FIFO eviction, compacts the journal to the survivors, and
+/// attaches it for write-through. Returns the cache and how many entries
+/// were recovered from disk (before eviction). A missing file starts an
+/// empty journal.
+///
+/// # Errors
+///
+/// [`PpatcError::Checkpoint`] on I/O failure, a header from a different
+/// cache geometry, or a malformed line before the tail (both mean the
+/// journal does not belong to this server and silently dropping it would
+/// hide corruption).
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_recover_cache(
+    path: impl Into<PathBuf>,
+    shards: usize,
+    per_shard_capacity: usize,
+) -> Result<(ResponseCache, usize), PpatcError> {
+    let path = path.into();
+    let shards = shards.max(1);
+    let per_shard_capacity = per_shard_capacity.max(1);
+    let cache = ResponseCache::new(shards, per_shard_capacity);
+    let recovered = match try_load_entries(&path, shards, per_shard_capacity)? {
+        Some(entries) => {
+            for (key, value) in &entries {
+                cache.insert_in_memory(key, value);
+            }
+            entries.len()
+        }
+        None => 0,
+    };
+    let journal = try_rewrite(&path, shards, per_shard_capacity, &cache.entries_in_order())?;
+    // A freshly constructed cache has an empty OnceLock; this cannot fail.
+    let _ = cache.journal.set(journal);
+    Ok((cache, recovered))
 }
 
 #[cfg(test)]
@@ -192,5 +541,155 @@ mod tests {
             }
         });
         assert!(cache.len() <= 50);
+    }
+
+    // -- journal ------------------------------------------------------------
+
+    fn journal_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ppatc-cache-journal-{}-{name}.txt",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn recovery_round_trips_byte_identically() {
+        let path = journal_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (cache, recovered) = try_recover_cache(&path, 4, 8).expect("fresh journal");
+        assert_eq!(recovered, 0, "no prior journal to recover from");
+        cache.insert("eval capacity_kb=16", "ok\nresult line\twith tabs");
+        cache.insert("mc samples=100", "ok\nmean=1.0 p99=2.0");
+        drop(cache);
+
+        let (warm, recovered) = try_recover_cache(&path, 4, 8).expect("recover");
+        assert_eq!(recovered, 2);
+        let health = ServerHealth::new();
+        assert_eq!(
+            warm.get("eval capacity_kb=16", &health).as_deref(),
+            Some("ok\nresult line\twith tabs"),
+            "recovered response is byte-identical"
+        );
+        assert_eq!(
+            warm.get("mc samples=100", &health).as_deref(),
+            Some("ok\nmean=1.0 p99=2.0")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_and_compacted_away() {
+        let path = journal_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let (cache, _) = try_recover_cache(&path, 2, 4).expect("fresh journal");
+        cache.insert("a", "1");
+        cache.insert("b", "2");
+        drop(cache);
+        // Simulate a crash mid-append: half an entry line at the tail.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("open");
+            write!(f, "e 5 7 68656c").expect("torn tail");
+        }
+        let (warm, recovered) = try_recover_cache(&path, 2, 4).expect("torn tail tolerated");
+        assert_eq!(recovered, 2, "complete entries survive, the tear does not");
+        let health = ServerHealth::new();
+        assert_eq!(warm.get("a", &health).as_deref(), Some("1"));
+        assert_eq!(warm.get("b", &health).as_deref(), Some("2"));
+        // Compaction rewrote the file: recovering again sees no tear.
+        drop(warm);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(!text.contains("68656c"), "compaction dropped the torn tail");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_line_before_the_tail_is_typed_corruption() {
+        let path = journal_path("midfile");
+        let _ = std::fs::remove_file(&path);
+        let (cache, _) = try_recover_cache(&path, 2, 4).expect("fresh journal");
+        cache.insert("a", "1");
+        drop(cache);
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("open");
+            // A malformed line FOLLOWED by a well-formed one cannot be a
+            // torn tail: refuse.
+            writeln!(f, "e 3 bogus").expect("splice");
+            writeln!(f, "e 1 1 62 32").expect("valid entry after splice");
+        }
+        let err = try_recover_cache(&path, 2, 4).expect_err("mid-file corruption refused");
+        assert!(
+            matches!(err, PpatcError::Checkpoint { ref detail } if detail.contains("corrupt")),
+            "unexpected error: {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn geometry_mismatch_is_refused() {
+        let path = journal_path("geometry");
+        let _ = std::fs::remove_file(&path);
+        let (cache, _) = try_recover_cache(&path, 4, 8).expect("fresh journal");
+        cache.insert("a", "1");
+        drop(cache);
+        let err = try_recover_cache(&path, 2, 8).expect_err("different shard count refused");
+        assert!(
+            matches!(err, PpatcError::Checkpoint { ref detail } if detail.contains("geometry")),
+            "unexpected error: {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oversize_length_words_are_malformed_not_allocated() {
+        // A length word beyond MAX_FRAME_BYTES must not drive a huge
+        // allocation; as a non-final line it is corruption.
+        let line = format!("e {} 1 00 31", u32::MAX);
+        assert!(matches!(parse_entry_line(&line), EntryLine::Malformed));
+    }
+
+    #[test]
+    fn compaction_replays_eviction_and_bounds_the_file() {
+        let path = journal_path("compaction");
+        let _ = std::fs::remove_file(&path);
+        // One shard, capacity 2: inserting 5 keys keeps only the last 2.
+        let (cache, _) = try_recover_cache(&path, 1, 2).expect("fresh journal");
+        for i in 0..5 {
+            cache.insert(&format!("k{i}"), &format!("v{i}"));
+        }
+        drop(cache);
+        let (warm, recovered) = try_recover_cache(&path, 1, 2).expect("recover");
+        // All 5 appends are on disk; replay re-applies FIFO eviction.
+        assert_eq!(recovered, 5);
+        assert_eq!(warm.len(), 2);
+        let health = ServerHealth::new();
+        assert_eq!(warm.get("k3", &health).as_deref(), Some("v3"));
+        assert_eq!(warm.get("k4", &health).as_deref(), Some("v4"));
+        drop(warm);
+        // The compacted file holds exactly the survivors: header + 2 lines.
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text.lines().count(), 3, "header plus two surviving entries");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn whitespace_and_newlines_in_entries_survive_hex_round_trip() {
+        let path = journal_path("bytes");
+        let _ = std::fs::remove_file(&path);
+        let (cache, _) = try_recover_cache(&path, 1, 4).expect("fresh journal");
+        let gnarly = "ok\nline one\nline two with  spaces\te 9 9 deadbeef\n";
+        cache.insert("eval x=1", gnarly);
+        drop(cache);
+        let (warm, _) = try_recover_cache(&path, 1, 4).expect("recover");
+        let health = ServerHealth::new();
+        assert_eq!(warm.get("eval x=1", &health).as_deref(), Some(gnarly));
+        let _ = std::fs::remove_file(&path);
     }
 }

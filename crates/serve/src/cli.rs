@@ -11,6 +11,7 @@
 //! baffling `NaN is not a worker count`.
 
 use ppatc::ValidationError;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Normalizes one CLI operand: trims surrounding ASCII whitespace and
@@ -107,6 +108,67 @@ pub fn try_parse_deadline(raw: Option<&str>) -> Result<Duration, ValidationError
         ));
     }
     Ok(Duration::from_secs_f64(secs))
+}
+
+/// Parses a count operand that may legitimately be zero (restart
+/// budgets: `--restart-budget 0` means "never respawn a dead worker").
+/// Unlike [`try_parse_count`], `0` is accepted; everything else —
+/// missing, empty, or malformed operands — is still a structured error.
+///
+/// # Errors
+///
+/// [`ValidationError`] on a missing, empty, or malformed operand.
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_parse_count_or_zero(
+    field: &'static str,
+    raw: Option<&str>,
+) -> Result<usize, ValidationError> {
+    let Some(raw) = raw else {
+        return Err(ValidationError::new(
+            field,
+            f64::NAN,
+            "present: the flag takes a count >= 0",
+        ));
+    };
+    let Some(digits) = normalize(raw) else {
+        return Err(ValidationError::new(
+            field,
+            f64::NAN,
+            "non-empty: the flag takes a count >= 0",
+        ));
+    };
+    digits
+        .parse::<usize>()
+        .map_err(|_| ValidationError::new(field, f64::NAN, "a count >= 0"))
+}
+
+/// Parses a filesystem-path operand (`--cache-journal`). The only
+/// validation is non-emptiness after trimming: the file need not exist
+/// (the server creates the journal when absent), and nearly any byte
+/// sequence is a legal path, so no `+`-stripping or numeric normalizing
+/// applies here.
+///
+/// # Errors
+///
+/// [`ValidationError`] on a missing or empty operand.
+#[must_use = "this returns a Result that must be handled"]
+pub fn try_parse_path(field: &'static str, raw: Option<&str>) -> Result<PathBuf, ValidationError> {
+    let Some(raw) = raw else {
+        return Err(ValidationError::new(
+            field,
+            f64::NAN,
+            "present: the flag takes a file path",
+        ));
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err(ValidationError::new(
+            field,
+            f64::NAN,
+            "non-empty: the flag takes a file path",
+        ));
+    }
+    Ok(PathBuf::from(trimmed))
 }
 
 /// Parses a `--port` operand: any integer in `[0, 65535]` (0 asks the OS
@@ -223,6 +285,33 @@ mod tests {
         assert_eq!(try_parse_count("queue", Some("64")), Ok(64));
         let e = try_parse_count("queue", Some("no")).expect_err("rejected");
         assert_eq!(e.field, "queue");
+    }
+
+    #[test]
+    fn count_or_zero_accepts_zero_but_rejects_garbage() {
+        assert_eq!(try_parse_count_or_zero("restart-budget", Some("0")), Ok(0));
+        assert_eq!(try_parse_count_or_zero("restart-budget", Some("+8")), Ok(8));
+        for raw in [Some("-1"), Some("no"), Some(" "), None] {
+            let e = try_parse_count_or_zero("restart-budget", raw).expect_err("rejected");
+            assert_eq!(e.field, "restart-budget");
+        }
+    }
+
+    #[test]
+    fn path_trims_but_does_not_mangle() {
+        assert_eq!(
+            try_parse_path("cache-journal", Some(" /tmp/j.txt ")),
+            Ok(PathBuf::from("/tmp/j.txt"))
+        );
+        // A path may legitimately start with `+`; no sign-stripping.
+        assert_eq!(
+            try_parse_path("cache-journal", Some("+cache.journal")),
+            Ok(PathBuf::from("+cache.journal"))
+        );
+        for raw in [Some(""), Some("   "), None] {
+            let e = try_parse_path("cache-journal", raw).expect_err("rejected");
+            assert_eq!(e.field, "cache-journal");
+        }
     }
 
     #[test]

@@ -17,13 +17,35 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Connects to `addr` with a connect/read timeout.
+    /// Connects to `addr`, reusing `timeout` as both the connect budget
+    /// and the per-request read/write budget. Kept for callers whose
+    /// requests are as fast as their connects; long-running ops (`mc`
+    /// with many samples) should use [`ServeClient::try_connect_split`]
+    /// or [`ServeClient::set_request_timeout`] so a slow *response* is
+    /// not misread as a dead connection.
     ///
     /// # Errors
     ///
     /// [`WireError::Io`] when the connection cannot be established.
     #[must_use = "this returns a Result that must be handled"]
     pub fn try_connect<A: ToSocketAddrs>(addr: A, timeout: Duration) -> Result<Self, WireError> {
+        Self::try_connect_split(addr, timeout, Some(timeout))
+    }
+
+    /// Connects to `addr` with separate budgets: `connect_timeout` bounds
+    /// connection establishment only, `request_timeout` bounds each
+    /// read/write of a request/response exchange (`None` = block
+    /// indefinitely on the socket).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the connection cannot be established.
+    #[must_use = "this returns a Result that must be handled"]
+    pub fn try_connect_split<A: ToSocketAddrs>(
+        addr: A,
+        connect_timeout: Duration,
+        request_timeout: Option<Duration>,
+    ) -> Result<Self, WireError> {
         let resolved = addr
             .to_socket_addrs()
             .map_err(|e| io_error(&e))?
@@ -31,14 +53,28 @@ impl ServeClient {
             .ok_or_else(|| WireError::Io {
                 detail: "address resolved to nothing".to_string(),
             })?;
-        let stream = TcpStream::connect_timeout(&resolved, timeout).map_err(|e| io_error(&e))?;
-        stream
-            .set_read_timeout(Some(timeout))
+        let stream =
+            TcpStream::connect_timeout(&resolved, connect_timeout).map_err(|e| io_error(&e))?;
+        let mut client = Self { stream };
+        client.set_request_timeout(request_timeout)?;
+        Ok(client)
+    }
+
+    /// Rebudgets the per-request read/write timeout on the live
+    /// connection (`None` = block indefinitely). Retry layers call this
+    /// per request to derive the socket budget from the op's deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the socket refuses the timeout.
+    #[must_use = "this returns a Result that must be handled"]
+    pub fn set_request_timeout(&mut self, timeout: Option<Duration>) -> Result<(), WireError> {
+        self.stream
+            .set_read_timeout(timeout)
             .map_err(|e| io_error(&e))?;
-        stream
-            .set_write_timeout(Some(timeout))
-            .map_err(|e| io_error(&e))?;
-        Ok(Self { stream })
+        self.stream
+            .set_write_timeout(timeout)
+            .map_err(|e| io_error(&e))
     }
 
     /// Sends one request line and reads the parsed response.

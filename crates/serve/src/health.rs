@@ -49,6 +49,26 @@ pub struct ServerHealth {
     pub ema_service_micros: AtomicU64,
     /// 1 once the server has entered its drain phase.
     pub draining: AtomicU64,
+    /// Worker threads the supervisor respawned after they died (a worker
+    /// death is a thread exiting outside a drain — a bug or a chaos kill).
+    pub worker_restarts: AtomicU64,
+    /// 1 once the supervisor exhausted its restart budget (or could not
+    /// spawn a replacement) and stopped respawning dead workers.
+    pub supervisor_gave_up: AtomicU64,
+    /// Heartbeat-stall episodes: a live worker whose heartbeat epoch froze
+    /// past the stall window (wedged in an evaluation the budget cannot
+    /// interrupt). Observed, not restarted — the thread still holds its
+    /// job.
+    pub worker_stalls: AtomicU64,
+    /// Connections closed because their sockets refused setup
+    /// (`set_read_timeout`/`set_nodelay` failed): a connection without a
+    /// frame clock has no slow-loris protection and must not be served.
+    pub conn_setup_failed: AtomicU64,
+    /// Cache entries recovered from the cache journal at startup.
+    pub cache_recovered: AtomicU64,
+    /// Cache-journal append failures (the entry is still served and cached
+    /// in memory; it just will not survive a restart).
+    pub cache_journal_failures: AtomicU64,
 }
 
 /// EMA smoothing: new average = 7/8 old + 1/8 sample.
@@ -91,6 +111,12 @@ impl ServerHealth {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             draining: self.draining.load(Ordering::Relaxed) != 0,
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            supervisor_gave_up: self.supervisor_gave_up.load(Ordering::Relaxed) != 0,
+            worker_stalls: self.worker_stalls.load(Ordering::Relaxed),
+            conn_setup_failed: self.conn_setup_failed.load(Ordering::Relaxed),
+            cache_recovered: self.cache_recovered.load(Ordering::Relaxed),
+            cache_journal_failures: self.cache_journal_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -126,6 +152,18 @@ pub struct HealthSnapshot {
     pub queue_depth: usize,
     /// See [`ServerHealth::draining`].
     pub draining: bool,
+    /// See [`ServerHealth::worker_restarts`].
+    pub worker_restarts: u64,
+    /// See [`ServerHealth::supervisor_gave_up`].
+    pub supervisor_gave_up: bool,
+    /// See [`ServerHealth::worker_stalls`].
+    pub worker_stalls: u64,
+    /// See [`ServerHealth::conn_setup_failed`].
+    pub conn_setup_failed: u64,
+    /// See [`ServerHealth::cache_recovered`].
+    pub cache_recovered: u64,
+    /// See [`ServerHealth::cache_journal_failures`].
+    pub cache_journal_failures: u64,
 }
 
 impl HealthSnapshot {
@@ -159,6 +197,12 @@ impl HealthSnapshot {
             ("cache_misses", self.cache_misses),
             ("queue_depth", self.queue_depth as u64),
             ("draining", u64::from(self.draining)),
+            ("worker_restarts", self.worker_restarts),
+            ("supervisor_gave_up", u64::from(self.supervisor_gave_up)),
+            ("worker_stalls", self.worker_stalls),
+            ("conn_setup_failed", self.conn_setup_failed),
+            ("cache_recovered", self.cache_recovered),
+            ("cache_journal_failures", self.cache_journal_failures),
         ] {
             out.push_str(key);
             out.push('=');
@@ -193,6 +237,12 @@ impl HealthSnapshot {
                 "cache_misses" => snap.cache_misses = n,
                 "queue_depth" => snap.queue_depth = n as usize,
                 "draining" => snap.draining = n != 0,
+                "worker_restarts" => snap.worker_restarts = n,
+                "supervisor_gave_up" => snap.supervisor_gave_up = n != 0,
+                "worker_stalls" => snap.worker_stalls = n,
+                "conn_setup_failed" => snap.conn_setup_failed = n,
+                "cache_recovered" => snap.cache_recovered = n,
+                "cache_journal_failures" => snap.cache_journal_failures = n,
                 _ => {}
             }
         }
@@ -214,10 +264,19 @@ mod tests {
         health.cache_misses.store(10, Ordering::Relaxed);
         health.queue_depth.store(3, Ordering::Relaxed);
         health.draining.store(1, Ordering::Relaxed);
+        health.worker_restarts.store(4, Ordering::Relaxed);
+        health.supervisor_gave_up.store(1, Ordering::Relaxed);
+        health.worker_stalls.store(1, Ordering::Relaxed);
+        health.conn_setup_failed.store(5, Ordering::Relaxed);
+        health.cache_recovered.store(12, Ordering::Relaxed);
+        health.cache_journal_failures.store(6, Ordering::Relaxed);
         let snap = health.snapshot();
         let back = HealthSnapshot::parse(&snap.render());
         assert_eq!(back, snap);
         assert!(back.draining);
+        assert!(back.supervisor_gave_up);
+        assert_eq!(back.worker_restarts, 4);
+        assert_eq!(back.cache_recovered, 12);
         assert!((back.cache_hit_rate() - 0.75).abs() < 1e-12);
     }
 

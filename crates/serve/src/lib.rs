@@ -17,7 +17,8 @@
 //! - [`admission`] — the bounded queue: admit, shed (`overloaded` with a
 //!   retry-after hint), or refuse (`draining`). Never unbounded.
 //! - [`cache`] — a sharded, bounded response cache generalizing the eDRAM
-//!   characterization memo cache.
+//!   characterization memo cache, with an optional crash-safe append-only
+//!   journal so a restarted server comes back warm.
 //! - [`health`] — the counter block behind the `health` query and the
 //!   final drain report.
 //! - [`server`] — accept loop, per-connection and per-request
@@ -25,6 +26,11 @@
 //! - [`signal`] — SIGTERM/SIGINT → drain-token bridging.
 //! - [`client`] — a minimal blocking client for tests and the load
 //!   harness.
+//! - [`resilient`] — the recovery half of the client: seeded backoff with
+//!   jitter honoring `retry_after_ms`, reconnect-and-replay, a circuit
+//!   breaker, and a retry budget (see `DESIGN.md` §13).
+//! - [`fault`] — deterministic seeded transport fault injection for the
+//!   chaos harness.
 //! - [`cli`] — flag parsers shared with `ppatc-bench`'s binaries so the
 //!   front ends cannot drift.
 
@@ -34,14 +40,18 @@ pub mod admission;
 pub mod cache;
 pub mod cli;
 pub mod client;
+pub mod fault;
 pub mod health;
 pub mod protocol;
 pub mod query;
+pub mod resilient;
 pub mod server;
 pub mod signal;
 
 pub use client::ServeClient;
+pub use fault::{FaultAction, FaultCounts, FaultPlan, FaultSpec};
 pub use health::{HealthSnapshot, ServerHealth};
 pub use protocol::{ParsedResponse, WireError};
 pub use query::{EvalParams, Query, QueryError, Request};
+pub use resilient::{ResilientClient, ResilientError, RetryPolicy, RetryStats};
 pub use server::{try_spawn, ServerConfig, ServerHandle};

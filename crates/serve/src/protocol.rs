@@ -201,6 +201,14 @@ fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<ReadOutc
             Ok(0) => return Ok(ReadOutcome::Short { got: filled }),
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // A socket read timeout (client request deadline), typed
+                // so retry layers can tell it from a torn connection.
+                return Err(WireError::Timeout);
+            }
             Err(e) => return Err(io_error(&e)),
         }
     }

@@ -129,6 +129,9 @@ pub enum Query {
     /// Deliberately panic inside the evaluator (chaos testing; the server
     /// rejects it unless spawned with poison enabled).
     Poison,
+    /// Deliberately exit the worker thread that picks this job up (chaos
+    /// testing for the supervisor's respawn path; gated like `poison`).
+    KillWorker,
     /// One deterministic design-point evaluation.
     Eval(EvalParams),
     /// A Monte-Carlo sweep over the paper's uncertainty ranges around a
@@ -322,7 +325,7 @@ pub fn try_parse_request(line: &str) -> Result<Request, QueryError> {
         });
     };
     match op {
-        "ping" | "health" | "drain" | "poison" => {
+        "ping" | "health" | "drain" | "poison" | "kill_worker" => {
             if tokens.next().is_some() {
                 return Err(QueryError::Malformed {
                     msg: format!("`{op}` takes no arguments"),
@@ -332,6 +335,7 @@ pub fn try_parse_request(line: &str) -> Result<Request, QueryError> {
                 "ping" => Query::Ping,
                 "health" => Query::Health,
                 "drain" => Query::Drain,
+                "kill_worker" => Query::KillWorker,
                 _ => Query::Poison,
             };
             Ok(Request {
@@ -411,6 +415,7 @@ pub fn canonical_key(query: &Query) -> String {
         Query::Health => "health".to_string(),
         Query::Drain => "drain".to_string(),
         Query::Poison => "poison".to_string(),
+        Query::KillWorker => "kill_worker".to_string(),
         Query::Eval(p) => format!("eval {}", eval_part(p)),
         Query::MonteCarlo {
             params,
@@ -508,7 +513,7 @@ fn build_study(
 #[must_use = "this returns a Result that must be handled"]
 pub fn try_evaluate(query: &Query, budget: &RunBudget) -> Result<String, PpatcError> {
     match query {
-        Query::Ping | Query::Health | Query::Drain => Ok(String::new()),
+        Query::Ping | Query::Health | Query::Drain | Query::KillWorker => Ok(String::new()),
         Query::Poison => {
             poison_panic();
         }

@@ -22,9 +22,22 @@
 //! *evaluation* in the worker pool (a poison query panics the evaluator,
 //! the worker answers `err panic …` and takes the next job). Both feed
 //! the [`ServerHealth`] counters.
+//!
+//! # Supervision
+//!
+//! Behind the isolation rings sits a supervisor thread that owns every
+//! worker join handle. A worker thread that *exits* (a `kill_worker`
+//! chaos query, or a panic that escapes the evaluation ring) is detected
+//! within one poll interval and respawned into the same seat, up to
+//! `worker_restart_budget` restarts across the server's lifetime; past
+//! the budget the supervisor marks `supervisor_gave_up` in health and
+//! stops replacing that seat. Each worker also publishes a heartbeat
+//! epoch (odd while mid-job, even while idle) so the supervisor can
+//! count — without killing — workers wedged inside one evaluation for
+//! longer than the deadline plus slot grace (`worker_stalls`).
 
 use crate::admission::{retry_after_ms, AdmissionQueue, AdmitError, Job, ResponseSlot};
-use crate::cache::ResponseCache;
+use crate::cache::{try_recover_cache, ResponseCache};
 use crate::health::{HealthSnapshot, ServerHealth};
 use crate::protocol::{
     err_response, io_error, ok_response, try_decode_header, try_encode_frame, WireError,
@@ -36,7 +49,8 @@ use ppatc::{InterruptReason, PpatcError, RunBudget};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -53,6 +67,8 @@ const SLOT_GRACE: Duration = Duration::from_secs(5);
 /// gone before giving up on them (they hold no queue slots and die with
 /// the process).
 const CONNECTION_LINGER: Duration = Duration::from_secs(10);
+/// How often the supervisor polls worker liveness and heartbeats.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(50);
 
 /// Server tuning knobs. `Default` suits tests and the smoke harness; the
 /// binary maps its flags onto the fields.
@@ -79,6 +95,13 @@ pub struct ServerConfig {
     pub enable_poison: bool,
     /// Maximum accepted frame payload, bytes.
     pub max_frame_bytes: usize,
+    /// Worker respawns the supervisor will perform over the server's
+    /// lifetime before declaring `supervisor_gave_up`.
+    pub worker_restart_budget: usize,
+    /// Path of the append-only cache journal. `Some` makes the response
+    /// cache crash-safe: fresh inserts are written through, and a
+    /// restarted server recovers the warm cache byte-identically.
+    pub cache_journal: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +116,8 @@ impl Default for ServerConfig {
             cache_capacity_per_shard: 256,
             enable_poison: false,
             max_frame_bytes: MAX_FRAME_BYTES,
+            worker_restart_budget: 8,
+            cache_journal: None,
         }
     }
 }
@@ -115,6 +140,9 @@ struct Shared {
     queue: AdmissionQueue,
     cache: ResponseCache,
     active_connections: AtomicUsize,
+    /// Per-seat worker heartbeat epochs: odd while a worker is mid-job,
+    /// even while it waits for the next one.
+    heartbeats: Vec<AtomicU64>,
 }
 
 /// A running server. Dropping the handle does NOT stop the server; call
@@ -123,7 +151,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -164,8 +192,9 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // The supervisor owns the worker handles; joining it joins them.
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
         // Connections hold no queue slots; give stragglers a bounded
         // window to flush their `draining` responses and close.
@@ -177,32 +206,52 @@ impl ServerHandle {
     }
 }
 
-/// Binds, spawns the accept loop and worker pool, and returns the handle.
+/// Binds, spawns the accept loop, worker pool, and supervisor, and
+/// returns the handle. With `cache_journal` set, the response cache is
+/// first recovered from the journal (previously cached responses come
+/// back byte-identical) and every fresh insert is written through.
 ///
 /// # Errors
 ///
-/// Any `std::io::Error` from binding the listener.
+/// Any `std::io::Error` from binding the listener, plus journal recovery
+/// failures (corruption before the tail, a journal from a different
+/// cache geometry, or plain I/O) wrapped as `std::io::Error`.
 #[must_use = "this returns a Result that must be handled"]
 pub fn try_spawn(config: ServerConfig) -> Result<ServerHandle, std::io::Error> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let health = ServerHealth::new();
+    let cache = match &config.cache_journal {
+        Some(path) => {
+            let (cache, recovered) =
+                try_recover_cache(path, config.cache_shards, config.cache_capacity_per_shard)
+                    .map_err(std::io::Error::other)?;
+            let recovered = u64::try_from(recovered).unwrap_or(u64::MAX);
+            health.cache_recovered.store(recovered, Ordering::Relaxed);
+            cache
+        }
+        None => ResponseCache::new(config.cache_shards, config.cache_capacity_per_shard),
+    };
+    let worker_count = config.workers.max(1);
     let shared = Arc::new(Shared {
         cancel: CancelToken::new(),
-        health: ServerHealth::new(),
+        health,
         queue: AdmissionQueue::new(config.queue_capacity),
-        cache: ResponseCache::new(config.cache_shards, config.cache_capacity_per_shard),
+        cache,
         active_connections: AtomicUsize::new(0),
+        heartbeats: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
         config,
     });
-    let workers = (0..shared.config.workers.max(1))
-        .map(|i| {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("ppatc-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
-        })
+    let seats = (0..worker_count)
+        .map(|slot| spawn_worker(&shared, slot, 0).map(WorkerSeat::new))
         .collect::<Result<Vec<_>, _>>()?;
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("ppatc-serve-supervisor".to_string())
+            .spawn(move || supervisor_loop(&shared, seats))?
+    };
     let accept = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
@@ -213,8 +262,127 @@ pub fn try_spawn(config: ServerConfig) -> Result<ServerHandle, std::io::Error> {
         addr,
         shared,
         accept: Some(accept),
-        workers,
+        supervisor: Some(supervisor),
     })
+}
+
+/// Spawns the worker for `slot`; `generation` > 0 marks a respawn (it
+/// shows in the thread name, which panics-to-stderr include).
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    slot: usize,
+    generation: usize,
+) -> Result<JoinHandle<()>, std::io::Error> {
+    let shared = Arc::clone(shared);
+    let name = if generation == 0 {
+        format!("ppatc-serve-worker-{slot}")
+    } else {
+        format!("ppatc-serve-worker-{slot}r{generation}")
+    };
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(&shared, slot))
+}
+
+/// One worker seat as the supervisor tracks it.
+struct WorkerSeat {
+    handle: Option<JoinHandle<()>>,
+    /// Respawn generation (0 = the original spawn).
+    generation: usize,
+    /// Last heartbeat epoch observed for this seat.
+    last_beat: u64,
+    /// When `last_beat` last changed.
+    last_change: Instant,
+    /// Whether the current wedged episode was already counted.
+    stall_flagged: bool,
+}
+
+impl WorkerSeat {
+    fn new(handle: JoinHandle<()>) -> Self {
+        Self {
+            handle: Some(handle),
+            generation: 0,
+            last_beat: 0,
+            last_change: Instant::now(),
+            stall_flagged: false,
+        }
+    }
+}
+
+/// The supervisor: polls every worker seat, counts heartbeat stalls, and
+/// respawns dead workers until the restart budget runs out. On drain it
+/// stops respawning and joins the survivors (they exit once the queue
+/// runs dry).
+fn supervisor_loop(shared: &Arc<Shared>, mut seats: Vec<WorkerSeat>) {
+    // A worker legitimately holds a job for up to the request deadline;
+    // past deadline + grace the connection thread has already answered
+    // for it, so from there on the worker counts as wedged.
+    let stall_after = shared.config.request_deadline + SLOT_GRACE;
+    let mut budget = shared.config.worker_restart_budget;
+    while !(shared.cancel.is_cancelled() || shared.queue.is_draining()) {
+        for (slot, seat) in seats.iter_mut().enumerate() {
+            let Some(handle) = seat.handle.as_ref() else {
+                continue; // seat abandoned: budget exhausted earlier
+            };
+            let beat = shared.heartbeats[slot].load(Ordering::Relaxed);
+            if beat != seat.last_beat {
+                seat.last_beat = beat;
+                seat.last_change = Instant::now();
+                seat.stall_flagged = false;
+            } else if !seat.stall_flagged
+                && beat % 2 == 1
+                && seat.last_change.elapsed() > stall_after
+                && !handle.is_finished()
+            {
+                // Odd epoch = mid-job. The worker is alive but has sat on
+                // one evaluation past any deadline; observe, don't kill —
+                // the evaluation ring still owns the cleanup.
+                seat.stall_flagged = true;
+                shared.health.worker_stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            if !handle.is_finished() {
+                continue;
+            }
+            // The thread exited. Re-check drain *after* observing the
+            // exit: a drain-triggered exit must not count as a death.
+            if shared.cancel.is_cancelled() || shared.queue.is_draining() {
+                continue;
+            }
+            if let Some(done) = seat.handle.take() {
+                let _ = done.join();
+            }
+            if budget == 0 {
+                shared.health.supervisor_gave_up.store(1, Ordering::Relaxed);
+                continue;
+            }
+            budget -= 1;
+            seat.generation += 1;
+            match spawn_worker(shared, slot, seat.generation) {
+                Ok(handle) => {
+                    shared
+                        .health
+                        .worker_restarts
+                        .fetch_add(1, Ordering::Relaxed);
+                    seat.handle = Some(handle);
+                    seat.last_beat = shared.heartbeats[slot].load(Ordering::Relaxed);
+                    seat.last_change = Instant::now();
+                    seat.stall_flagged = false;
+                }
+                Err(_) => {
+                    // Thread exhaustion: abandon the seat — the remaining
+                    // workers keep the queue moving.
+                    seat.handle = None;
+                    shared.health.supervisor_gave_up.store(1, Ordering::Relaxed);
+                }
+            }
+        }
+        std::thread::sleep(SUPERVISOR_POLL);
+    }
+    for seat in &mut seats {
+        if let Some(handle) = seat.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// Accepts connections until the drain token cancels, then flips the
@@ -260,8 +428,17 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 /// Reads frames off one connection until close, drain, or a framing
 /// violation.
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let _ = stream.set_nodelay(true);
+    // A connection that cannot get its frame clock has no slow-loris
+    // defense: close it (the client reconnects) rather than serve it
+    // unprotected. `set_nodelay` failing means the socket is already
+    // broken (it is a no-op-capable hint on every healthy platform).
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() || stream.set_nodelay(true).is_err() {
+        shared
+            .health
+            .conn_setup_failed
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
     loop {
         match read_frame_polled(&mut stream, shared) {
             FrameOutcome::Frame(payload) => {
@@ -414,17 +591,17 @@ fn process_request(payload: &str, shared: &Arc<Shared>) -> String {
             shared.cancel.cancel();
             ok_response("draining")
         }
-        Query::Poison if !shared.config.enable_poison => {
+        Query::Poison | Query::KillWorker if !shared.config.enable_poison => {
             shared.health.invalid.fetch_add(1, Ordering::Relaxed);
             err_response(
                 "invalid",
                 &[(
                     "msg",
-                    "poison queries are disabled (start with --enable-poison)".to_string(),
+                    "chaos queries are disabled (start with --enable-poison)".to_string(),
                 )],
             )
         }
-        Query::Poison | Query::Eval(_) | Query::MonteCarlo { .. } => {
+        Query::Poison | Query::KillWorker | Query::Eval(_) | Query::MonteCarlo { .. } => {
             dispatch_eval(request.query.clone(), request.deadline_ms, shared)
         }
     }
@@ -433,9 +610,13 @@ fn process_request(payload: &str, shared: &Arc<Shared>) -> String {
 /// Cache-checks, admits, and awaits one evaluation query.
 fn dispatch_eval(query: Query, deadline_ms: Option<u64>, shared: &Arc<Shared>) -> String {
     let canonical = canonical_key(&query);
-    if let Some(hit) = shared.cache.get(&canonical, &shared.health) {
-        shared.health.served.fetch_add(1, Ordering::Relaxed);
-        return hit;
+    // Chaos queries are side effects, not computations: never cached.
+    let cacheable = matches!(query, Query::Eval(_) | Query::MonteCarlo { .. });
+    if cacheable {
+        if let Some(hit) = shared.cache.get(&canonical, &shared.health) {
+            shared.health.served.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
     }
     let now = Instant::now();
     let allowed = match deadline_ms {
@@ -500,12 +681,23 @@ fn dispatch_eval(query: Query, deadline_ms: Option<u64>, shared: &Arc<Shared>) -
 
 /// The worker loop: take a job, evaluate it inside the panic-isolation
 /// ring under its deadline budget, publish the response, update health.
-fn worker_loop(shared: &Arc<Shared>) {
+/// The heartbeat epoch for `slot` is odd while a job is held and even
+/// while waiting, so the supervisor can tell wedged from idle.
+fn worker_loop(shared: &Arc<Shared>, slot: usize) {
     while let Some(job) = shared.queue.take() {
+        shared.heartbeats[slot].fetch_add(1, Ordering::Relaxed);
         shared
             .health
             .queue_depth
             .store(shared.queue.depth(), Ordering::Relaxed);
+        if matches!(job.query, Query::KillWorker) {
+            // Chaos: answer, then exit the thread. The supervisor notices
+            // the death and respawns this seat.
+            shared.health.served.fetch_add(1, Ordering::Relaxed);
+            job.slot.fill(ok_response("worker_killed"));
+            shared.heartbeats[slot].fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let started = Instant::now();
         let response = if started >= job.deadline {
             // Expired while queued: report zero progress, skip evaluation.
@@ -528,7 +720,15 @@ fn worker_loop(shared: &Arc<Shared>) {
             match catch_unwind(AssertUnwindSafe(|| try_evaluate(&job.query, &budget))) {
                 Ok(Ok(body)) => {
                     let response = ok_response(&body);
-                    shared.cache.insert(&job.canonical, &response);
+                    if !shared.cache.insert(&job.canonical, &response) {
+                        // The in-memory insert stands; only the journal
+                        // write-through failed. Serving continues warm but
+                        // a restart will not recover this entry.
+                        shared
+                            .health
+                            .cache_journal_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
                     shared.health.served.fetch_add(1, Ordering::Relaxed);
                     response
                 }
@@ -545,6 +745,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         shared.health.record_service_micros(micros);
         job.slot.fill(response);
+        shared.heartbeats[slot].fetch_add(1, Ordering::Relaxed);
     }
 }
 
